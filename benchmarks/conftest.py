@@ -1,0 +1,36 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every bench regenerates one figure or reported-numbers group from the
+paper and prints a paper-vs-measured table (run with ``-s`` to see them);
+the assertions encode the *shape* expectations (who wins, by what factor)
+rather than exact absolute agreement.
+"""
+
+import pytest
+
+
+def report(title, rows, header=None):
+    """Print a small aligned table under a title banner."""
+    print()
+    print(f"== {title} ==")
+    if header:
+        print("  " + " | ".join(f"{h:>16s}" for h in header))
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(f"{cell:>16.4g}")
+            else:
+                cells.append(f"{str(cell):>16s}")
+        print("  " + " | ".join(cells))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy simulation exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

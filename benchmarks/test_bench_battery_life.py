@@ -1,0 +1,58 @@
+"""E4 / Section III-B — patch battery life in the three scenarios.
+
+Paper: "the estimated battery duration is about 10 h ... about 3.5 h
+[bluetooth-connected] ... the patch can send power continuously for
+1.5 h."
+"""
+
+import pytest
+
+from conftest import report
+from repro import PAPER
+from repro.patch import IronicPatch
+
+
+def run_battery_model():
+    patch = IronicPatch()
+    table = patch.battery_life_table()
+    currents = {name: patch.scenario_current(name) for name in table}
+    return patch, table, currents
+
+
+def test_bench_battery_life(once):
+    patch, table, currents = once(run_battery_model)
+
+    paper = {
+        "idle": PAPER.battery_life_idle_h,
+        "connected": PAPER.battery_life_connected_h,
+        "powering": PAPER.battery_life_powering_h,
+    }
+    report("Patch battery life",
+           [(name, currents[name] * 1e3, table[name], paper[name])
+            for name in ("idle", "connected", "powering")],
+           header=["scenario", "I (mA)", "model (h)", "paper (h)"])
+
+    for name in paper:
+        assert table[name] == pytest.approx(paper[name], rel=0.12)
+    # Ordering and rough ratios (the shape the paper implies).
+    assert table["idle"] > 2 * table["connected"]
+    assert table["connected"] > 2 * table["powering"]
+
+
+def test_bench_duty_cycling(once):
+    """Extension: life under mixed duty cycles."""
+    patch = IronicPatch()
+
+    def sweep():
+        duties = ((0.05, 0.02), (0.10, 0.05), (0.25, 0.10), (0.50, 0.25))
+        return [(p, c, patch.monitoring_session_life(p, c))
+                for p, c in duties]
+
+    rows = once(sweep)
+    report("Duty-cycled monitoring life",
+           [(f"{p * 100:.0f}% pwr", f"{c * 100:.0f}% bt", h)
+            for p, c, h in rows],
+           header=["powering", "connected", "life (h)"])
+    lives = [h for _, _, h in rows]
+    assert all(a > b for a, b in zip(lives, lives[1:]))
+    assert lives[0] > patch.battery_life_hours("powering")

@@ -1,0 +1,128 @@
+"""Benches for the extension studies (beyond the paper's figures).
+
+* Monte-Carlo corners (the paper's "future work": characterization)
+* closed-loop adaptive power control (the ref [17] direction)
+* thermal / SAR audit (the Section I "low thermal dissipation" claim)
+* secure-telemetry overhead (the Section I security requirement)
+"""
+
+import pytest
+
+from conftest import report
+from repro.comms import SecureChannel, paired_channels
+from repro.core import AdaptivePowerController, PAPER, \
+    RemotePoweringSystem
+from repro.link import TISSUE_LIBRARY
+from repro.power import ImplantThermalModel, implant_thermal_check
+from repro.variability import (
+    ask_margin_study,
+    charge_time_study,
+    vox_accuracy_study,
+)
+
+
+def test_bench_montecarlo_corners(once):
+    def run():
+        return (vox_accuracy_study(n_samples=250),
+                charge_time_study(n_samples=80),
+                ask_margin_study(n_samples=200))
+
+    vox, charge, margin = once(run)
+    rows = []
+    for res in (vox["vox_mv"], charge["charge_time_us"],
+                charge["v_equilibrium"], margin["margin_frac"]):
+        rows.append(res.summary_row())
+    report("Monte-Carlo corners",
+           rows, header=["metric", "mean", "std", "worst lo",
+                         "worst hi", "yield"])
+    assert vox["vox_mv"].yield_fraction > 0.9
+    assert charge["charge_time_us"].yield_fraction > 0.9
+    assert margin["margin_frac"].worst_low > 0.0
+
+
+def test_bench_adaptive_power_control(once):
+    """Distance disturbance rejection: fixed drive vs the closed loop."""
+
+    def run():
+        system = RemotePoweringSystem(distance=10e-3)
+        ctrl = AdaptivePowerController()
+
+        def profile(t):
+            if t < 40e-3:
+                return 8e-3
+            if t < 80e-3:
+                return 14e-3
+            return 11e-3
+
+        steps = ctrl.run(system, profile, t_stop=120e-3)
+        stats = ctrl.regulation_statistics(steps, settle_fraction=0.25)
+        # Fixed-drive comparison: what would the rail do at 14 mm?
+        p_fixed = system.available_power(14e-3)
+        return stats, steps, p_fixed
+
+    stats, steps, p_fixed = once(run)
+    frac, v_min, v_max, mean_drive = stats
+    report("Adaptive power control (8 -> 14 -> 11 mm profile)", [
+        ("fraction in window", frac, "target ~1"),
+        ("min Vo (V)", v_min, "transient dip at the step"),
+        ("max Vo (V)", v_max, "<= 3.3"),
+        ("mean drive scale", mean_drive, "1.0 = calibrated"),
+        ("fixed-drive P @ 14 mm (mW)", p_fixed * 1e3,
+         "marginal without control"),
+    ])
+    # An abrupt 6 mm coupling step dips the rail while the loop reacts
+    # (Co discharges in ~2 ms); the loop must recover quickly and hold
+    # the window the rest of the time.
+    assert frac > 0.9
+    assert v_min > 1.6
+    recovered = [s for s in steps if s.time > 100e-3]
+    assert all(s.v_rect >= PAPER.v_rect_minimum for s in recovered)
+
+
+def test_bench_thermal_audit(once):
+    def run():
+        model = ImplantThermalModel.for_slab(38e-3, 2e-3, 0.544e-3)
+        rows = []
+        for p_mw in (1.0, 5.0, 15.0):
+            rows.append((p_mw, model.temperature_rise(p_mw * 1e-3)))
+        audit = implant_thermal_check(
+            p_received=5e-3, p_delivered_to_load=0.63e-3,
+            i_tx_amplitude=0.23, coil_radius=16e-3, coil_turns=4,
+            distance=10e-3, tissue=TISSUE_LIBRARY["muscle"])
+        return rows, audit
+
+    rows, audit = once(run)
+    report("Implant heating vs dissipated power",
+           rows, header=["P (mW)", "dT (degC)"])
+    report("Operating-point audit", [
+        ("temperature rise (degC)", audit.temp_rise, "limit: 1.0"),
+        ("tissue SAR (W/kg)", audit.sar, "limit: 2.0"),
+        ("verdict", "PASS" if audit.ok else "FAIL", ""),
+    ])
+    assert audit.ok
+    # Even the full 15 mW of the 6 mm point stays inside the limit.
+    assert rows[-1][1] < 1.0
+
+
+def test_bench_secure_telemetry_overhead(once):
+    """Cost of the security layer at the paper's link rates."""
+
+    def run():
+        tx, rx = paired_channels(bytes(range(16)))
+        payload = bytes(32)  # 16 ADC samples
+        wire = tx.seal(payload)
+        assert rx.open(wire) == payload
+        t_plain_up = len(payload) * 8 / PAPER.uplink_bit_rate
+        t_sec_up = len(wire) * 8 / PAPER.uplink_bit_rate
+        return len(payload), len(wire), t_plain_up, t_sec_up
+
+    n_plain, n_wire, t_plain, t_sec = once(run)
+    report("Secure telemetry overhead (32-byte payload)", [
+        ("plaintext bytes", n_plain, ""),
+        ("wire bytes (ctr+ct+tag)", n_wire, "+8 overhead"),
+        ("uplink airtime plain (ms)", t_plain * 1e3, "@66.6 kbps"),
+        ("uplink airtime secured (ms)", t_sec * 1e3, ""),
+        ("overhead", f"{(t_sec / t_plain - 1) * 100:.0f}%", ""),
+    ])
+    assert n_wire == n_plain + SecureChannel.OVERHEAD
+    assert (t_sec / t_plain - 1) < 0.5

@@ -1,0 +1,43 @@
+"""E2 / Fig. 11 — the power-management transient.
+
+Regenerates the paper's end-to-end simulation: Co charges to 2.75 V at
+~270 us from the 5 mW matched level; an 18-bit downlink at 100 kbps is
+detected at every phi1 edge; an uplink follows at 520 us by shorting the
+rectifier input; the rectifier output never drops below 2.1 V.
+"""
+
+import pytest
+
+from conftest import report
+from repro import PAPER, RemotePoweringSystem
+
+
+def run_fig11():
+    system = RemotePoweringSystem(distance=10e-3)
+    return system.fig11_transient()
+
+
+def test_bench_fig11_transient(once):
+    result = once(run_fig11)
+
+    report("Fig. 11: power-management transient", [
+        ("Co -> 2.75 V (us)", result.charge_time_to_2v75 * 1e6,
+         "paper: 270"),
+        ("downlink bits", f"{len(result.downlink_sent)} sent",
+         "all recovered" if result.downlink_ok else "ERRORS"),
+        ("uplink bits", f"{len(result.uplink_sent)} sent",
+         "all recovered" if result.uplink_ok else "ERRORS"),
+        ("min Vo during comms (V)", result.v_min_during_comms,
+         "paper: >= 2.1"),
+        ("final Vo (V)", float(result.v_out.v[-1]), ""),
+    ])
+    report("Fig. 11 event timeline (us)",
+           [(name, t * 1e6) for name, t in result.events])
+
+    assert result.charge_time_to_2v75 == pytest.approx(
+        PAPER.fig11_charge_time, rel=0.15)
+    assert result.downlink_ok
+    assert result.uplink_ok
+    assert result.rail_ok
+    # The rail stays comfortably inside the clamp ceiling too.
+    assert result.v_out.max() <= PAPER.rectifier_clamp_voltage * 1.05

@@ -1,0 +1,52 @@
+"""E1 / Fig. 4 — lactate calibration curves (cLODx vs wtLODx).
+
+Regenerates the paper's measured characteristic: delta-current density
+(uA/cm^2) versus log10(lactate / mM) for both enzymes on MWCNT-modified
+screen-printed electrodes.  Shape checks: cLODx above wtLODx everywhere,
+both monotone, end-point magnitudes within band of the figure.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.sensor import CLODX, WTLODX, ElectronicInterface
+
+
+def generate_fig4():
+    curves = {}
+    for enzyme in (CLODX, WTLODX):
+        ei = ElectronicInterface.for_enzyme(enzyme)
+        curves[enzyme.name] = ei.calibration_curve()
+    return curves
+
+
+def test_bench_fig4_lactate(once):
+    curves = once(generate_fig4)
+
+    c_curve = curves["cLODx"]
+    w_curve = curves["wtLODx"]
+    rows = []
+    for (log_c, cj), (_, wj) in zip(c_curve.rows(), w_curve.rows()):
+        rows.append((log_c, cj, wj))
+    report("Fig. 4: dJ (uA/cm^2) vs log10[lactate (mM)]",
+           rows, header=["log10 C", "cLODx", "wtLODx"])
+    report("Fig. 4 anchors (paper ~4.3 / ~2.0 at 1 mM)",
+           [("cLODx @ 1 mM", c_curve.delta_current_ua_cm2[-1]),
+            ("wtLODx @ 1 mM", w_curve.delta_current_ua_cm2[-1])])
+
+    # Shape: commercial enzyme wins everywhere (paper's key comparison).
+    for cj, wj in zip(c_curve.delta_current_ua_cm2,
+                      w_curve.delta_current_ua_cm2):
+        assert cj > wj
+    # Both monotone increasing in concentration.
+    for curve in (c_curve, w_curve):
+        dj = curve.delta_current_ua_cm2
+        assert all(a < b for a, b in zip(dj, dj[1:]))
+    # Magnitudes within ~20% of the figure's end points.
+    assert c_curve.delta_current_ua_cm2[-1] == pytest.approx(4.3, rel=0.2)
+    assert w_curve.delta_current_ua_cm2[-1] == pytest.approx(2.0, rel=0.2)
+    # cLODx/wtLODx sensitivity ratio ~2x (paper's visual factor).
+    ratio = (c_curve.sensitivity_per_decade()
+             / w_curve.sensitivity_per_decade())
+    assert 1.5 < ratio < 3.0

@@ -1,0 +1,43 @@
+"""Section I context bench — harvesting vs remote powering.
+
+The paper motivates remote powering by the inadequacy of batteries and
+the modesty of harvesting; this bench makes the comparison quantitative:
+time-averaged harvest of each surveyed source (ref [7]) against the
+5 mW the inductive link delivers at 10 mm, in terms of the sensor duty
+cycle each can sustain.
+"""
+
+import pytest
+
+from conftest import report
+from repro.harvest import HARVEST_LIBRARY, HybridSupply
+from repro.power import SENSOR_HIGH_POWER
+
+
+def test_bench_harvest_vs_link(once):
+    p_active = SENSOR_HIGH_POWER.power  # 1.3 mA * 1.8 V = 2.34 mW
+
+    def run():
+        rows = []
+        for name, source in sorted(HARVEST_LIBRARY.items()):
+            hybrid = HybridSupply(source, size_cm=1.0)
+            rows.append(hybrid.comparison_row(p_link=5e-3,
+                                              p_active=p_active))
+        return rows
+
+    rows = once(run)
+    report("Harvesting (1 cm transducer) vs the inductive link",
+           [(name, uw, f"{duty * 100:.2f}%", f"{link * 100:.0f}%")
+            for name, uw, duty, link in rows],
+           header=["source", "avg uW", "meas. duty", "link duty"])
+
+    # The paper's premise, quantified: every harvester sustains under
+    # 5% measurement duty; the link sustains 100%.
+    for name, uw, duty, link_duty in rows:
+        assert duty < 0.05
+        assert link_duty == 1.0
+    # But harvesting is not useless: a TEG buffers a measurement in
+    # minutes — the "assist the implanted batteries" role.
+    teg = HybridSupply(HARVEST_LIBRARY["thermoelectric"], 1.0)
+    assert teg.time_to_buffer_one_measurement() < 600.0
+    assert teg.measurements_per_day() > 100

@@ -1,0 +1,67 @@
+"""E9 (infrastructure) — circuit-engine accuracy and throughput.
+
+Not a paper figure: this bench pins the substrate the reproduction
+stands on.  Accuracy is checked against the analytic series-RLC step
+response; throughput (Newton-solved transient steps per second) is the
+pytest-benchmark timing target.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.spice import Circuit, transient
+
+
+def build_rlc():
+    # Underdamped series RLC: R=20, L=1mH, C=1uF.
+    ckt = Circuit("rlc_step")
+    ckt.add_vsource("V1", "in", "0", 1.0)
+    ckt.add_resistor("R1", "in", "a", 20.0)
+    ckt.add_inductor("L1", "a", "b", 1e-3)
+    ckt.add_capacitor("C1", "b", "0", 1e-6, ic=0.0)
+    return ckt
+
+
+def analytic_rlc_response(t, r=20.0, l=1e-3, c=1e-6):
+    """Capacitor voltage of the underdamped series RLC step."""
+    alpha = r / (2 * l)
+    w0 = 1.0 / np.sqrt(l * c)
+    wd = np.sqrt(w0**2 - alpha**2)
+    return 1.0 - np.exp(-alpha * t) * (np.cos(wd * t)
+                                       + alpha / wd * np.sin(wd * t))
+
+
+def test_bench_spice_accuracy_and_speed(benchmark):
+    n_steps = 4000
+    t_stop = 2e-3
+    dt = t_stop / n_steps
+
+    def run():
+        return transient(build_rlc(), t_stop=t_stop, dt=dt,
+                         method="trap", use_ic=True)
+
+    result = benchmark(run)
+    v = result.voltage("b")
+    expected = analytic_rlc_response(v.t)
+    err = float(np.max(np.abs(v.v - expected)))
+    rate = n_steps / benchmark.stats.stats.mean
+
+    report("SPICE kernel", [
+        ("max |error| vs analytic (V)", err, "trap, 4000 steps"),
+        ("steps/second", rate, ""),
+    ])
+    assert err < 5e-3
+    assert rate > 2000  # comfortably interactive for these circuits
+
+
+def test_bench_nonlinear_newton_speed(benchmark):
+    """Throughput with nonlinear devices (diode rectifier cell)."""
+    from repro.power import build_rectifier_circuit
+
+    def run():
+        return transient(build_rectifier_circuit(), t_stop=4e-6,
+                         dt=1 / (5e6 * 40), method="trap", use_ic=True)
+
+    result = benchmark(run)
+    assert result.voltage("vo").v[-1] >= 0.0

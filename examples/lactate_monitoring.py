@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Continuous lactate monitoring through a workout — the paper's
+motivating application (Section I: "the lactate concentration ... can be
+recorded to monitor the muscular effort in sportsmen or people under
+rehabilitation").
+
+A synthetic exercise session drives the subcutaneous lactate level
+through rest -> effort -> recovery; the implant is measured remotely
+every 30 s; the patch forwards each reading over bluetooth.  The script
+reports tracking accuracy and the patch energy spent.
+"""
+
+import math
+
+from repro import RemotePoweringSystem
+from repro.comms import LinkProtocol
+
+
+def lactate_profile(t_minutes):
+    """Blood/interstitial lactate (mM) over a 40-minute session.
+
+    Rest baseline ~0.9 mM; a 15-minute effort pushes toward ~7 mM
+    (anaerobic threshold territory); exponential recovery afterwards.
+    """
+    rest = 0.9
+    if t_minutes < 5.0:
+        return rest
+    if t_minutes < 20.0:
+        effort = (t_minutes - 5.0) / 15.0
+        return rest + 6.1 * effort**1.5
+    peak = rest + 6.1
+    return rest + (peak - rest) * math.exp(-(t_minutes - 20.0) / 8.0)
+
+
+def main():
+    print("Continuous lactate monitoring session (40 min, 30 s cadence)")
+    print("-" * 66)
+
+    system = RemotePoweringSystem(distance=10e-3)
+    protocol = LinkProtocol()  # 100 kbps down / 66.6 kbps up
+    bt = system.patch.radio
+
+    rows = []
+    bt_energy = 0.0
+    worst_err = 0.0
+    for k in range(0, 81):  # every 30 s
+        t_min = k * 0.5
+        true_mm = lactate_profile(t_min)
+        result = system.measure_lactate(true_mm, n_output_samples=2)
+        reported = result["concentration_reported"]
+        worst_err = max(worst_err, abs(reported - true_mm) / true_mm)
+        # Telemetry: command down, 2-byte code up.
+        _, _, log = protocol.exchange(b"\x01m", b"\x00\x00")
+        bt_energy += bt.energy_per_measurement(2 + 16)
+        if k % 10 == 0:
+            rows.append((t_min, true_mm, reported,
+                         log.total_time * 1e3))
+
+    print(f"{'t (min)':>8s} {'true (mM)':>10s} {'reported':>10s} "
+          f"{'link time (ms)':>15s}")
+    for t_min, true_mm, reported, link_ms in rows:
+        print(f"{t_min:8.1f} {true_mm:10.2f} {reported:10.2f} "
+              f"{link_ms:15.2f}")
+
+    print("-" * 66)
+    print(f"worst relative tracking error : {worst_err * 100:.2f} %")
+    print(f"bluetooth energy for session  : {bt_energy * 1e3:.1f} mJ")
+    life = system.patch.monitoring_session_life(duty_powering=0.10,
+                                                duty_connected=0.05)
+    print(f"patch life at this duty cycle : {life:.1f} h "
+          f"(10% powering, 5% connected)")
+
+
+if __name__ == "__main__":
+    main()

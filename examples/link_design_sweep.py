@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Inductive-link design exploration: coils, distance, misalignment,
+tissue, and the matching network.
+
+Answers the questions a designer adopting this system would ask first:
+how much power reaches the implant as the patch moves or tilts, how the
+receiving-coil geometry trades against it, and what CA/CB to fit.
+"""
+
+import numpy as np
+
+from repro.core import PAPER
+from repro.link import (
+    CircularSpiral,
+    InductiveLink,
+    RectangularSpiral,
+    TissueLayer,
+    design_l_match,
+)
+from repro.util import format_eng
+
+
+def header(title):
+    print()
+    print(title)
+    print("-" * len(title))
+
+
+def main():
+    tx = CircularSpiral.ironic_transmitter()
+    rx = RectangularSpiral.ironic_receiver()
+
+    header("Coil electrical parameters at 5 MHz")
+    for name, coil in (("TX (patch)", tx), ("RX (implant)", rx)):
+        s = coil.summary(PAPER.carrier_freq)
+        print(f"  {name:<13s} L={format_eng(s['inductance_h'], 'H'):>9s}"
+              f"  R={s['resistance_ohm']:5.2f} ohm  Q={s['q']:5.1f}"
+              f"  SRF={format_eng(s['self_resonance_hz'], 'Hz')}")
+
+    link = InductiveLink(tx, rx, PAPER.carrier_freq)
+    i_tx = link.calibrate_drive(PAPER.power_at_6mm, PAPER.rx_test_distance)
+
+    header("Received power vs distance (air)")
+    print(f"  {'d (mm)':>7s} {'k':>8s} {'M (nH)':>8s} {'P (mW)':>8s} "
+          f"{'eta_max (%)':>12s}")
+    for d in np.arange(2e-3, 22e-3, 2e-3):
+        pt = link.operating_point(i_tx, d)
+        print(f"  {d * 1e3:7.0f} {pt.coupling:8.4f} "
+              f"{pt.mutual_inductance * 1e9:8.1f} "
+              f"{pt.available_power * 1e3:8.2f} "
+              f"{link.max_efficiency(d) * 100:12.1f}")
+
+    header("Lateral misalignment at 10 mm depth")
+    for offset in (0.0, 4e-3, 8e-3, 12e-3, 16e-3):
+        p = link.available_power(i_tx, 10e-3, lateral_offset=offset)
+        print(f"  offset {offset * 1e3:4.0f} mm -> "
+              f"{p * 1e3:6.2f} mW")
+
+    header("Tissue vs air at 17 mm (the beef-sirloin experiment)")
+    for tissue in ("air", "skin", "fat", "muscle", "sirloin"):
+        layers = [] if tissue == "air" else [TissueLayer(tissue, 17e-3)]
+        tlink = InductiveLink(tx, rx, PAPER.carrier_freq, layers)
+        p = tlink.available_power(i_tx, 17e-3)
+        print(f"  {tissue:<8s}: {p * 1e3:5.2f} mW")
+
+    header("Receiving-coil geometry trade (same 38x2 mm footprint)")
+    print(f"  {'layers':>7s} {'turns':>6s} {'L (uH)':>7s} {'Q':>6s} "
+          f"{'P @10mm (mW)':>13s}")
+    for layers, turns in ((2, 4), (4, 8), (8, 14), (8, 20)):
+        coil = RectangularSpiral(38e-3, 2e-3, turns, n_layers=layers,
+                                 layer_pitch=0.544e-3 / max(layers, 1),
+                                 turn_pitch=220e-6)
+        vlink = InductiveLink(tx, coil, PAPER.carrier_freq)
+        i2 = vlink.calibrate_drive(PAPER.power_at_6mm,
+                                   PAPER.rx_test_distance)
+        p10 = vlink.available_power(i2, 10e-3)
+        print(f"  {layers:7d} {turns:6d} "
+              f"{coil.inductance() * 1e6:7.2f} "
+              f"{coil.quality_factor(PAPER.carrier_freq):6.1f} "
+              f"{p10 * 1e3:13.2f}")
+
+    header("Matching network (CA/CB) for the 150-ohm rectifier")
+    match = design_l_match(link.r_rx, link.omega * link.l_rx,
+                           PAPER.rectifier_input_resistance,
+                           PAPER.carrier_freq)
+    print(f"  CA (series)   = {format_eng(match.c_series, 'F')}")
+    print(f"  CB (parallel) = {format_eng(match.c_parallel, 'F')}")
+    print(f"  residual match error = {match.match_error():.2e}")
+    print(f"  loaded Q = {match.q_factor():.2f}")
+
+
+if __name__ == "__main__":
+    main()

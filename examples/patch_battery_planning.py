@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Patch battery planning: scenario lives, duty-cycling, and sizing.
+
+Reproduces the paper's Section III-B battery figures and extends them to
+the question a clinician would ask: "how long does the patch last if it
+powers the implant N minutes per hour and syncs to my phone M minutes
+per hour?" — plus battery sizing for a target wear time.
+"""
+
+import numpy as np
+
+from repro.patch import IronicPatch, LiIonBattery
+
+
+def main():
+    patch = IronicPatch()
+
+    print("Scenario battery life (paper Section III-B)")
+    print("-" * 52)
+    paper_values = {"idle": 10.0, "connected": 3.5, "powering": 1.5}
+    for name, hours in patch.battery_life_table().items():
+        print(f"  {name:<10s}: {hours:5.2f} h   (paper ~{paper_values[name]:.1f} h)"
+              f"   [{patch.scenario_current(name) * 1e3:5.1f} mA]")
+
+    print("\nDuty-cycled monitoring (per-hour duty fractions)")
+    print("-" * 52)
+    print(f"  {'powering':>9s} {'connected':>10s} {'life (h)':>9s}")
+    for duty_p, duty_c in ((0.05, 0.02), (0.10, 0.05), (0.25, 0.10),
+                           (0.50, 0.25), (1.00, 0.00)):
+        if duty_p + duty_c > 1.0:
+            continue
+        life = patch.monitoring_session_life(duty_p, duty_c)
+        print(f"  {duty_p * 100:8.0f}% {duty_c * 100:9.0f}% {life:9.2f}")
+
+    print("\nBattery sizing for a 24 h wear at 10%/5% duty")
+    print("-" * 52)
+    for cap_mah in (110, 250, 500, 1000):
+        battery = LiIonBattery(capacity_ah=cap_mah * 1e-3)
+        sized = IronicPatch(battery=battery)
+        life = sized.monitoring_session_life(0.10, 0.05)
+        flag = "<-- first fit" if life >= 24 else ""
+        print(f"  {cap_mah:5d} mAh ({battery.mass_grams():4.1f} g): "
+              f"{life:6.1f} h  {flag}")
+
+    print("\nDischarge trace: a 2 h session at 25%/10% duty")
+    print("-" * 52)
+    battery = LiIonBattery(capacity_ah=0.110)
+    session = IronicPatch(battery=battery)
+    i_avg = (0.25 * session.scenario_current("powering")
+             + 0.10 * session.scenario_current("connected")
+             + 0.65 * session.scenario_current("idle"))
+    for step in range(5):
+        v = battery.terminal_voltage(i_avg)
+        print(f"  t={step * 0.5:3.1f} h  SOC={battery.soc * 100:5.1f}%  "
+              f"V={v:4.2f} V")
+        if step < 4:
+            battery.discharge(i_avg, 0.5)
+
+
+if __name__ == "__main__":
+    main()

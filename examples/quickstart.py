@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: power an implanted lactate sensor through the skin.
+
+Builds the paper's full system — IronIC patch, 5 MHz inductive link,
+implanted power management + biosensor — places the implant 10 mm under
+the patch, and runs one complete remote measurement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PAPER, RemotePoweringSystem
+from repro.util import format_eng
+
+
+def main():
+    print("=" * 64)
+    print("Electronic Implants: Power Delivery and Management")
+    print("Olivo et al., DATE 2013 — reproduction quickstart")
+    print("=" * 64)
+
+    system = RemotePoweringSystem(distance=10e-3)
+
+    # --- power delivery ------------------------------------------------
+    print("\n[1] Power delivery through the body")
+    for d_mm in (6, 10, 17):
+        p = system.available_power(d_mm * 1e-3)
+        print(f"    {d_mm:>2d} mm separation -> "
+              f"{format_eng(p, 'W'):>10s} available to the implant")
+    print(f"    (paper anchors: 15 mW @ 6 mm, ~5 mW @ 10 mm, "
+          f"~1.17 mW @ 17 mm)")
+
+    # --- implant startup -----------------------------------------------
+    print("\n[2] Implant cold start at 10 mm")
+    t_ready = system.startup()
+    print(f"    storage capacitor charged, rail regulated at "
+          f"{PAPER.v_supply_sensor} V after {t_ready * 1e6:.0f} us")
+
+    # --- the measurement -----------------------------------------------
+    print("\n[3] Remote lactate measurement")
+    concentration_mm = 0.8  # mM, mid-range of the paper's Fig. 4
+    result = system.measure_lactate(concentration_mm)
+    print(f"    true concentration      : {concentration_mm:.3f} mM")
+    print(f"    ADC code ({PAPER.adc_bits}-bit)       : "
+          f"{result['adc_code']}")
+    print(f"    reported concentration  : "
+          f"{result['concentration_reported']:.3f} mM")
+
+    # --- bidirectional communication ------------------------------------
+    print("\n[4] Fig. 11 communication check")
+    fig11 = system.fig11_transient()
+    print(f"    Co reaches 2.75 V at    : "
+          f"{fig11.charge_time_to_2v75 * 1e6:.0f} us  (paper: 270 us)")
+    print(f"    18-bit downlink (ASK)   : "
+          f"{'recovered' if fig11.downlink_ok else 'FAILED'} @ 100 kbps")
+    print(f"    uplink (LSK)            : "
+          f"{'recovered' if fig11.uplink_ok else 'FAILED'}")
+    print(f"    rectifier output minimum: "
+          f"{fig11.v_min_during_comms:.2f} V  (rule: >= 2.1 V)")
+
+    # --- patch battery --------------------------------------------------
+    print("\n[5] Patch battery life")
+    for name, hours in system.patch.battery_life_table().items():
+        print(f"    {name:<10s}: {hours:.1f} h")
+    print("    (paper: ~10 h idle, ~3.5 h connected, ~1.5 h powering)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""A full duplex telemetry session at the waveform level.
+
+Shows the physical layer the paper describes doing real work: an ASK
+command frame rides the 5 MHz carrier down to the implant's switched
+demodulator, the implant answers by load-shift keying its rectifier
+input, and the patch's threshold detector recovers the frame — with CRC
+protection end to end, then a noisy-channel stress run.
+"""
+
+import numpy as np
+
+from repro.comms import (
+    AskDemodulator,
+    AskModulator,
+    Frame,
+    LinkProtocol,
+    LskDetector,
+    LskModulator,
+)
+
+
+def waveform_level_exchange():
+    print("[1] Waveform-level exchange")
+    # ---- downlink: command frame over ASK ------------------------------
+    command = Frame(b"\x01SET_VOX=650mV")
+    bits_down = command.encode()
+    mod = AskModulator(depth=0.42, bit_rate=100e3)
+    carrier = mod.waveform(bits_down, delay=20e-6, idle_time=20e-6,
+                           samples_per_cycle=12)
+    demod = AskDemodulator(bit_rate=100e3)
+    got_bits, _, thr = demod.demodulate(carrier, len(bits_down), 20e-6)
+    decoded = Frame.decode(got_bits)
+    print(f"    downlink frame : {len(bits_down)} bits over ASK "
+          f"({carrier.duration * 1e6:.0f} us of carrier)")
+    print(f"    demod threshold: {thr:.3f} (adaptive)")
+    print(f"    decoded payload: {decoded.payload!r}  "
+          f"[CRC {'ok' if decoded == command else 'FAIL'}]")
+
+    # ---- uplink: response frame over LSK --------------------------------
+    response = Frame(b"\x10VOX_OK\x02\x8a")
+    bits_up = response.encode()
+    lsk = LskModulator(bit_rate=66.6e3)
+    i_sense = lsk.supply_current_waveform(
+        bits_up, i_high=59e-3, i_low=52e-3, start_time=10e-6,
+        noise_rms=0.4e-3, rng=np.random.default_rng(11))
+    det = LskDetector(r_sense=1.0)
+    got_up, threshold = det.detect(i_sense, len(bits_up), 10e-6,
+                                   bit_rate=66.6e3)
+    decoded_up = Frame.decode(got_up)
+    print(f"    uplink frame   : {len(bits_up)} bits over LSK "
+          f"(threshold {threshold * 1e3:.1f} mA on R9)")
+    print(f"    decoded payload: {decoded_up.payload!r}  "
+          f"[CRC {'ok' if decoded_up == response else 'FAIL'}]")
+    print(f"    max uplink rate: {det.max_bit_rate(2) / 1e3:.1f} kbps "
+          f"(threshold-check limited; paper uses 66.6)")
+
+
+def protocol_level_session():
+    print("\n[2] Protocol-level measurement readout (clean channel)")
+    proto = LinkProtocol()
+    data, log = proto.measurement_session(n_samples=512,
+                                          bytes_per_sample=2)
+    print(f"    transferred {len(data)} bytes in "
+          f"{log.total_time * 1e3:.1f} ms "
+          f"({log.throughput(len(data)) / 1e3:.1f} kbit/s effective)")
+    print(f"    downlink airtime {log.downlink_time * 1e3:.2f} ms, "
+          f"uplink airtime {log.uplink_time * 1e3:.2f} ms")
+
+    print("\n[3] Noisy channel (BER 5e-4) with retry-on-CRC")
+    # At this BER a 255-byte frame is a coin toss; 32-byte chunks keep
+    # the per-frame success probability high at a small framing cost.
+    noisy = LinkProtocol(ber=5e-4, max_retries=8, seed=4)
+    data, log = noisy.measurement_session(n_samples=256,
+                                          bytes_per_sample=2,
+                                          chunk_bytes=32)
+    print(f"    transferred {len(data)} bytes with "
+          f"{log.crc_failures} CRC failures / {log.retries} retries")
+    print(f"    effective throughput "
+          f"{log.throughput(len(data)) / 1e3:.1f} kbit/s")
+
+
+if __name__ == "__main__":
+    waveform_level_exchange()
+    protocol_level_session()

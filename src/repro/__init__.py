@@ -1,0 +1,28 @@
+"""repro — reproduction of "Electronic Implants: Power Delivery and
+Management" (Olivo, Ghoreishizadeh, Carrara, De Micheli — DATE 2013).
+
+A simulation library for remotely-powered implantable biosensors:
+
+* :mod:`repro.spice`     — a compact MNA circuit simulator (substrate)
+* :mod:`repro.signals`   — waveforms and signal measurements
+* :mod:`repro.link`      — spiral coils, coupling, tissue, matching
+* :mod:`repro.amplifier` — class-E transmitter design and simulation
+* :mod:`repro.power`     — rectifier, LDO, storage, supervision, budget
+* :mod:`repro.comms`     — ASK downlink, LSK uplink, framing, protocol
+* :mod:`repro.adc`       — 14-bit second-order sigma-delta converter
+* :mod:`repro.sensor`    — enzyme electrode, potentiostat, bandgaps
+* :mod:`repro.patch`     — the external IronIC patch (battery, bluetooth)
+* :mod:`repro.core`      — the integrated system and paper constants
+
+Quickstart::
+
+    from repro.core import RemotePoweringSystem
+    system = RemotePoweringSystem(distance=10e-3)
+    print(system.measure_lactate(0.8))
+"""
+
+from repro.core import PAPER, RemotePoweringSystem, ImplantDevice
+
+__version__ = "1.0.0"
+
+__all__ = ["PAPER", "RemotePoweringSystem", "ImplantDevice", "__version__"]

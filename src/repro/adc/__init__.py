@@ -1,0 +1,27 @@
+"""The 14-bit second-order sigma-delta ADC (paper Section II-B).
+
+"To digitize 4 uA with the resolution of 250 pA, a 14-bit ADC is
+required.  The designed ADC is a second order sigma-delta" — this package
+provides a discrete-time behavioural model: the 2nd-order modulator, a
+sinc^3 decimation chain, spectral SNR/ENOB analysis, and the
+current-input wrapper with the paper's 4 uA / 250 pA specification.
+"""
+
+from repro.adc.sigma_delta import SigmaDeltaModulator
+from repro.adc.decimator import sinc_decimate, Decimator
+from repro.adc.analysis import sine_snr, enob_from_snr, sqnr_theoretical
+from repro.adc.quantizer import IdealQuantizer
+from repro.adc.converter import SensorADC
+from repro.adc.incremental import IncrementalADC
+
+__all__ = [
+    "SigmaDeltaModulator",
+    "sinc_decimate",
+    "Decimator",
+    "sine_snr",
+    "enob_from_snr",
+    "sqnr_theoretical",
+    "IdealQuantizer",
+    "SensorADC",
+    "IncrementalADC",
+]

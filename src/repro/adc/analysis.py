@@ -1,0 +1,68 @@
+"""Spectral analysis of ADC performance: SNR, SNDR, ENOB.
+
+Standard methodology: coherent full-scale-ratio sine input, Hann window,
+signal bins around the fundamental, noise integrated over the band of
+interest.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util import require_positive
+
+
+def coherent_bin(n_samples, cycles):
+    """A prime-ish cycle count coherent with the record length."""
+    if math.gcd(int(cycles), int(n_samples)) != 1:
+        raise ValueError(f"{cycles} cycles not coprime with {n_samples}")
+    return cycles / n_samples
+
+
+def sine_snr(samples, freq_norm, signal_bins=3, dc_bins=6):
+    """SNR (dB) of ``samples`` containing a sine at normalised frequency
+    ``freq_norm`` (cycles per sample).
+
+    ``signal_bins`` around the fundamental count as signal; the lowest
+    ``dc_bins`` are excluded (DC and filter droop).
+    """
+    samples = np.asarray(samples, dtype=float)
+    n = samples.size
+    if n < 64:
+        raise ValueError("need at least 64 samples for a spectrum")
+    window = np.hanning(n)
+    spectrum = np.abs(np.fft.rfft(samples * window)) ** 2
+    k_sig = int(round(freq_norm * n))
+    if k_sig <= dc_bins or k_sig >= spectrum.size - signal_bins:
+        raise ValueError("signal frequency outside the analysable band")
+    sig_lo = max(k_sig - signal_bins, 0)
+    sig_hi = min(k_sig + signal_bins + 1, spectrum.size)
+    p_signal = spectrum[sig_lo:sig_hi].sum()
+    noise = np.concatenate(
+        (spectrum[dc_bins:sig_lo], spectrum[sig_hi:]))
+    p_noise = noise.sum()
+    if p_noise <= 0:
+        return float("inf")
+    return 10.0 * math.log10(p_signal / p_noise)
+
+
+def enob_from_snr(snr_db):
+    """Effective number of bits: (SNR - 1.76) / 6.02."""
+    return (snr_db - 1.76) / 6.02
+
+
+def sqnr_theoretical(order, osr, amplitude=1.0):
+    """Ideal sigma-delta SQNR (dB) for a sine at ``amplitude`` of full
+    scale: 6.02*... the standard closed form
+
+    SQNR = 10*log10( (3/2) * A^2 * (2L+1) * OSR^(2L+1) / pi^(2L) ).
+    """
+    require_positive(osr, "osr")
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    l2 = 2 * order
+    value = (1.5 * amplitude**2 * (l2 + 1) * osr ** (l2 + 1)
+             / math.pi ** l2)
+    return 10.0 * math.log10(value)

@@ -1,0 +1,75 @@
+"""Decimation filtering for the sigma-delta bitstream.
+
+A sinc^3 (CIC) filter is the standard companion of a 2nd-order modulator:
+its >=3rd-order zeros at multiples of the output rate suppress the
+shaped quantization noise before downsampling by the OSR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import require_positive
+
+
+def _sinc_kernel(osr, order):
+    """Impulse response of a cascaded boxcar (sinc^order) filter."""
+    kernel = np.ones(osr)
+    for _ in range(order - 1):
+        kernel = np.convolve(kernel, np.ones(osr))
+    return kernel / kernel.sum()
+
+
+def sinc_decimate(bits, osr, order=3):
+    """Filter a +/-1 bitstream with sinc^order and downsample by ``osr``.
+
+    Returns output samples in [-1, 1].  The first (order-1) outputs are
+    startup transients of the filter and are dropped.
+    """
+    osr = int(osr)
+    if osr < 2:
+        raise ValueError("osr must be >= 2")
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    bits = np.asarray(bits, dtype=float)
+    kernel = _sinc_kernel(osr, order)
+    filtered = np.convolve(bits, kernel, mode="valid")
+    out = filtered[::osr]
+    return out[order - 1:] if out.size > order - 1 else out
+
+
+class Decimator:
+    """OSR-configured sinc^3 decimator with code mapping.
+
+    Maps the filtered [-1, 1] output onto unsigned codes of ``n_bits``
+    (mid-tread).  This is the digital back half of the paper's ADC.
+    """
+
+    def __init__(self, osr=256, order=3, n_bits=14):
+        self.osr = int(require_positive(osr, "osr"))
+        self.order = int(require_positive(order, "order"))
+        self.n_bits = int(require_positive(n_bits, "n_bits"))
+        if self.n_bits > 24:
+            raise ValueError("n_bits > 24 is not supported")
+
+    @property
+    def full_scale(self):
+        return (1 << self.n_bits) - 1
+
+    def process(self, bits):
+        """Bitstream -> normalised samples in [-1, 1]."""
+        return sinc_decimate(bits, self.osr, self.order)
+
+    def to_codes(self, samples):
+        """[-1, 1] samples -> unsigned integer codes."""
+        samples = np.asarray(samples, dtype=float)
+        scaled = np.round((samples + 1.0) / 2.0 * self.full_scale)
+        return np.clip(scaled, 0, self.full_scale).astype(int)
+
+    def convert(self, bits):
+        """Bitstream -> codes (process + map)."""
+        return self.to_codes(self.process(bits))
+
+    def latency_samples(self):
+        """Group delay in modulator samples (order * osr / 2)."""
+        return self.order * self.osr // 2

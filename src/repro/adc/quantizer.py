@@ -1,0 +1,64 @@
+"""Ideal N-bit quantizer and static-linearity metrics (INL/DNL).
+
+Used as the reference the sigma-delta converter is compared against and
+as the building block for the patch microcontroller's LSK sense ADC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import require_positive
+
+
+class IdealQuantizer:
+    """Uniform mid-tread quantizer over [v_min, v_max]."""
+
+    def __init__(self, n_bits, v_min=0.0, v_max=1.8):
+        self.n_bits = int(require_positive(n_bits, "n_bits"))
+        if v_max <= v_min:
+            raise ValueError("need v_max > v_min")
+        self.v_min = float(v_min)
+        self.v_max = float(v_max)
+
+    @property
+    def n_codes(self):
+        return 1 << self.n_bits
+
+    @property
+    def lsb(self):
+        return (self.v_max - self.v_min) / (self.n_codes - 1)
+
+    def quantize(self, voltage):
+        """Voltage(s) -> integer code(s), clipped to the range."""
+        v = np.asarray(voltage, dtype=float)
+        codes = np.round((v - self.v_min) / self.lsb)
+        out = np.clip(codes, 0, self.n_codes - 1).astype(int)
+        return int(out) if np.isscalar(voltage) else out
+
+    def reconstruct(self, code):
+        """Code(s) -> mid-tread voltage(s)."""
+        c = np.asarray(code)
+        v = self.v_min + c * self.lsb
+        return float(v) if np.isscalar(code) else v
+
+    def quantization_noise_rms(self):
+        """Ideal quantization noise: LSB/sqrt(12)."""
+        return self.lsb / np.sqrt(12.0)
+
+
+def dnl_inl(transition_voltages, lsb):
+    """DNL and INL (in LSB) from measured code-transition voltages.
+
+    ``transition_voltages[k]`` is the input at which the output switches
+    from code k to k+1.  Ideal spacing is one LSB.
+    """
+    tv = np.asarray(transition_voltages, dtype=float)
+    if tv.size < 2:
+        raise ValueError("need at least two transitions")
+    if lsb <= 0:
+        raise ValueError("lsb must be positive")
+    widths = np.diff(tv)
+    dnl = widths / lsb - 1.0
+    inl = np.cumsum(np.concatenate(([0.0], dnl)))
+    return dnl, inl

@@ -1,0 +1,24 @@
+"""Class-E power-amplifier design and simulation (the patch transmitter).
+
+The IronIC patch drives its transmitting inductor with a class-E
+amplifier at 5 MHz / 50% duty (paper Section III-A): by tuning C3 and C4
+the switch voltage and current are never simultaneously non-zero, for a
+theoretical efficiency of 100% (refs [25-27]).  This package provides the
+idealized Raab/Sokal design equations, a SPICE-netlist builder for the
+amplifier, and measurement helpers (efficiency, zero-voltage-switching
+quality, drain stress).
+"""
+
+from repro.amplifier.classe import ClassEDesign
+from repro.amplifier.simulate import (
+    build_class_e_circuit,
+    simulate_class_e,
+    ClassEMeasurement,
+)
+
+__all__ = [
+    "ClassEDesign",
+    "build_class_e_circuit",
+    "simulate_class_e",
+    "ClassEMeasurement",
+]

@@ -1,0 +1,126 @@
+"""Idealized class-E design equations (Raab 1977, Sokal 2001).
+
+For supply ``vdd``, output power ``p_out``, switching frequency ``freq``
+and loaded tank Q, the classical 50%-duty design is:
+
+* optimal load resistance      R = 0.5768 * vdd^2 / p_out
+* shunt (switch) capacitance   C_shunt = 0.1836 / (omega * R)
+* excess series reactance      X = 1.1525 * R  (detunes the tank slightly
+  inductive so the switch voltage returns to zero with zero slope)
+* series tank                  L = Q*R/omega, C such that the tank minus
+  the excess reactance resonates at omega
+* stresses: V_sw,peak = 3.562*vdd, I_sw,peak = 2.862*I_dc
+
+These are the equations the paper's design cites; the transient
+simulation in :mod:`repro.amplifier.simulate` validates them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util import require_positive
+
+#: Raab's dimensionless constants for 50% duty cycle.
+K_RESISTANCE = 8.0 / (math.pi**2 + 4.0)              # 0.5768
+K_SHUNT_C = 1.0 / ((math.pi**2 / 4.0 + 1.0) * (math.pi / 2.0))  # 0.1836
+K_EXCESS_X = 1.1525
+K_PEAK_VOLTAGE = 3.562
+K_PEAK_CURRENT = 2.862
+
+
+@dataclass(frozen=True)
+class ClassEDesign:
+    """A solved class-E design.  Build with :meth:`for_output_power`."""
+
+    vdd: float
+    p_out: float
+    freq: float
+    q_loaded: float
+    r_load: float
+    c_shunt: float       # C3 in the paper's Fig. 6
+    c_series: float      # C4 in the paper's Fig. 6
+    l_series: float      # includes the transmitting coil L2
+    l_choke: float
+
+    @classmethod
+    def for_output_power(cls, vdd, p_out, freq, q_loaded=7.0,
+                         choke_ratio=20.0):
+        """Design the amplifier for ``p_out`` into its optimal load.
+
+        ``q_loaded`` is the loaded Q of the series tank (>= ~3 for the
+        idealized equations to hold); ``choke_ratio`` sizes the supply
+        choke as a multiple of the series inductance.
+        """
+        require_positive(vdd, "vdd")
+        require_positive(p_out, "p_out")
+        require_positive(freq, "freq")
+        if q_loaded < 2.0:
+            raise ValueError(f"q_loaded must be >= 2, got {q_loaded}")
+        omega = 2.0 * math.pi * freq
+        r = K_RESISTANCE * vdd * vdd / p_out
+        c_shunt = K_SHUNT_C / (omega * r)
+        l_series = q_loaded * r / omega
+        # The tank (L_series, C_series) leaves +K_EXCESS_X*R un-resonated.
+        x_c = omega * l_series - K_EXCESS_X * r
+        if x_c <= 0:
+            raise ValueError(
+                "loaded Q too low to absorb the class-E excess reactance")
+        c_series = 1.0 / (omega * x_c)
+        return cls(
+            vdd=vdd, p_out=p_out, freq=freq, q_loaded=q_loaded,
+            r_load=r, c_shunt=c_shunt, c_series=c_series,
+            l_series=l_series, l_choke=choke_ratio * l_series,
+        )
+
+    # -- derived quantities --------------------------------------------
+    @property
+    def omega(self):
+        return 2.0 * math.pi * self.freq
+
+    @property
+    def i_dc(self):
+        """Supply current drawn at the design point."""
+        return self.p_out / self.vdd
+
+    @property
+    def peak_switch_voltage(self):
+        """~3.56*vdd — sets the switch voltage rating."""
+        return K_PEAK_VOLTAGE * self.vdd
+
+    @property
+    def peak_switch_current(self):
+        """~2.86*I_dc — sets the switch current rating."""
+        return K_PEAK_CURRENT * self.i_dc
+
+    @property
+    def output_current_amplitude(self):
+        """Fundamental current amplitude in the series tank / coil:
+        I = sqrt(2*P/R)."""
+        return math.sqrt(2.0 * self.p_out / self.r_load)
+
+    def detuned(self, shunt_error=0.0, series_error=0.0):
+        """A copy with mis-tuned capacitors (for ZVS-sensitivity
+        ablations): errors are fractional, e.g. +0.2 = 20% high."""
+        return ClassEDesign(
+            vdd=self.vdd, p_out=self.p_out, freq=self.freq,
+            q_loaded=self.q_loaded, r_load=self.r_load,
+            c_shunt=self.c_shunt * (1.0 + shunt_error),
+            c_series=self.c_series * (1.0 + series_error),
+            l_series=self.l_series, l_choke=self.l_choke,
+        )
+
+    def summary(self):
+        """Human-readable component list."""
+        from repro.util import format_eng
+
+        return {
+            "R_load": format_eng(self.r_load, "ohm"),
+            "C_shunt (C3)": format_eng(self.c_shunt, "F"),
+            "C_series (C4)": format_eng(self.c_series, "F"),
+            "L_series (L2 tank)": format_eng(self.l_series, "H"),
+            "L_choke (L1)": format_eng(self.l_choke, "H"),
+            "I_dc": format_eng(self.i_dc, "A"),
+            "V_switch_peak": format_eng(self.peak_switch_voltage, "V"),
+        }

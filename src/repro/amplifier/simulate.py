@@ -1,0 +1,121 @@
+"""Transient simulation of the class-E stage on the `repro.spice` engine.
+
+Builds the paper's Fig. 6 output stage as a netlist — supply choke,
+switching transistor M2 (an ideal switch driven by the 5 MHz / 50% square
+wave), shunt capacitor C3, series capacitor C4, and the transmitting coil
+with its series resistance plus the link's reflected resistance — then
+measures efficiency, ZVS quality and device stress from the waveforms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.signals import crossing_times
+from repro.spice import Circuit, square, transient
+from repro.util import require_positive
+
+
+def build_class_e_circuit(design, r_sense=0.0, extra_load=0.0,
+                          drive_level=1.0):
+    """Netlist of the class-E output stage.
+
+    Nodes: ``vdd`` - supply, ``drain`` - switch node, ``out`` - load.
+    ``r_sense`` inserts the paper's R9 supply-current sense resistor.
+    ``extra_load`` adds series resistance (e.g. reflected link impedance).
+    ``drive_level`` scales the supply for ASK amplitude modulation.
+    """
+    ckt = Circuit("class_e")
+    v_supply = design.vdd * float(drive_level)
+    if r_sense > 0.0:
+        ckt.add_vsource("VDD", "vbat", "0", v_supply)
+        ckt.add_resistor("R9", "vbat", "vdd", r_sense)
+    else:
+        ckt.add_vsource("VDD", "vdd", "0", v_supply)
+    ckt.add_inductor("L1", "vdd", "drain", design.l_choke)
+    # Gate drive: 5 MHz, 50% duty square (paper Section III-A).
+    ckt.add_vsource("VG", "gate", "0", square(0.0, 5.0, design.freq, duty=0.5))
+    ckt.add_switch("M2", "drain", "0", "gate", "0",
+                   v_threshold=2.5, r_on=0.2, r_off=1e7)
+    ckt.add_capacitor("C3", "drain", "0", design.c_shunt)
+    ckt.add_capacitor("C4", "drain", "tank", design.c_series)
+    ckt.add_inductor("L2", "tank", "out", design.l_series)
+    ckt.add_resistor("RL", "out", "0", design.r_load + float(extra_load))
+    return ckt
+
+
+@dataclass(frozen=True)
+class ClassEMeasurement:
+    """Waveform-derived figures of a simulated class-E run."""
+
+    p_dc: float
+    p_out: float
+    efficiency: float
+    v_switch_on: float        # drain voltage at the switch-on instant
+    zvs_quality: float        # 1 - |v_on| / vdd_peak_ref (1 = ideal ZVS)
+    peak_drain_voltage: float
+    i_dc: float
+    i_out_amplitude: float
+
+
+def simulate_class_e(design, cycles=40, points_per_cycle=80,
+                     settle_cycles=None, r_sense=0.0, extra_load=0.0,
+                     drive_level=1.0):
+    """Simulate and measure the class-E stage.
+
+    The first ``settle_cycles`` (default: half the run) are discarded
+    before averaging.  Returns (measurement, transient_result).
+    """
+    require_positive(cycles, "cycles")
+    if settle_cycles is None:
+        settle_cycles = cycles // 2
+    if settle_cycles >= cycles:
+        raise ValueError("settle_cycles must be < cycles")
+    ckt = build_class_e_circuit(design, r_sense=r_sense,
+                                extra_load=extra_load,
+                                drive_level=drive_level)
+    period = 1.0 / design.freq
+    res = transient(
+        ckt,
+        t_stop=cycles * period,
+        dt=period / points_per_cycle,
+        method="trap",
+        use_ic=True,
+    )
+    t_lo = settle_cycles * period
+    t_hi = cycles * period
+    v_drain = res.voltage("drain").clip_time(t_lo, t_hi)
+    v_out = res.voltage("out").clip_time(t_lo, t_hi)
+    i_supply = res.branch_current("L1").clip_time(t_lo, t_hi)
+    v_gate = res.voltage("gate")
+
+    r_total = design.r_load + float(extra_load)
+    p_out = v_out.rms() ** 2 / r_total
+    i_dc = -i_supply.mean() if i_supply.mean() < 0 else i_supply.mean()
+    p_dc = design.vdd * drive_level * abs(i_dc)
+
+    # ZVS quality: drain voltage sampled at the gate's rising edges.
+    switch_on_times = crossing_times(v_gate, 2.5, "rising")
+    switch_on_times = switch_on_times[
+        (switch_on_times > t_lo) & (switch_on_times < t_hi)]
+    if switch_on_times.size:
+        v_on = float(np.mean(np.abs(v_drain.value_at(switch_on_times))))
+    else:
+        v_on = float("nan")
+    peak_ref = design.peak_switch_voltage * drive_level
+    zvs = max(0.0, 1.0 - v_on / peak_ref) if peak_ref > 0 else 0.0
+
+    meas = ClassEMeasurement(
+        p_dc=p_dc,
+        p_out=p_out,
+        efficiency=p_out / p_dc if p_dc > 0 else 0.0,
+        v_switch_on=v_on,
+        zvs_quality=zvs,
+        peak_drain_voltage=v_drain.max(),
+        i_dc=abs(i_dc),
+        i_out_amplitude=v_out.peak_to_peak() / (2.0 * r_total),
+    )
+    return meas, res

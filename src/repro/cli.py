@@ -1,0 +1,181 @@
+"""Command-line interface: regenerate the paper's experiments from a
+terminal.
+
+    python -m repro.cli list
+    python -m repro.cli fig4
+    python -m repro.cli fig11
+    python -m repro.cli power --distances 6 10 17
+    python -m repro.cli battery
+    python -m repro.cli classe
+    python -m repro.cli anchors
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _print_table(title, rows, header=None):
+    print(f"\n== {title} ==")
+    if header:
+        print("  " + " | ".join(f"{h:>16s}" for h in header))
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(f"{cell:>16.5g}")
+            else:
+                cells.append(f"{str(cell):>16s}")
+        print("  " + " | ".join(cells))
+
+
+def cmd_fig4(_args):
+    from repro.sensor import CLODX, WTLODX, ElectronicInterface
+
+    curves = {e.name: ElectronicInterface.for_enzyme(e).calibration_curve()
+              for e in (CLODX, WTLODX)}
+    rows = [(lc, cj, wj) for (lc, cj), (_, wj)
+            in zip(curves["cLODx"].rows(), curves["wtLODx"].rows())]
+    _print_table("Fig. 4: dJ (uA/cm^2) vs log10[lactate (mM)]", rows,
+                 ["log10 C", "cLODx", "wtLODx"])
+    return 0
+
+
+def cmd_fig11(_args):
+    from repro import RemotePoweringSystem
+
+    result = RemotePoweringSystem(distance=10e-3).fig11_transient()
+    _print_table("Fig. 11 transient", [
+        ("charge to 2.75 V (us)", result.charge_time_to_2v75 * 1e6),
+        ("downlink", "OK" if result.downlink_ok else "ERRORS"),
+        ("uplink", "OK" if result.uplink_ok else "ERRORS"),
+        ("min Vo during comms (V)", result.v_min_during_comms),
+        ("rail >= 2.1 V", "PASS" if result.rail_ok else "FAIL"),
+    ])
+    return 0 if (result.downlink_ok and result.uplink_ok
+                 and result.rail_ok) else 1
+
+
+def cmd_power(args):
+    from repro import RemotePoweringSystem
+    from repro.link import TissueLayer
+
+    system = RemotePoweringSystem(distance=10e-3)
+    rows = []
+    for d_mm in args.distances:
+        rows.append((d_mm, system.available_power(d_mm * 1e-3) * 1e3))
+    _print_table("Received power vs distance (air)", rows,
+                 ["d (mm)", "P (mW)"])
+    if args.tissue:
+        meat = RemotePoweringSystem(
+            distance=17e-3,
+            tissue_layers=[TissueLayer(args.tissue, 17e-3)])
+        _print_table(f"Through 17 mm of {args.tissue}",
+                     [("P (mW)", meat.available_power() * 1e3)])
+    return 0
+
+
+def cmd_battery(_args):
+    from repro.patch import IronicPatch
+
+    patch = IronicPatch()
+    rows = [(name, patch.scenario_current(name) * 1e3, hours)
+            for name, hours in patch.battery_life_table().items()]
+    _print_table("Patch battery life", rows,
+                 ["scenario", "I (mA)", "hours"])
+    return 0
+
+
+def cmd_classe(_args):
+    from repro.amplifier import ClassEDesign, simulate_class_e
+
+    design = ClassEDesign.for_output_power(3.7, 0.1, 5e6, q_loaded=5.0)
+    _print_table("Class-E design", list(design.summary().items()))
+    meas, _ = simulate_class_e(design, cycles=40, points_per_cycle=100)
+    _print_table("Simulated", [
+        ("efficiency", meas.efficiency),
+        ("ZVS quality", meas.zvs_quality),
+        ("P_out (mW)", meas.p_out * 1e3),
+        ("peak drain (V)", meas.peak_drain_voltage),
+    ])
+    return 0
+
+
+def cmd_anchors(_args):
+    from repro import PAPER
+
+    rows = [(name, str(value), unit, where)
+            for name, value, unit, where in PAPER.anchors()]
+    _print_table("Paper anchors", rows,
+                 ["claim", "value", "unit", "section"])
+    return 0
+
+
+def cmd_measure(args):
+    from repro import RemotePoweringSystem
+
+    system = RemotePoweringSystem(distance=args.distance * 1e-3)
+    result = system.measure_lactate(args.concentration)
+    _print_table("Remote lactate measurement",
+                 list(result.items()))
+    return 0
+
+
+def cmd_list(_args):
+    print("Available experiments:")
+    for name, func in sorted(_COMMANDS.items()):
+        doc = (func.__doc__ or "").strip()
+        print(f"  {name:<10s} {doc}")
+    return 0
+
+
+_COMMANDS = {
+    "fig4": cmd_fig4,
+    "fig11": cmd_fig11,
+    "power": cmd_power,
+    "battery": cmd_battery,
+    "classe": cmd_classe,
+    "anchors": cmd_anchors,
+    "measure": cmd_measure,
+    "list": cmd_list,
+}
+
+cmd_fig4.__doc__ = "lactate calibration curves (E1)"
+cmd_fig11.__doc__ = "power-management transient (E2)"
+cmd_power.__doc__ = "power vs distance / tissue (E3, E5)"
+cmd_battery.__doc__ = "patch battery life (E4)"
+cmd_classe.__doc__ = "class-E design + simulation (E7)"
+cmd_anchors.__doc__ = "every quantitative claim of the paper"
+cmd_measure.__doc__ = "run one remote measurement"
+cmd_list.__doc__ = "this list"
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in _COMMANDS:
+        p = sub.add_parser(name, help=_COMMANDS[name].__doc__)
+        if name == "power":
+            p.add_argument("--distances", type=float, nargs="+",
+                           default=[6.0, 10.0, 17.0],
+                           help="coil separations in mm")
+            p.add_argument("--tissue", default=None,
+                           help="tissue type for a 17 mm slab")
+        if name == "measure":
+            p.add_argument("--distance", type=float, default=10.0,
+                           help="coil separation in mm")
+            p.add_argument("--concentration", type=float, default=0.8,
+                           help="lactate concentration in mM")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Bidirectional data communication over the inductive link.
+
+Downlink (patch -> implant): the class-E carrier is amplitude-modulated
+(ASK) at 100 kbps, with the modulation depth set by the R7/R8 divider; the
+implant's two-phase switched demodulator (paper Fig. 9/10) recovers bits.
+
+Uplink (implant -> patch): load-shift keying (LSK) at 66.6 kbps — the
+implant shorts its rectifier input (Fig. 8's M1) and the patch detects the
+resulting supply-current change across R9.  The uplink rate is lower than
+the downlink's because the patch microcontroller needs computation time
+for the real-time threshold check (paper Section III-A).
+"""
+
+from repro.comms.bits import Bitstream, prbs
+from repro.comms.crc import crc8, crc16_ccitt
+from repro.comms.framing import Frame, FrameError, PREAMBLE
+from repro.comms.clock import TwoPhaseClock
+from repro.comms.ask import AskModulator, AskDemodulator, ask_ber_theory
+from repro.comms.lsk import LskModulator, LskDetector
+from repro.comms.protocol import LinkProtocol, SessionLog
+from repro.comms.security import XteaCipher, SecureChannel, paired_channels
+
+__all__ = [
+    "Bitstream",
+    "prbs",
+    "crc8",
+    "crc16_ccitt",
+    "Frame",
+    "FrameError",
+    "PREAMBLE",
+    "TwoPhaseClock",
+    "AskModulator",
+    "AskDemodulator",
+    "ask_ber_theory",
+    "LskModulator",
+    "LskDetector",
+    "LinkProtocol",
+    "SessionLog",
+    "XteaCipher",
+    "SecureChannel",
+    "paired_channels",
+]

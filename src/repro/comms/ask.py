@@ -1,0 +1,163 @@
+"""ASK downlink: modulator (patch side) and demodulator (implant side).
+
+Modulation depth is set by the R7/R8 divider in the patch (paper Fig. 6):
+transmitting a logic 0 reduces the carrier drive.  The paper's measured
+power levels — 5 mW unmodulated, ~3 mW during a logic 1, ~1 mW during a
+logic 0 — correspond to amplitude factors of sqrt(3/5) and sqrt(1/5).
+
+The demodulator mirrors Fig. 9/10: a switched peak detector clocked by a
+two-phase non-overlapping clock; the held peak is read as a logic level
+at every phi1 edge.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.comms.bits import Bitstream
+from repro.comms.clock import TwoPhaseClock
+from repro.signals import Waveform, envelope_peaks
+from repro.util import require_in_range, require_positive
+
+
+class AskModulator:
+    """Patch-side amplitude modulator.
+
+    ``depth`` is the relative amplitude reduction for a logic 0
+    (0 = no modulation, 1 = full on-off keying).  ``high_scale`` optionally
+    derates the logic-1 amplitude relative to idle (the paper's 3 mW vs
+    5 mW idle implies high_scale = sqrt(3/5)).
+    """
+
+    def __init__(self, carrier_freq=5e6, bit_rate=100e3, depth=0.42,
+                 amplitude=1.0, high_scale=None):
+        self.carrier_freq = require_positive(carrier_freq, "carrier_freq")
+        self.bit_rate = require_positive(bit_rate, "bit_rate")
+        self.depth = require_in_range(depth, 0.0, 1.0, "depth")
+        self.amplitude = require_positive(amplitude, "amplitude")
+        self.high_scale = (math.sqrt(3.0 / 5.0) if high_scale is None
+                           else float(high_scale))
+
+    @classmethod
+    def from_divider(cls, r7, r8, **kwargs):
+        """Depth from the paper's R7/R8 divider: transmitting a 0 drops
+        the drive to R8/(R7+R8) of the full level."""
+        require_positive(r7, "r7")
+        require_positive(r8, "r8")
+        depth = r7 / (r7 + r8)
+        return cls(depth=depth, **kwargs)
+
+    @property
+    def bit_period(self):
+        return 1.0 / self.bit_rate
+
+    def amplitude_for_bit(self, bit):
+        """Carrier amplitude while transmitting ``bit``."""
+        base = self.amplitude * self.high_scale
+        return base if bit else base * (1.0 - self.depth)
+
+    def power_ratio(self):
+        """(P_low / P_high) between the two bit levels."""
+        return (1.0 - self.depth) ** 2
+
+    def envelope(self, bits, delay=0.0, idle_time=0.0):
+        """Amplitude-envelope waveform for a bit sequence (idle carrier
+        before ``delay`` and for ``idle_time`` after the last bit)."""
+        bits = Bitstream(bits)
+        t_bit = self.bit_period
+        eps = t_bit * 1e-6
+        times, values = [0.0], [self.amplitude]
+
+        def emit(t, v):
+            if t > times[-1]:
+                times.append(t)
+                values.append(v)
+
+        for i, bit in enumerate(bits):
+            t0 = delay + i * t_bit
+            level = self.amplitude_for_bit(bit)
+            emit(t0 + eps, level)
+            emit(t0 + t_bit, level)
+        t_end = delay + len(bits) * t_bit
+        emit(t_end + eps, self.amplitude)
+        emit(t_end + max(idle_time, 2 * eps), self.amplitude)
+        return Waveform(times, values)
+
+    def waveform(self, bits, delay=0.0, idle_time=0.0,
+                 samples_per_cycle=16, noise_rms=0.0, rng=None):
+        """Full carrier waveform (for the demodulator and spice tests)."""
+        bits = Bitstream(bits)
+        env = self.envelope(bits, delay, idle_time)
+        t_stop = env.t_stop
+        n = int(t_stop * self.carrier_freq * samples_per_cycle)
+        t = np.linspace(0.0, t_stop, n)
+        carrier = np.sin(2.0 * np.pi * self.carrier_freq * t)
+        v = env.value_at(t) * carrier
+        if noise_rms > 0.0:
+            rng = rng or np.random.default_rng(0)
+            v = v + rng.normal(0.0, noise_rms, size=v.shape)
+        return Waveform(t, v)
+
+
+class AskDemodulator:
+    """Implant-side switched peak detector (paper Fig. 9/10).
+
+    The carrier is peak-detected cycle by cycle (the M10/C2 track stage);
+    the two-phase clock defines when the held value is read; a threshold
+    between the two expected levels slices bits.
+    """
+
+    def __init__(self, carrier_freq=5e6, bit_rate=100e3, threshold=None,
+                 clock=None):
+        self.carrier_freq = require_positive(carrier_freq, "carrier_freq")
+        self.bit_rate = require_positive(bit_rate, "bit_rate")
+        self.threshold = threshold  # None -> adaptive (midpoint)
+        self.clock = clock or TwoPhaseClock(bit_rate)
+
+    def detect_envelope(self, waveform):
+        """Cycle-peak envelope (the C2 held voltage over time)."""
+        return envelope_peaks(waveform, self.carrier_freq)
+
+    def _resolve_threshold(self, envelope, t_data_start, t_data_stop):
+        if self.threshold is not None:
+            return self.threshold
+        window = envelope.clip_time(t_data_start, t_data_stop)
+        return 0.5 * (window.min() + window.max())
+
+    def demodulate(self, waveform, n_bits, data_start):
+        """Recover ``n_bits`` transmitted from ``data_start`` onward.
+
+        Returns (bits, sample_times, threshold).  Bits are decided at the
+        centre of each bit period — the settled phi1 read instant.
+        """
+        require_positive(n_bits, "n_bits")
+        env = self.detect_envelope(waveform)
+        t_bit = 1.0 / self.bit_rate
+        t_stop = data_start + n_bits * t_bit
+        threshold = self._resolve_threshold(env, data_start, t_stop)
+        sample_times = np.array(
+            [data_start + (i + 0.5) * t_bit for i in range(int(n_bits))])
+        levels = env.value_at(sample_times)
+        bits = Bitstream([1 if lv > threshold else 0 for lv in levels])
+        return bits, sample_times, threshold
+
+    def bit_error_rate(self, sent_bits, waveform, data_start):
+        """BER of a demodulation run against the known bit pattern."""
+        sent = Bitstream(sent_bits)
+        got, _, _ = self.demodulate(waveform, len(sent), data_start)
+        return sent.hamming_distance(got) / len(sent)
+
+
+def ask_ber_theory(depth, snr_amplitude):
+    """Theoretical ASK BER with a mid-level threshold.
+
+    ``snr_amplitude`` = carrier amplitude / noise RMS at the detector.
+    The level separation is ``depth * amplitude``; with Gaussian noise the
+    error probability is Q(separation / (2 * sigma)).
+    """
+    require_in_range(depth, 0.0, 1.0, "depth")
+    require_positive(snr_amplitude, "snr_amplitude")
+    argument = depth * snr_amplitude / 2.0
+    return 0.5 * math.erfc(argument / math.sqrt(2.0))

@@ -1,0 +1,117 @@
+"""Bitstream container and pseudo-random bit generation."""
+
+from __future__ import annotations
+
+
+class Bitstream:
+    """An immutable sequence of 0/1 bits with byte conversions.
+
+    >>> Bitstream.from_bytes(b"\\x0f").bits
+    (0, 0, 0, 0, 1, 1, 1, 1)
+    """
+
+    def __init__(self, bits):
+        bits = tuple(int(b) for b in bits)
+        if any(b not in (0, 1) for b in bits):
+            raise ValueError("bits must be 0 or 1")
+        self.bits = bits
+
+    @classmethod
+    def from_bytes(cls, data):
+        """MSB-first bit expansion of ``data``."""
+        bits = []
+        for byte in bytes(data):
+            for shift in range(7, -1, -1):
+                bits.append((byte >> shift) & 1)
+        return cls(bits)
+
+    @classmethod
+    def from_int(cls, value, width):
+        """MSB-first bits of ``value`` in ``width`` bits."""
+        if value < 0 or width <= 0:
+            raise ValueError("need value >= 0 and width > 0")
+        if value >= (1 << width):
+            raise ValueError(f"{value} does not fit in {width} bits")
+        return cls(((value >> (width - 1 - i)) & 1) for i in range(width))
+
+    def to_bytes(self):
+        """Inverse of :meth:`from_bytes`; length must be a multiple of 8."""
+        if len(self.bits) % 8 != 0:
+            raise ValueError(
+                f"bit count {len(self.bits)} is not a multiple of 8")
+        out = bytearray()
+        for i in range(0, len(self.bits), 8):
+            byte = 0
+            for b in self.bits[i:i + 8]:
+                byte = (byte << 1) | b
+            out.append(byte)
+        return bytes(out)
+
+    def to_int(self):
+        """MSB-first integer value."""
+        value = 0
+        for b in self.bits:
+            value = (value << 1) | b
+        return value
+
+    # -- sequence protocol ---------------------------------------------
+    def __len__(self):
+        return len(self.bits)
+
+    def __iter__(self):
+        return iter(self.bits)
+
+    def __getitem__(self, idx):
+        got = self.bits[idx]
+        return Bitstream(got) if isinstance(idx, slice) else got
+
+    def __add__(self, other):
+        return Bitstream(self.bits + tuple(other))
+
+    def __eq__(self, other):
+        if isinstance(other, Bitstream):
+            return self.bits == other.bits
+        return self.bits == tuple(other)
+
+    def __hash__(self):
+        return hash(self.bits)
+
+    def hamming_distance(self, other):
+        """Bit errors between equal-length streams."""
+        other = tuple(other)
+        if len(other) != len(self.bits):
+            raise ValueError("length mismatch")
+        return sum(a != b for a, b in zip(self.bits, other))
+
+    def transitions(self):
+        """Number of 0->1 / 1->0 transitions (clock content indicator)."""
+        return sum(a != b for a, b in zip(self.bits, self.bits[1:]))
+
+    def __repr__(self):
+        shown = "".join(str(b) for b in self.bits[:32])
+        more = "..." if len(self.bits) > 32 else ""
+        return f"Bitstream({shown}{more}, n={len(self.bits)})"
+
+
+def prbs(n_bits, order=7, seed=0x5A):
+    """Pseudo-random binary sequence from an LFSR.
+
+    ``order`` selects the polynomial: 7 (x^7+x^6+1) or 15 (x^15+x^14+1),
+    the standard PRBS7/PRBS15 test patterns.
+    """
+    taps = {7: (7, 6), 15: (15, 14)}
+    if order not in taps:
+        raise ValueError(f"unsupported PRBS order {order}; use {list(taps)}")
+    if n_bits <= 0:
+        raise ValueError("n_bits must be positive")
+    a, b = taps[order]
+    mask = (1 << order) - 1
+    state = seed & mask
+    if state == 0:
+        state = 1  # all-zero LFSR state is degenerate
+    bits = []
+    for _ in range(int(n_bits)):
+        new = ((state >> (a - 1)) ^ (state >> (b - 1))) & 1
+        state = ((state << 1) | new) & mask
+        bits.append(new)
+    return Bitstream(bits)

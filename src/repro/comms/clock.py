@@ -1,0 +1,78 @@
+"""Two-phase non-overlapping clock (drives the ASK demodulator, Fig. 9).
+
+"The circuit is driven by a two-phase non-overlapping clock signal
+(phi1 and phi2)" — phi1 tracks/holds the carrier peak, phi2 discharges.
+On-chip the clock is divided down from the recovered 5 MHz carrier.
+"""
+
+from __future__ import annotations
+
+from repro.util import require_in_range, require_positive
+
+
+class TwoPhaseClock:
+    """Generator of the phi1/phi2 waveform pair.
+
+    ``freq`` is the full clock cycle rate (one phi1 pulse and one phi2
+    pulse per period); ``non_overlap`` is the dead-time fraction inserted
+    after each phase.  Layout per period (fractions):
+
+        phi1 high: [0, 0.5 - g) ; dead: g ; phi2 high: [0.5, 1 - g) ; dead.
+    """
+
+    def __init__(self, freq, non_overlap=0.05):
+        self.freq = require_positive(float(freq), "freq")
+        self.non_overlap = require_in_range(
+            float(non_overlap), 0.0, 0.2, "non_overlap")
+        self.period = 1.0 / self.freq
+
+    @classmethod
+    def from_carrier(cls, carrier_freq, division_ratio, non_overlap=0.05):
+        """Divide the recovered carrier down to the demodulator clock
+        (e.g. 5 MHz / 25 -> 200 kHz for 100 kbps data)."""
+        if division_ratio < 1:
+            raise ValueError("division_ratio must be >= 1")
+        return cls(carrier_freq / division_ratio, non_overlap)
+
+    def _phase(self, t):
+        return (t % self.period) / self.period
+
+    def phi1(self, t):
+        """True while phase 1 (track) is high."""
+        return self._phase(t) < 0.5 - self.non_overlap
+
+    def phi2(self, t):
+        """True while phase 2 (discharge) is high."""
+        return 0.5 <= self._phase(t) < 1.0 - self.non_overlap
+
+    def phi1_rising_edges(self, t_start, t_stop):
+        """Times of phi1 rising edges in [t_start, t_stop) — the paper's
+        bit-decision instants ('detected ... at every rising edge of the
+        clock signal phi1')."""
+        if t_stop <= t_start:
+            raise ValueError("need t_stop > t_start")
+        import math
+
+        first = math.ceil(t_start / self.period)
+        edges = []
+        k = first
+        while k * self.period < t_stop:
+            edges.append(k * self.period)
+            k += 1
+        return edges
+
+    def phi1_mid_times(self, t_start, t_stop):
+        """Mid-points of the phi1 high windows in [t_start, t_stop) —
+        where the held peak is valid for sampling."""
+        mid_offset = 0.25 * self.period
+        return [e + mid_offset
+                for e in self.phi1_rising_edges(t_start - mid_offset,
+                                                t_stop - mid_offset)]
+
+    def never_overlaps(self, n_checks=1000):
+        """Sampled invariant check: phi1 and phi2 never both high."""
+        for i in range(n_checks):
+            t = (i / n_checks) * self.period
+            if self.phi1(t) and self.phi2(t):
+                return False
+        return True

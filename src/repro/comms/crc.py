@@ -1,0 +1,41 @@
+"""Cyclic-redundancy checks for the telemetry frames.
+
+The paper lists "security and privacy ... during data transmission" among
+the key challenges; at the link layer the minimum is integrity.  CRC-8
+(poly 0x07, as in ATM HEC) protects short command frames; CRC-16-CCITT
+protects measurement payloads.
+"""
+
+from __future__ import annotations
+
+
+def _crc(data, poly, width, init=0):
+    register = init
+    top = 1 << (width - 1)
+    mask = (1 << width) - 1
+    for byte in bytes(data):
+        register ^= byte << (width - 8)
+        for _ in range(8):
+            if register & top:
+                register = ((register << 1) ^ poly) & mask
+            else:
+                register = (register << 1) & mask
+    return register
+
+
+def crc8(data):
+    """CRC-8 with polynomial x^8+x^2+x+1 (0x07), init 0.
+
+    >>> hex(crc8(b"123456789"))
+    '0xf4'
+    """
+    return _crc(data, 0x07, 8)
+
+
+def crc16_ccitt(data):
+    """CRC-16-CCITT (poly 0x1021, init 0xFFFF).
+
+    >>> hex(crc16_ccitt(b"123456789"))
+    '0x29b1'
+    """
+    return _crc(data, 0x1021, 16, init=0xFFFF)

@@ -1,0 +1,86 @@
+"""Link-layer framing for the duplex telemetry channel.
+
+Frame layout (MSB-first on the wire):
+
+    preamble (8 bits, 10101010) | sync (8 bits, 0xD5)
+    | length (8 bits) | payload (length bytes) | crc8 (8 bits)
+
+The preamble gives the demodulator's threshold logic alternating edges to
+settle on; the sync byte marks the boundary; CRC-8 covers length+payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comms.bits import Bitstream
+from repro.comms.crc import crc8
+
+PREAMBLE = Bitstream([1, 0, 1, 0, 1, 0, 1, 0])
+SYNC = 0xD5
+MAX_PAYLOAD = 255
+
+
+class FrameError(ValueError):
+    """Raised when a bitstream cannot be decoded into a frame."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A link-layer frame carrying ``payload`` bytes."""
+
+    payload: bytes
+
+    def __post_init__(self):
+        if len(self.payload) > MAX_PAYLOAD:
+            raise ValueError(
+                f"payload too long: {len(self.payload)} > {MAX_PAYLOAD}")
+
+    def encode(self):
+        """Serialize to a :class:`Bitstream`."""
+        body = bytes([len(self.payload)]) + bytes(self.payload)
+        check = crc8(body)
+        return (PREAMBLE
+                + Bitstream.from_int(SYNC, 8)
+                + Bitstream.from_bytes(body)
+                + Bitstream.from_int(check, 8))
+
+    @property
+    def n_bits(self):
+        """On-the-wire length in bits."""
+        return 8 + 8 + 8 + 8 * len(self.payload) + 8
+
+    def airtime(self, bit_rate):
+        """Transmission time at ``bit_rate``."""
+        if bit_rate <= 0:
+            raise ValueError("bit_rate must be positive")
+        return self.n_bits / bit_rate
+
+    @classmethod
+    def decode(cls, bits):
+        """Parse a frame from a bitstream (which may carry leading idle
+        bits before the preamble).  Raises :class:`FrameError` on sync or
+        CRC failure."""
+        bits = Bitstream(bits)
+        sync_pattern = (PREAMBLE + Bitstream.from_int(SYNC, 8)).bits
+        # Hunt for preamble+sync.
+        start = None
+        for i in range(len(bits) - len(sync_pattern) + 1):
+            if bits.bits[i:i + len(sync_pattern)] == sync_pattern:
+                start = i + len(sync_pattern)
+                break
+        if start is None:
+            raise FrameError("no preamble/sync found")
+        if len(bits) < start + 16:
+            raise FrameError("truncated frame: no length/CRC")
+        length = bits[start:start + 8].to_int()
+        end = start + 8 + 8 * length
+        if len(bits) < end + 8:
+            raise FrameError(
+                f"truncated frame: need {8 * length} payload bits")
+        body_bits = bits[start:end]
+        check = bits[end:end + 8].to_int()
+        body = body_bits.to_bytes()
+        if crc8(body) != check:
+            raise FrameError("CRC mismatch")
+        return cls(payload=body[1:])

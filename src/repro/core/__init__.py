@@ -1,0 +1,24 @@
+"""The integrated system — the paper's primary contribution.
+
+Wires the external patch (class-E + ASK/LSK + battery), the inductive
+link, and the implanted device (power management + biosensor interface)
+into one simulatable system, and regenerates the paper's end-to-end
+artefacts: the Fig. 11 power-management transient and the Section III-B
+power-vs-distance behaviour.
+"""
+
+from repro.core.config import PaperConstants, PAPER
+from repro.core.implant import ImplantDevice, ImplantState
+from repro.core.system import RemotePoweringSystem, Fig11Result
+from repro.core.control import AdaptivePowerController, ControlStep
+
+__all__ = [
+    "PaperConstants",
+    "PAPER",
+    "ImplantDevice",
+    "ImplantState",
+    "RemotePoweringSystem",
+    "Fig11Result",
+    "AdaptivePowerController",
+    "ControlStep",
+]

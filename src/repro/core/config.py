@@ -1,0 +1,90 @@
+"""Every quantitative claim of the paper, in one registry.
+
+Each constant carries the section it comes from, so benches and tests can
+cite their anchors; EXPERIMENTS.md is generated against these values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PaperConstants:
+    """Numbers stated in Olivo et al., DATE 2013."""
+
+    # Section III-A: power delivery
+    carrier_freq: float = 5e6            # class-E drive, 50% duty
+    downlink_bit_rate: float = 100e3     # ASK
+    uplink_bit_rate: float = 66.6e3      # LSK
+
+    # Section III-B: measured link performance
+    power_at_6mm: float = 15e-3          # max received power, in air
+    power_through_17mm_sirloin: float = 1.17e-3
+    battery_life_idle_h: float = 10.0
+    battery_life_connected_h: float = 3.5
+    battery_life_powering_h: float = 1.5
+
+    # Section IV: power management
+    power_matched_10mm: float = 5e-3     # to a matched load at 10 mm
+    power_ask_high: float = 3e-3         # while transmitting a 1
+    power_ask_low: float = 1e-3          # while transmitting a 0
+    rectifier_input_resistance: float = 150.0
+    rectifier_clamp_voltage: float = 3.0
+    regulator_dropout: float = 0.3
+    v_rect_minimum: float = 2.1          # the "never below 2.1 V" rule
+    v_supply_sensor: float = 1.8
+    i_sensor_low_power: float = 350e-6
+    i_sensor_high_power: float = 1.3e-3
+
+    # Fig. 11 timeline
+    fig11_charge_voltage: float = 2.75
+    fig11_charge_time: float = 270e-6
+    fig11_downlink_start: float = 300e-6
+    fig11_downlink_bits: int = 18
+    fig11_uplink_start: float = 520e-6
+
+    # Section II-B: electronic interface
+    v_oxidation: float = 0.65
+    v_we_bias: float = 1.2
+    v_re_bias: float = 0.55
+    adc_full_scale_current: float = 4e-6
+    adc_resolution_current: float = 250e-12
+    adc_bits: int = 14
+    i_potentiostat: float = 45e-6
+    i_adc: float = 240e-6
+    adc_area_mm2: float = 0.3
+
+    # Receiving inductor (Section III-B, ref [28])
+    rx_coil_length: float = 38e-3
+    rx_coil_width: float = 2e-3
+    rx_coil_height: float = 0.544e-3
+    rx_coil_layers: int = 8
+    rx_coil_turns: int = 14
+    rx_test_distance: float = 6e-3
+
+    def anchors(self):
+        """(name, value, unit, where) rows for reporting."""
+        return [
+            ("received power @ 6 mm", self.power_at_6mm, "W", "III-B"),
+            ("power through 17 mm sirloin",
+             self.power_through_17mm_sirloin, "W", "III-B"),
+            ("matched power @ 10 mm", self.power_matched_10mm, "W", "IV-C"),
+            ("ASK high / low power",
+             (self.power_ask_high, self.power_ask_low), "W", "IV-C"),
+            ("rectifier Zin (avg)",
+             self.rectifier_input_resistance, "ohm", "IV-C"),
+            ("Vo charge anchor",
+             (self.fig11_charge_voltage, self.fig11_charge_time),
+             "(V, s)", "Fig. 11"),
+            ("battery life idle/connected/powering",
+             (self.battery_life_idle_h, self.battery_life_connected_h,
+              self.battery_life_powering_h), "h", "III-B"),
+            ("ADC spec", (self.adc_full_scale_current,
+                          self.adc_resolution_current, self.adc_bits),
+             "(A, A, bits)", "II-B"),
+        ]
+
+
+#: The singleton used throughout benches and tests.
+PAPER = PaperConstants()

@@ -1,0 +1,102 @@
+"""The implanted device: power management + sensor, with a power state
+machine.
+
+States follow the physical rail: OFF until Co charges past the
+power-on-reset, CHARGING until the rectifier output clears the 2.1 V
+regulation minimum, then READY; measurement (high-power mode) and
+communication (low-power mode) draw their Section IV-C currents.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.config import PAPER
+from repro.power import (
+    LowDropoutRegulator,
+    PowerBudget,
+    RectifierEnvelopeModel,
+    SENSOR_HIGH_POWER,
+    SENSOR_LOW_POWER,
+    UndervoltageMonitor,
+)
+from repro.sensor import CLODX, ElectronicInterface
+
+
+class ImplantState(enum.Enum):
+    """Power states of the implant."""
+
+    OFF = "off"
+    CHARGING = "charging"
+    READY = "ready"
+    BROWNOUT = "brownout"
+
+
+class ImplantDevice:
+    """Power chain + electronic interface of the implanted sensor."""
+
+    def __init__(self, enzyme=CLODX, rectifier_model=None, regulator=None,
+                 monitor=None, interface=None):
+        self.rectifier = rectifier_model or RectifierEnvelopeModel()
+        self.regulator = regulator or LowDropoutRegulator(
+            v_out_nominal=PAPER.v_supply_sensor,
+            dropout=PAPER.regulator_dropout)
+        self.monitor = monitor or UndervoltageMonitor(
+            v_trip=PAPER.v_rect_minimum)
+        self.interface = interface or ElectronicInterface.for_enzyme(enzyme)
+        self.budget = PowerBudget(regulator=self.regulator,
+                                  rectifier_efficiency=self.rectifier.efficiency)
+        self.v_rect = 0.0
+        self.state = ImplantState.OFF
+
+    # -- state machine ---------------------------------------------------
+    def update_rail(self, v_rect):
+        """Feed a rectifier-output sample; returns the new state."""
+        if v_rect < 0:
+            raise ValueError("v_rect must be >= 0")
+        self.v_rect = float(v_rect)
+        rail_good = self.monitor.update(self.v_rect)
+        if self.v_rect < 0.5:
+            self.state = ImplantState.OFF
+        elif not rail_good:
+            self.state = (ImplantState.BROWNOUT
+                          if self.state in (ImplantState.READY,
+                                            ImplantState.BROWNOUT)
+                          else ImplantState.CHARGING)
+        else:
+            self.state = ImplantState.READY
+        return self.state
+
+    @property
+    def v_supply(self):
+        """The regulated sensor rail right now."""
+        return self.regulator.output_voltage(
+            self.v_rect, self.load_current())
+
+    def load_current(self, measuring=False):
+        """DC load presented to the rectifier (through the LDO).
+
+        The paper's simulation uses worst-case figures: 350 uA in
+        low-power (comms) mode, 1.3 mA in high-power (measurement) mode.
+        """
+        mode = SENSOR_HIGH_POWER if measuring else SENSOR_LOW_POWER
+        return self.regulator.input_current(mode.i_supply)
+
+    def can_measure(self, p_available):
+        """Is the carrier power enough for the 1.3 mA measurement mode?"""
+        return self.budget.sustainable(p_available, SENSOR_HIGH_POWER,
+                                       v_rect=max(self.v_rect, 2.1))
+
+    def measure(self, concentration, **kwargs):
+        """Run a measurement (requires READY); returns the ADC code."""
+        if self.state != ImplantState.READY:
+            raise RuntimeError(
+                f"cannot measure in state {self.state.value!r}: the rail "
+                f"is at {self.v_rect:.2f} V")
+        return self.interface.measure(concentration, vdd=self.v_supply,
+                                      **kwargs)
+
+    def report_concentration(self, code):
+        """Convert an ADC code back to concentration (the remote side's
+        computation)."""
+        return self.interface.concentration_from_code(code)

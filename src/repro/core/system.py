@@ -1,0 +1,264 @@
+"""`RemotePoweringSystem`: patch + link + implant, end to end.
+
+The calibration contract: the transmit drive is set so the matched
+received power at 6 mm equals the paper's 15 mW; every other number
+(power at 10/17 mm, ASK bit levels, Fig. 11 rail dynamics, LSK contrast)
+then *follows* from the models rather than being dialled in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.comms import (
+    AskDemodulator,
+    AskModulator,
+    Bitstream,
+    LskDetector,
+    LskModulator,
+)
+from repro.core.config import PAPER
+from repro.core.implant import ImplantDevice
+from repro.link import (
+    CircularSpiral,
+    InductiveLink,
+    RectangularSpiral,
+    design_l_match,
+)
+from repro.patch import IronicPatch
+from repro.signals import crossing_times
+from repro.util import require_positive
+
+
+@dataclass
+class Fig11Result:
+    """Everything the paper's Fig. 11 shows, regenerated."""
+
+    v_out: object                 # rectifier output Waveform
+    charge_time_to_2v75: float
+    downlink_sent: Bitstream
+    downlink_received: Bitstream
+    downlink_sample_times: object
+    uplink_sent: Bitstream
+    uplink_received: Bitstream
+    v_min_during_comms: float
+    events: list
+
+    @property
+    def downlink_ok(self):
+        return self.downlink_sent == self.downlink_received
+
+    @property
+    def uplink_ok(self):
+        return self.uplink_sent == self.uplink_received
+
+    @property
+    def rail_ok(self):
+        """The paper's headline check: Vo never below 2.1 V."""
+        return self.v_min_during_comms >= PAPER.v_rect_minimum
+
+
+class RemotePoweringSystem:
+    """The full system of the paper's Fig. 1/Fig. 7."""
+
+    def __init__(self, distance=10e-3, tissue_layers=None, implant=None,
+                 patch=None, r_branch_tx=2.5):
+        self.distance = require_positive(distance, "distance")
+        coil_tx = CircularSpiral.ironic_transmitter()
+        coil_rx = RectangularSpiral.ironic_receiver()
+        self.link = InductiveLink(coil_tx, coil_rx, PAPER.carrier_freq,
+                                  tissue_layers)
+        # Calibration: 15 mW available at the 6 mm test distance, in air.
+        link_air = InductiveLink(coil_tx, coil_rx, PAPER.carrier_freq)
+        self.i_tx = link_air.calibrate_drive(PAPER.power_at_6mm,
+                                             PAPER.rx_test_distance)
+        self.implant = implant or ImplantDevice()
+        self.patch = patch or IronicPatch()
+        self.r_branch_tx = require_positive(r_branch_tx, "r_branch_tx")
+        self.ask_mod = AskModulator(
+            carrier_freq=PAPER.carrier_freq,
+            bit_rate=PAPER.downlink_bit_rate,
+            depth=1.0 - math.sqrt(PAPER.power_ask_low
+                                  / PAPER.power_ask_high),
+            high_scale=math.sqrt(PAPER.power_ask_high
+                                 / PAPER.power_matched_10mm),
+        )
+        self.ask_demod = AskDemodulator(
+            carrier_freq=PAPER.carrier_freq,
+            bit_rate=PAPER.downlink_bit_rate)
+        self.lsk_mod = LskModulator(bit_rate=PAPER.downlink_bit_rate)
+        self.lsk_det = LskDetector()
+
+    # ------------------------------------------------------------------
+    # Power delivery
+    # ------------------------------------------------------------------
+    def available_power(self, distance=None):
+        """Matched received power at ``distance`` with the calibrated
+        drive (Section III-B / IV-C)."""
+        d = self.distance if distance is None else distance
+        return self.link.available_power(self.i_tx, d)
+
+    def power_sweep(self, distances):
+        """[(distance, power)] over a set of distances."""
+        return [(d, self.available_power(d)) for d in distances]
+
+    def matching_network(self):
+        """The CA/CB capacitive match for this system's rectifier."""
+        return design_l_match(
+            self.link.r_rx,
+            self.link.omega * self.link.l_rx,
+            PAPER.rectifier_input_resistance,
+            PAPER.carrier_freq,
+        )
+
+    # ------------------------------------------------------------------
+    # LSK physics
+    # ------------------------------------------------------------------
+    def reflected_resistance(self, shorted):
+        """Resistance reflected into the TX coil branch.
+
+        Not shorted: the secondary loop carries coil + matched load
+        (2*R_rx); shorted (M1 closed): the loop collapses to R_rx alone,
+        so the reflected term doubles and the supply current drops.
+        """
+        r_loop = self.link.r_rx if shorted else 2.0 * self.link.r_rx
+        z = self.link.reflected_impedance(self.distance, complex(r_loop, 0))
+        return z.real
+
+    def lsk_supply_currents(self):
+        """(i_high, i_low): patch supply current with the implant
+        not-shorted / shorted."""
+        i_base = self.patch.class_e_supply_current()
+        zr_n = self.reflected_resistance(shorted=False)
+        zr_s = self.reflected_resistance(shorted=True)
+        i_low = i_base * (self.r_branch_tx + zr_n) / (self.r_branch_tx
+                                                      + zr_s)
+        return i_base, i_low
+
+    def lsk_contrast(self):
+        """(i_high - i_low) / i_high — must be detectable above the
+        sense ADC's quantization."""
+        i_high, i_low = self.lsk_supply_currents()
+        return (i_high - i_low) / i_high
+
+    # ------------------------------------------------------------------
+    # Fig. 11: the end-to-end power-management transient
+    # ------------------------------------------------------------------
+    def fig11_transient(self, downlink_bits=None, uplink_bits=None,
+                        t_stop=700e-6, dt=0.25e-6):
+        """Regenerate the paper's Fig. 11 timeline.
+
+        Timeline (paper Section IV-C): Co charges from 0 at the 5 mW
+        matched level; at 300 us an 18-bit downlink runs at 100 kbps
+        (3 mW / 1 mW bit levels); at 520 us an uplink runs by
+        short-circuiting the rectifier input.  The sensor stays in
+        low-power mode (350 uA).
+        """
+        downlink_bits = Bitstream(downlink_bits if downlink_bits is not None
+                                  else [1, 0, 1, 1, 0, 0, 1, 0, 1,
+                                        0, 0, 1, 1, 0, 1, 0, 1, 1])
+        uplink_bits = Bitstream(uplink_bits if uplink_bits is not None
+                                else [1, 0, 1, 0, 0, 1, 1, 0, 1, 0, 1, 1])
+        t_dl = PAPER.fig11_downlink_start
+        t_ul = PAPER.fig11_uplink_start
+        t_bit = 1.0 / PAPER.downlink_bit_rate
+
+        def p_in(t):
+            k = int((t - t_dl) / t_bit)
+            if 0 <= k < len(downlink_bits):
+                return (PAPER.power_ask_high if downlink_bits[k]
+                        else PAPER.power_ask_low)
+            return PAPER.power_matched_10mm
+
+        shorted = self.lsk_mod.shorted_func(uplink_bits, start_time=t_ul)
+        i_load = self.implant.load_current(measuring=False)
+        trace = self.implant.rectifier.simulate(
+            p_in, lambda t: i_load, t_stop, dt=dt,
+            shorted_func=shorted)
+
+        # Charge anchor.
+        crossings = crossing_times(trace.v_out, PAPER.fig11_charge_voltage,
+                                   "rising")
+        charge_time = float(crossings[0]) if crossings.size else float("nan")
+
+        # Downlink demodulation on the synthesized carrier.
+        carrier = self.ask_mod.waveform(downlink_bits, delay=t_dl,
+                                        idle_time=50e-6,
+                                        samples_per_cycle=12)
+        got_dl, samples, _ = self.ask_demod.demodulate(
+            carrier, len(downlink_bits), t_dl)
+
+        # Uplink detection on the patch's supply current.
+        i_high, i_low = self.lsk_supply_currents()
+        i_sense = self.lsk_mod.supply_current_waveform(
+            uplink_bits, i_high=i_high, i_low=i_low, start_time=t_ul)
+        got_ul, _ = self.lsk_det.detect(
+            i_sense, len(uplink_bits), t_ul,
+            bit_rate=self.lsk_mod.bit_rate)
+
+        v_min = trace.v_out.clip_time(
+            PAPER.fig11_charge_time, t_stop).min()
+        events = [
+            ("charge to 2.75 V", charge_time),
+            ("downlink start", t_dl),
+            ("downlink end", t_dl + len(downlink_bits) * t_bit),
+            ("uplink start", t_ul),
+            ("uplink end",
+             t_ul + len(uplink_bits) * self.lsk_mod.bit_period),
+        ]
+        return Fig11Result(
+            v_out=trace.v_out,
+            charge_time_to_2v75=charge_time,
+            downlink_sent=downlink_bits,
+            downlink_received=got_dl,
+            downlink_sample_times=samples,
+            uplink_sent=uplink_bits,
+            uplink_received=got_ul,
+            v_min_during_comms=v_min,
+            events=events,
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement sessions
+    # ------------------------------------------------------------------
+    def startup(self, t_stop=600e-6):
+        """Charge the implant from cold; returns the time the rail
+        first clears the 2.1 V regulation minimum (None if never)."""
+        p = self.available_power()
+        i_load = self.implant.load_current(measuring=False)
+        trace = self.implant.rectifier.simulate(
+            lambda t: p, lambda t: i_load, t_stop)
+        for t, v in zip(trace.v_out.t, trace.v_out.v):
+            self.implant.update_rail(v)
+            if self.implant.state.name == "READY":
+                return float(t)
+        return None
+
+    def measure_lactate(self, concentration, n_output_samples=4):
+        """One full remote measurement at the current distance.
+
+        Checks the power budget for the high-power mode, charges up,
+        measures, and returns a result dict.
+        """
+        p_avail = self.available_power()
+        t_ready = self.startup()
+        if t_ready is None:
+            raise RuntimeError(
+                f"insufficient power at {self.distance * 1e3:.1f} mm: "
+                f"{p_avail * 1e3:.2f} mW never lifts the rail to 2.1 V")
+        if not self.implant.can_measure(p_avail):
+            raise RuntimeError(
+                f"{p_avail * 1e3:.2f} mW cannot sustain the 1.3 mA "
+                "measurement mode")
+        code = self.implant.measure(concentration,
+                                    n_output_samples=n_output_samples)
+        reported = self.implant.report_concentration(code)
+        return {
+            "distance_mm": self.distance * 1e3,
+            "power_available_mw": p_avail * 1e3,
+            "time_to_ready_us": t_ready * 1e6,
+            "adc_code": code,
+            "concentration_true": concentration,
+            "concentration_reported": reported,
+        }

@@ -1,0 +1,18 @@
+"""Energy harvesting for implants (the paper's Section I context).
+
+"Energy harvesting techniques exploit natural and/or artificial power
+sources surrounding the person to assist the implanted batteries, to
+recharge them and in certain cases replace them.  A review ... can be
+found in [7]" — ref [7] being the authors' own survey.  This package
+models the harvesting sources that survey covers and quantifies the
+comparison the paper implies: what duty cycle each source can sustain
+for this implant versus the 5 mW the inductive link delivers.
+"""
+
+from repro.harvest.sources import (
+    HarvestingSource,
+    HARVEST_LIBRARY,
+    HybridSupply,
+)
+
+__all__ = ["HarvestingSource", "HARVEST_LIBRARY", "HybridSupply"]

@@ -1,0 +1,46 @@
+"""Inductive-link electromagnetics: coils, coupling, tissue, matching.
+
+This package models the transcutaneous power link of the paper: the
+external transmitting inductor in the IronIC patch, the implanted
+multi-layer spiral receiving inductor (38 x 2 x 0.544 mm^3, 8 layers,
+14 turns, ref [28]), the tissue between them, and the capacitive matching
+network (CA/CB of the paper's Fig. 7).
+"""
+
+from repro.link.spiral import RectangularSpiral, CircularSpiral, skin_depth
+from repro.link.mutual import (
+    mutual_inductance_loops,
+    coil_mutual_inductance,
+    coupling_coefficient,
+)
+from repro.link.tissue import TissueProperties, TissueLayer, TISSUE_LIBRARY
+from repro.link.twoport import InductiveLink, LinkOperatingPoint
+from repro.link.matching import CapacitiveMatch, design_l_match
+from repro.link.resonator import (
+    ResonatorDesign,
+    design_resonator,
+    receiver_voltage,
+    rectifier_input_amplitude,
+    plain_tank_extraction,
+)
+
+__all__ = [
+    "RectangularSpiral",
+    "CircularSpiral",
+    "skin_depth",
+    "mutual_inductance_loops",
+    "coil_mutual_inductance",
+    "coupling_coefficient",
+    "TissueProperties",
+    "TissueLayer",
+    "TISSUE_LIBRARY",
+    "InductiveLink",
+    "LinkOperatingPoint",
+    "CapacitiveMatch",
+    "design_l_match",
+    "ResonatorDesign",
+    "design_resonator",
+    "receiver_voltage",
+    "rectifier_input_amplitude",
+    "plain_tank_extraction",
+]

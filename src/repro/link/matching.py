@@ -1,0 +1,94 @@
+"""Capacitive matching-network design (CA / CB of the paper's Fig. 7).
+
+"A purely capacitive matching network (CA and CB in Fig. 7) is used
+between the receiving inductor and the input of the rectifier to have
+impedance matching" — the rectifier presents an average input resistance
+of ~150 ohm (Section IV-C); the L-match transforms it to conjugate-match
+the receiving coil at 5 MHz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util import require_positive
+
+
+@dataclass(frozen=True)
+class CapacitiveMatch:
+    """A two-capacitor L-match: ``c_series`` (CA) in series with the coil,
+    ``c_parallel`` (CB) across the load."""
+
+    c_series: float
+    c_parallel: float
+    freq: float
+    r_source: float
+    x_source: float
+    r_load: float
+
+    def input_impedance(self, freq=None):
+        """Impedance seen looking into the network toward the load."""
+        f = self.freq if freq is None else freq
+        omega = 2.0 * math.pi * f
+        z_cb = 1.0 / (1j * omega * self.c_parallel)
+        z_load = (z_cb * self.r_load) / (z_cb + self.r_load)
+        return z_load + 1.0 / (1j * omega * self.c_series)
+
+    def match_error(self):
+        """|Z_in - conjugate(Z_source)| / |Z_source| at the design point."""
+        z_in = self.input_impedance()
+        z_src = complex(self.r_source, self.x_source)
+        return abs(z_in - z_src.conjugate()) / abs(z_src)
+
+    def q_factor(self):
+        """Loaded Q of the L-match (bandwidth indicator)."""
+        big, small = max(self.r_load, self.r_source), min(
+            self.r_load, self.r_source)
+        return math.sqrt(big / small - 1.0) if big > small else 0.0
+
+
+def design_l_match(r_source, x_source, r_load, freq):
+    """Design CA/CB so the coil (``r_source + j*x_source``, inductive)
+    conjugate-matches the resistive ``r_load``.
+
+    Requires ``r_load > r_source`` (stepping the coil's small series
+    resistance up to the rectifier's ~150 ohm), the paper's situation.
+    Returns a :class:`CapacitiveMatch`.
+
+    The parallel capacitor CB transforms ``r_load`` down to ``r_source``
+    with a residual series reactance; the series capacitor CA then tunes
+    out that reactance plus the coil inductance.
+    """
+    require_positive(r_source, "r_source")
+    require_positive(r_load, "r_load")
+    require_positive(freq, "freq")
+    if x_source <= 0:
+        raise ValueError(
+            "x_source must be the coil's positive (inductive) reactance")
+    if r_load <= r_source:
+        raise ValueError(
+            f"capacitive L-match needs r_load ({r_load}) > r_source "
+            f"({r_source}); swap the topology otherwise")
+    omega = 2.0 * math.pi * freq
+    q = math.sqrt(r_load / r_source - 1.0)
+    # Parallel section: CB across r_load gives series equivalent
+    # r_source - j*r_source*q.
+    c_parallel = q / (omega * r_load)
+    # Series section must cancel +x_source (coil) and the parallel
+    # section's -r_source*q... total required series capacitive
+    # reactance: x_source - r_source*q.
+    x_needed = x_source - r_source * q
+    if x_needed <= 0:
+        raise ValueError(
+            "coil reactance too small to absorb the match; "
+            "increase L or lower the transformation ratio")
+    c_series = 1.0 / (omega * x_needed)
+    return CapacitiveMatch(
+        c_series=c_series,
+        c_parallel=c_parallel,
+        freq=freq,
+        r_source=r_source,
+        x_source=x_source,
+        r_load=r_load,
+    )

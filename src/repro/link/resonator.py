@@ -1,0 +1,130 @@
+"""Resonated receiving coil: tuning capacitor selection and voltage gain.
+
+Practical receivers resonate the coil at the carrier so the EMF is
+multiplied by the loaded Q before rectification — that is how a
+~100 nH-coupling link develops the volts the rectifier needs.  Both
+canonical topologies are covered:
+
+* **series** tuning (C in series): the load sees the EMF times 1 at
+  resonance with minimum impedance — right for low-impedance loads;
+* **parallel** tuning (C across the coil): the load sees the EMF times
+  the loaded Q — right for the rectifier's ~150 ohm input.
+
+Results are closed-form and cross-validated against `repro.spice` AC
+analysis in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util import require_positive
+
+
+@dataclass(frozen=True)
+class ResonatorDesign:
+    """A tuned receiving coil driving a resistive load."""
+
+    topology: str           # "series" or "parallel"
+    l_coil: float
+    r_coil: float
+    c_tune: float
+    freq: float
+    r_load: float
+
+    @property
+    def omega(self):
+        return 2.0 * math.pi * self.freq
+
+    def unloaded_q(self):
+        return self.omega * self.l_coil / self.r_coil
+
+    def loaded_q(self):
+        """Q including the load."""
+        if self.topology == "series":
+            return self.omega * self.l_coil / (self.r_coil + self.r_load)
+        # Parallel: load appears across the tank.
+        r_par = self.omega * self.l_coil * self.unloaded_q()
+        r_eff = (r_par * self.r_load) / (r_par + self.r_load)
+        return r_eff / (self.omega * self.l_coil)
+
+    def voltage_gain(self):
+        """|V_load / V_emf| at resonance."""
+        if self.topology == "series":
+            return self.r_load / (self.r_coil + self.r_load)
+        return self.loaded_q()
+
+    def bandwidth(self):
+        """-3 dB bandwidth: f0 / Q_loaded."""
+        return self.freq / self.loaded_q()
+
+    def supports_bit_rate(self, bit_rate, margin=2.0):
+        """Does the resonator pass ASK sidebands at ``bit_rate``?
+
+        The tank must not filter the modulation: BW >= margin * bit_rate.
+        The paper's numbers (5 MHz carrier, 100 kbps) demand Q <= ~25 —
+        one reason implant links run moderate Q.
+        """
+        require_positive(bit_rate, "bit_rate")
+        return self.bandwidth() >= margin * bit_rate
+
+
+def design_resonator(l_coil, r_coil, freq, r_load, topology="parallel"):
+    """Pick the tuning capacitor for resonance at ``freq``.
+
+    Series: C = 1/(omega^2 L).  Parallel: the exact parallel-resonance
+    condition with coil loss, C = L / (L^2*omega^2 + R^2) — which
+    reduces to the series value for high-Q coils.
+    """
+    require_positive(l_coil, "l_coil")
+    require_positive(r_coil, "r_coil")
+    require_positive(freq, "freq")
+    require_positive(r_load, "r_load")
+    if topology not in ("series", "parallel"):
+        raise ValueError(f"unknown topology {topology!r}")
+    omega = 2.0 * math.pi * freq
+    if topology == "series":
+        c = 1.0 / (omega * omega * l_coil)
+    else:
+        c = l_coil / (l_coil**2 * omega**2 + r_coil**2)
+    return ResonatorDesign(
+        topology=topology, l_coil=l_coil, r_coil=r_coil, c_tune=c,
+        freq=freq, r_load=r_load)
+
+
+def receiver_voltage(emf_amplitude, design):
+    """Load-voltage amplitude for an induced EMF, at resonance."""
+    if emf_amplitude < 0:
+        raise ValueError("emf_amplitude must be >= 0")
+    return emf_amplitude * design.voltage_gain()
+
+
+def plain_tank_extraction(link, i_tx, distance, r_load=150.0):
+    """Power a *plain* parallel tank (no matching) delivers to r_load.
+
+    For the paper's numbers (omega*L ~ 140 ohm against a 150 ohm
+    rectifier) the plain tank's loaded Q collapses to ~1 and it extracts
+    only a fraction of the available power — the quantitative reason
+    Fig. 7 inserts the CA/CB matching network instead of simply tuning
+    the coil.
+    """
+    emf = link.emf(i_tx, distance)
+    design = design_resonator(link.l_rx, link.r_rx, link.freq, r_load,
+                              topology="parallel")
+    v_load = receiver_voltage(emf, design)
+    return v_load * v_load / (2.0 * r_load)
+
+
+def rectifier_input_amplitude(link, i_tx, distance, r_load=150.0):
+    """End-to-end: TX current -> EMF -> CA/CB-matched network ->
+    amplitude at the rectifier input.
+
+    This closes the numeric loop of the paper's Section IV-C: a ~70 nH
+    mutual inductance at ~0.23 A develops only ~0.65 V of EMF, yet the
+    rectifier sees the ~1.2-1.3 V it needs because the exact conjugate
+    match delivers the full available power into 150 ohm:
+    V = sqrt(2 * P_avail * R_load).
+    """
+    p_avail = link.available_power(i_tx, distance)
+    return math.sqrt(2.0 * p_avail * r_load)

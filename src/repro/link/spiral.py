@@ -1,0 +1,264 @@
+"""Planar and multi-layer spiral inductor models.
+
+The receiving inductor of the paper (ref [28]) is an 8-layer, 14-turn
+rectangular spiral of 38 x 2 x 0.544 mm^3 fabricated on flexible PCB.
+This module computes its electrical parameters from geometry:
+
+* self-inductance — Grover's formula for rectangular turns plus
+  Maxwell-formula mutual terms between turns (turns are mapped to
+  equal-area circular filaments for the mutual terms);
+* series resistance — DC trace resistance with a skin-effect correction;
+* self-capacitance — parallel-plate estimate between stacked layers,
+  giving the self-resonance frequency;
+* quality factor Q(f).
+
+The same machinery models the patch's transmitting coil as a circular
+spiral.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util import require_positive
+
+MU0 = 4e-7 * math.pi
+#: Copper resistivity (ohm*m) at body-adjacent temperatures.
+RHO_COPPER = 1.72e-8
+EPS0 = 8.854e-12
+
+
+def skin_depth(freq, resistivity=RHO_COPPER, mu_r=1.0):
+    """Conductor skin depth at ``freq`` (Hz)."""
+    require_positive(freq, "freq")
+    return math.sqrt(2.0 * resistivity / (2.0 * math.pi * freq * MU0 * mu_r))
+
+
+def _ac_resistance_factor(thickness, delta):
+    """Rac/Rdc for a conductor of ``thickness`` at skin depth ``delta``.
+
+    Uses the standard one-dimensional current-crowding result
+    t / (delta * (1 - exp(-t/delta))), which tends to 1 for thin
+    conductors and to t/delta for thick ones.
+    """
+    ratio = thickness / delta
+    if ratio < 1e-6:
+        return 1.0
+    return ratio / (1.0 - math.exp(-ratio))
+
+
+def _rect_loop_inductance(a, b, wire_radius):
+    """Grover self-inductance of a single rectangular loop (sides a, b)."""
+    d = math.hypot(a, b)
+    return (MU0 / math.pi) * (
+        a * math.log(2.0 * a * b / (wire_radius * (a + d)))
+        + b * math.log(2.0 * a * b / (wire_radius * (b + d)))
+        + 2.0 * d
+        - 2.0 * (a + b)
+    )
+
+
+def _circ_loop_inductance(radius, wire_radius):
+    """Self-inductance of a circular loop of ``radius``."""
+    return MU0 * radius * (math.log(8.0 * radius / wire_radius) - 2.0)
+
+
+class _SpiralBase:
+    """Shared turn bookkeeping for rectangular and circular spirals.
+
+    Subclasses populate ``self._turns`` with (equivalent_radius, z, L_self)
+    tuples; the base class assembles total inductance, resistance, and
+    self-resonance from them.
+    """
+
+    def __init__(self, n_turns, n_layers, trace_width, trace_thickness,
+                 layer_pitch, turn_pitch):
+        self.n_turns = require_positive(float(n_turns), "n_turns")
+        self.n_layers = int(require_positive(n_layers, "n_layers"))
+        self.trace_width = require_positive(float(trace_width), "trace_width")
+        self.trace_thickness = require_positive(
+            float(trace_thickness), "trace_thickness")
+        self.layer_pitch = require_positive(float(layer_pitch), "layer_pitch")
+        self.turn_pitch = require_positive(float(turn_pitch), "turn_pitch")
+        self._turns = []  # (r_equivalent, z, L_self, perimeter)
+
+    # -- electrical parameters -----------------------------------------
+    @property
+    def turns(self):
+        """Read-only view of (r_eq, z, L_self, perimeter) per turn."""
+        return tuple(self._turns)
+
+    def inductance(self):
+        """Total self-inductance: sum of turn self terms and all pairwise
+        mutual terms (same current direction in every turn)."""
+        from repro.link.mutual import mutual_inductance_loops
+
+        total = sum(t[2] for t in self._turns)
+        n = len(self._turns)
+        for i in range(n):
+            ri, zi = self._turns[i][0], self._turns[i][1]
+            for j in range(i + 1, n):
+                rj, zj = self._turns[j][0], self._turns[j][1]
+                total += 2.0 * mutual_inductance_loops(ri, rj, abs(zi - zj))
+        return total
+
+    def wire_length(self):
+        """Total trace length."""
+        return sum(t[3] for t in self._turns)
+
+    def resistance(self, freq=None):
+        """Series resistance; at ``freq`` the skin-effect factor applies."""
+        r_dc = (RHO_COPPER * self.wire_length()
+                / (self.trace_width * self.trace_thickness))
+        if freq is None:
+            return r_dc
+        factor = _ac_resistance_factor(
+            self.trace_thickness, skin_depth(freq))
+        return r_dc * factor
+
+    def self_capacitance(self, eps_r=3.5):
+        """Inter-layer parallel-plate capacitance estimate (substrate
+        ``eps_r``), divided down for the series stack of layers."""
+        if self.n_layers < 2:
+            # Adjacent-turn fringing only: small fixed estimate per turn.
+            return 0.05e-12 * max(1.0, self.n_turns)
+        overlap_area = self.wire_length() / self.n_layers * self.trace_width
+        c_pair = EPS0 * eps_r * overlap_area / self.layer_pitch
+        # Layer-to-layer capacitances appear in series along the winding.
+        return c_pair / (self.n_layers - 1)
+
+    def self_resonance(self, eps_r=3.5):
+        """Self-resonance frequency from L and the self-capacitance."""
+        l_total = self.inductance()
+        c_self = self.self_capacitance(eps_r)
+        return 1.0 / (2.0 * math.pi * math.sqrt(l_total * c_self))
+
+    def quality_factor(self, freq):
+        """Q = omega*L / R_ac at ``freq``."""
+        omega = 2.0 * math.pi * require_positive(freq, "freq")
+        return omega * self.inductance() / self.resistance(freq)
+
+    def equivalent_radius(self):
+        """Area-weighted mean equivalent loop radius (used for coupling)."""
+        radii = [t[0] for t in self._turns]
+        return sum(radii) / len(radii)
+
+    def summary(self, freq):
+        """Dict of the headline electrical parameters at ``freq``."""
+        return {
+            "turns": self.n_turns,
+            "layers": self.n_layers,
+            "inductance_h": self.inductance(),
+            "resistance_ohm": self.resistance(freq),
+            "q": self.quality_factor(freq),
+            "self_resonance_hz": self.self_resonance(),
+            "wire_length_m": self.wire_length(),
+        }
+
+
+class RectangularSpiral(_SpiralBase):
+    """Multi-layer rectangular spiral (the implanted receiving inductor).
+
+    ``outer_length`` x ``outer_width`` is the footprint; ``n_turns`` is the
+    *total* turn count distributed evenly across ``n_layers`` (fractional
+    turns per layer are allowed — the model treats them as a uniform
+    current sheet, which is accurate to the few-percent level targeted
+    here).
+
+    >>> rx = RectangularSpiral.ironic_receiver()
+    >>> 0.5e-6 < rx.inductance() < 20e-6
+    True
+    """
+
+    def __init__(self, outer_length, outer_width, n_turns, n_layers=1,
+                 trace_width=100e-6, trace_thickness=35e-6,
+                 layer_pitch=68e-6, turn_pitch=None):
+        if turn_pitch is None:
+            turn_pitch = 2.0 * trace_width
+        super().__init__(n_turns, n_layers, trace_width, trace_thickness,
+                         layer_pitch, turn_pitch)
+        self.outer_length = require_positive(float(outer_length), "outer_length")
+        self.outer_width = require_positive(float(outer_width), "outer_width")
+        per_layer = self.n_turns / self.n_layers
+        wire_radius = 0.5 * math.sqrt(
+            4.0 * trace_width * trace_thickness / math.pi)
+        for layer in range(self.n_layers):
+            z = layer * self.layer_pitch
+            remaining = per_layer
+            t_index = 0
+            while remaining > 1e-9:
+                frac = min(1.0, remaining)
+                a = self.outer_length - 2.0 * t_index * self.turn_pitch
+                b = self.outer_width - 2.0 * t_index * self.turn_pitch
+                if a <= 2 * self.turn_pitch or b <= 2 * self.turn_pitch:
+                    raise ValueError(
+                        "too many turns per layer for the footprint: "
+                        f"{per_layer:.2f} turns do not fit "
+                        f"{self.outer_length}x{self.outer_width}"
+                    )
+                l_self = _rect_loop_inductance(a, b, wire_radius) * frac**2
+                r_eq = math.sqrt(a * b / math.pi)
+                perimeter = 2.0 * (a + b) * frac
+                self._turns.append((r_eq, z, l_self, perimeter))
+                remaining -= frac
+                t_index += 1
+
+    @classmethod
+    def ironic_receiver(cls):
+        """The paper's receiving inductor: 8 layers, 14 turns,
+        38 x 2 x 0.544 mm^3 (ref [28])."""
+        return cls(
+            outer_length=38e-3,
+            outer_width=2e-3,
+            n_turns=14,
+            n_layers=8,
+            trace_width=100e-6,
+            trace_thickness=35e-6,
+            # 8 metal layers in 0.544 mm -> 68 um pitch.
+            layer_pitch=0.544e-3 / 8.0,
+            turn_pitch=220e-6,
+        )
+
+
+class CircularSpiral(_SpiralBase):
+    """Planar circular spiral (the patch's transmitting coil)."""
+
+    def __init__(self, outer_radius, n_turns, n_layers=1,
+                 trace_width=500e-6, trace_thickness=35e-6,
+                 layer_pitch=100e-6, turn_pitch=None):
+        if turn_pitch is None:
+            turn_pitch = 2.0 * trace_width
+        super().__init__(n_turns, n_layers, trace_width, trace_thickness,
+                         layer_pitch, turn_pitch)
+        self.outer_radius = require_positive(float(outer_radius), "outer_radius")
+        per_layer = self.n_turns / self.n_layers
+        wire_radius = 0.5 * math.sqrt(
+            4.0 * trace_width * trace_thickness / math.pi)
+        for layer in range(self.n_layers):
+            z = layer * self.layer_pitch
+            remaining = per_layer
+            t_index = 0
+            while remaining > 1e-9:
+                frac = min(1.0, remaining)
+                r = self.outer_radius - t_index * self.turn_pitch
+                if r <= self.turn_pitch:
+                    raise ValueError(
+                        "too many turns for the radius: "
+                        f"{per_layer:.2f} per layer in {self.outer_radius}"
+                    )
+                l_self = _circ_loop_inductance(r, wire_radius) * frac**2
+                perimeter = 2.0 * math.pi * r * frac
+                self._turns.append((r, z, l_self, perimeter))
+                remaining -= frac
+                t_index += 1
+
+    @classmethod
+    def ironic_transmitter(cls):
+        """The patch's transmitting coil: a 32 mm-diameter 4-turn spiral
+        on the flexible substrate (patch footprint is ~6 cm, Fig. 5).
+        The radius reproduces the paper's measured power-vs-distance
+        shape: calibrated to 15 mW at 6 mm, the model then lands within
+        ~15% of the other two measured anchors (5 mW at 10 mm, 1.17 mW
+        through 17 mm of tissue)."""
+        return cls(outer_radius=16e-3, n_turns=4, trace_width=1e-3,
+                   trace_thickness=35e-6, turn_pitch=2.2e-3)

@@ -1,0 +1,99 @@
+"""Biological-tissue effects on the 5 MHz inductive link.
+
+The paper emulates tissue with a beef-sirloin slice and finds that at
+5 MHz a 17 mm slab behaves almost like 17 mm of air.  That observation is
+physics, not luck: at 5 MHz the conductive skin depth of muscle is tens
+of centimetres, so magnetic coupling is barely attenuated and the main
+effect is a small eddy-current loss.  This module captures exactly that
+regime, with dielectric data in the range of the Gabriel tissue surveys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util import require_positive
+
+MU0 = 4e-7 * math.pi
+
+
+@dataclass(frozen=True)
+class TissueProperties:
+    """Electromagnetic properties of one tissue type at ~5 MHz."""
+
+    name: str
+    conductivity: float  # S/m
+    relative_permittivity: float
+
+    def skin_depth(self, freq):
+        """Conductive skin depth at ``freq`` (good-conductor form is
+        inappropriate at these frequencies; the quasi-static form
+        sqrt(2/(omega*mu0*sigma)) is used, valid while displacement
+        currents stay small)."""
+        require_positive(freq, "freq")
+        omega = 2.0 * math.pi * freq
+        return math.sqrt(2.0 / (omega * MU0 * self.conductivity))
+
+
+#: Representative low-MHz dielectric data (order of the Gabriel surveys).
+TISSUE_LIBRARY = {
+    "air": TissueProperties("air", 0.0, 1.0),
+    "skin": TissueProperties("skin", 0.15, 800.0),
+    "fat": TissueProperties("fat", 0.035, 60.0),
+    "muscle": TissueProperties("muscle", 0.55, 7000.0),
+    # The paper's phantom: beef sirloin ~ muscle with marbling.
+    "sirloin": TissueProperties("sirloin", 0.50, 6000.0),
+}
+
+
+class TissueLayer:
+    """A slab of tissue in the link path.
+
+    ``field_attenuation`` multiplies the magnetic-field amplitude (hence
+    mutual inductance); ``power_factor`` is its square.  ``eddy_loss_factor``
+    approximates the extra fractional power dissipated by induced eddy
+    currents; both effects are small at 5 MHz, reproducing the paper's
+    tissue ~= air result, and grow with frequency so users can explore why
+    low-MHz carriers are the norm for implants.
+    """
+
+    def __init__(self, tissue, thickness):
+        if isinstance(tissue, str):
+            try:
+                tissue = TISSUE_LIBRARY[tissue]
+            except KeyError:
+                raise KeyError(
+                    f"unknown tissue {tissue!r}; available: "
+                    f"{sorted(TISSUE_LIBRARY)}"
+                )
+        self.tissue = tissue
+        self.thickness = require_positive(float(thickness), "thickness")
+
+    def field_attenuation(self, freq):
+        """H-field amplitude factor exp(-d/delta) through the slab."""
+        if self.tissue.conductivity == 0.0:
+            return 1.0
+        delta = self.tissue.skin_depth(freq)
+        return math.exp(-self.thickness / delta)
+
+    def power_factor(self, freq):
+        """Received-power multiplier (square of the field attenuation)."""
+        return self.field_attenuation(freq) ** 2
+
+    def eddy_loss_factor(self, freq, loop_radius=10e-3):
+        """Approximate fractional power lost to eddy currents.
+
+        Modelled as the ratio of the power dissipated in a conductive disc
+        (radius ``loop_radius``, the field footprint) to the reactive power
+        circulating in the link — scales with omega*sigma*d*r^2*mu0, the
+        standard low-frequency eddy scaling.
+        """
+        omega = 2.0 * math.pi * require_positive(freq, "freq")
+        scale = (omega * MU0 * self.tissue.conductivity
+                 * self.thickness * loop_radius)
+        return min(1.0, scale / 8.0)
+
+    def __repr__(self):
+        return (f"TissueLayer({self.tissue.name}, "
+                f"{self.thickness * 1e3:.1f} mm)")

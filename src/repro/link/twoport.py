@@ -1,0 +1,199 @@
+"""Two-port inductive-link theory: reflected impedance, power, efficiency.
+
+The link is modelled in the standard series-resonant form: the class-E
+amplifier forces a carrier current through the tuned transmitting coil;
+the induced EMF ``omega*M*I_tx`` drives the receiving coil's series
+R2-L2 into the (matched) rectifier load.  All paper-facing quantities —
+available power, delivered power at a given load, k^2*Q1*Q2 efficiency,
+optimal load — live here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.link.mutual import coil_mutual_inductance
+from repro.util import require_positive
+
+
+@dataclass
+class LinkOperatingPoint:
+    """Solved link state at one geometry/drive point."""
+
+    distance: float
+    mutual_inductance: float
+    coupling: float
+    emf_amplitude: float
+    available_power: float
+    delivered_power: float
+    efficiency: float
+    reflected_resistance: float
+
+    def as_row(self):
+        """Tab-friendly tuple (mm, nH, -, V, mW, mW, %, ohm)."""
+        return (
+            self.distance * 1e3,
+            self.mutual_inductance * 1e9,
+            self.coupling,
+            self.emf_amplitude,
+            self.available_power * 1e3,
+            self.delivered_power * 1e3,
+            self.efficiency * 100.0,
+            self.reflected_resistance,
+        )
+
+
+class InductiveLink:
+    """A transmit coil / receive coil pair at a carrier frequency.
+
+    Parameters
+    ----------
+    coil_tx, coil_rx : spiral objects from :mod:`repro.link.spiral`
+    freq : carrier frequency (5 MHz in the paper)
+    tissue_layers : optional list of :class:`~repro.link.tissue.TissueLayer`
+        slabs stacked in the link path.  They attenuate the mutual
+        inductance and add eddy loss.
+    """
+
+    def __init__(self, coil_tx, coil_rx, freq, tissue_layers=None):
+        self.coil_tx = coil_tx
+        self.coil_rx = coil_rx
+        self.freq = require_positive(float(freq), "freq")
+        self.omega = 2.0 * math.pi * self.freq
+        self.tissue_layers = list(tissue_layers or [])
+        # Coil electrical parameters are geometry-only: cache them.
+        self.l_tx = coil_tx.inductance()
+        self.l_rx = coil_rx.inductance()
+        self.r_tx = coil_tx.resistance(self.freq)
+        self.r_rx = coil_rx.resistance(self.freq)
+        self.q_tx = self.omega * self.l_tx / self.r_tx
+        self.q_rx = self.omega * self.l_rx / self.r_rx
+
+    # ------------------------------------------------------------------
+    # Geometry-dependent quantities
+    # ------------------------------------------------------------------
+    def _tissue_field_factor(self):
+        factor = 1.0
+        for layer in self.tissue_layers:
+            factor *= layer.field_attenuation(self.freq)
+        return factor
+
+    def _tissue_eddy_factor(self):
+        keep = 1.0
+        for layer in self.tissue_layers:
+            keep *= 1.0 - layer.eddy_loss_factor(
+                self.freq, loop_radius=self.coil_rx.equivalent_radius())
+        return keep
+
+    def mutual_inductance(self, distance, lateral_offset=0.0):
+        """M(d) including tissue field attenuation."""
+        m_air = coil_mutual_inductance(
+            self.coil_tx, self.coil_rx, distance, lateral_offset)
+        return m_air * self._tissue_field_factor()
+
+    def coupling(self, distance, lateral_offset=0.0):
+        """k(d) = M / sqrt(L1*L2)."""
+        return (self.mutual_inductance(distance, lateral_offset)
+                / math.sqrt(self.l_tx * self.l_rx))
+
+    # ------------------------------------------------------------------
+    # Power transfer
+    # ------------------------------------------------------------------
+    def emf(self, i_tx_amplitude, distance, lateral_offset=0.0):
+        """Open-circuit EMF amplitude induced in the receiving coil."""
+        require_positive(i_tx_amplitude, "i_tx_amplitude")
+        return (self.omega
+                * self.mutual_inductance(distance, lateral_offset)
+                * i_tx_amplitude)
+
+    def available_power(self, i_tx_amplitude, distance, lateral_offset=0.0):
+        """Maximum power extractable by a conjugate-matched load:
+        P = EMF^2 / (8 * R_rx), derated by tissue eddy loss."""
+        v = self.emf(i_tx_amplitude, distance, lateral_offset)
+        return (v * v / (8.0 * self.r_rx)) * self._tissue_eddy_factor()
+
+    def delivered_power(self, i_tx_amplitude, distance, r_load,
+                        lateral_offset=0.0):
+        """Power into a resistive load ``r_load`` presented in series with
+        the resonated receiving coil (matching network absorbs X_L2)."""
+        require_positive(r_load, "r_load")
+        v = self.emf(i_tx_amplitude, distance, lateral_offset)
+        i_rx = v / (self.r_rx + r_load)
+        return 0.5 * i_rx * i_rx * r_load * self._tissue_eddy_factor()
+
+    def optimal_series_load(self):
+        """Load maximising power transfer in the series model: R_rx
+        (conjugate match).  Link *efficiency* optimises differently —
+        see :meth:`optimal_efficiency_load`."""
+        return self.r_rx
+
+    def optimal_efficiency_load(self, distance):
+        """Load maximising link efficiency (Silay-style load
+        optimisation, ref [11]): R_opt = R_rx * sqrt(1 + k^2*Q1*Q2)."""
+        kq = self.kq_product(distance)
+        return self.r_rx * math.sqrt(1.0 + kq)
+
+    def kq_product(self, distance, lateral_offset=0.0):
+        """k^2 * Q1 * Q2 — the link's figure of merit."""
+        k = self.coupling(distance, lateral_offset)
+        return k * k * self.q_tx * self.q_rx
+
+    def max_efficiency(self, distance, lateral_offset=0.0):
+        """Best-case link efficiency at optimal load:
+        eta = kq / (1 + sqrt(1 + kq))^2."""
+        kq = self.kq_product(distance, lateral_offset)
+        return kq / (1.0 + math.sqrt(1.0 + kq)) ** 2
+
+    def reflected_impedance(self, distance, z_rx_total, lateral_offset=0.0):
+        """Impedance reflected into the transmitting coil:
+        Z_r = (omega*M)^2 / Z_rx_total."""
+        if z_rx_total == 0:
+            raise ValueError("receiving-side impedance cannot be zero")
+        wm = self.omega * self.mutual_inductance(distance, lateral_offset)
+        return (wm * wm) / z_rx_total
+
+    def operating_point(self, i_tx_amplitude, distance, r_load=None,
+                        lateral_offset=0.0):
+        """Solve the link at one drive/geometry point."""
+        if r_load is None:
+            r_load = self.optimal_series_load()
+        m = self.mutual_inductance(distance, lateral_offset)
+        k = m / math.sqrt(self.l_tx * self.l_rx)
+        v = self.omega * m * i_tx_amplitude
+        p_avail = self.available_power(i_tx_amplitude, distance, lateral_offset)
+        p_load = self.delivered_power(
+            i_tx_amplitude, distance, r_load, lateral_offset)
+        z_r = self.reflected_impedance(distance, self.r_rx + r_load,
+                                       lateral_offset)
+        # Efficiency from TX coil input to load.
+        p_tx_loss = 0.5 * i_tx_amplitude**2 * self.r_tx
+        p_refl = 0.5 * i_tx_amplitude**2 * z_r.real if hasattr(z_r, "real") \
+            else 0.5 * i_tx_amplitude**2 * z_r
+        eta = p_load / (p_tx_loss + p_refl) if (p_tx_loss + p_refl) > 0 else 0.0
+        return LinkOperatingPoint(
+            distance=distance,
+            mutual_inductance=m,
+            coupling=k,
+            emf_amplitude=v,
+            available_power=p_avail,
+            delivered_power=p_load,
+            efficiency=eta,
+            reflected_resistance=z_r.real if hasattr(z_r, "real") else z_r,
+        )
+
+    def distance_sweep(self, i_tx_amplitude, distances, r_load=None):
+        """List of operating points over a distance array."""
+        return [self.operating_point(i_tx_amplitude, d, r_load)
+                for d in distances]
+
+    def calibrate_drive(self, target_power, distance, r_load=None):
+        """TX current amplitude that delivers ``target_power`` at
+        ``distance`` (power scales as I^2, so this is exact)."""
+        require_positive(target_power, "target_power")
+        probe = 0.1
+        if r_load is None:
+            p = self.available_power(probe, distance)
+        else:
+            p = self.delivered_power(probe, distance, r_load)
+        return probe * math.sqrt(target_power / p)

@@ -1,0 +1,23 @@
+"""The external IronIC patch (paper Section III).
+
+A flexible skin patch hosting the class-E transmitter, the ASK modulator,
+the LSK detector, a bluetooth radio for long-range connectivity, and a
+small Li-ion battery.  This package models the battery and radio energy
+behaviour and reproduces the paper's battery-life figures: ~10 h idle,
+~3.5 h bluetooth-connected, ~1.5 h of continuous power transmission.
+"""
+
+from repro.patch.battery import LiIonBattery
+from repro.patch.bluetooth import BluetoothRadio
+from repro.patch.device import IronicPatch, PatchScenario, SCENARIOS
+from repro.patch.firmware import PatchFirmware, PatchState
+
+__all__ = [
+    "LiIonBattery",
+    "BluetoothRadio",
+    "IronicPatch",
+    "PatchScenario",
+    "SCENARIOS",
+    "PatchFirmware",
+    "PatchState",
+]

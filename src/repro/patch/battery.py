@@ -1,0 +1,109 @@
+"""Li-ion battery model for the patch.
+
+The paper cites modern Li-ion energy density (~0.2 Wh/g) and the nearly
+flat discharge voltage "until they are discharged to 75%-80%" (ref [5]).
+The model: an OCV-vs-state-of-charge curve with the flat plateau, internal
+resistance, and capacity bookkeeping under a load profile.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util import require_in_range, require_positive
+
+#: OCV curve knots (state-of-charge, volts) for a single Li-ion cell:
+#: flat 3.7 V plateau over the top ~75-80%, knee, then fast falloff.
+_OCV_KNOTS = [
+    (0.00, 3.00),
+    (0.05, 3.30),
+    (0.10, 3.50),
+    (0.20, 3.62),
+    (0.25, 3.68),
+    (0.50, 3.72),
+    (0.75, 3.78),
+    (0.90, 3.95),
+    (1.00, 4.20),
+]
+
+
+class LiIonBattery:
+    """A single-cell Li-ion battery.
+
+    ``capacity_ah`` full charge; ``energy_density_wh_per_g`` sizes the
+    mass (paper: up to 0.2 Wh/g); ``r_internal`` sags the terminal
+    voltage under load; ``v_cutoff`` ends discharge.
+    """
+
+    def __init__(self, capacity_ah=0.110, r_internal=0.15, v_cutoff=3.0,
+                 energy_density_wh_per_g=0.2, soc=1.0):
+        self.capacity_ah = require_positive(capacity_ah, "capacity_ah")
+        self.r_internal = float(r_internal)
+        if self.r_internal < 0:
+            raise ValueError("r_internal must be >= 0")
+        self.v_cutoff = require_positive(v_cutoff, "v_cutoff")
+        self.energy_density = require_positive(
+            energy_density_wh_per_g, "energy_density_wh_per_g")
+        self.soc = require_in_range(soc, 0.0, 1.0, "soc")
+
+    def open_circuit_voltage(self, soc=None):
+        """OCV at a state of charge (piecewise-linear knots)."""
+        s = self.soc if soc is None else require_in_range(soc, 0.0, 1.0,
+                                                          "soc")
+        knots = _OCV_KNOTS
+        for (s0, v0), (s1, v1) in zip(knots, knots[1:]):
+            if s <= s1:
+                frac = (s - s0) / (s1 - s0)
+                return v0 + frac * (v1 - v0)
+        return knots[-1][1]
+
+    def terminal_voltage(self, i_load, soc=None):
+        """Voltage under ``i_load`` (A) including IR sag."""
+        if i_load < 0:
+            raise ValueError("i_load must be >= 0 (discharge)")
+        return self.open_circuit_voltage(soc) - i_load * self.r_internal
+
+    @property
+    def is_flat_region(self):
+        """True while on the 3.6-3.8 V plateau (top ~75-80% of charge,
+        the ref [5] observation)."""
+        return self.soc >= 0.2
+
+    def mass_grams(self):
+        """Cell mass implied by the energy density."""
+        energy_wh = self.capacity_ah * 3.7
+        return energy_wh / self.energy_density
+
+    def runtime_hours(self, i_load):
+        """Hours until cutoff at constant current from the current SOC
+        (usable charge: down to the knee where voltage collapses)."""
+        require_positive(i_load, "i_load")
+        usable_fraction = max(self.soc - 0.05, 0.0)
+        return self.capacity_ah * usable_fraction / i_load
+
+    def discharge(self, i_load, duration_h):
+        """Drain at ``i_load`` for ``duration_h``; returns the new SOC.
+        Raises if the battery hits cutoff first."""
+        require_positive(duration_h, "duration_h")
+        if i_load < 0:
+            raise ValueError("i_load must be >= 0")
+        drained = i_load * duration_h / self.capacity_ah
+        new_soc = self.soc - drained
+        if new_soc < 0.0:
+            raise RuntimeError(
+                f"battery exhausted: needed {drained:.3f} of capacity, "
+                f"had {self.soc:.3f}")
+        self.soc = new_soc
+        return self.soc
+
+    def profile_runtime_hours(self, segments):
+        """Runtime under a repeating duty-cycle profile.
+
+        ``segments`` is a list of (current_A, fraction) with fractions
+        summing to 1; the average current sets the runtime.
+        """
+        total_frac = sum(f for _, f in segments)
+        if not math.isclose(total_frac, 1.0, rel_tol=1e-6):
+            raise ValueError(f"fractions must sum to 1, got {total_frac}")
+        i_avg = sum(i * f for i, f in segments)
+        return self.runtime_hours(i_avg)

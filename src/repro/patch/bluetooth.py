@@ -1,0 +1,54 @@
+"""Bluetooth radio energy model (the patch's long-range link).
+
+"The whole system ... can be driven by a remote device, such as a laptop
+or a smartphone, by means of bluetooth connection."  Classic Bluetooth
+(the 2012-era module the IronIC patch carries) dominates the patch's
+budget when connected — which is why the paper's battery life drops from
+~10 h idle to ~3.5 h connected.
+"""
+
+from __future__ import annotations
+
+from repro.util import require_positive
+
+
+class BluetoothRadio:
+    """Connection-state energy model of the patch's BT module.
+
+    Currents are module-level figures typical of 2012-era SPP modules
+    (e.g. RN-42 class): idle/sniff a few mA, connected ~20 mA, and an
+    extra per-byte transmit cost.
+    """
+
+    def __init__(self, i_idle=3e-3, i_connected=20.5e-3, i_tx_peak=35e-3,
+                 throughput_bps=115200.0):
+        self.i_idle = require_positive(i_idle, "i_idle")
+        self.i_connected = require_positive(i_connected, "i_connected")
+        self.i_tx_peak = require_positive(i_tx_peak, "i_tx_peak")
+        self.throughput_bps = require_positive(
+            throughput_bps, "throughput_bps")
+        if not i_idle < i_connected < i_tx_peak:
+            raise ValueError(
+                "expected i_idle < i_connected < i_tx_peak")
+
+    def current(self, connected, tx_duty=0.0):
+        """Average current in a state; ``tx_duty`` is the fraction of
+        time actively transmitting while connected."""
+        if not 0.0 <= tx_duty <= 1.0:
+            raise ValueError("tx_duty must be in [0, 1]")
+        if not connected:
+            if tx_duty > 0:
+                raise ValueError("cannot transmit while disconnected")
+            return self.i_idle
+        return (1.0 - tx_duty) * self.i_connected + tx_duty * self.i_tx_peak
+
+    def tx_time_for_payload(self, n_bytes):
+        """Airtime to forward ``n_bytes`` of sensor data upstream."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be >= 0")
+        return n_bytes * 8.0 / self.throughput_bps
+
+    def energy_per_measurement(self, n_bytes, v_supply=3.7):
+        """Joules to forward one measurement's payload."""
+        t = self.tx_time_for_payload(n_bytes)
+        return self.i_tx_peak * v_supply * t

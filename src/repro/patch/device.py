@@ -1,0 +1,99 @@
+"""The IronIC patch device model and its operating scenarios.
+
+Reproduces the paper's Section III-B battery-life figures from a current
+budget: ~10 h disconnected and not powering, ~3.5 h bluetooth-connected,
+~1.5 h of continuous power transmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.patch.battery import LiIonBattery
+from repro.patch.bluetooth import BluetoothRadio
+from repro.util import require_positive
+
+
+@dataclass(frozen=True)
+class PatchScenario:
+    """One operating mode of the patch."""
+
+    name: str
+    bluetooth_connected: bool
+    powering: bool
+    description: str
+
+
+#: The three scenarios the paper reports battery life for.
+SCENARIOS = {
+    "idle": PatchScenario(
+        "idle", bluetooth_connected=False, powering=False,
+        description="disconnected from bluetooth, not sending power"),
+    "connected": PatchScenario(
+        "connected", bluetooth_connected=True, powering=False,
+        description="bluetooth-connected to a laptop or smartphone"),
+    "powering": PatchScenario(
+        "powering", bluetooth_connected=False, powering=True,
+        description="continuously powering the implant, bluetooth off"),
+}
+
+
+class IronicPatch:
+    """Current-budget model of the patch.
+
+    ``i_mcu`` covers the microcontroller + housekeeping; the class-E
+    supply current follows from the delivered power and the end-to-end
+    efficiency (amplifier x link x rectification), which for a 6 mm link
+    with a mm-scale receiver sits in the mid-single-digit percent.
+    """
+
+    def __init__(self, battery=None, radio=None, i_mcu=7.5e-3,
+                 p_delivered=15e-3, end_to_end_efficiency=0.069,
+                 v_supply=3.7):
+        self.battery = battery or LiIonBattery()
+        self.radio = radio or BluetoothRadio()
+        self.i_mcu = require_positive(i_mcu, "i_mcu")
+        self.p_delivered = require_positive(p_delivered, "p_delivered")
+        self.efficiency = require_positive(
+            end_to_end_efficiency, "end_to_end_efficiency")
+        if self.efficiency > 1.0:
+            raise ValueError("end_to_end_efficiency must be <= 1")
+        self.v_supply = require_positive(v_supply, "v_supply")
+
+    def class_e_supply_current(self):
+        """DC current of the transmitter while powering."""
+        p_dc = self.p_delivered / self.efficiency
+        return p_dc / self.v_supply
+
+    def scenario_current(self, scenario, tx_duty=0.0):
+        """Average battery current in a scenario."""
+        if isinstance(scenario, str):
+            scenario = SCENARIOS[scenario]
+        i = self.i_mcu
+        i += self.radio.current(scenario.bluetooth_connected, tx_duty)
+        if scenario.powering:
+            i += self.class_e_supply_current()
+        return i
+
+    def battery_life_hours(self, scenario, tx_duty=0.0):
+        """Runtime in a scenario from the current battery SOC."""
+        return self.battery.runtime_hours(
+            self.scenario_current(scenario, tx_duty))
+
+    def battery_life_table(self):
+        """{scenario: hours} for the paper's three modes."""
+        return {name: self.battery_life_hours(name)
+                for name in SCENARIOS}
+
+    def monitoring_session_life(self, duty_powering, duty_connected):
+        """Mixed-profile life: a realistic session alternates powering
+        the implant and syncing over bluetooth."""
+        if duty_powering + duty_connected > 1.0:
+            raise ValueError("duty fractions exceed 100%")
+        idle = 1.0 - duty_powering - duty_connected
+        segments = [
+            (self.scenario_current("powering"), duty_powering),
+            (self.scenario_current("connected"), duty_connected),
+            (self.scenario_current("idle"), idle),
+        ]
+        return self.battery.profile_runtime_hours(segments)

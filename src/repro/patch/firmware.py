@@ -1,0 +1,181 @@
+"""Patch firmware: the session state machine the microcontroller runs.
+
+The paper's patch is driven from a laptop/smartphone over bluetooth and
+sequences power delivery and half-duplex communication.  This model
+captures that control flow as an explicit event-driven state machine so
+session logic (timeouts, battery guards, direction turn-taking) is
+testable without waveforms.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util import require_positive
+
+
+class PatchState(enum.Enum):
+    """Firmware top-level states."""
+
+    BOOT = "boot"
+    IDLE = "idle"
+    CONNECTED = "connected"
+    POWERING = "powering"
+    DOWNLINK = "downlink"
+    AWAIT_UPLINK = "await_uplink"
+    LOW_BATTERY = "low_battery"
+
+
+@dataclass
+class TransitionRecord:
+    """One logged transition."""
+
+    time: float
+    event: str
+    from_state: PatchState
+    to_state: PatchState
+
+
+class PatchFirmware:
+    """Event-driven controller.
+
+    Events: ``bt_connect``, ``bt_disconnect``, ``start_powering``,
+    ``stop_powering``, ``send_frame``, ``frame_sent``, ``uplink_done``,
+    ``uplink_timeout``, ``battery_low``, ``battery_ok``, ``tick``.
+
+    Invariants enforced:
+    * communication only happens while powering (the carrier *is* the
+      downlink medium and the uplink needs the reflected load);
+    * a low battery forces the transmitter off and blocks powering;
+    * the uplink wait is bounded by ``uplink_timeout_s``.
+    """
+
+    def __init__(self, uplink_timeout_s=50e-3, battery_low_threshold=0.1):
+        self.uplink_timeout_s = require_positive(uplink_timeout_s,
+                                                 "uplink_timeout_s")
+        if not 0 < battery_low_threshold < 1:
+            raise ValueError("battery_low_threshold must be in (0,1)")
+        self.battery_low_threshold = battery_low_threshold
+        self.state = PatchState.BOOT
+        self.time = 0.0
+        self.log = []
+        self._uplink_deadline = None
+        self._was_connected = False
+
+    # ------------------------------------------------------------------
+    def _go(self, event, new_state):
+        self.log.append(TransitionRecord(self.time, event, self.state,
+                                         new_state))
+        self.state = new_state
+
+    def _reject(self, event):
+        raise RuntimeError(
+            f"event {event!r} invalid in state {self.state.value!r}")
+
+    def handle(self, event, at_time=None):
+        """Process one event; returns the new state."""
+        if at_time is not None:
+            if at_time < self.time:
+                raise ValueError("time must not go backwards")
+            self.time = at_time
+        handler = getattr(self, f"_on_{event}", None)
+        if handler is None:
+            raise ValueError(f"unknown event {event!r}")
+        handler(event)
+        return self.state
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_boot_done(self, event):
+        if self.state is not PatchState.BOOT:
+            self._reject(event)
+        self._go(event, PatchState.IDLE)
+
+    def _on_bt_connect(self, event):
+        if self.state is not PatchState.IDLE:
+            self._reject(event)
+        self._was_connected = True
+        self._go(event, PatchState.CONNECTED)
+
+    def _on_bt_disconnect(self, event):
+        if self.state in (PatchState.BOOT, PatchState.LOW_BATTERY):
+            self._reject(event)
+        self._was_connected = False
+        # Any in-flight powering/communication is torn down.
+        self._uplink_deadline = None
+        self._go(event, PatchState.IDLE)
+
+    def _on_start_powering(self, event):
+        if self.state not in (PatchState.IDLE, PatchState.CONNECTED):
+            self._reject(event)
+        self._go(event, PatchState.POWERING)
+
+    def _on_stop_powering(self, event):
+        if self.state not in (PatchState.POWERING, PatchState.DOWNLINK,
+                              PatchState.AWAIT_UPLINK):
+            self._reject(event)
+        self._uplink_deadline = None
+        self._go(event, PatchState.CONNECTED if self._was_connected
+                 else PatchState.IDLE)
+
+    def _on_send_frame(self, event):
+        if self.state is not PatchState.POWERING:
+            self._reject(event)
+        self._go(event, PatchState.DOWNLINK)
+
+    def _on_frame_sent(self, event):
+        if self.state is not PatchState.DOWNLINK:
+            self._reject(event)
+        self._uplink_deadline = self.time + self.uplink_timeout_s
+        self._go(event, PatchState.AWAIT_UPLINK)
+
+    def _on_uplink_done(self, event):
+        if self.state is not PatchState.AWAIT_UPLINK:
+            self._reject(event)
+        self._uplink_deadline = None
+        self._go(event, PatchState.POWERING)
+
+    def _on_battery_low(self, event):
+        # Always honoured: kill the transmitter wherever we are.
+        self._uplink_deadline = None
+        self._go(event, PatchState.LOW_BATTERY)
+
+    def _on_battery_ok(self, event):
+        if self.state is not PatchState.LOW_BATTERY:
+            self._reject(event)
+        self._go(event, PatchState.IDLE)
+
+    def _on_tick(self, event):
+        """Time-driven housekeeping: uplink timeout."""
+        if (self.state is PatchState.AWAIT_UPLINK
+                and self._uplink_deadline is not None
+                and self.time >= self._uplink_deadline):
+            self._uplink_deadline = None
+            self._go("uplink_timeout", PatchState.POWERING)
+
+    # ------------------------------------------------------------------
+    @property
+    def transmitting(self):
+        """Is the class-E carrier on?"""
+        return self.state in (PatchState.POWERING, PatchState.DOWNLINK,
+                              PatchState.AWAIT_UPLINK)
+
+    def check_battery(self, soc):
+        """Feed a battery state-of-charge; may force LOW_BATTERY."""
+        if soc < 0 or soc > 1:
+            raise ValueError("soc must be in [0, 1]")
+        if (soc < self.battery_low_threshold
+                and self.state is not PatchState.LOW_BATTERY):
+            self.handle("battery_low")
+        return self.state
+
+    def run_measurement_cycle(self, t_downlink=1.8e-3, t_uplink=5e-3):
+        """A canonical command/response exchange from POWERING."""
+        if self.state is not PatchState.POWERING:
+            raise RuntimeError("must be POWERING to run a cycle")
+        self.handle("send_frame")
+        self.handle("frame_sent", at_time=self.time + t_downlink)
+        self.handle("uplink_done", at_time=self.time + t_uplink)
+        return self.state

@@ -1,0 +1,55 @@
+"""Implant-side power management (paper Section IV).
+
+The received carrier is rectified (half-wave rectifier with four clamping
+diodes, Vo <= 3 V), buffered on the storage capacitor Co, and regulated
+down to the sensor's 1.8 V supply by an LDO with 300 mV dropout — hence
+the paper's rule that Vo must stay above 2.1 V.  The same block hosts the
+LSK load modulator (switches M1/M2 of Fig. 8).
+
+Two abstraction levels:
+
+* :mod:`repro.power.rectifier` builds carrier-resolved SPICE netlists of
+  Fig. 8 for validation;
+* :mod:`repro.power.envelope` integrates the bit-time-scale envelope
+  dynamics (Co charging, load steps, LSK droop) that regenerate Fig. 11.
+"""
+
+from repro.power.rectifier import (
+    RectifierParameters,
+    build_rectifier_circuit,
+    measure_input_resistance,
+)
+from repro.power.envelope import RectifierEnvelopeModel, EnvelopeTrace
+from repro.power.regulator import LowDropoutRegulator
+from repro.power.storage import StorageCapacitor
+from repro.power.monitor import UndervoltageMonitor, PowerOnReset
+from repro.power.budget import PowerBudget, SensorMode, SENSOR_LOW_POWER, \
+    SENSOR_HIGH_POWER
+from repro.power.thermal import (
+    ImplantThermalModel,
+    ThermalReport,
+    field_sar,
+    link_h_field,
+    implant_thermal_check,
+)
+
+__all__ = [
+    "RectifierParameters",
+    "build_rectifier_circuit",
+    "measure_input_resistance",
+    "RectifierEnvelopeModel",
+    "EnvelopeTrace",
+    "LowDropoutRegulator",
+    "StorageCapacitor",
+    "UndervoltageMonitor",
+    "PowerOnReset",
+    "PowerBudget",
+    "SensorMode",
+    "SENSOR_LOW_POWER",
+    "SENSOR_HIGH_POWER",
+    "ImplantThermalModel",
+    "ThermalReport",
+    "field_sar",
+    "link_h_field",
+    "implant_thermal_check",
+]

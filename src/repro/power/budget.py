@@ -1,0 +1,64 @@
+"""Power budgeting for the implanted sensor.
+
+The paper's simulation assumptions (Section IV-C): low-power mode draws
+about 350 uA (communication), high-power mode about 1.3 mA (measurement),
+both at 1.8 V — deliberately pessimistic versus the measured electronics
+(45 uA potentiostat + 240 uA ADC, Section II-B).  The budget object
+checks a delivered-power level against a mode, through the LDO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.regulator import LowDropoutRegulator
+from repro.util import require_positive
+
+
+@dataclass(frozen=True)
+class SensorMode:
+    """An operating mode of the implanted sensor."""
+
+    name: str
+    i_supply: float   # current draw from the 1.8 V rail
+    v_supply: float = 1.8
+
+    @property
+    def power(self):
+        return self.i_supply * self.v_supply
+
+
+#: The paper's worst-case assumptions (Section IV-C).
+SENSOR_LOW_POWER = SensorMode("low_power_comms", 350e-6)
+SENSOR_HIGH_POWER = SensorMode("high_power_measurement", 1.3e-3)
+
+
+class PowerBudget:
+    """Delivered-power vs consumption bookkeeping through the LDO."""
+
+    def __init__(self, regulator=None, rectifier_efficiency=0.9):
+        self.regulator = regulator or LowDropoutRegulator()
+        require_positive(rectifier_efficiency, "rectifier_efficiency")
+        self.rectifier_efficiency = rectifier_efficiency
+
+    def required_input_power(self, mode, v_rect=2.5):
+        """Carrier power needed at the rectifier input to sustain
+        ``mode`` with the rectifier output held at ``v_rect``."""
+        i_in_ldo = self.regulator.input_current(mode.i_supply)
+        p_dc = v_rect * i_in_ldo
+        return p_dc / self.rectifier_efficiency
+
+    def margin(self, p_available, mode, v_rect=2.5):
+        """(absolute margin W, ratio) of available over required power."""
+        p_req = self.required_input_power(mode, v_rect)
+        return p_available - p_req, p_available / p_req
+
+    def sustainable(self, p_available, mode, v_rect=2.5):
+        """True when ``p_available`` sustains ``mode`` indefinitely."""
+        return self.margin(p_available, mode, v_rect)[0] >= 0.0
+
+    def supported_modes(self, p_available, modes=None, v_rect=2.5):
+        """Subset of ``modes`` sustainable at ``p_available``."""
+        modes = modes if modes is not None else [SENSOR_LOW_POWER,
+                                                 SENSOR_HIGH_POWER]
+        return [m for m in modes if self.sustainable(p_available, m, v_rect)]

@@ -1,0 +1,114 @@
+"""Transistor-level netlist of the paper's Fig. 9 ASK demodulator.
+
+The switched peak detector: while phi1 is high, PMOS pass device M10
+charges the hold capacitor C2 to the carrier peak (diodes prevent
+discharge) and the held level is read by the inverter pair I3/I4; while
+phi2 is high, C1 forces M10's gate-source to zero (switch open) and C2
+is discharged, arming the next decision.  This netlist validates the
+behavioural :class:`repro.comms.AskDemodulator` at circuit level.
+
+Simplifications versus the 0.18 um schematic: the two-phase clock is
+supplied as ideal sources; the bulk-biasing sub-circuit (Ma/Mb) is
+represented by M10's symmetric level-1 model, which cannot latch up by
+construction; the inverter pair is a two-MOSFET CMOS inverter plus an
+ideal buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comms.clock import TwoPhaseClock
+from repro.signals import Waveform, slice_levels
+from repro.spice import Circuit, transient
+from repro.spice.sources import SourceFunction, ask_carrier
+
+
+def _clock_sources(clock, v_high=1.8):
+    """(phi1, phi2) source functions from a TwoPhaseClock."""
+    phi1 = SourceFunction(
+        lambda t: v_high if clock.phi1(t) else 0.0, label="phi1")
+    phi2 = SourceFunction(
+        lambda t: v_high if clock.phi2(t) else 0.0, label="phi2")
+    return phi1, phi2
+
+
+def build_demodulator_circuit(bits, carrier_freq=5e6, bit_rate=100e3,
+                              amplitude=1.5, depth=0.42, vdd=1.8):
+    """Fig. 9 as a netlist, driven by an ASK-modulated carrier.
+
+    Returns (circuit, clock).  Nodes: ``vi`` carrier input, ``hold`` the
+    C2 peak-hold node, ``vdem`` the demodulated output.
+    """
+    clock = TwoPhaseClock(bit_rate, non_overlap=0.05)
+    ckt = Circuit("ask_demodulator_fig9")
+    ckt.add_vsource("VDD", "vdd", "0", vdd)
+    ckt.add_vsource("VIN", "vi", "0",
+                    ask_carrier(amplitude, carrier_freq, bits, bit_rate,
+                                depth))
+    phi1, phi2 = _clock_sources(clock, vdd)
+    ckt.add_vsource("VPHI1", "phi1", "0", phi1)
+    ckt.add_vsource("VPHI2", "phi2", "0", phi2)
+
+    # Track switch M10: a PMOS pass device; its gate is pulled low
+    # (track) during phi1 via switch SG1, and shorted to source (open)
+    # during phi2 — the C1 gate-capacitor trick of Fig. 10b.
+    ckt.add_capacitor("C1", "gate", "vi", 2e-12)
+    ckt.add_switch("SG1", "gate", "0", "phi1", "0",
+                   v_threshold=0.9, r_on=100.0, r_off=1e9)
+    ckt.add_switch("SG2", "gate", "vi", "phi2", "0",
+                   v_threshold=0.9, r_on=100.0, r_off=1e9)
+    ckt.add_mosfet("M10", "vi", "gate", "peak", polarity="p",
+                   vto=0.45, kp=120e-6, w=40e-6, l=0.35e-6, lam=0.01)
+
+    # Series diode + hold capacitor C2 (D6-D8 collapse to one ideal
+    # junction: they only ever block the same discharge path).
+    ckt.add_diode("D6", "peak", "hold", i_s=5e-12)
+    ckt.add_capacitor("C2", "hold", "0", 3e-12)
+    ckt.add_resistor("RPK", "peak", "0", 1e8)  # keeps the node defined
+    # phi2 discharge of the hold node.
+    ckt.add_switch("SD", "hold", "0", "phi2", "0",
+                   v_threshold=0.9, r_on=500.0, r_off=1e9)
+
+    # Inverter pair I3/I4: two CMOS inverters slice and restore the
+    # held level to a clean logic output on vdem.
+    def add_inverter(tag, node_in, node_out):
+        ckt.add_mosfet(f"M{tag}P", node_out, node_in, "vdd",
+                       polarity="p", vto=0.45, kp=120e-6, w=8e-6,
+                       l=0.35e-6)
+        ckt.add_mosfet(f"M{tag}N", node_out, node_in, "0",
+                       polarity="n", vto=0.45, kp=240e-6, w=4e-6,
+                       l=0.35e-6)
+        ckt.add_capacitor(f"C{tag}", node_out, "0", 50e-15)
+
+    add_inverter("I3", "hold", "inv")
+    add_inverter("I4", "inv", "vdem")
+    ckt.add_resistor("RLOAD", "vdem", "0", 1e7)
+    return ckt, clock
+
+
+def demodulate_with_circuit(bits, n_cycles_per_point=24,
+                            carrier_freq=5e6, bit_rate=100e3, **kwargs):
+    """Run the Fig. 9 netlist over ``bits`` and slice the output.
+
+    Heavy (carrier-resolved), so intended for short validation patterns
+    (a few bits).  Returns (recovered_bits, result).
+    """
+    bits = [int(b) for b in bits]
+    ckt, clock = build_demodulator_circuit(
+        bits, carrier_freq=carrier_freq, bit_rate=bit_rate, **kwargs)
+    t_stop = (len(bits) + 0.5) / bit_rate
+    dt = 1.0 / (carrier_freq * n_cycles_per_point)
+    res = transient(ckt, t_stop=t_stop, dt=dt, method="trap",
+                    use_ic=True, store_every=2)
+    v_hold = res.voltage("hold")
+    # Decision instants: late in each phi1 track window (the paper reads
+    # at phi1 edges; the held peak is valid just before phi2).  The
+    # slicing threshold is the midpoint of the *held decision values* —
+    # the phi2 discharge dips must not bias it.
+    t_bit = 1.0 / bit_rate
+    sample_times = [(k + 0.42) * t_bit for k in range(len(bits))]
+    samples = [float(v_hold.value_at(ts)) for ts in sample_times]
+    threshold = 0.5 * (min(samples) + max(samples))
+    recovered = slice_levels(v_hold, threshold, sample_times)
+    return recovered, res

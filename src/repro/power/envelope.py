@@ -1,0 +1,144 @@
+"""Envelope-level model of the rectifier + storage capacitor.
+
+Carrier-resolved simulation of the full Fig. 11 transient (600 us at
+5 MHz) costs millions of Newton solves; the quantities the figure reports
+(Co charging to 2.75 V, Vo >= 2.1 V during both communications) live on
+the bit-time scale, so this model integrates the *envelope*:
+
+    Co * dVo/dt = I_rect(P_in(t), Vo) - I_load(t)
+
+with the rectifier represented by its power-conversion efficiency and the
+clamp chain by a hard ceiling.  The carrier-resolved netlists in
+:mod:`repro.power.rectifier` validate this abstraction in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.signals import Waveform
+from repro.util import require_positive
+
+
+@dataclass
+class EnvelopeTrace:
+    """Output of an envelope run: Vo(t), input power, and load current."""
+
+    v_out: Waveform
+    p_in: Waveform
+    i_load: Waveform
+
+    def minimum_after(self, t):
+        """Minimum output voltage from ``t`` to the end (the paper's
+        'never goes below 2.1 V' check)."""
+        return self.v_out.clip_time(t, self.v_out.t_stop).min()
+
+
+class RectifierEnvelopeModel:
+    """Bit-time-scale model of rectifier + Co + clamp.
+
+    Parameters
+    ----------
+    c_out : storage capacitance Co (250 nF reproduces the paper's 2.75 V
+        at ~270 us from 5 mW, Fig. 11).
+    efficiency : carrier-to-DC conversion efficiency of the clamp-doubler
+        rectifier (diode drops + conduction-angle losses).
+    clamp_voltage : voltage at which the 4-diode clamp chain conducts
+        ``clamp_i0`` (the paper's Vo <= 3 V); the exponential
+        ``clamp_slope`` is 4 diode thermal slopes.
+    v_min_operate : charge-balance floor — at start-up the inrush is
+        limited by the source impedance, not by Vo.
+
+    Defaults are calibrated against the carrier-resolved netlist of
+    :mod:`repro.power.rectifier` (see tests/test_power_consistency.py).
+    """
+
+    def __init__(self, c_out=250e-9, efficiency=0.9, clamp_voltage=3.0,
+                 v_min_operate=0.8, clamp_i0=1e-3, clamp_slope=0.1034):
+        self.c_out = require_positive(c_out, "c_out")
+        self.efficiency = require_positive(efficiency, "efficiency")
+        if not 0 < efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0,1], got {efficiency}")
+        self.clamp_voltage = require_positive(clamp_voltage, "clamp_voltage")
+        self.v_min_operate = float(v_min_operate)
+        self.clamp_i0 = require_positive(clamp_i0, "clamp_i0")
+        self.clamp_slope = require_positive(clamp_slope, "clamp_slope")
+
+    def rectified_current(self, p_in, v_out):
+        """DC current sourced into Co at input power ``p_in`` and output
+        voltage ``v_out`` (charge balance: I = eta*P / max(Vo, floor))."""
+        if p_in <= 0.0:
+            return 0.0
+        v_eff = max(v_out, self.v_min_operate)
+        return self.efficiency * p_in / v_eff
+
+    def clamp_current(self, v_out):
+        """Leakage into the 4-diode overvoltage clamp chain."""
+        if v_out <= 0.0:
+            return 0.0
+        return self.clamp_i0 * math.exp(
+            (v_out - self.clamp_voltage) / self.clamp_slope)
+
+    def simulate(self, p_in_func, i_load_func, t_stop, dt=1e-6, v0=0.0,
+                 shorted_func=None):
+        """Integrate the envelope ODE.
+
+        ``p_in_func(t)`` — available carrier power at the rectifier input
+        (set by the link and the ASK bit pattern).
+        ``i_load_func(t)`` — DC load current (sensor mode dependent).
+        ``shorted_func(t)`` — optional LSK modulation: True while the
+        input is short-circuited (no power in; M2 open so Co only sees
+        the load).
+        """
+        require_positive(t_stop, "t_stop")
+        require_positive(dt, "dt")
+        n = int(math.ceil(t_stop / dt)) + 1
+        t = np.linspace(0.0, t_stop, n)
+        v = np.empty(n)
+        p = np.empty(n)
+        i = np.empty(n)
+        v[0] = v0
+        p[0] = p_in_func(0.0)
+        i[0] = i_load_func(0.0)
+        for k in range(1, n):
+            tk = t[k]
+            shorted = bool(shorted_func(tk)) if shorted_func else False
+            p_in = 0.0 if shorted else float(p_in_func(tk))
+            i_load = float(i_load_func(tk))
+            i_rect = self.rectified_current(p_in, v[k - 1])
+            # While the input is shorted M2 is open, so the clamp chain is
+            # disconnected from Co (the paper's anti-discharge measure).
+            i_clamp = 0.0 if shorted else self.clamp_current(v[k - 1])
+            dv = ((i_rect - i_load - i_clamp) * (t[k] - t[k - 1])
+                  / self.c_out)
+            v[k] = max(v[k - 1] + dv, 0.0)
+            p[k] = p_in
+            i[k] = i_load
+        return EnvelopeTrace(
+            v_out=Waveform(t, v),
+            p_in=Waveform(t, p),
+            i_load=Waveform(t, i),
+        )
+
+    def charge_time(self, p_in, i_load, v_target, v0=0.0):
+        """Closed-form-ish time to charge Co from ``v0`` to ``v_target``
+        under constant input power and load (numerically integrated;
+        returns None if the target is unreachable)."""
+        require_positive(v_target, "v_target")
+        if v_target > self.clamp_voltage:
+            return None
+        v, t, dt = v0, 0.0, 1e-6
+        limit = 1.0  # a full second means effectively never
+        while v < v_target:
+            i_rect = self.rectified_current(p_in, v)
+            dv = (i_rect - i_load - self.clamp_current(v)) * dt / self.c_out
+            if dv <= 0:
+                return None
+            v += dv
+            t += dt
+            if t > limit:
+                return None
+        return t

@@ -1,0 +1,75 @@
+"""Supply supervision: undervoltage lockout and power-on reset.
+
+The paper's operational rule — the rectifier output "never goes below
+2.1 V" during communication — is enforced/observed by these supervisors
+in the integrated system model.
+"""
+
+from __future__ import annotations
+
+from repro.signals import crossing_times
+from repro.util import require_positive
+
+
+class UndervoltageMonitor:
+    """Hysteretic undervoltage supervisor on the rectifier output.
+
+    Asserts (rail bad) when the voltage falls below ``v_trip`` and
+    releases only above ``v_release`` (hysteresis avoids chatter on
+    ripple).
+    """
+
+    def __init__(self, v_trip=2.1, hysteresis=0.05):
+        self.v_trip = require_positive(v_trip, "v_trip")
+        self.hysteresis = float(hysteresis)
+        if self.hysteresis < 0:
+            raise ValueError("hysteresis must be >= 0")
+        self._tripped = True  # starts tripped until the rail proves good
+
+    @property
+    def v_release(self):
+        return self.v_trip + self.hysteresis
+
+    def update(self, voltage):
+        """Feed one sample; returns True while the rail is good."""
+        if self._tripped:
+            if voltage >= self.v_release:
+                self._tripped = False
+        else:
+            if voltage < self.v_trip:
+                self._tripped = True
+        return not self._tripped
+
+    def scan(self, waveform):
+        """Run over a waveform; returns (ok_fraction, trip_times).
+
+        ``ok_fraction`` is the fraction of samples with the rail good;
+        ``trip_times`` are the falling crossings of ``v_trip``.
+        """
+        good = sum(1 for v in waveform.v if self.update(float(v)))
+        trips = crossing_times(waveform, self.v_trip, "falling")
+        return good / len(waveform), trips
+
+
+class PowerOnReset:
+    """Release reset after the rail stays above threshold for ``t_hold``."""
+
+    def __init__(self, v_threshold=1.6, t_hold=50e-6):
+        self.v_threshold = require_positive(v_threshold, "v_threshold")
+        self.t_hold = require_positive(t_hold, "t_hold")
+
+    def release_time(self, waveform):
+        """First time the rail has been continuously good for ``t_hold``.
+
+        Returns None if reset never releases within the waveform.
+        """
+        above_since = None
+        for t, v in zip(waveform.t, waveform.v):
+            if v >= self.v_threshold:
+                if above_since is None:
+                    above_since = t
+                elif t - above_since >= self.t_hold:
+                    return above_since + self.t_hold
+            else:
+                above_since = None
+        return None

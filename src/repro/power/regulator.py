@@ -1,0 +1,76 @@
+"""Low-dropout regulator model (the implant's 1.8 V supply).
+
+The paper assumes a 300 mV dropout: "By considering the dropout voltage
+of the regulator equal to 300 mV, the output voltage Vo of the rectifier
+should always be higher than 2.1 V to assure the correct functioning of
+the sensor at 1.8 V."
+"""
+
+from __future__ import annotations
+
+from repro.util import require_positive
+
+
+class LowDropoutRegulator:
+    """Behavioural LDO: ideal regulation above dropout, tracking below.
+
+    ``line_regulation`` (V/V) and ``load_regulation`` (V/A) add the small
+    real-world dependencies; both default to typical 0.18 um values.
+    """
+
+    def __init__(self, v_out_nominal=1.8, dropout=0.3, i_quiescent=2e-6,
+                 line_regulation=1e-3, load_regulation=0.5,
+                 i_load_max=5e-3):
+        self.v_out_nominal = require_positive(v_out_nominal, "v_out_nominal")
+        self.dropout = require_positive(dropout, "dropout")
+        self.i_quiescent = float(i_quiescent)
+        self.line_regulation = float(line_regulation)
+        self.load_regulation = float(load_regulation)
+        self.i_load_max = require_positive(i_load_max, "i_load_max")
+
+    @property
+    def v_in_min(self):
+        """Minimum input for regulation: v_out + dropout (the 2.1 V rule)."""
+        return self.v_out_nominal + self.dropout
+
+    def in_regulation(self, v_in):
+        """True when the input is high enough for full regulation."""
+        return v_in >= self.v_in_min
+
+    def output_voltage(self, v_in, i_load=0.0):
+        """Output for a given input voltage and load current."""
+        if i_load < 0:
+            raise ValueError(f"i_load must be >= 0, got {i_load}")
+        if i_load > self.i_load_max:
+            raise ValueError(
+                f"load {i_load:.3g} A exceeds the LDO limit "
+                f"{self.i_load_max:.3g} A")
+        if v_in <= 0:
+            return 0.0
+        if self.in_regulation(v_in):
+            v = (self.v_out_nominal
+                 + self.line_regulation * (v_in - self.v_in_min)
+                 - self.load_regulation * i_load)
+            return max(v, 0.0)
+        # Dropout region: the pass device is fully on.
+        return max(v_in - self.dropout, 0.0)
+
+    def input_current(self, i_load):
+        """Series topology: input current = load + quiescent."""
+        if i_load < 0:
+            raise ValueError(f"i_load must be >= 0, got {i_load}")
+        return i_load + self.i_quiescent
+
+    def power_efficiency(self, v_in, i_load):
+        """P_out / P_in at the operating point."""
+        if v_in <= 0 or i_load <= 0:
+            return 0.0
+        v_out = self.output_voltage(v_in, i_load)
+        return (v_out * i_load) / (v_in * self.input_current(i_load))
+
+    def regulate_waveform(self, v_in_waveform, i_load=0.0):
+        """Apply the LDO transfer to a rectifier-output waveform."""
+        from repro.signals import Waveform
+
+        values = [self.output_voltage(v, i_load) for v in v_in_waveform.v]
+        return Waveform(v_in_waveform.t, values)

@@ -1,0 +1,69 @@
+"""Storage-capacitor (Co) sizing and droop analysis.
+
+During LSK uplink the rectifier input is short-circuited for whole bit
+periods and Co alone carries the sensor; during ASK downlink the incoming
+power drops to the logic-0 level.  This module answers the sizing
+question those events pose.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util import require_positive
+
+
+class StorageCapacitor:
+    """The implant's reservoir capacitor."""
+
+    def __init__(self, capacitance, v_rating=5.0, esr=0.1):
+        self.capacitance = require_positive(capacitance, "capacitance")
+        self.v_rating = require_positive(v_rating, "v_rating")
+        self.esr = float(esr)
+
+    def droop(self, i_load, duration):
+        """Voltage lost supplying ``i_load`` for ``duration`` with no
+        recharge (plus the ESR step)."""
+        require_positive(duration, "duration")
+        if i_load < 0:
+            raise ValueError("i_load must be >= 0")
+        return i_load * duration / self.capacitance + i_load * self.esr
+
+    def holdup_time(self, i_load, v_start, v_min):
+        """How long the cap alone can hold the rail above ``v_min``."""
+        require_positive(i_load, "i_load")
+        if v_start <= v_min:
+            return 0.0
+        v_avail = v_start - v_min - i_load * self.esr
+        if v_avail <= 0:
+            return 0.0
+        return self.capacitance * v_avail / i_load
+
+    def energy(self, voltage):
+        """Stored energy at ``voltage``."""
+        if voltage < 0:
+            raise ValueError("voltage must be >= 0")
+        return 0.5 * self.capacitance * voltage * voltage
+
+    @classmethod
+    def size_for_holdup(cls, i_load, duration, v_start, v_min, margin=2.0,
+                        **kwargs):
+        """Smallest (margined) capacitor keeping the rail above ``v_min``
+        while unpowered for ``duration`` at ``i_load``.
+
+        >>> c = StorageCapacitor.size_for_holdup(350e-6, 15e-6, 2.75, 2.1)
+        >>> c.capacitance < 100e-9
+        True
+        """
+        require_positive(i_load, "i_load")
+        require_positive(duration, "duration")
+        if v_start <= v_min:
+            raise ValueError("v_start must exceed v_min")
+        c_min = i_load * duration / (v_start - v_min)
+        return cls(c_min * margin, **kwargs)
+
+    def ripple_at_carrier(self, i_load, freq):
+        """Peak-to-peak carrier-frequency ripple for a half-wave
+        rectifier feeding ``i_load`` (discharge for one carrier period)."""
+        require_positive(freq, "freq")
+        return i_load / (self.capacitance * freq)

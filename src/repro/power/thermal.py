@@ -1,0 +1,136 @@
+"""Thermal-dissipation checks for the implanted device.
+
+The paper lists "a low thermal dissipation" among the key requirements
+(Section I): regulatory practice limits chronic tissue heating to about
+1-2 degC (and RF exposure via SAR).  This module estimates the implant's
+steady-state temperature rise from its dissipated power and checks the
+field-induced tissue heating of the 5 MHz link.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util import require_positive
+
+#: Thermal conductivity of perfused soft tissue (W/(m*K)).
+TISSUE_CONDUCTIVITY = 0.5
+#: Blood-perfusion equivalent heat-transfer bump (effective multiplier).
+PERFUSION_FACTOR = 1.6
+#: Conservative chronic-implant limit (degC above core temperature).
+MAX_TEMP_RISE = 1.0
+#: IEEE C95.1-style localised SAR limit (W/kg, 10 g average).
+SAR_LIMIT_10G = 2.0
+
+
+@dataclass(frozen=True)
+class ThermalReport:
+    """Result of a thermal check."""
+
+    p_dissipated: float
+    temp_rise: float
+    sar: float
+    temp_ok: bool
+    sar_ok: bool
+
+    @property
+    def ok(self):
+        return self.temp_ok and self.sar_ok
+
+
+class ImplantThermalModel:
+    """Spherical-equivalent steady-state conduction model.
+
+    A body of characteristic radius ``r_eq`` dissipating P into infinite
+    perfused tissue rises by dT = P / (4*pi*k_eff*r_eq) — the standard
+    first-cut used before FEM.  The paper's implant (38 x 2 x 0.5 mm)
+    maps to r_eq ~ 4 mm (equal-surface sphere of the slab).
+    """
+
+    def __init__(self, r_equivalent=4e-3,
+                 conductivity=TISSUE_CONDUCTIVITY,
+                 perfusion_factor=PERFUSION_FACTOR):
+        self.r_eq = require_positive(r_equivalent, "r_equivalent")
+        self.k = require_positive(conductivity, "conductivity")
+        self.perfusion = require_positive(perfusion_factor,
+                                          "perfusion_factor")
+
+    @classmethod
+    def for_slab(cls, length, width, height, **kwargs):
+        """Equivalent radius from the slab's surface area
+        (A_sphere = A_slab -> r = sqrt(A/4pi))."""
+        require_positive(length, "length")
+        require_positive(width, "width")
+        require_positive(height, "height")
+        area = 2.0 * (length * width + length * height + width * height)
+        return cls(r_equivalent=math.sqrt(area / (4.0 * math.pi)),
+                   **kwargs)
+
+    def temperature_rise(self, p_dissipated):
+        """Steady-state surface temperature rise (degC) for dissipated
+        power ``p_dissipated`` (W)."""
+        if p_dissipated < 0:
+            raise ValueError("p_dissipated must be >= 0")
+        k_eff = self.k * self.perfusion
+        return p_dissipated / (4.0 * math.pi * k_eff * self.r_eq)
+
+    def max_dissipation(self, temp_limit=MAX_TEMP_RISE):
+        """Largest power dissipation within the temperature limit."""
+        require_positive(temp_limit, "temp_limit")
+        k_eff = self.k * self.perfusion
+        return temp_limit * 4.0 * math.pi * k_eff * self.r_eq
+
+
+def field_sar(tissue, h_field_amplitude, freq, radius=10e-3,
+              density=1050.0):
+    """Eddy-current SAR in tissue exposed to the link's H field.
+
+    For a conductive region of ``radius`` in a uniform axial H field,
+    the induced E at the rim is omega*mu0*H*r/2 and
+    SAR = sigma*E_rms^2/rho — the standard quasi-static bound.
+    """
+    require_positive(freq, "freq")
+    if h_field_amplitude < 0:
+        raise ValueError("h_field_amplitude must be >= 0")
+    omega = 2.0 * math.pi * freq
+    mu0 = 4e-7 * math.pi
+    e_peak = omega * mu0 * h_field_amplitude * radius / 2.0
+    e_rms_sq = e_peak * e_peak / 2.0
+    return tissue.conductivity * e_rms_sq / density
+
+
+def link_h_field(i_tx_amplitude, coil_radius, distance):
+    """On-axis H-field amplitude of the transmit coil (single-turn
+    equivalent loop): H = I*r^2 / (2*(r^2+z^2)^1.5)."""
+    require_positive(coil_radius, "coil_radius")
+    if distance < 0:
+        raise ValueError("distance must be >= 0")
+    r2 = coil_radius * coil_radius
+    return (i_tx_amplitude * r2
+            / (2.0 * (r2 + distance * distance) ** 1.5))
+
+
+def implant_thermal_check(p_received, p_delivered_to_load,
+                          i_tx_amplitude, coil_radius, coil_turns,
+                          distance, tissue, model=None):
+    """Full thermal audit of an operating point.
+
+    The implant dissipates what it receives minus what reaches the load
+    usefully *plus* the load power itself (all electrical power ends as
+    heat in the implant); the field check covers the surrounding tissue.
+    """
+    model = model or ImplantThermalModel.for_slab(38e-3, 2e-3, 0.544e-3)
+    if p_received < p_delivered_to_load:
+        raise ValueError("cannot deliver more than is received")
+    p_heat = p_received  # everything ultimately dissipates locally
+    rise = model.temperature_rise(p_heat)
+    h = link_h_field(i_tx_amplitude * coil_turns, coil_radius, distance)
+    sar = field_sar(tissue, h, 5e6)
+    return ThermalReport(
+        p_dissipated=p_heat,
+        temp_rise=rise,
+        sar=sar,
+        temp_ok=rise <= MAX_TEMP_RISE,
+        sar_ok=sar <= SAR_LIMIT_10G,
+    )

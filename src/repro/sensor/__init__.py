@@ -1,0 +1,35 @@
+"""The target device: lactate biosensor and its electronic interface.
+
+Models the paper's Section II: a three-electrode electrochemical cell
+with lactate-oxidase enzymes immobilised on MWCNT-modified screen-printed
+electrodes (Fig. 2), the potentiostat + current-readout circuit (Fig. 3),
+and the two bandgap references that set the 650 mV oxidation potential
+between working and reference electrodes.
+"""
+
+from repro.sensor.enzyme import EnzymeKinetics, CLODX, WTLODX, GOX
+from repro.sensor.electrochem import ThreeElectrodeCell, Electrode
+from repro.sensor.potentiostat import Potentiostat, ReadoutCircuit
+from repro.sensor.bandgap import BandgapReference, regular_bandgap, \
+    sub_1v_bandgap
+from repro.sensor.interface import ElectronicInterface, CalibrationCurve
+from repro.sensor.stability import DriftModel, CalibrationState, Recalibrator
+
+__all__ = [
+    "EnzymeKinetics",
+    "CLODX",
+    "WTLODX",
+    "GOX",
+    "ThreeElectrodeCell",
+    "Electrode",
+    "Potentiostat",
+    "ReadoutCircuit",
+    "BandgapReference",
+    "regular_bandgap",
+    "sub_1v_bandgap",
+    "ElectronicInterface",
+    "CalibrationCurve",
+    "DriftModel",
+    "CalibrationState",
+    "Recalibrator",
+]

@@ -1,0 +1,73 @@
+"""Bandgap voltage references (the paper's Section II-B).
+
+Two references set the oxidation potential: a regular bandgap at 1.2 V on
+the WE and a sub-1-V Banba-style bandgap (ref [22]) at 550 mV on the RE,
+"independent from temperature and supply".  The model captures the
+parabolic temperature curvature around the trim point and a first-order
+supply sensitivity, so system analyses can budget the Vox error.
+"""
+
+from __future__ import annotations
+
+from repro.util import require_positive
+
+
+class BandgapReference:
+    """A curvature-limited voltage reference.
+
+    V(T, Vdd) = v_nominal * (1 - curvature*(T - t_trim)^2)
+                + supply_sensitivity * (Vdd - vdd_nominal)
+
+    ``curvature`` has units 1/K^2 (typ. ~1e-6 -> ~20 ppm/K average tempco
+    over the body range); the reference needs ``vdd_min`` to regulate.
+    """
+
+    def __init__(self, v_nominal, t_trim=37.0, curvature=1.2e-6,
+                 supply_sensitivity=1e-3, vdd_nominal=1.8, vdd_min=1.4):
+        self.v_nominal = require_positive(v_nominal, "v_nominal")
+        self.t_trim = float(t_trim)
+        self.curvature = float(curvature)
+        if self.curvature < 0:
+            raise ValueError("curvature must be >= 0")
+        self.supply_sensitivity = float(supply_sensitivity)
+        self.vdd_nominal = require_positive(vdd_nominal, "vdd_nominal")
+        self.vdd_min = require_positive(vdd_min, "vdd_min")
+
+    def output(self, temperature=37.0, vdd=1.8):
+        """Reference voltage at ``temperature`` (deg C) and supply."""
+        if vdd < self.vdd_min:
+            # Below headroom the reference follows the supply down.
+            return max(0.0, self.v_nominal * vdd / self.vdd_min
+                       * (vdd / self.vdd_min))
+        dt = temperature - self.t_trim
+        v = self.v_nominal * (1.0 - self.curvature * dt * dt)
+        return v + self.supply_sensitivity * (vdd - self.vdd_nominal)
+
+    def tempco_ppm(self, t_low=20.0, t_high=45.0):
+        """Average temperature coefficient (ppm/K) over a range (box
+        method, as datasheets quote it)."""
+        if t_high <= t_low:
+            raise ValueError("need t_high > t_low")
+        vs = [self.output(t) for t in (t_low, self.t_trim, t_high)]
+        return ((max(vs) - min(vs)) / self.v_nominal
+                / (t_high - t_low) * 1e6)
+
+    def line_regulation(self, vdd_low=1.6, vdd_high=2.0):
+        """Output change per supply volt (V/V)."""
+        return ((self.output(vdd=vdd_high) - self.output(vdd=vdd_low))
+                / (vdd_high - vdd_low))
+
+
+def regular_bandgap():
+    """The 1.2 V reference biasing the working electrode."""
+    return BandgapReference(v_nominal=1.2)
+
+
+def sub_1v_bandgap():
+    """The Banba-style 550 mV reference biasing the reference electrode.
+
+    Sub-1-V operation trades a little more curvature; headroom extends
+    below the regular bandgap's.
+    """
+    return BandgapReference(v_nominal=0.55, curvature=2.0e-6,
+                            supply_sensitivity=1.5e-3, vdd_min=1.0)

@@ -1,0 +1,108 @@
+"""Three-electrode electrochemical cell (the paper's Fig. 2).
+
+A fixed oxidation potential Vox is applied between working (WE) and
+reference (RE) electrodes; the resulting faradaic current flows between
+WE and counter (CE).  The model combines:
+
+* enzyme-limited steady-state current (from :mod:`repro.sensor.enzyme`),
+* the Cottrell diffusion transient after a potential/concentration step,
+* double-layer charging with an RC time constant,
+* a potential-dependence window: below the oxidation wave the current
+  collapses, mirroring why the 650 mV bias matters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.signals import Waveform
+from repro.util import require_positive
+
+
+@dataclass(frozen=True)
+class Electrode:
+    """Physical working-electrode description."""
+
+    area_cm2: float = 0.25          # screen-printed electrode spot
+    c_double_layer: float = 2e-6    # F (double-layer capacitance)
+    r_solution: float = 1e3         # ohm (solution resistance)
+
+    def __post_init__(self):
+        require_positive(self.area_cm2, "area_cm2")
+        require_positive(self.c_double_layer, "c_double_layer")
+        require_positive(self.r_solution, "r_solution")
+
+
+class ThreeElectrodeCell:
+    """WE/RE/CE cell with an enzyme-modified working electrode.
+
+    ``v_half_wave`` and ``wave_width`` shape the sigmoidal dependence of
+    the faradaic current on the applied WE-RE potential: at the paper's
+    650 mV the wave is fully on; far below it the sensor reads nothing.
+    """
+
+    def __init__(self, enzyme, electrode=None, v_half_wave=0.45,
+                 wave_width=0.06, noise_density=2e-12):
+        self.enzyme = enzyme
+        self.electrode = electrode or Electrode()
+        self.v_half_wave = float(v_half_wave)
+        self.wave_width = require_positive(wave_width, "wave_width")
+        self.noise_density = float(noise_density)
+
+    def potential_factor(self, v_we_re):
+        """Sigmoidal oxidation-wave factor in [0, 1]."""
+        x = (v_we_re - self.v_half_wave) / self.wave_width
+        if x > 40:
+            return 1.0
+        if x < -40:
+            return 0.0
+        return 1.0 / (1.0 + math.exp(-x))
+
+    def steady_state_current(self, concentration, v_we_re=0.65):
+        """Amperometric WE current (A) at ``concentration``."""
+        j = self.enzyme.current_density(concentration)
+        return (j * self.electrode.area_cm2
+                * self.potential_factor(v_we_re))
+
+    def chronoamperometry(self, concentration, t_stop, dt=None,
+                          v_we_re=0.65, cottrell_tau=0.5, rng=None):
+        """Current transient after the potential step at t=0.
+
+        i(t) = i_ss * (1 + sqrt(cottrell_tau/t) decay) + double-layer
+        charging spike + optional white noise.  Returns a Waveform.
+        """
+        require_positive(t_stop, "t_stop")
+        dt = dt or t_stop / 500.0
+        i_ss = self.steady_state_current(concentration, v_we_re)
+        tau_dl = self.electrode.r_solution * self.electrode.c_double_layer
+        t = np.arange(dt, t_stop + dt / 2, dt)
+        diffusion = i_ss * (1.0 + np.sqrt(cottrell_tau / t) -
+                            np.sqrt(cottrell_tau / (t + 10 * cottrell_tau)))
+        i_dl = (v_we_re / self.electrode.r_solution) * np.exp(-t / tau_dl)
+        current = diffusion + i_dl
+        if self.noise_density > 0.0:
+            rng = rng or np.random.default_rng(0)
+            bandwidth = 0.5 / dt
+            sigma = self.noise_density * math.sqrt(bandwidth)
+            current = current + rng.normal(0.0, sigma, size=current.shape)
+        return Waveform(t, current)
+
+    def settled_current(self, concentration, v_we_re=0.65,
+                        settle_time=30.0):
+        """Current after the Cottrell transient has decayed — what the
+        paper's measurements (Fig. 4) report."""
+        wave = self.chronoamperometry(concentration, settle_time,
+                                      v_we_re=v_we_re)
+        tail = wave.clip_time(0.8 * settle_time, settle_time)
+        return tail.mean()
+
+    def calibration_points(self, concentrations, v_we_re=0.65):
+        """(concentration, current-density uA/cm^2) rows for Fig. 4."""
+        rows = []
+        for c in concentrations:
+            i = self.steady_state_current(c, v_we_re)
+            rows.append((c, i / self.electrode.area_cm2 * 1e6))
+        return rows

@@ -1,0 +1,122 @@
+"""The complete electronic interface (EI) of the paper's Fig. 3.
+
+Wires together the potentiostat, the current readout, the two bandgap
+references and the sigma-delta ADC into the measurement chain:
+
+    concentration -> cell current -> mirrored copy -> ADC code
+
+with the consumption budget of Section II-B (45 uA potentiostat/readout
++ 240 uA ADC at 1.8 V) and helpers to regenerate the Fig. 4 calibration
+curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adc import SensorADC
+from repro.sensor.bandgap import regular_bandgap, sub_1v_bandgap
+from repro.sensor.electrochem import ThreeElectrodeCell
+from repro.sensor.potentiostat import Potentiostat, ReadoutCircuit
+from repro.util import require_positive
+
+
+@dataclass(frozen=True)
+class CalibrationCurve:
+    """Fig. 4-style calibration data: current density vs log-concentration."""
+
+    enzyme_name: str
+    concentrations_mm: tuple
+    delta_current_ua_cm2: tuple
+
+    def log_concentrations(self):
+        return tuple(math.log10(c) for c in self.concentrations_mm)
+
+    def sensitivity_per_decade(self):
+        """Average slope (uA/cm^2 per decade) over the measured span."""
+        logs = self.log_concentrations()
+        return ((self.delta_current_ua_cm2[-1]
+                 - self.delta_current_ua_cm2[0])
+                / (logs[-1] - logs[0]))
+
+    def rows(self):
+        """(log10 C, delta-J) rows for tabular output."""
+        return list(zip(self.log_concentrations(),
+                        self.delta_current_ua_cm2))
+
+
+class ElectronicInterface:
+    """Potentiostat + readout + bandgaps + ADC, as one instrument."""
+
+    def __init__(self, cell, potentiostat=None, readout=None, adc=None,
+                 temperature=37.0):
+        self.cell = cell
+        self.potentiostat = potentiostat or Potentiostat()
+        self.readout = readout or ReadoutCircuit()
+        self.adc = adc or SensorADC()
+        self.temperature = float(temperature)
+        self.bandgap_we = regular_bandgap()
+        self.bandgap_re = sub_1v_bandgap()
+
+    def applied_potential(self, vdd=1.8):
+        """The actual WE-RE potential from the two references."""
+        return (self.bandgap_we.output(self.temperature, vdd)
+                - self.bandgap_re.output(self.temperature, vdd))
+
+    def cell_current(self, concentration, vdd=1.8):
+        """Amperometric current at ``concentration`` (A)."""
+        vox = self.applied_potential(vdd)
+        i_we = self.cell.steady_state_current(concentration, vox)
+        if not self.potentiostat.within_compliance(i_we):
+            raise RuntimeError(
+                f"cell current {i_we:.3g} A exceeds CE compliance")
+        return i_we
+
+    def measure(self, concentration, vdd=1.8, **convert_kwargs):
+        """Full chain: concentration -> 14-bit ADC code."""
+        i_we = self.cell_current(concentration, vdd)
+        i_clipped = min(i_we, self.adc.I_FULL_SCALE)
+        return self.adc.convert(i_clipped, **convert_kwargs)
+
+    def concentration_from_code(self, code, c_lo=1e-3, c_hi=100.0):
+        """Invert a code back to concentration by bisection on the
+        monotone response curve (units follow the enzyme's Km)."""
+        i_target = self.adc.current_from_code(code)
+        lo, hi = c_lo, c_hi
+        for _ in range(80):
+            mid = math.sqrt(lo * hi)
+            if self.cell_current(mid) < i_target:
+                lo = mid
+            else:
+                hi = mid
+        return math.sqrt(lo * hi)
+
+    def supply_current(self, measuring=True):
+        """Section II-B budget: 45 uA front-end + 240 uA ADC."""
+        front_end = self.potentiostat.spec.i_supply
+        return front_end + (self.adc.I_SUPPLY if measuring else 0.0)
+
+    def power(self, measuring=True, vdd=1.8):
+        return self.supply_current(measuring) * vdd
+
+    def calibration_curve(self, concentrations_mm=None):
+        """Regenerate a Fig. 4 curve for this cell's enzyme."""
+        if concentrations_mm is None:
+            # The figure's span: log C from -0.8 to 0 (0.16 to 1 mM).
+            concentrations_mm = [10.0 ** e
+                                 for e in np.linspace(-0.8, 0.0, 9)]
+        rows = self.cell.calibration_points(
+            concentrations_mm, v_we_re=self.applied_potential())
+        return CalibrationCurve(
+            enzyme_name=self.cell.enzyme.name,
+            concentrations_mm=tuple(c for c, _ in rows),
+            delta_current_ua_cm2=tuple(j for _, j in rows),
+        )
+
+    @classmethod
+    def for_enzyme(cls, enzyme, **kwargs):
+        """Convenience: build the EI around a fresh cell."""
+        return cls(ThreeElectrodeCell(enzyme), **kwargs)

@@ -1,0 +1,105 @@
+"""Potentiostat and current-readout circuit (the paper's Fig. 3).
+
+The potentiostat (OP1, OP2, MP0, MP2) applies a fixed 650 mV between WE
+and RE: a 1.2 V bandgap biases the WE, a 550 mV sub-1V bandgap biases the
+RE, and the loop drives the CE so the cell current is supplied without
+disturbing RE.  The readout mirrors a copy of I_WE into a resistor,
+converting it to the voltage the ADC digitizes.  Budget: 45 uA at 1.8 V
+for potentiostat + readout (Section II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import require_positive
+
+
+@dataclass(frozen=True)
+class PotentiostatSpec:
+    """Design constants from the paper."""
+
+    v_we: float = 1.2       # regular bandgap
+    v_re: float = 0.55      # sub-1V (Banba) bandgap
+    v_supply: float = 1.8
+    i_supply: float = 45e-6
+    loop_gain: float = 1e4  # op-amp DC gain in the RE control loop
+
+
+class Potentiostat:
+    """Behavioural potentiostat with finite loop gain and compliance.
+
+    ``vox`` (the WE-RE potential actually applied) deviates from the
+    ideal 650 mV by the loop-gain error and bandgap offsets; the CE drive
+    saturates at the supply rails (compliance limit).
+    """
+
+    def __init__(self, spec=None, v_we_offset=0.0, v_re_offset=0.0):
+        self.spec = spec or PotentiostatSpec()
+        self.v_we_offset = float(v_we_offset)
+        self.v_re_offset = float(v_re_offset)
+
+    @property
+    def vox_nominal(self):
+        """The design value: 1.2 V - 550 mV = 650 mV."""
+        return self.spec.v_we - self.spec.v_re
+
+    def applied_vox(self, cell_current=0.0, r_cell=1e3):
+        """WE-RE potential under load.
+
+        The finite loop gain leaves a small error proportional to the
+        voltage the CE must develop: error ~ (I*R_cell)/loop_gain.
+        """
+        ideal = (self.spec.v_we + self.v_we_offset
+                 - self.spec.v_re - self.v_re_offset)
+        v_ce_swing = abs(cell_current) * r_cell
+        error = v_ce_swing / self.spec.loop_gain
+        return ideal - error
+
+    def within_compliance(self, cell_current, r_cell=1e3):
+        """Can the CE driver develop the needed voltage on this cell?"""
+        v_needed = self.spec.v_re + abs(cell_current) * r_cell
+        return v_needed < self.spec.v_supply
+
+    def max_cell_current(self, r_cell=1e3):
+        """Largest cell current before CE compliance is lost."""
+        require_positive(r_cell, "r_cell")
+        return (self.spec.v_supply - self.spec.v_re) / r_cell
+
+
+class ReadoutCircuit:
+    """Current-mirror copy of I_WE into a resistor (Fig. 3 right half).
+
+    ``mirror_ratio`` scales the copy (1:1 in the paper), ``r_sense``
+    converts it to the ADC input voltage; ``mirror_mismatch`` models the
+    MP0/MP2 gain error.  The readout "provid[es] isolation for the sensor
+    current I_WE" — the cell never sees the sense resistor.
+    """
+
+    def __init__(self, r_sense=400e3, mirror_ratio=1.0,
+                 mirror_mismatch=0.0, v_supply=1.8):
+        self.r_sense = require_positive(r_sense, "r_sense")
+        self.mirror_ratio = require_positive(mirror_ratio, "mirror_ratio")
+        self.mirror_mismatch = float(mirror_mismatch)
+        self.v_supply = require_positive(v_supply, "v_supply")
+
+    def output_voltage(self, i_we):
+        """Sense voltage for a WE current (clamped at the rails)."""
+        if i_we < 0:
+            raise ValueError("the oxidation current is positive by "
+                             "convention; got a negative I_WE")
+        i_copy = i_we * self.mirror_ratio * (1.0 + self.mirror_mismatch)
+        return min(i_copy * self.r_sense, self.v_supply)
+
+    def full_scale_current(self):
+        """Current that saturates the readout (the paper's 4 uA design
+        point corresponds to r_sense ~ 400 kohm at 1.6 V swing)."""
+        return self.v_supply / (self.r_sense * self.mirror_ratio) \
+            / (1.0 + self.mirror_mismatch)
+
+    def current_from_voltage(self, v_out):
+        """Inverse transfer (for calibration-side computations)."""
+        if not 0 <= v_out <= self.v_supply:
+            raise ValueError(f"v_out outside rails: {v_out}")
+        return v_out / (self.r_sense * self.mirror_ratio
+                        * (1.0 + self.mirror_mismatch))

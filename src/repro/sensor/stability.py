@@ -1,0 +1,136 @@
+"""Sensor stability: drift models and recalibration procedures.
+
+"A main issue of metabolite biosensors is the lack of stability.
+Moreover, the sensor parameters are strongly affected by the
+immobilization method of the enzyme onto the electrode" (Section II-A).
+The MWCNT immobilisation improves matters but does not remove drift;
+deployed systems recalibrate periodically (the glucose-monitor practice
+the paper's ref [1] describes).
+
+This module models the two dominant ageing mechanisms — enzyme-activity
+decay (j_max shrinks) and membrane fouling (an apparent Km increase) —
+and provides the one/two-point recalibration procedures that correct a
+drifted readout.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sensor.enzyme import EnzymeKinetics
+from repro.util import require_positive
+
+
+@dataclass(frozen=True)
+class DriftModel:
+    """Exponential enzyme-activity decay plus linear fouling.
+
+    ``activity_half_life`` (seconds) halves j_max; ``fouling_rate``
+    (fractional Km increase per day) models diffusion-barrier build-up.
+    Defaults correspond to a usable life of 1-2 weeks, typical for
+    subcutaneous enzyme electrodes.
+    """
+
+    activity_half_life: float = 10.0 * 86400.0
+    fouling_rate: float = 0.02  # per day
+
+    def __post_init__(self):
+        require_positive(self.activity_half_life, "activity_half_life")
+        if self.fouling_rate < 0:
+            raise ValueError("fouling_rate must be >= 0")
+
+    def aged_enzyme(self, enzyme, age_seconds):
+        """The enzyme's kinetics after ``age_seconds`` of operation."""
+        if age_seconds < 0:
+            raise ValueError("age_seconds must be >= 0")
+        decay = 0.5 ** (age_seconds / self.activity_half_life)
+        fouling = 1.0 + self.fouling_rate * age_seconds / 86400.0
+        return EnzymeKinetics(
+            name=f"{enzyme.name}@{age_seconds / 86400.0:.1f}d",
+            j_max=enzyme.j_max * decay,
+            km=enzyme.km * fouling,
+            hill=enzyme.hill,
+            mwcnt_gain=enzyme.mwcnt_gain,
+        )
+
+    def sensitivity_loss(self, enzyme, age_seconds, concentration=1.0):
+        """Fractional loss of response at ``concentration`` after ageing."""
+        fresh = enzyme.current_density(concentration)
+        aged = self.aged_enzyme(enzyme, age_seconds).current_density(
+            concentration)
+        return 1.0 - aged / fresh
+
+
+@dataclass(frozen=True)
+class CalibrationState:
+    """Gain/offset correction mapping a drifted readout to concentration
+    via the reference (factory) response curve."""
+
+    gain: float = 1.0
+    offset: float = 0.0  # in current units
+
+    def correct(self, measured_current):
+        """Drifted current -> equivalent fresh-sensor current."""
+        return self.gain * measured_current + self.offset
+
+
+class Recalibrator:
+    """One- and two-point recalibration against reference samples.
+
+    ``reference`` is the fresh (factory) enzyme model — the curve codes
+    are interpreted against.  A calibration run measures one or two
+    known concentrations (e.g. from a finger-prick reference) and fits
+    the gain/offset that re-aligns the drifted sensor.
+    """
+
+    def __init__(self, reference, area_cm2=0.25):
+        self.reference = reference
+        self.area = require_positive(area_cm2, "area_cm2")
+
+    def _reference_current(self, concentration):
+        return self.reference.current_density(concentration) * self.area
+
+    def one_point(self, concentration, measured_current):
+        """Gain-only correction from a single reference sample."""
+        require_positive(concentration, "concentration")
+        if measured_current <= 0:
+            raise ValueError("measured_current must be positive")
+        target = self._reference_current(concentration)
+        return CalibrationState(gain=target / measured_current)
+
+    def two_point(self, c1, i1, c2, i2):
+        """Gain + offset from two reference samples (c1 < c2)."""
+        if not 0 < c1 < c2:
+            raise ValueError("need 0 < c1 < c2")
+        if i2 <= i1:
+            raise ValueError("measured currents must increase with "
+                             "concentration")
+        t1 = self._reference_current(c1)
+        t2 = self._reference_current(c2)
+        gain = (t2 - t1) / (i2 - i1)
+        offset = t1 - gain * i1
+        return CalibrationState(gain=gain, offset=offset)
+
+    def concentration_from_current(self, corrected_current, c_lo=1e-3,
+                                   c_hi=100.0):
+        """Invert the reference curve (bisection on the monotone MM)."""
+        if corrected_current <= 0:
+            return 0.0
+        lo, hi = c_lo, c_hi
+        for _ in range(80):
+            mid = math.sqrt(lo * hi)
+            if self._reference_current(mid) < corrected_current:
+                lo = mid
+            else:
+                hi = mid
+        return math.sqrt(lo * hi)
+
+    def readout_error(self, drifted_enzyme, calibration, concentration):
+        """Relative concentration error of a drifted sensor after the
+        given calibration is applied."""
+        require_positive(concentration, "concentration")
+        i_meas = drifted_enzyme.current_density(concentration) * self.area
+        i_corr = calibration.correct(i_meas)
+        reported = self.concentration_from_current(i_corr)
+        return (reported - concentration) / concentration

@@ -1,0 +1,29 @@
+"""Sampled-waveform container and signal-processing helpers.
+
+`Waveform` is the common currency between the circuit simulator, the
+envelope models, and the communication analysis: a pair of (time, value)
+arrays with the operations an analog/mixed-signal flow needs — envelope
+extraction, RMS/average, threshold crossings, slicing and resampling.
+"""
+
+from repro.signals.waveform import Waveform
+from repro.signals.envelope import envelope_peaks, envelope_rectify, moving_average
+from repro.signals.measure import (
+    crossing_times,
+    rise_time,
+    settling_time,
+    slice_levels,
+    duty_cycle,
+)
+
+__all__ = [
+    "Waveform",
+    "envelope_peaks",
+    "envelope_rectify",
+    "moving_average",
+    "crossing_times",
+    "rise_time",
+    "settling_time",
+    "slice_levels",
+    "duty_cycle",
+]

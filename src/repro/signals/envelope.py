@@ -1,0 +1,83 @@
+"""Envelope extraction for modulated carriers.
+
+The ASK downlink rides on a 5 MHz carrier; the demodulator and the
+system-level analyses need the bit-rate-scale envelope.  Two extractors
+are provided: a peak-hold detector that mimics the diode/capacitor
+demodulator of the paper's Fig. 9, and a rectify-and-filter detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signals.waveform import Waveform
+
+
+def envelope_peaks(waveform, carrier_freq):
+    """Peak-per-cycle envelope of a carrier-modulated waveform.
+
+    The waveform is chopped into carrier periods; the absolute maximum of
+    each period is one envelope sample, time-stamped at the period centre.
+    This mirrors a track-and-hold peak detector clocked at the carrier.
+    """
+    if carrier_freq <= 0:
+        raise ValueError("carrier_freq must be positive")
+    period = 1.0 / carrier_freq
+    n_cycles = int(np.floor(waveform.duration / period))
+    if n_cycles < 2:
+        raise ValueError(
+            "waveform too short for envelope extraction: "
+            f"{waveform.duration:.3g}s < 2 carrier periods"
+        )
+    edges = waveform.t_start + period * np.arange(n_cycles + 1)
+    idx = np.searchsorted(waveform.t, edges)
+    times = np.empty(n_cycles)
+    values = np.empty(n_cycles)
+    av = np.abs(waveform.v)
+    for k in range(n_cycles):
+        lo, hi = idx[k], max(idx[k + 1], idx[k] + 1)
+        seg = av[lo:hi]
+        if seg.size == 0:
+            seg = av[min(lo, av.size - 1) : min(lo, av.size - 1) + 1]
+        values[k] = seg.max()
+        times[k] = 0.5 * (edges[k] + edges[k + 1])
+    return Waveform(times, values)
+
+
+def envelope_rectify(waveform, carrier_freq, smoothing_cycles=3.0):
+    """Full-wave rectify then single-pole low-pass filter.
+
+    ``smoothing_cycles`` sets the filter time constant in carrier periods.
+    The output is scaled by pi/2 so a pure sine of amplitude A yields an
+    envelope ~= A in steady state.
+    """
+    if smoothing_cycles <= 0:
+        raise ValueError("smoothing_cycles must be positive")
+    uniform = waveform.resample(
+        dt=1.0 / (carrier_freq * 32.0)
+    )  # 32 pts/cycle is ample for a first-order filter
+    tau = smoothing_cycles / carrier_freq
+    dt = uniform.t[1] - uniform.t[0]
+    alpha = dt / (tau + dt)
+    rect = np.abs(uniform.v)
+    out = np.empty_like(rect)
+    acc = rect[0]
+    for i, sample in enumerate(rect):
+        acc += alpha * (sample - acc)
+        out[i] = acc
+    return Waveform(uniform.t, out * (np.pi / 2.0))
+
+
+def moving_average(waveform, window):
+    """Boxcar moving average with a time-domain ``window`` width."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    uniform = waveform.resample(n_samples=max(len(waveform), 64))
+    dt = uniform.t[1] - uniform.t[0]
+    n = max(1, int(round(window / dt)))
+    kernel = np.ones(n) / n
+    padded = np.concatenate(
+        (np.full(n - 1, uniform.v[0]), uniform.v)
+    )
+    smooth = np.convolve(padded, kernel, mode="valid")
+    return Waveform(uniform.t, smooth)

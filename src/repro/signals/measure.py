@@ -1,0 +1,97 @@
+"""Waveform measurements: crossings, rise/settling time, digital slicing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def crossing_times(waveform, threshold, direction="both"):
+    """Times where the waveform crosses ``threshold``.
+
+    ``direction`` is ``"rising"``, ``"falling"`` or ``"both"``.  Crossing
+    instants are linearly interpolated between samples.
+    """
+    if direction not in ("rising", "falling", "both"):
+        raise ValueError(f"bad direction {direction!r}")
+    v = waveform.v - threshold
+    sign = np.sign(v)
+    # Treat exact zeros as belonging to the previous sign to avoid double counts.
+    for i in range(1, sign.size):
+        if sign[i] == 0:
+            sign[i] = sign[i - 1]
+    change = np.diff(sign)
+    rising = np.nonzero(change > 0)[0]
+    falling = np.nonzero(change < 0)[0]
+    if direction == "rising":
+        idx = rising
+    elif direction == "falling":
+        idx = falling
+    else:
+        idx = np.sort(np.concatenate((rising, falling)))
+    times = []
+    for i in idx:
+        v0, v1 = v[i], v[i + 1]
+        t0, t1 = waveform.t[i], waveform.t[i + 1]
+        if v1 == v0:
+            times.append(t0)
+        else:
+            times.append(t0 + (t1 - t0) * (-v0) / (v1 - v0))
+    return np.asarray(times)
+
+
+def rise_time(waveform, low_frac=0.1, high_frac=0.9):
+    """10%-90% (by default) rise time of a step-like waveform.
+
+    Levels are referenced to the waveform's initial and final values.
+    Returns ``None`` when the waveform never completes the transition.
+    """
+    v_start, v_end = waveform.v[0], waveform.v[-1]
+    span = v_end - v_start
+    if span == 0:
+        return None
+    lo = v_start + low_frac * span
+    hi = v_start + high_frac * span
+    direction = "rising" if span > 0 else "falling"
+    t_lo = crossing_times(waveform, lo, direction)
+    t_hi = crossing_times(waveform, hi, direction)
+    if t_lo.size == 0 or t_hi.size == 0:
+        return None
+    later = t_hi[t_hi > t_lo[0]]
+    if later.size == 0:
+        return None
+    return float(later[0] - t_lo[0])
+
+
+def settling_time(waveform, final_value=None, tolerance=0.01):
+    """Time after which the waveform stays within ``tolerance`` (relative)
+    of ``final_value`` (default: last sample).  Measured from t_start."""
+    if final_value is None:
+        final_value = waveform.v[-1]
+    band = abs(final_value) * tolerance
+    if band == 0:
+        band = tolerance
+    outside = np.nonzero(np.abs(waveform.v - final_value) > band)[0]
+    if outside.size == 0:
+        return 0.0
+    last_out = outside[-1]
+    if last_out + 1 >= waveform.t.size:
+        return None  # never settles
+    return float(waveform.t[last_out + 1] - waveform.t_start)
+
+
+def slice_levels(waveform, threshold, sample_times):
+    """Slice the waveform into bits: value > threshold -> 1 at each
+    ``sample_times`` instant.  Returns a list of ints."""
+    samples = waveform.value_at(np.asarray(sample_times, dtype=float))
+    return [1 if s > threshold else 0 for s in samples]
+
+
+def duty_cycle(waveform, threshold=None):
+    """Fraction of time the waveform spends above ``threshold``
+    (default: midpoint between min and max)."""
+    if threshold is None:
+        threshold = 0.5 * (waveform.min() + waveform.max())
+    above = waveform.v > threshold
+    dt = np.diff(waveform.t)
+    seg = 0.5 * (above[:-1].astype(float) + above[1:].astype(float))
+    return float(np.sum(seg * dt) / waveform.duration)

@@ -1,0 +1,231 @@
+"""The `Waveform` container: a sampled signal with analysis operations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class Waveform:
+    """A sampled real-valued signal ``v(t)``.
+
+    The time axis must be strictly increasing but need not be uniform —
+    adaptive-step transient simulation produces non-uniform output.
+    Arithmetic between waveforms resamples the right operand onto the left
+    operand's time base via linear interpolation.
+    """
+
+    def __init__(self, t, v):
+        t = np.asarray(t, dtype=float)
+        v = np.asarray(v, dtype=float)
+        if t.ndim != 1 or v.ndim != 1:
+            raise ValueError("Waveform arrays must be one-dimensional")
+        if t.shape != v.shape:
+            raise ValueError(
+                f"time and value lengths differ: {t.shape} vs {v.shape}"
+            )
+        if t.size < 2:
+            raise ValueError("Waveform needs at least two samples")
+        if not np.all(np.diff(t) > 0):
+            raise ValueError("Waveform time axis must be strictly increasing")
+        self.t = t
+        self.v = v
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_function(cls, func, t_start, t_stop, n_samples):
+        """Sample ``func(t)`` uniformly on ``[t_start, t_stop]``."""
+        t = np.linspace(t_start, t_stop, int(n_samples))
+        return cls(t, np.vectorize(func, otypes=[float])(t))
+
+    @classmethod
+    def constant(cls, value, t_start, t_stop, n_samples=2):
+        """A constant waveform."""
+        t = np.linspace(t_start, t_stop, int(n_samples))
+        return cls(t, np.full_like(t, float(value)))
+
+    def copy(self):
+        """Deep copy."""
+        return Waveform(self.t.copy(), self.v.copy())
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return self.t.size
+
+    @property
+    def duration(self):
+        """Total spanned time."""
+        return float(self.t[-1] - self.t[0])
+
+    @property
+    def t_start(self):
+        return float(self.t[0])
+
+    @property
+    def t_stop(self):
+        return float(self.t[-1])
+
+    def value_at(self, time):
+        """Linear-interpolated value at ``time`` (scalar or array)."""
+        return np.interp(time, self.t, self.v)
+
+    def __call__(self, time):
+        return self.value_at(time)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def mean(self):
+        """Time-weighted average (trapezoidal)."""
+        return float(np.trapezoid(self.v, self.t) / self.duration)
+
+    def rms(self):
+        """Time-weighted root-mean-square (trapezoidal)."""
+        return float(np.sqrt(np.trapezoid(self.v**2, self.t) / self.duration))
+
+    def min(self):
+        return float(self.v.min())
+
+    def max(self):
+        return float(self.v.max())
+
+    def peak_to_peak(self):
+        return self.max() - self.min()
+
+    def integral(self):
+        """Trapezoidal integral of v dt (e.g. charge for a current)."""
+        return float(np.trapezoid(self.v, self.t))
+
+    def argmax_time(self):
+        """Time of the maximum sample."""
+        return float(self.t[int(np.argmax(self.v))])
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def clip_time(self, t_lo, t_hi):
+        """Return the sub-waveform on ``[t_lo, t_hi]`` (endpoints
+        interpolated in so measurements on the window are exact)."""
+        if t_lo >= t_hi:
+            raise ValueError("clip_time needs t_lo < t_hi")
+        t_lo = max(t_lo, self.t_start)
+        t_hi = min(t_hi, self.t_stop)
+        mask = (self.t > t_lo) & (self.t < t_hi)
+        t = np.concatenate(([t_lo], self.t[mask], [t_hi]))
+        v = np.concatenate(
+            ([self.value_at(t_lo)], self.v[mask], [self.value_at(t_hi)])
+        )
+        return Waveform(t, v)
+
+    def resample(self, n_samples=None, dt=None):
+        """Resample uniformly with either a sample count or a step."""
+        if (n_samples is None) == (dt is None):
+            raise ValueError("give exactly one of n_samples or dt")
+        if dt is not None:
+            n_samples = int(round(self.duration / dt)) + 1
+        t = np.linspace(self.t_start, self.t_stop, int(n_samples))
+        return Waveform(t, self.value_at(t))
+
+    def shift_time(self, delta):
+        """Shift the time axis by ``delta``."""
+        return Waveform(self.t + delta, self.v.copy())
+
+    def derivative(self):
+        """Numerical derivative dv/dt (gradient)."""
+        return Waveform(self.t, np.gradient(self.v, self.t))
+
+    def abs(self):
+        return Waveform(self.t, np.abs(self.v))
+
+    def spectrum(self, window="hann", n_fft=None):
+        """(frequencies, magnitudes) of the waveform's FFT.
+
+        The waveform is resampled uniformly first (transient output is
+        non-uniform); magnitudes are single-sided and normalised so a
+        sine of amplitude A shows a peak of ~A (coherent case).
+        ``window`` is ``"hann"``, ``"rect"``, or any ndarray.
+        """
+        n = n_fft or len(self)
+        uniform = self.resample(n_samples=n)
+        if isinstance(window, str):
+            if window == "hann":
+                win = np.hanning(n)
+            elif window == "rect":
+                win = np.ones(n)
+            else:
+                raise ValueError(f"unknown window {window!r}")
+        else:
+            win = np.asarray(window, dtype=float)
+            if win.size != n:
+                raise ValueError("window length mismatch")
+        coherent_gain = win.mean()
+        spec = np.fft.rfft(uniform.v * win)
+        mags = np.abs(spec) / (n * coherent_gain) * 2.0
+        mags[0] /= 2.0  # DC is not doubled
+        dt = uniform.t[1] - uniform.t[0]
+        freqs = np.fft.rfftfreq(n, dt)
+        return freqs, mags
+
+    def thd(self, fundamental_freq, n_harmonics=5):
+        """Total harmonic distortion (ratio) of a periodic waveform."""
+        if fundamental_freq <= 0:
+            raise ValueError("fundamental_freq must be positive")
+        freqs, mags = self.spectrum()
+        df = freqs[1] - freqs[0]
+
+        def bin_power(f):
+            k = int(round(f / df))
+            if k >= mags.size:
+                return 0.0
+            lo, hi = max(k - 1, 0), min(k + 2, mags.size)
+            return float(np.max(mags[lo:hi])) ** 2
+
+        p1 = bin_power(fundamental_freq)
+        if p1 == 0.0:
+            raise ValueError("no energy at the fundamental")
+        p_h = sum(bin_power(fundamental_freq * k)
+                  for k in range(2, n_harmonics + 2))
+        return math.sqrt(p_h / p1)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (right operand resampled onto left time base)
+    # ------------------------------------------------------------------
+    def _coerce(self, other):
+        if isinstance(other, Waveform):
+            return other.value_at(self.t)
+        return float(other)
+
+    def __add__(self, other):
+        return Waveform(self.t, self.v + self._coerce(other))
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __sub__(self, other):
+        return Waveform(self.t, self.v - self._coerce(other))
+
+    def __rsub__(self, other):
+        return Waveform(self.t, self._coerce(other) - self.v)
+
+    def __mul__(self, other):
+        return Waveform(self.t, self.v * self._coerce(other))
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def __truediv__(self, other):
+        return Waveform(self.t, self.v / self._coerce(other))
+
+    def __neg__(self):
+        return Waveform(self.t, -self.v)
+
+    def __repr__(self):
+        return (
+            f"Waveform({len(self)} pts, t=[{self.t_start:.4g}, "
+            f"{self.t_stop:.4g}]s, v=[{self.min():.4g}, {self.max():.4g}])"
+        )

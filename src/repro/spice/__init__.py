@@ -1,0 +1,70 @@
+"""A compact SPICE-like circuit simulator (the reproduction's substrate).
+
+The paper evaluates its power-management module "by means of simulations";
+this package is that simulator: modified nodal analysis with Newton
+iteration, supporting
+
+* linear elements: R, L, C, coupled inductors (K), controlled sources
+  (VCVS/VCCS), independent V/I sources with time-varying waveforms;
+* nonlinear elements: junction diodes, level-1 MOSFETs, voltage-controlled
+  switches;
+* analyses: DC operating point (with gmin and source stepping), AC
+  small-signal sweep, and transient (backward-Euler or trapezoidal).
+
+Circuits here are small (tens of nodes), so dense numpy linear algebra is
+used throughout.
+"""
+
+from repro.spice.circuit import Circuit
+from repro.spice.components import (
+    Resistor,
+    Capacitor,
+    Inductor,
+    MutualCoupling,
+    VoltageSource,
+    CurrentSource,
+    Diode,
+    Mosfet,
+    Switch,
+    Vcvs,
+    Vccs,
+)
+from repro.spice.sources import dc_source, sine, pulse, pwl, square, ask_carrier
+from repro.spice.dc import OperatingPoint, dc_operating_point
+from repro.spice.transient import TransientResult, transient
+from repro.spice.ac import ACResult, ac_sweep
+from repro.spice.netlist_io import parse_netlist, write_netlist, NetlistError
+from repro.spice.sweep import dc_sweep, DCSweepResult, operating_point_report
+
+__all__ = [
+    "Circuit",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "MutualCoupling",
+    "VoltageSource",
+    "CurrentSource",
+    "Diode",
+    "Mosfet",
+    "Switch",
+    "Vcvs",
+    "Vccs",
+    "dc_source",
+    "sine",
+    "pulse",
+    "pwl",
+    "square",
+    "ask_carrier",
+    "OperatingPoint",
+    "dc_operating_point",
+    "TransientResult",
+    "transient",
+    "ACResult",
+    "ac_sweep",
+    "parse_netlist",
+    "write_netlist",
+    "NetlistError",
+    "dc_sweep",
+    "DCSweepResult",
+    "operating_point_report",
+]

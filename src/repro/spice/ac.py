@@ -1,0 +1,73 @@
+"""AC small-signal analysis: complex MNA linearised at the DC point."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.dc import dc_operating_point
+
+
+class ACResult:
+    """Frequency sweep result: complex node voltages vs frequency."""
+
+    def __init__(self, circuit, freqs, solutions):
+        self.circuit = circuit
+        self.f = np.asarray(freqs, dtype=float)
+        self.x = np.asarray(solutions, dtype=complex)
+
+    def voltage(self, node):
+        """Complex node voltage array over the sweep."""
+        idx = self.circuit.node_index(node)
+        if idx < 0:
+            return np.zeros_like(self.f, dtype=complex)
+        return self.x[:, idx]
+
+    def magnitude(self, node):
+        return np.abs(self.voltage(node))
+
+    def magnitude_db(self, node):
+        mag = self.magnitude(node)
+        return 20.0 * np.log10(np.maximum(mag, 1e-30))
+
+    def phase_deg(self, node):
+        return np.degrees(np.angle(self.voltage(node)))
+
+    def branch_current(self, component_name):
+        return self.x[:, self.circuit.branch_index(component_name)]
+
+    def peak_frequency(self, node):
+        """Frequency of maximum magnitude (resonance finder)."""
+        return float(self.f[int(np.argmax(self.magnitude(node)))])
+
+
+def ac_sweep(circuit, freqs, op=None):
+    """Sweep the small-signal response over ``freqs`` (Hz array).
+
+    Sources excite the circuit with their ``ac_mag``; nonlinear devices are
+    linearised around the DC operating point (``op``, solved when omitted).
+    """
+    circuit.build()
+    freqs = np.asarray(freqs, dtype=float)
+    if np.any(freqs <= 0):
+        raise ValueError("AC frequencies must be positive")
+    if op is None:
+        op = dc_operating_point(circuit)
+    n = circuit.n_unknowns
+    solutions = np.empty((freqs.size, n), dtype=complex)
+    for i, f in enumerate(freqs):
+        omega = 2.0 * np.pi * f
+        Y = np.zeros((n, n), dtype=complex)
+        rhs = np.zeros(n, dtype=complex)
+        for comp in circuit.components:
+            comp.stamp_ac(Y, rhs, omega, op.x)
+        solutions[i] = np.linalg.solve(Y, rhs)
+    return ACResult(circuit, freqs, solutions)
+
+
+def logspace_frequencies(f_start, f_stop, points_per_decade=20):
+    """Logarithmically spaced frequency grid, inclusive of endpoints."""
+    if f_start <= 0 or f_stop <= f_start:
+        raise ValueError("need 0 < f_start < f_stop")
+    decades = np.log10(f_stop / f_start)
+    n = max(2, int(round(decades * points_per_decade)) + 1)
+    return np.logspace(np.log10(f_start), np.log10(f_stop), n)

@@ -1,0 +1,177 @@
+"""The `Circuit`: a named netlist of components plus node bookkeeping."""
+
+from __future__ import annotations
+
+from repro.spice.components import (
+    Capacitor,
+    Component,
+    CurrentSource,
+    Diode,
+    Inductor,
+    Mosfet,
+    MutualCoupling,
+    Resistor,
+    Switch,
+    Vcvs,
+    Vccs,
+    VoltageSource,
+)
+
+#: Names that resolve to the ground node.
+GROUND_NAMES = {"0", "gnd", "GND", "ground"}
+
+
+class Circuit:
+    """A flat netlist.  Nodes are referenced by string name; ``"0"`` or
+    ``"gnd"`` is ground.  Convenience ``add_*`` methods mirror SPICE
+    element cards.
+
+    >>> ckt = Circuit("divider")
+    >>> _ = ckt.add_vsource("V1", "in", "0", 1.0)
+    >>> _ = ckt.add_resistor("R1", "in", "out", 1e3)
+    >>> _ = ckt.add_resistor("R2", "out", "0", 1e3)
+    """
+
+    def __init__(self, title="circuit"):
+        self.title = str(title)
+        self.components = []
+        self._names = set()
+        self._node_index = {}
+        self._branch_owners = []
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Netlist construction
+    # ------------------------------------------------------------------
+    def add(self, component):
+        """Add any :class:`Component`; returns it for chaining."""
+        if not isinstance(component, Component):
+            raise TypeError(f"not a Component: {component!r}")
+        if component.name in self._names:
+            raise ValueError(f"duplicate component name: {component.name}")
+        self._names.add(component.name)
+        self.components.append(component)
+        self._dirty = True
+        return component
+
+    def add_resistor(self, name, n1, n2, resistance):
+        return self.add(Resistor(name, n1, n2, resistance))
+
+    def add_capacitor(self, name, n1, n2, capacitance, ic=None):
+        return self.add(Capacitor(name, n1, n2, capacitance, ic=ic))
+
+    def add_inductor(self, name, n1, n2, inductance, ic=0.0):
+        return self.add(Inductor(name, n1, n2, inductance, ic=ic))
+
+    def add_coupling(self, name, inductor1, inductor2, k):
+        if isinstance(inductor1, str):
+            inductor1 = self[inductor1]
+        if isinstance(inductor2, str):
+            inductor2 = self[inductor2]
+        return self.add(MutualCoupling(name, inductor1, inductor2, k))
+
+    def add_vsource(self, name, n1, n2, value):
+        return self.add(VoltageSource(name, n1, n2, value))
+
+    def add_isource(self, name, n1, n2, value):
+        return self.add(CurrentSource(name, n1, n2, value))
+
+    def add_diode(self, name, anode, cathode, **params):
+        return self.add(Diode(name, anode, cathode, **params))
+
+    def add_mosfet(self, name, drain, gate, source, **params):
+        return self.add(Mosfet(name, drain, gate, source, **params))
+
+    def add_switch(self, name, n1, n2, cp, cn, **params):
+        return self.add(Switch(name, n1, n2, cp, cn, **params))
+
+    def add_vcvs(self, name, n1, n2, cp, cn, gain):
+        return self.add(Vcvs(name, n1, n2, cp, cn, gain))
+
+    def add_vccs(self, name, n1, n2, cp, cn, gm):
+        return self.add(Vccs(name, n1, n2, cp, cn, gm))
+
+    def add_opamp(self, name, out, inp, inn, gain=1e5, r_out=10.0):
+        """Behavioural op-amp: VCVS with finite gain plus output resistance.
+
+        Creates internal node ``<name>_vo``.  Returns the VCVS.
+        """
+        internal = f"{name}_vo"
+        e = self.add_vcvs(f"{name}_e", internal, "0", inp, inn, gain)
+        self.add_resistor(f"{name}_ro", internal, out, r_out)
+        return e
+
+    def __getitem__(self, name):
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(f"no component named {name!r}")
+
+    def __contains__(self, name):
+        return name in self._names
+
+    # ------------------------------------------------------------------
+    # Index assignment
+    # ------------------------------------------------------------------
+    def build(self):
+        """Resolve node names and branch indices.  Called automatically by
+        the analyses; idempotent."""
+        if not self._dirty:
+            return
+        self._node_index = {}
+        for comp in self.components:
+            for node in comp.node_names:
+                if node in GROUND_NAMES:
+                    continue
+                if node not in self._node_index:
+                    self._node_index[node] = len(self._node_index)
+        n_nodes = len(self._node_index)
+        self._branch_owners = []
+        for comp in self.components:
+            comp.nodes = [
+                -1 if n in GROUND_NAMES else self._node_index[n]
+                for n in comp.node_names
+            ]
+            if comp.needs_branch:
+                comp.branch = n_nodes + len(self._branch_owners)
+                self._branch_owners.append(comp)
+        self._dirty = False
+
+    @property
+    def n_nodes(self):
+        self.build()
+        return len(self._node_index)
+
+    @property
+    def n_unknowns(self):
+        self.build()
+        return len(self._node_index) + len(self._branch_owners)
+
+    def node_names(self):
+        """Non-ground node names in index order."""
+        self.build()
+        return sorted(self._node_index, key=self._node_index.get)
+
+    def node_index(self, name):
+        """Index of a node in the solution vector (-1 for ground)."""
+        self.build()
+        if name in GROUND_NAMES:
+            return -1
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r} in circuit {self.title!r}")
+
+    def branch_index(self, component_name):
+        """Solution-vector index of a branch current (V sources, inductors)."""
+        self.build()
+        comp = self[component_name]
+        if comp.branch is None:
+            raise ValueError(f"{component_name} carries no branch current")
+        return comp.branch
+
+    def __repr__(self):
+        return (
+            f"Circuit({self.title!r}: {len(self.components)} components, "
+            f"{self.n_nodes} nodes)"
+        )

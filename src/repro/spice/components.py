@@ -1,0 +1,577 @@
+"""Circuit components and their MNA stamps.
+
+The MNA unknown vector is ``x = [node voltages, branch currents]``.
+Ground resolves to index -1 and is skipped by the stamping helpers.
+
+Each component implements the subset of hooks it needs:
+
+* ``stamp_dc(G, rhs, x, gmin)``       — DC Newton iteration
+* ``stamp_tran(G, rhs, x, states, dt, method, t, gmin)`` — transient Newton
+* ``update_state(x, states, dt, method)`` — after a transient step is accepted
+* ``init_state(x)``                   — state at t=0 (from the DC solution)
+* ``stamp_ac(Y, rhs, omega, x_op)``   — small-signal complex stamps
+
+Sign convention: branch currents flow from the first node into the
+component and out of the second node.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.spice.sources import _as_source
+from repro.util import require_positive
+
+#: Thermal voltage at ~300 K, used as the diode default.
+VT_300K = 0.02585
+
+
+def _add(matrix, i, j, value):
+    """Stamp ``value`` at (i, j), skipping the ground index -1."""
+    if i >= 0 and j >= 0:
+        matrix[i, j] += value
+
+
+def _add_rhs(rhs, i, value):
+    if i >= 0:
+        rhs[i] += value
+
+
+class Component:
+    """Base class; subclasses set ``needs_branch`` if they add a current
+    unknown to the MNA system."""
+
+    needs_branch = False
+
+    def __init__(self, name, nodes):
+        self.name = str(name)
+        self.node_names = [str(n) for n in nodes]
+        self.nodes = None  # resolved indices, set by Circuit
+        self.branch = None  # branch row/column index if needs_branch
+
+    # Default no-op hooks -------------------------------------------------
+    def stamp_dc(self, G, rhs, x, gmin):
+        pass
+
+    def stamp_tran(self, G, rhs, x, states, dt, method, t, gmin):
+        # By default transient behaves like DC (resistors, sources...).
+        self.stamp_dc(G, rhs, x, gmin)
+
+    def stamp_ac(self, Y, rhs, omega, x_op):
+        pass
+
+    def init_state(self, x):
+        return None
+
+    def update_state(self, x, states, dt, method):
+        pass
+
+    def _v(self, x, k):
+        """Voltage of our k-th node under solution vector x (0 at ground)."""
+        idx = self.nodes[k]
+        return 0.0 if idx < 0 else x[idx]
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name})"
+
+
+# ---------------------------------------------------------------------------
+# Linear two-terminal elements
+# ---------------------------------------------------------------------------
+class Resistor(Component):
+    """Ideal resistor."""
+
+    def __init__(self, name, n1, n2, resistance):
+        super().__init__(name, [n1, n2])
+        self.resistance = require_positive(float(resistance), "resistance")
+
+    def _stamp_g(self, M):
+        g = 1.0 / self.resistance
+        a, b = self.nodes
+        _add(M, a, a, g)
+        _add(M, b, b, g)
+        _add(M, a, b, -g)
+        _add(M, b, a, -g)
+
+    def stamp_dc(self, G, rhs, x, gmin):
+        self._stamp_g(G)
+
+    def stamp_ac(self, Y, rhs, omega, x_op):
+        self._stamp_g(Y)
+
+    def current(self, x):
+        """Current flowing n1 -> n2 under solution x."""
+        return (self._v(x, 0) - self._v(x, 1)) / self.resistance
+
+
+class Capacitor(Component):
+    """Ideal capacitor with optional initial voltage ``ic``."""
+
+    def __init__(self, name, n1, n2, capacitance, ic=None):
+        super().__init__(name, [n1, n2])
+        self.capacitance = require_positive(float(capacitance), "capacitance")
+        self.ic = None if ic is None else float(ic)
+
+    def stamp_dc(self, G, rhs, x, gmin):
+        # Open circuit at DC; a tiny conductance keeps floating nodes solvable.
+        a, b = self.nodes
+        _add(G, a, a, gmin)
+        _add(G, b, b, gmin)
+        _add(G, a, b, -gmin)
+        _add(G, b, a, -gmin)
+
+    def init_state(self, x):
+        if self.ic is not None or x is None:
+            v = self.ic if self.ic is not None else 0.0
+        else:
+            v = self._v(x, 0) - self._v(x, 1)
+        return {"v": v, "i": 0.0}
+
+    def _geq(self, dt, method):
+        if method == "trap":
+            return 2.0 * self.capacitance / dt
+        return self.capacitance / dt
+
+    def stamp_tran(self, G, rhs, x, states, dt, method, t, gmin):
+        st = states[self]
+        geq = self._geq(dt, method)
+        ieq = geq * st["v"] + (st["i"] if method == "trap" else 0.0)
+        a, b = self.nodes
+        _add(G, a, a, geq)
+        _add(G, b, b, geq)
+        _add(G, a, b, -geq)
+        _add(G, b, a, -geq)
+        _add_rhs(rhs, a, ieq)
+        _add_rhs(rhs, b, -ieq)
+
+    def update_state(self, x, states, dt, method):
+        st = states[self]
+        v_new = self._v(x, 0) - self._v(x, 1)
+        geq = self._geq(dt, method)
+        if method == "trap":
+            i_new = geq * (v_new - st["v"]) - st["i"]
+        else:
+            i_new = geq * (v_new - st["v"])
+        st["v"] = v_new
+        st["i"] = i_new
+
+    def stamp_ac(self, Y, rhs, omega, x_op):
+        y = 1j * omega * self.capacitance
+        a, b = self.nodes
+        _add(Y, a, a, y)
+        _add(Y, b, b, y)
+        _add(Y, a, b, -y)
+        _add(Y, b, a, -y)
+
+
+class Inductor(Component):
+    """Ideal inductor; adds a branch current unknown."""
+
+    needs_branch = True
+
+    def __init__(self, name, n1, n2, inductance, ic=0.0):
+        super().__init__(name, [n1, n2])
+        self.inductance = require_positive(float(inductance), "inductance")
+        self.ic = float(ic)
+        self.couplings = []  # list of (M, other_inductor)
+
+    def _stamp_incidence(self, M):
+        a, b = self.nodes
+        k = self.branch
+        _add(M, a, k, 1.0)
+        _add(M, b, k, -1.0)
+        _add(M, k, a, 1.0)
+        _add(M, k, b, -1.0)
+
+    def stamp_dc(self, G, rhs, x, gmin):
+        # DC: a short (branch equation v1 - v2 = R_tiny*i).  The tiny
+        # series resistance breaks the singularity of voltage-source /
+        # inductor loops without measurably moving any solution.
+        self._stamp_incidence(G)
+        _add(G, self.branch, self.branch, -1e-9)
+
+    def init_state(self, x):
+        return {"i": self.ic if x is None else x[self.branch], "v": 0.0}
+
+    def _leq(self, dt, method):
+        factor = 2.0 if method == "trap" else 1.0
+        return factor * self.inductance / dt
+
+    def stamp_tran(self, G, rhs, x, states, dt, method, t, gmin):
+        st = states[self]
+        leq = self._leq(dt, method)
+        k = self.branch
+        self._stamp_incidence(G)
+        _add(G, k, k, -leq)
+        if method == "trap":
+            _add_rhs(rhs, k, -st["v"] - leq * st["i"])
+        else:
+            _add_rhs(rhs, k, -leq * st["i"])
+        factor = 2.0 if method == "trap" else 1.0
+        for m_val, other in self.couplings:
+            meq = factor * m_val / dt
+            _add(G, k, other.branch, -meq)
+            other_st = states[other]
+            extra = -meq * other_st["i"]
+            if method == "trap":
+                # The partner's previous voltage term is already in -st["v"]
+                # because state v stores the *total* branch voltage.
+                pass
+            _add_rhs(rhs, k, extra)
+
+    def update_state(self, x, states, dt, method):
+        st = states[self]
+        st["i"] = x[self.branch]
+        st["v"] = self._v(x, 0) - self._v(x, 1)
+
+    def stamp_ac(self, Y, rhs, omega, x_op):
+        k = self.branch
+        self._stamp_incidence(Y)
+        _add(Y, k, k, -1j * omega * self.inductance)
+        for m_val, other in self.couplings:
+            _add(Y, k, other.branch, -1j * omega * m_val)
+
+
+class MutualCoupling(Component):
+    """Magnetic coupling between two inductors: M = k*sqrt(L1*L2).
+
+    Registers cross terms on both inductors; carries no stamps itself.
+    """
+
+    def __init__(self, name, inductor1, inductor2, k):
+        super().__init__(name, [])
+        if not (-1.0 < float(k) < 1.0):
+            raise ValueError(f"coupling coefficient must be in (-1, 1), got {k}")
+        self.l1 = inductor1
+        self.l2 = inductor2
+        self.k = float(k)
+        self.mutual = self.k * math.sqrt(
+            inductor1.inductance * inductor2.inductance
+        )
+        inductor1.couplings.append((self.mutual, inductor2))
+        inductor2.couplings.append((self.mutual, inductor1))
+
+
+# ---------------------------------------------------------------------------
+# Independent sources
+# ---------------------------------------------------------------------------
+class VoltageSource(Component):
+    """Independent voltage source; ``value`` is a number or a source
+    function from :mod:`repro.spice.sources`."""
+
+    needs_branch = True
+
+    def __init__(self, name, n1, n2, value):
+        super().__init__(name, [n1, n2])
+        self.source = _as_source(value)
+
+    def _stamp_incidence(self, M):
+        a, b = self.nodes
+        k = self.branch
+        _add(M, a, k, 1.0)
+        _add(M, b, k, -1.0)
+        _add(M, k, a, 1.0)
+        _add(M, k, b, -1.0)
+
+    def stamp_dc(self, G, rhs, x, gmin):
+        self._stamp_incidence(G)
+        _add_rhs(rhs, self.branch, self.source.dc_value)
+
+    def stamp_tran(self, G, rhs, x, states, dt, method, t, gmin):
+        self._stamp_incidence(G)
+        _add_rhs(rhs, self.branch, self.source(t))
+
+    def stamp_ac(self, Y, rhs, omega, x_op):
+        self._stamp_incidence(Y)
+        _add_rhs(rhs, self.branch, complex(self.source.ac_mag))
+
+
+class CurrentSource(Component):
+    """Independent current source (current flows n1 -> n2 internally,
+    i.e. it pushes current *into* n2)."""
+
+    def __init__(self, name, n1, n2, value):
+        super().__init__(name, [n1, n2])
+        self.source = _as_source(value)
+
+    def _stamp_value(self, rhs, value):
+        a, b = self.nodes
+        _add_rhs(rhs, a, -value)
+        _add_rhs(rhs, b, value)
+
+    def stamp_dc(self, G, rhs, x, gmin):
+        self._stamp_value(rhs, self.source.dc_value)
+
+    def stamp_tran(self, G, rhs, x, states, dt, method, t, gmin):
+        self._stamp_value(rhs, self.source(t))
+
+    def stamp_ac(self, Y, rhs, omega, x_op):
+        self._stamp_value(rhs, complex(self.source.ac_mag))
+
+
+# ---------------------------------------------------------------------------
+# Controlled sources
+# ---------------------------------------------------------------------------
+class Vcvs(Component):
+    """Voltage-controlled voltage source: V(n1,n2) = gain * V(cp,cn)."""
+
+    needs_branch = True
+
+    def __init__(self, name, n1, n2, cp, cn, gain):
+        super().__init__(name, [n1, n2, cp, cn])
+        self.gain = float(gain)
+
+    def _stamp(self, M):
+        a, b, cp, cn = self.nodes
+        k = self.branch
+        _add(M, a, k, 1.0)
+        _add(M, b, k, -1.0)
+        _add(M, k, a, 1.0)
+        _add(M, k, b, -1.0)
+        _add(M, k, cp, -self.gain)
+        _add(M, k, cn, self.gain)
+
+    def stamp_dc(self, G, rhs, x, gmin):
+        self._stamp(G)
+
+    def stamp_ac(self, Y, rhs, omega, x_op):
+        self._stamp(Y)
+
+
+class Vccs(Component):
+    """Voltage-controlled current source: I(n1->n2) = gm * V(cp,cn)."""
+
+    def __init__(self, name, n1, n2, cp, cn, gm):
+        super().__init__(name, [n1, n2, cp, cn])
+        self.gm = float(gm)
+
+    def _stamp(self, M):
+        a, b, cp, cn = self.nodes
+        _add(M, a, cp, self.gm)
+        _add(M, a, cn, -self.gm)
+        _add(M, b, cp, -self.gm)
+        _add(M, b, cn, self.gm)
+
+    def stamp_dc(self, G, rhs, x, gmin):
+        self._stamp(G)
+
+    def stamp_ac(self, Y, rhs, omega, x_op):
+        self._stamp(Y)
+
+
+# ---------------------------------------------------------------------------
+# Nonlinear devices
+# ---------------------------------------------------------------------------
+class Diode(Component):
+    """Junction diode: I = Is*(exp(V/(n*Vt)) - 1), with a linearised
+    continuation above the overflow knee so Newton never sees inf."""
+
+    def __init__(self, name, anode, cathode, i_s=1e-14, n=1.0, vt=VT_300K):
+        super().__init__(name, [anode, cathode])
+        self.i_s = require_positive(float(i_s), "saturation current")
+        self.n = require_positive(float(n), "ideality factor")
+        self.vt = require_positive(float(vt), "thermal voltage")
+        # Beyond v_max the exponential is continued linearly.
+        self.v_max = self.n * self.vt * 40.0
+
+    def iv(self, vd):
+        """(current, conductance) at diode voltage ``vd``."""
+        nvt = self.n * self.vt
+        if vd <= self.v_max:
+            e = math.exp(vd / nvt) if vd > -20 * nvt else 0.0
+            i = self.i_s * (e - 1.0)
+            g = self.i_s * e / nvt if vd > -20 * nvt else 0.0
+        else:
+            e = math.exp(self.v_max / nvt)
+            g = self.i_s * e / nvt
+            i = self.i_s * (e - 1.0) + g * (vd - self.v_max)
+        return i, g
+
+    def _stamp_newton(self, G, rhs, x, gmin):
+        vd = self._v(x, 0) - self._v(x, 1)
+        i, g = self.iv(vd)
+        g += gmin
+        ieq = i - g * vd
+        a, b = self.nodes
+        _add(G, a, a, g)
+        _add(G, b, b, g)
+        _add(G, a, b, -g)
+        _add(G, b, a, -g)
+        _add_rhs(rhs, a, -ieq)
+        _add_rhs(rhs, b, ieq)
+
+    def stamp_dc(self, G, rhs, x, gmin):
+        self._stamp_newton(G, rhs, x, gmin)
+
+    def stamp_tran(self, G, rhs, x, states, dt, method, t, gmin):
+        self._stamp_newton(G, rhs, x, gmin)
+
+    def stamp_ac(self, Y, rhs, omega, x_op):
+        vd = self._v(x_op, 0) - self._v(x_op, 1)
+        _, g = self.iv(vd)
+        a, b = self.nodes
+        _add(Y, a, a, g)
+        _add(Y, b, b, g)
+        _add(Y, a, b, -g)
+        _add(Y, b, a, -g)
+
+    def current(self, x):
+        """Diode current under solution x."""
+        return self.iv(self._v(x, 0) - self._v(x, 1))[0]
+
+
+class Mosfet(Component):
+    """Level-1 (square-law) MOSFET with channel-length modulation.
+
+    Nodes are (drain, gate, source).  ``polarity`` is ``"n"`` or ``"p"``.
+    ``kp`` is the process transconductance (A/V^2); beta = kp*W/L.
+    The model is symmetric: for vds < 0 drain and source swap roles.
+    """
+
+    def __init__(
+        self,
+        name,
+        drain,
+        gate,
+        source,
+        polarity="n",
+        vto=0.5,
+        kp=200e-6,
+        w=10e-6,
+        l=1e-6,
+        lam=0.01,
+    ):
+        super().__init__(name, [drain, gate, source])
+        if polarity not in ("n", "p"):
+            raise ValueError("polarity must be 'n' or 'p'")
+        self.polarity = polarity
+        self.vto = float(vto)
+        self.kp = require_positive(float(kp), "kp")
+        self.w = require_positive(float(w), "w")
+        self.l = require_positive(float(l), "l")
+        self.lam = float(lam)
+        self.beta = self.kp * self.w / self.l
+
+    def _ids(self, vgs, vds):
+        """(ids, gm, gds) of the intrinsic n-type device, vds >= 0."""
+        vov = vgs - self.vto
+        if vov <= 0.0:
+            return 0.0, 0.0, 0.0
+        clm = 1.0 + self.lam * vds
+        if vds < vov:  # triode
+            ids = self.beta * (vov * vds - 0.5 * vds * vds) * clm
+            gm = self.beta * vds * clm
+            gds = (
+                self.beta * (vov - vds) * clm
+                + self.beta * (vov * vds - 0.5 * vds * vds) * self.lam
+            )
+        else:  # saturation
+            ids = 0.5 * self.beta * vov * vov * clm
+            gm = self.beta * vov * clm
+            gds = 0.5 * self.beta * vov * vov * self.lam
+        return ids, gm, gds
+
+    def evaluate(self, x):
+        """(id_drain_to_source, gm, gds, reversed) in external convention.
+
+        ``reversed`` reports whether drain/source swapped internally.
+        """
+        vd = self._v(x, 0)
+        vg = self._v(x, 1)
+        vs = self._v(x, 2)
+        sign = 1.0 if self.polarity == "n" else -1.0
+        vds = sign * (vd - vs)
+        vgs = sign * (vg - vs)
+        rev = vds < 0.0
+        if rev:
+            vds = -vds
+            vgs = sign * (vg - vd)  # gate-to-(new source = drain terminal)
+        ids, gm, gds = self._ids(vgs, vds)
+        return ids, gm, gds, rev, sign
+
+    def _stamp_newton(self, G, rhs, x, gmin):
+        ids, gm, gds, rev, sign = self.evaluate(x)
+        d, g, s = self.nodes
+        if rev:
+            d, s = s, d
+        # Internal (possibly swapped) voltages for the linearised source.
+        vd = 0.0 if d < 0 else x[d]
+        vg = 0.0 if g < 0 else x[g]
+        vs = 0.0 if s < 0 else x[s]
+        vgs = sign * (vg - vs)
+        vds = sign * (vd - vs)
+        ieq = ids - gm * vgs - gds * vds
+        # Current sign*ids flows from (internal) drain to source externally.
+        # Stamp transconductances.
+        _add(G, d, g, sign * sign * gm)  # = gm
+        _add(G, d, s, -gm - gds)
+        _add(G, d, d, gds + gmin)
+        _add(G, s, g, -gm)
+        _add(G, s, s, gm + gds + gmin)
+        _add(G, s, d, -gds - gmin)
+        _add(G, d, s, -gmin)  # gmin drain-source leak
+        _add_rhs(rhs, d, -sign * ieq)
+        _add_rhs(rhs, s, sign * ieq)
+
+    def stamp_dc(self, G, rhs, x, gmin):
+        self._stamp_newton(G, rhs, x, gmin)
+
+    def stamp_tran(self, G, rhs, x, states, dt, method, t, gmin):
+        self._stamp_newton(G, rhs, x, gmin)
+
+    def stamp_ac(self, Y, rhs, omega, x_op):
+        ids, gm, gds, rev, sign = self.evaluate(x_op)
+        d, g, s = self.nodes
+        if rev:
+            d, s = s, d
+        _add(Y, d, g, gm)
+        _add(Y, d, s, -gm - gds)
+        _add(Y, d, d, gds)
+        _add(Y, s, g, -gm)
+        _add(Y, s, s, gm + gds)
+        _add(Y, s, d, -gds)
+
+    def drain_current(self, x):
+        """Signed drain current (positive into the drain for NMOS in
+        normal operation)."""
+        ids, _, _, rev, sign = self.evaluate(x)
+        return -sign * ids if rev else sign * ids
+
+
+class Switch(Component):
+    """Voltage-controlled switch: closed (``r_on``) when
+    V(cp) - V(cn) > v_threshold, else open (``r_off``)."""
+
+    def __init__(
+        self, name, n1, n2, cp, cn, v_threshold=0.5, r_on=1.0, r_off=1e9
+    ):
+        super().__init__(name, [n1, n2, cp, cn])
+        self.v_threshold = float(v_threshold)
+        self.r_on = require_positive(float(r_on), "r_on")
+        self.r_off = require_positive(float(r_off), "r_off")
+
+    def is_closed(self, x):
+        vc = self._v(x, 2) - self._v(x, 3)
+        return vc > self.v_threshold
+
+    def _stamp(self, M, x):
+        g = 1.0 / (self.r_on if self.is_closed(x) else self.r_off)
+        a, b = self.nodes[0], self.nodes[1]
+        _add(M, a, a, g)
+        _add(M, b, b, g)
+        _add(M, a, b, -g)
+        _add(M, b, a, -g)
+
+    def stamp_dc(self, G, rhs, x, gmin):
+        self._stamp(G, x)
+
+    def stamp_tran(self, G, rhs, x, states, dt, method, t, gmin):
+        self._stamp(G, x)
+
+    def stamp_ac(self, Y, rhs, omega, x_op):
+        self._stamp(Y, x_op)
+
+    def current(self, x):
+        """Current n1 -> n2 under solution x."""
+        r = self.r_on if self.is_closed(x) else self.r_off
+        return (self._v(x, 0) - self._v(x, 1)) / r

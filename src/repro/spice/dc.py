@@ -1,0 +1,108 @@
+"""DC operating-point analysis: Newton-Raphson with gmin stepping fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when Newton iteration fails to converge."""
+
+
+class OperatingPoint:
+    """Solved DC operating point: node voltages and branch currents."""
+
+    def __init__(self, circuit, x):
+        self.circuit = circuit
+        self.x = np.asarray(x, dtype=float)
+
+    def voltage(self, node):
+        """Node voltage (0.0 for ground)."""
+        idx = self.circuit.node_index(node)
+        return 0.0 if idx < 0 else float(self.x[idx])
+
+    def branch_current(self, component_name):
+        """Branch current through a voltage source or inductor."""
+        return float(self.x[self.circuit.branch_index(component_name)])
+
+    def voltages(self):
+        """Dict of all node voltages."""
+        return {name: self.voltage(name) for name in self.circuit.node_names()}
+
+    def __repr__(self):
+        volts = ", ".join(
+            f"{k}={v:.4g}" for k, v in sorted(self.voltages().items())
+        )
+        return f"OperatingPoint({volts})"
+
+
+def _newton_solve(
+    circuit,
+    x0,
+    stamp,
+    gmin,
+    max_iter=150,
+    v_tol=1e-6,
+    i_tol=1e-9,
+    damping_limit=1.0,
+):
+    """Generic damped Newton loop over a stamping closure.
+
+    ``stamp(G, rhs, x, gmin)`` must fill the linearised system.  Returns
+    the converged solution or raises :class:`ConvergenceError`.
+    """
+    n = circuit.n_unknowns
+    x = np.array(x0, dtype=float, copy=True)
+    for _ in range(max_iter):
+        G = np.zeros((n, n))
+        rhs = np.zeros(n)
+        stamp(G, rhs, x, gmin)
+        try:
+            x_new = np.linalg.solve(G, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"singular MNA matrix in {circuit.title!r}: {exc}"
+            ) from exc
+        dx = x_new - x
+        # Damping: limit the per-iteration voltage step to keep the
+        # exponential devices inside their linearised region.
+        max_step = np.max(np.abs(dx)) if dx.size else 0.0
+        if max_step > damping_limit:
+            dx *= damping_limit / max_step
+        x = x + dx
+        if np.max(np.abs(dx[: circuit.n_nodes]), initial=0.0) < v_tol and np.max(
+            np.abs(dx[circuit.n_nodes :]), initial=0.0
+        ) < i_tol * max(1.0, np.max(np.abs(x[circuit.n_nodes :]), initial=0.0) / i_tol):
+            return x
+    raise ConvergenceError(
+        f"Newton failed to converge in {max_iter} iterations "
+        f"({circuit.title!r})"
+    )
+
+
+def dc_operating_point(circuit, gmin=1e-12, x0=None):
+    """Solve the DC operating point.
+
+    Strategy: plain Newton from ``x0`` (zeros by default); on failure,
+    gmin stepping from 1e-2 down to ``gmin`` reusing each level's solution
+    as the next starting point.
+    """
+    circuit.build()
+
+    def stamp(G, rhs, x, g):
+        for comp in circuit.components:
+            comp.stamp_dc(G, rhs, x, g)
+
+    x0 = np.zeros(circuit.n_unknowns) if x0 is None else np.asarray(x0, float)
+    try:
+        x = _newton_solve(circuit, x0, stamp, gmin)
+        return OperatingPoint(circuit, x)
+    except ConvergenceError:
+        pass
+    # gmin stepping
+    x = x0.copy()
+    level = 1e-2
+    while level >= gmin * 0.99:
+        x = _newton_solve(circuit, x, stamp, level, max_iter=300)
+        level /= 10.0
+    return OperatingPoint(circuit, x)

@@ -1,0 +1,234 @@
+"""SPICE-card netlist reader/writer for `repro.spice` circuits.
+
+A pragmatic subset of the classic card format, so circuits can live in
+files and be diffed/reviewed like the rest of the design:
+
+    * title line (first line, kept as the circuit title)
+    R<name> n1 n2 value
+    C<name> n1 n2 value [IC=v]
+    L<name> n1 n2 value [IC=i]
+    K<name> L<name1> L<name2> k
+    V<name> n1 n2 DC value | SIN(offset ampl freq) | PULSE(v1 v2 ...)
+    I<name> n1 n2 DC value
+    D<name> anode cathode [IS=..] [N=..]
+    M<name> d g s [TYPE=n|p] [VTO=..] [KP=..] [W=..] [L=..] [LAMBDA=..]
+    S<name> n1 n2 cp cn [VT=..] [RON=..] [ROFF=..]
+    E<name> n1 n2 cp cn gain
+    G<name> n1 n2 cp cn gm
+    .end  (optional)
+
+Values accept engineering notation ("100n", "4.7k", "5MEG").  Comment
+lines start with ``*`` or ``;``; continuation lines start with ``+``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.spice.circuit import Circuit
+from repro.spice.sources import pulse as pulse_src, sine as sine_src
+from repro.util import parse_eng
+
+
+class NetlistError(ValueError):
+    """Raised for unparsable netlist input."""
+
+
+def _parse_kwargs(tokens):
+    """Split trailing KEY=value tokens into a dict (values eng-parsed)."""
+    kwargs = {}
+    rest = []
+    for tok in tokens:
+        if "=" in tok:
+            key, _, val = tok.partition("=")
+            try:
+                kwargs[key.upper()] = parse_eng(val)
+            except ValueError:
+                # Non-numeric values (e.g. TYPE=p) pass through as text.
+                kwargs[key.upper()] = val
+        else:
+            rest.append(tok)
+    return rest, kwargs
+
+
+def _parse_source_value(tokens, line):
+    """DC value, SIN(...), or PULSE(...) card tail -> source object."""
+    joined = " ".join(tokens).strip()
+    if not joined:
+        raise NetlistError(f"source card missing a value: {line!r}")
+    upper = joined.upper()
+    if upper.startswith("DC"):
+        return parse_eng(joined[2:].strip())
+    match = re.match(r"SIN\s*\((.*)\)\s*$", joined, re.IGNORECASE)
+    if match:
+        args = [parse_eng(a) for a in match.group(1).split()]
+        if len(args) < 3:
+            raise NetlistError(f"SIN needs (offset ampl freq): {line!r}")
+        offset, ampl, freq = args[:3]
+        delay = args[3] if len(args) > 3 else 0.0
+        return sine_src(ampl, freq, offset=offset, delay=delay)
+    match = re.match(r"PULSE\s*\((.*)\)\s*$", joined, re.IGNORECASE)
+    if match:
+        args = [parse_eng(a) for a in match.group(1).split()]
+        if len(args) < 7:
+            raise NetlistError(
+                f"PULSE needs (v1 v2 delay rise fall width period): "
+                f"{line!r}")
+        v1, v2, delay, rise, fall, width, period = args[:7]
+        return pulse_src(v1, v2, delay=delay, rise=rise, fall=fall,
+                         width=width, period=period)
+    # Bare number.
+    return parse_eng(joined)
+
+
+def _logical_lines(text):
+    """Strip comments, join continuations, drop blanks and directives we
+    ignore."""
+    merged = []
+    for raw in text.splitlines():
+        line = raw.split(";")[0].rstrip()
+        if not line.strip():
+            continue
+        if line.lstrip().startswith("*"):
+            continue
+        if line.lstrip().startswith("+"):
+            if not merged:
+                raise NetlistError("continuation line with nothing before")
+            merged[-1] += " " + line.lstrip()[1:]
+        else:
+            merged.append(line.strip())
+    return merged
+
+
+def parse_netlist(text):
+    """Parse SPICE-card text into a :class:`~repro.spice.Circuit`."""
+    lines = _logical_lines(text)
+    if not lines:
+        raise NetlistError("empty netlist")
+    title = lines[0]
+    ckt = Circuit(title)
+    pending_couplings = []
+    for line in lines[1:]:
+        if line.lower() in (".end", ".ends"):
+            break
+        if line.startswith("."):
+            continue  # other directives are ignored
+        tokens = line.split()
+        name = tokens[0]
+        kind = name[0].upper()
+        try:
+            if kind == "R":
+                ckt.add_resistor(name, tokens[1], tokens[2],
+                                 parse_eng(tokens[3]))
+            elif kind == "C":
+                rest, kw = _parse_kwargs(tokens[3:])
+                ckt.add_capacitor(name, tokens[1], tokens[2],
+                                  parse_eng(tokens[3]),
+                                  ic=kw.get("IC"))
+            elif kind == "L":
+                rest, kw = _parse_kwargs(tokens[3:])
+                ckt.add_inductor(name, tokens[1], tokens[2],
+                                 parse_eng(tokens[3]),
+                                 ic=kw.get("IC", 0.0))
+            elif kind == "K":
+                pending_couplings.append(
+                    (name, tokens[1], tokens[2], parse_eng(tokens[3])))
+            elif kind == "V":
+                ckt.add_vsource(name, tokens[1], tokens[2],
+                                _parse_source_value(tokens[3:], line))
+            elif kind == "I":
+                ckt.add_isource(name, tokens[1], tokens[2],
+                                _parse_source_value(tokens[3:], line))
+            elif kind == "D":
+                rest, kw = _parse_kwargs(tokens[3:])
+                ckt.add_diode(name, tokens[1], tokens[2],
+                              i_s=kw.get("IS", 1e-14),
+                              n=kw.get("N", 1.0))
+            elif kind == "M":
+                rest, kw = _parse_kwargs(tokens[4:])
+                polarity = "p" if str(
+                    kw.pop("TYPE", "n")).lower().startswith(
+                        ("p", "-")) else "n"
+                ckt.add_mosfet(
+                    name, tokens[1], tokens[2], tokens[3],
+                    polarity=polarity,
+                    vto=kw.get("VTO", 0.5), kp=kw.get("KP", 200e-6),
+                    w=kw.get("W", 10e-6), l=kw.get("L", 1e-6),
+                    lam=kw.get("LAMBDA", 0.01))
+            elif kind == "S":
+                rest, kw = _parse_kwargs(tokens[5:])
+                ckt.add_switch(
+                    name, tokens[1], tokens[2], tokens[3], tokens[4],
+                    v_threshold=kw.get("VT", 0.5),
+                    r_on=kw.get("RON", 1.0), r_off=kw.get("ROFF", 1e9))
+            elif kind == "E":
+                ckt.add_vcvs(name, tokens[1], tokens[2], tokens[3],
+                             tokens[4], parse_eng(tokens[5]))
+            elif kind == "G":
+                ckt.add_vccs(name, tokens[1], tokens[2], tokens[3],
+                             tokens[4], parse_eng(tokens[5]))
+            else:
+                raise NetlistError(f"unknown element kind {kind!r}")
+        except NetlistError:
+            raise
+        except (IndexError, ValueError, KeyError) as exc:
+            raise NetlistError(f"bad card {line!r}: {exc}") from exc
+    for name, l1, l2, k in pending_couplings:
+        try:
+            ckt.add_coupling(name, l1, l2, k)
+        except KeyError as exc:
+            raise NetlistError(
+                f"coupling {name} references unknown inductor: {exc}"
+            ) from exc
+    return ckt
+
+
+def write_netlist(circuit):
+    """Serialize a circuit back to card text (sources as DC of their
+    t=0 value; a lossy but diffable representation)."""
+    from repro.spice import components as comps
+
+    lines = [circuit.title]
+    for c in circuit.components:
+        if isinstance(c, comps.Resistor):
+            lines.append(f"{c.name} {c.node_names[0]} {c.node_names[1]} "
+                         f"{c.resistance:g}")
+        elif isinstance(c, comps.Capacitor):
+            ic = f" IC={c.ic:g}" if c.ic is not None else ""
+            lines.append(f"{c.name} {c.node_names[0]} {c.node_names[1]} "
+                         f"{c.capacitance:g}{ic}")
+        elif isinstance(c, comps.Inductor):
+            lines.append(f"{c.name} {c.node_names[0]} {c.node_names[1]} "
+                         f"{c.inductance:g} IC={c.ic:g}")
+        elif isinstance(c, comps.MutualCoupling):
+            lines.append(f"{c.name} {c.l1.name} {c.l2.name} {c.k:g}")
+        elif isinstance(c, comps.VoltageSource):
+            lines.append(f"{c.name} {c.node_names[0]} {c.node_names[1]} "
+                         f"DC {c.source.dc_value:g}")
+        elif isinstance(c, comps.CurrentSource):
+            lines.append(f"{c.name} {c.node_names[0]} {c.node_names[1]} "
+                         f"DC {c.source.dc_value:g}")
+        elif isinstance(c, comps.Diode):
+            lines.append(f"{c.name} {c.node_names[0]} {c.node_names[1]} "
+                         f"IS={c.i_s:g} N={c.n:g}")
+        elif isinstance(c, comps.Mosfet):
+            lines.append(
+                f"{c.name} {c.node_names[0]} {c.node_names[1]} "
+                f"{c.node_names[2]} TYPE={c.polarity} VTO={c.vto:g} "
+                f"KP={c.kp:g} W={c.w:g} L={c.l:g} LAMBDA={c.lam:g}")
+        elif isinstance(c, comps.Switch):
+            lines.append(
+                f"{c.name} {c.node_names[0]} {c.node_names[1]} "
+                f"{c.node_names[2]} {c.node_names[3]} "
+                f"VT={c.v_threshold:g} RON={c.r_on:g} ROFF={c.r_off:g}")
+        elif isinstance(c, comps.Vcvs):
+            lines.append(f"{c.name} " + " ".join(c.node_names)
+                         + f" {c.gain:g}")
+        elif isinstance(c, comps.Vccs):
+            lines.append(f"{c.name} " + " ".join(c.node_names)
+                         + f" {c.gm:g}")
+        else:
+            raise NetlistError(
+                f"cannot serialize component type {type(c).__name__}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,159 @@
+"""Time-domain source waveform factories for independent sources.
+
+Each factory returns a callable ``f(t) -> value`` plus metadata used by the
+DC analysis (the value at t=0) and the AC analysis (the small-signal
+magnitude).  Sources are plain callables so users may also pass any
+function of time directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class SourceFunction:
+    """A callable source with a DC value and an AC magnitude.
+
+    ``func`` is evaluated at arbitrary times by the transient engine.
+    ``ac_mag`` (default 0) is the small-signal excitation used in AC
+    analysis; set it to 1 on the input source of interest.
+    """
+
+    def __init__(self, func, dc_value=None, ac_mag=0.0, label="source"):
+        self._func = func
+        self.ac_mag = float(ac_mag)
+        self.label = label
+        self.dc_value = float(func(0.0)) if dc_value is None else float(dc_value)
+
+    def __call__(self, t):
+        return self._func(t)
+
+    def __repr__(self):
+        return f"SourceFunction({self.label}, dc={self.dc_value:g})"
+
+
+def _as_source(value):
+    """Coerce a number or callable into a SourceFunction."""
+    if isinstance(value, SourceFunction):
+        return value
+    if callable(value):
+        return SourceFunction(value, label="callable")
+    level = float(value)
+    return SourceFunction(lambda t: level, dc_value=level, label="dc")
+
+
+def dc(value, ac_mag=0.0):
+    """Constant source."""
+    level = float(value)
+    return SourceFunction(lambda t: level, dc_value=level, ac_mag=ac_mag, label="dc")
+
+
+#: Collision-free alias: the package also contains a ``dc`` analysis module.
+dc_source = dc
+
+
+def sine(amplitude, freq, offset=0.0, phase_deg=0.0, delay=0.0, ac_mag=0.0):
+    """``offset + amplitude*sin(2*pi*freq*(t-delay) + phase)`` (0 before delay)."""
+    w = 2.0 * math.pi * float(freq)
+    phi = math.radians(phase_deg)
+    amp = float(amplitude)
+    off = float(offset)
+    d = float(delay)
+
+    def f(t):
+        if t < d:
+            return off
+        return off + amp * math.sin(w * (t - d) + phi)
+
+    return SourceFunction(f, dc_value=off, ac_mag=ac_mag, label="sine")
+
+
+def pulse(v1, v2, delay=0.0, rise=1e-9, fall=1e-9, width=1e-6, period=2e-6):
+    """SPICE-style periodic trapezoidal pulse between ``v1`` and ``v2``."""
+    v1, v2 = float(v1), float(v2)
+    delay, rise, fall = float(delay), max(float(rise), 1e-15), max(float(fall), 1e-15)
+    width, period = float(width), float(period)
+    if period <= 0:
+        raise ValueError("pulse period must be positive")
+    if rise + width + fall > period:
+        raise ValueError("pulse rise+width+fall exceeds period")
+
+    def f(t):
+        if t < delay:
+            return v1
+        tau = (t - delay) % period
+        if tau < rise:
+            return v1 + (v2 - v1) * tau / rise
+        if tau < rise + width:
+            return v2
+        if tau < rise + width + fall:
+            return v2 + (v1 - v2) * (tau - rise - width) / fall
+        return v1
+
+    return SourceFunction(f, dc_value=v1, label="pulse")
+
+
+def square(v1, v2, freq, duty=0.5, delay=0.0, transition_frac=0.01):
+    """Square wave convenience wrapper around :func:`pulse`.
+
+    ``transition_frac`` sets rise/fall as a fraction of the period, which
+    keeps transient integration well behaved.
+    """
+    period = 1.0 / float(freq)
+    tr = max(period * float(transition_frac), 1e-12)
+    width = max(period * float(duty) - tr, tr)
+    return pulse(v1, v2, delay=delay, rise=tr, fall=tr, width=width, period=period)
+
+
+def pwl(points, after="hold"):
+    """Piece-wise-linear source through ``points`` = [(t0, v0), (t1, v1)...].
+
+    ``after`` is ``"hold"`` (keep last value) or ``"repeat"``.
+    """
+    pts = sorted((float(t), float(v)) for t, v in points)
+    if len(pts) < 2:
+        raise ValueError("pwl needs at least two points")
+    ts = np.array([p[0] for p in pts])
+    vs = np.array([p[1] for p in pts])
+    if np.any(np.diff(ts) <= 0):
+        raise ValueError("pwl times must be strictly increasing")
+    span = ts[-1] - ts[0]
+
+    def f(t):
+        if after == "repeat" and t > ts[-1]:
+            t = ts[0] + (t - ts[0]) % span
+        return float(np.interp(t, ts, vs))
+
+    return SourceFunction(f, dc_value=vs[0], label="pwl")
+
+
+def ask_carrier(amplitude, freq, bits, bit_rate, depth, delay=0.0, offset=0.0):
+    """Amplitude-shift-keyed sinusoidal carrier.
+
+    A logic-1 bit transmits full ``amplitude``; a logic-0 bit transmits
+    ``amplitude*(1-depth)``.  Before ``delay`` and after the bitstream the
+    carrier runs unmodulated (logic 1), matching how the paper's patch
+    idles at full power between frames.
+    """
+    if not 0.0 <= depth <= 1.0:
+        raise ValueError("ASK depth must be in [0, 1]")
+    bits = [int(b) for b in bits]
+    if any(b not in (0, 1) for b in bits):
+        raise ValueError("bits must be 0/1")
+    w = 2.0 * math.pi * float(freq)
+    tbit = 1.0 / float(bit_rate)
+    amp = float(amplitude)
+    lo = amp * (1.0 - float(depth))
+
+    def f(t):
+        carrier = math.sin(w * t)
+        k = int(math.floor((t - delay) / tbit))
+        if 0 <= k < len(bits):
+            level = amp if bits[k] else lo
+        else:
+            level = amp
+        return offset + level * carrier
+
+    return SourceFunction(f, dc_value=offset, label="ask")

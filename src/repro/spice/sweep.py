@@ -1,0 +1,111 @@
+"""DC sweep analysis: transfer curves and bias-point families.
+
+Sweeps an independent source (or any component attribute) across a value
+grid, re-solving the operating point at each step with warm starts —
+the workhorse for transfer characteristics (e.g. the rectifier's I/V, a
+MOSFET's output family) and for extracting code-transition voltages of
+converters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.components import CurrentSource, VoltageSource
+from repro.spice.dc import OperatingPoint, dc_operating_point
+from repro.spice.sources import dc_source
+
+
+class DCSweepResult:
+    """Operating points over a swept value grid."""
+
+    def __init__(self, circuit, values, points):
+        self.circuit = circuit
+        self.values = np.asarray(values, dtype=float)
+        self.points = list(points)
+
+    def voltage(self, node):
+        """Array of a node voltage across the sweep."""
+        return np.array([p.voltage(node) for p in self.points])
+
+    def branch_current(self, component_name):
+        """Array of a branch current across the sweep."""
+        return np.array([p.branch_current(component_name)
+                         for p in self.points])
+
+    def device_current(self, component_name):
+        """Array of a two-terminal device current across the sweep."""
+        comp = self.circuit[component_name]
+        if not hasattr(comp, "current"):
+            raise ValueError(f"{component_name} exposes no current")
+        return np.array([comp.current(p.x) for p in self.points])
+
+    def transfer_gain(self, node):
+        """Numerical d(V_node)/d(swept value) along the sweep."""
+        return np.gradient(self.voltage(node), self.values)
+
+    def find_crossing(self, node, level):
+        """Swept value at which V(node) crosses ``level`` (first hit,
+        linear interpolation); None if it never does."""
+        v = self.voltage(node)
+        sign = np.sign(v - level)
+        hits = np.nonzero(np.diff(sign) != 0)[0]
+        if hits.size == 0:
+            return None
+        i = hits[0]
+        v0, v1 = v[i], v[i + 1]
+        x0, x1 = self.values[i], self.values[i + 1]
+        if v1 == v0:
+            return float(x0)
+        return float(x0 + (x1 - x0) * (level - v0) / (v1 - v0))
+
+    def __len__(self):
+        return len(self.points)
+
+
+def dc_sweep(circuit, source_name, values, gmin=1e-12):
+    """Sweep an independent V or I source and solve DC at each value.
+
+    The source's value object is replaced per step; each solve warm-
+    starts from the previous solution, which makes tight nonlinear
+    sweeps (diode knees, MOS transitions) fast and robust.
+    """
+    circuit.build()
+    comp = circuit[source_name]
+    if not isinstance(comp, (VoltageSource, CurrentSource)):
+        raise TypeError(
+            f"{source_name} is not an independent source")
+    values = np.asarray(values, dtype=float)
+    if values.size < 1:
+        raise ValueError("empty sweep grid")
+    original = comp.source
+    points = []
+    x_prev = None
+    try:
+        for value in values:
+            comp.source = dc_source(float(value))
+            op = dc_operating_point(circuit, gmin=gmin, x0=x_prev)
+            points.append(op)
+            x_prev = op.x
+    finally:
+        comp.source = original
+    return DCSweepResult(circuit, values, points)
+
+
+def operating_point_report(op, currents_of=()):
+    """Readable multi-line report of an operating point.
+
+    ``currents_of`` optionally lists two-terminal component names whose
+    currents should be included.
+    """
+    lines = [f"Operating point of {op.circuit.title!r}:"]
+    for name, volts in sorted(op.voltages().items()):
+        lines.append(f"  V({name}) = {volts:.6g} V")
+    for name in currents_of:
+        comp = op.circuit[name]
+        if hasattr(comp, "current"):
+            lines.append(f"  I({name}) = {comp.current(op.x):.6g} A")
+        elif comp.branch is not None:
+            lines.append(
+                f"  I({name}) = {op.branch_current(name):.6g} A")
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Transient analysis: fixed-step companion-model integration.
+
+Backward-Euler (robust, damped) and trapezoidal (second-order accurate)
+methods are supported.  Each step solves the nonlinear system with damped
+Newton; a failing step is retried with a halved step until ``min_dt``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signals import Waveform
+from repro.spice.dc import ConvergenceError, _newton_solve, dc_operating_point
+
+
+class TransientResult:
+    """Time-series output of a transient run.
+
+    Node voltages are accessed with :meth:`voltage`, branch currents of
+    voltage sources / inductors with :meth:`branch_current`; both return
+    :class:`~repro.signals.Waveform`.
+    """
+
+    def __init__(self, circuit, times, solutions):
+        self.circuit = circuit
+        self.t = np.asarray(times, dtype=float)
+        self.x = np.asarray(solutions, dtype=float)  # shape (n_steps, n_unknowns)
+
+    def voltage(self, node):
+        """Waveform of a node voltage."""
+        idx = self.circuit.node_index(node)
+        if idx < 0:
+            return Waveform(self.t, np.zeros_like(self.t))
+        return Waveform(self.t, self.x[:, idx])
+
+    def branch_current(self, component_name):
+        """Waveform of a branch current (through a V source or inductor)."""
+        idx = self.circuit.branch_index(component_name)
+        return Waveform(self.t, self.x[:, idx])
+
+    def device_current(self, component_name):
+        """Waveform of the current through a resistor, diode or switch."""
+        comp = self.circuit[component_name]
+        if not hasattr(comp, "current"):
+            raise ValueError(f"{component_name} does not expose a current")
+        values = np.array([comp.current(xk) for xk in self.x])
+        return Waveform(self.t, values)
+
+    def final_state(self):
+        """Solution vector at the last time point."""
+        return self.x[-1].copy()
+
+
+def transient(
+    circuit,
+    t_stop,
+    dt,
+    t_start=0.0,
+    method="trap",
+    x0=None,
+    use_ic=False,
+    max_newton=60,
+    store_every=1,
+    callback=None,
+):
+    """Run a transient analysis.
+
+    Parameters
+    ----------
+    circuit : Circuit
+    t_stop, dt : float
+        End time and nominal step.
+    method : ``"trap"`` or ``"be"``.
+    x0 : optional initial solution vector; when omitted the DC operating
+        point (with all sources at their t=0 value) seeds the run.
+    use_ic : bool
+        When True, skip the DC solve and start from zero with component
+        initial conditions (capacitor ``ic``, inductor ``ic``).
+    store_every : int
+        Keep every k-th accepted step (memory control for long runs).
+    callback : optional ``f(t, x)`` invoked on each accepted step.
+    """
+    if method not in ("trap", "be"):
+        raise ValueError(f"unknown integration method {method!r}")
+    if dt <= 0 or t_stop <= t_start:
+        raise ValueError("need dt > 0 and t_stop > t_start")
+    circuit.build()
+    gmin = 1e-12
+
+    if x0 is not None:
+        x = np.asarray(x0, dtype=float).copy()
+    elif use_ic:
+        x = np.zeros(circuit.n_unknowns)
+    else:
+        x = dc_operating_point(circuit).x.copy()
+
+    states = {}
+    for comp in circuit.components:
+        st = comp.init_state(None if use_ic else x)
+        if st is not None:
+            states[comp] = st
+    if use_ic:
+        # Impose capacitor initial voltages on the state records.
+        for comp, st in states.items():
+            if hasattr(comp, "ic") and comp.ic is not None and "v" in st:
+                st["v"] = comp.ic
+
+    if use_ic:
+        # Consistency solve: one backward-Euler micro-step pins the node
+        # voltages to the imposed initial conditions (a zero vector is not
+        # a valid circuit solution).  State updates are discarded — the
+        # micro-step transfers negligible charge/flux.
+        dt_micro = dt * 1e-9
+
+        def warm_stamp(G, rhs, xg, g):
+            for comp in circuit.components:
+                comp.stamp_tran(G, rhs, xg, states, dt_micro, "be", t_start, g)
+
+        x = _newton_solve(circuit, x, warm_stamp, gmin, max_iter=max_newton,
+                          damping_limit=5.0)
+
+    times = [t_start]
+    solutions = [x.copy()]
+    t = t_start
+    min_dt = dt / 64.0
+    step = dt
+    stored = 0
+
+    first_step = True
+    while t < t_stop - 1e-15:
+        step = min(step, t_stop - t)
+        t_next = t + step
+        # The initial reactive-element currents are unknown (not part of
+        # the DC solution), so the very first step runs backward-Euler;
+        # its update leaves consistent states for trapezoidal continuation.
+        step_method = "be" if first_step else method
+
+        def stamp(G, rhs, xg, g, _t=t_next, _dt=step, _m=step_method):
+            for comp in circuit.components:
+                comp.stamp_tran(G, rhs, xg, states, _dt, _m, _t, g)
+
+        try:
+            x_new = _newton_solve(
+                circuit, x, stamp, gmin, max_iter=max_newton, damping_limit=2.0
+            )
+        except ConvergenceError:
+            if step / 2.0 < min_dt:
+                raise ConvergenceError(
+                    f"transient step failed at t={t_next:.4g}s even at "
+                    f"minimum step {min_dt:.3g}s ({circuit.title!r})"
+                )
+            step /= 2.0
+            continue
+
+        for comp in circuit.components:
+            comp.update_state(x_new, states, step, step_method)
+        first_step = False
+        x = x_new
+        t = t_next
+        stored += 1
+        if stored % store_every == 0 or t >= t_stop - 1e-15:
+            times.append(t)
+            solutions.append(x.copy())
+        if callback is not None:
+            callback(t, x)
+        # Grow the step back toward nominal after a successful solve.
+        if step < dt:
+            step = min(dt, step * 2.0)
+
+    return TransientResult(circuit, times, solutions)

@@ -1,0 +1,31 @@
+"""Utility helpers: SI-prefixed engineering notation, decibels, validation.
+
+These are the lowest-level helpers in the library; every other subpackage
+may depend on them, and they depend on nothing but the standard library.
+"""
+
+from repro.util.units import (
+    SI_PREFIXES,
+    format_eng,
+    parse_eng,
+    db10,
+    db20,
+    from_db10,
+    from_db20,
+    clamp,
+    require_positive,
+    require_in_range,
+)
+
+__all__ = [
+    "SI_PREFIXES",
+    "format_eng",
+    "parse_eng",
+    "db10",
+    "db20",
+    "from_db10",
+    "from_db20",
+    "clamp",
+    "require_positive",
+    "require_in_range",
+]

@@ -1,0 +1,155 @@
+"""Engineering-notation parsing/formatting and small numeric helpers.
+
+The EDA world talks in SI prefixes ("4u7", "150n", "5MEG") and decibels.
+This module provides a single, well-tested implementation used throughout
+the library so values read the way a circuit designer expects.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+#: SI prefix -> multiplier.  Keys are case-sensitive except for the special
+#: SPICE spellings handled in :func:`parse_eng` ("MEG", "mil").
+SI_PREFIXES = {
+    "y": 1e-24,
+    "z": 1e-21,
+    "a": 1e-18,
+    "f": 1e-15,
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "µ": 1e-6,
+    "m": 1e-3,
+    "": 1.0,
+    "k": 1e3,
+    "K": 1e3,
+    "M": 1e6,
+    "G": 1e9,
+    "T": 1e12,
+    "P": 1e15,
+}
+
+_ENG_RE = re.compile(
+    r"""^\s*
+    (?P<sign>[+-]?)
+    (?P<mant>\d+\.?\d*|\.\d+)
+    (?:[eE](?P<exp>[+-]?\d+))?
+    \s*
+    (?P<prefix>MEG|meg|[yzafpnuµmkKMGTP]?)
+    (?P<unit>[a-zA-ZΩ°%]*)
+    \s*$""",
+    re.VERBOSE,
+)
+
+# Ordered prefixes used when formatting.
+_FORMAT_STEPS = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+]
+
+
+def parse_eng(text):
+    """Parse an engineering-notation string into a float.
+
+    Accepts plain floats (``"1.5e-6"``), SI prefixes (``"1.5u"``,
+    ``"150n"``, ``"4k7"`` is *not* supported — use ``"4.7k"``), the SPICE
+    spelling ``"MEG"`` for 1e6, and an optional trailing unit which is
+    ignored (``"150 nF"`` -> 1.5e-7).
+
+    >>> parse_eng("15m")
+    0.015
+    >>> parse_eng("5MEG")
+    5000000.0
+    >>> parse_eng("2.75 V")
+    2.75
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _ENG_RE.match(str(text))
+    if match is None:
+        raise ValueError(f"cannot parse engineering value: {text!r}")
+    mantissa = float(match.group("sign") + match.group("mant"))
+    if match.group("exp") is not None:
+        mantissa *= 10.0 ** int(match.group("exp"))
+    prefix = match.group("prefix")
+    if prefix.upper() == "MEG":
+        scale = 1e6
+    else:
+        scale = SI_PREFIXES[prefix]
+    return mantissa * scale
+
+
+def format_eng(value, unit="", digits=4):
+    """Format ``value`` with an SI prefix, e.g. ``format_eng(1.5e-7, "F")``
+    -> ``"150 nF"``.
+
+    ``digits`` is the number of significant digits in the mantissa.
+    """
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return f"nan {unit}".strip()
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    for scale, prefix in _FORMAT_STEPS:
+        if magnitude >= scale * 0.9999999:
+            mant = value / scale
+            text = f"{mant:.{digits}g}"
+            return f"{text} {prefix}{unit}".strip()
+    # Smaller than atto: fall back to scientific notation.
+    return f"{value:.{digits}g} {unit}".strip()
+
+
+def db10(ratio):
+    """Power ratio -> decibels (10*log10)."""
+    if ratio <= 0:
+        raise ValueError(f"dB of non-positive ratio: {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def db20(ratio):
+    """Amplitude ratio -> decibels (20*log10)."""
+    if ratio <= 0:
+        raise ValueError(f"dB of non-positive ratio: {ratio}")
+    return 20.0 * math.log10(ratio)
+
+
+def from_db10(db):
+    """Decibels -> power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def from_db20(db):
+    """Decibels -> amplitude ratio."""
+    return 10.0 ** (db / 20.0)
+
+
+def clamp(value, lo, hi):
+    """Clamp ``value`` into ``[lo, hi]``."""
+    if lo > hi:
+        raise ValueError(f"empty clamp interval [{lo}, {hi}]")
+    return max(lo, min(hi, value))
+
+
+def require_positive(value, name):
+    """Raise ``ValueError`` unless ``value`` > 0; returns the value."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_in_range(value, lo, hi, name):
+    """Raise ``ValueError`` unless ``lo <= value <= hi``; returns the value."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+    return value

@@ -1,0 +1,29 @@
+"""Monte-Carlo variability analysis (the paper's stated future work).
+
+"Future works will involve the circuit characterization by means of
+measurements" — before silicon comes back, designers characterise by
+Monte-Carlo over process/mismatch corners.  This package provides a
+compact parameter-perturbation engine and ready-made studies of the
+reproduction's critical specs: the 650 mV oxidation potential, the
+rectifier charge behaviour, and the demodulator decision margin.
+"""
+
+from repro.variability.montecarlo import (
+    ParameterSpread,
+    MonteCarlo,
+    YieldResult,
+)
+from repro.variability.studies import (
+    vox_accuracy_study,
+    charge_time_study,
+    ask_margin_study,
+)
+
+__all__ = [
+    "ParameterSpread",
+    "MonteCarlo",
+    "YieldResult",
+    "vox_accuracy_study",
+    "charge_time_study",
+    "ask_margin_study",
+]

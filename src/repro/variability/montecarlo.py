@@ -1,0 +1,140 @@
+"""A small Monte-Carlo engine: named parameter spreads -> sample metrics.
+
+The engine is deliberately generic: a study supplies parameter spreads
+(Gaussian or uniform, absolute or relative) and a ``build(params) ->
+metric(s)`` function; the engine samples, evaluates, and summarises
+with yield against spec limits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import require_positive
+
+
+@dataclass(frozen=True)
+class ParameterSpread:
+    """One varying parameter.
+
+    ``sigma`` is the standard deviation (``distribution="gauss"``) or the
+    half-width (``"uniform"``); ``relative=True`` scales it by the
+    nominal value.
+    """
+
+    name: str
+    nominal: float
+    sigma: float
+    distribution: str = "gauss"
+    relative: bool = False
+
+    def __post_init__(self):
+        if self.distribution not in ("gauss", "uniform"):
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}")
+        if self.sigma < 0:
+            raise ValueError("sigma must be >= 0")
+
+    def sample(self, rng):
+        scale = self.sigma * (abs(self.nominal) if self.relative else 1.0)
+        if self.distribution == "gauss":
+            return self.nominal + rng.normal(0.0, scale)
+        return self.nominal + rng.uniform(-scale, scale)
+
+
+@dataclass
+class YieldResult:
+    """Summary of a Monte-Carlo run for one metric."""
+
+    metric: str
+    samples: np.ndarray
+    lo_limit: float | None
+    hi_limit: float | None
+
+    @property
+    def mean(self):
+        return float(np.mean(self.samples))
+
+    @property
+    def std(self):
+        return float(np.std(self.samples, ddof=1)) if self.samples.size > 1 \
+            else 0.0
+
+    @property
+    def worst_low(self):
+        return float(np.min(self.samples))
+
+    @property
+    def worst_high(self):
+        return float(np.max(self.samples))
+
+    @property
+    def yield_fraction(self):
+        """Fraction of samples inside [lo_limit, hi_limit]."""
+        ok = np.ones(self.samples.size, dtype=bool)
+        if self.lo_limit is not None:
+            ok &= self.samples >= self.lo_limit
+        if self.hi_limit is not None:
+            ok &= self.samples <= self.hi_limit
+        return float(np.mean(ok))
+
+    def sigma_margin(self):
+        """Distance from the mean to the nearest limit, in sigmas
+        (inf when unconstrained or spread-free)."""
+        if self.std == 0.0:
+            return float("inf")
+        margins = []
+        if self.lo_limit is not None:
+            margins.append((self.mean - self.lo_limit) / self.std)
+        if self.hi_limit is not None:
+            margins.append((self.hi_limit - self.mean) / self.std)
+        return min(margins) if margins else float("inf")
+
+    def summary_row(self):
+        return (self.metric, self.mean, self.std, self.worst_low,
+                self.worst_high, self.yield_fraction)
+
+
+class MonteCarlo:
+    """Sampler over a set of :class:`ParameterSpread`."""
+
+    def __init__(self, spreads, seed=0):
+        names = [s.name for s in spreads]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names")
+        if not spreads:
+            raise ValueError("need at least one parameter spread")
+        self.spreads = list(spreads)
+        self._rng = np.random.default_rng(seed)
+
+    def sample_parameters(self):
+        """One {name: value} draw."""
+        return {s.name: s.sample(self._rng) for s in self.spreads}
+
+    def run(self, evaluate, n_samples=200):
+        """Evaluate ``evaluate(params) -> {metric: value}`` over draws.
+
+        Returns {metric: np.ndarray of samples}.
+        """
+        require_positive(n_samples, "n_samples")
+        collected = {}
+        for _ in range(int(n_samples)):
+            metrics = evaluate(self.sample_parameters())
+            for key, value in metrics.items():
+                collected.setdefault(key, []).append(float(value))
+        return {k: np.asarray(v) for k, v in collected.items()}
+
+    def yield_analysis(self, evaluate, limits, n_samples=200):
+        """Run and wrap each metric in a :class:`YieldResult`.
+
+        ``limits`` maps metric -> (lo, hi); use None for one-sided.
+        """
+        raw = self.run(evaluate, n_samples)
+        results = {}
+        for metric, samples in raw.items():
+            lo, hi = limits.get(metric, (None, None))
+            results[metric] = YieldResult(metric, samples, lo, hi)
+        return results

@@ -1,0 +1,115 @@
+"""Ready-made Monte-Carlo studies of the reproduction's critical specs.
+
+Each study returns ``{metric: YieldResult}`` so benches and tests can
+assert yields; spreads are typical 0.18 um process/mismatch figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.power import RectifierEnvelopeModel
+from repro.sensor.bandgap import BandgapReference
+from repro.variability.montecarlo import MonteCarlo, ParameterSpread
+
+
+def vox_accuracy_study(n_samples=300, seed=1):
+    """How accurate is the 650 mV WE-RE potential across corners?
+
+    Spreads: bandgap untrimmed offsets (+/-1% sigma), curvature spread,
+    temperature over the body range (uniform 33-40 C), supply 2.1-3.0 V
+    at the regulator input -> 1.8 V +/- load regulation.
+
+    Spec: the oxidation wave (~60 mV width) tolerates roughly +/-30 mV
+    before the operating point slides visibly; yield is measured against
+    650 +/- 30 mV.
+    """
+    spreads = [
+        ParameterSpread("v_we_nom", 1.2, 0.01, relative=True),
+        ParameterSpread("v_re_nom", 0.55, 0.01, relative=True),
+        ParameterSpread("curv_we", 1.2e-6, 0.3e-6),
+        ParameterSpread("curv_re", 2.0e-6, 0.5e-6),
+        ParameterSpread("temperature", 36.5, 3.5, distribution="uniform"),
+        ParameterSpread("vdd", 1.8, 0.02),
+    ]
+
+    def evaluate(p):
+        we = BandgapReference(v_nominal=p["v_we_nom"],
+                              curvature=abs(p["curv_we"]))
+        re = BandgapReference(v_nominal=p["v_re_nom"],
+                              curvature=abs(p["curv_re"]),
+                              supply_sensitivity=1.5e-3, vdd_min=1.0)
+        vox = (we.output(p["temperature"], p["vdd"])
+               - re.output(p["temperature"], p["vdd"]))
+        return {"vox_mv": vox * 1e3}
+
+    mc = MonteCarlo(spreads, seed=seed)
+    return mc.yield_analysis(evaluate, {"vox_mv": (620.0, 680.0)},
+                             n_samples=n_samples)
+
+
+def charge_time_study(n_samples=120, seed=2):
+    """Does Co still charge in time across component corners?
+
+    Spreads: Co +/-10% (capacitor tolerance), rectifier efficiency
+    +/-5% absolute, delivered power +/-15% (coupling/placement), load
+    +/-10%.  Spec: the rail must clear 2.75 V within 500 us and the
+    equilibrium must stay under the 3.3 V device limit.
+    """
+    spreads = [
+        ParameterSpread("c_out", 250e-9, 0.10, relative=True),
+        ParameterSpread("efficiency", 0.9, 0.05),
+        ParameterSpread("p_in", 5e-3, 0.15, relative=True),
+        ParameterSpread("i_load", 352e-6, 0.10, relative=True),
+    ]
+
+    def evaluate(p):
+        eff = float(np.clip(p["efficiency"], 0.3, 1.0))
+        model = RectifierEnvelopeModel(c_out=max(p["c_out"], 50e-9),
+                                       efficiency=eff)
+        t_charge = model.charge_time(max(p["p_in"], 1e-4),
+                                     max(p["i_load"], 0.0), 2.75)
+        trace = model.simulate(lambda t: p["p_in"],
+                               lambda t: p["i_load"], 1.5e-3)
+        return {
+            "charge_time_us": (t_charge * 1e6 if t_charge is not None
+                               else 1e6),
+            "v_equilibrium": float(trace.v_out.v[-1]),
+        }
+
+    mc = MonteCarlo(spreads, seed=seed)
+    return mc.yield_analysis(
+        evaluate,
+        {"charge_time_us": (None, 500.0), "v_equilibrium": (2.1, 3.3)},
+        n_samples=n_samples)
+
+
+def ask_margin_study(n_samples=200, seed=3):
+    """Demodulator decision margin across corners.
+
+    The slicer threshold sits between the held peak for a 1 and for a 0;
+    spreads on modulation depth (R7/R8 tolerance), link gain, comparator
+    offset and envelope ripple erode the margin.  Spec: margin > 0 (the
+    bit is still decidable), with yield target at > 10% of the high
+    level.
+    """
+    spreads = [
+        ParameterSpread("depth", 0.42, 0.05, relative=True),
+        ParameterSpread("level_high", 1.0, 0.10, relative=True),
+        ParameterSpread("comp_offset", 0.0, 0.01),
+        ParameterSpread("ripple", 0.02, 0.01),
+    ]
+
+    def evaluate(p):
+        high = max(p["level_high"], 0.1)
+        depth = float(np.clip(p["depth"], 0.0, 0.95))
+        low = high * (1.0 - depth)
+        threshold = 0.5 * (high + low) + p["comp_offset"]
+        ripple = abs(p["ripple"]) * high
+        margin = min(high - ripple - threshold,
+                     threshold - (low + ripple))
+        return {"margin_frac": margin / high}
+
+    mc = MonteCarlo(spreads, seed=seed)
+    return mc.yield_analysis(evaluate, {"margin_frac": (0.10, None)},
+                             n_samples=n_samples)

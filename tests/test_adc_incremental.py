@@ -1,0 +1,58 @@
+"""Tests for the incremental sigma-delta mode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adc.incremental import IncrementalADC
+
+
+class TestIncrementalADC:
+    def test_dc_conversion_accuracy(self):
+        adc = IncrementalADC(n_clocks=256)
+        for level in (-0.5, -0.1, 0.0, 0.3, 0.7):
+            assert adc.convert(level) == pytest.approx(level, abs=1e-3)
+
+    def test_accuracy_improves_with_clocks(self):
+        short = IncrementalADC(n_clocks=64)
+        long = IncrementalADC(n_clocks=512)
+        assert long.conversion_error() < short.conversion_error()
+
+    def test_theoretical_bits(self):
+        adc = IncrementalADC(n_clocks=256)
+        # log2(256*257/2) ~ 15 bits.
+        assert adc.theoretical_bits == pytest.approx(15.0, abs=0.2)
+
+    def test_clocks_for_bits(self):
+        adc = IncrementalADC()
+        n = adc.clocks_for_bits(14)
+        assert np.log2(n * (n + 1) / 2) >= 14
+        assert np.log2((n // 2) * (n // 2 + 1) / 2) < 14
+
+    def test_rejects_overrange(self):
+        with pytest.raises(ValueError):
+            IncrementalADC().convert(0.95)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            IncrementalADC(n_clocks=4)
+
+    def test_energy_per_conversion(self):
+        adc = IncrementalADC(n_clocks=256)
+        e = adc.energy_per_conversion()
+        # 256 clocks at 1.28 MHz = 200 us at 432 uW -> ~86 nJ.
+        assert e == pytest.approx(240e-6 * 1.8 * 200e-6, rel=1e-6)
+
+    def test_duty_cycling_saves_energy_vs_freerunning(self):
+        """One incremental conversion costs far less than running the
+        free-running converter for a 10 ms reporting period."""
+        adc = IncrementalADC(n_clocks=256)
+        e_inc = adc.energy_per_conversion()
+        e_free = 240e-6 * 1.8 * 10e-3
+        assert e_inc < e_free / 10
+
+    @given(st.floats(min_value=-0.75, max_value=0.75))
+    @settings(max_examples=25, deadline=None)
+    def test_conversion_error_bounded_property(self, level):
+        adc = IncrementalADC(n_clocks=256)
+        assert abs(adc.convert(level) - level) < 5e-3

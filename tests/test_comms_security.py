@@ -1,0 +1,142 @@
+"""Tests for the XTEA-based secure telemetry channel."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comms import SecureChannel, XteaCipher, paired_channels
+
+KEY = bytes(range(16))
+
+
+class TestXtea:
+    def test_known_vector(self):
+        """Published XTEA vector: all-zero key/plaintext."""
+        cipher = XteaCipher(b"\x00" * 16)
+        out = cipher.encrypt_block(b"\x00" * 8)
+        assert out == bytes.fromhex("dee9d4d8f7131ed9")
+
+    def test_known_vector_2(self):
+        cipher = XteaCipher(bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f"))
+        out = cipher.encrypt_block(bytes.fromhex("4142434445464748"))
+        assert out == bytes.fromhex("497df3d072612cb5")
+
+    def test_block_size_enforced(self):
+        with pytest.raises(ValueError):
+            XteaCipher(KEY).encrypt_block(b"short")
+
+    def test_key_size_enforced(self):
+        with pytest.raises(ValueError):
+            XteaCipher(b"short key")
+
+    def test_ctr_roundtrip(self):
+        cipher = XteaCipher(KEY)
+        msg = b"metabolite telemetry payload"
+        assert cipher.ctr_crypt(5, cipher.ctr_crypt(5, msg)) == msg
+
+    def test_ctr_nonce_separates_streams(self):
+        cipher = XteaCipher(KEY)
+        msg = b"\x00" * 32
+        assert cipher.ctr_crypt(1, msg) != cipher.ctr_crypt(2, msg)
+
+    def test_ctr_empty(self):
+        assert XteaCipher(KEY).ctr_crypt(0, b"") == b""
+
+    def test_keystream_deterministic(self):
+        cipher = XteaCipher(KEY)
+        assert cipher.keystream(9, 24) == cipher.keystream(9, 24)
+
+    def test_mac_changes_with_data(self):
+        cipher = XteaCipher(KEY)
+        assert cipher.cbc_mac(b"abc") != cipher.cbc_mac(b"abd")
+
+    def test_mac_length_prefix_blocks_extension(self):
+        cipher = XteaCipher(KEY)
+        assert cipher.cbc_mac(b"ab") != cipher.cbc_mac(b"ab\x00")
+
+    def test_mac_tag_size(self):
+        cipher = XteaCipher(KEY)
+        assert len(cipher.cbc_mac(b"x", tag_bytes=6)) == 6
+        with pytest.raises(ValueError):
+            cipher.cbc_mac(b"x", tag_bytes=9)
+
+    @given(st.binary(min_size=0, max_size=64),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40)
+    def test_ctr_roundtrip_property(self, data, nonce):
+        cipher = XteaCipher(KEY)
+        assert cipher.ctr_crypt(nonce, cipher.ctr_crypt(nonce, data)) \
+            == bytes(data)
+
+
+class TestSecureChannel:
+    def test_seal_open_roundtrip(self):
+        tx, rx = paired_channels(KEY)
+        wire = tx.seal(b"lactate=0.82mM")
+        assert rx.open(wire) == b"lactate=0.82mM"
+
+    def test_ciphertext_hides_plaintext(self):
+        tx = SecureChannel(KEY)
+        payload = b"A" * 24
+        wire = tx.seal(payload)
+        assert payload not in wire
+
+    def test_tamper_detected(self):
+        tx, rx = paired_channels(KEY)
+        wire = bytearray(tx.seal(b"dose=stop"))
+        wire[6] ^= 0x01
+        with pytest.raises(ValueError, match="tag mismatch"):
+            rx.open(bytes(wire))
+
+    def test_tag_tamper_detected(self):
+        tx, rx = paired_channels(KEY)
+        wire = bytearray(tx.seal(b"payload"))
+        wire[-1] ^= 0x80
+        with pytest.raises(ValueError, match="tag mismatch"):
+            rx.open(bytes(wire))
+
+    def test_replay_rejected(self):
+        tx, rx = paired_channels(KEY)
+        wire = tx.seal(b"measurement 1")
+        rx.open(wire)
+        with pytest.raises(ValueError, match="replay"):
+            rx.open(wire)
+
+    def test_out_of_order_rejected(self):
+        tx, rx = paired_channels(KEY)
+        w1 = tx.seal(b"one")
+        w2 = tx.seal(b"two")
+        rx.open(w2)
+        with pytest.raises(ValueError, match="replay"):
+            rx.open(w1)
+
+    def test_counter_increments(self):
+        tx = SecureChannel(KEY)
+        w1 = tx.seal(b"x")
+        w2 = tx.seal(b"x")
+        assert w1[:4] != w2[:4]
+        assert w1[4:] != w2[4:]  # different keystream too
+
+    def test_short_message_rejected(self):
+        rx = SecureChannel(KEY)
+        with pytest.raises(ValueError, match="shorter"):
+            rx.open(b"\x00" * 5)
+
+    def test_wrong_key_fails(self):
+        tx = SecureChannel(KEY)
+        rx = SecureChannel(bytes(16))
+        with pytest.raises(ValueError):
+            rx.open(tx.seal(b"secret"))
+
+    def test_airtime_overhead_at_paper_rate(self):
+        """8 bytes of overhead at 66.6 kbps uplink: under a millisecond."""
+        ch = SecureChannel(KEY)
+        assert ch.airtime_overhead(66.6e3) == pytest.approx(
+            8 * 8 / 66.6e3)
+        assert ch.airtime_overhead(66.6e3) < 1e-3
+
+    @given(st.binary(min_size=0, max_size=128))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, payload):
+        tx, rx = paired_channels(KEY)
+        assert rx.open(tx.seal(payload)) == bytes(payload)

@@ -1,0 +1,209 @@
+"""End-to-end tests of the integrated system (the paper's contribution)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import PAPER, RemotePoweringSystem
+from repro.comms import Bitstream, prbs
+from repro.core import ImplantDevice, ImplantState
+from repro.link import TissueLayer
+
+
+@pytest.fixture(scope="module")
+def system():
+    return RemotePoweringSystem(distance=10e-3)
+
+
+class TestCalibration:
+    def test_15mw_at_6mm(self, system):
+        """E3: the calibration anchor itself."""
+        assert system.available_power(6e-3) == pytest.approx(
+            PAPER.power_at_6mm, rel=1e-6)
+
+    def test_5mw_at_10mm(self, system):
+        """E5: ~5 mW to a matched load at 10 mm follows from the
+        geometry, not from tuning."""
+        assert system.available_power(10e-3) == pytest.approx(
+            PAPER.power_matched_10mm, rel=0.25)
+
+    def test_1mw_at_17mm_air(self, system):
+        """E3: ~1.17 mW at 17 mm in air."""
+        assert system.available_power(17e-3) == pytest.approx(
+            PAPER.power_through_17mm_sirloin, rel=0.25)
+
+    def test_tissue_result(self):
+        """E3: 17 mm of sirloin ~ 17 mm of air at 5 MHz."""
+        meat = RemotePoweringSystem(
+            distance=17e-3,
+            tissue_layers=[TissueLayer("sirloin", 17e-3)])
+        air = RemotePoweringSystem(distance=17e-3)
+        p_meat = meat.available_power()
+        p_air = air.available_power()
+        assert p_meat == pytest.approx(p_air, rel=0.25)
+        assert p_meat == pytest.approx(
+            PAPER.power_through_17mm_sirloin, rel=0.35)
+
+    def test_power_sweep_monotone(self, system):
+        pts = system.power_sweep([4e-3, 6e-3, 10e-3, 14e-3, 20e-3])
+        powers = [p for _, p in pts]
+        assert all(a > b for a, b in zip(powers, powers[1:]))
+
+    def test_matching_network_values(self, system):
+        m = system.matching_network()
+        assert m.match_error() < 1e-9
+        assert 10e-12 < m.c_series < 10e-9
+        assert 10e-12 < m.c_parallel < 10e-9
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return RemotePoweringSystem(distance=10e-3).fig11_transient()
+
+    def test_charge_anchor(self, result):
+        """E2: Co reaches 2.75 V at ~270 us."""
+        assert result.charge_time_to_2v75 == pytest.approx(
+            PAPER.fig11_charge_time, rel=0.15)
+
+    def test_downlink_recovered(self, result):
+        """E2: all 18 bits detected at the demodulator output."""
+        assert len(result.downlink_sent) == 18
+        assert result.downlink_ok
+
+    def test_uplink_recovered(self, result):
+        assert result.uplink_ok
+
+    def test_rail_never_below_2v1(self, result):
+        """E2: 'the output voltage Vo of the rectifier never goes below
+        2.1 V' during either communication."""
+        assert result.rail_ok
+        assert result.v_min_during_comms >= 2.1
+
+    def test_events_ordered(self, result):
+        times = [t for _, t in result.events]
+        assert times == sorted(times)
+
+    def test_custom_bit_patterns(self):
+        sys2 = RemotePoweringSystem(distance=10e-3)
+        dl = prbs(24, seed=3)
+        ul = prbs(16, seed=9)
+        res = sys2.fig11_transient(downlink_bits=dl, uplink_bits=ul)
+        assert res.downlink_received == dl
+        assert res.uplink_received == ul
+        assert res.rail_ok
+
+    def test_all_zero_downlink_is_worst_case_but_holds(self):
+        """Every 0-bit transmits only 1 mW; the rail must still hold."""
+        sys2 = RemotePoweringSystem(distance=10e-3)
+        res = sys2.fig11_transient(downlink_bits=[0] * 18)
+        assert res.rail_ok
+
+
+class TestLsk:
+    def test_shorting_raises_reflected_resistance(self, system):
+        assert (system.reflected_resistance(shorted=True)
+                > system.reflected_resistance(shorted=False))
+
+    def test_supply_current_drops_when_shorted(self, system):
+        i_high, i_low = system.lsk_supply_currents()
+        assert i_low < i_high
+
+    def test_contrast_detectable(self, system):
+        """The current step must clear several LSB of the sense ADC."""
+        contrast = system.lsk_contrast()
+        assert contrast > 0.02
+        i_high, i_low = system.lsk_supply_currents()
+        det = system.lsk_det
+        code_step = abs(det.adc_code(i_high * det.r_sense)
+                        - det.adc_code(i_low * det.r_sense))
+        assert code_step >= 2
+
+    def test_contrast_falls_with_distance(self):
+        near = RemotePoweringSystem(distance=6e-3)
+        far = RemotePoweringSystem(distance=17e-3)
+        assert near.lsk_contrast() > far.lsk_contrast()
+
+
+class TestMeasurementSession:
+    def test_full_lactate_measurement(self, system):
+        res = system.measure_lactate(0.8)
+        assert res["concentration_reported"] == pytest.approx(0.8,
+                                                              rel=0.05)
+        assert res["power_available_mw"] > 3.0
+        assert res["time_to_ready_us"] > 0
+
+    def test_measurement_fails_at_large_distance(self):
+        far = RemotePoweringSystem(distance=40e-3)
+        with pytest.raises(RuntimeError):
+            far.measure_lactate(0.8)
+
+    def test_startup_time_reasonable(self, system):
+        t = system.startup()
+        assert 50e-6 < t < 400e-6
+
+
+class TestImplantStateMachine:
+    def test_state_progression(self):
+        implant = ImplantDevice()
+        assert implant.state is ImplantState.OFF
+        implant.update_rail(0.3)
+        assert implant.state is ImplantState.OFF
+        implant.update_rail(1.5)
+        assert implant.state is ImplantState.CHARGING
+        implant.update_rail(2.5)
+        assert implant.state is ImplantState.READY
+
+    def test_brownout_detection(self):
+        implant = ImplantDevice()
+        implant.update_rail(2.5)
+        assert implant.state is ImplantState.READY
+        implant.update_rail(1.9)
+        assert implant.state is ImplantState.BROWNOUT
+
+    def test_measure_requires_ready(self):
+        implant = ImplantDevice()
+        with pytest.raises(RuntimeError, match="cannot measure"):
+            implant.measure(1.0)
+
+    def test_measure_when_ready(self):
+        implant = ImplantDevice()
+        implant.update_rail(2.75)
+        code = implant.measure(0.5, n_output_samples=4)
+        assert implant.report_concentration(code) == pytest.approx(
+            0.5, rel=0.05)
+
+    def test_load_currents_paper_modes(self):
+        implant = ImplantDevice()
+        low = implant.load_current(measuring=False)
+        high = implant.load_current(measuring=True)
+        assert low == pytest.approx(352e-6, rel=0.01)   # 350 uA + Iq
+        assert high == pytest.approx(1.302e-3, rel=0.01)
+
+    def test_can_measure_power_gate(self):
+        implant = ImplantDevice()
+        implant.update_rail(2.5)
+        assert implant.can_measure(5e-3)
+        assert not implant.can_measure(0.5e-3)
+
+    def test_rejects_negative_rail(self):
+        with pytest.raises(ValueError):
+            ImplantDevice().update_rail(-1.0)
+
+
+class TestPaperConstants:
+    def test_anchor_rows_complete(self):
+        rows = PAPER.anchors()
+        assert len(rows) >= 8
+        names = [r[0] for r in rows]
+        assert any("6 mm" in n for n in names)
+
+    def test_derived_identities(self):
+        assert PAPER.v_we_bias - PAPER.v_re_bias == pytest.approx(
+            PAPER.v_oxidation)
+        assert (PAPER.v_supply_sensor + PAPER.regulator_dropout
+                == pytest.approx(PAPER.v_rect_minimum))
+        assert math.ceil(math.log2(PAPER.adc_full_scale_current
+                                   / PAPER.adc_resolution_current)) \
+            == PAPER.adc_bits

@@ -1,0 +1,62 @@
+"""Transistor-level validation of the Fig. 9 ASK demodulator.
+
+These are the heaviest tests in the suite (carrier-resolved, ~10 devices)
+— kept to short bit patterns.
+"""
+
+import pytest
+
+from repro.power.demodulator_circuit import (
+    build_demodulator_circuit,
+    demodulate_with_circuit,
+)
+from repro.spice import transient
+
+
+class TestFig9Demodulator:
+    def test_recovers_alternating_bits(self):
+        bits = [1, 0, 1, 0]
+        recovered, _ = demodulate_with_circuit(bits)
+        assert recovered == bits
+
+    def test_recovers_runs(self):
+        bits = [0, 0, 1, 1, 0]
+        recovered, _ = demodulate_with_circuit(bits)
+        assert recovered == bits
+
+    def test_hold_node_tracks_two_levels(self):
+        bits = [1, 0, 1]
+        _, res = demodulate_with_circuit(bits)
+        v_hold = res.voltage("hold")
+        t_bit = 1e-5
+        v_one = float(v_hold.value_at(0.42 * t_bit))
+        v_zero = float(v_hold.value_at(1.42 * t_bit))
+        assert v_one > v_zero + 0.2  # clear level separation
+
+    def test_phi2_discharges_hold(self):
+        """During phi2 the hold capacitor is discharged — the paper's
+        'during this phase, capacitor C2 is discharged'."""
+        bits = [1, 1]
+        _, res = demodulate_with_circuit(bits)
+        v_hold = res.voltage("hold")
+        t_bit = 1e-5
+        v_tracked = float(v_hold.value_at(0.42 * t_bit))
+        v_dumped = float(v_hold.value_at(0.90 * t_bit))
+        assert v_dumped < 0.3 * v_tracked
+
+    def test_output_is_logic_level(self):
+        bits = [1, 0]
+        _, res = demodulate_with_circuit(bits)
+        vdem = res.voltage("vdem")
+        assert vdem.max() > 1.5        # reaches the 1.8 V rail
+        assert vdem.min() > -0.3
+
+    def test_circuit_builds_with_custom_depth(self):
+        ckt, clock = build_demodulator_circuit(
+            [1, 0], depth=0.6, amplitude=1.2)
+        assert "M10" in ckt
+        assert clock.freq == pytest.approx(100e3)
+        # A very short run just to prove it integrates.
+        res = transient(ckt, t_stop=2e-6, dt=1 / (5e6 * 24),
+                        method="trap", use_ic=True)
+        assert res.voltage("hold").max() < 2.5

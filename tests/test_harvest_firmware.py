@@ -1,0 +1,163 @@
+"""Tests for the harvesting comparison and the patch firmware."""
+
+import pytest
+
+from repro.harvest import HARVEST_LIBRARY, HarvestingSource, HybridSupply
+from repro.patch.firmware import PatchFirmware, PatchState
+
+
+class TestHarvestingSources:
+    def test_library_covers_survey(self):
+        assert {"thermoelectric", "biofuel_cell", "piezo_motion",
+                "photovoltaic_subdermal"} <= set(HARVEST_LIBRARY)
+
+    def test_average_power_scales_with_size(self):
+        teg = HARVEST_LIBRARY["thermoelectric"]
+        assert teg.average_power(2.0) == pytest.approx(
+            2 * teg.average_power(1.0))
+
+    def test_intermittency_derates(self):
+        piezo = HARVEST_LIBRARY["piezo_motion"]
+        continuous = HarvestingSource("x", piezo.power_density, 1.0,
+                                      volumetric=True)
+        assert piezo.average_power(1.0) < continuous.average_power(1.0)
+
+    def test_all_sources_microwatt_scale(self):
+        """The paper's premise: harvesting is uW, the link is mW."""
+        for source in HARVEST_LIBRARY.values():
+            p = source.average_power(1.0)
+            assert p < 0.5e-3
+            assert p > 0.1e-6
+
+    def test_sustainable_duty_bounds(self):
+        teg = HARVEST_LIBRARY["thermoelectric"]
+        duty = teg.sustainable_duty(1.0, p_active=2.34e-3)
+        assert 0.0 < duty < 0.05  # a percent-ish of the link's capability
+
+    def test_duty_zero_when_below_sleep(self):
+        weak = HarvestingSource("weak", 1e-6, 0.5)
+        assert weak.sustainable_duty(1.0, 2e-3, p_sleep=5e-6) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HarvestingSource("bad", -1e-6, 0.5)
+        with pytest.raises(ValueError):
+            HarvestingSource("bad", 1e-6, 0.0)
+
+
+class TestHybridSupply:
+    @pytest.fixture
+    def hybrid(self):
+        return HybridSupply(HARVEST_LIBRARY["thermoelectric"], 1.0)
+
+    def test_buffering_a_measurement_takes_minutes(self, hybrid):
+        t = hybrid.time_to_buffer_one_measurement()
+        assert 10.0 < t < 600.0  # vs instantaneous on the link
+
+    def test_measurements_per_day_finite(self, hybrid):
+        n = hybrid.measurements_per_day()
+        assert 100 < n < 10000  # trickle duty, not continuous
+
+    def test_buffer_runtime_with_surplus(self, hybrid):
+        assert hybrid.buffer_runtime(1e-6) == float("inf")
+        finite = hybrid.buffer_runtime(1e-3)
+        assert 0 < finite < 1e4
+
+    def test_comparison_row_shape(self, hybrid):
+        name, uw, duty, link_duty = hybrid.comparison_row()
+        assert name == "thermoelectric"
+        assert duty < link_duty == 1.0
+
+
+class TestPatchFirmware:
+    @pytest.fixture
+    def fw(self):
+        fw = PatchFirmware()
+        fw.handle("boot_done")
+        return fw
+
+    def test_boot_sequence(self):
+        fw = PatchFirmware()
+        assert fw.state is PatchState.BOOT
+        fw.handle("boot_done")
+        assert fw.state is PatchState.IDLE
+
+    def test_connect_disconnect(self, fw):
+        fw.handle("bt_connect")
+        assert fw.state is PatchState.CONNECTED
+        fw.handle("bt_disconnect")
+        assert fw.state is PatchState.IDLE
+
+    def test_powering_from_idle_or_connected(self, fw):
+        fw.handle("start_powering")
+        assert fw.state is PatchState.POWERING
+        assert fw.transmitting
+        fw.handle("stop_powering")
+        assert fw.state is PatchState.IDLE
+        assert not fw.transmitting
+
+    def test_stop_powering_returns_to_connected(self, fw):
+        fw.handle("bt_connect")
+        fw.handle("start_powering")
+        fw.handle("stop_powering")
+        assert fw.state is PatchState.CONNECTED
+
+    def test_comms_only_while_powering(self, fw):
+        with pytest.raises(RuntimeError, match="invalid in state"):
+            fw.handle("send_frame")
+        fw.handle("start_powering")
+        fw.handle("send_frame")
+        assert fw.state is PatchState.DOWNLINK
+
+    def test_full_measurement_cycle(self, fw):
+        fw.handle("start_powering")
+        fw.run_measurement_cycle()
+        assert fw.state is PatchState.POWERING
+        events = [r.event for r in fw.log]
+        assert events[-3:] == ["send_frame", "frame_sent", "uplink_done"]
+
+    def test_uplink_timeout(self, fw):
+        fw.handle("start_powering")
+        fw.handle("send_frame")
+        fw.handle("frame_sent", at_time=1.0)
+        fw.handle("tick", at_time=1.0 + 0.049)
+        assert fw.state is PatchState.AWAIT_UPLINK  # not yet
+        fw.handle("tick", at_time=1.0 + 0.051)
+        assert fw.state is PatchState.POWERING      # timed out
+        assert fw.log[-1].event == "uplink_timeout"
+
+    def test_battery_guard_kills_transmitter(self, fw):
+        fw.handle("start_powering")
+        fw.check_battery(0.05)
+        assert fw.state is PatchState.LOW_BATTERY
+        assert not fw.transmitting
+        with pytest.raises(RuntimeError):
+            fw.handle("start_powering")
+        fw.handle("battery_ok")
+        assert fw.state is PatchState.IDLE
+
+    def test_battery_ok_only_from_low(self, fw):
+        with pytest.raises(RuntimeError):
+            fw.handle("battery_ok")
+
+    def test_disconnect_tears_down_comms(self, fw):
+        fw.handle("bt_connect")
+        fw.handle("start_powering")
+        fw.handle("send_frame")
+        fw.handle("bt_disconnect")
+        assert fw.state is PatchState.IDLE
+
+    def test_time_cannot_reverse(self, fw):
+        fw.handle("start_powering", at_time=1.0)
+        with pytest.raises(ValueError):
+            fw.handle("stop_powering", at_time=0.5)
+
+    def test_unknown_event(self, fw):
+        with pytest.raises(ValueError, match="unknown event"):
+            fw.handle("warp_drive")
+
+    def test_transition_log(self, fw):
+        fw.handle("start_powering")
+        assert len(fw.log) == 2  # boot_done + start_powering
+        assert fw.log[-1].from_state is PatchState.IDLE
+        assert fw.log[-1].to_state is PatchState.POWERING

@@ -1,0 +1,256 @@
+"""Cross-module integration tests: the subsystems working against each
+other rather than in isolation."""
+
+import numpy as np
+import pytest
+
+from repro import PAPER, RemotePoweringSystem
+from repro.link import CircularSpiral, InductiveLink, RectangularSpiral
+from repro.link.resonator import (
+    design_resonator,
+    receiver_voltage,
+    rectifier_input_amplitude,
+)
+from repro.signals import Waveform
+from repro.spice import (
+    Circuit,
+    ac_sweep,
+    dc_source,
+    dc_sweep,
+    parse_netlist,
+    transient,
+)
+
+
+@pytest.fixture(scope="module")
+def link():
+    tx = CircularSpiral.ironic_transmitter()
+    rx = RectangularSpiral.ironic_receiver()
+    return InductiveLink(tx, rx, PAPER.carrier_freq)
+
+
+class TestResonator:
+    def test_parallel_gain_is_loaded_q(self, link):
+        design = design_resonator(link.l_rx, link.r_rx, link.freq, 150.0,
+                                  topology="parallel")
+        assert design.voltage_gain() == pytest.approx(design.loaded_q())
+        # Lightly loaded, the same tank multiplies by a large Q.
+        light = design_resonator(link.l_rx, link.r_rx, link.freq, 10e3,
+                                 topology="parallel")
+        assert light.voltage_gain() > 5.0
+
+    def test_series_gain_below_unity(self, link):
+        design = design_resonator(link.l_rx, link.r_rx, link.freq, 20.0,
+                                  topology="series")
+        assert design.voltage_gain() < 1.0
+
+    def test_bandwidth_passes_100kbps(self, link):
+        """The paper's 100 kbps ASK must survive the receiving tank."""
+        design = design_resonator(link.l_rx, link.r_rx, link.freq, 150.0)
+        assert design.supports_bit_rate(PAPER.downlink_bit_rate)
+
+    def test_plain_tank_underextracts_vs_match(self, link):
+        """Why the paper uses CA/CB: against the 150-ohm rectifier the
+        plain parallel tank's loaded Q collapses to ~1 and it leaves
+        most of the available power on the table."""
+        from repro.link.resonator import plain_tank_extraction
+
+        i_tx = link.calibrate_drive(PAPER.power_at_6mm,
+                                    PAPER.rx_test_distance)
+        p_plain = plain_tank_extraction(link, i_tx, 10e-3)
+        p_avail = link.available_power(i_tx, 10e-3)
+        assert p_plain < 0.5 * p_avail
+
+    def test_resonator_explains_rectifier_drive(self, link):
+        """End-to-end voltage reconciliation (E5): the raw EMF at 10 mm
+        is under a volt, yet through the conjugate match the rectifier
+        sees the ~1.2-1.4 V amplitude its 2.75 V doubler output needs —
+        closing the paper's numbers."""
+        i_tx = link.calibrate_drive(PAPER.power_at_6mm,
+                                    PAPER.rx_test_distance)
+        emf = link.emf(i_tx, 10e-3)
+        assert emf < 1.0  # the raw EMF is under a volt...
+        v_rect = rectifier_input_amplitude(link, i_tx, 10e-3)
+        assert 1.0 < v_rect < 2.0  # ...but the match lifts it
+
+    def test_spice_validates_parallel_resonance_gain(self, link):
+        """Closed-form loaded-Q gain vs an AC analysis of the same tank
+        on the spice engine: agreement within 5%."""
+        design = design_resonator(link.l_rx, link.r_rx, link.freq, 150.0,
+                                  topology="parallel")
+        ckt = Circuit("rx_tank")
+        # EMF in series with the coil; load across the tank.
+        ckt.add_vsource("VEMF", "emf", "0", dc_source(0.0, ac_mag=1.0))
+        ckt.add_resistor("Rcoil", "emf", "a", link.r_rx)
+        ckt.add_inductor("Lcoil", "a", "out", link.l_rx)
+        ckt.add_capacitor("Ctune", "out", "0", design.c_tune)
+        ckt.add_resistor("Rload", "out", "0", 150.0)
+        res = ac_sweep(ckt, np.array([link.freq]))
+        gain_spice = float(res.magnitude("out")[0])
+        assert gain_spice == pytest.approx(design.voltage_gain(),
+                                           rel=0.05)
+
+    def test_design_validation(self, link):
+        with pytest.raises(ValueError):
+            design_resonator(link.l_rx, link.r_rx, link.freq, 150.0,
+                             topology="triangle")
+        with pytest.raises(ValueError):
+            receiver_voltage(-1.0, design_resonator(
+                link.l_rx, link.r_rx, link.freq, 150.0))
+
+
+class TestNetlistWorkflow:
+    def test_class_e_from_netlist_file(self, tmp_path):
+        """The class-E stage expressed as a netlist card file runs and
+        shows the class-E signature (drain peak >> supply)."""
+        from repro.amplifier import ClassEDesign
+
+        d = ClassEDesign.for_output_power(3.7, 0.1, 5e6, q_loaded=5.0)
+        period = 1.0 / d.freq
+        text = (
+            "class-e from cards\n"
+            "VDD vdd 0 DC 3.7\n"
+            f"L1 vdd drain {d.l_choke:.6g} IC=0\n"
+            f"VG gate 0 PULSE(0 5 0 {period * 0.01:.4g} "
+            f"{period * 0.01:.4g} {period * 0.48:.6g} {period:.6g})\n"
+            "S1 drain 0 gate 0 VT=2.5 RON=0.2 ROFF=1e7\n"
+            f"C3 drain 0 {d.c_shunt:.6g}\n"
+            f"C4 drain tank {d.c_series:.6g}\n"
+            f"L2 tank out {d.l_series:.6g} IC=0\n"
+            f"RL out 0 {d.r_load:.6g}\n"
+            ".end\n")
+        path = tmp_path / "classe.cir"
+        path.write_text(text)
+        ckt = parse_netlist(path.read_text())
+        res = transient(ckt, t_stop=30 * period, dt=period / 60,
+                        method="trap", use_ic=True)
+        v_drain = res.voltage("drain").clip_time(15 * period, 30 * period)
+        assert v_drain.max() > 2.0 * 3.7
+        assert v_drain.min() < 0.3
+
+    def test_rectifier_dc_transfer_via_sweep(self):
+        """DC sweep across the rectifier's clamp chain shows the ~3 V
+        knee directly (complements the transient view)."""
+        from repro.power import RectifierParameters
+
+        p = RectifierParameters()
+        ckt = Circuit("clamp_dc")
+        ckt.add_vsource("V1", "vr", "0", 0.0)
+        previous = "vr"
+        for k in range(p.n_clamp_diodes):
+            nxt = "0" if k == p.n_clamp_diodes - 1 else f"c{k}"
+            ckt.add_diode(f"D{k}", previous, nxt, i_s=p.clamp_is)
+            previous = nxt
+        res = dc_sweep(ckt, "V1", np.linspace(0, 3.6, 37))
+        i_chain = -res.branch_current("V1")
+        v_at_1ma = res.values[np.searchsorted(i_chain, 1e-3)]
+        assert 2.7 < v_at_1ma < 3.3
+
+    def test_matching_network_resonates_at_carrier_in_spice(self, link):
+        """The designed CA/CB network, built as a netlist, peaks power
+        transfer at the 5 MHz carrier."""
+        from repro.link import design_l_match
+
+        match = design_l_match(link.r_rx, link.omega * link.l_rx, 150.0,
+                               link.freq)
+        ckt = Circuit("match_ac")
+        ckt.add_vsource("VEMF", "emf", "0", dc_source(0.0, ac_mag=1.0))
+        ckt.add_resistor("Rcoil", "emf", "a", link.r_rx)
+        ckt.add_inductor("Lcoil", "a", "b", link.l_rx)
+        ckt.add_capacitor("CA", "b", "out", match.c_series)
+        ckt.add_capacitor("CB", "out", "0", match.c_parallel)
+        ckt.add_resistor("Rrect", "out", "0", 150.0)
+        freqs = np.linspace(3e6, 7e6, 201)
+        res = ac_sweep(ckt, freqs)
+        peak_f = freqs[int(np.argmax(res.magnitude("out")))]
+        assert peak_f == pytest.approx(5e6, rel=0.05)
+        # At the match, half the EMF drops on the coil resistance: the
+        # power into the network equals the available power.
+        at_f0 = ac_sweep(ckt, np.array([5e6]))
+        v_load = float(at_f0.magnitude("out")[0])
+        p_load = v_load**2 / (2 * 150.0)
+        p_avail = 1.0**2 / (8 * link.r_rx)
+        assert p_load == pytest.approx(p_avail, rel=0.05)
+
+
+class TestSpectrumTools:
+    def test_sine_spectrum_peak(self):
+        t = np.linspace(0, 1e-3, 4096)
+        w = Waveform(t, 1.5 * np.sin(2 * np.pi * 10e3 * t))
+        freqs, mags = w.spectrum()
+        k = int(np.argmax(mags[1:])) + 1
+        assert freqs[k] == pytest.approx(10e3, rel=0.02)
+        assert mags[k] == pytest.approx(1.5, rel=0.05)
+
+    def test_dc_spectrum(self):
+        w = Waveform.constant(2.0, 0, 1e-3, n_samples=256)
+        freqs, mags = w.spectrum(window="rect")
+        assert mags[0] == pytest.approx(2.0, rel=1e-6)
+
+    def test_thd_of_clean_sine_small(self):
+        t = np.linspace(0, 2e-3, 8192)
+        w = Waveform(t, np.sin(2 * np.pi * 5e3 * t))
+        assert w.thd(5e3) < 0.01
+
+    def test_thd_measures_injected_harmonic(self):
+        t = np.linspace(0, 2e-3, 8192)
+        w = Waveform(t, np.sin(2 * np.pi * 5e3 * t)
+                     + 0.1 * np.sin(2 * np.pi * 15e3 * t))
+        assert w.thd(5e3) == pytest.approx(0.1, rel=0.1)
+
+    def test_spectrum_window_validation(self):
+        w = Waveform.constant(1.0, 0, 1, n_samples=64)
+        with pytest.raises(ValueError):
+            w.spectrum(window="flattop")
+        with pytest.raises(ValueError):
+            w.spectrum(window=np.ones(10))
+
+    def test_class_e_drain_has_strong_harmonics(self):
+        """Physics check via the spectrum tool: the class-E drain is
+        rich in harmonics while the tank output is nearly sinusoidal."""
+        from repro.amplifier import ClassEDesign, simulate_class_e
+
+        d = ClassEDesign.for_output_power(3.7, 0.1, 5e6, q_loaded=5.0)
+        _, res = simulate_class_e(d, cycles=40, points_per_cycle=80)
+        drain = res.voltage("drain").clip_time(20 / 5e6, 40 / 5e6)
+        out = res.voltage("out").clip_time(20 / 5e6, 40 / 5e6)
+        assert drain.thd(5e6) > 3 * out.thd(5e6)
+
+
+class TestEndToEndScenarios:
+    def test_measurement_through_tissue(self):
+        from repro.link import TissueLayer
+
+        system = RemotePoweringSystem(
+            distance=10e-3,
+            tissue_layers=[TissueLayer("muscle", 10e-3)])
+        result = system.measure_lactate(0.6)
+        assert result["concentration_reported"] == pytest.approx(
+            0.6, rel=0.05)
+
+    def test_drifted_sensor_through_full_chain(self):
+        """A week-old sensor measured remotely reads low until the
+        recalibration from tests/test_sensor_stability is applied at the
+        reporting side."""
+        from repro.core import ImplantDevice
+        from repro.sensor import CLODX, ElectronicInterface, \
+            ThreeElectrodeCell
+        from repro.sensor.stability import DriftModel, Recalibrator
+
+        aged_enzyme = DriftModel().aged_enzyme(CLODX, 7 * 86400.0)
+        implant = ImplantDevice(
+            interface=ElectronicInterface.for_enzyme(aged_enzyme))
+        implant.update_rail(2.75)
+        code = implant.measure(0.8, n_output_samples=2)
+        # Interpreted against the fresh curve, the reading is biased low.
+        fresh = ElectronicInterface.for_enzyme(CLODX)
+        biased = fresh.concentration_from_code(code)
+        assert biased < 0.8 * 0.9
+        # Recalibration at the reporting side recovers the value.
+        recal = Recalibrator(CLODX, area_cm2=0.25)
+        i1 = aged_enzyme.current_density(0.3) * 0.25
+        i2 = aged_enzyme.current_density(1.0) * 0.25
+        cal = recal.two_point(0.3, i1, 1.0, i2)
+        i_meas = fresh.adc.current_from_code(code)
+        reported = recal.concentration_from_current(cal.correct(i_meas))
+        assert reported == pytest.approx(0.8, rel=0.08)

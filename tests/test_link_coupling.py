@@ -1,0 +1,254 @@
+"""Tests for mutual inductance, tissue, two-port link, and matching."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.link import (
+    CapacitiveMatch,
+    CircularSpiral,
+    InductiveLink,
+    RectangularSpiral,
+    TISSUE_LIBRARY,
+    TissueLayer,
+    coil_mutual_inductance,
+    coupling_coefficient,
+    design_l_match,
+    mutual_inductance_loops,
+)
+
+MU0 = 4e-7 * math.pi
+
+
+@pytest.fixture(scope="module")
+def coils():
+    return (CircularSpiral.ironic_transmitter(),
+            RectangularSpiral.ironic_receiver())
+
+
+@pytest.fixture(scope="module")
+def link(coils):
+    return InductiveLink(coils[0], coils[1], 5e6)
+
+
+class TestMutualInductance:
+    def test_matches_dipole_limit_at_large_distance(self):
+        """Far field: M -> mu0*pi*r1^2*r2^2 / (2*z^3)."""
+        r1, r2, z = 10e-3, 2e-3, 200e-3
+        exact = mutual_inductance_loops(r1, r2, z)
+        dipole = MU0 * math.pi * r1**2 * r2**2 / (2.0 * z**3)
+        assert exact == pytest.approx(dipole, rel=0.01)
+
+    def test_symmetry_in_radii(self):
+        assert mutual_inductance_loops(10e-3, 5e-3, 7e-3) == pytest.approx(
+            mutual_inductance_loops(5e-3, 10e-3, 7e-3), rel=1e-12)
+
+    def test_monotone_decreasing_with_distance(self):
+        values = [mutual_inductance_loops(10e-3, 5e-3, z)
+                  for z in np.linspace(1e-3, 50e-3, 20)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            mutual_inductance_loops(-1e-3, 5e-3, 1e-3)
+        with pytest.raises(ValueError):
+            mutual_inductance_loops(1e-3, 5e-3, -1e-3)
+
+    @given(st.floats(min_value=1e-3, max_value=30e-3),
+           st.floats(min_value=1e-3, max_value=30e-3),
+           st.floats(min_value=0.5e-3, max_value=100e-3))
+    @settings(max_examples=50)
+    def test_always_positive_and_bounded(self, r1, r2, z):
+        """0 < M < sqrt(L1*L2) equivalent: M below the coincident bound."""
+        m = mutual_inductance_loops(r1, r2, z)
+        assert m > 0
+        m_closer = mutual_inductance_loops(r1, r2, z * 0.5)
+        assert m_closer >= m
+
+    def test_coil_mutual_positive(self, coils):
+        tx, rx = coils
+        assert coil_mutual_inductance(tx, rx, 6e-3) > 0
+
+    def test_misalignment_reduces_coupling(self, coils):
+        tx, rx = coils
+        aligned = coil_mutual_inductance(tx, rx, 6e-3)
+        offset = coil_mutual_inductance(tx, rx, 6e-3, lateral_offset=8e-3)
+        far = coil_mutual_inductance(tx, rx, 6e-3, lateral_offset=60e-3)
+        assert aligned > offset > far >= 0
+
+    def test_coupling_coefficient_in_unit_interval(self, coils):
+        tx, rx = coils
+        for d in (2e-3, 6e-3, 17e-3, 40e-3):
+            k = coupling_coefficient(tx, rx, d)
+            assert 0 < k < 1
+
+
+class TestTissue:
+    def test_library_has_paper_phantom(self):
+        assert "sirloin" in TISSUE_LIBRARY
+        assert "muscle" in TISSUE_LIBRARY
+
+    def test_muscle_skin_depth_large_at_5mhz(self):
+        """Key physics behind the paper's tissue~=air result: skin depth
+        of muscle at 5 MHz is ~30 cm, far beyond implant depths."""
+        delta = TISSUE_LIBRARY["muscle"].skin_depth(5e6)
+        assert 0.2 < delta < 0.5
+
+    def test_sirloin_slab_barely_attenuates_at_5mhz(self):
+        layer = TissueLayer("sirloin", 17e-3)
+        assert layer.power_factor(5e6) > 0.85
+
+    def test_attenuation_grows_with_frequency(self):
+        layer = TissueLayer("muscle", 17e-3)
+        assert layer.power_factor(5e6) > layer.power_factor(500e6)
+
+    def test_air_layer_is_transparent(self):
+        layer = TissueLayer("air", 50e-3)
+        assert layer.field_attenuation(5e6) == 1.0
+        assert layer.eddy_loss_factor(5e6) == 0.0
+
+    def test_unknown_tissue_helpful_error(self):
+        with pytest.raises(KeyError, match="available"):
+            TissueLayer("bone_marrow", 1e-3)
+
+    def test_eddy_loss_small_but_positive(self):
+        layer = TissueLayer("sirloin", 17e-3)
+        loss = layer.eddy_loss_factor(5e6, loop_radius=5e-3)
+        assert 0 < loss < 0.2
+
+    def test_rejects_nonpositive_thickness(self):
+        with pytest.raises(ValueError):
+            TissueLayer("muscle", 0.0)
+
+
+class TestInductiveLink:
+    def test_paper_anchor_6mm_15mw(self, link):
+        """E3: calibrated drive delivers 15 mW at 6 mm (paper Sec III-B)."""
+        i = link.calibrate_drive(15e-3, 6e-3)
+        assert link.available_power(i, 6e-3) == pytest.approx(15e-3, rel=1e-6)
+
+    def test_paper_anchor_10mm_about_5mw(self, link):
+        """E5: ~5 mW to a matched load at 10 mm (paper Sec IV-C)."""
+        i = link.calibrate_drive(15e-3, 6e-3)
+        p10 = link.available_power(i, 10e-3)
+        assert 4e-3 < p10 < 7e-3
+
+    def test_paper_anchor_17mm_tissue(self, coils):
+        """E3: ~1.17 mW through 17 mm of sirloin; tissue ~= air."""
+        tx, rx = coils
+        air = InductiveLink(tx, rx, 5e6)
+        meat = InductiveLink(tx, rx, 5e6, [TissueLayer("sirloin", 17e-3)])
+        i = air.calibrate_drive(15e-3, 6e-3)
+        p_air = air.available_power(i, 17e-3)
+        p_meat = meat.available_power(i, 17e-3)
+        assert 0.7e-3 < p_air < 1.7e-3
+        # Tissue costs little at 5 MHz (paper: 1.17 mW vs similar in air).
+        assert p_meat > 0.75 * p_air
+
+    def test_delivered_at_matched_load_is_available(self, link):
+        i = 0.2
+        p_av = link.available_power(i, 6e-3)
+        p_match = link.delivered_power(i, 6e-3, link.optimal_series_load())
+        assert p_match == pytest.approx(p_av, rel=1e-9)
+
+    def test_mismatched_load_delivers_less(self, link):
+        i = 0.2
+        p_match = link.delivered_power(i, 6e-3, link.optimal_series_load())
+        assert link.delivered_power(i, 6e-3, 10.0) < p_match
+        assert link.delivered_power(i, 6e-3, 10e3) < p_match
+
+    def test_efficiency_below_unity_and_decreasing(self, link):
+        etas = [link.max_efficiency(d)
+                for d in (3e-3, 6e-3, 10e-3, 17e-3, 30e-3)]
+        assert all(0 < e < 1 for e in etas)
+        assert all(a > b for a, b in zip(etas, etas[1:]))
+
+    def test_optimal_efficiency_load_exceeds_coil_resistance(self, link):
+        assert link.optimal_efficiency_load(6e-3) > link.r_rx
+
+    def test_efficiency_peaks_at_optimal_load(self, link):
+        """Delivered/input efficiency is maximal near R_opt (ablation)."""
+        i = 0.1
+        r_opt = link.optimal_efficiency_load(6e-3)
+
+        def eta(r_load):
+            return link.operating_point(i, 6e-3, r_load).efficiency
+
+        assert eta(r_opt) >= eta(r_opt / 5)
+        assert eta(r_opt) >= eta(r_opt * 5)
+
+    def test_reflected_impedance_scales(self, link):
+        z6 = link.reflected_impedance(6e-3, complex(50, 0))
+        z17 = link.reflected_impedance(17e-3, complex(50, 0))
+        assert z6.real > z17.real > 0
+
+    def test_reflected_impedance_rejects_zero(self, link):
+        with pytest.raises(ValueError):
+            link.reflected_impedance(6e-3, 0)
+
+    def test_operating_point_consistency(self, link):
+        pt = link.operating_point(0.2, 6e-3)
+        assert pt.delivered_power <= pt.available_power * (1 + 1e-9)
+        assert pt.coupling == pytest.approx(link.coupling(6e-3))
+        row = pt.as_row()
+        assert row[0] == pytest.approx(6.0)
+
+    def test_distance_sweep_ordering(self, link):
+        pts = link.distance_sweep(0.2, [4e-3, 8e-3, 16e-3])
+        powers = [p.available_power for p in pts]
+        assert powers[0] > powers[1] > powers[2]
+
+    def test_kq_product_drives_efficiency(self, link):
+        """eta = kq/(1+sqrt(1+kq))^2 identity."""
+        kq = link.kq_product(6e-3)
+        eta = link.max_efficiency(6e-3)
+        assert eta == pytest.approx(kq / (1 + math.sqrt(1 + kq)) ** 2)
+
+
+class TestMatching:
+    def test_design_matches_rectifier_150ohm(self, link):
+        """E5: CA/CB match the coil to the rectifier's ~150 ohm input."""
+        m = design_l_match(link.r_rx, link.omega * link.l_rx, 150.0, 5e6)
+        assert m.match_error() < 1e-9
+        assert m.c_series > 0 and m.c_parallel > 0
+
+    def test_capacitor_values_practical(self, link):
+        """Capacitors must be SMD-practical (pF..nF)."""
+        m = design_l_match(link.r_rx, link.omega * link.l_rx, 150.0, 5e6)
+        assert 1e-12 < m.c_series < 100e-9
+        assert 1e-12 < m.c_parallel < 100e-9
+
+    def test_input_impedance_at_design_point(self, link):
+        m = design_l_match(link.r_rx, link.omega * link.l_rx, 150.0, 5e6)
+        z = m.input_impedance()
+        assert z.real == pytest.approx(link.r_rx, rel=1e-6)
+        assert z.imag == pytest.approx(-link.omega * link.l_rx, rel=1e-6)
+
+    def test_off_frequency_mismatch(self, link):
+        m = design_l_match(link.r_rx, link.omega * link.l_rx, 150.0, 5e6)
+        z_design = m.input_impedance()
+        z_off = m.input_impedance(6e6)
+        assert abs(z_off - z_design) > 1.0
+
+    def test_q_factor_formula(self):
+        m = CapacitiveMatch(1e-9, 1e-9, 5e6, 10.0, 100.0, 160.0)
+        assert m.q_factor() == pytest.approx(math.sqrt(160.0 / 10.0 - 1.0))
+
+    def test_rejects_downward_transformation(self):
+        with pytest.raises(ValueError, match="r_load"):
+            design_l_match(200.0, 150.0, 50.0, 5e6)
+
+    def test_rejects_capacitive_source(self):
+        with pytest.raises(ValueError, match="x_source"):
+            design_l_match(5.0, -10.0, 150.0, 5e6)
+
+    @given(st.floats(min_value=2.0, max_value=30.0),
+           st.floats(min_value=60.0, max_value=500.0))
+    @settings(max_examples=30)
+    def test_match_error_always_tiny(self, r_src, r_load):
+        """Property: designed match is exact for any feasible pair."""
+        x_src = 2 * math.pi * 5e6 * 4.5e-6  # the paper's coil reactance
+        m = design_l_match(r_src, x_src, r_load, 5e6)
+        assert m.match_error() < 1e-6

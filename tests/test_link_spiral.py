@@ -1,0 +1,142 @@
+"""Tests for spiral-inductor geometry/electrical models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.link import CircularSpiral, RectangularSpiral, skin_depth
+from repro.link.spiral import _ac_resistance_factor, _circ_loop_inductance
+
+
+class TestSkinEffect:
+    def test_skin_depth_copper_5mhz(self):
+        # Copper at 5 MHz: ~29.5 um.
+        assert skin_depth(5e6) == pytest.approx(29.5e-6, rel=0.05)
+
+    def test_skin_depth_scales_inverse_sqrt_freq(self):
+        assert skin_depth(1e6) / skin_depth(4e6) == pytest.approx(2.0)
+
+    def test_skin_depth_rejects_bad_freq(self):
+        with pytest.raises(ValueError):
+            skin_depth(0.0)
+
+    def test_ac_factor_thin_conductor_is_unity(self):
+        assert _ac_resistance_factor(1e-9, 30e-6) == pytest.approx(1.0, rel=1e-3)
+
+    def test_ac_factor_thick_conductor(self):
+        # t >> delta: factor -> t/delta.
+        assert _ac_resistance_factor(300e-6, 30e-6) == pytest.approx(10.0, rel=0.01)
+
+    @given(st.floats(min_value=1e-6, max_value=1e-3))
+    @settings(max_examples=25)
+    def test_ac_factor_at_least_unity(self, thickness):
+        assert _ac_resistance_factor(thickness, 29.5e-6) >= 1.0
+
+
+class TestRectangularSpiral:
+    @pytest.fixture
+    def rx(self):
+        return RectangularSpiral.ironic_receiver()
+
+    def test_paper_geometry_accepted(self, rx):
+        assert rx.n_turns == 14
+        assert rx.n_layers == 8
+
+    def test_inductance_in_microhenry_range(self, rx):
+        # Multi-layer mm-scale coil: single-digit uH.
+        assert 0.5e-6 < rx.inductance() < 20e-6
+
+    def test_resistance_reasonable(self, rx):
+        assert 0.5 < rx.resistance(5e6) < 50.0
+
+    def test_ac_resistance_exceeds_dc(self, rx):
+        assert rx.resistance(5e6) > rx.resistance()
+
+    def test_quality_factor_band(self, rx):
+        # Printed multi-layer coils at 5 MHz: Q of order 10.
+        assert 3 < rx.quality_factor(5e6) < 60
+
+    def test_self_resonance_above_carrier(self, rx):
+        # The design must be operable at 5 MHz.
+        assert rx.self_resonance() > 3 * 5e6
+
+    def test_more_turns_more_inductance(self):
+        small = RectangularSpiral(38e-3, 2e-3, 7, n_layers=8,
+                                  layer_pitch=68e-6, turn_pitch=220e-6)
+        big = RectangularSpiral.ironic_receiver()
+        assert big.inductance() > small.inductance()
+
+    def test_multilayer_beats_single_layer(self):
+        single = RectangularSpiral(38e-3, 2e-3, 2, n_layers=1,
+                                   turn_pitch=220e-6)
+        stacked = RectangularSpiral(38e-3, 2e-3, 8, n_layers=4,
+                                    layer_pitch=68e-6, turn_pitch=220e-6)
+        # Same 2 turns/layer footprint; stacking multiplies inductance
+        # faster than linearly (mutual coupling between layers).
+        assert stacked.inductance() > 4 * single.inductance()
+
+    def test_too_many_turns_rejected(self):
+        with pytest.raises(ValueError, match="turns"):
+            RectangularSpiral(5e-3, 2e-3, 40, n_layers=1, turn_pitch=220e-6)
+
+    def test_wire_length_scales_with_turns(self, rx):
+        # 14 turns of ~80 mm perimeter -> ~1.1 m.
+        assert 0.5 < rx.wire_length() < 2.0
+
+    def test_summary_keys(self, rx):
+        s = rx.summary(5e6)
+        assert {"inductance_h", "resistance_ohm", "q",
+                "self_resonance_hz"} <= set(s)
+
+
+class TestCircularSpiral:
+    @pytest.fixture
+    def tx(self):
+        return CircularSpiral.ironic_transmitter()
+
+    def test_inductance_band(self, tx):
+        assert 0.1e-6 < tx.inductance() < 10e-6
+
+    def test_q_healthy_for_class_e(self, tx):
+        # The class-E tank needs a reasonably high-Q coil.
+        assert tx.quality_factor(5e6) > 30
+
+    def test_single_loop_formula(self):
+        # Classic result: 10 mm loop of 0.5 mm wire radius -> ~44 nH.
+        l = _circ_loop_inductance(10e-3, 0.5e-3)
+        expected = 4e-7 * math.pi * 10e-3 * (math.log(8 * 10 / 0.5) - 2)
+        assert l == pytest.approx(expected)
+
+    def test_equivalent_radius_between_bounds(self, tx):
+        r_eq = tx.equivalent_radius()
+        assert 0 < r_eq <= tx.outer_radius
+
+    def test_too_many_turns_rejected(self):
+        with pytest.raises(ValueError):
+            CircularSpiral(3e-3, 10, turn_pitch=2e-3)
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=10)
+    def test_inductance_grows_with_turns(self, n):
+        """Mutual terms make L grow faster than the added self terms for
+        the first few turns; it always grows (inner turns shrink, so the
+        asymptotic growth is sub-quadratic but stays well above 1.5x per
+        doubling at these geometries)."""
+        base = CircularSpiral(16e-3, n, turn_pitch=1.2e-3).inductance()
+        double = CircularSpiral(16e-3, 2 * n, turn_pitch=1.2e-3).inductance()
+        assert double > 1.5 * base
+        if n <= 2:  # outer turns nearly equal radius: near-quadratic
+            assert double > 2.0 * base
+
+
+class TestParameterValidation:
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            RectangularSpiral(-1e-3, 2e-3, 4)
+        with pytest.raises(ValueError):
+            CircularSpiral(10e-3, 0)
+
+    def test_fractional_turns_allowed(self):
+        coil = CircularSpiral(16e-3, 2.5, turn_pitch=1.2e-3)
+        assert coil.inductance() > 0

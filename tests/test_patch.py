@@ -1,0 +1,142 @@
+"""Tests for the battery, bluetooth, and patch scenario models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.patch import BluetoothRadio, IronicPatch, LiIonBattery, SCENARIOS
+
+
+class TestBattery:
+    def test_flat_discharge_plateau(self):
+        """Ref [5]: nearly constant voltage until ~75-80% discharged."""
+        bat = LiIonBattery()
+        v_top = bat.open_circuit_voltage(0.8)
+        v_mid = bat.open_circuit_voltage(0.5)
+        v_knee = bat.open_circuit_voltage(0.25)
+        assert abs(v_mid - v_knee) < 0.1
+        assert abs(v_top - v_mid) < 0.2
+        # Below the knee the voltage collapses quickly.
+        assert bat.open_circuit_voltage(0.05) < v_knee - 0.3
+
+    def test_ir_sag(self):
+        bat = LiIonBattery(r_internal=0.2)
+        assert (bat.open_circuit_voltage() - bat.terminal_voltage(0.1)
+                == pytest.approx(0.02))
+
+    def test_energy_density_mass(self):
+        """0.2 Wh/g (the paper's figure): a 110 mAh cell ~ 2 g."""
+        bat = LiIonBattery(capacity_ah=0.110)
+        assert bat.mass_grams() == pytest.approx(
+            0.110 * 3.7 / 0.2, rel=1e-6)
+
+    def test_runtime_scaling(self):
+        bat = LiIonBattery(capacity_ah=0.1)
+        assert bat.runtime_hours(10e-3) == pytest.approx(
+            2 * bat.runtime_hours(20e-3))
+
+    def test_discharge_bookkeeping(self):
+        bat = LiIonBattery(capacity_ah=0.1, soc=1.0)
+        bat.discharge(50e-3, 1.0)
+        assert bat.soc == pytest.approx(0.5)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            bat.discharge(100e-3, 1.0)
+
+    def test_profile_runtime(self):
+        bat = LiIonBattery(capacity_ah=0.1)
+        hours = bat.profile_runtime_hours([(20e-3, 0.5), (40e-3, 0.5)])
+        assert hours == pytest.approx(bat.runtime_hours(30e-3))
+        with pytest.raises(ValueError, match="sum to 1"):
+            bat.profile_runtime_hours([(20e-3, 0.5)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LiIonBattery(capacity_ah=-1)
+        with pytest.raises(ValueError):
+            LiIonBattery(soc=1.5)
+        with pytest.raises(ValueError):
+            LiIonBattery().runtime_hours(0.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_ocv_monotone_in_soc(self, soc):
+        bat = LiIonBattery()
+        assert (bat.open_circuit_voltage(min(soc + 0.05, 1.0))
+                >= bat.open_circuit_voltage(soc) - 1e-9)
+
+
+class TestBluetooth:
+    def test_state_currents_ordered(self):
+        bt = BluetoothRadio()
+        assert (bt.current(connected=False)
+                < bt.current(connected=True)
+                < bt.current(connected=True, tx_duty=1.0))
+
+    def test_cannot_tx_disconnected(self):
+        with pytest.raises(ValueError):
+            BluetoothRadio().current(connected=False, tx_duty=0.5)
+
+    def test_tx_time(self):
+        bt = BluetoothRadio(throughput_bps=115200)
+        assert bt.tx_time_for_payload(1440) == pytest.approx(0.1)
+
+    def test_energy_per_measurement(self):
+        bt = BluetoothRadio()
+        e = bt.energy_per_measurement(100)
+        assert 0 < e < 1e-2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BluetoothRadio(i_idle=50e-3)  # would exceed connected
+        with pytest.raises(ValueError):
+            BluetoothRadio().current(True, tx_duty=2.0)
+        with pytest.raises(ValueError):
+            BluetoothRadio().tx_time_for_payload(-1)
+
+
+class TestIronicPatch:
+    @pytest.fixture
+    def patch(self):
+        return IronicPatch()
+
+    def test_battery_life_idle_10h(self, patch):
+        """E4: ~10 h disconnected and not powering (Section III-B)."""
+        assert patch.battery_life_hours("idle") == pytest.approx(10.0,
+                                                                 rel=0.1)
+
+    def test_battery_life_connected_3h5(self, patch):
+        """E4: ~3.5 h bluetooth-connected."""
+        assert patch.battery_life_hours("connected") == pytest.approx(
+            3.5, rel=0.12)
+
+    def test_battery_life_powering_1h5(self, patch):
+        """E4: ~1.5 h of continuous power transmission."""
+        assert patch.battery_life_hours("powering") == pytest.approx(
+            1.5, rel=0.1)
+
+    def test_life_ordering(self, patch):
+        table = patch.battery_life_table()
+        assert table["idle"] > table["connected"] > table["powering"]
+
+    def test_scenarios_registry(self):
+        assert set(SCENARIOS) == {"idle", "connected", "powering"}
+        assert SCENARIOS["powering"].powering
+        assert not SCENARIOS["powering"].bluetooth_connected
+
+    def test_class_e_current_dominates_powering(self, patch):
+        assert (patch.class_e_supply_current()
+                > patch.scenario_current("idle"))
+
+    def test_mixed_session_life_between_extremes(self, patch):
+        mixed = patch.monitoring_session_life(duty_powering=0.3,
+                                              duty_connected=0.2)
+        assert (patch.battery_life_hours("powering") < mixed
+                < patch.battery_life_hours("idle"))
+
+    def test_mixed_session_validation(self, patch):
+        with pytest.raises(ValueError):
+            patch.monitoring_session_life(0.7, 0.5)
+
+    def test_tx_duty_increases_current(self, patch):
+        base = patch.scenario_current("connected")
+        busy = patch.scenario_current("connected", tx_duty=0.5)
+        assert busy > base

@@ -1,0 +1,239 @@
+"""Tests for the regulator, storage cap, monitors, and power budget."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.power import (
+    LowDropoutRegulator,
+    PowerBudget,
+    PowerOnReset,
+    SENSOR_HIGH_POWER,
+    SENSOR_LOW_POWER,
+    SensorMode,
+    StorageCapacitor,
+    UndervoltageMonitor,
+)
+from repro.signals import Waveform
+
+
+class TestRegulator:
+    @pytest.fixture
+    def ldo(self):
+        return LowDropoutRegulator()
+
+    def test_paper_dropout_rule(self, ldo):
+        """E2 premise: 1.8 V out + 300 mV dropout -> Vin_min = 2.1 V."""
+        assert ldo.v_in_min == pytest.approx(2.1)
+        assert ldo.in_regulation(2.1)
+        assert not ldo.in_regulation(2.09)
+
+    def test_regulated_output(self, ldo):
+        assert ldo.output_voltage(2.75) == pytest.approx(1.8, abs=2e-3)
+
+    def test_dropout_tracking(self, ldo):
+        assert ldo.output_voltage(2.0) == pytest.approx(1.7)
+        assert ldo.output_voltage(0.2) == pytest.approx(0.0)
+
+    def test_zero_input(self, ldo):
+        assert ldo.output_voltage(0.0) == 0.0
+        assert ldo.output_voltage(-1.0) == 0.0
+
+    def test_load_regulation_droop(self, ldo):
+        v_light = ldo.output_voltage(2.75, 10e-6)
+        v_heavy = ldo.output_voltage(2.75, 1.3e-3)
+        assert v_light > v_heavy
+        assert v_light - v_heavy < 0.01  # sub-10 mV over full load range
+
+    def test_line_regulation_small(self, ldo):
+        v_low = ldo.output_voltage(2.2)
+        v_high = ldo.output_voltage(3.0)
+        assert abs(v_high - v_low) < 0.01
+
+    def test_rejects_negative_load(self, ldo):
+        with pytest.raises(ValueError):
+            ldo.output_voltage(2.75, -1e-3)
+
+    def test_rejects_overload(self, ldo):
+        with pytest.raises(ValueError, match="exceeds"):
+            ldo.output_voltage(2.75, 1.0)
+
+    def test_input_current_includes_quiescent(self, ldo):
+        assert ldo.input_current(1e-3) == pytest.approx(1e-3 + 2e-6)
+
+    def test_efficiency_ratio(self, ldo):
+        """Series LDO efficiency ~ Vout/Vin for negligible Iq."""
+        eta = ldo.power_efficiency(2.75, 1e-3)
+        assert eta == pytest.approx(1.8 / 2.75, rel=0.02)
+
+    def test_regulate_waveform(self, ldo):
+        w = Waveform([0, 1e-3, 2e-3], [2.75, 2.75, 1.9])
+        out = ldo.regulate_waveform(w, 350e-6)
+        assert out.v[0] == pytest.approx(1.8, abs=2e-3)
+        assert out.v[-1] == pytest.approx(1.6, abs=1e-6)
+
+    @given(st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=50)
+    def test_output_never_exceeds_input(self, v_in):
+        ldo = LowDropoutRegulator()
+        assert ldo.output_voltage(v_in) <= max(v_in, 0.0) + 1e-12
+
+    @given(st.floats(min_value=2.1, max_value=5.0),
+           st.floats(min_value=0.0, max_value=5e-3))
+    @settings(max_examples=50)
+    def test_regulated_band(self, v_in, i_load):
+        """In regulation, the output stays within 10 mV of nominal."""
+        ldo = LowDropoutRegulator()
+        assert abs(ldo.output_voltage(v_in, i_load) - 1.8) < 0.01
+
+
+class TestStorageCapacitor:
+    def test_droop_formula(self):
+        cap = StorageCapacitor(250e-9, esr=0.0)
+        # 350 uA for 15 us (one LSK bit): dV = I*t/C = 21 mV.
+        assert cap.droop(350e-6, 15e-6) == pytest.approx(0.021)
+
+    def test_esr_adds_step(self):
+        ideal = StorageCapacitor(250e-9, esr=0.0)
+        real = StorageCapacitor(250e-9, esr=1.0)
+        assert real.droop(1e-3, 1e-6) - ideal.droop(1e-3, 1e-6) == \
+            pytest.approx(1e-3)
+
+    def test_holdup_time_lsk_margin(self):
+        """Co at 2.75 V can carry the low-power sensor for many LSK bits
+        before hitting 2.1 V (the paper's uplink never browns out)."""
+        cap = StorageCapacitor(250e-9, esr=0.0)
+        t = cap.holdup_time(350e-6, 2.75, 2.1)
+        assert t > 30 * 15e-6  # > 30 bit periods at 66.6 kbps
+
+    def test_holdup_zero_when_already_low(self):
+        cap = StorageCapacitor(250e-9)
+        assert cap.holdup_time(350e-6, 2.0, 2.1) == 0.0
+
+    def test_energy(self):
+        cap = StorageCapacitor(1e-6)
+        assert cap.energy(2.0) == pytest.approx(2e-6)
+        with pytest.raises(ValueError):
+            cap.energy(-1.0)
+
+    def test_size_for_holdup_roundtrip(self):
+        cap = StorageCapacitor.size_for_holdup(
+            350e-6, 15e-6, 2.75, 2.1, margin=2.0, esr=0.0)
+        # With 2x margin, holdup is twice the requirement.
+        assert cap.holdup_time(350e-6, 2.75, 2.1) == pytest.approx(
+            30e-6, rel=1e-6)
+
+    def test_size_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            StorageCapacitor.size_for_holdup(1e-3, 1e-6, 2.0, 2.5)
+
+    def test_carrier_ripple_small(self):
+        cap = StorageCapacitor(250e-9)
+        # 350 uA at 5 MHz: sub-mV ripple.
+        assert cap.ripple_at_carrier(350e-6, 5e6) < 1e-3
+
+    @given(st.floats(min_value=1e-9, max_value=1e-5),
+           st.floats(min_value=1e-6, max_value=2e-3),
+           st.floats(min_value=1e-6, max_value=1e-4))
+    @settings(max_examples=40)
+    def test_droop_linearity(self, c, i, t):
+        cap = StorageCapacitor(c, esr=0.0)
+        assert cap.droop(2 * i, t) == pytest.approx(2 * cap.droop(i, t))
+
+
+class TestMonitors:
+    def test_uvlo_trip_and_release(self):
+        mon = UndervoltageMonitor(v_trip=2.1, hysteresis=0.05)
+        assert not mon.update(1.0)       # starts bad
+        assert mon.update(2.2)           # releases above 2.15
+        assert mon.update(2.12)          # hysteresis: still good
+        assert not mon.update(2.05)      # trips below 2.1
+        assert not mon.update(2.12)      # needs 2.15 to release
+        assert mon.update(2.16)
+
+    def test_uvlo_scan_clean_rail(self):
+        mon = UndervoltageMonitor()
+        w = Waveform([0, 1e-3, 2e-3], [2.5, 2.6, 2.7])
+        ok_frac, trips = mon.scan(w)
+        assert ok_frac == 1.0
+        assert trips.size == 0
+
+    def test_uvlo_scan_detects_brownout(self):
+        mon = UndervoltageMonitor()
+        t = np.linspace(0, 1e-3, 101)
+        v = np.where((t > 4e-4) & (t < 6e-4), 1.9, 2.5)
+        ok_frac, trips = mon.scan(Waveform(t, v))
+        assert ok_frac < 1.0
+        assert trips.size >= 1
+
+    def test_uvlo_rejects_negative_hysteresis(self):
+        with pytest.raises(ValueError):
+            UndervoltageMonitor(hysteresis=-0.1)
+
+    def test_por_releases_after_hold(self):
+        por = PowerOnReset(v_threshold=1.6, t_hold=50e-6)
+        t = np.linspace(0, 500e-6, 501)
+        v = np.minimum(t / 100e-6 * 1.0, 2.5)  # ramp, crosses 1.6 at 160us
+        release = por.release_time(Waveform(t, v))
+        assert release == pytest.approx(160e-6 + 50e-6, rel=0.05)
+
+    def test_por_never_releases_on_bad_rail(self):
+        por = PowerOnReset()
+        w = Waveform([0, 1e-3], [1.0, 1.2])
+        assert por.release_time(w) is None
+
+    def test_por_restarts_hold_on_glitch(self):
+        por = PowerOnReset(v_threshold=1.6, t_hold=100e-6)
+        t = np.linspace(0, 400e-6, 401)
+        v = np.full_like(t, 2.0)
+        v[(t > 50e-6) & (t < 60e-6)] = 1.0  # glitch restarts the timer
+        release = por.release_time(Waveform(t, v))
+        assert release == pytest.approx(60e-6 + 100e-6 + 1e-6, abs=5e-6)
+
+
+class TestPowerBudget:
+    @pytest.fixture
+    def budget(self):
+        return PowerBudget()
+
+    def test_paper_modes_exist(self):
+        assert SENSOR_LOW_POWER.i_supply == pytest.approx(350e-6)
+        assert SENSOR_HIGH_POWER.i_supply == pytest.approx(1.3e-3)
+        assert SENSOR_LOW_POWER.power == pytest.approx(630e-6)
+
+    def test_low_power_sustainable_at_5mw(self, budget):
+        """E5: 5 mW sustains the comms mode with margin."""
+        assert budget.sustainable(5e-3, SENSOR_LOW_POWER)
+
+    def test_high_power_sustainable_at_5mw(self, budget):
+        """Even the 1.3 mA measurement mode fits in 5 mW."""
+        assert budget.sustainable(5e-3, SENSOR_HIGH_POWER)
+
+    def test_high_power_fails_at_1mw(self, budget):
+        """During an ASK logic-0 (1 mW) the measurement mode overdraws —
+        which is why the sensor measures only outside communication."""
+        assert not budget.sustainable(1e-3, SENSOR_HIGH_POWER)
+
+    def test_low_power_marginal_at_1mw(self, budget):
+        """The comms mode at the ASK-low level: close to break-even; Co
+        rides through the sub-ms dips (tested in the Fig. 11 bench)."""
+        margin, ratio = budget.margin(1e-3, SENSOR_LOW_POWER)
+        assert 0.3 < ratio < 2.0
+
+    def test_supported_modes_ordering(self, budget):
+        modes = budget.supported_modes(5e-3)
+        assert SENSOR_LOW_POWER in modes
+        many = budget.supported_modes(100e-6)
+        assert many == []
+
+    def test_required_power_scales_with_current(self, budget):
+        tiny = SensorMode("tiny", 50e-6)
+        big = SensorMode("big", 500e-6)
+        assert (budget.required_input_power(big)
+                > 5 * budget.required_input_power(tiny))
+
+    def test_custom_mode_from_measured_interface(self, budget):
+        """The measured electronics (Section II-B): 45 uA + 240 uA at
+        1.8 V needs well under 2 mW of carrier."""
+        ei = SensorMode("electronic_interface", 285e-6)
+        assert budget.required_input_power(ei) < 2e-3

@@ -1,0 +1,216 @@
+"""Carrier-resolved rectifier tests + envelope-model consistency.
+
+These exercise the Fig. 8 netlist on the spice engine: doubling action,
+the ~3 V clamp, LSK input shorting with M2 isolation, and the average
+input impedance the paper reports (~150 ohm).  Windows are kept to tens
+of carrier cycles so the suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.power import (
+    RectifierEnvelopeModel,
+    RectifierParameters,
+    build_rectifier_circuit,
+    measure_input_resistance,
+)
+from repro.signals import crossing_times
+from repro.spice import pwl, transient
+
+CARRIER = 5e6
+PERIOD = 1.0 / CARRIER
+
+
+def run(ckt, t_stop, ppc=40, store_every=4):
+    return transient(ckt, t_stop=t_stop, dt=PERIOD / ppc, method="trap",
+                     use_ic=True, store_every=store_every)
+
+
+class TestRectifierNetlist:
+    def test_output_rises_monotonically_early(self):
+        ckt = build_rectifier_circuit()
+        res = run(ckt, 30e-6)
+        vo = res.voltage("vo")
+        # Sampled at 2 us intervals the charge curve is monotone.
+        samples = vo.value_at(np.arange(2e-6, 30e-6, 2e-6))
+        assert np.all(np.diff(samples) > -1e-3)
+
+    def test_doubling_action(self):
+        """The clamp-doubler output exceeds the input amplitude — a plain
+        half-wave rectifier could never do this minus a diode drop."""
+        ckt = build_rectifier_circuit(v_in_amplitude=1.0, i_load=20e-6)
+        res = run(ckt, 250e-6)
+        vo = res.voltage("vo")
+        assert vo.v[-1] > 1.15  # above the 1.0 V input amplitude
+
+    def test_clamp_ceiling(self):
+        """Overdriven input: Vo stays at/below ~3 V (paper: Vo <= 3 V)."""
+        ckt = build_rectifier_circuit(v_in_amplitude=4.0, i_load=100e-6)
+        res = run(ckt, 150e-6)
+        assert res.voltage("vo").max() < 3.3
+
+    def test_higher_load_slows_charging(self):
+        light = run(build_rectifier_circuit(i_load=100e-6), 40e-6)
+        heavy = run(build_rectifier_circuit(i_load=1.3e-3), 40e-6)
+        assert (light.voltage("vo").v[-1]
+                > heavy.voltage("vo").v[-1])
+
+    def test_lsk_short_stops_charging_and_holds_vo(self):
+        """While Vup is LOW, M1 shorts the input and M2 isolates Co:
+        Vo must droop only by I_load/Co, not crash."""
+        # Vup: high until 30 us, low 30-45 us, high after.
+        vup = pwl([(0, 1.8), (30e-6, 1.8), (30.01e-6, 0.0),
+                   (45e-6, 0.0), (45.01e-6, 1.8), (1.0, 1.8)])
+        params = RectifierParameters()
+        ckt = build_rectifier_circuit(params=params, i_load=350e-6,
+                                      uplink_source=vup)
+        res = run(ckt, 60e-6)
+        vo = res.voltage("vo")
+        v_at_short = float(vo.value_at(30e-6))
+        v_end_short = float(vo.value_at(45e-6))
+        droop = v_at_short - v_end_short
+        expected = 350e-6 * 15e-6 / params.c_out
+        assert droop == pytest.approx(expected, rel=0.35)
+        # And charging resumes afterwards.
+        assert vo.v[-1] > v_end_short
+
+    def test_lsk_short_kills_input_voltage(self):
+        """The input node itself collapses during the short — this is the
+        signature the patch detects as uplink data."""
+        vup = pwl([(0, 1.8), (30e-6, 1.8), (30.01e-6, 0.0), (1.0, 0.0)])
+        ckt = build_rectifier_circuit(uplink_source=vup)
+        res = run(ckt, 45e-6)
+        vi = res.voltage("vi")
+        before = vi.clip_time(20e-6, 29e-6).peak_to_peak()
+        after = vi.clip_time(35e-6, 44e-6).peak_to_peak()
+        assert after < 0.2 * before
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RectifierParameters(c_out=-1e-9)
+        with pytest.raises(ValueError):
+            RectifierParameters(n_clamp_diodes=0)
+
+
+class TestInputImpedance:
+    @pytest.fixture(scope="class")
+    def zin(self):
+        return measure_input_resistance(power_level=5e-3, cycles=30,
+                                        points_per_cycle=40)
+
+    def test_converged_to_power_level(self, zin):
+        assert zin["p_in"] == pytest.approx(5e-3, rel=0.02)
+
+    def test_average_impedance_order_of_150ohm(self, zin):
+        """E5: the paper simulates ~150 ohm; pulsed conduction puts our
+        behavioural diode cell in the same range (100-400 ohm)."""
+        assert 80 < zin["z_rms"] < 400
+
+    def test_power_resistance_exceeds_rms_impedance(self, zin):
+        """Pulsed current: crest factor makes V_rms^2/P > V_rms/I_rms."""
+        assert zin["r_power"] > zin["z_rms"]
+
+    def test_input_amplitude_consistent_with_doubler(self, zin):
+        """Amplitude ~1.2-2 V yet Vo reaches 2.75 V: doubling confirmed."""
+        assert 1.0 < zin["v_amplitude"] < 2.2
+
+
+class TestEnvelopeModel:
+    def test_fig11_charge_anchor(self):
+        """E2: Co reaches 2.75 V at ~270 us from 5 mW (paper Fig. 11)."""
+        model = RectifierEnvelopeModel()
+        trace = model.simulate(lambda t: 5e-3, lambda t: 350e-6, 400e-6)
+        t_cross = crossing_times(trace.v_out, 2.75, "rising")
+        assert t_cross.size >= 1
+        assert t_cross[0] == pytest.approx(270e-6, rel=0.15)
+
+    def test_charge_time_helper_agrees_with_simulation(self):
+        model = RectifierEnvelopeModel()
+        t_sim = crossing_times(
+            model.simulate(lambda t: 5e-3, lambda t: 350e-6, 400e-6).v_out,
+            2.75, "rising")[0]
+        t_helper = model.charge_time(5e-3, 350e-6, 2.75)
+        assert t_helper == pytest.approx(t_sim, rel=0.05)
+
+    def test_charge_time_unreachable_returns_none(self):
+        model = RectifierEnvelopeModel()
+        assert model.charge_time(10e-6, 350e-6, 2.75) is None
+        assert model.charge_time(5e-3, 350e-6, 5.0) is None
+
+    def test_equilibrium_near_clamp(self):
+        model = RectifierEnvelopeModel()
+        trace = model.simulate(lambda t: 5e-3, lambda t: 350e-6, 2e-3)
+        assert trace.v_out.v[-1] == pytest.approx(3.0, abs=0.15)
+
+    def test_lsk_short_droop_matches_capacitor_law(self):
+        model = RectifierEnvelopeModel()
+        short_window = (500e-6, 530e-6)
+
+        def shorted(t):
+            return short_window[0] < t < short_window[1]
+
+        trace = model.simulate(lambda t: 5e-3, lambda t: 350e-6, 600e-6,
+                               shorted_func=shorted)
+        v0 = float(trace.v_out.value_at(short_window[0]))
+        v1 = float(trace.v_out.value_at(short_window[1]))
+        expected = 350e-6 * 30e-6 / model.c_out
+        assert v0 - v1 == pytest.approx(expected, rel=0.12)
+
+    def test_ask_low_bits_keep_rail_above_2v1(self):
+        """During downlink, power alternates 3 mW / 1 mW; the rail must
+        hold the paper's 2.1 V line once charged."""
+        model = RectifierEnvelopeModel()
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 0, 0, 1, 1, 0, 1, 0, 1, 1]
+        t_start, t_bit = 300e-6, 10e-6
+
+        def p_in(t):
+            k = int((t - t_start) / t_bit)
+            if 0 <= k < len(bits):
+                return 3e-3 if bits[k] else 1e-3
+            return 5e-3
+
+        trace = model.simulate(p_in, lambda t: 350e-6, 600e-6)
+        assert trace.minimum_after(290e-6) > 2.1
+
+    def test_power_interruption_drains_rail(self):
+        model = RectifierEnvelopeModel()
+        trace = model.simulate(
+            lambda t: 5e-3 if t < 300e-6 else 0.0,
+            lambda t: 350e-6, 2.5e-3)
+        assert trace.v_out.v[-1] < 0.5
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            RectifierEnvelopeModel(efficiency=1.5)
+        with pytest.raises(ValueError):
+            RectifierEnvelopeModel(efficiency=0.0)
+
+    def test_minimum_after_helper(self):
+        model = RectifierEnvelopeModel()
+        trace = model.simulate(lambda t: 5e-3, lambda t: 350e-6, 300e-6)
+        assert trace.minimum_after(250e-6) > trace.minimum_after(10e-6)
+
+
+class TestEnvelopeSpiceConsistency:
+    def test_early_charge_rate_within_band(self):
+        """The envelope abstraction must track the carrier-resolved
+        netlist on the early charge ramp (0-60 us) to within ~40%.
+
+        The drive is the matched 5 mW Thevenin amplitude
+        (sqrt(8*P*R)/2 = 1.22 V); the looseness of the band is honest —
+        the behavioural diode netlist loses more than the paper's active
+        CMOS rectifier, which the envelope model is calibrated to.
+        """
+        import math
+
+        v_matched = math.sqrt(8 * 5e-3 * 150.0) / 2.0
+        ckt = build_rectifier_circuit(v_in_amplitude=v_matched)
+        res = run(ckt, 60e-6)
+        v_spice = float(res.voltage("vo").value_at(60e-6))
+        model = RectifierEnvelopeModel()
+        trace = model.simulate(lambda t: 5e-3, lambda t: 350e-6, 60e-6)
+        v_env = float(trace.v_out.value_at(60e-6))
+        # Same order, with the envelope (calibrated to the paper's active
+        # CMOS rectifier) charging faster than the junction-diode netlist.
+        assert 1.0 <= v_env / v_spice <= 2.0

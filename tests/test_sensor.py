@@ -1,0 +1,263 @@
+"""Tests for enzyme kinetics, the cell, potentiostat, and bandgaps."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sensor import (
+    CLODX,
+    WTLODX,
+    ElectronicInterface,
+    EnzymeKinetics,
+    Potentiostat,
+    ReadoutCircuit,
+    ThreeElectrodeCell,
+    regular_bandgap,
+    sub_1v_bandgap,
+)
+
+
+class TestEnzymeKinetics:
+    def test_zero_concentration_zero_current(self):
+        assert CLODX.current_density(0.0) == 0.0
+
+    def test_michaelis_menten_half_point(self):
+        """At C = Km the response is half of j_max."""
+        enz = EnzymeKinetics("test", j_max=10e-6, km=2.0)
+        assert enz.current_density(2.0) == pytest.approx(5e-6)
+
+    def test_saturation_at_high_concentration(self):
+        assert CLODX.current_density(1000.0) == pytest.approx(
+            CLODX.j_max * CLODX.mwcnt_gain, rel=0.01)
+
+    def test_clodx_more_sensitive_than_wtlodx(self):
+        """The Fig. 4 ordering: commercial enzyme reads higher."""
+        for c in (0.16, 0.4, 1.0):
+            assert CLODX.current_density(c) > WTLODX.current_density(c)
+
+    def test_fig4_magnitudes(self):
+        """E1 anchors: at 1 mM cLODx ~4.3, wtLODx ~2 uA/cm^2."""
+        assert CLODX.current_density(1.0) * 1e6 == pytest.approx(4.3, rel=0.15)
+        assert WTLODX.current_density(1.0) * 1e6 == pytest.approx(2.0, rel=0.15)
+
+    def test_mwcnt_gain_scales_current(self):
+        plain = EnzymeKinetics("e", j_max=5e-6, km=1.0)
+        boosted = plain.with_mwcnt(2.5)
+        assert boosted.current_density(1.0) == pytest.approx(
+            2.5 * plain.current_density(1.0))
+        assert "MWCNT" in boosted.name
+
+    def test_sensitivity_positive_and_decreasing(self):
+        s1 = CLODX.sensitivity(0.2)
+        s2 = CLODX.sensitivity(2.0)
+        s3 = CLODX.sensitivity(20.0)
+        assert s1 > s2 > s3 > 0
+
+    def test_linear_range_near_km_fraction(self):
+        """MM linear range (10% deviation) ends near Km/9."""
+        enz = EnzymeKinetics("e", j_max=1e-6, km=9.0)
+        assert enz.linear_range_upper(0.1) == pytest.approx(1.0, rel=0.05)
+
+    def test_rejects_negative_concentration(self):
+        with pytest.raises(ValueError):
+            CLODX.current_density(-1.0)
+
+    @given(st.floats(min_value=1e-3, max_value=100.0),
+           st.floats(min_value=1.01, max_value=10.0))
+    @settings(max_examples=50)
+    def test_monotone_in_concentration(self, c, factor):
+        assert CLODX.current_density(c * factor) > CLODX.current_density(c)
+
+    @given(st.floats(min_value=1e-3, max_value=1000.0))
+    @settings(max_examples=50)
+    def test_bounded_by_jmax(self, c):
+        assert CLODX.current_density(c) < CLODX.j_max * CLODX.mwcnt_gain
+
+
+class TestCell:
+    @pytest.fixture
+    def cell(self):
+        return ThreeElectrodeCell(CLODX)
+
+    def test_oxidation_wave_gating(self, cell):
+        """At 650 mV the wave is fully on; at 200 mV it is off."""
+        assert cell.potential_factor(0.65) > 0.95
+        assert cell.potential_factor(0.20) < 0.05
+
+    def test_current_scales_with_area(self):
+        from repro.sensor import Electrode
+
+        small = ThreeElectrodeCell(CLODX, Electrode(area_cm2=0.1))
+        large = ThreeElectrodeCell(CLODX, Electrode(area_cm2=0.5))
+        ratio = (large.steady_state_current(1.0)
+                 / small.steady_state_current(1.0))
+        assert ratio == pytest.approx(5.0, rel=1e-6)
+
+    def test_chronoamperometry_decays_to_steady_state(self, cell):
+        wave = cell.chronoamperometry(1.0, 50.0, rng=np.random.default_rng(1))
+        i_ss = cell.steady_state_current(1.0)
+        early = wave.clip_time(0.1, 1.0).mean()
+        late = wave.clip_time(40.0, 50.0).mean()
+        assert early > late
+        assert late == pytest.approx(i_ss, rel=0.1)
+
+    def test_settled_current_matches_steady_state(self, cell):
+        settled = cell.settled_current(0.5)
+        assert settled == pytest.approx(
+            cell.steady_state_current(0.5), rel=0.1)
+
+    def test_calibration_points_units(self, cell):
+        rows = cell.calibration_points([0.16, 1.0])
+        assert rows[1][1] == pytest.approx(
+            cell.steady_state_current(1.0) / 0.25 * 1e6, rel=1e-9)
+
+    def test_no_potential_no_current(self, cell):
+        """Off the oxidation wave the current collapses by >99.9%."""
+        on = cell.steady_state_current(1.0, v_we_re=0.65)
+        off = cell.steady_state_current(1.0, v_we_re=0.0)
+        assert off < 1e-3 * on
+
+
+class TestPotentiostat:
+    def test_nominal_vox_is_650mv(self):
+        """E6: 1.2 V - 550 mV = 650 mV between WE and RE."""
+        assert Potentiostat().vox_nominal == pytest.approx(0.65)
+
+    def test_applied_vox_close_to_nominal_under_load(self):
+        p = Potentiostat()
+        vox = p.applied_vox(cell_current=4e-6, r_cell=10e3)
+        assert vox == pytest.approx(0.65, abs=1e-3)
+
+    def test_compliance_limit(self):
+        p = Potentiostat()
+        assert p.within_compliance(4e-6, r_cell=10e3)
+        assert not p.within_compliance(4e-6, r_cell=1e9)
+        assert p.max_cell_current(1e3) == pytest.approx(
+            (1.8 - 0.55) / 1e3)
+
+    def test_offsets_shift_vox(self):
+        p = Potentiostat(v_we_offset=5e-3, v_re_offset=-5e-3)
+        assert p.applied_vox() == pytest.approx(0.66, abs=1e-4)
+
+
+class TestReadout:
+    def test_transfer_is_linear(self):
+        r = ReadoutCircuit(r_sense=400e3)
+        assert r.output_voltage(1e-6) == pytest.approx(0.4)
+        assert r.output_voltage(2e-6) == pytest.approx(0.8)
+
+    def test_clamps_at_rail(self):
+        r = ReadoutCircuit(r_sense=400e3, v_supply=1.8)
+        assert r.output_voltage(100e-6) == 1.8
+
+    def test_full_scale_covers_4ua(self):
+        """E6: the readout must pass the ADC's 4 uA range."""
+        r = ReadoutCircuit(r_sense=400e3)
+        assert r.full_scale_current() >= 4e-6 * 0.999
+
+    def test_rejects_negative_current(self):
+        with pytest.raises(ValueError):
+            ReadoutCircuit().output_voltage(-1e-6)
+
+    def test_inverse_transfer(self):
+        r = ReadoutCircuit(r_sense=400e3)
+        assert r.current_from_voltage(0.4) == pytest.approx(1e-6)
+        with pytest.raises(ValueError):
+            r.current_from_voltage(2.0)
+
+    def test_mismatch_propagates(self):
+        r = ReadoutCircuit(mirror_mismatch=0.01)
+        assert r.output_voltage(1e-6) == pytest.approx(
+            1e-6 * 400e3 * 1.01)
+
+
+class TestBandgaps:
+    def test_nominal_outputs(self):
+        assert regular_bandgap().output() == pytest.approx(1.2, abs=1e-6)
+        assert sub_1v_bandgap().output() == pytest.approx(0.55, abs=1e-6)
+
+    def test_vox_from_references(self):
+        """E6: the difference of the two references is the 650 mV Vox."""
+        vox = regular_bandgap().output() - sub_1v_bandgap().output()
+        assert vox == pytest.approx(0.65, abs=1e-6)
+
+    def test_temperature_stability(self):
+        """'independent from temperature': < 1 mV over the body range."""
+        bg = regular_bandgap()
+        outs = [bg.output(t) for t in np.linspace(30, 44, 15)]
+        assert max(outs) - min(outs) < 1e-3
+
+    def test_tempco_in_ppm_band(self):
+        assert regular_bandgap().tempco_ppm(20, 45) < 100
+
+    def test_supply_insensitivity(self):
+        """'independent from ... supply': < 1 mV over 1.6-2.0 V."""
+        bg = regular_bandgap()
+        assert abs(bg.output(vdd=2.0) - bg.output(vdd=1.6)) < 1e-3
+
+    def test_sub1v_works_at_lower_supply(self):
+        low = sub_1v_bandgap()
+        assert low.output(vdd=1.1) == pytest.approx(0.55, abs=5e-3)
+        regular = regular_bandgap()
+        assert regular.output(vdd=1.1) < 1.1  # out of headroom
+
+    def test_curvature_is_parabolic_around_trim(self):
+        bg = regular_bandgap()
+        v_trim = bg.output(37.0)
+        assert bg.output(27.0) < v_trim
+        assert bg.output(47.0) < v_trim
+
+    def test_line_regulation_value(self):
+        assert regular_bandgap().line_regulation() == pytest.approx(
+            1e-3, rel=0.01)
+
+
+class TestElectronicInterface:
+    @pytest.fixture
+    def ei(self):
+        return ElectronicInterface.for_enzyme(CLODX)
+
+    def test_applied_potential_650mv(self, ei):
+        assert ei.applied_potential() == pytest.approx(0.65, abs=2e-3)
+
+    def test_supply_budget_matches_paper(self, ei):
+        """E6: 45 uA + 240 uA at 1.8 V."""
+        assert ei.supply_current(measuring=True) == pytest.approx(285e-6)
+        assert ei.supply_current(measuring=False) == pytest.approx(45e-6)
+        assert ei.power() == pytest.approx(285e-6 * 1.8)
+
+    def test_measure_returns_code_in_range(self, ei):
+        code = ei.measure(0.5, n_output_samples=4)
+        assert 0 <= code <= (1 << 14) - 1
+
+    def test_higher_concentration_higher_code(self, ei):
+        assert ei.measure(1.0, n_output_samples=4) > ei.measure(
+            0.2, n_output_samples=4)
+
+    def test_concentration_roundtrip(self, ei):
+        code = ei.measure(0.8, n_output_samples=4)
+        recovered = ei.concentration_from_code(code)
+        assert recovered == pytest.approx(0.8, rel=0.05)
+
+    def test_calibration_curve_fig4(self, ei):
+        """E1: regenerated curve spans the figure's measured range."""
+        curve = ei.calibration_curve()
+        logs = curve.log_concentrations()
+        assert logs[0] == pytest.approx(-0.8)
+        assert logs[-1] == pytest.approx(0.0)
+        assert curve.delta_current_ua_cm2[-1] == pytest.approx(4.3, rel=0.2)
+        assert curve.sensitivity_per_decade() > 0
+
+    def test_curve_ordering_between_enzymes(self):
+        c_curve = ElectronicInterface.for_enzyme(CLODX).calibration_curve()
+        w_curve = ElectronicInterface.for_enzyme(WTLODX).calibration_curve()
+        for cj, wj in zip(c_curve.delta_current_ua_cm2,
+                          w_curve.delta_current_ua_cm2):
+            assert cj > wj
+
+    def test_low_supply_shifts_potential(self, ei):
+        """Below bandgap headroom the Vox collapses — the system-level
+        reason the 2.1 V rectifier rule exists."""
+        assert ei.applied_potential(vdd=0.9) < 0.6

@@ -1,0 +1,127 @@
+"""Tests for sensor drift and recalibration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sensor import CLODX
+from repro.sensor.stability import (
+    CalibrationState,
+    DriftModel,
+    Recalibrator,
+)
+
+DAY = 86400.0
+
+
+class TestDriftModel:
+    def test_fresh_sensor_unchanged(self):
+        aged = DriftModel().aged_enzyme(CLODX, 0.0)
+        assert aged.j_max == pytest.approx(CLODX.j_max)
+        assert aged.km == pytest.approx(CLODX.km)
+
+    def test_half_life(self):
+        model = DriftModel(activity_half_life=10 * DAY, fouling_rate=0.0)
+        aged = model.aged_enzyme(CLODX, 10 * DAY)
+        assert aged.j_max == pytest.approx(CLODX.j_max / 2)
+
+    def test_fouling_raises_km(self):
+        model = DriftModel(fouling_rate=0.05)
+        aged = model.aged_enzyme(CLODX, 10 * DAY)
+        assert aged.km == pytest.approx(CLODX.km * 1.5)
+
+    def test_sensitivity_loss_grows_with_age(self):
+        model = DriftModel()
+        losses = [model.sensitivity_loss(CLODX, d * DAY)
+                  for d in (0, 3, 7, 14)]
+        assert losses[0] == pytest.approx(0.0)
+        assert all(a < b for a, b in zip(losses, losses[1:]))
+
+    def test_week_old_sensor_degrades_noticeably(self):
+        loss = DriftModel().sensitivity_loss(CLODX, 7 * DAY)
+        assert 0.2 < loss < 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftModel(activity_half_life=-1.0)
+        with pytest.raises(ValueError):
+            DriftModel(fouling_rate=-0.1)
+        with pytest.raises(ValueError):
+            DriftModel().aged_enzyme(CLODX, -5.0)
+
+
+class TestRecalibration:
+    @pytest.fixture
+    def setup(self):
+        model = DriftModel()
+        aged = model.aged_enzyme(CLODX, 7 * DAY)
+        recal = Recalibrator(CLODX, area_cm2=0.25)
+        return aged, recal
+
+    def test_uncalibrated_error_is_large(self, setup):
+        aged, recal = setup
+        err = recal.readout_error(aged, CalibrationState(), 0.8)
+        assert abs(err) > 0.15
+
+    def test_one_point_calibration_fixes_gain_drift(self):
+        """Pure activity decay (gain error) is fully corrected by a
+        single-point calibration."""
+        model = DriftModel(fouling_rate=0.0)
+        aged = model.aged_enzyme(CLODX, 7 * DAY)
+        recal = Recalibrator(CLODX, area_cm2=0.25)
+        i_ref = aged.current_density(0.8) * 0.25
+        cal = recal.one_point(0.8, i_ref)
+        err = recal.readout_error(aged, cal, 0.8)
+        assert abs(err) < 1e-6
+        # And it transfers to other concentrations reasonably.
+        assert abs(recal.readout_error(aged, cal, 0.4)) < 0.05
+
+    def test_two_point_beats_one_point_under_fouling(self, setup):
+        aged, recal = setup
+        area = 0.25
+        i1 = aged.current_density(0.3) * area
+        i2 = aged.current_density(1.0) * area
+        cal1 = recal.one_point(1.0, i2)
+        cal2 = recal.two_point(0.3, i1, 1.0, i2)
+        err1 = abs(recal.readout_error(aged, cal1, 0.5))
+        err2 = abs(recal.readout_error(aged, cal2, 0.5))
+        assert err2 <= err1 + 1e-9
+
+    def test_two_point_exact_at_its_anchors(self, setup):
+        aged, recal = setup
+        area = 0.25
+        i1 = aged.current_density(0.3) * area
+        i2 = aged.current_density(1.0) * area
+        cal = recal.two_point(0.3, i1, 1.0, i2)
+        assert abs(recal.readout_error(aged, cal, 0.3)) < 1e-6
+        assert abs(recal.readout_error(aged, cal, 1.0)) < 1e-6
+
+    def test_two_point_validation(self, setup):
+        _, recal = setup
+        with pytest.raises(ValueError):
+            recal.two_point(1.0, 1e-6, 0.3, 2e-6)
+        with pytest.raises(ValueError):
+            recal.two_point(0.3, 2e-6, 1.0, 1e-6)
+
+    def test_one_point_validation(self, setup):
+        _, recal = setup
+        with pytest.raises(ValueError):
+            recal.one_point(0.0, 1e-6)
+        with pytest.raises(ValueError):
+            recal.one_point(0.5, 0.0)
+
+    def test_concentration_inverse_of_zero(self, setup):
+        _, recal = setup
+        assert recal.concentration_from_current(0.0) == 0.0
+
+    @given(st.floats(min_value=0.2, max_value=2.0))
+    @settings(max_examples=20)
+    def test_calibrated_error_bounded_property(self, concentration):
+        """After two-point recalibration at 0.3/1.0 mM, a week-old
+        sensor reads within 10% anywhere in 0.2-2 mM."""
+        model = DriftModel()
+        aged = model.aged_enzyme(CLODX, 7 * DAY)
+        recal = Recalibrator(CLODX, area_cm2=0.25)
+        i1 = aged.current_density(0.3) * 0.25
+        i2 = aged.current_density(1.0) * 0.25
+        cal = recal.two_point(0.3, i1, 1.0, i2)
+        assert abs(recal.readout_error(aged, cal, concentration)) < 0.10

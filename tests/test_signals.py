@@ -1,0 +1,230 @@
+"""Tests for the Waveform container and signal measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.signals import (
+    Waveform,
+    crossing_times,
+    duty_cycle,
+    envelope_peaks,
+    envelope_rectify,
+    moving_average,
+    rise_time,
+    settling_time,
+    slice_levels,
+)
+
+
+def make_sine(freq=1e3, amp=1.0, n=2048, periods=10):
+    t = np.linspace(0, periods / freq, n)
+    return Waveform(t, amp * np.sin(2 * np.pi * freq * t))
+
+
+class TestWaveformBasics:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Waveform([0, 1, 2], [0, 1])
+
+    def test_rejects_non_monotonic_time(self):
+        with pytest.raises(ValueError):
+            Waveform([0, 2, 1], [0, 0, 0])
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            Waveform([0], [1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Waveform(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_duration(self):
+        w = Waveform([1.0, 3.0], [0, 0])
+        assert w.duration == 2.0
+
+    def test_value_at_interpolates(self):
+        w = Waveform([0, 1], [0, 10])
+        assert w.value_at(0.25) == pytest.approx(2.5)
+        assert w(0.25) == pytest.approx(2.5)
+
+    def test_constant_factory(self):
+        w = Waveform.constant(3.3, 0, 1e-3)
+        assert w.mean() == pytest.approx(3.3)
+        assert w.peak_to_peak() == 0.0
+
+    def test_from_function(self):
+        w = Waveform.from_function(lambda t: 2 * t, 0, 1, 101)
+        assert w.value_at(0.5) == pytest.approx(1.0)
+
+    def test_copy_is_independent(self):
+        w = make_sine()
+        w2 = w.copy()
+        w2.v[:] = 0
+        assert w.max() > 0.9
+
+
+class TestWaveformStats:
+    def test_sine_mean_is_zero(self):
+        assert abs(make_sine().mean()) < 1e-3
+
+    def test_sine_rms(self):
+        assert make_sine(amp=2.0).rms() == pytest.approx(2 / np.sqrt(2), rel=1e-3)
+
+    def test_peak_to_peak(self):
+        assert make_sine(amp=1.5).peak_to_peak() == pytest.approx(3.0, rel=1e-3)
+
+    def test_integral_of_constant(self):
+        w = Waveform.constant(2.0, 0.0, 3.0)
+        assert w.integral() == pytest.approx(6.0)
+
+    def test_argmax_time(self):
+        w = make_sine(freq=1.0, n=4001, periods=1)
+        assert w.argmax_time() == pytest.approx(0.25, abs=1e-3)
+
+    @given(st.floats(min_value=0.1, max_value=10),
+           st.floats(min_value=-5, max_value=5))
+    @settings(max_examples=25)
+    def test_rms_of_dc_offset_sine(self, amp, offset):
+        """RMS^2 = offset^2 + amp^2/2 for a sine with DC offset."""
+        w = make_sine(amp=amp) + offset
+        expected = np.sqrt(offset**2 + amp**2 / 2)
+        assert w.rms() == pytest.approx(expected, rel=5e-3)
+
+
+class TestWaveformTransforms:
+    def test_clip_time_window(self):
+        w = make_sine(freq=1e3, periods=10)
+        clipped = w.clip_time(2e-3, 5e-3)
+        assert clipped.t_start == pytest.approx(2e-3)
+        assert clipped.t_stop == pytest.approx(5e-3)
+
+    def test_clip_time_bad_window(self):
+        with pytest.raises(ValueError):
+            make_sine().clip_time(1e-3, 1e-3)
+
+    def test_resample_count(self):
+        w = make_sine().resample(n_samples=100)
+        assert len(w) == 100
+
+    def test_resample_needs_one_arg(self):
+        with pytest.raises(ValueError):
+            make_sine().resample()
+        with pytest.raises(ValueError):
+            make_sine().resample(n_samples=10, dt=1e-6)
+
+    def test_shift_time(self):
+        w = make_sine().shift_time(1.0)
+        assert w.t_start == pytest.approx(1.0)
+
+    def test_derivative_of_ramp(self):
+        w = Waveform.from_function(lambda t: 3 * t, 0, 1, 100)
+        d = w.derivative()
+        assert np.allclose(d.v, 3.0)
+
+    def test_arithmetic(self):
+        w = make_sine(amp=1.0)
+        s = (w * 2 + 1) - w
+        assert s.max() == pytest.approx(2.0, rel=1e-3)
+        neg = -w
+        assert neg.min() == pytest.approx(-w.max())
+
+    def test_waveform_minus_waveform_resamples(self):
+        a = Waveform([0, 1, 2], [0, 1, 2])
+        b = Waveform([0, 2], [0, 2])
+        diff = a - b
+        assert np.allclose(diff.v, 0.0)
+
+    def test_abs(self):
+        assert make_sine().abs().min() >= 0.0
+
+
+class TestEnvelope:
+    def test_peak_envelope_of_am_carrier(self):
+        fc, fm = 1e6, 1e4
+        t = np.linspace(0, 5 / fm, 60000)
+        modulation = 1.0 + 0.5 * np.sin(2 * np.pi * fm * t)
+        w = Waveform(t, modulation * np.sin(2 * np.pi * fc * t))
+        env = envelope_peaks(w, fc)
+        assert env.max() == pytest.approx(1.5, rel=0.02)
+        assert env.min() == pytest.approx(0.5, rel=0.05)
+
+    def test_peak_envelope_constant_carrier(self):
+        w = make_sine(freq=1e6, amp=2.0, n=40000, periods=40)
+        env = envelope_peaks(w, 1e6)
+        assert np.allclose(env.v, 2.0, rtol=0.01)
+
+    def test_envelope_rejects_short_waveform(self):
+        w = make_sine(freq=1e3, periods=1)
+        with pytest.raises(ValueError):
+            envelope_peaks(w, 1e3)
+
+    def test_envelope_rejects_bad_freq(self):
+        with pytest.raises(ValueError):
+            envelope_peaks(make_sine(), -1.0)
+
+    def test_rectify_envelope_settles_to_amplitude(self):
+        w = make_sine(freq=1e6, amp=1.0, n=80000, periods=80)
+        env = envelope_rectify(w, 1e6)
+        tail = env.clip_time(40e-6, 80e-6)
+        assert tail.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_moving_average_smooths(self):
+        w = make_sine(freq=1e3, amp=1.0, periods=20, n=8000) + 2.0
+        smooth = moving_average(w, 5e-3)  # 5 periods
+        tail = smooth.clip_time(10e-3, 20e-3)
+        assert tail.peak_to_peak() < 0.1
+        assert tail.mean() == pytest.approx(2.0, rel=0.02)
+
+
+class TestMeasurements:
+    def test_crossing_times_of_sine(self):
+        w = make_sine(freq=1e3, periods=3, n=3001)
+        rising = crossing_times(w, 0.0, "rising")
+        assert rising.size == 3
+        assert rising[1] - rising[0] == pytest.approx(1e-3, rel=1e-3)
+
+    def test_crossing_direction_filter(self):
+        w = make_sine(freq=1e3, periods=2, n=2001)
+        both = crossing_times(w, 0.5)
+        rising = crossing_times(w, 0.5, "rising")
+        falling = crossing_times(w, 0.5, "falling")
+        assert both.size == rising.size + falling.size
+
+    def test_crossing_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            crossing_times(make_sine(), 0.0, "sideways")
+
+    def test_rise_time_of_exponential(self):
+        tau = 1e-3
+        w = Waveform.from_function(
+            lambda t: 1 - np.exp(-t / tau), 0, 8 * tau, 4000)
+        # 10-90% rise of a first-order system = tau*ln(9) ~= 2.197*tau
+        assert rise_time(w) == pytest.approx(2.197 * tau, rel=0.01)
+
+    def test_rise_time_none_for_flat(self):
+        assert rise_time(Waveform.constant(1.0, 0, 1, 10)) is None
+
+    def test_settling_time(self):
+        tau = 1e-3
+        w = Waveform.from_function(
+            lambda t: 1 - np.exp(-t / tau), 0, 10 * tau, 8000)
+        ts = settling_time(w, final_value=1.0, tolerance=0.01)
+        assert ts == pytest.approx(tau * np.log(100), rel=0.05)
+
+    def test_slice_levels(self):
+        w = Waveform([0, 1, 2, 3], [0.0, 1.0, 0.2, 0.9])
+        bits = slice_levels(w, 0.5, [0, 1, 2, 3])
+        assert bits == [0, 1, 0, 1]
+
+    def test_duty_cycle_of_square(self):
+        t = np.linspace(0, 1, 10001)
+        v = (np.mod(t * 10, 1.0) < 0.3).astype(float)
+        assert duty_cycle(Waveform(t, v), 0.5) == pytest.approx(0.3, abs=0.01)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=20)
+    def test_duty_cycle_matches_threshold_fraction(self, duty):
+        t = np.linspace(0, 1, 20001)
+        v = (np.mod(t * 5, 1.0) < duty).astype(float)
+        assert duty_cycle(Waveform(t, v), 0.5) == pytest.approx(duty, abs=0.01)

@@ -1,0 +1,135 @@
+"""AC small-signal analysis tests against closed-form transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, dc_source as dc_src, sine, ac_sweep
+from repro.spice.ac import logspace_frequencies
+
+
+def rc_lowpass(r=1e3, c=1e-6):
+    ckt = Circuit("rc_ac")
+    ckt.add_vsource("V1", "in", "0", dc_src(0.0, ac_mag=1.0))
+    ckt.add_resistor("R1", "in", "out", r)
+    ckt.add_capacitor("C1", "out", "0", c)
+    return ckt
+
+
+class TestACLinear:
+    def test_rc_corner_frequency(self):
+        r, c = 1e3, 1e-6
+        fc = 1.0 / (2 * np.pi * r * c)
+        res = ac_sweep(rc_lowpass(r, c), np.array([fc]))
+        assert res.magnitude("out")[0] == pytest.approx(1 / np.sqrt(2), rel=1e-6)
+        assert res.phase_deg("out")[0] == pytest.approx(-45.0, abs=0.01)
+
+    def test_rc_rolloff_20db_per_decade(self):
+        r, c = 1e3, 1e-6
+        fc = 1.0 / (2 * np.pi * r * c)
+        res = ac_sweep(rc_lowpass(r, c), np.array([100 * fc, 1000 * fc]))
+        mags = res.magnitude_db("out")
+        assert mags[0] - mags[1] == pytest.approx(20.0, abs=0.05)
+
+    def test_rc_matches_analytic_everywhere(self):
+        r, c = 2.2e3, 47e-9
+        freqs = logspace_frequencies(10.0, 10e6, 10)
+        res = ac_sweep(rc_lowpass(r, c), freqs)
+        h_sim = res.voltage("out")
+        h_ref = 1.0 / (1.0 + 1j * 2 * np.pi * freqs * r * c)
+        assert np.allclose(h_sim, h_ref, rtol=1e-9)
+
+    def test_series_rlc_resonance(self):
+        """Series RLC: current peaks at f0; output over R reads the peak."""
+        r, l, c = 10.0, 10e-6, 100e-12
+        f0 = 1.0 / (2 * np.pi * np.sqrt(l * c))
+        ckt = Circuit("rlc")
+        ckt.add_vsource("V1", "in", "0", dc_src(0.0, ac_mag=1.0))
+        ckt.add_inductor("L1", "in", "a", l)
+        ckt.add_capacitor("C1", "a", "b", c)
+        ckt.add_resistor("R1", "b", "0", r)
+        freqs = np.linspace(0.5 * f0, 1.5 * f0, 401)
+        res = ac_sweep(ckt, freqs)
+        assert res.peak_frequency("b") == pytest.approx(f0, rel=0.005)
+        # At resonance the full source voltage appears across R.
+        at_f0 = ac_sweep(ckt, np.array([f0]))
+        assert at_f0.magnitude("b")[0] == pytest.approx(1.0, rel=1e-3)
+
+    def test_parallel_tank_q_factor(self):
+        """Loaded parallel LC: -3 dB bandwidth gives Q = f0/BW = R*sqrt(C/L)."""
+        r, l, c = 5e3, 10e-6, 100e-12
+        f0 = 1.0 / (2 * np.pi * np.sqrt(l * c))
+        q_expected = r * np.sqrt(c / l)
+        ckt = Circuit("tank")
+        # Current source drives the tank: V = I * Z_tank.
+        ckt.add_isource("I1", "0", "t", dc_src(0.0, ac_mag=1.0))
+        ckt.add_inductor("L1", "t", "0", l)
+        ckt.add_capacitor("C1", "t", "0", c)
+        ckt.add_resistor("R1", "t", "0", r)
+        freqs = np.linspace(0.8 * f0, 1.2 * f0, 2001)
+        res = ac_sweep(ckt, freqs)
+        mag = res.magnitude("t")
+        peak = mag.max()
+        above = freqs[mag >= peak / np.sqrt(2)]
+        bw = above[-1] - above[0]
+        assert f0 / bw == pytest.approx(q_expected, rel=0.02)
+
+    def test_transformer_coupling_transfer(self):
+        """Coupled coils transfer ratio ~ k*sqrt(L2/L1) when lightly loaded."""
+        k = 0.2
+        ckt = Circuit("xfmr_ac")
+        ckt.add_vsource("V1", "in", "0", dc_src(0.0, ac_mag=1.0))
+        l1 = ckt.add_inductor("L1", "in", "0", 2e-6)
+        l2 = ckt.add_inductor("L2", "sec", "0", 8e-6)
+        ckt.add_coupling("K1", l1, l2, k)
+        ckt.add_resistor("RL", "sec", "0", 1e9)
+        res = ac_sweep(ckt, np.array([5e6]))
+        expected = k * np.sqrt(8e-6 / 2e-6)
+        assert res.magnitude("sec")[0] == pytest.approx(expected, rel=1e-3)
+
+
+class TestACNonlinearLinearised:
+    def test_mosfet_common_source_gain(self):
+        """CS amp small-signal gain = -gm*(RD || ro)."""
+        ckt = Circuit("cs")
+        ckt.add_vsource("VDD", "vdd", "0", 3.0)
+        ckt.add_vsource("VG", "g", "0", dc_src(1.0, ac_mag=1.0))
+        ckt.add_resistor("RD", "vdd", "d", 5e3)
+        m = ckt.add_mosfet("M1", "d", "g", "0", vto=0.5, kp=200e-6,
+                           w=10e-6, l=1e-6, lam=0.02)
+        from repro.spice import dc_operating_point
+        op = dc_operating_point(ckt)
+        ids, gm, gds, _, _ = m.evaluate(op.x)
+        res = ac_sweep(ckt, np.array([1e3]), op=op)
+        gain = res.magnitude("d")[0]
+        expected = gm / (1.0 / 5e3 + gds)
+        assert gain == pytest.approx(expected, rel=1e-6)
+
+    def test_diode_small_signal_resistance(self):
+        """rd = nVt/Id at the bias point scales the AC division."""
+        ckt = Circuit("dac")
+        ckt.add_vsource("V1", "a", "0", dc_src(5.0, ac_mag=1.0))
+        ckt.add_resistor("R1", "a", "d", 10e3)
+        ckt.add_diode("D1", "d", "0")
+        from repro.spice import dc_operating_point
+        op = dc_operating_point(ckt)
+        i_d = ckt["D1"].current(op.x)
+        rd = 0.02585 / i_d
+        res = ac_sweep(ckt, np.array([1e3]), op=op)
+        assert res.magnitude("d")[0] == pytest.approx(
+            rd / (rd + 10e3), rel=1e-3)
+
+
+class TestACValidation:
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            ac_sweep(rc_lowpass(), np.array([0.0, 1e3]))
+
+    def test_logspace_frequencies_bounds(self):
+        f = logspace_frequencies(10, 1e6, 5)
+        assert f[0] == pytest.approx(10)
+        assert f[-1] == pytest.approx(1e6)
+        assert np.all(np.diff(np.log10(f)) > 0)
+
+    def test_logspace_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            logspace_frequencies(100, 10)

@@ -1,0 +1,223 @@
+"""DC operating-point tests against hand-solvable circuits."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, dc_operating_point
+
+
+class TestLinearDC:
+    def test_voltage_divider(self):
+        ckt = Circuit("divider")
+        ckt.add_vsource("V1", "in", "0", 10.0)
+        ckt.add_resistor("R1", "in", "out", 1e3)
+        ckt.add_resistor("R2", "out", "0", 3e3)
+        op = dc_operating_point(ckt)
+        assert op.voltage("out") == pytest.approx(7.5)
+        assert op.branch_current("V1") == pytest.approx(-10.0 / 4e3)
+
+    def test_ground_voltage_is_zero(self):
+        ckt = Circuit("g")
+        ckt.add_vsource("V1", "a", "0", 5.0)
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        op = dc_operating_point(ckt)
+        assert op.voltage("0") == 0.0
+        assert op.voltage("gnd") == 0.0
+
+    def test_current_source_into_resistor(self):
+        ckt = Circuit("isrc")
+        ckt.add_isource("I1", "0", "a", 1e-3)  # pushes 1 mA into node a
+        ckt.add_resistor("R1", "a", "0", 2e3)
+        op = dc_operating_point(ckt)
+        assert op.voltage("a") == pytest.approx(2.0)
+
+    def test_superposition_of_two_sources(self):
+        ckt = Circuit("sup")
+        ckt.add_vsource("V1", "a", "0", 6.0)
+        ckt.add_isource("I1", "0", "b", 3e-3)
+        ckt.add_resistor("R1", "a", "b", 1e3)
+        ckt.add_resistor("R2", "b", "0", 1e3)
+        op = dc_operating_point(ckt)
+        # Node b: (6-Vb)/1k + 3mA = Vb/1k  ->  Vb = 4.5
+        assert op.voltage("b") == pytest.approx(4.5)
+
+    def test_inductor_is_dc_short(self):
+        ckt = Circuit("ldc")
+        ckt.add_vsource("V1", "a", "0", 2.0)
+        ckt.add_inductor("L1", "a", "b", 1e-3)
+        ckt.add_resistor("R1", "b", "0", 100.0)
+        op = dc_operating_point(ckt)
+        assert op.voltage("b") == pytest.approx(2.0)
+        assert op.branch_current("L1") == pytest.approx(0.02)
+
+    def test_capacitor_is_dc_open(self):
+        ckt = Circuit("cdc")
+        ckt.add_vsource("V1", "a", "0", 2.0)
+        ckt.add_resistor("R1", "a", "b", 1e3)
+        ckt.add_capacitor("C1", "b", "0", 1e-9)
+        op = dc_operating_point(ckt)
+        assert op.voltage("b") == pytest.approx(2.0, abs=1e-6)
+
+    def test_vcvs_gain(self):
+        ckt = Circuit("vcvs")
+        ckt.add_vsource("V1", "in", "0", 0.5)
+        ckt.add_resistor("Rin", "in", "0", 1e6)
+        ckt.add_vcvs("E1", "out", "0", "in", "0", 10.0)
+        ckt.add_resistor("Rl", "out", "0", 1e3)
+        op = dc_operating_point(ckt)
+        assert op.voltage("out") == pytest.approx(5.0)
+
+    def test_vccs_transconductance(self):
+        ckt = Circuit("vccs")
+        ckt.add_vsource("V1", "in", "0", 1.0)
+        ckt.add_resistor("Rin", "in", "0", 1e6)
+        # gm = 1 mS pulling current out of node out into ground
+        ckt.add_vccs("G1", "out", "0", "in", "0", 1e-3)
+        ckt.add_resistor("Rl", "out", "0", 2e3)
+        op = dc_operating_point(ckt)
+        # I(out->0) = 1m * 1 V flows out of node "out": V = -I*R
+        assert op.voltage("out") == pytest.approx(-2.0)
+
+    def test_opamp_buffer(self):
+        ckt = Circuit("buffer")
+        ckt.add_vsource("V1", "in", "0", 1.3)
+        ckt.add_resistor("Rin", "in", "0", 1e6)
+        ckt.add_opamp("OP1", "out", "in", "out", gain=1e6)
+        ckt.add_resistor("Rl", "out", "0", 10e3)
+        op = dc_operating_point(ckt)
+        assert op.voltage("out") == pytest.approx(1.3, rel=1e-4)
+
+
+class TestNonlinearDC:
+    def test_diode_forward_drop(self):
+        ckt = Circuit("dfwd")
+        ckt.add_vsource("V1", "a", "0", 5.0)
+        ckt.add_resistor("R1", "a", "d", 1e3)
+        ckt.add_diode("D1", "d", "0")
+        op = dc_operating_point(ckt)
+        vd = op.voltage("d")
+        assert 0.5 < vd < 0.8
+        # KCL: resistor current equals diode current
+        i_r = (5.0 - vd) / 1e3
+        d1 = ckt["D1"]
+        assert d1.current(op.x) == pytest.approx(i_r, rel=1e-4)
+
+    def test_diode_reverse_blocks(self):
+        ckt = Circuit("drev")
+        ckt.add_vsource("V1", "a", "0", -5.0)
+        ckt.add_resistor("R1", "a", "d", 1e3)
+        ckt.add_diode("D1", "d", "0")
+        op = dc_operating_point(ckt)
+        assert op.voltage("d") == pytest.approx(-5.0, abs=1e-3)
+
+    def test_diode_exponential_slope(self):
+        """Shockley law: delta-V across bias points equals Vt*ln(I2/I1)."""
+        import math
+
+        drops, currents = [], []
+        for vin in (1.0, 10.0):
+            ckt = Circuit("dslope")
+            ckt.add_vsource("V1", "a", "0", vin)
+            ckt.add_resistor("R1", "a", "d", 1e3)
+            ckt.add_diode("D1", "d", "0", i_s=1e-14, n=1.0)
+            op = dc_operating_point(ckt)
+            drops.append(op.voltage("d"))
+            currents.append((vin - op.voltage("d")) / 1e3)
+        delta = drops[1] - drops[0]
+        expected = 0.02585 * math.log(currents[1] / currents[0])
+        assert delta == pytest.approx(expected, rel=1e-3)
+
+    def test_nmos_saturation_current(self):
+        ckt = Circuit("nmos")
+        ckt.add_vsource("VG", "g", "0", 1.5)
+        ckt.add_vsource("VD", "vdd", "0", 3.0)
+        ckt.add_resistor("RD", "vdd", "d", 1e3)
+        ckt.add_mosfet("M1", "d", "g", "0", polarity="n",
+                       vto=0.5, kp=200e-6, w=10e-6, l=1e-6, lam=0.0)
+        op = dc_operating_point(ckt)
+        # beta = 2 mA/V^2 ; Vov = 1.0 ; Idsat = 1 mA ; Vd = 3 - 1 = 2 V (sat ok)
+        assert op.voltage("d") == pytest.approx(2.0, rel=1e-3)
+
+    def test_nmos_triode_region(self):
+        ckt = Circuit("nmos_tri")
+        ckt.add_vsource("VG", "g", "0", 3.0)
+        ckt.add_vsource("VD", "vdd", "0", 3.0)
+        ckt.add_resistor("RD", "vdd", "d", 10e3)
+        ckt.add_mosfet("M1", "d", "g", "0", polarity="n",
+                       vto=0.5, kp=200e-6, w=10e-6, l=1e-6, lam=0.0)
+        op = dc_operating_point(ckt)
+        vd = op.voltage("d")
+        assert vd < 3.0 - 0.5  # device in triode
+        beta = 200e-6 * 10
+        ids = beta * ((3.0 - 0.5) * vd - 0.5 * vd * vd)
+        assert ids == pytest.approx((3.0 - vd) / 10e3, rel=1e-3)
+
+    def test_pmos_mirror_symmetry(self):
+        """A PMOS with source at VDD conducts like the NMOS mirror image."""
+        ckt = Circuit("pmos")
+        ckt.add_vsource("VDD", "vdd", "0", 3.0)
+        ckt.add_vsource("VG", "g", "0", 1.5)  # Vsg = 1.5
+        ckt.add_resistor("RD", "d", "0", 1e3)
+        ckt.add_mosfet("M1", "d", "g", "vdd", polarity="p",
+                       vto=0.5, kp=200e-6, w=10e-6, l=1e-6, lam=0.0)
+        op = dc_operating_point(ckt)
+        # |Vov| = 1.0, Idsat = 1 mA into RD -> Vd = 1 V (sat: Vsd = 2 > 1)
+        assert op.voltage("d") == pytest.approx(1.0, rel=1e-3)
+
+    def test_mosfet_cutoff(self):
+        ckt = Circuit("cutoff")
+        ckt.add_vsource("VG", "g", "0", 0.2)
+        ckt.add_vsource("VD", "vdd", "0", 3.0)
+        ckt.add_resistor("RD", "vdd", "d", 1e3)
+        ckt.add_mosfet("M1", "d", "g", "0", vto=0.5)
+        op = dc_operating_point(ckt)
+        assert op.voltage("d") == pytest.approx(3.0, abs=1e-3)
+
+    def test_switch_open_and_closed(self):
+        for ctrl, expected in ((0.0, 5.0), (1.0, 0.025)):
+            ckt = Circuit("sw")
+            ckt.add_vsource("V1", "a", "0", 5.0)
+            ckt.add_vsource("VC", "c", "0", ctrl)
+            ckt.add_resistor("R1", "a", "b", 1e3)
+            ckt.add_switch("S1", "b", "0", "c", "0",
+                           v_threshold=0.5, r_on=5.0, r_off=1e9)
+            op = dc_operating_point(ckt)
+            assert op.voltage("b") == pytest.approx(expected, rel=0.01)
+
+
+class TestDCRobustness:
+    def test_diode_bridge_converges(self):
+        """Full-bridge rectifier DC solve (4 diodes) via gmin stepping."""
+        ckt = Circuit("bridge")
+        ckt.add_vsource("V1", "inp", "inn", 3.0)
+        ckt.add_diode("D1", "inp", "pos")
+        ckt.add_diode("D2", "inn", "pos")
+        ckt.add_diode("D3", "neg", "inp")
+        ckt.add_diode("D4", "neg", "inn")
+        ckt.add_resistor("RL", "pos", "neg", 1e3)
+        ckt.add_resistor("Rgnd", "inn", "0", 1.0)
+        op = dc_operating_point(ckt)
+        v_load = op.voltage("pos") - op.voltage("neg")
+        assert 1.4 < v_load < 2.1  # 3 V minus two diode drops
+
+    def test_duplicate_name_rejected(self):
+        ckt = Circuit("dup")
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            ckt.add_resistor("R1", "b", "0", 1.0)
+
+    def test_unknown_node_raises(self):
+        ckt = Circuit("unk")
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        ckt.add_vsource("V1", "a", "0", 1.0)
+        dc_operating_point(ckt)
+        with pytest.raises(KeyError):
+            ckt.node_index("nope")
+
+    def test_singular_circuit_raises(self):
+        """Two ideal V sources in parallel with different values."""
+        ckt = Circuit("sing")
+        ckt.add_vsource("V1", "a", "0", 1.0)
+        ckt.add_vsource("V2", "a", "0", 2.0)
+        with pytest.raises(Exception):
+            dc_operating_point(ckt)

@@ -1,0 +1,160 @@
+"""Tests for the SPICE-card netlist reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    NetlistError,
+    dc_operating_point,
+    parse_netlist,
+    transient,
+    write_netlist,
+)
+
+DIVIDER = """simple divider
+V1 in 0 DC 10
+R1 in out 1k
+R2 out 0 3k
+.end
+"""
+
+
+class TestParser:
+    def test_divider_parses_and_solves(self):
+        ckt = parse_netlist(DIVIDER)
+        assert ckt.title == "simple divider"
+        op = dc_operating_point(ckt)
+        assert op.voltage("out") == pytest.approx(7.5)
+
+    def test_engineering_values(self):
+        ckt = parse_netlist("eng\nR1 a 0 4.7k\nC1 a 0 100n\nL1 a 0 2.2u\n")
+        assert ckt["R1"].resistance == pytest.approx(4700.0)
+        assert ckt["C1"].capacitance == pytest.approx(100e-9)
+        assert ckt["L1"].inductance == pytest.approx(2.2e-6)
+
+    def test_comments_and_continuations(self):
+        text = ("title\n"
+                "* a comment\n"
+                "R1 a 0\n"
+                "+ 1k\n"
+                "; trailing-only line\n"
+                "V1 a 0 DC 1\n")
+        ckt = parse_netlist(text)
+        assert ckt["R1"].resistance == pytest.approx(1e3)
+
+    def test_sin_source(self):
+        ckt = parse_netlist("s\nV1 in 0 SIN(0 2 1MEG)\nR1 in 0 50\n")
+        src = ckt["V1"].source
+        assert src(0.25e-6) == pytest.approx(2.0, rel=1e-6)
+
+    def test_pulse_source(self):
+        ckt = parse_netlist(
+            "p\nV1 g 0 PULSE(0 5 0 1n 1n 99n 200n)\nR1 g 0 1k\n")
+        src = ckt["V1"].source
+        assert src(50e-9) == pytest.approx(5.0)
+        assert src(150e-9) == pytest.approx(0.0)
+
+    def test_capacitor_ic(self):
+        ckt = parse_netlist("c\nC1 a 0 1u IC=2.5\nR1 a 0 1k\n")
+        assert ckt["C1"].ic == pytest.approx(2.5)
+
+    def test_diode_params(self):
+        ckt = parse_netlist("d\nD1 a 0 IS=1e-12 N=1.5\nV1 a 0 DC 1\n")
+        assert ckt["D1"].i_s == pytest.approx(1e-12)
+        assert ckt["D1"].n == pytest.approx(1.5)
+
+    def test_mosfet_card(self):
+        ckt = parse_netlist(
+            "m\nM1 d g 0 TYPE=p VTO=0.6 KP=100u W=20u L=2u\n"
+            "V1 d 0 DC 1\nV2 g 0 DC 0\n")
+        m = ckt["M1"]
+        assert m.polarity == "p"
+        assert m.beta == pytest.approx(100e-6 * 10)
+
+    def test_switch_card(self):
+        ckt = parse_netlist(
+            "sw\nS1 a 0 c 0 VT=1.2 RON=5 ROFF=1e8\n"
+            "V1 a 0 DC 1\nV2 c 0 DC 3\n")
+        s = ckt["S1"]
+        assert s.v_threshold == pytest.approx(1.2)
+        assert s.r_on == pytest.approx(5.0)
+
+    def test_coupling_card(self):
+        text = ("xfmr\nV1 in 0 SIN(0 1 100k)\nRs in p 1\n"
+                "L1 p 0 1m\nL2 s 0 4m\nK1 L1 L2 0.99\nRL s 0 10k\n")
+        ckt = parse_netlist(text)
+        assert ckt["K1"].mutual == pytest.approx(
+            0.99 * np.sqrt(1e-3 * 4e-3))
+
+    def test_controlled_sources(self):
+        ckt = parse_netlist(
+            "cs\nV1 in 0 DC 1\nRin in 0 1MEG\n"
+            "E1 out 0 in 0 10\nRl out 0 1k\n"
+            "G1 out2 0 in 0 1m\nR2 out2 0 1k\n")
+        op = dc_operating_point(ckt)
+        assert op.voltage("out") == pytest.approx(10.0)
+        assert op.voltage("out2") == pytest.approx(-1.0)
+
+    def test_transient_of_parsed_rc(self):
+        ckt = parse_netlist(
+            "rc\nV1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1u IC=0\n")
+        res = transient(ckt, t_stop=5e-3, dt=10e-6, use_ic=True)
+        assert res.voltage("out").v[-1] == pytest.approx(1.0, rel=1e-2)
+
+    def test_coupling_unknown_inductor(self):
+        with pytest.raises(NetlistError, match="unknown inductor"):
+            parse_netlist("bad\nL1 a 0 1m\nK1 L1 L9 0.5\n")
+
+    def test_unknown_element(self):
+        with pytest.raises(NetlistError, match="unknown element"):
+            parse_netlist("bad\nQ1 c b e\n")
+
+    def test_empty_netlist(self):
+        with pytest.raises(NetlistError, match="empty"):
+            parse_netlist("\n\n")
+
+    def test_bad_card_message_names_card(self):
+        with pytest.raises(NetlistError, match="bad card"):
+            parse_netlist("bad\nR1 a 0\n")
+
+    def test_orphan_continuation(self):
+        with pytest.raises(NetlistError, match="continuation"):
+            parse_netlist("+ 1k\n")
+
+    def test_directives_ignored(self):
+        ckt = parse_netlist("t\n.option reltol=1e-4\nR1 a 0 1k\n")
+        assert "R1" in ckt
+
+
+class TestWriter:
+    def test_roundtrip_divider(self):
+        ckt = parse_netlist(DIVIDER)
+        text = write_netlist(ckt)
+        again = parse_netlist(text)
+        op1 = dc_operating_point(ckt)
+        op2 = dc_operating_point(again)
+        assert op2.voltage("out") == pytest.approx(op1.voltage("out"))
+
+    def test_roundtrip_preserves_all_kinds(self):
+        text = ("all kinds\n"
+                "V1 in 0 DC 3\nI1 0 a DC 1m\nR1 in a 1k\n"
+                "C1 a 0 10n IC=0.5\nL1 a b 1u IC=0\nL2 c 0 4u IC=0\n"
+                "K1 L1 L2 0.3\nR2 b 0 50\nR3 c 0 50\n"
+                "D1 a d IS=1e-13 N=1.1\nR4 d 0 1k\n"
+                "M1 e g 0 TYPE=n VTO=0.4 KP=150u W=5u L=1u LAMBDA=0.02\n"
+                "R5 in e 10k\nV2 g 0 DC 1\n"
+                "S1 f 0 g 0 VT=0.6 RON=2 ROFF=1e7\nR6 in f 1k\n"
+                "E1 h 0 a 0 2\nR7 h 0 1k\n"
+                "G1 i 0 a 0 2m\nR8 i 0 1k\n")
+        ckt = parse_netlist(text)
+        rebuilt = parse_netlist(write_netlist(ckt))
+        assert len(rebuilt.components) == len(ckt.components)
+        op1 = dc_operating_point(ckt)
+        op2 = dc_operating_point(rebuilt)
+        for node in ckt.node_names():
+            assert op2.voltage(node) == pytest.approx(
+                op1.voltage(node), abs=1e-9)
+
+    def test_written_text_ends_with_end(self):
+        assert write_netlist(parse_netlist(DIVIDER)).strip().endswith(
+            ".end")

@@ -1,0 +1,101 @@
+"""Tests for the DC sweep analysis."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit
+from repro.spice.sweep import dc_sweep, operating_point_report
+from repro.spice.dc import dc_operating_point
+
+
+def diode_circuit():
+    ckt = Circuit("dsw")
+    ckt.add_vsource("V1", "in", "0", 0.0)
+    ckt.add_resistor("R1", "in", "d", 1e3)
+    ckt.add_diode("D1", "d", "0")
+    return ckt
+
+
+class TestDCSweep:
+    def test_linear_transfer(self):
+        ckt = Circuit("div")
+        ckt.add_vsource("V1", "in", "0", 0.0)
+        ckt.add_resistor("R1", "in", "out", 1e3)
+        ckt.add_resistor("R2", "out", "0", 1e3)
+        res = dc_sweep(ckt, "V1", np.linspace(0, 10, 11))
+        assert np.allclose(res.voltage("out"), np.linspace(0, 5, 11))
+
+    def test_transfer_gain_of_divider(self):
+        ckt = Circuit("div2")
+        ckt.add_vsource("V1", "in", "0", 0.0)
+        ckt.add_resistor("R1", "in", "out", 3e3)
+        ckt.add_resistor("R2", "out", "0", 1e3)
+        res = dc_sweep(ckt, "V1", np.linspace(0, 4, 21))
+        assert np.allclose(res.transfer_gain("out"), 0.25, atol=1e-9)
+
+    def test_diode_knee_sweep(self):
+        res = dc_sweep(diode_circuit(), "V1", np.linspace(0, 3, 61))
+        i_d = res.device_current("D1")
+        # Monotone current, negligible below 0.3 V, conducting by 2 V.
+        assert np.all(np.diff(i_d) >= -1e-12)
+        assert i_d[6] < 1e-8      # 0.3 V
+        assert i_d[-1] > 1e-3     # 3 V through 1k
+
+    def test_find_crossing(self):
+        res = dc_sweep(diode_circuit(), "V1", np.linspace(0, 3, 121))
+        v_half = res.find_crossing("d", 0.55)
+        assert v_half is not None
+        assert 0.5 < v_half < 1.2
+
+    def test_find_crossing_none(self):
+        res = dc_sweep(diode_circuit(), "V1", np.linspace(0, 0.1, 5))
+        assert res.find_crossing("d", 5.0) is None
+
+    def test_current_source_sweep(self):
+        ckt = Circuit("isw")
+        ckt.add_isource("I1", "0", "a", 0.0)
+        ckt.add_resistor("R1", "a", "0", 2e3)
+        res = dc_sweep(ckt, "I1", np.linspace(0, 1e-3, 5))
+        assert res.voltage("a")[-1] == pytest.approx(2.0)
+
+    def test_source_restored_after_sweep(self):
+        ckt = diode_circuit()
+        dc_sweep(ckt, "V1", [0.0, 1.0, 2.0])
+        op = dc_operating_point(ckt)
+        assert op.voltage("in") == pytest.approx(0.0, abs=1e-9)
+
+    def test_mosfet_output_family_point(self):
+        """Sweep VDS at fixed VGS: triode -> saturation plateau."""
+        ckt = Circuit("mos_out")
+        ckt.add_vsource("VD", "d", "0", 0.0)
+        ckt.add_vsource("VG", "g", "0", 1.5)
+        ckt.add_mosfet("M1", "d", "g", "0", vto=0.5, kp=200e-6,
+                       w=10e-6, l=1e-6, lam=0.0)
+        res = dc_sweep(ckt, "VD", np.linspace(0.01, 3, 30))
+        i_d = -res.branch_current("VD")  # source supplies the drain
+        # Saturation: last two currents nearly equal; early slope steep.
+        assert i_d[-1] == pytest.approx(i_d[-2], rel=1e-6)
+        assert i_d[2] < 0.9 * i_d[-1]
+
+    def test_rejects_non_source(self):
+        ckt = diode_circuit()
+        with pytest.raises(TypeError):
+            dc_sweep(ckt, "R1", [1.0])
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            dc_sweep(diode_circuit(), "V1", [])
+
+    def test_len(self):
+        res = dc_sweep(diode_circuit(), "V1", [0, 1, 2])
+        assert len(res) == 3
+
+
+class TestReport:
+    def test_report_contains_nodes_and_currents(self):
+        ckt = diode_circuit()
+        op = dc_operating_point(ckt)
+        text = operating_point_report(op, currents_of=["D1", "V1"])
+        assert "V(d)" in text
+        assert "I(D1)" in text
+        assert "I(V1)" in text

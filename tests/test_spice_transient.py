@@ -1,0 +1,209 @@
+"""Transient-analysis tests against closed-form circuit responses."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, dc_source as dc_src, sine, square, transient
+
+
+def rc_charge_circuit(vstep=1.0, r=1e3, c=1e-6):
+    ckt = Circuit("rc")
+    ckt.add_vsource("V1", "in", "0", vstep)
+    ckt.add_resistor("R1", "in", "out", r)
+    ckt.add_capacitor("C1", "out", "0", c, ic=0.0)
+    return ckt
+
+
+class TestLinearTransient:
+    @pytest.mark.parametrize("method", ["be", "trap"])
+    def test_rc_step_response(self, method):
+        r, c = 1e3, 1e-6
+        tau = r * c
+        ckt = rc_charge_circuit(r=r, c=c)
+        res = transient(ckt, t_stop=5 * tau, dt=tau / 100,
+                        method=method, use_ic=True)
+        vout = res.voltage("out")
+        expected = 1.0 - np.exp(-vout.t / tau)
+        tol = 0.002 if method == "trap" else 0.02
+        assert np.max(np.abs(vout.v - expected)) < tol
+
+    def test_rc_final_value(self):
+        ckt = rc_charge_circuit(vstep=2.75)
+        res = transient(ckt, t_stop=10e-3, dt=10e-6, use_ic=True)
+        assert res.voltage("out").v[-1] == pytest.approx(2.75, rel=1e-3)
+
+    def test_rl_current_rise(self):
+        r, l = 10.0, 1e-3
+        tau = l / r
+        ckt = Circuit("rl")
+        ckt.add_vsource("V1", "in", "0", 1.0)
+        ckt.add_resistor("R1", "in", "a", r)
+        ckt.add_inductor("L1", "a", "0", l)
+        res = transient(ckt, t_stop=5 * tau, dt=tau / 100, use_ic=True)
+        i = res.branch_current("L1")
+        expected = (1.0 / r) * (1.0 - np.exp(-i.t / tau))
+        assert np.max(np.abs(i.v - expected)) < 0.01 / r
+
+    def test_lc_resonance_frequency(self):
+        """Undriven LC tank rings at f0 = 1/(2*pi*sqrt(LC))."""
+        l, c = 10e-6, 100e-12  # f0 ~ 5.03 MHz (the paper's band)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(l * c))
+        ckt = Circuit("lc")
+        ckt.add_capacitor("C1", "a", "0", c, ic=1.0)
+        ckt.add_inductor("L1", "a", "0", l)
+        ckt.add_resistor("Rbig", "a", "0", 1e9)  # keeps matrix regular
+        res = transient(ckt, t_stop=10 / f0, dt=1 / (f0 * 200),
+                        method="trap", use_ic=True)
+        v = res.voltage("a")
+        # Count zero crossings: 2 per period.
+        crossings = np.sum(np.diff(np.sign(v.v)) != 0)
+        periods = crossings / 2.0
+        measured_f0 = periods / v.duration
+        assert measured_f0 == pytest.approx(f0, rel=0.02)
+
+    def test_trap_energy_conservation_lc(self):
+        """Trapezoidal integration conserves LC tank energy to ~0.1%."""
+        l, c = 1e-3, 1e-6
+        ckt = Circuit("lc_energy")
+        ckt.add_capacitor("C1", "a", "0", c, ic=1.0)
+        ckt.add_inductor("L1", "a", "0", l)
+        ckt.add_resistor("Rbig", "a", "0", 1e12)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(l * c))
+        res = transient(ckt, t_stop=5 / f0, dt=1 / (f0 * 400),
+                        method="trap", use_ic=True)
+        v = res.voltage("a").v
+        i = res.branch_current("L1").v
+        energy = 0.5 * c * v**2 + 0.5 * l * i**2
+        assert np.max(np.abs(energy - energy[0])) / energy[0] < 2e-3
+
+    def test_sine_steady_state_amplitude(self):
+        """RC low-pass driven at its corner: |H| = 1/sqrt(2)."""
+        r, c = 1e3, 1e-6
+        fc = 1.0 / (2 * np.pi * r * c)
+        ckt = Circuit("rc_sine")
+        ckt.add_vsource("V1", "in", "0", sine(1.0, fc))
+        ckt.add_resistor("R1", "in", "out", r)
+        ckt.add_capacitor("C1", "out", "0", c)
+        res = transient(ckt, t_stop=20 / fc, dt=1 / (fc * 200), use_ic=True)
+        tail = res.voltage("out").clip_time(10 / fc, 20 / fc)
+        amplitude = 0.5 * tail.peak_to_peak()
+        assert amplitude == pytest.approx(1 / np.sqrt(2), rel=0.02)
+
+    def test_transformer_voltage_ratio(self):
+        """Tightly coupled 1:2 transformer steps voltage up by ~2."""
+        ckt = Circuit("xfmr")
+        ckt.add_vsource("V1", "in", "0", sine(1.0, 1e5))
+        ckt.add_resistor("Rs", "in", "p", 1.0)
+        l1 = ckt.add_inductor("L1", "p", "0", 1e-3)
+        l2 = ckt.add_inductor("L2", "s", "0", 4e-3)  # n = sqrt(L2/L1) = 2
+        ckt.add_coupling("K1", l1, l2, 0.9999)
+        ckt.add_resistor("RL", "s", "0", 10e3)
+        res = transient(ckt, t_stop=100e-6, dt=0.05e-6, use_ic=True)
+        tail_in = res.voltage("p").clip_time(50e-6, 100e-6)
+        tail_out = res.voltage("s").clip_time(50e-6, 100e-6)
+        ratio = tail_out.peak_to_peak() / tail_in.peak_to_peak()
+        assert ratio == pytest.approx(2.0, rel=0.03)
+
+    def test_store_every_decimates_output(self):
+        ckt = rc_charge_circuit()
+        res_full = transient(ckt, t_stop=1e-3, dt=1e-6, use_ic=True)
+        ckt2 = rc_charge_circuit()
+        res_dec = transient(ckt2, t_stop=1e-3, dt=1e-6, use_ic=True,
+                            store_every=10)
+        assert len(res_dec.t) < len(res_full.t) / 5
+        # Same physics on shared time points.
+        assert res_dec.voltage("out").v[-1] == pytest.approx(
+            res_full.voltage("out").v[-1], rel=1e-6)
+
+
+class TestNonlinearTransient:
+    def test_halfwave_rectifier(self):
+        """Peak detector: output settles near Vpeak - Vdiode."""
+        ckt = Circuit("halfwave")
+        ckt.add_vsource("V1", "in", "0", sine(3.0, 1e5))
+        ckt.add_diode("D1", "in", "out")
+        ckt.add_capacitor("C1", "out", "0", 1e-6)
+        ckt.add_resistor("RL", "out", "0", 1e6)
+        res = transient(ckt, t_stop=200e-6, dt=0.1e-6, use_ic=True)
+        v_final = res.voltage("out").v[-1]
+        assert 2.2 < v_final < 2.9
+
+    def test_rectifier_output_never_negative(self):
+        ckt = Circuit("hw2")
+        ckt.add_vsource("V1", "in", "0", sine(2.0, 1e6))
+        ckt.add_diode("D1", "in", "out")
+        ckt.add_capacitor("C1", "out", "0", 100e-9)
+        ckt.add_resistor("RL", "out", "0", 10e3)
+        res = transient(ckt, t_stop=20e-6, dt=0.02e-6, use_ic=True)
+        assert res.voltage("out").min() > -0.05
+
+    def test_diode_clamp_limits_voltage(self):
+        """Series stack of clamping diodes caps the output (paper's
+        rectifier uses 4 clamps for Vo <= 3 V)."""
+        ckt = Circuit("clamp")
+        ckt.add_vsource("V1", "in", "0", sine(10.0, 1e5))
+        ckt.add_resistor("Rs", "in", "out", 100.0)
+        previous = "out"
+        for k in range(4):
+            nxt = "0" if k == 3 else f"m{k}"
+            ckt.add_diode(f"DC{k}", previous, nxt, i_s=1e-12)
+            previous = nxt
+        res = transient(ckt, t_stop=40e-6, dt=0.05e-6, use_ic=True)
+        # Four diode drops at high current ~= 0.75 each -> clamps near 3 V.
+        assert res.voltage("out").max() < 3.4
+
+    def test_nmos_switch_inverter(self):
+        """NMOS with resistive load inverts a square gate drive."""
+        ckt = Circuit("inv")
+        ckt.add_vsource("VDD", "vdd", "0", 3.0)
+        ckt.add_vsource("VG", "g", "0", square(0.0, 3.0, 1e5))
+        ckt.add_resistor("RD", "vdd", "d", 10e3)
+        ckt.add_mosfet("M1", "d", "g", "0", vto=0.5, kp=500e-6, w=50e-6, l=1e-6)
+        res = transient(ckt, t_stop=30e-6, dt=0.05e-6, use_ic=True)
+        v_d = res.voltage("d")
+        v_g = res.voltage("g")
+        # When gate is fully high the drain is pulled low and vice versa
+        # (samples inside the gate transition are excluded).
+        gate_high = v_g.v > 2.5
+        gate_low = v_g.v < 0.5
+        assert np.all(v_d.v[gate_high] < 0.5)
+        assert np.all(v_d.v[gate_low] > 2.5)
+
+    def test_switch_chops_signal(self):
+        ckt = Circuit("chop")
+        ckt.add_vsource("V1", "in", "0", 1.0)
+        ckt.add_vsource("VC", "c", "0", square(0.0, 1.0, 1e5))
+        ckt.add_resistor("R1", "in", "a", 1e3)
+        ckt.add_switch("S1", "a", "0", "c", "0", r_on=1.0)
+        res = transient(ckt, t_stop=30e-6, dt=0.1e-6, use_ic=True)
+        v_a = res.voltage("a")
+        assert v_a.max() > 0.95
+        assert v_a.min() < 0.01
+
+
+class TestTransientValidation:
+    def test_rejects_bad_method(self):
+        with pytest.raises(ValueError, match="method"):
+            transient(rc_charge_circuit(), 1e-3, 1e-6, method="euler")
+
+    def test_rejects_bad_times(self):
+        with pytest.raises(ValueError):
+            transient(rc_charge_circuit(), t_stop=0.0, dt=1e-6)
+        with pytest.raises(ValueError):
+            transient(rc_charge_circuit(), t_stop=1e-3, dt=-1.0)
+
+    def test_callback_sees_every_step(self):
+        seen = []
+        ckt = rc_charge_circuit()
+        transient(ckt, t_stop=1e-4, dt=1e-6, use_ic=True,
+                  callback=lambda t, x: seen.append(t))
+        assert len(seen) == 100
+        assert seen == sorted(seen)
+
+    def test_device_current_waveform(self):
+        ckt = rc_charge_circuit(vstep=1.0, r=1e3, c=1e-6)
+        res = transient(ckt, t_stop=5e-3, dt=5e-6, use_ic=True)
+        i_r = res.device_current("R1")
+        # Initial current ~ V/R, final ~ 0.
+        assert i_r.v[1] == pytest.approx(1e-3, rel=0.05)
+        assert abs(i_r.v[-1]) < 1e-5

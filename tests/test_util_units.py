@@ -1,0 +1,152 @@
+"""Tests for engineering-notation helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    clamp,
+    db10,
+    db20,
+    format_eng,
+    from_db10,
+    from_db20,
+    parse_eng,
+    require_in_range,
+    require_positive,
+)
+
+
+class TestParseEng:
+    def test_plain_number(self):
+        assert parse_eng("42") == 42.0
+
+    def test_float_passthrough(self):
+        assert parse_eng(1.5e-6) == 1.5e-6
+
+    def test_int_passthrough(self):
+        assert parse_eng(3) == 3.0
+
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("15m", 15e-3),
+            ("150n", 150e-9),
+            ("4.7u", 4.7e-6),
+            ("4.7µ", 4.7e-6),
+            ("2.2p", 2.2e-12),
+            ("1k", 1e3),
+            ("1K", 1e3),
+            ("5MEG", 5e6),
+            ("5meg", 5e6),
+            ("3G", 3e9),
+            ("1f", 1e-15),
+        ],
+    )
+    def test_prefixes(self, text, value):
+        assert parse_eng(text) == pytest.approx(value)
+
+    @pytest.mark.parametrize(
+        "text,value",
+        [("150 nF", 150e-9), ("2.75 V", 2.75), ("650mV", 0.65), ("5 MHz", 5e6)],
+    )
+    def test_with_units(self, text, value):
+        assert parse_eng(text) == pytest.approx(value)
+
+    def test_scientific(self):
+        assert parse_eng("1.5e-6") == pytest.approx(1.5e-6)
+
+    def test_negative(self):
+        assert parse_eng("-3.3m") == pytest.approx(-3.3e-3)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1..2", "--3", "e5"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_eng(bad)
+
+
+class TestFormatEng:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (1.5e-7, "150 nF"),
+            (0.015, "15 mF"),
+            (1e3, "1 kF"),
+            (2.2e-12, "2.2 pF"),
+        ],
+    )
+    def test_basic(self, value, expected):
+        assert format_eng(value, "F") == expected
+
+    def test_zero(self):
+        assert format_eng(0, "V") == "0 V"
+
+    def test_no_unit(self):
+        assert format_eng(5e6) == "5 M"
+
+    def test_nan(self):
+        assert format_eng(float("nan"), "V") == "nan V"
+
+    def test_negative(self):
+        assert format_eng(-3.3e-3, "A") == "-3.3 mA"
+
+    @given(st.floats(min_value=1e-14, max_value=1e11))
+    def test_roundtrip(self, value):
+        text = format_eng(value, digits=12)
+        assert parse_eng(text) == pytest.approx(value, rel=1e-9)
+
+
+class TestDecibels:
+    def test_db10(self):
+        assert db10(100) == pytest.approx(20.0)
+
+    def test_db20(self):
+        assert db20(10) == pytest.approx(20.0)
+
+    def test_db10_roundtrip(self):
+        assert from_db10(db10(7.3)) == pytest.approx(7.3)
+
+    def test_db20_roundtrip(self):
+        assert from_db20(db20(0.02)) == pytest.approx(0.02)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            db10(0)
+        with pytest.raises(ValueError):
+            db20(-1)
+
+    @given(st.floats(min_value=1e-10, max_value=1e10))
+    def test_db20_is_twice_db10(self, ratio):
+        assert db20(ratio) == pytest.approx(2 * db10(ratio), rel=1e-12)
+
+
+class TestValidation:
+    def test_clamp_inside(self):
+        assert clamp(0.5, 0, 1) == 0.5
+
+    def test_clamp_edges(self):
+        assert clamp(-2, 0, 1) == 0
+        assert clamp(9, 0, 1) == 1
+
+    def test_clamp_bad_interval(self):
+        with pytest.raises(ValueError):
+            clamp(0, 2, 1)
+
+    def test_require_positive_ok(self):
+        assert require_positive(3.0, "x") == 3.0
+
+    def test_require_positive_rejects(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive(0.0, "x")
+
+    def test_require_in_range(self):
+        assert require_in_range(0.5, 0, 1, "d") == 0.5
+        with pytest.raises(ValueError):
+            require_in_range(1.5, 0, 1, "d")
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.floats(min_value=-100, max_value=0),
+           st.floats(min_value=0, max_value=100))
+    def test_clamp_always_in_bounds(self, value, lo, hi):
+        assert lo <= clamp(value, lo, hi) <= hi

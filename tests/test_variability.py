@@ -1,0 +1,126 @@
+"""Tests for the Monte-Carlo engine and the corner studies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.variability import (
+    MonteCarlo,
+    ParameterSpread,
+    YieldResult,
+    ask_margin_study,
+    charge_time_study,
+    vox_accuracy_study,
+)
+
+
+class TestParameterSpread:
+    def test_gauss_sampling_statistics(self):
+        spread = ParameterSpread("x", 10.0, 0.5)
+        rng = np.random.default_rng(0)
+        samples = np.array([spread.sample(rng) for _ in range(4000)])
+        assert samples.mean() == pytest.approx(10.0, abs=0.05)
+        assert samples.std() == pytest.approx(0.5, rel=0.1)
+
+    def test_uniform_bounded(self):
+        spread = ParameterSpread("x", 5.0, 1.0, distribution="uniform")
+        rng = np.random.default_rng(1)
+        samples = [spread.sample(rng) for _ in range(500)]
+        assert all(4.0 <= s <= 6.0 for s in samples)
+
+    def test_relative_sigma(self):
+        spread = ParameterSpread("x", 100.0, 0.05, relative=True)
+        rng = np.random.default_rng(2)
+        samples = np.array([spread.sample(rng) for _ in range(4000)])
+        assert samples.std() == pytest.approx(5.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterSpread("x", 1.0, -0.1)
+        with pytest.raises(ValueError):
+            ParameterSpread("x", 1.0, 0.1, distribution="cauchy")
+
+
+class TestMonteCarlo:
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            MonteCarlo([ParameterSpread("a", 1, 0.1),
+                        ParameterSpread("a", 2, 0.1)])
+        with pytest.raises(ValueError):
+            MonteCarlo([])
+
+    def test_run_collects_metrics(self):
+        mc = MonteCarlo([ParameterSpread("a", 2.0, 0.1)], seed=3)
+        out = mc.run(lambda p: {"double": 2 * p["a"]}, n_samples=50)
+        assert out["double"].shape == (50,)
+        assert out["double"].mean() == pytest.approx(4.0, abs=0.1)
+
+    def test_seed_reproducibility(self):
+        def eval_(p):
+            return {"a": p["a"]}
+
+        a = MonteCarlo([ParameterSpread("a", 1, 0.2)], seed=7).run(
+            eval_, 20)
+        b = MonteCarlo([ParameterSpread("a", 1, 0.2)], seed=7).run(
+            eval_, 20)
+        assert np.array_equal(a["a"], b["a"])
+
+    def test_yield_analysis_limits(self):
+        mc = MonteCarlo([ParameterSpread("a", 0.0, 1.0)], seed=4)
+        res = mc.yield_analysis(lambda p: {"a": p["a"]},
+                                {"a": (-1.0, 1.0)}, n_samples=2000)
+        # P(|N(0,1)| < 1) ~ 0.68.
+        assert res["a"].yield_fraction == pytest.approx(0.68, abs=0.05)
+
+    def test_yield_result_properties(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        r = YieldResult("m", samples, 1.5, None)
+        assert r.mean == pytest.approx(2.5)
+        assert r.worst_low == 1.0
+        assert r.worst_high == 4.0
+        assert r.yield_fraction == pytest.approx(0.75)
+        assert r.sigma_margin() > 0
+
+    def test_sigma_margin_unconstrained(self):
+        r = YieldResult("m", np.array([1.0, 2.0]), None, None)
+        assert r.sigma_margin() == float("inf")
+
+    @given(st.floats(min_value=-2.0, max_value=2.0))
+    @settings(max_examples=20)
+    def test_yield_fraction_is_probability(self, lo):
+        r = YieldResult("m", np.random.default_rng(0).normal(0, 1, 100),
+                        lo, lo + 1.0)
+        assert 0.0 <= r.yield_fraction <= 1.0
+
+
+class TestStudies:
+    def test_vox_accuracy_yield(self):
+        """650 mV +/- 30 mV across corners: the bandgap pair holds."""
+        res = vox_accuracy_study(n_samples=250)
+        vox = res["vox_mv"]
+        assert vox.mean == pytest.approx(650.0, abs=5.0)
+        assert vox.yield_fraction > 0.9
+
+    def test_charge_time_yield(self):
+        """Charging stays under 500 us and equilibrium inside limits."""
+        res = charge_time_study(n_samples=80)
+        assert res["charge_time_us"].yield_fraction > 0.9
+        assert res["v_equilibrium"].yield_fraction > 0.9
+
+    def test_charge_time_sensible_center(self):
+        res = charge_time_study(n_samples=80)
+        assert 150 < res["charge_time_us"].mean < 450
+
+    def test_ask_margin_yield(self):
+        """The demodulator's decision margin survives corners."""
+        res = ask_margin_study(n_samples=200)
+        margin = res["margin_frac"]
+        assert margin.mean > 0.1
+        assert margin.yield_fraction > 0.8
+        assert margin.worst_low > 0.0  # always decidable
+
+    def test_summary_rows_shape(self):
+        res = vox_accuracy_study(n_samples=50)
+        row = res["vox_mv"].summary_row()
+        assert len(row) == 6
+        assert row[0] == "vox_mv"
