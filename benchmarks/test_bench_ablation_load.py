@@ -58,28 +58,30 @@ def test_bench_load_sweep(once):
 def test_bench_regulator_dropout_ablation(once):
     """Ablation: the 2.1 V rule against the dropout budget — a lower-
     dropout regulator relaxes the minimum rectifier voltage and buys
-    operating distance."""
-    from repro.power import LowDropoutRegulator, RectifierEnvelopeModel
+    operating distance.  All four dropout variants bisect in lock-step
+    through one vectorized ScenarioBatch."""
+    from repro.engine import Scenario, ScenarioBatch
+    from repro.power import LowDropoutRegulator
 
     def sweep():
-        rows = []
-        for dropout in (0.1, 0.2, 0.3, 0.4):
-            ldo = LowDropoutRegulator(dropout=dropout)
-            v_min = ldo.v_in_min
-            # Smallest constant input power that settles above v_min
-            # with the low-power load.
-            model = RectifierEnvelopeModel()
-            p_lo, p_hi = 0.1e-3, 10e-3
-            for _ in range(30):
-                p_mid = 0.5 * (p_lo + p_hi)
-                trace = model.simulate(lambda t: p_mid,
-                                       lambda t: 352e-6, 1.2e-3)
-                if trace.v_out.v[-1] >= v_min:
-                    p_hi = p_mid
-                else:
-                    p_lo = p_mid
-            rows.append((dropout, v_min, p_hi))
-        return rows
+        dropouts = (0.1, 0.2, 0.3, 0.4)
+        v_min = np.array([LowDropoutRegulator(dropout=d).v_in_min
+                          for d in dropouts])
+        batch = ScenarioBatch([Scenario(distance=10e-3, i_load=352e-6)
+                               for _ in dropouts])
+        # Smallest constant input power that settles above each v_min
+        # with the low-power load: one bisection per dropout, all four
+        # integrated as a single batch per iteration.
+        p_lo = np.full(len(dropouts), 0.1e-3)
+        p_hi = np.full(len(dropouts), 10e-3)
+        for _ in range(30):
+            p_mid = 0.5 * (p_lo + p_hi)
+            v_final = batch.run_envelope(p_mid, 1.2e-3).v_final
+            settled = v_final >= v_min
+            p_hi = np.where(settled, p_mid, p_hi)
+            p_lo = np.where(settled, p_lo, p_mid)
+        return [(d, float(v), float(p))
+                for d, v, p in zip(dropouts, v_min, p_hi)]
 
     rows = once(sweep)
     report("Regulator dropout vs required carrier power",

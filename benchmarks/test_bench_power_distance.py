@@ -56,6 +56,37 @@ def test_bench_power_vs_distance(once):
     assert 8 < p6 / p17_air < 20
 
 
+def test_bench_batched_rail_map(once):
+    """Extension, through the engine's ScenarioBatch: the distance sweep
+    re-expressed as rail outcomes — at which separations does the
+    unregulated 5-to-15 mW envelope still settle above the 2.1 V rule?"""
+    from repro.engine import ScenarioBatch
+
+    def sweep():
+        air = RemotePoweringSystem(distance=10e-3)
+        distances = np.arange(6e-3, 20e-3, 2e-3)
+        powers = np.array([air.available_power(d) for d in distances])
+        batch = ScenarioBatch.from_grid(distances, [352e-6])
+        env = batch.run_envelope(powers, t_stop=1.2e-3)
+        charge = batch.charge_times(powers, PAPER.fig11_charge_voltage)
+        return distances, powers, env.v_final, charge
+
+    distances, powers, v_final, charge = once(sweep)
+    report("Rail outcome vs distance (352 uA load, batched)",
+           [(d * 1e3, p * 1e3, v, t * 1e6 if np.isfinite(t) else "never")
+            for d, p, v, t in zip(distances, powers, v_final, charge)],
+           header=["d (mm)", "P (mW)", "Vo equil (V)", "t_2.75V (us)"])
+    # Equilibrium falls monotonically with distance, and the clamp pins
+    # the near positions at its ceiling.
+    assert all(a >= b - 1e-9 for a, b in zip(v_final, v_final[1:]))
+    assert v_final[0] > 2.9
+    # The paper's operating point (10 mm) both charges in time and
+    # regulates; far positions eventually fail the 2.1 V rule.
+    k10 = int(np.argmin(np.abs(distances - 10e-3)))
+    assert np.isfinite(charge[k10]) and charge[k10] < 500e-6
+    assert v_final[-1] < PAPER.v_rect_minimum
+
+
 def test_bench_misalignment(once):
     """Extension: lateral offset sensitivity at the 10 mm depth."""
     system = RemotePoweringSystem(distance=10e-3)

@@ -12,6 +12,8 @@ A simulation library for remotely-powered implantable biosensors:
 * :mod:`repro.adc`       — 14-bit second-order sigma-delta converter
 * :mod:`repro.sensor`    — enzyme electrode, potentiostat, bandgaps
 * :mod:`repro.patch`     — the external IronIC patch (battery, bluetooth)
+* :mod:`repro.engine`    — the unified discrete-time simulation core and
+  the vectorized :class:`~repro.engine.scenario.ScenarioBatch` runner
 * :mod:`repro.core`      — the integrated system and paper constants
 
 Quickstart::

@@ -8,6 +8,7 @@ terminal.
     python -m repro.cli battery
     python -m repro.cli classe
     python -m repro.cli anchors
+    python -m repro.cli sweep --distances 8 12 16 --loads-ua 352 1302
 """
 
 from __future__ import annotations
@@ -122,6 +123,37 @@ def cmd_measure(args):
     return 0
 
 
+def cmd_sweep(args):
+    from repro import RemotePoweringSystem
+    from repro.core import AdaptivePowerController
+    from repro.engine import ScenarioBatch
+
+    system = RemotePoweringSystem(distance=10e-3)
+    controller = AdaptivePowerController()
+    distances = [d * 1e-3 for d in args.distances]
+    loads = [i * 1e-6 for i in args.loads_ua]
+    batch = ScenarioBatch.from_grid(distances, loads,
+                                    duty_cycle=args.duty)
+    result = batch.run_control(system, controller,
+                               t_stop=args.t_stop * 1e-3)
+    frac, v_min, v_max, drive = result.regulation_statistics()
+    implant_load = system.implant.load_current(measuring=False)
+    rows = []
+    for i, sc in enumerate(batch.scenarios):
+        i_load = implant_load if sc.i_load is None else sc.i_load
+        rows.append((sc.distance_at(0.0) * 1e3,
+                     i_load * 1e6, frac[i], v_min[i],
+                     v_max[i], drive[i],
+                     "OK" if frac[i] > 0.9 else "MARGINAL"))
+    _print_table(
+        f"Batched control sweep ({len(batch)} scenarios, "
+        f"{result.times.size} control steps, duty={args.duty:g})",
+        rows,
+        ["d (mm)", "I_load (uA)", "in-window", "min Vo", "max Vo",
+         "mean drive", "verdict"])
+    return 0
+
+
 def cmd_list(_args):
     print("Available experiments:")
     for name, func in sorted(_COMMANDS.items()):
@@ -138,6 +170,7 @@ _COMMANDS = {
     "classe": cmd_classe,
     "anchors": cmd_anchors,
     "measure": cmd_measure,
+    "sweep": cmd_sweep,
     "list": cmd_list,
 }
 
@@ -148,6 +181,7 @@ cmd_battery.__doc__ = "patch battery life (E4)"
 cmd_classe.__doc__ = "class-E design + simulation (E7)"
 cmd_anchors.__doc__ = "every quantitative claim of the paper"
 cmd_measure.__doc__ = "run one remote measurement"
+cmd_sweep.__doc__ = "batched distance x load control sweep (engine)"
 cmd_list.__doc__ = "this list"
 
 
@@ -169,6 +203,19 @@ def build_parser():
                            help="coil separation in mm")
             p.add_argument("--concentration", type=float, default=0.8,
                            help="lactate concentration in mM")
+        if name == "sweep":
+            p.add_argument("--distances", type=float, nargs="+",
+                           default=[6.0, 8.0, 10.0, 12.0, 14.0, 16.0,
+                                    18.0, 20.0],
+                           help="coil separations in mm")
+            p.add_argument("--loads-ua", type=float, nargs="+",
+                           default=[200.0, 352.0, 500.0, 650.0, 800.0,
+                                    1000.0, 1150.0, 1302.0],
+                           help="implant load currents in uA")
+            p.add_argument("--t-stop", type=float, default=60.0,
+                           help="control-loop duration in ms")
+            p.add_argument("--duty", type=float, default=1.0,
+                           help="carrier duty cycle in (0, 1]")
     return parser
 
 

@@ -10,7 +10,11 @@ power-vs-distance behaviour.
 from repro.core.config import PaperConstants, PAPER
 from repro.core.implant import ImplantDevice, ImplantState
 from repro.core.system import RemotePoweringSystem, Fig11Result
-from repro.core.control import AdaptivePowerController, ControlStep
+from repro.core.control import (
+    AdaptivePowerController,
+    ControlStep,
+    RegulationWindowError,
+)
 
 __all__ = [
     "PaperConstants",
@@ -21,4 +25,5 @@ __all__ = [
     "Fig11Result",
     "AdaptivePowerController",
     "ControlStep",
+    "RegulationWindowError",
 ]

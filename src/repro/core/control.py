@@ -16,9 +16,33 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.config import PAPER
+from repro.engine.core import SimulationEngine
+from repro.engine.components import (
+    AdaptiveDrive,
+    ConstantSource,
+    SignalSource,
+    SubsteppedRail,
+    TelemetryControl,
+)
 from repro.power import RectifierEnvelopeModel
 from repro.util import require_in_range, require_positive
+
+
+class RegulationWindowError(ValueError):
+    """Raised when a control run is too short to evaluate its
+    post-settling regulation statistics.  Run the loop for more update
+    periods or lower ``settle_fraction``."""
+
+    @classmethod
+    def for_run(cls, n_steps, settle_fraction):
+        """The shared guard message (scalar and batch paths)."""
+        return cls(
+            f"run of {n_steps} step(s) has no samples after the settle "
+            f"window (settle_fraction={settle_fraction}); run the loop "
+            "for more update periods or lower settle_fraction")
 
 
 @dataclass
@@ -65,8 +89,12 @@ class AdaptivePowerController:
 
     def quantize_telemetry(self, v_rect):
         """The implant-side Vo report (quantized to telemetry_bits
-        over 0-3.3 V)."""
+        over 0-3.3 V).  Accepts a scalar or a numpy array (both round
+        half-to-even), so batch runners share this exact quantizer."""
         full = (1 << self.telemetry_bits) - 1
+        if isinstance(v_rect, np.ndarray):
+            code = np.round(np.clip(v_rect, 0.0, 3.3) / 3.3 * full)
+            return code / full * 3.3
         code = round(max(0.0, min(v_rect, 3.3)) / 3.3 * full)
         return code / full * 3.3
 
@@ -74,7 +102,21 @@ class AdaptivePowerController:
         """The control law: bang-bang with a dead zone, plus an urgency
         boost — when the rail is far below the window (an abrupt
         coupling loss) the step size grows up to 4x so recovery beats
-        the storage capacitor's discharge time constant."""
+        the storage capacitor's discharge time constant.
+
+        Elementwise over numpy arrays (one scale/report per scenario),
+        so ``ScenarioBatch.run_control`` applies this law, not a copy.
+        """
+        if isinstance(v_reported, np.ndarray) \
+                or isinstance(current_scale, np.ndarray):
+            urgency = 1.0 + 3.0 * np.minimum(
+                1.0, (self.v_low - v_reported) / self.v_low)
+            raised = current_scale * (1.0 + self.step_ratio * urgency)
+            lowered = current_scale * (1.0 - self.step_ratio)
+            scale = np.where(v_reported < self.v_low, raised,
+                             np.where(v_reported > self.v_high,
+                                      lowered, current_scale))
+            return np.clip(scale, self.min_scale, self.max_scale)
         if v_reported < self.v_low:
             urgency = 1.0 + 3.0 * min(
                 1.0, (self.v_low - v_reported) / self.v_low)
@@ -93,50 +135,54 @@ class AdaptivePowerController:
         (used for its link and calibrated drive); ``distance_profile(t)``
         returns the coil separation at time t.  Power scales as the
         drive current squared.  Returns a list of :class:`ControlStep`.
+
+        The loop runs on the shared
+        :class:`~repro.engine.core.SimulationEngine`: a distance source,
+        the drive stage, the substepped stiff rail integrator (the clamp
+        chain's exponential I(V) would destabilise coarse forward Euler,
+        so the rail is advanced with 128 pinned substeps per period),
+        and the telemetry/control-law update, stepped in that order on
+        the telemetry clock.
         """
         rectifier = rectifier or RectifierEnvelopeModel()
         i_load = system.implant.load_current(measuring=False)
-        scale = 1.0
-        v_rect = v0
-        steps = []
-        t = 0.0
-        n = max(1, int(round(t_stop / self.update_period)))
-        # The clamp chain's exponential I(V) is stiff: integrate with
-        # fine substeps and pin the rail at the clamp's physical ceiling
-        # so forward Euler cannot overshoot into instability.
-        n_sub = 128
-        dt_inner = self.update_period / n_sub
-        v_ceiling = rectifier.clamp_voltage + 0.15
-        for _ in range(n):
-            d = float(distance_profile(t))
-            p = system.link.available_power(
-                system.i_tx * scale, d)
-            # Integrate the rail over one update period.
-            for _ in range(n_sub):
-                i_rect = rectifier.rectified_current(p, v_rect)
-                i_clamp = rectifier.clamp_current(v_rect)
-                v_rect += ((i_rect - i_load - i_clamp) * dt_inner
-                           / rectifier.c_out)
-                v_rect = min(max(v_rect, 0.0), v_ceiling)
-            v_rep = self.quantize_telemetry(v_rect)
-            new_scale = self.next_scale(scale, v_rep)
-            steps.append(ControlStep(
-                time=t, distance=d, v_rect=v_rect, v_reported=v_rep,
-                drive_scale=scale, p_delivered=p,
-                saturated=(new_scale in (self.min_scale,
-                                         self.max_scale)),
-            ))
-            scale = new_scale
-            t += self.update_period
-        return steps
+        engine = SimulationEngine.sampled(t_stop, self.update_period)
+        engine.add(SignalSource("distance", distance_profile))
+        drive = engine.add(AdaptiveDrive(system.link.available_power,
+                                         system.i_tx))
+        engine.add(ConstantSource("i_load", i_load))
+        engine.add(SubsteppedRail(rectifier, v0=v0,
+                                  period=self.update_period))
+        engine.add(TelemetryControl(self, drive))
+        result = engine.run()
+        return [
+            ControlStep(
+                time=float(result.t[k]),
+                distance=float(result["distance"][k]),
+                v_rect=float(result["v_rect"][k]),
+                v_reported=float(result["v_reported"][k]),
+                drive_scale=float(result["drive_scale"][k]),
+                p_delivered=float(result["p_delivered"][k]),
+                saturated=bool(result["saturated"][k]),
+            )
+            for k in range(result.t.size)
+        ]
 
     @staticmethod
     def regulation_statistics(steps, settle_fraction=0.3):
         """(fraction in window, min Vo, max Vo, mean drive) over the
-        post-settling portion of a run."""
+        post-settling portion of a run.
+
+        Raises :class:`RegulationWindowError` (a ``ValueError``) when
+        the run leaves no samples after the settle window, with guidance
+        on how to fix the call.
+        """
+        if not 0.0 <= settle_fraction <= 1.0:
+            raise ValueError("settle_fraction must be in [0, 1]")
         tail = steps[int(len(steps) * settle_fraction):]
         if not tail:
-            raise ValueError("run too short for statistics")
+            raise RegulationWindowError.for_run(len(steps),
+                                                settle_fraction)
         v = [s.v_rect for s in tail]
         in_window = [s for s in tail
                      if PAPER.v_rect_minimum <= s.v_rect <= 3.3]

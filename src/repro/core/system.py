@@ -20,6 +20,13 @@ from repro.comms import (
 )
 from repro.core.config import PAPER
 from repro.core.implant import ImplantDevice
+from repro.engine.core import SimulationEngine
+from repro.engine.components import (
+    AskPowerSource,
+    ConstantSource,
+    RectifierRail,
+    SignalSource,
+)
 from repro.link import (
     CircularSpiral,
     InductiveLink,
@@ -164,21 +171,30 @@ class RemotePoweringSystem:
         t_ul = PAPER.fig11_uplink_start
         t_bit = 1.0 / PAPER.downlink_bit_rate
 
-        def p_in(t):
-            k = int((t - t_dl) / t_bit)
-            if 0 <= k < len(downlink_bits):
-                return (PAPER.power_ask_high if downlink_bits[k]
-                        else PAPER.power_ask_low)
-            return PAPER.power_matched_10mm
-
+        # The rail dynamics assembled on the shared simulation engine:
+        # ASK downlink power schedule + LSK short schedule + envelope
+        # rail, with the timeline landmarks as scheduled marker events.
         shorted = self.lsk_mod.shorted_func(uplink_bits, start_time=t_ul)
         i_load = self.implant.load_current(measuring=False)
-        trace = self.implant.rectifier.simulate(
-            p_in, lambda t: i_load, t_stop, dt=dt,
-            shorted_func=shorted)
+        engine = SimulationEngine.uniform(t_stop, dt)
+        engine.add(AskPowerSource(
+            downlink_bits, PAPER.downlink_bit_rate,
+            power_high=PAPER.power_ask_high, power_low=PAPER.power_ask_low,
+            power_idle=PAPER.power_matched_10mm, start_time=t_dl))
+        engine.add(ConstantSource("i_load", i_load))
+        engine.add(SignalSource("shorted", shorted, cast=bool,
+                                trace=False))
+        engine.add(RectifierRail(self.implant.rectifier, v0=0.0))
+        engine.schedule(t_dl, "downlink start")
+        engine.schedule(t_dl + len(downlink_bits) * t_bit, "downlink end")
+        engine.schedule(t_ul, "uplink start")
+        engine.schedule(
+            t_ul + len(uplink_bits) * self.lsk_mod.bit_period, "uplink end")
+        sim = engine.run()
+        v_out = sim.waveform("v_rect")
 
         # Charge anchor.
-        crossings = crossing_times(trace.v_out, PAPER.fig11_charge_voltage,
+        crossings = crossing_times(v_out, PAPER.fig11_charge_voltage,
                                    "rising")
         charge_time = float(crossings[0]) if crossings.size else float("nan")
 
@@ -197,18 +213,12 @@ class RemotePoweringSystem:
             i_sense, len(uplink_bits), t_ul,
             bit_rate=self.lsk_mod.bit_rate)
 
-        v_min = trace.v_out.clip_time(
+        v_min = v_out.clip_time(
             PAPER.fig11_charge_time, t_stop).min()
-        events = [
-            ("charge to 2.75 V", charge_time),
-            ("downlink start", t_dl),
-            ("downlink end", t_dl + len(downlink_bits) * t_bit),
-            ("uplink start", t_ul),
-            ("uplink end",
-             t_ul + len(uplink_bits) * self.lsk_mod.bit_period),
-        ]
+        events = ([("charge to 2.75 V", charge_time)]
+                  + [(e.name, e.time) for e in sim.events])
         return Fig11Result(
-            v_out=trace.v_out,
+            v_out=v_out,
             charge_time_to_2v75=charge_time,
             downlink_sent=downlink_bits,
             downlink_received=got_dl,

@@ -1,0 +1,53 @@
+"""Unified simulation engine: one discrete-time core, many frontends.
+
+* :mod:`repro.engine.core` — the :class:`SimulationEngine` clock/event/
+  trace loop shared by every end-to-end artefact;
+* :mod:`repro.engine.components` — the pluggable physics blocks
+  (rectifier rail, LSK/ASK power schedules, control-loop telemetry,
+  firmware event feed);
+* :mod:`repro.engine.scenario` — :class:`Scenario` /
+  :class:`ScenarioBatch`: numpy-vectorized batch execution of many
+  scenarios at once.
+"""
+
+from repro.engine.core import (
+    SimComponent,
+    SimEvent,
+    SimulationEngine,
+    SimulationResult,
+)
+from repro.engine.components import (
+    AdaptiveDrive,
+    AskPowerSource,
+    ConstantSource,
+    FirmwareEventFeed,
+    RectifierRail,
+    SignalSource,
+    SubsteppedRail,
+    TelemetryControl,
+)
+from repro.engine.scenario import (
+    BatchControlResult,
+    BatchEnvelopeResult,
+    Scenario,
+    ScenarioBatch,
+)
+
+__all__ = [
+    "SimComponent",
+    "SimEvent",
+    "SimulationEngine",
+    "SimulationResult",
+    "AdaptiveDrive",
+    "AskPowerSource",
+    "ConstantSource",
+    "FirmwareEventFeed",
+    "RectifierRail",
+    "SignalSource",
+    "SubsteppedRail",
+    "TelemetryControl",
+    "BatchControlResult",
+    "BatchEnvelopeResult",
+    "Scenario",
+    "ScenarioBatch",
+]

@@ -1,0 +1,229 @@
+"""Pluggable components for the :class:`~repro.engine.core.SimulationEngine`.
+
+Each component owns one slice of the physics that the legacy loops mixed
+together, and communicates with its neighbours through named signals on
+the engine bus:
+
+``p_carrier``   available carrier power at the rectifier input (W)
+``shorted``     LSK modulation state (input short-circuited)
+``p_in``        effective input power after the LSK short
+``i_load``      DC load current presented to the rectifier (A)
+``v_rect``      rectifier output rail Vo (V)
+``distance``    coil separation (m)
+``drive_scale`` class-E drive scaling applied by the control loop
+``v_reported``  quantized Vo telemetry seen by the patch
+``saturated``   1.0 while the drive command is pinned at a rail
+
+The numerics intentionally mirror the seed implementations step for
+step, so the adapter methods that retain the legacy public APIs are
+parity-exact (see tests/test_engine.py).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine.core import SimComponent
+
+
+class SignalSource(SimComponent):
+    """Publishes ``name = func(t)`` at every grid instant."""
+
+    def __init__(self, name, func, cast=float, trace=True):
+        self.name = name
+        self.func = func
+        self.cast = cast
+        self._trace = trace
+
+    def start(self, sim):
+        if self._trace:
+            sim.trace(self.name)
+        sim.signals[self.name] = self.cast(self.func(float(sim.times[0])))
+
+    def step(self, sim, k, t_prev, t):
+        sim.signals[self.name] = self.cast(self.func(float(t)))
+
+
+class ConstantSource(SimComponent):
+    """Publishes a constant signal value."""
+
+    def __init__(self, name, value, trace=False):
+        self.name = name
+        self.value = value
+        self._trace = trace
+
+    def start(self, sim):
+        if self._trace:
+            sim.trace(self.name)
+        sim.signals[self.name] = self.value
+
+
+class AskPowerSource(SimComponent):
+    """Carrier power under an ASK downlink: ``power_high``/``power_low``
+    during the bit window, ``power_idle`` outside it (the Fig. 11
+    downlink power schedule)."""
+
+    def __init__(self, bits, bit_rate, power_high, power_low, power_idle,
+                 start_time=0.0, name="p_carrier"):
+        self.bits = bits
+        self.t_bit = 1.0 / float(bit_rate)
+        self.power_high = power_high
+        self.power_low = power_low
+        self.power_idle = power_idle
+        self.start_time = start_time
+        self.name = name
+
+    def power_at(self, t):
+        # floor, not int(): truncation toward zero would map the last
+        # bit-time *before* start_time onto bit 0 (a latent off-by-one
+        # in the legacy fig11 closure, fixed here).
+        k = math.floor((t - self.start_time) / self.t_bit)
+        if 0 <= k < len(self.bits):
+            return self.power_high if self.bits[k] else self.power_low
+        return self.power_idle
+
+    def start(self, sim):
+        sim.signals[self.name] = self.power_at(float(sim.times[0]))
+
+    def step(self, sim, k, t_prev, t):
+        sim.signals[self.name] = self.power_at(float(t))
+
+
+class RectifierRail(SimComponent):
+    """Forward-Euler envelope integrator of the rectifier + Co + clamp.
+
+    Reads ``p_carrier``, ``i_load`` and (optionally) ``shorted``; writes
+    ``v_rect`` and the effective ``p_in``.  While the input is shorted M2
+    is open, so no power arrives and the clamp chain is disconnected from
+    Co (the paper's anti-discharge measure).  The update is exactly the
+    legacy ``RectifierEnvelopeModel.simulate`` inner loop:
+
+        v[k] = max(v[k-1] + (i_rect - i_load - i_clamp) * dt / Co, 0)
+    """
+
+    def __init__(self, model, v0=0.0):
+        self.model = model
+        self.v0 = v0
+
+    def start(self, sim):
+        sim.trace("v_rect", "p_in", "i_load")
+        sim.signals["v_rect"] = float(self.v0)
+        # The t=0 sample logs the raw carrier power (legacy trace
+        # convention: the short is only applied from the first update).
+        sim.signals["p_in"] = float(sim.signals["p_carrier"])
+        sim.signals["i_load"] = float(sim.signals["i_load"])
+
+    def step(self, sim, k, t_prev, t):
+        m = self.model
+        shorted = bool(sim.signals.get("shorted", False))
+        p_in = 0.0 if shorted else float(sim.signals["p_carrier"])
+        i_load = float(sim.signals["i_load"])
+        v_prev = sim.signals["v_rect"]
+        i_rect = m.rectified_current(p_in, v_prev)
+        i_clamp = 0.0 if shorted else m.clamp_current(v_prev)
+        dv = (i_rect - i_load - i_clamp) * (t - t_prev) / m.c_out
+        sim.signals["v_rect"] = max(v_prev + dv, 0.0)
+        sim.signals["p_in"] = p_in
+
+
+#: Substep count and clamp-ceiling margin of the stiff control-loop
+#: rail integrator; ScenarioBatch.run_control uses the same values.
+CONTROL_RAIL_SUBSTEPS = 128
+CONTROL_RAIL_CEILING_MARGIN = 0.15
+
+
+class SubsteppedRail(SimComponent):
+    """The control loop's stiff rail integrator: ``n_sub`` forward-Euler
+    substeps per engine step, pinned to ``[0, clamp_voltage + margin]``
+    so the clamp exponential cannot drive Euler unstable.  Exactly the
+    inner loop of the legacy ``AdaptivePowerController.run``."""
+
+    def __init__(self, model, v0, period, n_sub=CONTROL_RAIL_SUBSTEPS,
+                 ceiling_margin=CONTROL_RAIL_CEILING_MARGIN):
+        self.model = model
+        self.v0 = v0
+        self.n_sub = int(n_sub)
+        self.dt_inner = period / self.n_sub
+        self.v_ceiling = model.clamp_voltage + ceiling_margin
+
+    def start(self, sim):
+        sim.trace("v_rect")
+        sim.signals["v_rect"] = float(self.v0)
+
+    def step(self, sim, k, t_prev, t):
+        m = self.model
+        p = float(sim.signals["p_delivered"])
+        i_load = float(sim.signals["i_load"])
+        v = sim.signals["v_rect"]
+        for _ in range(self.n_sub):
+            i_rect = m.rectified_current(p, v)
+            i_clamp = m.clamp_current(v)
+            v += (i_rect - i_load - i_clamp) * self.dt_inner / m.c_out
+            v = min(max(v, 0.0), self.v_ceiling)
+        sim.signals["v_rect"] = v
+
+
+class AdaptiveDrive(SimComponent):
+    """Patch-side drive stage: publishes the delivered power for the
+    *current* drive scale at the *current* distance.
+
+    ``power_func(i_tx_amplitude, distance)`` is the link model; power
+    scales as the drive current squared.  The scale is advanced by a
+    downstream :class:`TelemetryControl` after the rail has integrated
+    the period (sample-then-actuate ordering, as in the legacy loop).
+    """
+
+    def __init__(self, power_func, i_tx, initial_scale=1.0):
+        self.power_func = power_func
+        self.i_tx = i_tx
+        self.scale = float(initial_scale)
+
+    def start(self, sim):
+        sim.trace("distance", "drive_scale", "p_delivered")
+        self._publish(sim, float(sim.times[0]))
+
+    def _publish(self, sim, t):
+        d = float(sim.signals["distance"])
+        sim.signals["drive_scale"] = self.scale
+        sim.signals["p_delivered"] = self.power_func(self.i_tx * self.scale,
+                                                     d)
+
+    def step(self, sim, k, t_prev, t):
+        self._publish(sim, float(t))
+
+
+class TelemetryControl(SimComponent):
+    """Implant telemetry + patch control law, run after the rail update:
+    quantizes Vo, computes the next drive scale, and applies it to the
+    :class:`AdaptiveDrive` for the following period."""
+
+    def __init__(self, controller, drive):
+        self.controller = controller
+        self.drive = drive
+
+    def start(self, sim):
+        sim.trace("v_reported", "saturated")
+        sim.signals["v_reported"] = 0.0
+        sim.signals["saturated"] = 0.0
+
+    def step(self, sim, k, t_prev, t):
+        ctrl = self.controller
+        v_rep = ctrl.quantize_telemetry(sim.signals["v_rect"])
+        new_scale = ctrl.next_scale(self.drive.scale, v_rep)
+        sim.signals["v_reported"] = v_rep
+        sim.signals["saturated"] = float(
+            new_scale in (ctrl.min_scale, ctrl.max_scale))
+        self.drive.scale = new_scale
+
+
+class FirmwareEventFeed(SimComponent):
+    """Adapter that forwards engine events to an event-driven state
+    machine exposing ``handle(event, at_time)`` (the patch firmware)."""
+
+    def __init__(self, machine, events=None):
+        self.machine = machine
+        self.accept = None if events is None else set(events)
+
+    def handle_event(self, sim, event):
+        if self.accept is None or event.name in self.accept:
+            self.machine.handle(event.name, at_time=event.time)

@@ -1,0 +1,208 @@
+"""The unified discrete-time simulation core.
+
+Every end-to-end artefact of this reproduction used to carry its own
+hand-rolled Python time loop: the envelope integrator in
+:mod:`repro.power.envelope`, the adaptive-control loop (with its stiff
+inner Euler substeps) in :mod:`repro.core.control`, the Fig. 11 assembly
+in :mod:`repro.core.system`, and the firmware measurement cycle in
+:mod:`repro.patch.firmware`.  This module replaces all four with one
+engine:
+
+* a shared clock (an explicit, strictly increasing time grid);
+* pluggable :class:`SimComponent` objects stepped in registration order,
+  communicating through a per-step *signal bus*;
+* a scheduled-event queue dispatched at exact event timestamps
+  (interleaved with clock steps), for event-driven models such as the
+  patch firmware state machine;
+* trace recording — any signal a component marks for tracing becomes a
+  sampled channel of the :class:`SimulationResult`.
+
+The engine is deliberately *thin*: all physics lives in the components
+(:mod:`repro.engine.components`), so the adapters that keep the legacy
+public APIs alive (``RectifierEnvelopeModel.simulate``,
+``AdaptivePowerController.run``, ``fig11_transient``,
+``run_measurement_cycle``) reproduce the seed implementations' numerics
+exactly.  Batch execution across many scenarios is handled separately by
+:class:`repro.engine.scenario.ScenarioBatch`, which vectorizes the same
+elementwise math with numpy.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.signals import Waveform
+from repro.util import require_positive
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """A named event dispatched to every component at an exact time."""
+
+    time: float
+    name: str
+    payload: object = None
+
+
+class SimComponent:
+    """Base class for engine components.
+
+    Components are stepped in registration order; a component may read
+    any signal written earlier in the same step (or persisting from the
+    previous step) via ``sim.signals``.
+    """
+
+    def start(self, sim):
+        """Initialise state and publish initial signal values (called
+        once, with the clock at the first grid time)."""
+
+    def step(self, sim, k, t_prev, t):
+        """Advance from ``t_prev`` to ``t`` (grid index ``k``)."""
+
+    def handle_event(self, sim, event):
+        """React to a dispatched :class:`SimEvent`."""
+
+    def finish(self, sim):
+        """Hook called after the last step."""
+
+
+class SimulationResult:
+    """Recorded output of one engine run: traces + event log."""
+
+    def __init__(self, times, traces, events):
+        self.t = np.asarray(times, dtype=float)
+        self.traces = {name: np.asarray(vals, dtype=float)
+                       for name, vals in traces.items()}
+        self.events = list(events)
+
+    def __getitem__(self, name):
+        return self.traces[name]
+
+    def waveform(self, name):
+        """A traced signal as a :class:`~repro.signals.Waveform`."""
+        return Waveform(self.t, self.traces[name])
+
+    def event_times(self, name=None):
+        """Dispatch times of the logged events (optionally filtered)."""
+        return [e.time for e in self.events
+                if name is None or e.name == name]
+
+
+class SimulationEngine:
+    """Steps a set of :class:`SimComponent` on a shared clock.
+
+    Parameters
+    ----------
+    times : 1-D array of strictly increasing clock instants.
+    record_initial : when True the signal values published by
+        ``start()`` are recorded as the sample at ``times[0]`` and
+        stepping covers ``times[1:]`` (an initial-value integrator grid);
+        when False every grid instant is produced by a ``step()`` call
+        (a sampled-controller grid).
+    """
+
+    def __init__(self, times, record_initial=True):
+        times = np.asarray(times, dtype=float)
+        if times.ndim != 1 or times.size < 1:
+            raise ValueError("need a 1-D, non-empty time grid")
+        if times.size > 1 and not np.all(np.diff(times) > 0):
+            raise ValueError("time grid must be strictly increasing")
+        self.times = times
+        self.record_initial = bool(record_initial)
+        self.components = []
+        self.signals = {}
+        self._traced = []
+        self._event_queue = []
+        self._event_counter = itertools.count()
+        self._event_log = []
+        self._ran = False
+
+    @classmethod
+    def uniform(cls, t_stop, dt, t_start=0.0, record_initial=True):
+        """The envelope integrator's grid: ``ceil(t_stop/dt)+1`` samples
+        spanning ``[t_start, t_start+t_stop]`` (matches the legacy
+        ``RectifierEnvelopeModel.simulate`` axis exactly)."""
+        require_positive(t_stop, "t_stop")
+        require_positive(dt, "dt")
+        n = int(math.ceil(t_stop / dt)) + 1
+        return cls(t_start + np.linspace(0.0, t_stop, n),
+                   record_initial=record_initial)
+
+    @classmethod
+    def sampled(cls, t_stop, period, t_start=0.0):
+        """The sampled-controller grid: ``max(1, round(t_stop/period))``
+        instants at ``t_start + k*period`` (matches the legacy
+        ``AdaptivePowerController.run`` clock exactly)."""
+        require_positive(t_stop, "t_stop")
+        require_positive(period, "period")
+        n = max(1, int(round(t_stop / period)))
+        return cls(t_start + np.arange(n) * period, record_initial=False)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def add(self, component):
+        """Register a component (stepped in registration order)."""
+        self.components.append(component)
+        return component
+
+    def trace(self, *names):
+        """Mark signals for per-step recording."""
+        for name in names:
+            if name not in self._traced:
+                self._traced.append(name)
+
+    def schedule(self, time, name, payload=None):
+        """Queue an event for exact-time dispatch during the run."""
+        heapq.heappush(self._event_queue,
+                       (float(time), next(self._event_counter),
+                        SimEvent(float(time), str(name), payload)))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _dispatch_until(self, t_limit):
+        while self._event_queue and self._event_queue[0][0] <= t_limit:
+            _, _, event = heapq.heappop(self._event_queue)
+            self._event_log.append(event)
+            for comp in self.components:
+                comp.handle_event(self, event)
+
+    def _record(self, traces):
+        for name in self._traced:
+            traces[name].append(self.signals[name])
+
+    def run(self):
+        """Execute the run and return a :class:`SimulationResult`."""
+        if self._ran:
+            raise RuntimeError("an engine instance runs exactly once")
+        self._ran = True
+        t = self.times
+        for comp in self.components:
+            comp.start(self)
+        traces = {name: [] for name in self._traced}
+        recorded_times = []
+        if self.record_initial:
+            self._dispatch_until(t[0])
+            self._record(traces)
+            recorded_times.append(t[0])
+            start_k = 1
+        else:
+            start_k = 0
+        for k in range(start_k, t.size):
+            t_prev = t[k - 1] if k > 0 else t[0]
+            self._dispatch_until(t[k])
+            for comp in self.components:
+                comp.step(self, k, t_prev, t[k])
+            self._record(traces)
+            recorded_times.append(t[k])
+        # Late events (at or past the final grid time) still fire.
+        self._dispatch_until(float("inf"))
+        for comp in self.components:
+            comp.finish(self)
+        return SimulationResult(recorded_times, traces, self._event_log)

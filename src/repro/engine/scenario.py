@@ -1,0 +1,392 @@
+"""Batched scenario execution: many simulations as numpy array ops.
+
+The rectified-current / clamp-current / rail-update math of the envelope
+model and the control loop is elementwise in the rail voltage, so a set
+of scenarios (distances, loads, drive scales, duty cycles, rectifier
+variants) batches cleanly: one state *vector* per quantity, advanced in
+lock-step.  A 64-scenario adaptive-control sweep runs one Python-level
+loop instead of 64, which is where the >=10x speedup over scalar
+``AdaptivePowerController.run`` calls comes from (see
+benchmarks/test_bench_scenario_batch.py).
+
+Scalar parity: every batched update uses the same operations in the same
+order as the scalar code paths, so a batch run matches a loop of scalar
+runs to float rounding (asserted in tests/test_engine_batch.py).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.components import (
+    CONTROL_RAIL_CEILING_MARGIN,
+    CONTROL_RAIL_SUBSTEPS,
+)
+from repro.power.envelope import (
+    clamp_current_array,
+    rectified_current_array,
+)
+from repro.util import require_positive
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of a batch sweep.
+
+    ``distance`` is either a separation in metres or a callable
+    ``d(t)`` (a motion profile).  ``i_load`` of None means "the
+    system's low-power implant load".  ``duty_cycle`` derates the
+    delivered carrier power (the patch gates the class-E on for that
+    fraction of every control period).  ``rectifier`` of None uses the
+    batch's shared default model.  ``v0`` is the initial rail voltage;
+    None means the mode-appropriate convention — a 2.5 V warm start for
+    control runs (the controller's historical default), a 0 V cold
+    start for envelope runs — while an explicit value is honored by
+    every runner.
+    """
+
+    distance: object = 10e-3
+    i_load: float | None = None
+    drive_scale: float = 1.0
+    duty_cycle: float = 1.0
+    rectifier: object = None
+    v0: float | None = None
+    label: str = ""
+
+    def __post_init__(self):
+        if not callable(self.distance):
+            require_positive(float(self.distance), "distance")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError("duty_cycle must be in (0, 1]")
+        require_positive(self.drive_scale, "drive_scale")
+
+    def distance_at(self, t):
+        return float(self.distance(t)) if callable(self.distance) \
+            else float(self.distance)
+
+
+@dataclass
+class BatchControlResult:
+    """Vectorized adaptive-control traces: one row per scenario."""
+
+    times: np.ndarray               # (n_steps,)
+    distance: np.ndarray            # (n_scenarios, n_steps)
+    v_rect: np.ndarray
+    v_reported: np.ndarray
+    drive_scale: np.ndarray
+    p_delivered: np.ndarray
+    saturated: np.ndarray           # boolean
+    scenarios: list = field(default_factory=list)
+
+    @property
+    def n_scenarios(self):
+        return self.v_rect.shape[0]
+
+    def control_steps(self, i):
+        """Scenario ``i`` as the scalar API's list of ``ControlStep``."""
+        from repro.core.control import ControlStep
+
+        return [
+            ControlStep(
+                time=float(self.times[k]),
+                distance=float(self.distance[i, k]),
+                v_rect=float(self.v_rect[i, k]),
+                v_reported=float(self.v_reported[i, k]),
+                drive_scale=float(self.drive_scale[i, k]),
+                p_delivered=float(self.p_delivered[i, k]),
+                saturated=bool(self.saturated[i, k]),
+            )
+            for k in range(self.times.size)
+        ]
+
+    def regulation_statistics(self, settle_fraction=0.3, v_minimum=None,
+                              v_maximum=3.3):
+        """Per-scenario (fraction in window, min Vo, max Vo, mean drive)
+        over the post-settling tail — the vectorized analogue of
+        ``AdaptivePowerController.regulation_statistics`` (which also
+        supplies the default window floor, ``PAPER.v_rect_minimum``)."""
+        if v_minimum is None:
+            from repro.core.config import PAPER
+
+            v_minimum = PAPER.v_rect_minimum
+        if not 0.0 <= settle_fraction <= 1.0:
+            raise ValueError("settle_fraction must be in [0, 1]")
+        n = self.times.size
+        start = int(n * settle_fraction)
+        if start >= n:
+            from repro.core.control import RegulationWindowError
+
+            raise RegulationWindowError.for_run(n, settle_fraction)
+        v = self.v_rect[:, start:]
+        in_window = (v >= v_minimum) & (v <= v_maximum)
+        return (
+            in_window.mean(axis=1),
+            v.min(axis=1),
+            v.max(axis=1),
+            self.drive_scale[:, start:].mean(axis=1),
+        )
+
+
+@dataclass
+class BatchEnvelopeResult:
+    """Vectorized envelope traces: Vo rows per scenario."""
+
+    times: np.ndarray               # (n_steps,)
+    v_rect: np.ndarray              # (n_scenarios, n_steps)
+    p_in: np.ndarray                # (n_scenarios,)
+    i_load: np.ndarray              # (n_scenarios,)
+    scenarios: list = field(default_factory=list)
+
+    @property
+    def v_final(self):
+        """Equilibrium (last-sample) rail voltage per scenario."""
+        return self.v_rect[:, -1]
+
+    def minimum_after(self, t):
+        """Per-scenario minimum Vo from ``t`` to the end."""
+        mask = self.times >= t
+        return self.v_rect[:, mask].min(axis=1)
+
+    def crossing_times(self, v_target):
+        """First time each scenario's rail reaches ``v_target``
+        (np.nan where it never does)."""
+        reached = self.v_rect >= v_target
+        out = np.full(self.v_rect.shape[0], np.nan)
+        any_hit = reached.any(axis=1)
+        out[any_hit] = self.times[np.argmax(reached[any_hit], axis=1)]
+        return out
+
+
+class ScenarioBatch:
+    """Evaluates a list of :class:`Scenario` with vectorized numpy ops.
+
+    The per-scenario rectifier parameters (Co, efficiency, clamp chain)
+    are stacked into arrays once; every rail update then runs as
+    elementwise array math across the whole batch.
+    """
+
+    def __init__(self, scenarios, default_rectifier=None):
+        self.scenarios = list(scenarios)
+        if not self.scenarios:
+            raise ValueError("need at least one scenario")
+        if default_rectifier is None:
+            from repro.power.envelope import RectifierEnvelopeModel
+
+            default_rectifier = RectifierEnvelopeModel()
+        self.default_rectifier = default_rectifier
+        models = [s.rectifier or default_rectifier for s in self.scenarios]
+        stack = lambda attr: np.array([getattr(m, attr) for m in models])
+        self.c_out = stack("c_out")
+        self.efficiency = stack("efficiency")
+        self.clamp_voltage = stack("clamp_voltage")
+        self.v_min_operate = stack("v_min_operate")
+        self.clamp_i0 = stack("clamp_i0")
+        self.clamp_slope = stack("clamp_slope")
+        self.duty = np.array([s.duty_cycle for s in self.scenarios])
+        self.scale0 = np.array([s.drive_scale for s in self.scenarios])
+
+    def _v0(self, mode_default):
+        """Per-scenario initial rail: explicit v0, else the runner's
+        convention (2.5 V for control, 0 V cold start for envelope)."""
+        return np.array([mode_default if s.v0 is None else s.v0
+                         for s in self.scenarios])
+
+    def __len__(self):
+        return len(self.scenarios)
+
+    @classmethod
+    def from_grid(cls, distances, loads, **scenario_kwargs):
+        """The workhorse constructor: the outer product of a distance
+        sweep and a load sweep (>= 64 scenarios for an 8x8 grid)."""
+        scenarios = [
+            Scenario(distance=d, i_load=i,
+                     label=f"d={d * 1e3:.1f}mm,i={i * 1e6:.0f}uA",
+                     **scenario_kwargs)
+            for d in distances for i in loads
+        ]
+        return cls(scenarios)
+
+    # ------------------------------------------------------------------
+    # Elementwise rectifier math — delegated to the model module's
+    # shared array formulas with this batch's stacked parameters, so
+    # the physics lives in exactly one place
+    # ------------------------------------------------------------------
+    def _rectified_current(self, p_in, v):
+        return rectified_current_array(p_in, v, self.efficiency,
+                                       self.v_min_operate)
+
+    def _clamp_current(self, v):
+        return clamp_current_array(v, self.clamp_i0, self.clamp_voltage,
+                                   self.clamp_slope)
+
+    def _i_load(self, fallback):
+        return np.array([fallback if s.i_load is None else s.i_load
+                         for s in self.scenarios])
+
+    # ------------------------------------------------------------------
+    # Batched adaptive power control
+    # ------------------------------------------------------------------
+    def run_control(self, system, controller, t_stop):
+        """The vectorized twin of ``AdaptivePowerController.run``: all
+        scenarios advance through the same outer control steps and inner
+        Euler substeps as one array."""
+        require_positive(t_stop, "t_stop")
+        n_sc = len(self)
+        period = controller.update_period
+        n = max(1, int(round(t_stop / period)))
+        times = np.arange(n) * period
+        n_sub = CONTROL_RAIL_SUBSTEPS
+        dt_inner = period / n_sub
+        v_ceiling = self.clamp_voltage + CONTROL_RAIL_CEILING_MARGIN
+        i_load = self._i_load(system.implant.load_current(measuring=False))
+
+        # Power scales as drive current squared, so one link solve per
+        # (scenario, distance) gives p(scale) = scale^2 * p_unit.
+        const = [not callable(s.distance) for s in self.scenarios]
+        moving = [i for i, c in enumerate(const) if not c]
+        d_const = np.array([s.distance_at(0.0) if c else np.nan
+                            for s, c in zip(self.scenarios, const)])
+        p_unit = np.array([
+            system.link.available_power(system.i_tx, d) if c else np.nan
+            for d, c in zip(d_const, const)])
+
+        v = self._v0(2.5)
+        scale = self.scale0.astype(float).copy()
+        tr_d = np.empty((n_sc, n))
+        tr_v = np.empty((n_sc, n))
+        tr_vrep = np.empty((n_sc, n))
+        tr_scale = np.empty((n_sc, n))
+        tr_p = np.empty((n_sc, n))
+        tr_sat = np.empty((n_sc, n), dtype=bool)
+
+        # The inner Euler substeps dominate the run time, so they inline
+        # the rectified_current_array / clamp_current_array formulas as
+        # fused in-place ops on preallocated buffers; the batch-vs-scalar
+        # parity tests pin this copy to the shared ones.  The clamp
+        # leakage at Vo = 0 is exp(-clamp_voltage/slope) ~ 1e-13 of
+        # clamp_i0 instead of exactly 0 — a sub-fA difference the scalar
+        # parity tests bound.
+        eff_p = np.empty(n_sc)
+        i_net = np.empty(n_sc)
+        buf = np.empty(n_sc)
+        neg_cv_slope = -self.clamp_voltage / self.clamp_slope
+        inv_slope = 1.0 / self.clamp_slope
+        gain = dt_inner / self.c_out
+
+        for k in range(n):
+            t = times[k]
+            if moving:
+                d = d_const.copy()
+                p_u = p_unit.copy()
+                for i in moving:
+                    d[i] = self.scenarios[i].distance_at(t)
+                    p_u[i] = system.link.available_power(system.i_tx, d[i])
+            else:
+                d, p_u = d_const, p_unit
+            p = p_u * scale * scale * self.duty
+            np.multiply(p, self.efficiency, out=eff_p)
+            np.maximum(eff_p, 0.0, out=eff_p)
+            for _ in range(n_sub):
+                np.maximum(v, self.v_min_operate, out=buf)
+                np.divide(eff_p, buf, out=i_net)       # rectified current
+                np.multiply(v, inv_slope, out=buf)
+                buf += neg_cv_slope
+                np.exp(buf, out=buf)
+                buf *= self.clamp_i0                   # clamp leakage
+                i_net -= buf
+                i_net -= i_load
+                i_net *= gain
+                v += i_net
+                np.maximum(v, 0.0, out=v)
+                np.minimum(v, v_ceiling, out=v)
+            # The controller's own quantizer and control law, applied
+            # elementwise across the batch.
+            v_rep = controller.quantize_telemetry(v)
+            new_scale = controller.next_scale(scale, v_rep)
+            tr_d[:, k] = d
+            tr_v[:, k] = v
+            tr_vrep[:, k] = v_rep
+            tr_scale[:, k] = scale
+            tr_p[:, k] = p
+            tr_sat[:, k] = ((new_scale == controller.min_scale)
+                            | (new_scale == controller.max_scale))
+            scale = new_scale
+        return BatchControlResult(
+            times=times, distance=tr_d, v_rect=tr_v, v_reported=tr_vrep,
+            drive_scale=tr_scale, p_delivered=tr_p, saturated=tr_sat,
+            scenarios=self.scenarios)
+
+    # ------------------------------------------------------------------
+    # Batched envelope integration (constant power + load per scenario)
+    # ------------------------------------------------------------------
+    def run_envelope(self, p_in, t_stop, dt=1e-6, v0=None, i_load=None):
+        """Integrate the rail envelope for every scenario at once.
+
+        ``p_in`` is a scalar or an (n_scenarios,) array of constant
+        input powers (scenario duty cycles derate it); ``v0`` of None
+        uses each scenario's ``v0``, itself defaulting to the 0 V
+        cold-start convention of ``RectifierEnvelopeModel.simulate``.
+        """
+        require_positive(t_stop, "t_stop")
+        require_positive(dt, "dt")
+        n_sc = len(self)
+        p = np.broadcast_to(np.asarray(p_in, dtype=float),
+                            (n_sc,)).copy() * self.duty
+        i_l = (self._i_load(0.0) if i_load is None
+               else np.broadcast_to(np.asarray(i_load, dtype=float),
+                                    (n_sc,)).copy())
+        n = int(math.ceil(t_stop / dt)) + 1
+        t = np.linspace(0.0, t_stop, n)
+        v = np.empty((n_sc, n))
+        v[:, 0] = self._v0(0.0) if v0 is None else v0
+        for k in range(1, n):
+            vk = v[:, k - 1]
+            i_rect = self._rectified_current(p, vk)
+            i_clamp = self._clamp_current(vk)
+            dv = (i_rect - i_l - i_clamp) * (t[k] - t[k - 1]) / self.c_out
+            v[:, k] = np.maximum(vk + dv, 0.0)
+        return BatchEnvelopeResult(times=t, v_rect=v, p_in=p, i_load=i_l,
+                                   scenarios=self.scenarios)
+
+    def charge_times(self, p_in, v_target, v0=None, dt=1e-6, limit=1.0,
+                     i_load=None):
+        """Per-scenario time to charge Co from ``v0`` (None: each
+        scenario's ``v0``, cold start by default) to ``v_target`` under
+        constant power/load — the vectorized twin of
+        ``RectifierEnvelopeModel.charge_time``.  Returns np.nan where
+        the target is unreachable (stalled, clamp-limited, or slower
+        than ``limit`` seconds)."""
+        require_positive(v_target, "v_target")
+        n_sc = len(self)
+        p = np.broadcast_to(np.asarray(p_in, dtype=float),
+                            (n_sc,)).copy() * self.duty
+        i_l = (self._i_load(0.0) if i_load is None
+               else np.broadcast_to(np.asarray(i_load, dtype=float),
+                                    (n_sc,)).copy())
+        v = (self._v0(0.0) if v0 is None
+             else np.broadcast_to(np.asarray(v0, dtype=float),
+                                  (n_sc,)).copy())
+        out = np.full(n_sc, np.nan)
+        active = v < v_target
+        # A scenario whose clamp sits below the target can never get there.
+        active &= v_target <= self.clamp_voltage
+        done_now = ~active & (v >= v_target) \
+            & (v_target <= self.clamp_voltage)
+        out[done_now] = 0.0
+        max_steps = int(limit / dt)
+        k = 0
+        while active.any() and k < max_steps:
+            i_rect = self._rectified_current(p, v)
+            i_clamp = self._clamp_current(v)
+            dv = (i_rect - i_l - i_clamp) * dt / self.c_out
+            stalled = active & (dv <= 0.0)
+            active &= ~stalled
+            v = np.where(active, v + dv, v)
+            k += 1
+            reached = active & (v >= v_target)
+            out[reached] = k * dt
+            active &= ~reached
+        return out

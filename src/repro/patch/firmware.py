@@ -172,10 +172,26 @@ class PatchFirmware:
         return self.state
 
     def run_measurement_cycle(self, t_downlink=1.8e-3, t_uplink=5e-3):
-        """A canonical command/response exchange from POWERING."""
+        """A canonical command/response exchange from POWERING.
+
+        The exchange is sequenced as scheduled events on the shared
+        :class:`~repro.engine.core.SimulationEngine`, dispatched to this
+        state machine at their exact timestamps.
+        """
+        from repro.engine.core import SimulationEngine
+        from repro.engine.components import FirmwareEventFeed
+
         if self.state is not PatchState.POWERING:
             raise RuntimeError("must be POWERING to run a cycle")
-        self.handle("send_frame")
-        self.handle("frame_sent", at_time=self.time + t_downlink)
-        self.handle("uplink_done", at_time=self.time + t_uplink)
+        require_positive(t_downlink, "t_downlink")
+        require_positive(t_uplink, "t_uplink")
+        t_sent = self.time + t_downlink
+        t_done = t_sent + t_uplink
+        engine = SimulationEngine([self.time, t_done],
+                                  record_initial=False)
+        engine.add(FirmwareEventFeed(self))
+        engine.schedule(self.time, "send_frame")
+        engine.schedule(t_sent, "frame_sent")
+        engine.schedule(t_done, "uplink_done")
+        engine.run()
         return self.state

@@ -23,6 +23,23 @@ from repro.signals import Waveform
 from repro.util import require_positive
 
 
+def rectified_current_array(p_in, v_out, efficiency, v_min_operate):
+    """Elementwise rectified current (charge balance) for scalar or
+    array parameters — the single source of the batched formula used by
+    both :class:`RectifierEnvelopeModel` and ``ScenarioBatch``."""
+    v_eff = np.maximum(v_out, v_min_operate)
+    return np.where(np.asarray(p_in) > 0.0,
+                    efficiency * p_in / v_eff, 0.0)
+
+
+def clamp_current_array(v_out, clamp_i0, clamp_voltage, clamp_slope):
+    """Elementwise clamp-chain leakage for scalar or array parameters
+    (exponent capped so pathological rails cannot overflow)."""
+    exponent = np.minimum((v_out - clamp_voltage) / clamp_slope, 60.0)
+    return np.where(np.asarray(v_out) > 0.0,
+                    clamp_i0 * np.exp(exponent), 0.0)
+
+
 @dataclass
 class EnvelopeTrace:
     """Output of an envelope run: Vo(t), input power, and load current."""
@@ -69,18 +86,32 @@ class RectifierEnvelopeModel:
 
     def rectified_current(self, p_in, v_out):
         """DC current sourced into Co at input power ``p_in`` and output
-        voltage ``v_out`` (charge balance: I = eta*P / max(Vo, floor))."""
+        voltage ``v_out`` (charge balance: I = eta*P / max(Vo, floor)).
+
+        Accepts scalars or (broadcastable) numpy arrays — the math is
+        elementwise, which is what lets ScenarioBatch vectorize it.
+        """
+        if isinstance(p_in, np.ndarray) or isinstance(v_out, np.ndarray):
+            return rectified_current_array(p_in, v_out, self.efficiency,
+                                           self.v_min_operate)
         if p_in <= 0.0:
             return 0.0
         v_eff = max(v_out, self.v_min_operate)
         return self.efficiency * p_in / v_eff
 
     def clamp_current(self, v_out):
-        """Leakage into the 4-diode overvoltage clamp chain."""
+        """Leakage into the 4-diode overvoltage clamp chain (scalar or
+        numpy array).  Both paths cap the exponent at 60 (~9 V on the
+        default chain) so pathological rails saturate instead of
+        overflowing; every physical rail sits far below the cap."""
+        if isinstance(v_out, np.ndarray):
+            return clamp_current_array(v_out, self.clamp_i0,
+                                       self.clamp_voltage,
+                                       self.clamp_slope)
         if v_out <= 0.0:
             return 0.0
-        return self.clamp_i0 * math.exp(
-            (v_out - self.clamp_voltage) / self.clamp_slope)
+        return self.clamp_i0 * math.exp(min(
+            (v_out - self.clamp_voltage) / self.clamp_slope, 60.0))
 
     def simulate(self, p_in_func, i_load_func, t_stop, dt=1e-6, v0=0.0,
                  shorted_func=None):
@@ -92,35 +123,27 @@ class RectifierEnvelopeModel:
         ``shorted_func(t)`` — optional LSK modulation: True while the
         input is short-circuited (no power in; M2 open so Co only sees
         the load).
+
+        The integration runs on the shared
+        :class:`~repro.engine.core.SimulationEngine` (imported lazily —
+        the engine's batch layer depends back on this module's model);
+        this method is a thin adapter keeping the historical API.
         """
-        require_positive(t_stop, "t_stop")
-        require_positive(dt, "dt")
-        n = int(math.ceil(t_stop / dt)) + 1
-        t = np.linspace(0.0, t_stop, n)
-        v = np.empty(n)
-        p = np.empty(n)
-        i = np.empty(n)
-        v[0] = v0
-        p[0] = p_in_func(0.0)
-        i[0] = i_load_func(0.0)
-        for k in range(1, n):
-            tk = t[k]
-            shorted = bool(shorted_func(tk)) if shorted_func else False
-            p_in = 0.0 if shorted else float(p_in_func(tk))
-            i_load = float(i_load_func(tk))
-            i_rect = self.rectified_current(p_in, v[k - 1])
-            # While the input is shorted M2 is open, so the clamp chain is
-            # disconnected from Co (the paper's anti-discharge measure).
-            i_clamp = 0.0 if shorted else self.clamp_current(v[k - 1])
-            dv = ((i_rect - i_load - i_clamp) * (t[k] - t[k - 1])
-                  / self.c_out)
-            v[k] = max(v[k - 1] + dv, 0.0)
-            p[k] = p_in
-            i[k] = i_load
+        from repro.engine.core import SimulationEngine
+        from repro.engine.components import RectifierRail, SignalSource
+
+        engine = SimulationEngine.uniform(t_stop, dt)
+        engine.add(SignalSource("p_carrier", p_in_func, trace=False))
+        engine.add(SignalSource("i_load", i_load_func))
+        if shorted_func is not None:
+            engine.add(SignalSource("shorted", shorted_func, cast=bool,
+                                    trace=False))
+        engine.add(RectifierRail(self, v0=v0))
+        result = engine.run()
         return EnvelopeTrace(
-            v_out=Waveform(t, v),
-            p_in=Waveform(t, p),
-            i_load=Waveform(t, i),
+            v_out=result.waveform("v_rect"),
+            p_in=result.waveform("p_in"),
+            i_load=result.waveform("i_load"),
         )
 
     def charge_time(self, p_in, i_load, v_target, v0=0.0):

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.spice.sources import _as_source
 from repro.util import require_positive
 
@@ -67,9 +69,14 @@ class Component:
         pass
 
     def _v(self, x, k):
-        """Voltage of our k-th node under solution vector x (0 at ground)."""
+        """Voltage of our k-th node under solution vector x (0 at ground).
+
+        ``x`` may also be a whole ``(n_steps, n_unknowns)`` solution
+        array, in which case the result is the node-voltage column —
+        this is what lets ``current`` evaluate a full transient at once.
+        """
         idx = self.nodes[k]
-        return 0.0 if idx < 0 else x[idx]
+        return 0.0 if idx < 0 else x[..., idx]
 
     def __repr__(self):
         return f"{type(self).__name__}({self.name})"
@@ -416,8 +423,22 @@ class Diode(Component):
         _add(Y, b, a, -g)
 
     def current(self, x):
-        """Diode current under solution x."""
-        return self.iv(self._v(x, 0) - self._v(x, 1))[0]
+        """Diode current under solution x (a solution vector or a whole
+        ``(n_steps, n_unknowns)`` transient solution array)."""
+        vd = self._v(x, 0) - self._v(x, 1)
+        if isinstance(vd, np.ndarray) and vd.ndim > 0:
+            nvt = self.n * self.vt
+            vd_exp = np.clip(vd, -20.0 * nvt, self.v_max)
+            e = np.exp(vd_exp / nvt)
+            i = self.i_s * (e - 1.0)
+            # Reverse saturation floor and linear continuation branches,
+            # matching the scalar iv() piecewise definition.
+            i = np.where(vd <= -20.0 * nvt, -self.i_s, i)
+            g_knee = self.i_s * math.exp(self.v_max / nvt) / nvt
+            i = np.where(vd > self.v_max,
+                         i + g_knee * (vd - self.v_max), i)
+            return i
+        return self.iv(vd)[0]
 
 
 class Mosfet(Component):
@@ -572,6 +593,10 @@ class Switch(Component):
         self._stamp(Y, x_op)
 
     def current(self, x):
-        """Current n1 -> n2 under solution x."""
-        r = self.r_on if self.is_closed(x) else self.r_off
-        return (self._v(x, 0) - self._v(x, 1)) / r
+        """Current n1 -> n2 under solution x (a solution vector or a
+        whole ``(n_steps, n_unknowns)`` transient solution array)."""
+        closed = self.is_closed(x)
+        v = self._v(x, 0) - self._v(x, 1)
+        if isinstance(closed, np.ndarray) and closed.ndim > 0:
+            return v / np.where(closed, self.r_on, self.r_off)
+        return v / (self.r_on if closed else self.r_off)

@@ -39,11 +39,18 @@ class TransientResult:
         return Waveform(self.t, self.x[:, idx])
 
     def device_current(self, component_name):
-        """Waveform of the current through a resistor, diode or switch."""
+        """Waveform of the current through a resistor, diode or switch.
+
+        Components evaluate the whole ``(n_steps, n_unknowns)`` solution
+        array in one vectorized call (no per-step Python loop).
+        """
         comp = self.circuit[component_name]
         if not hasattr(comp, "current"):
             raise ValueError(f"{component_name} does not expose a current")
-        values = np.array([comp.current(xk) for xk in self.x])
+        values = np.asarray(comp.current(self.x), dtype=float)
+        if values.ndim == 0:
+            # Both terminals grounded: a constant (zero) branch.
+            values = np.full(self.t.shape, float(values))
         return Waveform(self.t, values)
 
     def final_state(self):

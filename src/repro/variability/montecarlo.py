@@ -110,29 +110,72 @@ class MonteCarlo:
         self.spreads = list(spreads)
         self._rng = np.random.default_rng(seed)
 
-    def sample_parameters(self):
-        """One {name: value} draw."""
-        return {s.name: s.sample(self._rng) for s in self.spreads}
+    def _resolve_rng(self, seed):
+        """The instance stream, or a fresh one for an explicit seed —
+        an explicit integer seed makes any single call reproducible
+        regardless of how much of the instance stream was consumed."""
+        if seed is None:
+            return self._rng
+        return np.random.default_rng(int(seed))
 
-    def run(self, evaluate, n_samples=200):
+    def sample_parameters(self, rng=None):
+        """One {name: value} draw."""
+        rng = rng or self._rng
+        return {s.name: s.sample(rng) for s in self.spreads}
+
+    def run(self, evaluate, n_samples=200, seed=None):
         """Evaluate ``evaluate(params) -> {metric: value}`` over draws.
 
-        Returns {metric: np.ndarray of samples}.
+        Returns {metric: np.ndarray of samples}.  ``seed`` of None draws
+        from the instance stream; an explicit integer seed re-anchors
+        the draw sequence for this call.
         """
         require_positive(n_samples, "n_samples")
+        rng = self._resolve_rng(seed)
         collected = {}
         for _ in range(int(n_samples)):
-            metrics = evaluate(self.sample_parameters())
+            metrics = evaluate(self.sample_parameters(rng))
             for key, value in metrics.items():
                 collected.setdefault(key, []).append(float(value))
         return {k: np.asarray(v) for k, v in collected.items()}
 
-    def yield_analysis(self, evaluate, limits, n_samples=200):
+    def run_batch(self, evaluate_batch, n_samples=200, seed=None):
+        """Vectorized twin of :meth:`run`.
+
+        ``evaluate_batch({name: np.ndarray}) -> {metric: np.ndarray}``
+        sees every parameter as an (n_samples,) array and evaluates all
+        samples in one shot (e.g. through
+        :class:`~repro.engine.scenario.ScenarioBatch`).  Draws are taken
+        sample-major, so for a given seed the parameter values are
+        *identical* to the ones :meth:`run` would see.
+        """
+        require_positive(n_samples, "n_samples")
+        rng = self._resolve_rng(seed)
+        draws = [self.sample_parameters(rng)
+                 for _ in range(int(n_samples))]
+        params = {s.name: np.array([d[s.name] for d in draws])
+                  for s in self.spreads}
+        metrics = evaluate_batch(params)
+        out = {}
+        for key, values in metrics.items():
+            values = np.asarray(values, dtype=float)
+            if values.shape != (int(n_samples),):
+                raise ValueError(
+                    f"batch metric {key!r} has shape {values.shape}, "
+                    f"expected ({int(n_samples)},)")
+            out[key] = values
+        return out
+
+    def yield_analysis(self, evaluate, limits, n_samples=200, seed=None,
+                       batch=False):
         """Run and wrap each metric in a :class:`YieldResult`.
 
         ``limits`` maps metric -> (lo, hi); use None for one-sided.
+        With ``batch=True``, ``evaluate`` is a vectorized
+        ``evaluate_batch`` (see :meth:`run_batch`).
         """
-        raw = self.run(evaluate, n_samples)
+        runner = self.run_batch if batch else self.run
+        raw = runner(evaluate, n_samples, seed=seed)
         results = {}
         for metric, samples in raw.items():
             lo, hi = limits.get(metric, (None, None))

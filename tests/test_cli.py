@@ -21,6 +21,19 @@ class TestParser:
         assert args.distance == 8.0
         assert args.concentration == 1.2
 
+    def test_sweep_args(self):
+        args = build_parser().parse_args(
+            ["sweep", "--distances", "8", "12", "--loads-ua", "352",
+             "--t-stop", "20", "--duty", "0.5"])
+        assert args.distances == [8.0, 12.0]
+        assert args.loads_ua == [352.0]
+        assert args.t_stop == 20.0
+        assert args.duty == 0.5
+
+    def test_sweep_defaults_are_a_64_scenario_grid(self):
+        args = build_parser().parse_args(["sweep"])
+        assert len(args.distances) * len(args.loads_ua) == 64
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -63,3 +76,11 @@ class TestCommands:
         assert main(["measure", "--concentration", "0.8"]) == 0
         out = capsys.readouterr().out
         assert "concentration_reported" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--distances", "8", "14", "--loads-ua",
+                     "352", "1302", "--t-stop", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "4 scenarios" in out
+        assert "in-window" in out
+        assert "OK" in out

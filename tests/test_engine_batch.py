@@ -1,0 +1,235 @@
+"""ScenarioBatch vs scalar-loop equivalence and batch API behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import RemotePoweringSystem
+from repro.core import AdaptivePowerController, RegulationWindowError
+from repro.engine import Scenario, ScenarioBatch
+from repro.power import RectifierEnvelopeModel
+
+
+@pytest.fixture(scope="module")
+def system():
+    return RemotePoweringSystem(distance=10e-3)
+
+
+class TestScenario:
+    def test_defaults(self):
+        sc = Scenario()
+        assert sc.distance == 10e-3
+        assert sc.duty_cycle == 1.0
+        assert sc.distance_at(0.0) == 10e-3
+
+    def test_callable_distance(self):
+        sc = Scenario(distance=lambda t: 8e-3 + t)
+        assert sc.distance_at(1e-3) == pytest.approx(9e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(distance=-1.0)
+        with pytest.raises(ValueError):
+            Scenario(duty_cycle=0.0)
+        with pytest.raises(ValueError):
+            Scenario(duty_cycle=1.5)
+        with pytest.raises(ValueError):
+            Scenario(drive_scale=0.0)
+
+    def test_batch_requires_scenarios(self):
+        with pytest.raises(ValueError):
+            ScenarioBatch([])
+
+    def test_from_grid_size_and_labels(self):
+        batch = ScenarioBatch.from_grid([6e-3, 10e-3],
+                                        [352e-6, 1.3e-3])
+        assert len(batch) == 4
+        assert all(sc.label for sc in batch.scenarios)
+
+
+class TestControlEquivalence:
+    """Batch control must match a loop of scalar runs on a small grid
+    (documented tolerance: 1e-9 on every trace)."""
+
+    def test_distance_grid_matches_scalar_loop(self, system):
+        ctrl = AdaptivePowerController()
+        distances = [6e-3, 10e-3, 14e-3, 20e-3]
+        batch = ScenarioBatch([Scenario(distance=d) for d in distances])
+        res = batch.run_control(system, ctrl, t_stop=50e-3)
+        assert res.v_rect.shape == (4, 50)
+        for i, d in enumerate(distances):
+            ref = ctrl.run(system, lambda t, d=d: d, t_stop=50e-3)
+            assert np.abs(res.v_rect[i]
+                          - [s.v_rect for s in ref]).max() < 1e-9
+            assert np.abs(res.drive_scale[i]
+                          - [s.drive_scale for s in ref]).max() < 1e-9
+            assert np.abs(res.p_delivered[i]
+                          - [s.p_delivered for s in ref]).max() < 1e-12
+            assert np.abs(res.v_reported[i]
+                          - [s.v_reported for s in ref]).max() < 1e-9
+            assert ([bool(b) for b in res.saturated[i]]
+                    == [s.saturated for s in ref])
+
+    def test_moving_profile_matches_scalar(self, system):
+        ctrl = AdaptivePowerController()
+
+        def profile(t):
+            return 8e-3 if t < 20e-3 else 14e-3
+
+        batch = ScenarioBatch([Scenario(distance=profile)])
+        res = batch.run_control(system, ctrl, t_stop=60e-3)
+        ref = ctrl.run(system, profile, t_stop=60e-3)
+        assert np.abs(res.v_rect[0]
+                      - [s.v_rect for s in ref]).max() < 1e-9
+
+    def test_control_steps_round_trip(self, system):
+        ctrl = AdaptivePowerController()
+        batch = ScenarioBatch([Scenario(distance=10e-3)])
+        res = batch.run_control(system, ctrl, t_stop=20e-3)
+        steps = res.control_steps(0)
+        ref = ctrl.run(system, lambda t: 10e-3, t_stop=20e-3)
+        assert len(steps) == len(ref)
+        assert steps[-1].v_rect == pytest.approx(ref[-1].v_rect,
+                                                 abs=1e-9)
+        assert isinstance(steps[0].saturated, bool)
+
+    def test_regulation_statistics_vectorized(self, system):
+        ctrl = AdaptivePowerController()
+        batch = ScenarioBatch([Scenario(distance=10e-3),
+                               Scenario(distance=30e-3)])
+        res = batch.run_control(system, ctrl, t_stop=60e-3)
+        frac, v_min, v_max, drive = res.regulation_statistics()
+        ref_near = ctrl.regulation_statistics(res.control_steps(0))
+        assert frac[0] == pytest.approx(ref_near[0])
+        assert v_min[0] == pytest.approx(ref_near[1])
+        assert v_max[0] == pytest.approx(ref_near[2])
+        assert drive[0] == pytest.approx(ref_near[3])
+        # The 30 mm scenario cannot regulate.
+        assert frac[1] < frac[0]
+
+    def test_regulation_statistics_empty_tail_typed_error(self, system):
+        ctrl = AdaptivePowerController()
+        batch = ScenarioBatch([Scenario(distance=10e-3)])
+        res = batch.run_control(system, ctrl, t_stop=2e-3)
+        with pytest.raises(RegulationWindowError):
+            res.regulation_statistics(settle_fraction=1.0)
+
+    def test_subclassed_control_law_flows_into_batch(self, system):
+        """run_control applies the controller's own quantize/next_scale
+        (not an inlined copy), so a tuned subclass stays in sync with
+        its scalar runs."""
+
+        class GentleController(AdaptivePowerController):
+            def next_scale(self, current_scale, v_reported):
+                # No urgency boost at all: fixed-ratio steps both ways.
+                if isinstance(v_reported, np.ndarray) \
+                        or isinstance(current_scale, np.ndarray):
+                    scale = np.where(
+                        v_reported < self.v_low,
+                        current_scale * (1.0 + self.step_ratio),
+                        np.where(v_reported > self.v_high,
+                                 current_scale * (1.0 - self.step_ratio),
+                                 current_scale))
+                    return np.clip(scale, self.min_scale, self.max_scale)
+                if v_reported < self.v_low:
+                    scale = current_scale * (1.0 + self.step_ratio)
+                elif v_reported > self.v_high:
+                    scale = current_scale * (1.0 - self.step_ratio)
+                else:
+                    scale = current_scale
+                return max(self.min_scale, min(scale, self.max_scale))
+
+        ctrl = GentleController()
+        batch = ScenarioBatch([Scenario(distance=16e-3)])
+        res = batch.run_control(system, ctrl, t_stop=40e-3)
+        ref = ctrl.run(system, lambda t: 16e-3, t_stop=40e-3)
+        assert np.abs(res.drive_scale[0]
+                      - [s.drive_scale for s in ref]).max() < 1e-9
+        assert np.abs(res.v_rect[0]
+                      - [s.v_rect for s in ref]).max() < 1e-9
+
+    def test_duty_cycle_derates_power(self, system):
+        ctrl = AdaptivePowerController()
+        batch = ScenarioBatch([Scenario(distance=10e-3, duty_cycle=1.0),
+                               Scenario(distance=10e-3, duty_cycle=0.5)])
+        res = batch.run_control(system, ctrl, t_stop=10e-3)
+        # Same drive scale at t=0, so the duty-cycled scenario sees half
+        # the power on the first step.
+        assert res.p_delivered[1, 0] == pytest.approx(
+            0.5 * res.p_delivered[0, 0])
+
+
+class TestEnvelopeEquivalence:
+    def test_matches_scalar_simulate(self):
+        m = RectifierEnvelopeModel()
+        loads = [200e-6, 352e-6, 1.3e-3]
+        batch = ScenarioBatch([Scenario(distance=10e-3, i_load=i)
+                               for i in loads])
+        env = batch.run_envelope(5e-3, t_stop=700e-6)
+        for k, i_load in enumerate(loads):
+            ref = m.simulate(lambda t: 5e-3,
+                             lambda t, i=i_load: i, 700e-6)
+            assert np.array_equal(env.times, ref.v_out.t)
+            assert np.abs(env.v_rect[k] - ref.v_out.v).max() < 1e-12
+
+    def test_rectifier_variants_per_scenario(self):
+        slow = RectifierEnvelopeModel(c_out=500e-9)
+        fast = RectifierEnvelopeModel(c_out=125e-9)
+        batch = ScenarioBatch([Scenario(rectifier=slow, i_load=352e-6),
+                               Scenario(rectifier=fast, i_load=352e-6)])
+        charge = batch.charge_times(5e-3, 2.75)
+        assert charge[1] < charge[0]
+        for sc, t_ref in zip(batch.scenarios, charge):
+            ref = sc.rectifier.charge_time(5e-3, 352e-6, 2.75)
+            assert t_ref == pytest.approx(ref, rel=1e-6)
+
+    def test_charge_times_flags_unreachable(self):
+        batch = ScenarioBatch([Scenario(i_load=352e-6),
+                               Scenario(i_load=352e-6)])
+        times = batch.charge_times([5e-3, 1e-6], 2.75)
+        assert np.isfinite(times[0])
+        assert np.isnan(times[1])
+
+    def test_charge_times_above_clamp_unreachable(self):
+        batch = ScenarioBatch([Scenario(i_load=352e-6)])
+        assert np.isnan(batch.charge_times(5e-3, 3.5)[0])
+
+    def test_scenario_v0_honored_by_every_runner(self, system):
+        """An explicit Scenario.v0 warm-starts envelope and charge-time
+        batches too, not just control runs; None keeps each runner's
+        historical convention (2.5 V control, 0 V envelope)."""
+        ctrl = AdaptivePowerController()
+        warm = Scenario(distance=10e-3, i_load=352e-6, v0=2.0)
+        default = Scenario(distance=10e-3, i_load=352e-6)
+        batch = ScenarioBatch([warm, default])
+        env = batch.run_envelope(5e-3, t_stop=100e-6)
+        assert env.v_rect[0, 0] == pytest.approx(2.0)
+        assert env.v_rect[1, 0] == 0.0
+        charge = batch.charge_times(5e-3, 2.75)
+        assert charge[0] < charge[1]  # warm start reaches 2.75 V sooner
+        res = batch.run_control(system, ctrl, t_stop=3e-3)
+        ref_warm = ctrl.run(system, lambda t: 10e-3, t_stop=3e-3, v0=2.0)
+        ref_cold = ctrl.run(system, lambda t: 10e-3, t_stop=3e-3)
+        assert np.abs(res.v_rect[0]
+                      - [s.v_rect for s in ref_warm]).max() < 1e-9
+        assert np.abs(res.v_rect[1]
+                      - [s.v_rect for s in ref_cold]).max() < 1e-9
+
+    def test_clamp_current_scalar_and_array_agree_everywhere(self):
+        """The exponent cap applies to both input types, so the same
+        voltage gives the same leakage regardless of how it is passed."""
+        m = RectifierEnvelopeModel()
+        for v in (2.9, 3.2, 10.0, 80.0):
+            scalar = m.clamp_current(v)
+            array = float(m.clamp_current(np.array([v]))[0])
+            assert array == pytest.approx(scalar, rel=1e-12)
+        assert np.isfinite(m.clamp_current(1000.0))
+
+    def test_crossing_and_minimum_helpers(self):
+        batch = ScenarioBatch([Scenario(i_load=352e-6)])
+        env = batch.run_envelope(5e-3, t_stop=700e-6)
+        t_cross = env.crossing_times(2.75)
+        ref = batch.scenarios[0].rectifier or None
+        assert np.isfinite(t_cross[0])
+        assert 200e-6 < t_cross[0] < 350e-6
+        assert env.minimum_after(500e-6)[0] > 2.5
+        assert env.v_final[0] == env.v_rect[0, -1]

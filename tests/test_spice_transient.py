@@ -207,3 +207,76 @@ class TestTransientValidation:
         # Initial current ~ V/R, final ~ 0.
         assert i_r.v[1] == pytest.approx(1e-3, rel=0.05)
         assert abs(i_r.v[-1]) < 1e-5
+
+
+class TestVectorizedDeviceCurrent:
+    """Satellite: components accept the whole (n_steps, n_unknowns)
+    solution array, so device_current needs no per-step Python loop —
+    the vectorized result must match the historical per-step one."""
+
+    def _assert_matches_per_step(self, res, name):
+        comp = res.circuit[name]
+        vectorized = res.device_current(name).v
+        per_step = np.array([comp.current(xk) for xk in res.x])
+        assert np.allclose(vectorized, per_step, rtol=1e-12, atol=1e-18)
+
+    def test_resistor_matches_per_step(self):
+        ckt = rc_charge_circuit()
+        res = transient(ckt, t_stop=2e-3, dt=5e-6, use_ic=True)
+        self._assert_matches_per_step(res, "R1")
+
+    def test_diode_matches_per_step_all_regions(self):
+        """The drive swings the diode through reverse cut-off, the
+        exponential region, and (via a stiff source) the linearised
+        continuation — every piecewise branch of iv()."""
+        ckt = Circuit("regions")
+        ckt.add_vsource("V1", "in", "0", sine(3.0, 1e5))
+        ckt.add_diode("D1", "in", "out")
+        ckt.add_capacitor("C1", "out", "0", 1e-6)
+        ckt.add_resistor("RL", "out", "0", 1e6)
+        res = transient(ckt, t_stop=100e-6, dt=0.1e-6, use_ic=True)
+        self._assert_matches_per_step(res, "D1")
+        # The sweep really visited both polarities.
+        vd = res.voltage("in").v - res.voltage("out").v
+        assert vd.min() < -1.0 and vd.max() > 0.4
+
+    def test_diode_current_covers_every_piecewise_branch(self):
+        """Direct component check on a synthetic solution array spanning
+        deep reverse cut-off, the exponential region, and the linear
+        continuation past the overflow knee."""
+        ckt = Circuit("d")
+        ckt.add_vsource("V1", "a", "0", 0.0)
+        ckt.add_diode("D1", "a", "0")
+        ckt.build()
+        comp = ckt["D1"]
+        vds = np.array([-5.0, -1.0, -0.1, 0.0, 0.3, 0.65, 1.0, 1.2, 3.0])
+        x = np.zeros((vds.size, ckt.n_unknowns))
+        x[:, ckt.node_index("a")] = vds
+        vectorized = comp.current(x)
+        per_step = np.array([comp.current(xk) for xk in x])
+        assert np.allclose(vectorized, per_step, rtol=1e-12, atol=1e-30)
+        # The sweep really crossed the knee and the cut-off floor.
+        assert vds.max() > comp.v_max
+        assert vds.min() < -20.0 * comp.n * comp.vt
+
+    def test_switch_matches_per_step(self):
+        ckt = Circuit("chop")
+        ckt.add_vsource("V1", "in", "0", 1.0)
+        ckt.add_vsource("Vc", "ctl", "0", square(0.0, 1.0, 1e5))
+        ckt.add_switch("S1", "in", "out", "ctl", "0", v_threshold=0.5)
+        ckt.add_resistor("RL", "out", "0", 1e3)
+        res = transient(ckt, t_stop=50e-6, dt=0.5e-6, use_ic=True)
+        self._assert_matches_per_step(res, "S1")
+        # The chopping means both switch states appear in the run.
+        i = res.device_current("S1").v
+        assert i.max() > 1e-4 and i.min() < 1e-7
+
+    def test_grounded_component_gives_constant_waveform(self):
+        ckt = Circuit("gnd")
+        ckt.add_vsource("V1", "a", "0", 1.0)
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        ckt.add_resistor("Rgnd", "0", "0", 1e3)
+        res = transient(ckt, t_stop=1e-5, dt=1e-6, use_ic=True)
+        i = res.device_current("Rgnd")
+        assert np.all(i.v == 0.0)
+        assert i.v.shape == res.t.shape
