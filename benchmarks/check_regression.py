@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the CI benchmark job.
+
+Compares a ``pytest-benchmark --benchmark-json`` result file against
+the committed baseline (``benchmarks/BENCH_baseline.json``) and exits
+nonzero when any *gated* benchmark slowed down by more than
+``--max-slowdown`` (default 1.30 = fail on >30% slowdown).  The gated
+set — the scenario-batch and spice-kernel benches that pin the
+engine's hot paths — is recorded in the baseline file itself.
+
+Refresh the baseline (after an intentional perf change)::
+
+    PYTHONPATH=src python -m pytest benchmarks -q \
+        --benchmark-json=BENCH_local.json
+    python benchmarks/check_regression.py BENCH_local.json \
+        --update-baseline benchmarks/BENCH_baseline.json
+
+Only ``stats.min`` (best round) is compared: it is the most
+noise-resistant point estimate a shared CI runner can produce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Benchmarks whose regressions fail CI (recorded into the baseline).
+DEFAULT_GATE = [
+    "test_bench_batch_speedup",
+    "test_bench_parallel_speedup_and_parity",
+    "test_bench_spice_accuracy_and_speed",
+    "test_bench_nonlinear_newton_speed",
+]
+
+
+def load_results(path):
+    """{benchmark name: {"min": s, "mean": s}} from a
+    pytest-benchmark JSON file (or from a previous baseline file)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if "benchmarks" in doc and isinstance(doc["benchmarks"], dict):
+        return doc["benchmarks"]  # already a compact baseline
+    return {
+        bench["name"]: {
+            "min": bench["stats"]["min"],
+            "mean": bench["stats"]["mean"],
+        }
+        for bench in doc.get("benchmarks", [])
+    }
+
+
+def write_baseline(path, results, gate):
+    missing = [name for name in gate if name not in results]
+    if missing:
+        raise SystemExit(
+            f"cannot write baseline: gated benchmarks missing from "
+            f"results: {missing}"
+        )
+    with open(path, "w") as fh:
+        json.dump({"gate": gate, "benchmarks": results}, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"baseline written to {path} "
+        f"({len(results)} benchmarks, {len(gate)} gated)"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="pytest-benchmark JSON file")
+    parser.add_argument("--baseline", default="benchmarks/BENCH_baseline.json")
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=1.30,
+        help="fail when min time exceeds baseline * this (default 1.30)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        metavar="PATH",
+        help="write PATH from the results instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        results = load_results(args.results)
+    except OSError as exc:
+        raise SystemExit(f"cannot read results file: {exc}")
+    if args.update_baseline:
+        write_baseline(args.update_baseline, results, DEFAULT_GATE)
+        return 0
+
+    try:
+        with open(args.baseline) as fh:
+            baseline_doc = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"cannot read baseline file: {exc}")
+    gate = baseline_doc.get("gate", DEFAULT_GATE)
+    baseline = baseline_doc["benchmarks"]
+
+    failures = []
+    print(
+        f"{'benchmark':<42s} {'baseline':>10s} {'now':>10s} "
+        f"{'ratio':>7s}  gate"
+    )
+    for name in sorted(set(baseline) | set(results)):
+        gated = name in gate
+        if name not in results:
+            status = "MISSING" if gated else "absent"
+            print(f"{name:<42s} {'-':>10s} {'-':>10s} {'-':>7s}  {status}")
+            if gated:
+                failures.append(f"{name}: gated benchmark missing from results")
+            continue
+        if name not in baseline:
+            now = results[name]["min"]
+            print(f"{name:<42s} {'-':>10s} {now:>10.4g} {'-':>7s}  new")
+            continue
+        ratio = results[name]["min"] / baseline[name]["min"]
+        verdict = ""
+        if gated:
+            verdict = "ok" if ratio <= args.max_slowdown else "FAIL"
+            if ratio > args.max_slowdown:
+                failures.append(
+                    f"{name}: {ratio:.2f}x baseline "
+                    f"(limit {args.max_slowdown:.2f}x)"
+                )
+        print(
+            f"{name:<42s} {baseline[name]['min']:>10.4g} "
+            f"{results[name]['min']:>10.4g} {ratio:>6.2f}x  {verdict}"
+        )
+    if failures:
+        print("\nperf-regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"\nperf-regression gate passed "
+        f"({len(gate)} gated benchmarks within {args.max_slowdown:.2f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,7 +60,7 @@ def test_bench_regulator_dropout_ablation(once):
     dropout regulator relaxes the minimum rectifier voltage and buys
     operating distance.  All four dropout variants bisect in lock-step
     through one vectorized ScenarioBatch."""
-    from repro.engine import Scenario, ScenarioBatch
+    from repro.engine import Scenario, ScenarioBatch, SweepOrchestrator
     from repro.power import LowDropoutRegulator
 
     def sweep():
@@ -69,6 +69,7 @@ def test_bench_regulator_dropout_ablation(once):
                           for d in dropouts])
         batch = ScenarioBatch([Scenario(distance=10e-3, i_load=352e-6)
                                for _ in dropouts])
+        orchestrator = SweepOrchestrator()
         # Smallest constant input power that settles above each v_min
         # with the low-power load: one bisection per dropout, all four
         # integrated as a single batch per iteration.
@@ -76,7 +77,8 @@ def test_bench_regulator_dropout_ablation(once):
         p_hi = np.full(len(dropouts), 10e-3)
         for _ in range(30):
             p_mid = 0.5 * (p_lo + p_hi)
-            v_final = batch.run_envelope(p_mid, 1.2e-3).v_final
+            v_final = orchestrator.run_envelope(batch, p_mid,
+                                                1.2e-3).v_final
             settled = v_final >= v_min
             p_hi = np.where(settled, p_mid, p_hi)
             p_lo = np.where(settled, p_lo, p_mid)

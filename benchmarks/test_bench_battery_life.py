@@ -63,11 +63,9 @@ def test_bench_duty_cycle_vs_implant_rail(once):
     carrier stretches patch battery life, but only duty cycles the
     closed-loop implant rail can ride out are usable — sweep both sides
     of that trade in one batch."""
-    import numpy as np
-
     from repro import RemotePoweringSystem
     from repro.core import AdaptivePowerController
-    from repro.engine import Scenario, ScenarioBatch
+    from repro.engine import Scenario, ScenarioBatch, SweepOrchestrator
 
     duties = (1.0, 0.75, 0.5, 0.3, 0.15, 0.05)
 
@@ -79,7 +77,9 @@ def test_bench_duty_cycle_vs_implant_rail(once):
             [Scenario(distance=10e-3, duty_cycle=dc) for dc in duties]
             # A far-implant, aggressive-duty-cycling corner rides along.
             + [Scenario(distance=18e-3, duty_cycle=0.05)])
-        result = batch.run_control(system, controller, t_stop=40e-3)
+        result = SweepOrchestrator().run_control(batch, system,
+                                                 controller,
+                                                 t_stop=40e-3)
         frac, v_min, _, drive = result.regulation_statistics()
         lives = [patch.monitoring_session_life(dc, 1.0 - dc)
                  for dc in duties]

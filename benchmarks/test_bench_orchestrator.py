@@ -1,0 +1,197 @@
+"""Orchestration acceptance bench — parallel sweeps and the result store.
+
+The acceptance criteria for the sweep-orchestration layer:
+
+* a 2-worker orchestrated sweep of a >= 128-cell grid beats the serial
+  ``ScenarioBatch`` run of the same grid by >= 1.7x (asserted whenever
+  the host has >= 2 CPUs; on a single-CPU host the ratio is reported
+  but not enforced — two processes on one core cannot speed anything
+  up), with **bitwise-identical** result arrays;
+* a warm-cache rerun of the same grid through the content-addressed
+  result store completes in < 10% of the cold time.
+
+The grid is motion-profile-heavy on purpose: moving scenarios pay one
+Python-level link solve per scenario per control step, which is the
+per-scenario work that sharding actually parallelises (the vectorized
+time loop itself costs the same per chunk regardless of width — see
+the ``repro.engine.parallel`` module docstring).
+"""
+
+import functools
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro import RemotePoweringSystem
+from repro.core import AdaptivePowerController
+from repro.engine import (
+    ResultStore,
+    Scenario,
+    ScenarioBatch,
+    SweepOrchestrator,
+)
+
+T_STOP = 100e-3
+N_PROFILES = 32
+N_LOADS = 8
+
+
+def drift_profile(t, d0, amplitude):
+    """A picklable posture-drift motion profile (module-level so the
+    multiprocessing workers can unpickle it)."""
+    return d0 + amplitude * (t / T_STOP)
+
+
+def build_grid():
+    """32 motion profiles x 8 loads = 256 moving-scenario cells."""
+    loads = np.linspace(200e-6, 1.3e-3, N_LOADS)
+    scenarios = []
+    for k in range(N_PROFILES):
+        profile = functools.partial(
+            drift_profile, d0=6e-3 + k * 0.25e-3, amplitude=4e-3)
+        for i_load in loads:
+            scenarios.append(Scenario(distance=profile, i_load=i_load))
+    return ScenarioBatch(scenarios)
+
+
+def test_bench_parallel_speedup_and_parity(once):
+    """2-worker orchestrated sweep vs serial ScenarioBatch: bitwise
+    parity always; >= 1.7x speedup enforced on multi-core hosts."""
+    system = RemotePoweringSystem(distance=10e-3)
+    controller = AdaptivePowerController()
+    batch = build_grid()
+    assert len(batch) >= 128
+    orchestrator = SweepOrchestrator(workers=2)
+
+    def timed():
+        t0 = time.perf_counter()
+        serial = batch.run_control(system, controller, T_STOP)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = orchestrator.run_control(batch, system, controller,
+                                            T_STOP)
+        t_parallel = time.perf_counter() - t0
+        return serial, t_serial, parallel, t_parallel
+
+    serial, t_serial, parallel, t_parallel = once(timed)
+    speedup = t_serial / t_parallel
+    cpus = os.cpu_count() or 1
+
+    report("2-worker orchestrated sweep vs serial ScenarioBatch", [
+        ("scenarios", float(len(batch)), ">= 128 required"),
+        ("control steps each", float(serial.times.size), ""),
+        ("serial ScenarioBatch (s)", t_serial, ""),
+        ("orchestrated, 2 workers (s)", t_parallel, ""),
+        ("speedup", speedup, "acceptance: >= 1.7x"),
+        ("host CPUs", float(cpus),
+         "enforced on >= 2" if cpus >= 2 else "single CPU: reported only"),
+    ])
+
+    # Sharded execution must be bitwise-identical to the serial batch.
+    assert orchestrator.stats.parallel or cpus < 2
+    assert np.array_equal(serial.v_rect, parallel.v_rect)
+    assert np.array_equal(serial.v_reported, parallel.v_reported)
+    assert np.array_equal(serial.drive_scale, parallel.drive_scale)
+    assert np.array_equal(serial.p_delivered, parallel.p_delivered)
+    assert np.array_equal(serial.distance, parallel.distance)
+    assert np.array_equal(serial.saturated, parallel.saturated)
+    if cpus >= 2:
+        assert speedup >= 1.7
+
+
+def test_bench_warm_cache_rerun(once, tmp_path):
+    """A warm rerun of the same >= 128-cell grid through the result
+    store must finish in < 10% of the cold run."""
+    system = RemotePoweringSystem(distance=10e-3)
+    controller = AdaptivePowerController()
+    batch = build_grid()
+    workers = 2 if (os.cpu_count() or 1) >= 2 else 1
+    orchestrator = SweepOrchestrator(
+        workers=workers, store=ResultStore(tmp_path / "sweep-cache"))
+
+    def timed():
+        t0 = time.perf_counter()
+        cold = orchestrator.run_control(batch, system, controller,
+                                        T_STOP)
+        t_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = orchestrator.run_control(batch, system, controller,
+                                        T_STOP)
+        t_warm = time.perf_counter() - t0
+        return cold, t_cold, warm, t_warm
+
+    cold, t_cold, warm, t_warm = once(timed)
+    stats = orchestrator.stats
+
+    report("Warm-cache rerun vs cold orchestrated sweep", [
+        ("scenarios", float(len(batch)), ""),
+        ("cold sweep (s)", t_cold, "computes + stores every cell"),
+        ("warm rerun (s)", t_warm, "every cell a store hit"),
+        ("warm/cold", t_warm / t_cold, "acceptance: < 0.10"),
+        ("warm cache hits", float(stats.n_cached), f"of {len(batch)}"),
+    ])
+
+    assert stats.n_cached == len(batch)
+    assert stats.n_computed == 0
+    assert np.array_equal(cold.v_rect, warm.v_rect)
+    assert np.array_equal(cold.saturated, warm.saturated)
+    assert t_warm < 0.10 * t_cold
+
+
+def test_bench_montecarlo_sharding_deterministic(once):
+    """Sharded Monte Carlo through the orchestrator: chunk seeds are
+    deterministic, so the merged draw is identical for 1 and 2
+    workers."""
+    from repro.variability import MonteCarlo, ParameterSpread
+
+    mc = MonteCarlo([
+        ParameterSpread("c_out", 250e-9, 0.1, relative=True),
+        ParameterSpread("i_load", 352e-6, 0.05, relative=True),
+    ], seed=7)
+
+    def run():
+        serial = SweepOrchestrator(workers=1).run_montecarlo(
+            mc, _mc_charge_metrics, n_samples=128, seed=11)
+        sharded = SweepOrchestrator(workers=2).run_montecarlo(
+            mc, _mc_charge_metrics, n_samples=128, seed=11)
+        return serial, sharded
+
+    serial, sharded = once(run)
+    assert set(serial) == {"t_charge"}
+    assert serial["t_charge"].shape == (128,)
+    assert np.array_equal(serial["t_charge"], sharded["t_charge"])
+
+
+def _mc_charge_metrics(params):
+    """Picklable Monte-Carlo kernel: charge time vs Co / load spread."""
+    from repro.power import RectifierEnvelopeModel
+
+    scenarios = [
+        Scenario(rectifier=RectifierEnvelopeModel(c_out=c),
+                 i_load=i_load)
+        for c, i_load in zip(params["c_out"], params["i_load"])
+    ]
+    batch = ScenarioBatch(scenarios)
+    return {"t_charge": batch.charge_times(5e-3, 2.75)}
+
+
+def test_bench_lambda_profiles_fall_back_to_serial():
+    """Unpicklable scenarios must degrade to the serial lane, not
+    crash the sweep (no timing assertion — a correctness guard)."""
+    system = RemotePoweringSystem(distance=10e-3)
+    controller = AdaptivePowerController()
+    batch = ScenarioBatch(
+        [Scenario(distance=lambda t: 8e-3 + 2e-3 * (t / T_STOP)),
+         Scenario(distance=10e-3)])
+    orchestrator = SweepOrchestrator(workers=2)
+    result = orchestrator.run_control(batch, system, controller, 20e-3)
+    assert not orchestrator.stats.parallel
+    assert orchestrator.stats.fallback_reason is not None
+    ref = batch.run_control(system, controller, 20e-3)
+    assert np.array_equal(ref.v_rect, result.v_rect)
+    assert result.v_rect.shape == (2, 20)
+    assert result.distance[0, -1] > result.distance[0, 0]
+    assert result.distance[1, 0] == pytest.approx(10e-3)

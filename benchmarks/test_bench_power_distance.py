@@ -57,18 +57,20 @@ def test_bench_power_vs_distance(once):
 
 
 def test_bench_batched_rail_map(once):
-    """Extension, through the engine's ScenarioBatch: the distance sweep
-    re-expressed as rail outcomes — at which separations does the
+    """Extension, through the engine's sweep orchestrator: the distance
+    sweep re-expressed as rail outcomes — at which separations does the
     unregulated 5-to-15 mW envelope still settle above the 2.1 V rule?"""
-    from repro.engine import ScenarioBatch
+    from repro.engine import ScenarioBatch, SweepOrchestrator
 
     def sweep():
         air = RemotePoweringSystem(distance=10e-3)
         distances = np.arange(6e-3, 20e-3, 2e-3)
         powers = np.array([air.available_power(d) for d in distances])
         batch = ScenarioBatch.from_grid(distances, [352e-6])
-        env = batch.run_envelope(powers, t_stop=1.2e-3)
-        charge = batch.charge_times(powers, PAPER.fig11_charge_voltage)
+        orchestrator = SweepOrchestrator()
+        env = orchestrator.run_envelope(batch, powers, t_stop=1.2e-3)
+        charge = orchestrator.charge_times(batch, powers,
+                                           PAPER.fig11_charge_voltage)
         return distances, powers, env.v_final, charge
 
     distances, powers, v_final, charge = once(sweep)

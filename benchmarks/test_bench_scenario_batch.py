@@ -15,7 +15,7 @@ import pytest
 from conftest import report
 from repro import RemotePoweringSystem
 from repro.core import AdaptivePowerController
-from repro.engine import Scenario, ScenarioBatch
+from repro.engine import Scenario, ScenarioBatch, SweepOrchestrator
 
 T_STOP = 40e-3
 
@@ -60,7 +60,8 @@ def test_bench_batch_speedup(once):
         scalar = scalar_reference(system, controller, batch)
         t_scalar = time.perf_counter() - t0
         t0 = time.perf_counter()
-        batched = batch.run_control(system, controller, T_STOP)
+        batched = SweepOrchestrator().run_control(batch, system,
+                                                  controller, T_STOP)
         t_batch = time.perf_counter() - t0
         return scalar, t_scalar, batched, t_batch
 

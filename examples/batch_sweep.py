@@ -10,18 +10,26 @@ numpy computation through `repro.engine.ScenarioBatch`.  This example:
 2. prints the regulation map (which scenarios keep the rail in-window),
 3. times the batch against the equivalent loop of scalar
    `AdaptivePowerController.run` calls and reports the speedup,
-4. shows a duty-cycled corner of the grid (power-saving operation).
+4. shows a duty-cycled corner of the grid (power-saving operation),
+5. re-runs a physical-axes grid through the `SweepOrchestrator` with a
+   content-addressed result store (the second pass hits every cell).
 
 Run:  python examples/batch_sweep.py
 """
 
+import tempfile
 import time
 
 import numpy as np
 
 from repro import PAPER, RemotePoweringSystem
 from repro.core import AdaptivePowerController
-from repro.engine import Scenario, ScenarioBatch
+from repro.engine import (
+    ResultStore,
+    Scenario,
+    ScenarioBatch,
+    SweepOrchestrator,
+)
 
 
 def main():
@@ -80,6 +88,27 @@ def main():
         print(f"    duty {dc:4.1f}: in-window {frac_d[i]:5.2f}, "
               f"min Vo {v_min_d[i]:5.2f} V, mean drive {drive_d[i]:5.2f}"
               f"{'  <- loop compensates' if dc < 1 and frac_d[i] > 0.9 else ''}")
+
+    # --- 5. orchestrated physical-axes sweep with a result store ----------
+    print("\n[5] Orchestrated sweep: physical axes + content-addressed cache")
+    grid = ScenarioBatch.from_axes(
+        distance=[8e-3, 12e-3, 17e-3],
+        i_load=[352e-6, 1.3e-3],
+        tissue=["air", "muscle"],           # link path composition
+        temperature=[33.0, 41.0])           # bandgap / thermal headroom
+    with tempfile.TemporaryDirectory() as cache_dir:
+        orch = SweepOrchestrator(workers=2,
+                                 store=ResultStore(cache_dir))
+        orch.run_control(grid, system, controller, t_stop=20e-3)
+        print(f"    cold: {orch.stats.summary()}")
+        orch.run_control(grid, system, controller, t_stop=20e-3)
+        print(f"    warm: {orch.stats.summary()}")
+    physical = grid.physical_report(system)
+    hot = int((~physical["thermal_ok"]).sum())
+    print(f"    physical report: P in "
+          f"[{physical['p_available'].min() * 1e3:.2f}, "
+          f"{physical['p_available'].max() * 1e3:.2f}] mW, "
+          f"{hot}/{len(grid)} cells exceed thermal headroom")
 
     print("\nDone.")
 

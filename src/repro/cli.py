@@ -9,6 +9,9 @@ terminal.
     python -m repro.cli classe
     python -m repro.cli anchors
     python -m repro.cli sweep --distances 8 12 16 --loads-ua 352 1302
+    python -m repro.cli sweep --workers 4 --cache-dir ~/.repro-sweeps \
+        --axis temperature=33,37,41 --axis tissue=air,muscle \
+        --format json
 """
 
 from __future__ import annotations
@@ -123,34 +126,176 @@ def cmd_measure(args):
     return 0
 
 
+#: ``--axis KEY=V1,V2,...`` keys -> (Scenario field, value parser).
+#: CLI-facing units: mm, uA, degC; engine-facing: SI.
+_SWEEP_AXES = {
+    "distance_mm": ("distance", lambda v: float(v) * 1e-3),
+    "load_ua": ("i_load", lambda v: float(v) * 1e-6),
+    "duty": ("duty_cycle", float),
+    "drive": ("drive_scale", float),
+    "v0": ("v0", float),
+    "temperature": ("temperature", float),
+    "rx_turns": ("rx_turns", float),
+    "tx_turns": ("tx_turns", float),
+    "tissue": ("tissue", str),
+    "enzyme": ("enzyme", str),
+}
+
+#: Axes whose presence adds the physical-operating-point columns.
+_PHYSICAL_AXES = ("temperature", "tissue", "enzyme", "rx_turns",
+                  "tx_turns")
+
+
+def _parse_sweep_axes(args):
+    """The sweep grid as {Scenario field: [values]}; every bad axis
+    name or value raises a typed ScenarioAxisError (never a numpy
+    broadcast traceback from deep inside a runner)."""
+    from repro.engine import ScenarioAxisError
+
+    axes = {
+        "distance": [float(d) * 1e-3 for d in args.distances],
+        "i_load": [float(i) * 1e-6 for i in args.loads_ua],
+        "duty_cycle": [args.duty],
+    }
+    seen = set()
+    for spec in args.axis or []:
+        key, sep, values = spec.partition("=")
+        key = key.strip().lower()
+        if not sep or not values:
+            raise ScenarioAxisError.for_axis(
+                "--axis", spec, "expected KEY=V1,V2,...")
+        if key not in _SWEEP_AXES:
+            raise ScenarioAxisError.for_axis(
+                key, spec, f"unknown axis; known: {sorted(_SWEEP_AXES)}")
+        if key in seen:
+            raise ScenarioAxisError.for_axis(
+                key, spec, "axis given twice; list every value in one "
+                           "--axis KEY=V1,V2,...")
+        seen.add(key)
+        field, parse = _SWEEP_AXES[key]
+        parsed = []
+        for token in values.split(","):
+            token = token.strip()
+            try:
+                parsed.append(parse(token))
+            except (TypeError, ValueError):
+                raise ScenarioAxisError.for_axis(
+                    key, token, "not a valid value for this axis")
+        axes[field] = parsed
+    return axes
+
+
+def _sweep_cells(batch, result, system, physical):
+    """One plain dict per scenario: axis values + regulation metrics
+    (+ the physical operating point when physical axes are swept)."""
+    from repro.link.spiral import IRONIC_RX_TURNS, IRONIC_TX_TURNS
+
+    frac, v_min, v_max, drive = result.regulation_statistics()
+    implant_load = system.implant.load_current(measuring=False)
+    report = batch.physical_report(system) if physical else None
+    cells = []
+    for i, sc in enumerate(batch.scenarios):
+        i_load = implant_load if sc.i_load is None else sc.i_load
+        cell = {
+            "distance_mm": sc.distance_at(0.0) * 1e3,
+            "load_ua": i_load * 1e6,
+            "duty": sc.duty_cycle,
+        }
+        if physical:
+            cell.update({
+                "temperature": sc.temperature,
+                "tissue": str(sc.tissue) if sc.tissue is not None
+                else "air",
+                "enzyme": str(sc.enzyme) if sc.enzyme is not None
+                else "cLODx",
+                "rx_turns": sc.rx_turns if sc.rx_turns is not None
+                else float(IRONIC_RX_TURNS),
+                "tx_turns": sc.tx_turns if sc.tx_turns is not None
+                else float(IRONIC_TX_TURNS),
+                "p_available_mw": float(report["p_available"][i]) * 1e3,
+                "v_ox": float(report["v_ox"][i]),
+                "sensor_j_ua_cm2": float(report["sensor_j"][i]) * 1e6,
+                "temp_rise": float(report["temp_rise"][i]),
+                "thermal_ok": bool(report["thermal_ok"][i]),
+            })
+        cell.update({
+            "in_window": float(frac[i]),
+            "v_min": float(v_min[i]),
+            "v_max": float(v_max[i]),
+            "mean_drive": float(drive[i]),
+            "verdict": "OK" if frac[i] > 0.9 else "MARGINAL",
+        })
+        cells.append(cell)
+    return cells
+
+
 def cmd_sweep(args):
+    import json
+
     from repro import RemotePoweringSystem
     from repro.core import AdaptivePowerController
-    from repro.engine import ScenarioBatch
+    from repro.engine import (
+        ResultStore,
+        ScenarioAxisError,
+        ScenarioBatch,
+        SweepOrchestrator,
+    )
 
     system = RemotePoweringSystem(distance=10e-3)
     controller = AdaptivePowerController()
-    distances = [d * 1e-3 for d in args.distances]
-    loads = [i * 1e-6 for i in args.loads_ua]
-    batch = ScenarioBatch.from_grid(distances, loads,
-                                    duty_cycle=args.duty)
-    result = batch.run_control(system, controller,
-                               t_stop=args.t_stop * 1e-3)
-    frac, v_min, v_max, drive = result.regulation_statistics()
-    implant_load = system.implant.load_current(measuring=False)
-    rows = []
-    for i, sc in enumerate(batch.scenarios):
-        i_load = implant_load if sc.i_load is None else sc.i_load
-        rows.append((sc.distance_at(0.0) * 1e3,
-                     i_load * 1e6, frac[i], v_min[i],
-                     v_max[i], drive[i],
-                     "OK" if frac[i] > 0.9 else "MARGINAL"))
+    try:
+        store = ResultStore(args.cache_dir) if args.cache_dir else None
+    except OSError as exc:
+        print(f"sweep: cannot use cache dir {args.cache_dir!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    orchestrator = SweepOrchestrator(workers=args.workers, store=store)
+    try:
+        axes = _parse_sweep_axes(args)
+        batch = ScenarioBatch.from_axes(**axes)
+        # The run can still raise a typed axis error for values only
+        # the physics rejects (e.g. rx_turns that pass range checks
+        # but do not fit the coil footprint).
+        result = orchestrator.run_control(batch, system, controller,
+                                          t_stop=args.t_stop * 1e-3)
+        physical = any(name in axes for name in _PHYSICAL_AXES)
+        cells = _sweep_cells(batch, result, system, physical)
+    except ScenarioAxisError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    stats = orchestrator.stats
+
+    if args.format == "json":
+        print(json.dumps({"stats": stats.as_dict(), "cells": cells},
+                         indent=2))
+        return 0
+    if args.format == "csv":
+        import csv
+
+        writer = csv.DictWriter(sys.stdout, fieldnames=list(cells[0]))
+        writer.writeheader()
+        writer.writerows(cells)
+        print(f"sweep: {stats.summary()}", file=sys.stderr)
+        return 0
+    headers = {
+        "distance_mm": "d (mm)", "load_ua": "I_load (uA)",
+        "temperature": "T (degC)", "p_available_mw": "P (mW)",
+        "v_ox": "V_ox (V)", "sensor_j_ua_cm2": "J (uA/cm^2)",
+        "temp_rise": "dT (degC)",
+        "thermal_ok": "thermal", "in_window": "in-window",
+        "v_min": "min Vo", "v_max": "max Vo",
+        "mean_drive": "mean drive",
+    }
+    columns = list(cells[0])
+    rows = [tuple(cell[key] for key in columns) for cell in cells]
+    duty_values = axes.get("duty_cycle", [args.duty])
+    duty_note = (f"duty={duty_values[0]:g}" if len(duty_values) == 1
+                 else f"{len(duty_values)} duty points")
     _print_table(
         f"Batched control sweep ({len(batch)} scenarios, "
-        f"{result.times.size} control steps, duty={args.duty:g})",
-        rows,
-        ["d (mm)", "I_load (uA)", "in-window", "min Vo", "max Vo",
-         "mean drive", "verdict"])
+        f"{result.times.size} control steps, {duty_note})",
+        rows, [headers.get(key, key) for key in columns])
+    print(f"\n  [{stats.summary()}]")
     return 0
 
 
@@ -216,6 +361,19 @@ def build_parser():
                            help="control-loop duration in ms")
             p.add_argument("--duty", type=float, default=1.0,
                            help="carrier duty cycle in (0, 1]")
+            p.add_argument("--axis", action="append", default=None,
+                           metavar="KEY=V1,V2,...",
+                           help="extra sweep axis (repeatable): "
+                                + ", ".join(sorted(_SWEEP_AXES)))
+            p.add_argument("--workers", type=int, default=None,
+                           help="worker processes for the orchestrated "
+                                "sweep (default: serial)")
+            p.add_argument("--cache-dir", default=None,
+                           help="content-addressed result store; "
+                                "repeated sweeps skip computed cells")
+            p.add_argument("--format", default="table",
+                           choices=("table", "json", "csv"),
+                           help="output format")
     return parser
 
 

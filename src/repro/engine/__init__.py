@@ -7,7 +7,11 @@
   firmware event feed);
 * :mod:`repro.engine.scenario` — :class:`Scenario` /
   :class:`ScenarioBatch`: numpy-vectorized batch execution of many
-  scenarios at once.
+  scenarios at once, with electrical *and* physical sweep axes;
+* :mod:`repro.engine.parallel` — :class:`SweepOrchestrator`: shards a
+  batch over multiprocessing workers and merges the results;
+* :mod:`repro.engine.store` — :class:`ResultStore`: content-addressed
+  on-disk cache of per-scenario results.
 """
 
 from repro.engine.core import (
@@ -30,8 +34,11 @@ from repro.engine.scenario import (
     BatchControlResult,
     BatchEnvelopeResult,
     Scenario,
+    ScenarioAxisError,
     ScenarioBatch,
 )
+from repro.engine.parallel import SweepOrchestrator, SweepStats
+from repro.engine.store import ResultStore, StoreStats, canonical_key
 
 __all__ = [
     "SimComponent",
@@ -49,5 +56,11 @@ __all__ = [
     "BatchControlResult",
     "BatchEnvelopeResult",
     "Scenario",
+    "ScenarioAxisError",
     "ScenarioBatch",
+    "SweepOrchestrator",
+    "SweepStats",
+    "ResultStore",
+    "StoreStats",
+    "canonical_key",
 ]

@@ -1,0 +1,617 @@
+"""Parallel sweep orchestration over :class:`ScenarioBatch`.
+
+:class:`SweepOrchestrator` is the scale layer on top of the vectorized
+batch runners: it shards a scenario grid into chunks, fans the chunks
+out over ``multiprocessing`` workers (with a transparent serial
+fallback), consults an optional content-addressed
+:class:`~repro.engine.store.ResultStore` so already-computed cells are
+never re-simulated, and merges the per-chunk arrays back into one
+:class:`BatchControlResult` / :class:`BatchEnvelopeResult`.
+
+Two properties are load-bearing and pinned by tests:
+
+* **Bitwise parity** — every batched update is elementwise per
+  scenario row, so a chunked (and multi-process) sweep returns arrays
+  bitwise-identical to one serial ``ScenarioBatch`` run over the same
+  grid, for any worker count (``tests/test_engine_parallel.py``).
+* **Deterministic seeding** — Monte-Carlo shards draw from child seeds
+  spawned deterministically from the master seed
+  (:meth:`~repro.variability.montecarlo.MonteCarlo.child_seeds`), and
+  the chunk plan depends only on ``n_samples`` and ``chunk_size``, so
+  results do not depend on the worker count.
+
+Chunking note: the vectorized time loop costs roughly the same per
+chunk regardless of chunk width, so the default plan makes exactly one
+chunk per worker.  Parallelism pays off when per-scenario Python work
+(motion-profile link solves, per-scenario coil/tissue models)
+dominates — which is exactly the physical-axes sweeps this layer
+exists for.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import pickle
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.components import (
+    CONTROL_RAIL_CEILING_MARGIN,
+    CONTROL_RAIL_SUBSTEPS,
+)
+from repro.engine.scenario import (
+    BatchControlResult,
+    BatchEnvelopeResult,
+    ScenarioBatch,
+    resolve_tissue,
+)
+from repro.engine.store import STORE_SCHEMA_VERSION, canonical_key
+
+_CONTROL_FIELDS = (
+    "distance",
+    "v_rect",
+    "v_reported",
+    "drive_scale",
+    "p_delivered",
+    "saturated",
+)
+
+
+# ----------------------------------------------------------------------
+# Physics fingerprints (cache keys are content hashes of these)
+# ----------------------------------------------------------------------
+def _rectifier_fingerprint(model):
+    return {
+        "type": type(model).__qualname__,
+        "c_out": model.c_out,
+        "efficiency": model.efficiency,
+        "clamp_voltage": model.clamp_voltage,
+        "v_min_operate": model.v_min_operate,
+        "clamp_i0": model.clamp_i0,
+        "clamp_slope": model.clamp_slope,
+    }
+
+
+def _tissue_fingerprint(layers):
+    return [
+        {
+            "name": layer.tissue.name,
+            "conductivity": layer.tissue.conductivity,
+            "eps_r": layer.tissue.relative_permittivity,
+            "thickness": layer.thickness,
+        }
+        for layer in layers
+    ]
+
+
+def _system_fingerprint(system):
+    link = system.link
+    return {
+        "i_tx": system.i_tx,
+        "freq": link.freq,
+        "l_tx": link.l_tx,
+        "l_rx": link.l_rx,
+        "r_tx": link.r_tx,
+        "r_rx": link.r_rx,
+        "tissue": _tissue_fingerprint(link.tissue_layers),
+        "i_load_default": system.implant.load_current(measuring=False),
+    }
+
+
+def _controller_fingerprint(controller):
+    return {
+        "type": type(controller).__qualname__,
+        "v_low": controller.v_low,
+        "v_high": controller.v_high,
+        "step_ratio": controller.step_ratio,
+        "min_scale": controller.min_scale,
+        "max_scale": controller.max_scale,
+        "telemetry_bits": controller.telemetry_bits,
+        "update_period": controller.update_period,
+    }
+
+
+def _control_scenario_fingerprint(sc, rectifier, i_load_default, times):
+    """Control-mode cell fingerprint — exactly the inputs
+    ``run_control`` consumes, nothing more.  A motion profile is
+    fingerprinted by its *sampled trace* on the run's control times
+    (content addressing that keeps moving scenarios cacheable), and
+    axes the control arrays never see (temperature, enzyme) are
+    deliberately excluded so physically-identical cells share one
+    stored result."""
+    if callable(sc.distance):
+        distance = [sc.distance_at(t) for t in times]
+    else:
+        distance = float(sc.distance)
+    return {
+        "distance": distance,
+        "i_load": sc.i_load if sc.i_load is not None else i_load_default,
+        "drive_scale": sc.drive_scale,
+        "duty_cycle": sc.duty_cycle,
+        "v0": sc.v0,
+        "rectifier": _rectifier_fingerprint(rectifier),
+        "rx_turns": sc.rx_turns,
+        "tx_turns": sc.tx_turns,
+        "tissue": (
+            _tissue_fingerprint(resolve_tissue(sc.tissue, sc.distance_at(0.0)))
+            if sc.tissue is not None
+            else None
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Chunk evaluation — module-level so worker processes can import it
+# ----------------------------------------------------------------------
+def _evaluate_chunk(payload):
+    """Run one chunk and return its result rows as plain arrays."""
+    mode = payload["mode"]
+    if mode == "montecarlo":
+        return payload["mc"].run_batch(
+            payload["evaluate"], payload["n_samples"], seed=payload["seed"]
+        )
+    batch = ScenarioBatch(
+        payload["scenarios"], default_rectifier=payload["default_rectifier"]
+    )
+    if mode == "control":
+        result = batch.run_control(
+            payload["system"], payload["controller"], payload["t_stop"]
+        )
+        return {name: getattr(result, name) for name in _CONTROL_FIELDS}
+    if mode == "envelope":
+        result = batch.run_envelope(
+            payload["p_in"],
+            payload["t_stop"],
+            dt=payload["dt"],
+            v0=payload["v0"],
+            i_load=payload["i_load"],
+        )
+        return {"v_rect": result.v_rect, "p_in": result.p_in, "i_load": result.i_load}
+    if mode == "charge":
+        return {
+            "t_charge": batch.charge_times(
+                payload["p_in"],
+                payload["v_target"],
+                v0=payload["v0"],
+                dt=payload["dt"],
+                limit=payload["limit"],
+                i_load=payload["i_load"],
+            )
+        }
+    raise ValueError(f"unknown chunk mode {mode!r}")
+
+
+@dataclass
+class SweepStats:
+    """What one orchestrated sweep did, for logs and sweep output."""
+
+    mode: str = ""
+    n_scenarios: int = 0
+    n_cached: int = 0
+    n_computed: int = 0
+    n_chunks: int = 0
+    workers: int = 1
+    parallel: bool = False
+    fallback_reason: str | None = None
+    elapsed: float = 0.0
+    store: dict | None = None
+
+    def as_dict(self):
+        return {
+            "mode": self.mode,
+            "n_scenarios": self.n_scenarios,
+            "n_cached": self.n_cached,
+            "n_computed": self.n_computed,
+            "n_chunks": self.n_chunks,
+            "workers": self.workers,
+            "parallel": self.parallel,
+            "fallback_reason": self.fallback_reason,
+            "elapsed_s": self.elapsed,
+            "store": self.store,
+        }
+
+    def summary(self):
+        cache = (
+            f", cache {self.n_cached} hit / {self.n_computed} miss"
+            if self.store is not None
+            else ""
+        )
+        lane = "parallel" if self.parallel else "serial"
+        return (
+            f"{self.n_scenarios} scenarios in {self.n_chunks} chunk(s), "
+            f"{lane} x{self.workers}{cache}, {self.elapsed:.3f} s"
+        )
+
+
+class SweepOrchestrator:
+    """Shard, (optionally) parallelise, cache, and merge batch sweeps.
+
+    Parameters
+    ----------
+    workers : worker-process count; None/0/1 runs serially in-process.
+    store : optional :class:`~repro.engine.store.ResultStore`; when
+        set, each scenario cell is looked up by its physics hash before
+        any chunk is run, and computed cells are written back.
+    chunk_size : scenarios per chunk; default makes one chunk per
+        worker (see the module docstring on why fewer chunks win).
+    start_method : multiprocessing start method; default prefers
+        ``fork`` where available (cheap on Linux), else the platform
+        default.
+
+    The orchestrator keeps the last run's :class:`SweepStats` in
+    ``self.stats``.
+    """
+
+    def __init__(self, workers=None, store=None, chunk_size=None, start_method=None):
+        self.workers = max(1, int(workers)) if workers else 1
+        self.store = store
+        if chunk_size is not None and int(chunk_size) < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = None if chunk_size is None else int(chunk_size)
+        self.start_method = start_method
+        self.stats = None
+
+    # -- chunk plumbing -------------------------------------------------
+    def _chunk_plan(self, indices):
+        if not indices:
+            return []
+        size = self.chunk_size or math.ceil(len(indices) / self.workers)
+        return [indices[k : k + size] for k in range(0, len(indices), size)]
+
+    def _map(self, payloads):
+        """Evaluate chunk payloads, in worker processes when possible.
+
+        Returns (results, parallel?, fallback_reason).  Unpicklable
+        payloads (e.g. lambda motion profiles) fall back to the serial
+        path rather than failing the sweep.
+        """
+        if self.workers <= 1 or len(payloads) < 2:
+            return [_evaluate_chunk(p) for p in payloads], False, None
+        try:
+            pickle.dumps(payloads)
+        except Exception as exc:  # noqa: BLE001 - any pickle failure
+            reason = f"unpicklable sweep payload ({exc})"
+            return [_evaluate_chunk(p) for p in payloads], False, reason
+        method = self.start_method
+        if method is None and "fork" in multiprocessing.get_all_start_methods():
+            method = "fork"
+        ctx = multiprocessing.get_context(method)
+        with ctx.Pool(min(self.workers, len(payloads))) as pool:
+            return pool.map(_evaluate_chunk, payloads), True, None
+
+    def _lookup(self, keys, n_scenarios):
+        """Store lookups: ({index: row dict}, [miss indices])."""
+        cached, misses = {}, []
+        if keys is None:
+            return cached, list(range(n_scenarios)), None
+        for i, key in enumerate(keys):
+            row = self.store.get(key)
+            if row is None:
+                misses.append(i)
+            else:
+                cached[i] = row
+        return cached, misses, keys
+
+    def _finish(self, mode, n_sc, n_cached, n_miss, n_chunks, parallel, reason, t0):
+        self.stats = SweepStats(
+            mode=mode,
+            n_scenarios=n_sc,
+            n_cached=n_cached,
+            n_computed=n_miss,
+            n_chunks=n_chunks,
+            workers=self.workers,
+            parallel=parallel,
+            fallback_reason=reason,
+            elapsed=time.perf_counter() - t0,
+            store=self.store.stats.as_dict() if self.store else None,
+        )
+        return self.stats
+
+    @staticmethod
+    def _as_batch(batch):
+        if isinstance(batch, ScenarioBatch):
+            return batch
+        return ScenarioBatch(list(batch))
+
+    # -- batched adaptive control --------------------------------------
+    def run_control(self, batch, system, controller, t_stop):
+        """Orchestrated twin of :meth:`ScenarioBatch.run_control` —
+        same arrays (bitwise), sharded/cached/parallel execution."""
+        t0 = time.perf_counter()
+        batch = self._as_batch(batch)
+        times = ScenarioBatch.control_times(controller, t_stop)
+        n = times.size
+        keys = None
+        if self.store is not None:
+            base = {
+                "schema": STORE_SCHEMA_VERSION,
+                "mode": "control",
+                "system": _system_fingerprint(system),
+                "controller": _controller_fingerprint(controller),
+                "n_steps": int(n),
+                "period": controller.update_period,
+                "substeps": CONTROL_RAIL_SUBSTEPS,
+                "ceiling_margin": CONTROL_RAIL_CEILING_MARGIN,
+            }
+            i_default = system.implant.load_current(measuring=False)
+            keys = []
+            for sc in batch.scenarios:
+                rectifier = sc.rectifier or batch.default_rectifier
+                fingerprint = _control_scenario_fingerprint(
+                    sc, rectifier, i_default, times
+                )
+                keys.append(canonical_key({**base, "scenario": fingerprint}))
+        cached, misses, keys = self._lookup(keys, len(batch))
+        chunks = self._chunk_plan(misses)
+        payloads = [
+            {
+                "mode": "control",
+                "scenarios": [batch.scenarios[i] for i in chunk],
+                "default_rectifier": batch.default_rectifier,
+                "system": system,
+                "controller": controller,
+                "t_stop": t_stop,
+            }
+            for chunk in chunks
+        ]
+        results, parallel, reason = self._map(payloads)
+        arrays = {
+            name: np.empty(
+                (len(batch), n),
+                dtype=bool if name == "saturated" else float,
+            )
+            for name in _CONTROL_FIELDS
+        }
+        for i, row in cached.items():
+            for name in _CONTROL_FIELDS:
+                arrays[name][i] = row[name]
+        for chunk, rows in zip(chunks, results):
+            for name in _CONTROL_FIELDS:
+                arrays[name][chunk] = rows[name]
+        if self.store is not None:
+            for i in misses:
+                self.store.put(
+                    keys[i], {name: arrays[name][i] for name in _CONTROL_FIELDS}
+                )
+        self._finish(
+            "control",
+            len(batch),
+            len(cached),
+            len(misses),
+            len(chunks),
+            parallel,
+            reason,
+            t0,
+        )
+        return BatchControlResult(
+            times=times,
+            distance=arrays["distance"],
+            v_rect=arrays["v_rect"],
+            v_reported=arrays["v_reported"],
+            drive_scale=arrays["drive_scale"],
+            p_delivered=arrays["p_delivered"],
+            saturated=arrays["saturated"],
+            scenarios=batch.scenarios,
+        )
+
+    # -- batched envelope integration ----------------------------------
+    def _envelope_inputs(self, batch, p_in, v0, i_load):
+        """Resolve per-scenario (pre-duty) power, load, and v0 exactly
+        as :meth:`ScenarioBatch.run_envelope` would."""
+        n_sc = len(batch)
+        p = np.broadcast_to(np.asarray(p_in, dtype=float), (n_sc,)).copy()
+        if i_load is None:
+            i_l = batch._i_load(0.0)
+        else:
+            i_l = np.broadcast_to(np.asarray(i_load, dtype=float), (n_sc,)).copy()
+        if v0 is None:
+            v_0 = batch._v0(0.0)
+        else:
+            v_0 = np.broadcast_to(np.asarray(v0, dtype=float), (n_sc,)).copy()
+        return p, i_l, v_0
+
+    def _envelope_keys(self, batch, mode, p, i_l, v_0, extra):
+        base = {
+            "schema": STORE_SCHEMA_VERSION,
+            "mode": mode,
+            **extra,
+        }
+        return [
+            canonical_key(
+                {
+                    **base,
+                    "scenario": {
+                        "p_in": p[i],
+                        "i_load": i_l[i],
+                        "v0": v_0[i],
+                        "duty_cycle": sc.duty_cycle,
+                        "rectifier": _rectifier_fingerprint(
+                            sc.rectifier or batch.default_rectifier
+                        ),
+                    },
+                }
+            )
+            for i, sc in enumerate(batch.scenarios)
+        ]
+
+    def run_envelope(self, batch, p_in, t_stop, dt=1e-6, v0=None, i_load=None):
+        """Orchestrated twin of :meth:`ScenarioBatch.run_envelope`."""
+        t0 = time.perf_counter()
+        batch = self._as_batch(batch)
+        times = ScenarioBatch.envelope_times(t_stop, dt)
+        p, i_l, v_0 = self._envelope_inputs(batch, p_in, v0, i_load)
+        keys = None
+        if self.store is not None:
+            keys = self._envelope_keys(
+                batch,
+                "envelope",
+                p,
+                i_l,
+                v_0,
+                {"t_stop": float(t_stop), "dt": float(dt)},
+            )
+        cached, misses, keys = self._lookup(keys, len(batch))
+        chunks = self._chunk_plan(misses)
+        payloads = [
+            {
+                "mode": "envelope",
+                "scenarios": [batch.scenarios[i] for i in chunk],
+                "default_rectifier": batch.default_rectifier,
+                "p_in": p[chunk],
+                "i_load": i_l[chunk],
+                "v0": v_0[chunk],
+                "t_stop": t_stop,
+                "dt": dt,
+            }
+            for chunk in chunks
+        ]
+        results, parallel, reason = self._map(payloads)
+        n = times.size
+        v_rect = np.empty((len(batch), n))
+        p_out = np.empty(len(batch))
+        i_out = np.empty(len(batch))
+        for i, row in cached.items():
+            v_rect[i] = row["v_rect"]
+            p_out[i] = row["p_in"]
+            i_out[i] = row["i_load"]
+        for chunk, rows in zip(chunks, results):
+            v_rect[chunk] = rows["v_rect"]
+            p_out[chunk] = rows["p_in"]
+            i_out[chunk] = rows["i_load"]
+        if self.store is not None:
+            for i in misses:
+                self.store.put(
+                    keys[i],
+                    {
+                        "v_rect": v_rect[i],
+                        "p_in": np.asarray(p_out[i]),
+                        "i_load": np.asarray(i_out[i]),
+                    },
+                )
+        self._finish(
+            "envelope",
+            len(batch),
+            len(cached),
+            len(misses),
+            len(chunks),
+            parallel,
+            reason,
+            t0,
+        )
+        return BatchEnvelopeResult(
+            times=times,
+            v_rect=v_rect,
+            p_in=p_out,
+            i_load=i_out,
+            scenarios=batch.scenarios,
+        )
+
+    def charge_times(
+        self, batch, p_in, v_target, v0=None, dt=1e-6, limit=1.0, i_load=None
+    ):
+        """Orchestrated twin of :meth:`ScenarioBatch.charge_times`."""
+        t0 = time.perf_counter()
+        batch = self._as_batch(batch)
+        p, i_l, v_0 = self._envelope_inputs(batch, p_in, v0, i_load)
+        keys = None
+        if self.store is not None:
+            keys = self._envelope_keys(
+                batch,
+                "charge",
+                p,
+                i_l,
+                v_0,
+                {
+                    "v_target": float(v_target),
+                    "dt": float(dt),
+                    "limit": float(limit),
+                },
+            )
+        cached, misses, keys = self._lookup(keys, len(batch))
+        chunks = self._chunk_plan(misses)
+        payloads = [
+            {
+                "mode": "charge",
+                "scenarios": [batch.scenarios[i] for i in chunk],
+                "default_rectifier": batch.default_rectifier,
+                "p_in": p[chunk],
+                "i_load": i_l[chunk],
+                "v0": v_0[chunk],
+                "v_target": v_target,
+                "dt": dt,
+                "limit": limit,
+            }
+            for chunk in chunks
+        ]
+        results, parallel, reason = self._map(payloads)
+        out = np.empty(len(batch))
+        for i, row in cached.items():
+            out[i] = row["t_charge"]
+        for chunk, rows in zip(chunks, results):
+            out[chunk] = rows["t_charge"]
+        if self.store is not None:
+            for i in misses:
+                self.store.put(keys[i], {"t_charge": np.asarray(out[i])})
+        self._finish(
+            "charge",
+            len(batch),
+            len(cached),
+            len(misses),
+            len(chunks),
+            parallel,
+            reason,
+            t0,
+        )
+        return out
+
+    # -- sharded Monte Carlo -------------------------------------------
+    def run_montecarlo(self, mc, evaluate_batch, n_samples=200, seed=0, chunk_size=64):
+        """Shard a vectorized Monte-Carlo run (see
+        :meth:`~repro.variability.montecarlo.MonteCarlo.run_batch`)
+        into deterministic chunks.
+
+        Chunk seeds are spawned from ``seed`` via
+        :meth:`MonteCarlo.child_seeds`, and the chunk plan depends only
+        on ``n_samples`` and ``chunk_size`` — so merged metric arrays
+        are identical for any worker count.  Results are not stored
+        (``evaluate_batch`` has no content fingerprint).
+        """
+        t0 = time.perf_counter()
+        if int(n_samples) < 1:
+            raise ValueError("n_samples must be >= 1")
+        if int(chunk_size) < 1:
+            raise ValueError("chunk_size must be >= 1")
+        plan = [
+            min(chunk_size, n_samples - k)
+            for k in range(0, int(n_samples), int(chunk_size))
+        ]
+        seeds = type(mc).child_seeds(seed, len(plan))
+        payloads = [
+            {
+                "mode": "montecarlo",
+                "mc": mc,
+                "evaluate": evaluate_batch,
+                "n_samples": count,
+                "seed": chunk_seed,
+            }
+            for count, chunk_seed in zip(plan, seeds)
+        ]
+        results, parallel, reason = self._map(payloads)
+        merged = {
+            metric: np.concatenate([chunk[metric] for chunk in results])
+            for metric in results[0]
+        }
+        self._finish(
+            "montecarlo",
+            int(n_samples),
+            0,
+            int(n_samples),
+            len(plan),
+            parallel,
+            reason,
+            t0,
+        )
+        return merged

@@ -16,6 +16,7 @@ runs to float rounding (asserted in tests/test_engine_batch.py).
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 
@@ -32,6 +33,68 @@ from repro.power.envelope import (
 from repro.util import require_positive
 
 
+class ScenarioAxisError(ValueError):
+    """Raised when a sweep axis carries a value no :class:`Scenario`
+    can take (negative load, NaN distance, unknown tissue/enzyme, an
+    axis name that does not exist).  Typed like
+    :class:`~repro.core.control.RegulationWindowError` so frontends can
+    report the bad axis cleanly instead of letting it propagate as a
+    numpy broadcast traceback deep inside a runner."""
+
+    @classmethod
+    def for_axis(cls, name, value, reason):
+        """The shared guard message (CLI and ``from_axes`` paths)."""
+        return cls(f"sweep axis {name!r} value {value!r} is invalid: "
+                   f"{reason}")
+
+
+def _require_finite(value, name):
+    """Finite-number guard: ``require_positive`` lets NaN through
+    (NaN <= 0 is False), and a NaN axis value silently poisons a whole
+    batch, so sweep-facing numbers are pinned here."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ScenarioAxisError.for_axis(name, value,
+                                         "must be a finite number")
+    return value
+
+
+def resolve_enzyme(spec):
+    """Map a sensor-chemistry axis value (an
+    :class:`~repro.sensor.enzyme.EnzymeKinetics` or a preset name) to
+    kinetics; raises :class:`ScenarioAxisError` for unknown names."""
+    from repro.sensor.enzyme import ENZYME_LIBRARY, EnzymeKinetics
+
+    if isinstance(spec, EnzymeKinetics):
+        return spec
+    try:
+        return ENZYME_LIBRARY[str(spec).lower()]
+    except KeyError:
+        raise ScenarioAxisError.for_axis(
+            "enzyme", spec,
+            f"known presets: {sorted(ENZYME_LIBRARY)}")
+
+
+def resolve_tissue(spec, thickness):
+    """Map a tissue-axis value (a ``TissueLayer``, a library name, or a
+    list of layers) to a list of layers; a bare name gets ``thickness``
+    (the scenario's coil separation — the full path is tissue)."""
+    from repro.link.tissue import TISSUE_LIBRARY, TissueLayer
+
+    if isinstance(spec, TissueLayer):
+        return [spec]
+    if isinstance(spec, (list, tuple)):
+        return [layer for item in spec
+                for layer in resolve_tissue(item, thickness)]
+    name = str(spec)
+    if name not in TISSUE_LIBRARY:
+        raise ScenarioAxisError.for_axis(
+            "tissue", spec, f"known tissues: {sorted(TISSUE_LIBRARY)}")
+    if TISSUE_LIBRARY[name].conductivity == 0.0:
+        return []          # air: the link's no-tissue default
+    return [TissueLayer(name, thickness)]
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One point of a batch sweep.
@@ -46,6 +109,22 @@ class Scenario:
     control runs (the controller's historical default), a 0 V cold
     start for envelope runs — while an explicit value is honored by
     every runner.
+
+    The physical axes compose existing layers into the sweep space:
+
+    * ``tissue`` — a tissue name / ``TissueLayer`` / layer list in the
+      link path (attenuates the mutual inductance, adds eddy loss);
+    * ``temperature`` — ambient tissue temperature in degC (moves the
+      bandgap references that set the oxidation potential, and eats
+      into the implant's thermal-dissipation headroom);
+    * ``enzyme`` — sensor chemistry (``"cLODx"``/``"wtLODx"``/
+      ``"GOx"`` or explicit kinetics);
+    * ``rx_turns`` / ``tx_turns`` — coil-geometry variants on the
+      paper's footprints (rebuild the spiral models and the link).
+
+    Scenarios carrying tissue or coil axes get their own
+    :class:`~repro.link.twoport.InductiveLink` (see
+    :meth:`ScenarioBatch.links_for`); the others share the system's.
     """
 
     distance: object = 10e-3
@@ -54,18 +133,57 @@ class Scenario:
     duty_cycle: float = 1.0
     rectifier: object = None
     v0: float | None = None
+    tissue: object = None
+    temperature: float = 37.0
+    enzyme: object = None
+    rx_turns: float | None = None
+    tx_turns: float | None = None
     label: str = ""
 
     def __post_init__(self):
         if not callable(self.distance):
-            require_positive(float(self.distance), "distance")
+            require_positive(_require_finite(self.distance, "distance"),
+                             "distance")
+        _require_finite(self.duty_cycle, "duty_cycle")
         if not 0.0 < self.duty_cycle <= 1.0:
             raise ValueError("duty_cycle must be in (0, 1]")
-        require_positive(self.drive_scale, "drive_scale")
+        require_positive(_require_finite(self.drive_scale,
+                                         "drive_scale"), "drive_scale")
+        if self.i_load is not None:
+            if _require_finite(self.i_load, "i_load") < 0.0:
+                raise ScenarioAxisError.for_axis(
+                    "i_load", self.i_load,
+                    "load current must be >= 0")
+        if self.v0 is not None:
+            if _require_finite(self.v0, "v0") < 0.0:
+                raise ScenarioAxisError.for_axis(
+                    "v0", self.v0, "initial rail must be >= 0")
+        t = _require_finite(self.temperature, "temperature")
+        if not 0.0 <= t <= 60.0:
+            raise ScenarioAxisError.for_axis(
+                "temperature", self.temperature,
+                "must be 0..60 degC (body-adjacent range)")
+        for name in ("rx_turns", "tx_turns"):
+            turns = getattr(self, name)
+            if turns is not None:
+                if not 1.0 <= _require_finite(turns, name) <= 40.0:
+                    raise ScenarioAxisError.for_axis(
+                        name, turns, "must be 1..40 turns")
+        if self.enzyme is not None:
+            resolve_enzyme(self.enzyme)
+        if self.tissue is not None:
+            resolve_tissue(self.tissue, self.distance_at(0.0))
 
     def distance_at(self, t):
         return float(self.distance(t)) if callable(self.distance) \
             else float(self.distance)
+
+    @property
+    def has_link_axes(self):
+        """True when this scenario needs its own link model (tissue in
+        the path or non-default coil geometry)."""
+        return (self.tissue is not None or self.rx_turns is not None
+                or self.tx_turns is not None)
 
 
 @dataclass
@@ -209,6 +327,180 @@ class ScenarioBatch:
         ]
         return cls(scenarios)
 
+    @classmethod
+    def from_axes(cls, default_rectifier=None, **axes):
+        """Cartesian product over *named* scenario axes — electrical
+        and physical in one grid::
+
+            ScenarioBatch.from_axes(
+                distance=[6e-3, 10e-3], i_load=[352e-6, 1.3e-3],
+                tissue=["air", "muscle"], temperature=[33.0, 41.0])
+
+        Every keyword must be a :class:`Scenario` field name mapped to
+        a non-empty sequence of values; invalid names or values raise
+        :class:`ScenarioAxisError` naming the offending axis.
+        """
+        valid = {f for f in Scenario.__dataclass_fields__
+                 if f != "label"}
+        for name in axes:
+            if name not in valid:
+                raise ScenarioAxisError.for_axis(
+                    name, axes[name],
+                    f"unknown axis; valid axes: {sorted(valid)}")
+        names = list(axes)
+        for name in names:
+            values = list(axes[name])
+            if not values:
+                raise ScenarioAxisError.for_axis(
+                    name, axes[name], "axis needs at least one value")
+            axes[name] = values
+        scenarios = []
+        for combo in itertools.product(*(axes[n] for n in names)):
+            kwargs = dict(zip(names, combo))
+            label = ",".join(
+                f"{n}={v!r}" if isinstance(v, str) else f"{n}={v:g}"
+                if isinstance(v, (int, float)) else f"{n}={v}"
+                for n, v in kwargs.items())
+            try:
+                scenarios.append(Scenario(label=label, **kwargs))
+            except ScenarioAxisError:
+                raise
+            except (TypeError, ValueError) as exc:
+                bad = {n: v for n, v in kwargs.items()}
+                raise ScenarioAxisError(
+                    f"scenario {bad} is invalid: {exc}") from exc
+        return cls(scenarios, default_rectifier=default_rectifier)
+
+    # ------------------------------------------------------------------
+    # Shared time grids — single source for the runners here and for
+    # the orchestrator's cache keys (repro.engine.parallel)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def control_times(controller, t_stop):
+        """The control-step time base of :meth:`run_control`."""
+        require_positive(t_stop, "t_stop")
+        period = controller.update_period
+        n = max(1, int(round(t_stop / period)))
+        return np.arange(n) * period
+
+    @staticmethod
+    def envelope_times(t_stop, dt=1e-6):
+        """The sample time base of :meth:`run_envelope`."""
+        require_positive(t_stop, "t_stop")
+        require_positive(dt, "dt")
+        n = int(math.ceil(t_stop / dt)) + 1
+        return np.linspace(0.0, t_stop, n)
+
+    # ------------------------------------------------------------------
+    # Per-scenario link models (physical axes)
+    # ------------------------------------------------------------------
+    def links_for(self, system):
+        """One link model per scenario: ``system.link`` unless the
+        scenario carries tissue or coil-geometry axes, in which case a
+        variant :class:`~repro.link.twoport.InductiveLink` is built on
+        the paper's footprints (memoised across the batch — scenarios
+        sharing the same physical point share one link object)."""
+        cache = {}
+        links = []
+        for sc in self.scenarios:
+            if not sc.has_link_axes:
+                links.append(system.link)
+                continue
+            layers = (resolve_tissue(sc.tissue, sc.distance_at(0.0))
+                      if sc.tissue is not None else [])
+            key = (sc.rx_turns, sc.tx_turns,
+                   tuple((lay.tissue.name, lay.thickness)
+                         for lay in layers))
+            if key not in cache:
+                from repro.link import (
+                    CircularSpiral,
+                    InductiveLink,
+                    RectangularSpiral,
+                )
+
+                try:
+                    coil_tx = (
+                        CircularSpiral.ironic_transmitter(sc.tx_turns)
+                        if sc.tx_turns is not None
+                        else system.link.coil_tx)
+                except ValueError as exc:
+                    raise ScenarioAxisError.for_axis(
+                        "tx_turns", sc.tx_turns, str(exc)) from exc
+                try:
+                    coil_rx = (
+                        RectangularSpiral.ironic_receiver(sc.rx_turns)
+                        if sc.rx_turns is not None
+                        else system.link.coil_rx)
+                except ValueError as exc:
+                    raise ScenarioAxisError.for_axis(
+                        "rx_turns", sc.rx_turns, str(exc)) from exc
+                cache[key] = InductiveLink(coil_tx, coil_rx,
+                                           system.link.freq, layers)
+            links.append(cache[key])
+        return links
+
+    def physical_report(self, system, concentration=1.0):
+        """Per-scenario physical operating point over the batch's
+        temperature / tissue / enzyme / coil axes — dict of
+        (n_scenarios,) arrays:
+
+        * ``p_available`` — received power at the scenario's initial
+          distance through its own link (W);
+        * ``v_ox`` — WE-RE oxidation potential from the two bandgap
+          references at the scenario temperature (V);
+        * ``sensor_j`` — enzyme-electrode current density at
+          ``concentration`` (A/cm^2);
+        * ``temp_rise`` — implant steady-state temperature rise at
+          ``p_available`` (degC, spherical-equivalent model);
+        * ``thermal_ok`` — rise within the chronic limit derated by
+          ambient temperature above body core (hot tissue has less
+          headroom).
+        """
+        from repro.power.thermal import (
+            ImplantThermalModel,
+            thermal_headroom,
+        )
+        from repro.sensor.bandgap import regular_bandgap, sub_1v_bandgap
+
+        links = self.links_for(system)
+        bg_we, bg_re = regular_bandgap(), sub_1v_bandgap()
+        coil = system.link.coil_rx
+        try:
+            # The implant slab is the receiver coil's footprint/stack.
+            thermal = ImplantThermalModel.for_slab(
+                coil.outer_length, coil.outer_width,
+                coil.n_layers * coil.layer_pitch)
+        except AttributeError:
+            # Non-rectangular receiver: fall back to the paper's slab.
+            thermal = ImplantThermalModel.for_slab(38e-3, 2e-3,
+                                                   0.544e-3)
+        n = len(self)
+        p_avail = np.empty(n)
+        v_ox = np.empty(n)
+        sensor_j = np.empty(n)
+        temp_rise = np.empty(n)
+        thermal_ok = np.empty(n, dtype=bool)
+        for i, sc in enumerate(self.scenarios):
+            d = sc.distance_at(0.0)
+            p = links[i].available_power(system.i_tx, d) \
+                * sc.drive_scale ** 2 * sc.duty_cycle
+            enzyme = resolve_enzyme(sc.enzyme if sc.enzyme is not None
+                                    else "cLODx")
+            p_avail[i] = p
+            v_ox[i] = (bg_we.output(sc.temperature)
+                       - bg_re.output(sc.temperature))
+            sensor_j[i] = enzyme.current_density(concentration)
+            temp_rise[i] = thermal.temperature_rise(p)
+            thermal_ok[i] = temp_rise[i] \
+                <= thermal_headroom(sc.temperature)
+        return {
+            "p_available": p_avail,
+            "v_ox": v_ox,
+            "sensor_j": sensor_j,
+            "temp_rise": temp_rise,
+            "thermal_ok": thermal_ok,
+        }
+
     # ------------------------------------------------------------------
     # Elementwise rectifier math — delegated to the model module's
     # shared array formulas with this batch's stacked parameters, so
@@ -233,11 +525,10 @@ class ScenarioBatch:
         """The vectorized twin of ``AdaptivePowerController.run``: all
         scenarios advance through the same outer control steps and inner
         Euler substeps as one array."""
-        require_positive(t_stop, "t_stop")
         n_sc = len(self)
         period = controller.update_period
-        n = max(1, int(round(t_stop / period)))
-        times = np.arange(n) * period
+        times = self.control_times(controller, t_stop)
+        n = times.size
         n_sub = CONTROL_RAIL_SUBSTEPS
         dt_inner = period / n_sub
         v_ceiling = self.clamp_voltage + CONTROL_RAIL_CEILING_MARGIN
@@ -245,13 +536,15 @@ class ScenarioBatch:
 
         # Power scales as drive current squared, so one link solve per
         # (scenario, distance) gives p(scale) = scale^2 * p_unit.
+        # Scenarios with tissue/coil axes solve through their own link.
+        links = self.links_for(system)
         const = [not callable(s.distance) for s in self.scenarios]
         moving = [i for i, c in enumerate(const) if not c]
         d_const = np.array([s.distance_at(0.0) if c else np.nan
                             for s, c in zip(self.scenarios, const)])
         p_unit = np.array([
-            system.link.available_power(system.i_tx, d) if c else np.nan
-            for d, c in zip(d_const, const)])
+            link.available_power(system.i_tx, d) if c else np.nan
+            for d, c, link in zip(d_const, const, links)])
 
         v = self._v0(2.5)
         scale = self.scale0.astype(float).copy()
@@ -283,7 +576,7 @@ class ScenarioBatch:
                 p_u = p_unit.copy()
                 for i in moving:
                     d[i] = self.scenarios[i].distance_at(t)
-                    p_u[i] = system.link.available_power(system.i_tx, d[i])
+                    p_u[i] = links[i].available_power(system.i_tx, d[i])
             else:
                 d, p_u = d_const, p_unit
             p = p_u * scale * scale * self.duty
@@ -330,16 +623,14 @@ class ScenarioBatch:
         uses each scenario's ``v0``, itself defaulting to the 0 V
         cold-start convention of ``RectifierEnvelopeModel.simulate``.
         """
-        require_positive(t_stop, "t_stop")
-        require_positive(dt, "dt")
         n_sc = len(self)
         p = np.broadcast_to(np.asarray(p_in, dtype=float),
                             (n_sc,)).copy() * self.duty
         i_l = (self._i_load(0.0) if i_load is None
                else np.broadcast_to(np.asarray(i_load, dtype=float),
                                     (n_sc,)).copy())
-        n = int(math.ceil(t_stop / dt)) + 1
-        t = np.linspace(0.0, t_stop, n)
+        t = self.envelope_times(t_stop, dt)
+        n = t.size
         v = np.empty((n_sc, n))
         v[:, 0] = self._v0(0.0) if v0 is None else v0
         for k in range(1, n):

@@ -1,0 +1,181 @@
+"""Content-addressed on-disk result store for sweep orchestration.
+
+Every scenario cell of a sweep is addressed by the SHA-256 of its full
+physics fingerprint (scenario axes + system/controller parameters +
+time grid — assembled in :mod:`repro.engine.parallel`), and its result
+rows live in one ``.npz`` under a two-level sharded directory.  Repeated
+sweeps, partially-overlapping grids, and CI bench reruns then skip every
+already-computed cell; hit/miss counters are surfaced in sweep output.
+
+Keys are content hashes, so a changed controller gain, tissue stack, or
+engine constant simply misses — there is no invalidation protocol.  The
+optional ``max_entries`` bound evicts least-recently-used cells (hits
+touch the file mtime) so a long-lived cache directory cannot grow
+without bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Bump when the stored row layout or fingerprint layout changes; the
+#: version participates in every key, so old cells simply stop matching.
+STORE_SCHEMA_VERSION = 1
+
+
+def _jsonable(obj):
+    """Canonical-JSON fallback for numpy scalars and arrays."""
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"cannot fingerprint {type(obj).__name__!r} values")
+
+
+def canonical_key(payload):
+    """SHA-256 hex digest of a plain-data payload, via canonical JSON
+    (sorted keys, no whitespace) so logically-equal fingerprints hash
+    identically regardless of dict construction order."""
+    blob = json.dumps(
+        payload,
+        sort_keys=True,
+        separators=(",", ":"),
+        default=_jsonable,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting for one :class:`ResultStore` lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    def as_dict(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+        }
+
+
+class ResultStore:
+    """Scenario-hash -> ``.npz`` store rooted at ``root``.
+
+    ``get``/``put`` move dicts of numpy arrays; writes go through a
+    temp file + atomic rename so a crashed sweep never leaves a
+    half-written cell that later reads as a corrupt hit.
+    """
+
+    def __init__(self, root, max_entries=None):
+        self.root = os.path.expanduser(str(root))
+        os.makedirs(self.root, exist_ok=True)
+        if max_entries is not None and int(max_entries) < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = None if max_entries is None else int(max_entries)
+        self.stats = StoreStats()
+        # Approximate cell count so put() only pays a full directory
+        # scan when the bound is actually exceeded; _evict resyncs it.
+        self._count = None
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".npz")
+
+    def _entries(self):
+        """(mtime, path) for every stored cell."""
+        out = []
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if not name.endswith(".npz"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    out.append((os.path.getmtime(path), path))
+                except OSError:
+                    continue
+        return out
+
+    def __len__(self):
+        return len(self._entries())
+
+    def get(self, key):
+        """The stored arrays for ``key``, or None (counted as a miss).
+        A hit refreshes the cell's LRU position."""
+        path = self._path(key)
+        try:
+            with np.load(path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        except (OSError, ValueError, EOFError, KeyError):
+            # Missing cell, or one corrupted mid-write by a hard kill:
+            # either way it is a miss and will be recomputed.
+            self.stats.misses += 1
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            # A concurrent process evicted the cell between the load
+            # and the LRU touch; the data is already in hand.
+            pass
+        self.stats.hits += 1
+        return arrays
+
+    def put(self, key, arrays):
+        """Store ``arrays`` (a dict of numpy arrays) under ``key``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        existed = os.path.exists(path)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.stats.writes += 1
+        if self.max_entries is not None:
+            if self._count is None:
+                self._count = len(self._entries())
+            elif not existed:
+                self._count += 1
+            if self._count > self.max_entries:
+                self._evict()
+
+    def _evict(self):
+        entries = sorted(self._entries())
+        self._count = len(entries)
+        excess = max(0, self._count - self.max_entries)
+        for _, path in entries[:excess]:
+            try:
+                os.unlink(path)
+                self.stats.evictions += 1
+                self._count -= 1
+            except OSError:
+                continue
+
+    def clear(self):
+        """Drop every stored cell (keeps the root directory)."""
+        for _, path in self._entries():
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+        self._count = 0

@@ -27,6 +27,12 @@ MU0 = 4e-7 * math.pi
 RHO_COPPER = 1.72e-8
 EPS0 = 8.854e-12
 
+#: The paper's coil turn counts (ref [28] receiver, Fig. 5 patch) —
+#: the defaults of the ``ironic_*`` constructors, shared with frontends
+#: that display them.
+IRONIC_RX_TURNS = 14
+IRONIC_TX_TURNS = 4
+
 
 def skin_depth(freq, resistivity=RHO_COPPER, mu_r=1.0):
     """Conductor skin depth at ``freq`` (Hz)."""
@@ -204,13 +210,15 @@ class RectangularSpiral(_SpiralBase):
                 t_index += 1
 
     @classmethod
-    def ironic_receiver(cls):
+    def ironic_receiver(cls, n_turns=IRONIC_RX_TURNS):
         """The paper's receiving inductor: 8 layers, 14 turns,
-        38 x 2 x 0.544 mm^3 (ref [28])."""
+        38 x 2 x 0.544 mm^3 (ref [28]).  ``n_turns`` spins a
+        geometry variant on the same footprint and stack-up (the
+        engine's coil-geometry sweep axis)."""
         return cls(
             outer_length=38e-3,
             outer_width=2e-3,
-            n_turns=14,
+            n_turns=n_turns,
             n_layers=8,
             trace_width=100e-6,
             trace_thickness=35e-6,
@@ -253,12 +261,13 @@ class CircularSpiral(_SpiralBase):
                 t_index += 1
 
     @classmethod
-    def ironic_transmitter(cls):
+    def ironic_transmitter(cls, n_turns=IRONIC_TX_TURNS):
         """The patch's transmitting coil: a 32 mm-diameter 4-turn spiral
         on the flexible substrate (patch footprint is ~6 cm, Fig. 5).
         The radius reproduces the paper's measured power-vs-distance
         shape: calibrated to 15 mW at 6 mm, the model then lands within
         ~15% of the other two measured anchors (5 mW at 10 mm, 1.17 mW
-        through 17 mm of tissue)."""
-        return cls(outer_radius=16e-3, n_turns=4, trace_width=1e-3,
+        through 17 mm of tissue).  ``n_turns`` spins a geometry variant
+        on the same radius (the engine's coil-geometry sweep axis)."""
+        return cls(outer_radius=16e-3, n_turns=n_turns, trace_width=1e-3,
                    trace_thickness=35e-6, turn_pitch=2.2e-3)

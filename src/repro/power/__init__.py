@@ -31,6 +31,7 @@ from repro.power.thermal import (
     field_sar,
     link_h_field,
     implant_thermal_check,
+    thermal_headroom,
 )
 
 __all__ = [
@@ -52,4 +53,5 @@ __all__ = [
     "field_sar",
     "link_h_field",
     "implant_thermal_check",
+    "thermal_headroom",
 ]

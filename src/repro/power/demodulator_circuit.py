@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comms.clock import TwoPhaseClock
-from repro.signals import Waveform, slice_levels
+from repro.signals import slice_levels
 from repro.spice import Circuit, transient
 from repro.spice.sources import SourceFunction, ask_carrier
 

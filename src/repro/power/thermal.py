@@ -82,6 +82,20 @@ class ImplantThermalModel:
         return temp_limit * 4.0 * math.pi * k_eff * self.r_eq
 
 
+def thermal_headroom(ambient_temperature, limit=MAX_TEMP_RISE,
+                     core_temperature=37.0):
+    """Allowed implant temperature rise (degC) at an ambient tissue
+    temperature: the chronic limit is referenced to core temperature,
+    so tissue already above 37 degC (fever, exertion) eats into the
+    budget degree for degree; below-core tissue keeps the full limit.
+    Can go negative — at ``core + limit`` and beyond, *any* dissipation
+    is over budget (the sweep axis in
+    :meth:`repro.engine.ScenarioBatch.physical_report`)."""
+    require_positive(limit, "limit")
+    return limit - max(0.0, float(ambient_temperature)
+                       - core_temperature)
+
+
 def field_sar(tissue, h_field_amplitude, freq, radius=10e-3,
               density=1050.0):
     """Eddy-current SAR in tissue exposed to the link's H field.

@@ -7,7 +7,8 @@ and the two bandgap references that set the 650 mV oxidation potential
 between working and reference electrodes.
 """
 
-from repro.sensor.enzyme import EnzymeKinetics, CLODX, WTLODX, GOX
+from repro.sensor.enzyme import EnzymeKinetics, CLODX, WTLODX, GOX, \
+    ENZYME_LIBRARY
 from repro.sensor.electrochem import ThreeElectrodeCell, Electrode
 from repro.sensor.potentiostat import Potentiostat, ReadoutCircuit
 from repro.sensor.bandgap import BandgapReference, regular_bandgap, \
@@ -20,6 +21,7 @@ __all__ = [
     "CLODX",
     "WTLODX",
     "GOX",
+    "ENZYME_LIBRARY",
     "ThreeElectrodeCell",
     "Electrode",
     "Potentiostat",

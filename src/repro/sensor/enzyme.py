@@ -98,3 +98,12 @@ WTLODX = EnzymeKinetics(name="wtLODx", j_max=8e-6, km=3.0, mwcnt_gain=1.0)
 #: those patients who suffer from diabetes").  Km in the tens of mM puts
 #: the physiological 4-8 mM range on the linear part of the curve.
 GOX = EnzymeKinetics(name="GOx", j_max=40e-6, km=22.0, mwcnt_gain=1.0)
+
+#: Name -> preset registry (the sensor-chemistry sweep axis resolves
+#: through this, case-insensitively — the enzyme twin of
+#: ``repro.link.tissue.TISSUE_LIBRARY``).
+ENZYME_LIBRARY = {
+    "clodx": CLODX,
+    "wtlodx": WTLODX,
+    "gox": GOX,
+}

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.spice.components import CurrentSource, VoltageSource
-from repro.spice.dc import OperatingPoint, dc_operating_point
+from repro.spice.dc import dc_operating_point
 from repro.spice.sources import dc_source
 
 

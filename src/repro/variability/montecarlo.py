@@ -110,6 +110,22 @@ class MonteCarlo:
         self.spreads = list(spreads)
         self._rng = np.random.default_rng(seed)
 
+    @staticmethod
+    def child_seeds(seed, n_children):
+        """``n_children`` independent, deterministic child seeds
+        spawned from ``seed`` via :class:`numpy.random.SeedSequence`.
+
+        This is the chunk-seed threading used by the sweep
+        orchestrator (:mod:`repro.engine.parallel`): a sharded
+        Monte-Carlo run gives chunk ``k`` the ``k``-th child seed, so
+        the merged draw sequence is reproducible for any worker count
+        and any one chunk can be re-run in isolation."""
+        if int(n_children) < 1:
+            raise ValueError("n_children must be >= 1")
+        root = np.random.SeedSequence(0 if seed is None else int(seed))
+        return [int(child.generate_state(1)[0])
+                for child in root.spawn(int(n_children))]
+
     def _resolve_rng(self, seed):
         """The instance stream, or a fresh one for an explicit seed —
         an explicit integer seed makes any single call reproducible

@@ -33,6 +33,21 @@ class TestParser:
     def test_sweep_defaults_are_a_64_scenario_grid(self):
         args = build_parser().parse_args(["sweep"])
         assert len(args.distances) * len(args.loads_ua) == 64
+        assert args.workers is None
+        assert args.cache_dir is None
+        assert args.axis is None
+        assert args.format == "table"
+
+    def test_sweep_orchestration_args(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workers", "2", "--cache-dir", "/tmp/c",
+             "--axis", "temperature=33,37,41",
+             "--axis", "tissue=air,muscle", "--format", "json"])
+        assert args.workers == 2
+        assert args.cache_dir == "/tmp/c"
+        assert args.axis == ["temperature=33,37,41",
+                             "tissue=air,muscle"]
+        assert args.format == "json"
 
 
 class TestCommands:
@@ -84,3 +99,93 @@ class TestCommands:
         assert "4 scenarios" in out
         assert "in-window" in out
         assert "OK" in out
+
+    def test_sweep_physical_axes_table(self, capsys):
+        assert main(["sweep", "--distances", "10", "--loads-ua",
+                     "352", "--t-stop", "10",
+                     "--axis", "temperature=33,41",
+                     "--axis", "tissue=air,muscle"]) == 0
+        out = capsys.readouterr().out
+        assert "4 scenarios" in out
+        assert "T (degC)" in out
+        assert "muscle" in out
+
+    def test_sweep_workers_and_cache(self, capsys, tmp_path):
+        argv = ["sweep", "--distances", "8", "12", "--loads-ua",
+                "352", "--t-stop", "10", "--workers", "2",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cache 0 hit / 2 miss" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache 2 hit / 0 miss" in warm
+
+    def test_sweep_json_format(self, capsys):
+        import json
+
+        assert main(["sweep", "--distances", "10", "--loads-ua",
+                     "352", "--t-stop", "5", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stats"]["n_scenarios"] == 1
+        assert doc["cells"][0]["verdict"] in ("OK", "MARGINAL")
+
+    def test_sweep_csv_format(self, capsys):
+        assert main(["sweep", "--distances", "10", "--loads-ua",
+                     "352", "--t-stop", "5", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("distance_mm,")
+        assert len(out.strip().splitlines()) == 2
+
+    def test_sweep_bad_load_is_a_clean_typed_error(self, capsys):
+        assert main(["sweep", "--loads-ua", "nan",
+                     "--t-stop", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "i_load" in err and "finite" in err
+        assert "Traceback" not in err
+
+    def test_sweep_negative_load_rejected(self, capsys):
+        assert main(["sweep", "--loads-ua", "-352",
+                     "--t-stop", "5"]) == 2
+        assert ">= 0" in capsys.readouterr().err
+
+    def test_sweep_unknown_axis_rejected(self, capsys):
+        assert main(["sweep", "--axis", "warp=9",
+                     "--t-stop", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown axis" in err
+
+    def test_sweep_malformed_axis_rejected(self, capsys):
+        assert main(["sweep", "--axis", "temperature",
+                     "--t-stop", "5"]) == 2
+        assert "KEY=V1,V2" in capsys.readouterr().err
+
+    def test_sweep_bad_axis_value_rejected(self, capsys):
+        assert main(["sweep", "--axis", "temperature=warm",
+                     "--t-stop", "5"]) == 2
+        assert "not a valid value" in capsys.readouterr().err
+
+    def test_sweep_duplicate_axis_rejected(self, capsys):
+        assert main(["sweep", "--axis", "tissue=air",
+                     "--axis", "tissue=muscle", "--t-stop", "5"]) == 2
+        assert "axis given twice" in capsys.readouterr().err
+
+    def test_sweep_enzyme_axis_changes_output(self, capsys):
+        assert main(["sweep", "--distances", "10", "--loads-ua",
+                     "352", "--t-stop", "5",
+                     "--axis", "enzyme=cLODx,GOx",
+                     "--format", "csv"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        header = out[0].split(",")
+        j_col = header.index("sensor_j_ua_cm2")
+        j_values = {row.split(",")[j_col] for row in out[1:]}
+        assert len(j_values) == 2  # the chemistry axis is visible
+
+    def test_sweep_unbuildable_coil_rejected_cleanly(self, capsys):
+        """In-range turn counts that don't fit the footprint exit 2
+        with the axis named (caught at run time, not parse time)."""
+        assert main(["sweep", "--distances", "10", "--loads-ua",
+                     "352", "--t-stop", "5",
+                     "--axis", "rx_turns=34"]) == 2
+        err = capsys.readouterr().err
+        assert "rx_turns" in err and "footprint" in err

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import PAPER, RemotePoweringSystem
-from repro.comms import Bitstream, prbs
+from repro.comms import prbs
 from repro.core import ImplantDevice, ImplantState
 from repro.link import TissueLayer
 

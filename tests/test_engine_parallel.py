@@ -1,0 +1,397 @@
+"""SweepOrchestrator: sharded/parallel parity, caching, MC seeding.
+
+The load-bearing property is *bitwise* parity: a chunked (and
+multi-process) orchestrated sweep must return arrays identical to one
+serial ``ScenarioBatch`` run over the same grid — every batched update
+is elementwise per scenario row, so sharding the rows cannot change a
+single bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RemotePoweringSystem
+from repro.core import AdaptivePowerController
+from repro.engine import (
+    ResultStore,
+    Scenario,
+    ScenarioAxisError,
+    ScenarioBatch,
+    SweepOrchestrator,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return RemotePoweringSystem(distance=10e-3)
+
+
+@pytest.fixture(scope="module")
+def controller():
+    return AdaptivePowerController()
+
+
+def step_profile(t):
+    """Module-level (hence picklable) posture-change motion profile."""
+    return 8e-3 if t < 10e-3 else 14e-3
+
+
+def assert_control_equal(a, b):
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.distance, b.distance)
+    assert np.array_equal(a.v_rect, b.v_rect)
+    assert np.array_equal(a.v_reported, b.v_reported)
+    assert np.array_equal(a.drive_scale, b.drive_scale)
+    assert np.array_equal(a.p_delivered, b.p_delivered)
+    assert np.array_equal(a.saturated, b.saturated)
+
+
+class TestControlParity:
+    def test_two_worker_sweep_bitwise_identical(self, system,
+                                                controller):
+        batch = ScenarioBatch.from_grid(
+            [6e-3, 10e-3, 14e-3, 18e-3], [200e-6, 352e-6, 1.3e-3])
+        ref = batch.run_control(system, controller, 25e-3)
+        orch = SweepOrchestrator(workers=2)
+        got = orch.run_control(batch, system, controller, 25e-3)
+        assert orch.stats.parallel
+        assert orch.stats.n_chunks == 2
+        assert_control_equal(ref, got)
+        assert got.scenarios == batch.scenarios
+
+    def test_many_small_chunks_bitwise_identical(self, system,
+                                                 controller):
+        batch = ScenarioBatch.from_grid([6e-3, 12e-3, 18e-3],
+                                        [352e-6, 1.3e-3])
+        ref = batch.run_control(system, controller, 20e-3)
+        orch = SweepOrchestrator(workers=2, chunk_size=1)
+        got = orch.run_control(batch, system, controller, 20e-3)
+        assert orch.stats.n_chunks == len(batch)
+        assert_control_equal(ref, got)
+
+    def test_moving_profiles_parallel_parity(self, system, controller):
+        batch = ScenarioBatch([Scenario(distance=step_profile),
+                               Scenario(distance=10e-3),
+                               Scenario(distance=step_profile,
+                                        i_load=1.3e-3)])
+        ref = batch.run_control(system, controller, 30e-3)
+        orch = SweepOrchestrator(workers=2)
+        got = orch.run_control(batch, system, controller, 30e-3)
+        assert orch.stats.parallel
+        assert_control_equal(ref, got)
+
+    def test_physical_axes_parallel_parity(self, system, controller):
+        batch = ScenarioBatch.from_axes(
+            distance=[10e-3, 17e-3], i_load=[352e-6],
+            tissue=["air", "muscle", "fat"], rx_turns=[10.0, 14.0])
+        ref = batch.run_control(system, controller, 15e-3)
+        orch = SweepOrchestrator(workers=2)
+        got = orch.run_control(batch, system, controller, 15e-3)
+        assert orch.stats.parallel
+        assert_control_equal(ref, got)
+
+    def test_lambda_profile_falls_back_to_serial(self, system,
+                                                 controller):
+        batch = ScenarioBatch([Scenario(distance=lambda t: 9e-3),
+                               Scenario(distance=10e-3)])
+        orch = SweepOrchestrator(workers=2)
+        got = orch.run_control(batch, system, controller, 10e-3)
+        assert not orch.stats.parallel
+        assert "unpicklable" in orch.stats.fallback_reason
+        assert_control_equal(
+            batch.run_control(system, controller, 10e-3), got)
+
+    def test_serial_orchestrator_matches_batch(self, system,
+                                               controller):
+        batch = ScenarioBatch.from_grid([8e-3, 16e-3], [352e-6])
+        orch = SweepOrchestrator()
+        got = orch.run_control(batch, system, controller, 10e-3)
+        assert not orch.stats.parallel
+        assert orch.stats.workers == 1
+        assert_control_equal(
+            batch.run_control(system, controller, 10e-3), got)
+
+
+class TestEnvelopeAndChargeParity:
+    def test_envelope_parallel_parity(self):
+        batch = ScenarioBatch([Scenario(i_load=i)
+                               for i in (200e-6, 352e-6, 800e-6,
+                                         1.3e-3)])
+        ref = batch.run_envelope(5e-3, 400e-6)
+        orch = SweepOrchestrator(workers=2)
+        got = orch.run_envelope(batch, 5e-3, 400e-6)
+        assert np.array_equal(ref.times, got.times)
+        assert np.array_equal(ref.v_rect, got.v_rect)
+        assert np.array_equal(ref.p_in, got.p_in)
+        assert np.array_equal(ref.i_load, got.i_load)
+
+    def test_envelope_per_scenario_power_array(self):
+        batch = ScenarioBatch([Scenario(i_load=352e-6),
+                               Scenario(i_load=352e-6)])
+        powers = np.array([5e-3, 1e-3])
+        ref = batch.run_envelope(powers, 300e-6)
+        got = SweepOrchestrator(workers=2).run_envelope(batch, powers,
+                                                        300e-6)
+        assert np.array_equal(ref.v_rect, got.v_rect)
+
+    def test_charge_times_parallel_parity(self):
+        batch = ScenarioBatch([Scenario(i_load=352e-6),
+                               Scenario(i_load=352e-6),
+                               Scenario(i_load=1.3e-3)])
+        ref = batch.charge_times([5e-3, 1e-6, 5e-3], 2.75)
+        got = SweepOrchestrator(workers=2).charge_times(
+            batch, [5e-3, 1e-6, 5e-3], 2.75)
+        assert np.array_equal(ref, got, equal_nan=True)
+
+
+class TestResultStoreIntegration:
+    def test_rerun_hits_every_cell(self, system, controller, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        orch = SweepOrchestrator(store=store)
+        batch = ScenarioBatch.from_grid([8e-3, 14e-3], [352e-6, 1e-3])
+        cold = orch.run_control(batch, system, controller, 10e-3)
+        assert orch.stats.n_computed == 4
+        assert orch.stats.n_cached == 0
+        warm = orch.run_control(batch, system, controller, 10e-3)
+        assert orch.stats.n_cached == 4
+        assert orch.stats.n_computed == 0
+        assert_control_equal(cold, warm)
+        assert store.stats.hits == 4
+
+    def test_partial_overlap_only_computes_new_cells(
+            self, system, controller, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        orch = SweepOrchestrator(store=store)
+        orch.run_control(ScenarioBatch.from_grid([8e-3], [352e-6]),
+                         system, controller, 10e-3)
+        superset = ScenarioBatch.from_grid([8e-3, 14e-3], [352e-6])
+        got = orch.run_control(superset, system, controller, 10e-3)
+        assert orch.stats.n_cached == 1
+        assert orch.stats.n_computed == 1
+        assert_control_equal(
+            superset.run_control(system, controller, 10e-3), got)
+
+    def test_controller_change_misses(self, system, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        orch = SweepOrchestrator(store=store)
+        batch = ScenarioBatch.from_grid([10e-3], [352e-6])
+        orch.run_control(batch, system,
+                         AdaptivePowerController(), 10e-3)
+        orch.run_control(batch, system,
+                         AdaptivePowerController(v_low=2.4), 10e-3)
+        assert orch.stats.n_cached == 0
+        assert orch.stats.n_computed == 1
+
+    def test_physics_neutral_axes_share_cached_cells(
+            self, system, controller, tmp_path):
+        """Temperature and enzyme never reach the control arrays, so
+        cells differing only in those axes share one stored result."""
+        store = ResultStore(tmp_path / "cache")
+        orch = SweepOrchestrator(store=store)
+        cold = ScenarioBatch.from_axes(distance=[10e-3],
+                                       i_load=[352e-6],
+                                       temperature=[33.0],
+                                       enzyme=["cLODx"])
+        orch.run_control(cold, system, controller, 10e-3)
+        warm = ScenarioBatch.from_axes(distance=[10e-3],
+                                       i_load=[352e-6],
+                                       temperature=[41.0],
+                                       enzyme=["GOx"])
+        orch.run_control(warm, system, controller, 10e-3)
+        assert orch.stats.n_cached == 1
+        assert orch.stats.n_computed == 0
+
+    def test_moving_profile_cells_are_cacheable(self, system,
+                                                controller, tmp_path):
+        """Motion profiles are fingerprinted by their sampled trace,
+        so a rerun hits, and an *equivalent* lambda hits too."""
+        store = ResultStore(tmp_path / "cache")
+        orch = SweepOrchestrator(store=store)
+        batch = ScenarioBatch([Scenario(distance=step_profile)])
+        orch.run_control(batch, system, controller, 20e-3)
+        twin = ScenarioBatch(
+            [Scenario(distance=lambda t: 8e-3 if t < 10e-3
+                      else 14e-3)])
+        orch.run_control(twin, system, controller, 20e-3)
+        assert orch.stats.n_cached == 1
+
+    def test_envelope_and_charge_cached(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        orch = SweepOrchestrator(store=store)
+        batch = ScenarioBatch([Scenario(i_load=352e-6),
+                               Scenario(i_load=1.3e-3)])
+        ref_env = orch.run_envelope(batch, 5e-3, 300e-6)
+        warm_env = orch.run_envelope(batch, 5e-3, 300e-6)
+        assert orch.stats.n_cached == 2
+        assert np.array_equal(ref_env.v_rect, warm_env.v_rect)
+        ref_ct = orch.charge_times(batch, 5e-3, 2.75)
+        warm_ct = orch.charge_times(batch, 5e-3, 2.75)
+        assert orch.stats.n_cached == 2
+        assert np.array_equal(ref_ct, warm_ct, equal_nan=True)
+
+
+class TestMonteCarloSharding:
+    def test_child_seeds_deterministic_and_distinct(self):
+        from repro.variability import MonteCarlo
+
+        a = MonteCarlo.child_seeds(0, 8)
+        b = MonteCarlo.child_seeds(0, 8)
+        assert a == b
+        assert len(set(a)) == 8
+        assert MonteCarlo.child_seeds(1, 8) != a
+
+    def test_sharded_run_matches_manual_chunks(self):
+        from repro.variability import MonteCarlo, ParameterSpread
+
+        mc = MonteCarlo([ParameterSpread("x", 1.0, 0.1)], seed=3)
+        orch = SweepOrchestrator()
+        got = orch.run_montecarlo(mc, _mc_identity, n_samples=50,
+                                  seed=9, chunk_size=16)
+        seeds = MonteCarlo.child_seeds(9, 4)
+        ref = np.concatenate([
+            mc.run_batch(_mc_identity, n, seed=s)["x"]
+            for n, s in zip((16, 16, 16, 2), seeds)])
+        assert np.array_equal(got["x"], ref)
+
+    def test_worker_count_does_not_change_draws(self):
+        from repro.variability import MonteCarlo, ParameterSpread
+
+        mc = MonteCarlo([ParameterSpread("x", 1.0, 0.1)], seed=3)
+        serial = SweepOrchestrator(workers=1).run_montecarlo(
+            mc, _mc_identity, n_samples=64, seed=5, chunk_size=8)
+        sharded = SweepOrchestrator(workers=2).run_montecarlo(
+            mc, _mc_identity, n_samples=64, seed=5, chunk_size=8)
+        assert np.array_equal(serial["x"], sharded["x"])
+
+
+def _mc_identity(params):
+    """Picklable pass-through Monte-Carlo kernel."""
+    return {"x": params["x"]}
+
+
+class TestPhysicalAxes:
+    def test_tissue_attenuates_power(self, system, controller):
+        batch = ScenarioBatch.from_axes(
+            distance=[17e-3], i_load=[352e-6],
+            tissue=["air", "sirloin"])
+        report = batch.physical_report(system)
+        p_air, p_meat = report["p_available"]
+        assert 0.75 < p_meat / p_air < 1.0  # the paper: tissue ~ air
+
+    def test_air_tissue_matches_plain_scenario(self, system,
+                                               controller):
+        plain = ScenarioBatch([Scenario(distance=10e-3,
+                                        i_load=352e-6)])
+        air = ScenarioBatch([Scenario(distance=10e-3, i_load=352e-6,
+                                      tissue="air")])
+        assert_control_equal(
+            plain.run_control(system, controller, 10e-3),
+            air.run_control(system, controller, 10e-3))
+
+    def test_fewer_rx_turns_receive_less_power(self, system):
+        batch = ScenarioBatch.from_axes(distance=[10e-3],
+                                        i_load=[352e-6],
+                                        rx_turns=[7.0, 14.0])
+        report = batch.physical_report(system)
+        assert report["p_available"][0] < report["p_available"][1]
+
+    def test_default_rx_turns_matches_system_link(self, system,
+                                                  controller):
+        """rx_turns=14 rebuilds the paper's coil, so the variant link
+        reproduces the system link's power to float accuracy."""
+        explicit = ScenarioBatch([Scenario(distance=10e-3,
+                                           i_load=352e-6,
+                                           rx_turns=14.0)])
+        plain = ScenarioBatch([Scenario(distance=10e-3,
+                                        i_load=352e-6)])
+        a = explicit.run_control(system, controller, 10e-3)
+        b = plain.run_control(system, controller, 10e-3)
+        assert np.abs(a.v_rect - b.v_rect).max() < 1e-9
+
+    def test_temperature_moves_oxidation_potential(self, system):
+        batch = ScenarioBatch.from_axes(distance=[10e-3],
+                                        i_load=[352e-6],
+                                        temperature=[37.0, 20.0])
+        report = batch.physical_report(system)
+        v_trim, v_cold = report["v_ox"]
+        assert v_trim == pytest.approx(0.65, abs=5e-3)
+        assert v_cold != v_trim  # bandgap curvature away from trim
+
+    def test_hot_tissue_loses_thermal_headroom(self, system):
+        batch = ScenarioBatch.from_axes(distance=[6e-3],
+                                        i_load=[352e-6],
+                                        temperature=[37.0, 41.0])
+        report = batch.physical_report(system)
+        assert report["thermal_ok"][0] != report["thermal_ok"][1] \
+            or not report["thermal_ok"].any()
+
+    def test_enzyme_axis_changes_sensitivity(self, system):
+        batch = ScenarioBatch.from_axes(distance=[10e-3],
+                                        i_load=[352e-6],
+                                        enzyme=["cLODx", "wtLODx"])
+        report = batch.physical_report(system, concentration=0.8)
+        assert report["sensor_j"][0] > report["sensor_j"][1]
+
+    def test_shared_physical_points_share_link_objects(self, system):
+        # Same distance (hence same tissue slab), different loads:
+        # one memoised link serves both scenarios.
+        batch = ScenarioBatch.from_axes(
+            distance=[8e-3], i_load=[352e-6, 1.3e-3],
+            tissue=["muscle"])
+        links = batch.links_for(system)
+        assert links[0] is links[1]
+        plain = ScenarioBatch([Scenario(distance=10e-3)])
+        assert plain.links_for(system)[0] is system.link
+
+
+class TestFromAxesValidation:
+    def test_unknown_axis_is_typed_error(self):
+        with pytest.raises(ScenarioAxisError, match="unknown axis"):
+            ScenarioBatch.from_axes(distance=[10e-3], warp_factor=[9])
+
+    def test_empty_axis_is_typed_error(self):
+        with pytest.raises(ScenarioAxisError, match="at least one"):
+            ScenarioBatch.from_axes(distance=[])
+
+    def test_nan_load_is_typed_error(self):
+        with pytest.raises(ScenarioAxisError, match="finite"):
+            ScenarioBatch.from_axes(distance=[10e-3],
+                                    i_load=[float("nan")])
+
+    def test_negative_load_is_typed_error(self):
+        with pytest.raises(ScenarioAxisError, match="i_load"):
+            ScenarioBatch.from_axes(distance=[10e-3], i_load=[-1e-6])
+
+    def test_bad_duty_cycle_names_the_scenario(self):
+        with pytest.raises(ScenarioAxisError, match="duty_cycle"):
+            ScenarioBatch.from_axes(distance=[10e-3],
+                                    duty_cycle=[0.0])
+
+    def test_unknown_tissue_and_enzyme(self):
+        with pytest.raises(ScenarioAxisError, match="tissue"):
+            Scenario(tissue="granite")
+        with pytest.raises(ScenarioAxisError, match="enzyme"):
+            Scenario(enzyme="unobtainium")
+
+    def test_unbuildable_coil_turns_typed_error(self, system,
+                                                controller):
+        """Turn counts inside the range check but beyond the paper
+        footprint surface as a typed axis error at run time, not a
+        raw spiral-model traceback."""
+        batch = ScenarioBatch.from_axes(distance=[10e-3],
+                                        i_load=[352e-6],
+                                        rx_turns=[34.0])
+        with pytest.raises(ScenarioAxisError, match="rx_turns"):
+            batch.run_control(system, controller, 5e-3)
+        batch = ScenarioBatch.from_axes(distance=[10e-3],
+                                        i_load=[352e-6],
+                                        tx_turns=[9.0])
+        with pytest.raises(ScenarioAxisError, match="tx_turns"):
+            batch.physical_report(system)
+
+    def test_grid_size_is_axis_product(self):
+        batch = ScenarioBatch.from_axes(
+            distance=[6e-3, 10e-3], i_load=[352e-6, 1e-3],
+            temperature=[33.0, 37.0, 41.0])
+        assert len(batch) == 12
+        assert all(sc.label for sc in batch.scenarios)

@@ -1,0 +1,131 @@
+"""ResultStore: content addressing, round trips, LRU eviction."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import ResultStore, canonical_key
+from repro.engine.store import STORE_SCHEMA_VERSION
+
+
+class TestCanonicalKey:
+    def test_stable_and_order_insensitive(self):
+        a = canonical_key({"x": 1.0, "y": [1, 2], "z": "muscle"})
+        b = canonical_key({"z": "muscle", "y": [1, 2], "x": 1.0})
+        assert a == b
+        assert len(a) == 64
+
+    def test_value_changes_change_the_key(self):
+        base = {"x": 1.0, "schema": STORE_SCHEMA_VERSION}
+        assert canonical_key(base) != canonical_key({**base, "x": 1.1})
+        assert canonical_key(base) != canonical_key(
+            {**base, "schema": STORE_SCHEMA_VERSION + 1})
+
+    def test_numpy_scalars_and_arrays_fingerprint(self):
+        a = canonical_key({"x": np.float64(2.5),
+                           "trace": np.array([1.0, 2.0])})
+        b = canonical_key({"x": 2.5, "trace": [1.0, 2.0]})
+        assert a == b
+
+    def test_unfingerprintable_values_raise(self):
+        with pytest.raises(TypeError, match="fingerprint"):
+            canonical_key({"f": lambda t: t})
+
+
+class TestRoundTrip:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        key = canonical_key({"cell": 1})
+        arrays = {
+            "v": np.linspace(0.0, 3.3, 7),
+            "sat": np.array([True, False, True]),
+            "t": np.array([np.nan, 1.0]),
+        }
+        store.put(key, arrays)
+        got = store.get(key)
+        assert set(got) == set(arrays)
+        for name in arrays:
+            assert np.array_equal(arrays[name], got[name],
+                                  equal_nan=(name == "t"))
+        assert got["sat"].dtype == np.bool_
+        assert store.stats.hits == 1
+        assert store.stats.writes == 1
+
+    def test_tilde_root_is_expanded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        store = ResultStore("~/.sweep-cache")
+        assert store.root == str(tmp_path / ".sweep-cache")
+        assert os.path.isdir(store.root)
+
+    def test_missing_key_is_a_counted_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        assert store.get("0" * 64) is None
+        assert store.stats.misses == 1
+        assert store.stats.hits == 0
+
+    def test_corrupt_cell_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        key = canonical_key({"cell": 2})
+        store.put(key, {"v": np.ones(3)})
+        path = store._path(key)
+        with open(path, "wb") as fh:
+            fh.write(b"not an npz")
+        assert store.get(key) is None
+        assert store.stats.misses == 1
+
+    def test_overwrite_same_key(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        key = canonical_key({"cell": 3})
+        store.put(key, {"v": np.zeros(2)})
+        store.put(key, {"v": np.ones(2)})
+        assert np.array_equal(store.get(key)["v"], np.ones(2))
+        assert len(store) == 1
+
+    def test_len_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        for k in range(3):
+            store.put(canonical_key({"cell": k}), {"v": np.ones(1)})
+        assert len(store) == 3
+        store.clear()
+        assert len(store) == 0
+
+
+class TestEviction:
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        store = ResultStore(tmp_path / "cache", max_entries=3)
+        keys = [canonical_key({"cell": k}) for k in range(5)]
+        now = time.time()
+        for i, key in enumerate(keys):
+            store.put(key, {"v": np.full(1, float(i))})
+            # Backdate each cell (oldest first) so LRU order is
+            # unambiguous even on coarse-resolution filesystems; a
+            # just-written cell is always newest, so eviction takes
+            # the oldest backdated one.
+            path = store._path(key)
+            if os.path.exists(path):
+                os.utime(path, (now - 100 + i, now - 100 + i))
+        assert len(store) == 3
+        assert store.stats.evictions == 2
+        # The two oldest cells are gone; the newest three survive.
+        assert store.get(keys[0]) is None
+        assert store.get(keys[1]) is None
+        for key in keys[2:]:
+            assert store.get(key) is not None
+
+    def test_hit_refreshes_lru_position(self, tmp_path):
+        store = ResultStore(tmp_path / "cache", max_entries=2)
+        a, b, c = (canonical_key({"cell": k}) for k in "abc")
+        store.put(a, {"v": np.zeros(1)})
+        os.utime(store._path(a), (time.time() - 30, time.time() - 30))
+        store.put(b, {"v": np.zeros(1)})
+        os.utime(store._path(b), (time.time() - 20, time.time() - 20))
+        assert store.get(a) is not None   # touch: a becomes newest
+        store.put(c, {"v": np.zeros(1)})  # evicts b, not a
+        assert store.get(a) is not None
+        assert store.get(b) is None
+
+    def test_max_entries_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "cache", max_entries=0)

@@ -23,6 +23,13 @@ class TestEnzymeKinetics:
     def test_zero_concentration_zero_current(self):
         assert CLODX.current_density(0.0) == 0.0
 
+    def test_enzyme_library_registry(self):
+        """The sweep axis resolves presets through ENZYME_LIBRARY."""
+        from repro.sensor import ENZYME_LIBRARY
+
+        assert ENZYME_LIBRARY["clodx"] is CLODX
+        assert set(ENZYME_LIBRARY) == {"clodx", "wtlodx", "gox"}
+
     def test_michaelis_menten_half_point(self):
         """At C = Km the response is half of j_max."""
         enz = EnzymeKinetics("test", j_max=10e-6, km=2.0)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.spice import Circuit, dc_source as dc_src, sine, ac_sweep
+from repro.spice import Circuit, dc_source as dc_src, ac_sweep
 from repro.spice.ac import logspace_frequencies
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.spice import Circuit, dc_source as dc_src, sine, square, transient
+from repro.spice import Circuit, sine, square, transient
 
 
 def rc_charge_circuit(vstep=1.0, r=1e3, c=1e-6):

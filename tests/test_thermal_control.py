@@ -12,8 +12,25 @@ from repro.power import (
     field_sar,
     implant_thermal_check,
     link_h_field,
+    thermal_headroom,
 )
 from repro.power.thermal import MAX_TEMP_RISE, SAR_LIMIT_10G
+
+
+class TestThermalHeadroom:
+    def test_full_budget_at_and_below_core(self):
+        assert thermal_headroom(37.0) == MAX_TEMP_RISE
+        assert thermal_headroom(20.0) == MAX_TEMP_RISE
+
+    def test_fever_eats_the_budget_degree_for_degree(self):
+        assert thermal_headroom(37.5) \
+            == pytest.approx(MAX_TEMP_RISE - 0.5)
+        # At core + limit and beyond there is no budget at all.
+        assert thermal_headroom(37.0 + MAX_TEMP_RISE + 2.0) < 0.0
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            thermal_headroom(37.0, limit=0.0)
 
 
 class TestThermalModel:
