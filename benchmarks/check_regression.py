@@ -29,6 +29,7 @@ import sys
 DEFAULT_GATE = [
     "test_bench_batch_speedup",
     "test_bench_parallel_speedup_and_parity",
+    "test_bench_service_microbatch_speedup",
     "test_bench_spice_accuracy_and_speed",
     "test_bench_nonlinear_newton_speed",
 ]

@@ -12,11 +12,14 @@ numpy computation through `repro.engine.ScenarioBatch`.  This example:
    `AdaptivePowerController.run` calls and reports the speedup,
 4. shows a duty-cycled corner of the grid (power-saving operation),
 5. re-runs a physical-axes grid through the `SweepOrchestrator` with a
-   content-addressed result store (the second pass hits every cell).
+   content-addressed result store (the second pass hits every cell),
+6. serves part of the same grid through the `repro.service` layer —
+   concurrent clients coalesced into one engine batch.
 
 Run:  python examples/batch_sweep.py
 """
 
+import asyncio
 import tempfile
 import time
 
@@ -110,7 +113,34 @@ def main():
           f"{physical['p_available'].max() * 1e3:.2f}] mW, "
           f"{hot}/{len(grid)} cells exceed thermal headroom")
 
+    # --- 6. the same physics, served -------------------------------------
+    print("\n[6] Serving the grid: concurrent clients, one engine batch")
+    asyncio.run(serve_corner(system, controller))
+
     print("\nDone.")
+
+
+async def serve_corner(system, controller):
+    """Eight 'clients' each ask for one distance; the service layer
+    coalesces the co-arriving requests into one vectorized batch (see
+    examples/serve_load_test.py for the full serving tour)."""
+    from repro.service import ServiceClient, SimulationService
+
+    service = SimulationService(system=system, controller=controller,
+                                window=10e-3)
+    client = ServiceClient(service)
+    async with service:
+        ids = await asyncio.gather(*(
+            client.submit({"kind": "sweep", "t_stop": 20e-3,
+                           "axes": {"distance": [float(d)],
+                                    "i_load": [352e-6]}})
+            for d in np.linspace(6e-3, 20e-3, 8)))
+        results = await asyncio.gather(*(client.result(i)
+                                         for i in ids))
+    stats = service.scheduler.stats
+    worst = min(r["cells"][0]["in_window"] for r in results)
+    print(f"    8 concurrent requests -> {stats.batches} engine "
+          f"batch(es), worst in-window fraction {worst:.2f}")
 
 
 if __name__ == "__main__":

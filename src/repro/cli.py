@@ -12,6 +12,7 @@ terminal.
     python -m repro.cli sweep --workers 4 --cache-dir ~/.repro-sweeps \
         --axis temperature=33,37,41 --axis tissue=air,muscle \
         --format json
+    python -m repro.cli serve --port 8765 --cache-dir ~/.repro-sweeps
 """
 
 from __future__ import annotations
@@ -249,7 +250,14 @@ def cmd_sweep(args):
         print(f"sweep: cannot use cache dir {args.cache_dir!r}: {exc}",
               file=sys.stderr)
         return 2
-    orchestrator = SweepOrchestrator(workers=args.workers, store=store)
+    progress = None
+    if not args.quiet:
+        def progress(done, total, cells_done, cells_total):
+            print(f"sweep: chunk {done}/{total} done "
+                  f"({cells_done}/{cells_total} cells)",
+                  file=sys.stderr, flush=True)
+    orchestrator = SweepOrchestrator(workers=args.workers, store=store,
+                                     progress=progress)
     try:
         axes = _parse_sweep_axes(args)
         batch = ScenarioBatch.from_axes(**axes)
@@ -264,6 +272,9 @@ def cmd_sweep(args):
         print(f"sweep: {exc}", file=sys.stderr)
         return 2
     stats = orchestrator.stats
+    if store is not None and not args.quiet:
+        print(f"sweep: {stats.n_cached}/{stats.n_scenarios} cells "
+              f"from cache", file=sys.stderr, flush=True)
 
     if args.format == "json":
         print(json.dumps({"stats": stats.as_dict(), "cells": cells},
@@ -299,6 +310,51 @@ def cmd_sweep(args):
     return 0
 
 
+def cmd_serve(args):
+    import asyncio
+
+    from repro.engine import ResultStore
+    from repro.service import ServiceHTTPServer, SimulationService
+
+    try:
+        store = ResultStore(args.cache_dir) if args.cache_dir else None
+    except OSError as exc:
+        print(f"serve: cannot use cache dir {args.cache_dir!r}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    async def run():
+        service = SimulationService(
+            store=store, workers=args.workers,
+            window=args.window_ms * 1e-3, max_batch=args.max_batch,
+            max_pending=args.max_pending)
+        server = ServiceHTTPServer(service, host=args.host,
+                                   port=args.port)
+        host, port = await server.start()
+        await service.start()
+        print(f"repro serve: listening on http://{host}:{port} "
+              f"(batch window {args.window_ms:g} ms, "
+              f"max batch {args.max_batch} cells, "
+              f"queue bound {args.max_pending} jobs)",
+              file=sys.stderr, flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await service.stop()
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("repro serve: stopped", file=sys.stderr)
+        return 0
+    except OSError as exc:
+        print(f"serve: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_list(_args):
     print("Available experiments:")
     for name, func in sorted(_COMMANDS.items()):
@@ -316,6 +372,7 @@ _COMMANDS = {
     "anchors": cmd_anchors,
     "measure": cmd_measure,
     "sweep": cmd_sweep,
+    "serve": cmd_serve,
     "list": cmd_list,
 }
 
@@ -327,6 +384,7 @@ cmd_classe.__doc__ = "class-E design + simulation (E7)"
 cmd_anchors.__doc__ = "every quantitative claim of the paper"
 cmd_measure.__doc__ = "run one remote measurement"
 cmd_sweep.__doc__ = "batched distance x load control sweep (engine)"
+cmd_serve.__doc__ = "JSON-over-HTTP simulation service (micro-batched)"
 cmd_list.__doc__ = "this list"
 
 
@@ -374,6 +432,28 @@ def build_parser():
             p.add_argument("--format", default="table",
                            choices=("table", "json", "csv"),
                            help="output format")
+            p.add_argument("--quiet", action="store_true",
+                           help="suppress per-chunk progress lines "
+                                "on stderr")
+        if name == "serve":
+            p.add_argument("--host", default="127.0.0.1",
+                           help="bind address")
+            p.add_argument("--port", type=int, default=8765,
+                           help="TCP port (0 picks a free port)")
+            p.add_argument("--workers", type=int, default=None,
+                           help="orchestrator worker processes "
+                                "(default: serial; batching is the "
+                                "serving win on 1-CPU hosts)")
+            p.add_argument("--cache-dir", default=None,
+                           help="content-addressed result store "
+                                "shared by all requests")
+            p.add_argument("--window-ms", type=float, default=10.0,
+                           help="micro-batch collection window (ms)")
+            p.add_argument("--max-batch", type=int, default=512,
+                           help="max scenario cells per micro-batch")
+            p.add_argument("--max-pending", type=int, default=512,
+                           help="job-queue bound; beyond it /submit "
+                                "returns 429")
     return parser
 
 

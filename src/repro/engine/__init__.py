@@ -37,7 +37,13 @@ from repro.engine.scenario import (
     ScenarioAxisError,
     ScenarioBatch,
 )
-from repro.engine.parallel import SweepOrchestrator, SweepStats
+from repro.engine.parallel import (
+    SweepOrchestrator,
+    SweepStats,
+    charge_cell_keys,
+    control_cell_keys,
+    envelope_cell_keys,
+)
 from repro.engine.store import ResultStore, StoreStats, canonical_key
 
 __all__ = [
@@ -60,6 +66,9 @@ __all__ = [
     "ScenarioBatch",
     "SweepOrchestrator",
     "SweepStats",
+    "charge_cell_keys",
+    "control_cell_keys",
+    "envelope_cell_keys",
     "ResultStore",
     "StoreStats",
     "canonical_key",

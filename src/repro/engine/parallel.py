@@ -33,6 +33,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import pickle
+import threading
 import time
 from dataclasses import dataclass
 
@@ -144,6 +145,96 @@ def _control_scenario_fingerprint(sc, rectifier, i_load_default, times):
 
 
 # ----------------------------------------------------------------------
+# Cell keys — the content address of one scenario cell in one run mode.
+# Shared by the orchestrator's store lookups and the service layer's
+# cross-request deduplication (repro.service), so "same cell" means
+# exactly the same thing everywhere.
+# ----------------------------------------------------------------------
+def control_cell_keys(batch, system, controller, t_stop):
+    """One :func:`~repro.engine.store.canonical_key` per scenario of a
+    :meth:`SweepOrchestrator.run_control` run."""
+    batch = SweepOrchestrator._as_batch(batch)
+    times = ScenarioBatch.control_times(controller, t_stop)
+    base = {
+        "schema": STORE_SCHEMA_VERSION,
+        "mode": "control",
+        "system": _system_fingerprint(system),
+        "controller": _controller_fingerprint(controller),
+        "n_steps": int(times.size),
+        "period": controller.update_period,
+        "substeps": CONTROL_RAIL_SUBSTEPS,
+        "ceiling_margin": CONTROL_RAIL_CEILING_MARGIN,
+    }
+    i_default = system.implant.load_current(measuring=False)
+    keys = []
+    for sc in batch.scenarios:
+        rectifier = sc.rectifier or batch.default_rectifier
+        fingerprint = _control_scenario_fingerprint(sc, rectifier, i_default, times)
+        keys.append(canonical_key({**base, "scenario": fingerprint}))
+    return keys
+
+
+def envelope_inputs(batch, p_in, v0=None, i_load=None):
+    """Per-scenario (pre-duty) power, load, and v0 arrays, resolved
+    exactly as :meth:`ScenarioBatch.run_envelope` would."""
+    n_sc = len(batch)
+    p = np.broadcast_to(np.asarray(p_in, dtype=float), (n_sc,)).copy()
+    if i_load is None:
+        i_l = batch._i_load(0.0)
+    else:
+        i_l = np.broadcast_to(np.asarray(i_load, dtype=float), (n_sc,)).copy()
+    if v0 is None:
+        v_0 = batch._v0(0.0)
+    else:
+        v_0 = np.broadcast_to(np.asarray(v0, dtype=float), (n_sc,)).copy()
+    return p, i_l, v_0
+
+
+def _envelope_mode_keys(batch, mode, p, i_l, v_0, extra):
+    base = {"schema": STORE_SCHEMA_VERSION, "mode": mode, **extra}
+    return [
+        canonical_key(
+            {
+                **base,
+                "scenario": {
+                    "p_in": p[i],
+                    "i_load": i_l[i],
+                    "v0": v_0[i],
+                    "duty_cycle": sc.duty_cycle,
+                    "rectifier": _rectifier_fingerprint(
+                        sc.rectifier or batch.default_rectifier
+                    ),
+                },
+            }
+        )
+        for i, sc in enumerate(batch.scenarios)
+    ]
+
+
+def envelope_cell_keys(batch, p_in, t_stop, dt=1e-6, v0=None, i_load=None):
+    """Cell keys of a :meth:`SweepOrchestrator.run_envelope` run."""
+    batch = SweepOrchestrator._as_batch(batch)
+    p, i_l, v_0 = envelope_inputs(batch, p_in, v0, i_load)
+    return _envelope_mode_keys(
+        batch, "envelope", p, i_l, v_0, {"t_stop": float(t_stop), "dt": float(dt)}
+    )
+
+
+def charge_cell_keys(batch, p_in, v_target, v0=None, dt=1e-6, limit=1.0, i_load=None):
+    """Cell keys of a :meth:`SweepOrchestrator.charge_times` run."""
+    batch = SweepOrchestrator._as_batch(batch)
+    p, i_l, v_0 = envelope_inputs(batch, p_in, v0, i_load)
+    return _envelope_mode_keys(
+        batch,
+        "charge",
+        p,
+        i_l,
+        v_0,
+        {"v_target": float(v_target), "dt": float(dt), "limit": float(limit)},
+    )
+
+
+# ----------------------------------------------------------------------
 # Chunk evaluation — module-level so worker processes can import it
 # ----------------------------------------------------------------------
 def _evaluate_chunk(payload):
@@ -240,18 +331,30 @@ class SweepOrchestrator:
     start_method : multiprocessing start method; default prefers
         ``fork`` where available (cheap on Linux), else the platform
         default.
+    progress : optional callable ``progress(done, total, cells_done,
+        cells_total)`` fired after every completed chunk (cached cells
+        are not chunks — frontends report them from the run stats), so
+        long sweeps are observably alive while they run.
 
     The orchestrator keeps the last run's :class:`SweepStats` in
     ``self.stats``.
     """
 
-    def __init__(self, workers=None, store=None, chunk_size=None, start_method=None):
+    def __init__(
+        self,
+        workers=None,
+        store=None,
+        chunk_size=None,
+        start_method=None,
+        progress=None,
+    ):
         self.workers = max(1, int(workers)) if workers else 1
         self.store = store
         if chunk_size is not None and int(chunk_size) < 1:
             raise ValueError("chunk_size must be >= 1")
         self.chunk_size = None if chunk_size is None else int(chunk_size)
         self.start_method = start_method
+        self.progress = progress
         self.stats = None
 
     # -- chunk plumbing -------------------------------------------------
@@ -261,26 +364,73 @@ class SweepOrchestrator:
         size = self.chunk_size or math.ceil(len(indices) / self.workers)
         return [indices[k : k + size] for k in range(0, len(indices), size)]
 
+    @staticmethod
+    def _payload_cells(payload):
+        """How many scenario cells (or MC samples) one payload holds."""
+        if payload["mode"] == "montecarlo":
+            return int(payload["n_samples"])
+        return len(payload["scenarios"])
+
+    def _serial_map(self, payloads):
+        report = self._progress_reporter(payloads)
+        results = []
+        for payload in payloads:
+            results.append(_evaluate_chunk(payload))
+            report(len(results))
+        return results
+
+    def _progress_reporter(self, payloads):
+        """A per-completed-chunk callback with the cumulative cell
+        counts precomputed once (not once per chunk)."""
+        if self.progress is None:
+            return lambda done: None
+        totals = [0]
+        for payload in payloads:
+            totals.append(totals[-1] + self._payload_cells(payload))
+        return lambda done: self.progress(
+            done, len(payloads), totals[done], totals[-1]
+        )
+
     def _map(self, payloads):
         """Evaluate chunk payloads, in worker processes when possible.
 
         Returns (results, parallel?, fallback_reason).  Unpicklable
         payloads (e.g. lambda motion profiles) fall back to the serial
-        path rather than failing the sweep.
+        path rather than failing the sweep.  Chunks are consumed as an
+        ordered ``imap`` so the progress callback fires as each chunk
+        lands, not only when the whole map returns.
         """
         if self.workers <= 1 or len(payloads) < 2:
-            return [_evaluate_chunk(p) for p in payloads], False, None
+            return self._serial_map(payloads), False, None
         try:
             pickle.dumps(payloads)
         except Exception as exc:  # noqa: BLE001 - any pickle failure
             reason = f"unpicklable sweep payload ({exc})"
-            return [_evaluate_chunk(p) for p in payloads], False, reason
+            return self._serial_map(payloads), False, reason
         method = self.start_method
-        if method is None and "fork" in multiprocessing.get_all_start_methods():
-            method = "fork"
+        if method is None:
+            methods = multiprocessing.get_all_start_methods()
+            if (
+                "fork" in methods
+                and threading.current_thread() is threading.main_thread()
+            ):
+                method = "fork"
+            elif "forkserver" in methods:
+                # Forking a multi-threaded process (the serving path
+                # dispatches from an executor thread under a live
+                # asyncio loop) can deadlock a child on an inherited
+                # lock; the fork *server* forks from a clean process.
+                method = "forkserver"
+            else:
+                method = "spawn"
         ctx = multiprocessing.get_context(method)
+        report = self._progress_reporter(payloads)
         with ctx.Pool(min(self.workers, len(payloads))) as pool:
-            return pool.map(_evaluate_chunk, payloads), True, None
+            results = []
+            for result in pool.imap(_evaluate_chunk, payloads):
+                results.append(result)
+                report(len(results))
+            return results, True, None
 
     def _lookup(self, keys, n_scenarios):
         """Store lookups: ({index: row dict}, [miss indices])."""
@@ -317,33 +467,23 @@ class SweepOrchestrator:
         return ScenarioBatch(list(batch))
 
     # -- batched adaptive control --------------------------------------
-    def run_control(self, batch, system, controller, t_stop):
+    def run_control(self, batch, system, controller, t_stop, keys=None):
         """Orchestrated twin of :meth:`ScenarioBatch.run_control` —
-        same arrays (bitwise), sharded/cached/parallel execution."""
+        same arrays (bitwise), sharded/cached/parallel execution.
+
+        ``keys`` lets a caller that already computed the per-cell
+        content addresses (:func:`control_cell_keys` — e.g. the
+        service scheduler's dedup pass) hand them in instead of
+        paying the fingerprint walk twice; ignored without a store.
+        """
         t0 = time.perf_counter()
         batch = self._as_batch(batch)
         times = ScenarioBatch.control_times(controller, t_stop)
         n = times.size
-        keys = None
-        if self.store is not None:
-            base = {
-                "schema": STORE_SCHEMA_VERSION,
-                "mode": "control",
-                "system": _system_fingerprint(system),
-                "controller": _controller_fingerprint(controller),
-                "n_steps": int(n),
-                "period": controller.update_period,
-                "substeps": CONTROL_RAIL_SUBSTEPS,
-                "ceiling_margin": CONTROL_RAIL_CEILING_MARGIN,
-            }
-            i_default = system.implant.load_current(measuring=False)
-            keys = []
-            for sc in batch.scenarios:
-                rectifier = sc.rectifier or batch.default_rectifier
-                fingerprint = _control_scenario_fingerprint(
-                    sc, rectifier, i_default, times
-                )
-                keys.append(canonical_key({**base, "scenario": fingerprint}))
+        if self.store is None:
+            keys = None
+        elif keys is None:
+            keys = control_cell_keys(batch, system, controller, t_stop)
         cached, misses, keys = self._lookup(keys, len(batch))
         chunks = self._chunk_plan(misses)
         payloads = [
@@ -398,54 +538,19 @@ class SweepOrchestrator:
         )
 
     # -- batched envelope integration ----------------------------------
-    def _envelope_inputs(self, batch, p_in, v0, i_load):
-        """Resolve per-scenario (pre-duty) power, load, and v0 exactly
-        as :meth:`ScenarioBatch.run_envelope` would."""
-        n_sc = len(batch)
-        p = np.broadcast_to(np.asarray(p_in, dtype=float), (n_sc,)).copy()
-        if i_load is None:
-            i_l = batch._i_load(0.0)
-        else:
-            i_l = np.broadcast_to(np.asarray(i_load, dtype=float), (n_sc,)).copy()
-        if v0 is None:
-            v_0 = batch._v0(0.0)
-        else:
-            v_0 = np.broadcast_to(np.asarray(v0, dtype=float), (n_sc,)).copy()
-        return p, i_l, v_0
-
-    def _envelope_keys(self, batch, mode, p, i_l, v_0, extra):
-        base = {
-            "schema": STORE_SCHEMA_VERSION,
-            "mode": mode,
-            **extra,
-        }
-        return [
-            canonical_key(
-                {
-                    **base,
-                    "scenario": {
-                        "p_in": p[i],
-                        "i_load": i_l[i],
-                        "v0": v_0[i],
-                        "duty_cycle": sc.duty_cycle,
-                        "rectifier": _rectifier_fingerprint(
-                            sc.rectifier or batch.default_rectifier
-                        ),
-                    },
-                }
-            )
-            for i, sc in enumerate(batch.scenarios)
-        ]
-
-    def run_envelope(self, batch, p_in, t_stop, dt=1e-6, v0=None, i_load=None):
-        """Orchestrated twin of :meth:`ScenarioBatch.run_envelope`."""
+    def run_envelope(
+        self, batch, p_in, t_stop, dt=1e-6, v0=None, i_load=None, keys=None
+    ):
+        """Orchestrated twin of :meth:`ScenarioBatch.run_envelope`
+        (``keys`` as in :meth:`run_control`)."""
         t0 = time.perf_counter()
         batch = self._as_batch(batch)
         times = ScenarioBatch.envelope_times(t_stop, dt)
-        p, i_l, v_0 = self._envelope_inputs(batch, p_in, v0, i_load)
-        keys = None
-        if self.store is not None:
-            keys = self._envelope_keys(
+        p, i_l, v_0 = envelope_inputs(batch, p_in, v0, i_load)
+        if self.store is None:
+            keys = None
+        elif keys is None:
+            keys = _envelope_mode_keys(
                 batch,
                 "envelope",
                 p,
@@ -510,15 +615,17 @@ class SweepOrchestrator:
         )
 
     def charge_times(
-        self, batch, p_in, v_target, v0=None, dt=1e-6, limit=1.0, i_load=None
+        self, batch, p_in, v_target, v0=None, dt=1e-6, limit=1.0, i_load=None, keys=None
     ):
-        """Orchestrated twin of :meth:`ScenarioBatch.charge_times`."""
+        """Orchestrated twin of :meth:`ScenarioBatch.charge_times`
+        (``keys`` as in :meth:`run_control`)."""
         t0 = time.perf_counter()
         batch = self._as_batch(batch)
-        p, i_l, v_0 = self._envelope_inputs(batch, p_in, v0, i_load)
-        keys = None
-        if self.store is not None:
-            keys = self._envelope_keys(
+        p, i_l, v_0 = envelope_inputs(batch, p_in, v0, i_load)
+        if self.store is None:
+            keys = None
+        elif keys is None:
+            keys = _envelope_mode_keys(
                 batch,
                 "charge",
                 p,

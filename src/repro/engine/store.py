@@ -9,15 +9,24 @@ already-computed cell; hit/miss counters are surfaced in sweep output.
 
 Keys are content hashes, so a changed controller gain, tissue stack, or
 engine constant simply misses — there is no invalidation protocol.  The
-optional ``max_entries`` bound evicts least-recently-used cells (hits
-touch the file mtime) so a long-lived cache directory cannot grow
-without bound.
+optional ``max_entries`` bound evicts least-recently-used cells so a
+long-lived cache directory cannot grow without bound.  LRU order is
+tracked in an in-memory index (rebuilt once per store instance from
+file mtimes) so ``put`` never rescans the directory; hits still touch
+the file mtime so a *future* store instance — or another process
+sharing the directory — rebuilds the same order.
+
+Writes go through a temp file + atomic rename, so two processes sharing
+one cache directory can race on the same cell and both leave a complete
+``.npz`` behind; a cell evicted under a concurrent reader's feet simply
+reads as a miss and is recomputed.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import tempfile
 from dataclasses import dataclass
@@ -29,24 +38,44 @@ import numpy as np
 STORE_SCHEMA_VERSION = 1
 
 
-def _jsonable(obj):
-    """Canonical-JSON fallback for numpy scalars and arrays."""
+def _canonical_value(obj):
+    """Recursively reduce a fingerprint payload to canonical plain data.
+
+    Beyond numpy scalars/arrays, non-finite floats are rewritten to a
+    tagged one-key dict: ``json.dumps`` would otherwise emit bare
+    ``NaN``/``Infinity`` tokens (invalid JSON, and a foot-gun for any
+    non-Python consumer of the key scheme).  The tag is a dict — not a
+    bare string — so a payload that legitimately contains the *string*
+    ``"NaN"`` can never collide with a payload containing the float.
+    """
     if isinstance(obj, (np.floating, np.integer, np.bool_)):
-        return obj.item()
+        obj = obj.item()
     if isinstance(obj, np.ndarray):
-        return obj.tolist()
+        obj = obj.tolist()
+    if isinstance(obj, float) and not math.isfinite(obj):
+        if math.isnan(obj):
+            return {"__nonfinite__": "nan"}
+        return {"__nonfinite__": "inf" if obj > 0 else "-inf"}
+    if isinstance(obj, dict):
+        return {str(k): _canonical_value(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical_value(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
     raise TypeError(f"cannot fingerprint {type(obj).__name__!r} values")
 
 
 def canonical_key(payload):
     """SHA-256 hex digest of a plain-data payload, via canonical JSON
     (sorted keys, no whitespace) so logically-equal fingerprints hash
-    identically regardless of dict construction order."""
+    identically regardless of dict construction order.  Non-finite
+    floats are canonicalized explicitly (``allow_nan=False`` guards
+    against any slipping through as invalid JSON)."""
     blob = json.dumps(
-        payload,
+        _canonical_value(payload),
         sort_keys=True,
         separators=(",", ":"),
-        default=_jsonable,
+        allow_nan=False,
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -88,15 +117,16 @@ class ResultStore:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = None if max_entries is None else int(max_entries)
         self.stats = StoreStats()
-        # Approximate cell count so put() only pays a full directory
-        # scan when the bound is actually exceeded; _evict resyncs it.
-        self._count = None
+        # In-memory LRU index: {path: None}, oldest first.  Built once
+        # (lazily) from file mtimes; after that every put/get is an
+        # O(1) dict move instead of a directory rescan.
+        self._index = None
 
     def _path(self, key):
         return os.path.join(self.root, key[:2], key + ".npz")
 
-    def _entries(self):
-        """(mtime, path) for every stored cell."""
+    def _scan(self):
+        """(mtime, path) for every stored cell — the startup scan."""
         out = []
         for shard in os.listdir(self.root):
             shard_dir = os.path.join(self.root, shard)
@@ -112,8 +142,23 @@ class ResultStore:
                     continue
         return out
 
+    def _lru(self):
+        """The in-memory LRU index, rebuilt from disk on first use."""
+        if self._index is None:
+            self._index = {path: None for _, path in sorted(self._scan())}
+        return self._index
+
+    def _touch(self, path):
+        """Move ``path`` to the most-recent end of the LRU index."""
+        index = self._lru()
+        index.pop(path, None)
+        index[path] = None
+
     def __len__(self):
-        return len(self._entries())
+        # Directory truth, not the in-memory index: another process
+        # sharing the root may have added or evicted cells since this
+        # instance's index was built.
+        return len(self._scan())
 
     def get(self, key):
         """The stored arrays for ``key``, or None (counted as a miss).
@@ -133,6 +178,7 @@ class ResultStore:
             # A concurrent process evicted the cell between the load
             # and the LRU touch; the data is already in hand.
             pass
+        self._touch(path)
         self.stats.hits += 1
         return arrays
 
@@ -140,7 +186,6 @@ class ResultStore:
         """Store ``arrays`` (a dict of numpy arrays) under ``key``."""
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        existed = os.path.exists(path)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -151,31 +196,35 @@ class ResultStore:
                 os.unlink(tmp)
             raise
         self.stats.writes += 1
-        if self.max_entries is not None:
-            if self._count is None:
-                self._count = len(self._entries())
-            elif not existed:
-                self._count += 1
-            if self._count > self.max_entries:
-                self._evict()
+        self._touch(path)
+        if self.max_entries is not None and len(self._index) > self.max_entries:
+            self._evict()
 
     def _evict(self):
-        entries = sorted(self._entries())
-        self._count = len(entries)
-        excess = max(0, self._count - self.max_entries)
-        for _, path in entries[:excess]:
+        """Drop oldest-known cells until the index fits the bound.
+
+        A cell already removed by a concurrent process just falls out
+        of the index without counting as an eviction here — the other
+        process already accounted for it, so shared directories never
+        double-count (or double-delete) a cell.
+        """
+        index = self._lru()
+        excess = len(index) - self.max_entries
+        for path in list(index)[:excess]:
+            del index[path]
             try:
                 os.unlink(path)
-                self.stats.evictions += 1
-                self._count -= 1
             except OSError:
                 continue
+            self.stats.evictions += 1
 
     def clear(self):
-        """Drop every stored cell (keeps the root directory)."""
-        for _, path in self._entries():
+        """Drop every stored cell (keeps the root directory).  Scans
+        the directory rather than trusting the index, so cells written
+        by a concurrent process are dropped too."""
+        for _, path in self._scan():
             try:
                 os.unlink(path)
             except OSError:
                 continue
-        self._count = 0
+        self._index = {}

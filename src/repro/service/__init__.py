@@ -1,0 +1,58 @@
+"""The simulation service layer: many concurrent clients, one engine.
+
+* :mod:`repro.service.requests`  — :class:`SimRequest`: the typed
+  request model (sweep / transient / battery / montecarlo studies);
+* :mod:`repro.service.jobs`      — :class:`Job` / :class:`JobQueue`:
+  priorities, job states, bounded backpressure, typed errors;
+* :mod:`repro.service.scheduler` — :class:`MicroBatchScheduler`:
+  coalesces co-arriving requests into one vectorized engine batch and
+  deduplicates identical cells across clients by content address;
+* :mod:`repro.service.service`   — :class:`SimulationService`: the
+  serving facade (start/stop, submit, result, cancel, stats);
+* :mod:`repro.service.http`      — :class:`ServiceHTTPServer`:
+  stdlib JSON-over-HTTP front-end (``repro serve``);
+* :mod:`repro.service.client`    — :class:`ServiceClient` (in-process)
+  / :class:`HttpServiceClient` / :class:`LoadGenerator`.
+"""
+
+from repro.service.client import (
+    HttpServiceClient,
+    LoadGenerator,
+    ServiceClient,
+)
+from repro.service.http import ServiceHTTPServer
+from repro.service.jobs import (
+    Job,
+    JobCancelledError,
+    JobFailedError,
+    JobNotFoundError,
+    JobQueue,
+    JobState,
+    QueueFullError,
+    ServiceError,
+    SimRequestError,
+)
+from repro.service.requests import SimRequest
+from repro.service.scheduler import MicroBatchScheduler, SchedulerStats
+from repro.service.service import SimulationService, percentile
+
+__all__ = [
+    "HttpServiceClient",
+    "LoadGenerator",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "Job",
+    "JobCancelledError",
+    "JobFailedError",
+    "JobNotFoundError",
+    "JobQueue",
+    "JobState",
+    "QueueFullError",
+    "ServiceError",
+    "SimRequestError",
+    "SimRequest",
+    "MicroBatchScheduler",
+    "SchedulerStats",
+    "SimulationService",
+    "percentile",
+]

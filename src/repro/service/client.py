@@ -1,0 +1,227 @@
+"""Clients for the simulation service, plus the closed-loop load
+generator used by the serving benchmark and example.
+
+* :class:`ServiceClient` — in-process: drives a
+  :class:`~repro.service.service.SimulationService` directly (no
+  sockets); what `examples/` and the benches use.
+* :class:`HttpServiceClient` — the same surface over the HTTP
+  front-end via asyncio streams (stdlib only); raises the same typed
+  errors the in-process path does (429 -> QueueFullError, 400 ->
+  SimRequestError, 404 -> JobNotFoundError, ...).
+* :class:`LoadGenerator` — N closed-loop clients (submit, await
+  result, repeat) with latency/throughput accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro.service.jobs import (
+    JobCancelledError,
+    JobFailedError,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceError,
+    SimRequestError,
+)
+
+_ERRORS_BY_STATUS = {
+    400: SimRequestError,
+    404: JobNotFoundError,
+    409: JobCancelledError,
+    429: QueueFullError,
+}
+
+
+class ServiceClient:
+    """In-process client: the service's native async surface with the
+    same call shapes as the HTTP client, so examples and benches can
+    swap transports freely."""
+
+    def __init__(self, service):
+        self.service = service
+
+    async def submit(self, request, priority=0):
+        """Submit; returns the job id (raises the typed validation /
+        backpressure errors)."""
+        return self.service.submit(request, priority=priority).id
+
+    async def result(self, job_id, timeout=None):
+        return await self.service.result(job_id, timeout=timeout)
+
+    async def job(self, job_id):
+        return self.service.job(job_id).snapshot()
+
+    async def cancel(self, job_id):
+        return self.service.cancel(job_id)
+
+    async def stats(self):
+        return self.service.stats()
+
+
+class HttpServiceClient:
+    """Stdlib-only async HTTP client for the service front-end (one
+    connection per request, mirroring the server's one-shot model)."""
+
+    def __init__(self, host="127.0.0.1", port=8765, poll_interval=0.02):
+        self.host = host
+        self.port = int(port)
+        self.poll_interval = float(poll_interval)
+
+    async def _request(self, method, path, payload=None):
+        body = b"" if payload is None else json.dumps(payload).encode()
+        reader, writer = await asyncio.open_connection(self.host,
+                                                       self.port)
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head + body)
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+        header, _, rest = raw.partition(b"\r\n\r\n")
+        status_line = header.split(b"\r\n", 1)[0].decode("latin-1")
+        try:
+            status = int(status_line.split()[1])
+        except (IndexError, ValueError):
+            raise ServiceError(f"malformed response: {status_line!r}")
+        doc = json.loads(rest.decode("utf-8")) if rest else {}
+        if status != 200:
+            error = _ERRORS_BY_STATUS.get(status, ServiceError)
+            raise error(doc.get("message", status_line))
+        return doc
+
+    async def submit(self, payload, priority=0):
+        body = dict(payload)
+        if priority:
+            body["priority"] = priority
+        doc = await self._request("POST", "/submit", body)
+        return doc["job_id"]
+
+    async def job(self, job_id):
+        return await self._request("GET", f"/job/{job_id}")
+
+    async def result(self, job_id, timeout=30.0):
+        """Poll ``/job/<id>`` until terminal; the typed terminal errors
+        match the in-process client's."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = await self.job(job_id)
+            state = doc["state"]
+            if state == "done":
+                return doc["result"]
+            if state == "cancelled":
+                raise JobCancelledError(f"job {job_id} was cancelled")
+            if state == "failed":
+                raise JobFailedError(
+                    f"job {job_id} failed: {doc.get('error')}")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state} after {timeout} s")
+            await asyncio.sleep(self.poll_interval)
+
+    async def cancel(self, job_id):
+        doc = await self._request("POST", f"/job/{job_id}/cancel")
+        return doc["cancelled"]
+
+    async def stats(self):
+        return await self._request("GET", "/stats")
+
+    async def health(self):
+        return await self._request("GET", "/healthz")
+
+
+class LoadGenerator:
+    """``concurrency`` closed-loop clients draining a shared request
+    list: each worker submits one request, awaits its result, then
+    takes the next — the standard closed-loop model, so measured
+    latency includes queueing and the batching window.
+
+    On a queue-full rejection the worker backs off and retries the
+    same request (counted in ``rejected``), which is exactly how a
+    well-behaved client should treat 429 — but every request has one
+    ``timeout`` budget covering submit retries *and* the result wait,
+    so a dead or never-started service surfaces as failed requests,
+    never as a hang.
+    """
+
+    def __init__(self, client, payloads, concurrency=8,
+                 retry_backoff=0.02, timeout=60.0):
+        self.client = client
+        self.payloads = list(payloads)
+        self.concurrency = max(1, int(concurrency))
+        self.retry_backoff = float(retry_backoff)
+        self.timeout = float(timeout)
+        self.latencies = []
+        self.rejected = 0
+        self.failed = 0
+
+    async def _worker(self, feed):
+        while True:
+            try:
+                payload = next(feed)
+            except StopIteration:
+                return
+            t0 = time.monotonic()
+            deadline = t0 + self.timeout
+            job_id = None
+            while True:
+                try:
+                    job_id = await self.client.submit(payload)
+                    break
+                except QueueFullError:
+                    self.rejected += 1
+                    if time.monotonic() + self.retry_backoff >= deadline:
+                        self.failed += 1
+                        break
+                    await asyncio.sleep(self.retry_backoff)
+                except (ServiceError, OSError):
+                    # Dead/unreachable service: a failed request, not
+                    # a crashed load run.
+                    self.failed += 1
+                    break
+            if job_id is None:
+                continue
+            try:
+                await self.client.result(
+                    job_id,
+                    timeout=max(0.0, deadline - time.monotonic()))
+                self.latencies.append(time.monotonic() - t0)
+            except (JobFailedError, JobCancelledError, TimeoutError,
+                    ServiceError, OSError):
+                self.failed += 1
+
+    async def run(self):
+        """Drive every payload to completion; returns the summary."""
+        from repro.service.service import percentile
+
+        feed = iter(self.payloads)
+        t0 = time.monotonic()
+        await asyncio.gather(*(self._worker(feed)
+                               for _ in range(self.concurrency)))
+        elapsed = time.monotonic() - t0
+        done = len(self.latencies)
+        return {
+            "requests": len(self.payloads),
+            "completed": done,
+            "failed": self.failed,
+            "rejected_retried": self.rejected,
+            "concurrency": self.concurrency,
+            "elapsed_s": elapsed,
+            "throughput_rps": done / elapsed if elapsed > 0 else 0.0,
+            "latency_p50_s": percentile(self.latencies, 50),
+            "latency_p95_s": percentile(self.latencies, 95),
+            "latency_max_s": max(self.latencies, default=None),
+        }

@@ -1,0 +1,180 @@
+"""Dependency-free JSON-over-HTTP front-end (asyncio streams).
+
+A deliberately small HTTP/1.1 subset — enough for curl, the
+:class:`~repro.service.client.HttpServiceClient`, and the CI smoke
+job; every response is JSON and every connection is one
+request/response (``Connection: close``).
+
+Routes
+------
+* ``POST /submit``          — submit a request body (optional
+  ``"priority"`` field); 200 with ``{"job_id", "state"}``, 400 for
+  malformed/invalid requests, 429 when the bounded queue is full.
+* ``GET /job/<id>``         — job status; includes ``"result"`` once
+  done; 404 for unknown (or pruned) ids.
+* ``POST /job/<id>/cancel`` — cancel a queued job;
+  ``{"cancelled": bool}`` (False: it already left the queue).
+* ``GET /stats``            — queue depth, latency percentiles, batch
+  sizes, dedup/cache rates.
+* ``GET /healthz``          — liveness probe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.engine.scenario import ScenarioAxisError
+from repro.service.jobs import ServiceError
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    408: "Request Timeout",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Request bodies past this size are rejected before parsing.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Header lines per request; more is a stalling or hostile client.
+MAX_HEADERS = 100
+
+
+class ServiceHTTPServer:
+    """Serve one :class:`~repro.service.service.SimulationService`
+    over HTTP on ``host:port`` (port 0 picks a free port).
+
+    ``read_timeout`` bounds how long one connection may take to
+    deliver (and have routed) its request — a stalled or silent
+    client gets a 408 and its handler task is released, so idle
+    connections can never accumulate past the queue's backpressure.
+    """
+
+    def __init__(self, service, host="127.0.0.1", port=8765,
+                 read_timeout=30.0):
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self.read_timeout = float(read_timeout)
+        self._server = None
+
+    async def start(self):
+        """Bind and start accepting; returns (host, actual port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def serve_forever(self):
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self):
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- one connection = one request/response -------------------------
+    async def _handle(self, reader, writer):
+        try:
+            status, payload = await asyncio.wait_for(
+                self._respond_to(reader), self.read_timeout)
+        except asyncio.TimeoutError:
+            status, payload = 408, {
+                "error": "timeout",
+                "message": f"request not received within "
+                           f"{self.read_timeout:g} s"}
+        except (ValueError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError) as exc:
+            # Oversized header line / truncated body: client error.
+            status, payload = 400, {"error": "bad_request",
+                                    "message": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - never kill the server
+            status, payload = 500, {"error": "internal",
+                                    "message": f"{type(exc).__name__}: {exc}"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _respond_to(self, reader):
+        request_line = (await reader.readline()).decode("latin-1")
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": "bad_request",
+                         "message": "malformed request line"}
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        for _ in range(MAX_HEADERS + 1):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    length = -1
+                if length < 0:
+                    return 400, {"error": "bad_request",
+                                 "message": "bad Content-Length"}
+        else:
+            return 400, {"error": "bad_request",
+                         "message": f"more than {MAX_HEADERS} headers"}
+        if length > MAX_BODY_BYTES:
+            return 400, {"error": "bad_request",
+                         "message": f"body exceeds {MAX_BODY_BYTES} bytes"}
+        body = await reader.readexactly(length) if length else b""
+        try:
+            return await self._route(method, path, body)
+        except ScenarioAxisError as exc:
+            return 400, {"error": "bad_axis", "message": str(exc)}
+        except ServiceError as exc:
+            return exc.http_status, {"error": exc.code,
+                                     "message": str(exc)}
+
+    async def _route(self, method, path, body):
+        service = self.service
+        if method == "POST" and path == "/submit":
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {"error": "bad_json", "message": str(exc)}
+            # An in-body "priority" field is applied by service.submit
+            # itself, so HTTP and in-process submits are one path.
+            job = service.submit(payload)
+            return 200, {"job_id": job.id, "state": job.state.value,
+                         "n_cells": job.request.n_cells}
+        if path.startswith("/job/"):
+            rest = path[len("/job/"):]
+            if method == "POST" and rest.endswith("/cancel"):
+                job_id = rest[: -len("/cancel")].rstrip("/")
+                cancelled = service.cancel(job_id)
+                return 200, {"job_id": job_id, "cancelled": cancelled,
+                             "state": service.job(job_id).state.value}
+            if method == "GET":
+                return 200, service.job(rest).snapshot()
+        if method == "GET" and path == "/stats":
+            return 200, service.stats()
+        if method == "GET" and path == "/healthz":
+            return 200, {"ok": True, "queue_depth": service.queue.depth}
+        return 404, {"error": "not_found",
+                     "message": f"no route for {method} {path}"}

@@ -1,0 +1,241 @@
+"""Jobs, job states, typed service errors, and the bounded priority
+queue.
+
+The queue is the backpressure point of the whole service: ``push``
+raises :class:`QueueFullError` the moment the configured bound is hit,
+so overload surfaces as a clean typed rejection (HTTP 429 at the
+front-end) instead of an unboundedly growing heap.  Cancellation is by
+lazy deletion — a cancelled job's heap entry stays behind and is
+skipped on pop, so cancel is O(1) and a cancelled job's cells are
+never dispatched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ServiceError(Exception):
+    """Base of every typed service-layer error; carries the HTTP
+    mapping so the front-end never invents status codes ad hoc."""
+
+    http_status = 500
+    code = "service_error"
+
+
+class SimRequestError(ServiceError, ValueError):
+    """A request payload that cannot be turned into a valid
+    :class:`~repro.service.requests.SimRequest`."""
+
+    http_status = 400
+    code = "bad_request"
+
+
+class QueueFullError(ServiceError):
+    """The bounded job queue is at capacity; the submit was rejected
+    (nothing was enqueued — retry later or shed load)."""
+
+    http_status = 429
+    code = "queue_full"
+
+
+class JobNotFoundError(ServiceError):
+    http_status = 404
+    code = "job_not_found"
+
+
+class JobCancelledError(ServiceError):
+    """Awaited a job that was cancelled before it ran."""
+
+    http_status = 409
+    code = "job_cancelled"
+
+
+class JobFailedError(ServiceError):
+    """Awaited a job whose batch raised inside the engine."""
+
+    http_status = 500
+    code = "job_failed"
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self):
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted :class:`~repro.service.requests.SimRequest` moving
+    through the queue -> micro-batch -> result lifecycle."""
+
+    request: object
+    priority: int = 0
+    id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
+    state: JobState = JobState.QUEUED
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: dict | None = None
+    error: str | None = None
+    #: Cells this job shared with other requests in its batch (computed
+    #: once by another job's — or a cached — cell, not by this one).
+    shared_cells: int = 0
+    in_queue: bool = False
+    _done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    @property
+    def latency(self):
+        """Submit-to-finish wall time, or None while in flight."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def finish(self, state, result=None, error=None):
+        self.state = state
+        self.result = result
+        self.error = error
+        self.finished_at = time.monotonic()
+        self._done.set()
+
+    async def wait(self, timeout=None):
+        """Block until the job is terminal, then return its result.
+
+        Raises :class:`JobCancelledError` / :class:`JobFailedError`
+        for the non-DONE terminal states (and ``TimeoutError`` if
+        ``timeout`` elapses first).
+        """
+        if timeout is None:
+            await self._done.wait()
+        else:
+            await asyncio.wait_for(self._done.wait(), timeout)
+        if self.state is JobState.CANCELLED:
+            raise JobCancelledError(f"job {self.id} was cancelled")
+        if self.state is JobState.FAILED:
+            raise JobFailedError(f"job {self.id} failed: {self.error}")
+        return self.result
+
+    def snapshot(self, include_result=True):
+        """The job as a JSON-able status document."""
+        doc = {
+            "job_id": self.id,
+            "state": self.state.value,
+            "priority": self.priority,
+            "kind": self.request.kind,
+            "n_cells": self.request.n_cells,
+            "shared_cells": self.shared_cells,
+            "latency_s": self.latency,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if include_result and self.state is JobState.DONE:
+            doc["result"] = self.result
+        return doc
+
+
+class JobQueue:
+    """Bounded priority queue of :class:`Job` (higher priority pops
+    first; FIFO within a priority level)."""
+
+    def __init__(self, max_pending=512):
+        if int(max_pending) < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.max_pending = int(max_pending)
+        self._heap = []
+        self._seq = itertools.count()
+        self._size = 0          # live (non-cancelled) queued jobs
+        self._ghosts = 0        # cancelled entries awaiting removal
+        self._event = asyncio.Event()
+        self.rejected = 0
+
+    @property
+    def depth(self):
+        return self._size
+
+    def push(self, job):
+        """Enqueue ``job`` or raise :class:`QueueFullError` — the
+        queue never grows past ``max_pending`` live jobs."""
+        if self._size >= self.max_pending:
+            self.rejected += 1
+            raise QueueFullError(
+                f"queue full ({self._size}/{self.max_pending} jobs "
+                f"pending); retry later"
+            )
+        heapq.heappush(self._heap, (-int(job.priority), next(self._seq), job))
+        job.in_queue = True
+        self._size += 1
+        self._event.set()
+
+    def requeue(self, job):
+        """Push back a job the scheduler popped but could not finish
+        (shutdown mid-batch).  Bypasses the admission bound — the job
+        already held a slot when it was admitted, so re-adding it must
+        never fail."""
+        heapq.heappush(self._heap, (-int(job.priority), next(self._seq), job))
+        job.in_queue = True
+        self._size += 1
+        self._event.set()
+
+    def discard(self, job):
+        """Account for a job cancelled while queued (lazy deletion —
+        its heap entry is skipped on pop).  When ghosts pile up faster
+        than pops retire them (a submit+cancel churn pattern under
+        steady higher-priority traffic), the heap is compacted so it
+        stays proportional to the live size."""
+        if job.in_queue:
+            job.in_queue = False
+            self._size -= 1
+            self._ghosts += 1
+            if self._ghosts > max(64, self._size):
+                self._compact()
+
+    def _compact(self):
+        """Rebuild the heap without ghost entries (O(live size))."""
+        self._heap = [entry for entry in self._heap if entry[2].in_queue]
+        heapq.heapify(self._heap)
+        self._ghosts = 0
+
+    def pop_nowait(self):
+        """The highest-priority live job, or None."""
+        while self._heap:
+            _, _, job = heapq.heappop(self._heap)
+            if not job.in_queue:        # cancelled: skip the ghost
+                self._ghosts -= 1
+                continue
+            job.in_queue = False
+            self._size -= 1
+            return job
+        self._event.clear()
+        return None
+
+    async def pop(self, timeout=None):
+        """Wait up to ``timeout`` (forever when None) for a live job;
+        None on timeout."""
+        while True:
+            job = self.pop_nowait()
+            if job is not None:
+                return job
+            if timeout is not None and timeout <= 0:
+                return None
+            t0 = time.monotonic()
+            try:
+                if timeout is None:
+                    await self._event.wait()
+                else:
+                    await asyncio.wait_for(self._event.wait(), timeout)
+            except asyncio.TimeoutError:
+                return None
+            if timeout is not None:
+                timeout -= time.monotonic() - t0

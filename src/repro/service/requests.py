@@ -1,0 +1,350 @@
+"""Typed simulation requests: what a service client can ask for.
+
+A :class:`SimRequest` is one of four study kinds, all expressed over
+the engine's own axes so validation is exactly the existing
+:class:`~repro.engine.scenario.ScenarioAxisError` machinery:
+
+* ``sweep``      — adaptive-power control sweep over scenario axes
+                   (:meth:`SweepOrchestrator.run_control`);
+* ``transient``  — rail-envelope integration at constant input power
+                   (:meth:`SweepOrchestrator.run_envelope`);
+* ``battery``    — charge-time / battery-life study
+                   (:meth:`SweepOrchestrator.charge_times`);
+* ``montecarlo`` — charge-time yield under component spreads
+                   (:meth:`SweepOrchestrator.run_montecarlo`, with
+                   deterministic seeding so identical requests are
+                   identical results).
+
+Every request knows its engine-parameter *group key* (requests with
+the same key can run as one coalesced batch) and its per-cell *content
+keys* (the very :func:`~repro.engine.store.canonical_key` addresses
+the :class:`~repro.engine.store.ResultStore` files results under), so
+the scheduler can deduplicate identical cells across clients.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from repro.engine.parallel import (
+    charge_cell_keys,
+    control_cell_keys,
+    envelope_cell_keys,
+)
+from repro.engine.scenario import ScenarioAxisError, ScenarioBatch
+from repro.engine.store import canonical_key
+from repro.service.jobs import SimRequestError
+
+KINDS = ("sweep", "transient", "battery", "montecarlo")
+
+#: Hard per-request bounds: a single request may not ask for more cells
+#: or a longer horizon than this — oversized studies must be split, so
+#: one client cannot monopolise a batch window.
+MAX_CELLS = 1024
+MAX_T_STOP = 1.0
+MAX_SAMPLES = 4096
+#: Integration-step budget per cell (t_stop/dt for transient, limit/dt
+#: for battery search; the stock battery defaults are 1e6 steps) —
+#: without it a tiny dt makes one request allocate unbounded arrays /
+#: pin the dispatch thread indefinitely.
+MAX_STEPS = 2_000_000
+#: Total trace values a transient response may carry (cells x steps).
+MAX_TRACE_VALUES = 2_000_000
+
+#: Spread names a montecarlo request may vary (the charge-time kernel's
+#: inputs).
+MC_PARAMS = ("c_out", "i_load")
+
+#: The payload fields each kind actually consumes.  from_payload
+#: rejects fields outside its kind's set — a montecarlo request
+#: carrying "axes" (or a sweep carrying "spreads") is a client
+#: misunderstanding that must error, not silently drop input.
+KIND_FIELDS = {
+    "sweep": {"axes", "t_stop"},
+    "transient": {"axes", "t_stop", "dt", "p_in"},
+    "battery": {"axes", "p_in", "v_target", "dt", "limit"},
+    "montecarlo": {"spreads", "n_samples", "seed", "p_in", "v_target",
+                   "dt", "limit"},
+}
+
+
+def _positive(payload_value, name, maximum=None):
+    try:
+        value = float(payload_value)
+    except (TypeError, ValueError):
+        raise SimRequestError(f"{name} must be a number, "
+                              f"got {payload_value!r}")
+    if not value > 0.0:
+        raise SimRequestError(f"{name} must be positive, got {value}")
+    if maximum is not None and value > maximum:
+        raise SimRequestError(f"{name} must be <= {maximum}, got {value}")
+    return value
+
+
+def _spread_doc(spread):
+    """One ParameterSpread as plain data — the single source for both
+    the montecarlo content key and the submit-payload round trip."""
+    return {
+        "name": spread.name,
+        "nominal": spread.nominal,
+        "sigma": spread.sigma,
+        "distribution": spread.distribution,
+        "relative": spread.relative,
+    }
+
+
+def mc_charge_kernel(params, p_in, v_target, dt, limit):
+    """Picklable Monte-Carlo kernel: per-sample charge time under
+    ``c_out`` / ``i_load`` spreads (missing spreads take the paper's
+    nominal rectifier / low-power load)."""
+    import numpy as np
+
+    from repro.engine.scenario import Scenario
+    from repro.power.envelope import RectifierEnvelopeModel
+
+    n = len(next(iter(params.values())))
+    nominal = RectifierEnvelopeModel()
+    c_out = params.get("c_out", np.full(n, nominal.c_out))
+    i_load = params.get("i_load", np.full(n, 352e-6))
+    scenarios = [
+        Scenario(rectifier=RectifierEnvelopeModel(c_out=c), i_load=i)
+        for c, i in zip(c_out, i_load)
+    ]
+    batch = ScenarioBatch(scenarios)
+    return {"t_charge": batch.charge_times(p_in, v_target, dt=dt,
+                                           limit=limit)}
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One validated service request (see the module docstring for the
+    four kinds).  ``axes`` maps :class:`~repro.engine.scenario.Scenario`
+    field names to value lists — SI units, exactly as the engine takes
+    them — and is expanded to the cartesian cell grid at construction,
+    so an invalid request never reaches the queue."""
+
+    kind: str
+    axes: dict = field(default_factory=dict)
+    t_stop: float = 60e-3           # sweep / transient horizon (s)
+    dt: float = 1e-6                # transient / battery step (s)
+    p_in: float = 5e-3              # transient / battery / mc power (W)
+    v_target: float = 2.75          # battery / mc target rail (V)
+    limit: float = 1.0              # battery / mc search horizon (s)
+    n_samples: int = 128            # mc sample count
+    seed: int = 0                   # mc master seed
+    spreads: tuple = ()             # mc ParameterSpread specs
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise SimRequestError(
+                f"unknown request kind {self.kind!r}; "
+                f"known kinds: {list(KINDS)}")
+        object.__setattr__(self, "t_stop",
+                           _positive(self.t_stop, "t_stop", MAX_T_STOP))
+        object.__setattr__(self, "dt", _positive(self.dt, "dt"))
+        object.__setattr__(self, "p_in", _positive(self.p_in, "p_in"))
+        object.__setattr__(self, "v_target",
+                           _positive(self.v_target, "v_target"))
+        object.__setattr__(self, "limit",
+                           _positive(self.limit, "limit", MAX_T_STOP))
+        if self.kind == "montecarlo":
+            if self.axes:
+                raise SimRequestError(
+                    "a montecarlo request varies 'spreads', not "
+                    "'axes' — the axes would be silently ignored")
+            object.__setattr__(self, "_scenarios", None)
+            self._init_montecarlo()
+            return
+        if self.spreads:
+            raise SimRequestError(
+                f"'spreads' does not apply to a {self.kind!r} request")
+        if not self.axes:
+            raise SimRequestError(
+                f"a {self.kind!r} request needs at least one axis")
+        # from_axes is the validation: unknown axis names and invalid
+        # values raise a typed ScenarioAxisError naming the axis.
+        batch = ScenarioBatch.from_axes(**dict(self.axes))
+        if len(batch) > MAX_CELLS:
+            raise SimRequestError(
+                f"request asks for {len(batch)} cells; the per-request "
+                f"bound is {MAX_CELLS} — split the study")
+        if self.kind == "transient":
+            steps = self.t_stop / self.dt
+            if steps > MAX_STEPS:
+                raise SimRequestError(
+                    f"t_stop/dt is {steps:.3g} integration steps per "
+                    f"cell; the bound is {MAX_STEPS} — raise dt or "
+                    f"shorten t_stop")
+            if len(batch) * steps > MAX_TRACE_VALUES:
+                raise SimRequestError(
+                    f"{len(batch)} cells x {steps:.3g} steps exceeds "
+                    f"the {MAX_TRACE_VALUES} response-trace budget — "
+                    f"split the study")
+        if self.kind == "battery" and self.limit / self.dt > MAX_STEPS:
+            raise SimRequestError(
+                f"limit/dt is {self.limit / self.dt:.3g} search steps "
+                f"per cell; the bound is {MAX_STEPS} — raise dt or "
+                f"lower limit")
+        object.__setattr__(self, "_scenarios", batch.scenarios)
+
+    def _init_montecarlo(self):
+        from repro.variability import ParameterSpread
+
+        if self.limit / self.dt > MAX_STEPS:
+            raise SimRequestError(
+                f"limit/dt is {self.limit / self.dt:.3g} search steps "
+                f"per sample; the bound is {MAX_STEPS} — raise dt or "
+                f"lower limit")
+        n = int(self.n_samples)
+        if not 1 <= n <= MAX_SAMPLES:
+            raise SimRequestError(
+                f"n_samples must be 1..{MAX_SAMPLES}, got {self.n_samples}")
+        object.__setattr__(self, "n_samples", n)
+        object.__setattr__(self, "seed", int(self.seed))
+        if not self.spreads:
+            raise SimRequestError(
+                "a montecarlo request needs at least one spread")
+        parsed = []
+        for spec in self.spreads:
+            if isinstance(spec, ParameterSpread):
+                spread = spec
+            else:
+                try:
+                    spread = ParameterSpread(**dict(spec))
+                except (TypeError, ValueError) as exc:
+                    raise SimRequestError(
+                        f"bad spread {spec!r}: {exc}") from exc
+            if spread.name not in MC_PARAMS:
+                raise SimRequestError(
+                    f"unknown spread parameter {spread.name!r}; "
+                    f"known: {list(MC_PARAMS)}")
+            parsed.append(spread)
+        object.__setattr__(self, "spreads", tuple(parsed))
+
+    # ------------------------------------------------------------------
+    @property
+    def scenarios(self):
+        """The request's cells (None for montecarlo)."""
+        return self._scenarios
+
+    @property
+    def n_cells(self):
+        if self.kind == "montecarlo":
+            return int(self.n_samples)
+        return len(self._scenarios)
+
+    def group_key(self):
+        """Requests sharing this key run as one coalesced engine batch
+        (same mode, same shared engine parameters)."""
+        if self.kind == "sweep":
+            return ("sweep", self.t_stop)
+        if self.kind == "transient":
+            return ("transient", self.t_stop, self.dt, self.p_in)
+        if self.kind == "battery":
+            return ("battery", self.p_in, self.v_target, self.dt,
+                    self.limit)
+        return ("montecarlo",)
+
+    def cell_keys(self, system, controller):
+        """Per-cell content addresses — the same
+        :func:`~repro.engine.store.canonical_key` values the
+        orchestrator files results under, so in-flight deduplication
+        and the on-disk cache agree on what "the same cell" means."""
+        batch = ScenarioBatch(self._scenarios) \
+            if self.kind != "montecarlo" else None
+        if self.kind == "sweep":
+            return control_cell_keys(batch, system, controller,
+                                     self.t_stop)
+        if self.kind == "transient":
+            return envelope_cell_keys(batch, self.p_in, self.t_stop,
+                                      dt=self.dt)
+        if self.kind == "battery":
+            return charge_cell_keys(batch, self.p_in, self.v_target,
+                                    dt=self.dt, limit=self.limit)
+        # A montecarlo request is one indivisible cell: identical
+        # specs (spreads + seed + kernel params) are identical results
+        # because chunk seeding is deterministic.
+        return [canonical_key({
+            "mode": "montecarlo",
+            "spreads": [_spread_doc(s) for s in self.spreads],
+            "n_samples": self.n_samples,
+            "seed": self.seed,
+            "p_in": self.p_in,
+            "v_target": self.v_target,
+            "dt": self.dt,
+            "limit": self.limit,
+        })]
+
+    def mc_kernel(self):
+        """The picklable evaluate-batch callable for this request."""
+        return functools.partial(
+            mc_charge_kernel, p_in=self.p_in, v_target=self.v_target,
+            dt=self.dt, limit=self.limit)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_payload(cls, payload):
+        """Build a request from a decoded JSON document, mapping every
+        malformed field to a typed error (:class:`SimRequestError` or
+        :class:`~repro.engine.scenario.ScenarioAxisError`) the HTTP
+        front-end reports as a 400."""
+        if not isinstance(payload, dict):
+            raise SimRequestError(
+                f"request body must be a JSON object, "
+                f"got {type(payload).__name__}")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known - {"priority"}
+        if unknown:
+            raise SimRequestError(
+                f"unknown request fields {sorted(unknown)}; "
+                f"known: {sorted(known)}")
+        kwargs = {k: v for k, v in payload.items() if k in known}
+        axes = kwargs.get("axes", {})
+        if axes is not None and not isinstance(axes, dict):
+            raise SimRequestError(
+                f"axes must be an object of axis: [values], "
+                f"got {type(axes).__name__}")
+        if "spreads" in kwargs:
+            if not isinstance(kwargs["spreads"], (list, tuple)):
+                raise SimRequestError("spreads must be a list of "
+                                      "spread objects")
+            kwargs["spreads"] = tuple(kwargs["spreads"])
+        if "kind" not in kwargs:
+            raise SimRequestError("request needs a 'kind' field")
+        fields = KIND_FIELDS.get(kwargs["kind"])
+        if fields is not None:
+            extra = set(kwargs) - {"kind"} - fields
+            if extra:
+                raise SimRequestError(
+                    f"fields {sorted(extra)} do not apply to a "
+                    f"{kwargs['kind']!r} request; it takes "
+                    f"{sorted(fields)}")
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise SimRequestError(str(exc)) from exc
+
+    def as_payload(self):
+        """The request as a JSON-able submit body (inverse of
+        :meth:`from_payload` for JSON-expressible requests)."""
+        doc = {"kind": self.kind}
+        if self.kind == "montecarlo":
+            doc.update({
+                "n_samples": self.n_samples, "seed": self.seed,
+                "p_in": self.p_in, "v_target": self.v_target,
+                "dt": self.dt, "limit": self.limit,
+                "spreads": [_spread_doc(s) for s in self.spreads],
+            })
+            return doc
+        doc["axes"] = {name: list(values)
+                       for name, values in self.axes.items()}
+        if self.kind == "sweep":
+            doc["t_stop"] = self.t_stop
+        elif self.kind == "transient":
+            doc.update({"t_stop": self.t_stop, "dt": self.dt,
+                        "p_in": self.p_in})
+        else:
+            doc.update({"p_in": self.p_in, "v_target": self.v_target,
+                        "dt": self.dt, "limit": self.limit})
+        return doc

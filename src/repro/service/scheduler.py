@@ -1,0 +1,385 @@
+"""Micro-batched, cache-aware request coalescing.
+
+The scheduler is why one 1-CPU host can answer many concurrent
+clients: requests that arrive within one batching window are coalesced
+into a single :class:`~repro.engine.scenario.ScenarioBatch` dispatched
+through the :class:`~repro.engine.parallel.SweepOrchestrator`, so N
+coalesced requests pay ~one engine invocation instead of N — the same
+amortisation `ScenarioBatch` applied to per-scenario cost, lifted to
+per-request cost.
+
+Before dispatch, cells are deduplicated across requests by their
+:class:`~repro.engine.store.ResultStore` content address: two clients
+asking for the same (scenario, mode, engine-parameters) cell share one
+computed row, and with a store attached the orchestrator additionally
+skips any cell a *previous* batch (or another process) already filed.
+
+The dispatch loop:
+
+1. wait for the first queued job (no idle spinning);
+2. keep collecting jobs for ``window`` seconds or until ``max_batch``
+   cells are gathered — this is the micro-batch;
+3. group the collected jobs by :meth:`SimRequest.group_key` (only
+   same-mode, same-engine-parameter requests can share one batch);
+4. per group: dedupe cells, run ONE orchestrated batch in a worker
+   thread (the event loop keeps serving submits/status meanwhile),
+   scatter per-job result rows, resolve the jobs.
+
+Jobs cancelled while queued are skipped at collection time — their
+cells are never dispatched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.scenario import BatchControlResult, ScenarioBatch
+from repro.service.jobs import JobState
+from repro.variability import MonteCarlo
+
+
+def wire_float(value):
+    """One float as JSON-safe wire data (non-finite -> None)."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def wire_list(values):
+    """A float array as strict-JSON wire data.
+
+    ``float(v)`` round-trips bitwise through JSON text (shortest-repr
+    guarantees), which is what makes the service's "responses are
+    bitwise-identical to a direct orchestrator run" acceptance bench
+    meaningful; non-finite samples travel as None.
+    """
+    return [wire_float(v) for v in np.asarray(values, dtype=float)]
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate micro-batching counters over the scheduler lifetime."""
+
+    batches: int = 0
+    jobs_done: int = 0
+    jobs_failed: int = 0
+    cells_requested: int = 0
+    cells_deduped: int = 0      # shared with another request in-batch
+    cells_cached: int = 0       # served by the result store
+    cells_computed: int = 0
+    batch_cells: deque = field(default_factory=lambda: deque(maxlen=256))
+    batch_jobs: deque = field(default_factory=lambda: deque(maxlen=256))
+
+    def as_dict(self):
+        sizes = list(self.batch_cells)
+        return {
+            "batches": self.batches,
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "cells_requested": self.cells_requested,
+            "cells_deduped": self.cells_deduped,
+            "cells_cached": self.cells_cached,
+            "cells_computed": self.cells_computed,
+            "dedup_rate": (self.cells_deduped / self.cells_requested
+                           if self.cells_requested else 0.0),
+            "cache_hit_rate": (self.cells_cached / self.cells_requested
+                               if self.cells_requested else 0.0),
+            "mean_batch_cells": (sum(sizes) / len(sizes)
+                                 if sizes else 0.0),
+            "max_batch_cells": max(sizes, default=0),
+            "mean_batch_jobs": (sum(self.batch_jobs)
+                                / len(self.batch_jobs)
+                                if self.batch_jobs else 0.0),
+        }
+
+
+class MicroBatchScheduler:
+    """Drains a :class:`~repro.service.jobs.JobQueue` into coalesced
+    orchestrator batches (see the module docstring).
+
+    Parameters
+    ----------
+    queue : the bounded job queue to drain.
+    system / controller : the shared physics (every request of one
+        service instance runs against one system + controller — they
+        are part of every cell's content address).
+    orchestrator : the :class:`SweepOrchestrator` every batch runs
+        through (bring a store for cross-batch caching, workers for
+        multi-core hosts).
+    window : seconds to keep collecting after the first job arrives.
+        The window trades a bounded latency floor for batching factor;
+        at heavy concurrency all co-arriving requests land in one
+        engine call.
+    max_batch : cell budget per micro-batch; collection stops early
+        when reached (further jobs stay queued for the next batch).
+    """
+
+    def __init__(self, queue, system, controller, orchestrator,
+                 window=10e-3, max_batch=512):
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        self.queue = queue
+        self.system = system
+        self.controller = controller
+        self.orchestrator = orchestrator
+        self.window = float(window)
+        self.max_batch = max(1, int(max_batch))
+        self.stats = SchedulerStats()
+        self._running = False
+
+    # -- the dispatch loop ---------------------------------------------
+    async def run(self):
+        """Serve until cancelled (the service owns this as a task).
+
+        Cancellation never strands a job: anything popped into the
+        collection window — or mid-dispatch — that is not yet terminal
+        is pushed back onto the queue, so a restarted scheduler
+        resumes it (mid-dispatch cells recompute; with a store they
+        are cache hits).
+        """
+        self._running = True
+        try:
+            while True:
+                job = await self.queue.pop()
+                group = [job]
+                try:
+                    await self._collect_into(group)
+                    await self._execute(group)
+                except asyncio.CancelledError:
+                    self._requeue(group)
+                    raise
+        finally:
+            self._running = False
+
+    def _requeue(self, group):
+        """Give popped-but-unfinished jobs back to the queue."""
+        for job in group:
+            if not job.state.terminal:
+                job.state = JobState.QUEUED
+                job.started_at = None
+                self.queue.requeue(job)
+
+    async def _collect_into(self, group):
+        """The micro-batch: everything arriving within the window on
+        top of ``group``, capped at ``max_batch`` cells (appending in
+        place so a cancelled collection loses nothing)."""
+        cells = sum(job.request.n_cells for job in group)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.window
+        while cells < self.max_batch:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                job = self.queue.pop_nowait()
+            else:
+                job = await self.queue.pop(timeout=remaining)
+            if job is None:
+                break
+            group.append(job)
+            cells += job.request.n_cells
+
+    async def _execute(self, group):
+        """Run one collected micro-batch: group by engine parameters,
+        dedupe, dispatch, scatter."""
+        live = [job for job in group if job.state is JobState.QUEUED]
+        if not live:
+            return
+        by_key = {}
+        for job in live:
+            by_key.setdefault(job.request.group_key(), []).append(job)
+        self.stats.batches += 1
+        self.stats.batch_jobs.append(len(live))
+        self.stats.batch_cells.append(
+            sum(job.request.n_cells for job in live))
+        for jobs in by_key.values():
+            await self._run_group(jobs)
+
+    async def _run_group(self, jobs):
+        """One engine invocation for one compatible job group.
+
+        The QUEUED re-check matters: earlier groups of the same
+        micro-batch run first, and a job can be legitimately cancelled
+        while they do — it must stay cancelled, not be resurrected
+        into this group's dispatch.
+        """
+        jobs = [job for job in jobs if job.state is JobState.QUEUED]
+        if not jobs:
+            return
+        now = time.monotonic()
+        for job in jobs:
+            job.state = JobState.RUNNING
+            job.started_at = now
+        kind = jobs[0].request.kind
+        try:
+            # The content-key fingerprints, the dedup pass, the engine
+            # run, and the wire-format scattering are all heavy — do
+            # the lot in the worker thread so the event loop keeps
+            # serving submits/status.
+            shaped, shared_counts, unique_total = \
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._plan_and_dispatch, kind, jobs)
+            for job, shared in zip(jobs, shared_counts):
+                job.shared_cells = shared
+                self.stats.cells_requested += job.request.n_cells
+                self.stats.cells_deduped += shared
+            ostats = self.orchestrator.stats
+            if kind != "montecarlo" and ostats is not None:
+                self.stats.cells_cached += ostats.n_cached
+                self.stats.cells_computed += ostats.n_computed
+            else:
+                self.stats.cells_computed += unique_total
+            for job, result in zip(jobs, shaped):
+                job.finish(JobState.DONE, result=result)
+                self.stats.jobs_done += 1
+        except Exception as exc:  # noqa: BLE001 - engine/axis errors
+            message = f"{type(exc).__name__}: {exc}"
+            for job in jobs:
+                if not job.state.terminal:
+                    job.finish(JobState.FAILED, error=message)
+                    self.stats.jobs_failed += 1
+
+    # -- planning + engine dispatch (worker thread) --------------------
+    def _plan_and_dispatch(self, kind, jobs):
+        """Compute content keys, dedupe across requests (first
+        occurrence of an address wins; later requests share its row),
+        run the deduplicated cells as ONE orchestrated call, and shape
+        every job's wire-format result slice.
+
+        Returns (per-job shaped results, per-job shared-cell counts,
+        unique cell total) — the dedup rule lives only here.
+        """
+        job_keys = [job.request.cell_keys(self.system, self.controller)
+                    for job in jobs]
+        index = {}
+        unique_cells = []
+        unique_keys = []
+        shared_counts = []
+        unique_total = 0
+        for job, keys in zip(jobs, job_keys):
+            shared = 0
+            cells = (job.request.scenarios
+                     if kind != "montecarlo" else [job.request])
+            weight = job.request.n_cells if kind == "montecarlo" else 1
+            for key, cell in zip(keys, cells):
+                if key in index:
+                    shared += weight
+                    continue
+                index[key] = len(unique_cells)
+                unique_cells.append(cell)
+                unique_keys.append(key)
+                unique_total += weight
+            shared_counts.append(shared)
+        rows = self._dispatch(kind, jobs[0].request, unique_cells,
+                              unique_keys)
+        shaped = [self._shape(job.request, keys, index, rows)
+                  for job, keys in zip(jobs, job_keys)]
+        return shaped, shared_counts, unique_total
+
+    def _dispatch(self, kind, proto, unique_cells, unique_keys):
+        """The single engine invocation for one deduplicated group.
+
+        ``proto`` supplies the group-shared engine parameters (all jobs
+        in the group have the same group_key, hence the same values);
+        ``unique_keys`` are handed to the orchestrator so the store
+        lookups reuse the dedup pass's fingerprints instead of
+        recomputing them.
+        """
+        if kind == "montecarlo":
+            out = []
+            for request in unique_cells:
+                mc = MonteCarlo(list(request.spreads), seed=request.seed)
+                merged = self.orchestrator.run_montecarlo(
+                    mc, request.mc_kernel(),
+                    n_samples=request.n_samples, seed=request.seed)
+                out.append(merged)
+            return out
+        batch = ScenarioBatch(unique_cells)
+        if kind == "sweep":
+            return self.orchestrator.run_control(
+                batch, self.system, self.controller, proto.t_stop,
+                keys=unique_keys)
+        if kind == "transient":
+            return self.orchestrator.run_envelope(
+                batch, proto.p_in, proto.t_stop, dt=proto.dt,
+                keys=unique_keys)
+        return self.orchestrator.charge_times(
+            batch, proto.p_in, proto.v_target, dt=proto.dt,
+            limit=proto.limit, keys=unique_keys)
+
+    # -- result scattering ---------------------------------------------
+    def _shape(self, request, keys, index, rows):
+        """This job's slice of the batch result, as JSON-safe data."""
+        if request.kind == "montecarlo":
+            merged = rows[index[keys[0]]]
+            samples = merged["t_charge"]
+            finite = samples[np.isfinite(samples)]
+            return {
+                "kind": "montecarlo",
+                "metric": "t_charge",
+                "n_samples": int(samples.size),
+                "seed": request.seed,
+                "samples": wire_list(samples),
+                "mean": wire_float(finite.mean())
+                if finite.size else None,
+                "std": wire_float(finite.std(ddof=1))
+                if finite.size > 1 else None,
+                "reached_target": int(finite.size),
+            }
+        picks = [index[key] for key in keys]
+        scenarios = request.scenarios
+        if request.kind == "sweep":
+            sub = BatchControlResult(
+                times=rows.times,
+                distance=rows.distance[picks],
+                v_rect=rows.v_rect[picks],
+                v_reported=rows.v_reported[picks],
+                drive_scale=rows.drive_scale[picks],
+                p_delivered=rows.p_delivered[picks],
+                saturated=rows.saturated[picks],
+                scenarios=scenarios)
+            frac, v_min, v_max, drive = sub.regulation_statistics()
+            return {
+                "kind": "sweep",
+                "t_stop": request.t_stop,
+                "times": wire_list(rows.times),
+                "cells": [{
+                    "label": sc.label,
+                    "distance": wire_list(sub.distance[i]),
+                    "v_rect": wire_list(sub.v_rect[i]),
+                    "v_reported": wire_list(sub.v_reported[i]),
+                    "drive_scale": wire_list(sub.drive_scale[i]),
+                    "p_delivered": wire_list(sub.p_delivered[i]),
+                    "saturated": [bool(v) for v in sub.saturated[i]],
+                    "in_window": float(frac[i]),
+                    "v_min": float(v_min[i]),
+                    "v_max": float(v_max[i]),
+                    "mean_drive": float(drive[i]),
+                } for i, sc in enumerate(scenarios)],
+            }
+        if request.kind == "transient":
+            return {
+                "kind": "transient",
+                "t_stop": request.t_stop,
+                "dt": request.dt,
+                "times": wire_list(rows.times),
+                "cells": [{
+                    "label": sc.label,
+                    "v_rect": wire_list(rows.v_rect[pick]),
+                    "p_in": wire_float(rows.p_in[pick]),
+                    "i_load": wire_float(rows.i_load[pick]),
+                    "v_final": wire_float(rows.v_rect[pick, -1]),
+                } for sc, pick in zip(scenarios, picks)],
+            }
+        return {
+            "kind": "battery",
+            "p_in": request.p_in,
+            "v_target": request.v_target,
+            "cells": [{
+                "label": sc.label,
+                "t_charge": wire_float(rows[pick]),
+            } for sc, pick in zip(scenarios, picks)],
+        }

@@ -1,0 +1,227 @@
+"""The asyncio simulation service: queue + scheduler + accounting.
+
+:class:`SimulationService` is the in-process serving object the HTTP
+front-end (:mod:`repro.service.http`) and the in-process
+:class:`~repro.service.client.ServiceClient` both drive.  One instance
+owns one physics configuration (system + controller), one bounded
+:class:`~repro.service.jobs.JobQueue`, one
+:class:`~repro.service.scheduler.MicroBatchScheduler`, and the job
+registry with latency accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+
+from repro.engine.parallel import SweepOrchestrator
+from repro.service.jobs import (
+    Job,
+    JobNotFoundError,
+    JobQueue,
+    JobState,
+)
+from repro.service.requests import SimRequest
+from repro.service.scheduler import MicroBatchScheduler
+
+
+def percentile(values, q):
+    """The ``q``-th percentile (0..100) of ``values`` with linear
+    interpolation — tiny stdlib-only twin of ``np.percentile`` for the
+    stats endpoint (values need not be sorted)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+class SimulationService:
+    """See the module docstring.
+
+    Parameters
+    ----------
+    system / controller : the shared physics; defaults are the paper's
+        10 mm system and the stock adaptive controller.
+    store : optional :class:`~repro.engine.store.ResultStore` — adds
+        cross-batch (and cross-process) caching to the in-batch dedup.
+    workers : orchestrator worker processes (leave at None for 1-CPU
+        hosts; micro-batching, not multiprocessing, is the serving win).
+    window / max_batch : micro-batch collection window (s) and cell
+        budget per batch (see :class:`MicroBatchScheduler`).
+    max_pending : job-queue bound — the backpressure point.
+    max_jobs : finished jobs retained for ``/job/<id>`` polling before
+        the oldest are forgotten.
+    """
+
+    def __init__(self, system=None, controller=None, store=None,
+                 workers=None, window=10e-3, max_batch=512,
+                 max_pending=512, max_jobs=4096, latency_window=1024):
+        if system is None:
+            from repro import RemotePoweringSystem
+
+            system = RemotePoweringSystem(distance=10e-3)
+        if controller is None:
+            from repro.core import AdaptivePowerController
+
+            controller = AdaptivePowerController()
+        self.system = system
+        self.controller = controller
+        self.store = store
+        self.orchestrator = SweepOrchestrator(workers=workers,
+                                              store=store)
+        self.queue = JobQueue(max_pending=max_pending)
+        self.scheduler = MicroBatchScheduler(
+            self.queue, system, controller, self.orchestrator,
+            window=window, max_batch=max_batch)
+        self.max_jobs = int(max_jobs)
+        self._jobs = OrderedDict()
+        self._latencies = deque(maxlen=int(latency_window))
+        self._task = None
+        self._started_at = time.monotonic()
+        self._submitted = 0
+        self._cancelled = 0
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self):
+        """Start the dispatch loop (idempotent)."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.create_task(self.scheduler.run(),
+                                             name="repro-scheduler")
+        return self
+
+    async def stop(self):
+        """Stop the dispatch loop; queued jobs stay queued (a restart
+        resumes them)."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def __aenter__(self):
+        return await self.start()
+
+    async def __aexit__(self, *exc):
+        await self.stop()
+
+    # -- the client surface --------------------------------------------
+    def submit(self, request, priority=0):
+        """Queue ``request`` (a :class:`SimRequest` or a payload dict)
+        and return its :class:`Job`.
+
+        A payload dict may carry an in-body ``"priority"`` field (the
+        HTTP submit body format); it applies unless the ``priority``
+        argument overrides it, so the in-process and HTTP paths
+        prioritize identically.  Raises the typed validation errors
+        for a bad payload and
+        :class:`~repro.service.jobs.QueueFullError` when the bounded
+        queue is at capacity — nothing is ever queued past the bound.
+        """
+        if not isinstance(request, SimRequest):
+            if isinstance(request, dict) and "priority" in request:
+                request = dict(request)
+                embedded = request.pop("priority")
+                if not isinstance(embedded, int) \
+                        or isinstance(embedded, bool):
+                    from repro.service.jobs import SimRequestError
+
+                    raise SimRequestError(
+                        f"priority must be an integer, "
+                        f"got {embedded!r}")
+                if not priority:
+                    priority = embedded
+            request = SimRequest.from_payload(request)
+        job = Job(request=request, priority=int(priority))
+        self.queue.push(job)        # may raise QueueFullError
+        self._jobs[job.id] = job
+        self._submitted += 1
+        self._prune()
+        return job
+
+    def job(self, job_id):
+        """The :class:`Job` for ``job_id`` (typed error when unknown,
+        e.g. already pruned)."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise JobNotFoundError(f"unknown job {job_id!r}")
+
+    async def result(self, job_id, timeout=None):
+        """Wait for ``job_id`` and return its result document (raises
+        the job's typed terminal error instead for failed/cancelled)."""
+        job = self.job(job_id)
+        result = await job.wait(timeout=timeout)
+        self._note_latency(job)
+        return result
+
+    def cancel(self, job_id):
+        """Cancel a *queued* job: its cells will never run.  Returns
+        True when cancelled, False when the job already left the queue
+        (running or terminal) — cancellation is never retroactive."""
+        job = self.job(job_id)
+        if job.state is not JobState.QUEUED:
+            return False
+        self.queue.discard(job)
+        job.finish(JobState.CANCELLED)
+        self._cancelled += 1
+        return True
+
+    # -- accounting -----------------------------------------------------
+    def _note_latency(self, job):
+        if job.latency is not None and job.state is JobState.DONE \
+                and not getattr(job, "_latency_noted", False):
+            job._latency_noted = True
+            self._latencies.append(job.latency)
+
+    def _prune(self):
+        """Forget the oldest *terminal* jobs past the retention bound
+        (live jobs are never pruned)."""
+        if len(self._jobs) <= self.max_jobs:
+            return
+        for job_id in list(self._jobs):
+            if len(self._jobs) <= self.max_jobs:
+                break
+            if self._jobs[job_id].state.terminal:
+                del self._jobs[job_id]
+
+    def stats(self):
+        """The ``/stats`` document: queue, latency percentiles, batch
+        sizes, dedup/cache rates."""
+        for job in self._jobs.values():
+            self._note_latency(job)
+        states = {state.value: 0 for state in JobState}
+        for job in self._jobs.values():
+            states[job.state.value] += 1
+        lat = list(self._latencies)
+        store_stats = self.store.stats.as_dict() \
+            if self.store is not None else None
+        return {
+            "uptime_s": time.monotonic() - self._started_at,
+            "submitted": self._submitted,
+            "rejected": self.queue.rejected,
+            "cancelled": self._cancelled,
+            "queue_depth": self.queue.depth,
+            "max_pending": self.queue.max_pending,
+            "jobs": states,
+            "latency": {
+                "count": len(lat),
+                "mean_s": sum(lat) / len(lat) if lat else None,
+                "p50_s": percentile(lat, 50),
+                "p90_s": percentile(lat, 90),
+                "p99_s": percentile(lat, 99),
+                "max_s": max(lat) if lat else None,
+            },
+            "batching": self.scheduler.stats.as_dict(),
+            "store": store_stats,
+            "window_s": self.scheduler.window,
+            "max_batch": self.scheduler.max_batch,
+        }

@@ -189,3 +189,68 @@ class TestCommands:
                      "--axis", "rx_turns=34"]) == 2
         err = capsys.readouterr().err
         assert "rx_turns" in err and "footprint" in err
+
+
+class TestSweepProgress:
+    def test_chunk_progress_streams_to_stderr(self, capsys):
+        assert main(["sweep", "--distances", "8", "12", "--loads-ua",
+                     "352", "1302", "--t-stop", "5", "--workers",
+                     "2"]) == 0
+        err = capsys.readouterr().err
+        assert "sweep: chunk 1/2 done (2/4 cells)" in err
+        assert "sweep: chunk 2/2 done (4/4 cells)" in err
+
+    def test_quiet_suppresses_progress(self, capsys):
+        assert main(["sweep", "--distances", "8", "12", "--loads-ua",
+                     "352", "--t-stop", "5", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "chunk" not in captured.err
+        assert "in-window" in captured.out
+
+    def test_cache_summary_line(self, capsys, tmp_path):
+        argv = ["sweep", "--distances", "9", "--loads-ua", "352",
+                "--t-stop", "5", "--cache-dir",
+                str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert "sweep: 0/1 cells from cache" in capsys.readouterr().err
+        assert main(argv) == 0
+        assert "sweep: 1/1 cells from cache" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.workers is None
+        assert args.cache_dir is None
+        assert args.window_ms == 10.0
+        assert args.max_batch == 512
+        assert args.max_pending == 512
+
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0",
+             "--window-ms", "5", "--max-batch", "64",
+             "--max-pending", "16", "--cache-dir", "/tmp/c",
+             "--workers", "2"])
+        assert args.host == "0.0.0.0"
+        assert args.port == 0
+        assert args.window_ms == 5.0
+        assert args.max_batch == 64
+        assert args.max_pending == 16
+        assert args.cache_dir == "/tmp/c"
+        assert args.workers == 2
+
+    def test_serve_bad_cache_dir_is_exit_2(self, capsys, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file in the way")
+        assert main(["serve", "--cache-dir",
+                     str(blocker / "cache")]) == 2
+        assert "cannot use cache dir" in capsys.readouterr().err
+
+    def test_serve_is_listed(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "serve" in out
+        assert "micro-batched" in out

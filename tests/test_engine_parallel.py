@@ -395,3 +395,93 @@ class TestFromAxesValidation:
             temperature=[33.0, 37.0, 41.0])
         assert len(batch) == 12
         assert all(sc.label for sc in batch.scenarios)
+
+
+class TestCellKeys:
+    """The public cell-key helpers: the shared content addresses used
+    by the orchestrator's store lookups and the service scheduler's
+    cross-request deduplication."""
+
+    def test_control_keys_are_per_cell_and_stable(self, system,
+                                                  controller):
+        from repro.engine import control_cell_keys
+
+        batch = ScenarioBatch.from_grid([6e-3, 10e-3],
+                                        [352e-6, 1.3e-3])
+        keys = control_cell_keys(batch, system, controller, 10e-3)
+        assert len(keys) == len(batch)
+        assert len(set(keys)) == len(batch)
+        again = control_cell_keys(batch, system, controller, 10e-3)
+        assert keys == again
+        # A different horizon is a different cell.
+        other = control_cell_keys(batch, system, controller, 20e-3)
+        assert set(keys).isdisjoint(other)
+
+    def test_control_keys_match_store_addresses(self, system,
+                                                controller, tmp_path):
+        """The helper returns exactly the keys the orchestrator files
+        results under — a fresh orchestrator run can be replayed from
+        the store via the public keys alone."""
+        from repro.engine import control_cell_keys
+
+        batch = ScenarioBatch.from_grid([8e-3, 12e-3], [352e-6])
+        store = ResultStore(tmp_path / "cells")
+        orch = SweepOrchestrator(store=store)
+        ref = orch.run_control(batch, system, controller, 8e-3)
+        keys = control_cell_keys(batch, system, controller, 8e-3)
+        for i, key in enumerate(keys):
+            row = store.get(key)
+            assert row is not None
+            assert np.array_equal(row["v_rect"], ref.v_rect[i])
+
+    def test_envelope_and_charge_keys(self, tmp_path):
+        from repro.engine import charge_cell_keys, envelope_cell_keys
+
+        batch = ScenarioBatch(
+            [Scenario(i_load=352e-6), Scenario(i_load=1.3e-3)])
+        env = envelope_cell_keys(batch, 5e-3, 2e-3)
+        chg = charge_cell_keys(batch, 5e-3, 2.75)
+        assert len(env) == len(chg) == 2
+        assert set(env).isdisjoint(chg)  # different run modes
+        store = ResultStore(tmp_path / "cells")
+        orch = SweepOrchestrator(store=store)
+        orch.run_envelope(batch, 5e-3, 2e-3)
+        assert all(store.get(k) is not None for k in env)
+
+
+class TestProgressCallback:
+    def test_serial_chunks_report_progress(self, system, controller):
+        seen = []
+        orch = SweepOrchestrator(
+            chunk_size=2,
+            progress=lambda *args: seen.append(args))
+        batch = ScenarioBatch.from_grid([6e-3, 10e-3, 14e-3],
+                                        [352e-6, 1.3e-3])
+        orch.run_control(batch, system, controller, 5e-3)
+        assert seen == [(1, 3, 2, 6), (2, 3, 4, 6), (3, 3, 6, 6)]
+
+    def test_parallel_chunks_report_progress(self, system, controller):
+        seen = []
+        orch = SweepOrchestrator(
+            workers=2, chunk_size=3,
+            progress=lambda *args: seen.append(args))
+        batch = ScenarioBatch.from_grid([6e-3, 10e-3, 14e-3],
+                                        [352e-6, 1.3e-3])
+        ref = batch.run_control(system, controller, 5e-3)
+        got = orch.run_control(batch, system, controller, 5e-3)
+        assert seen == [(1, 2, 3, 6), (2, 2, 6, 6)]
+        assert_control_equal(ref, got)
+
+    def test_cached_cells_are_not_progress_chunks(self, system,
+                                                  controller, tmp_path):
+        seen = []
+        orch = SweepOrchestrator(
+            store=ResultStore(tmp_path / "cache"), chunk_size=2,
+            progress=lambda *args: seen.append(args))
+        batch = ScenarioBatch.from_grid([6e-3, 10e-3], [352e-6])
+        orch.run_control(batch, system, controller, 5e-3)
+        assert seen == [(1, 1, 2, 2)]
+        seen.clear()
+        orch.run_control(batch, system, controller, 5e-3)
+        assert seen == []  # all cells cached: nothing to chunk
+        assert orch.stats.n_cached == 2

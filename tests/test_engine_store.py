@@ -1,5 +1,6 @@
 """ResultStore: content addressing, round trips, LRU eviction."""
 
+import multiprocessing
 import os
 import time
 
@@ -8,6 +9,25 @@ import pytest
 
 from repro.engine import ResultStore, canonical_key
 from repro.engine.store import STORE_SCHEMA_VERSION
+
+N_CONCURRENT_CELLS = 24
+
+
+def _store_worker(root, worker, n_rounds):
+    """Hammer a shared cache dir: interleaved puts/gets with a tight
+    eviction bound (module-level so multiprocessing can spawn it)."""
+    store = ResultStore(root, max_entries=8)
+    for r in range(n_rounds):
+        for k in range(N_CONCURRENT_CELLS):
+            key = canonical_key({"cell": k})
+            got = store.get(key)
+            if got is not None:
+                # Any readable cell must carry the exact pattern some
+                # worker wrote — a torn write would fail here.
+                assert np.array_equal(got["v"], np.full(32, float(k))), (
+                    worker, r, k)
+            store.put(key, {"v": np.full(32, float(k))})
+    return store.stats.evictions
 
 
 class TestCanonicalKey:
@@ -32,6 +52,29 @@ class TestCanonicalKey:
     def test_unfingerprintable_values_raise(self):
         with pytest.raises(TypeError, match="fingerprint"):
             canonical_key({"f": lambda t: t})
+
+    def test_nonfinite_floats_are_canonicalized(self):
+        # NaN/inf must produce stable keys (not invalid-JSON tokens),
+        # and the three non-finite classes must not collide.
+        nan = canonical_key({"x": float("nan")})
+        inf = canonical_key({"x": float("inf")})
+        ninf = canonical_key({"x": float("-inf")})
+        assert len({nan, inf, ninf}) == 3
+        assert nan == canonical_key({"x": np.float64("nan")})
+        assert inf == canonical_key({"x": np.float64("inf")})
+
+    def test_nonfinite_floats_do_not_collide_with_strings(self):
+        # A payload that legitimately contains the *string* "NaN" must
+        # hash differently from one containing the float.
+        assert canonical_key({"x": float("nan")}) != canonical_key({"x": "NaN"})
+        assert canonical_key({"x": float("inf")}) != canonical_key(
+            {"x": "Infinity"})
+
+    def test_nonfinite_values_inside_arrays_and_lists(self):
+        a = canonical_key({"trace": np.array([1.0, np.nan, np.inf])})
+        b = canonical_key({"trace": [1.0, float("nan"), float("inf")]})
+        assert a == b
+        assert a != canonical_key({"trace": [1.0, 2.0, float("inf")]})
 
 
 class TestRoundTrip:
@@ -91,6 +134,19 @@ class TestRoundTrip:
         store.clear()
         assert len(store) == 0
 
+    def test_len_and_clear_see_other_writers(self, tmp_path):
+        """len()/clear() report directory truth, not this instance's
+        index — cells written by a concurrent process are counted and
+        dropped too."""
+        a = ResultStore(tmp_path / "cache")
+        a.put(canonical_key({"cell": "mine"}), {"v": np.ones(1)})
+        b = ResultStore(tmp_path / "cache")     # a second "process"
+        b.put(canonical_key({"cell": "theirs"}), {"v": np.ones(1)})
+        assert len(a) == 2
+        a.clear()
+        assert len(b) == 0
+        assert b.get(canonical_key({"cell": "theirs"})) is None
+
 
 class TestEviction:
     def test_max_entries_evicts_least_recently_used(self, tmp_path):
@@ -129,3 +185,76 @@ class TestEviction:
     def test_max_entries_validation(self, tmp_path):
         with pytest.raises(ValueError):
             ResultStore(tmp_path / "cache", max_entries=0)
+
+    def test_fresh_instance_rebuilds_lru_order_from_mtimes(self, tmp_path):
+        # The in-memory index is rebuilt once per instance from file
+        # mtimes, so a *new* store over an existing directory must
+        # evict the mtime-oldest cells, exactly as the scanning
+        # implementation did.
+        writer = ResultStore(tmp_path / "cache")
+        keys = [canonical_key({"cell": k}) for k in range(4)]
+        now = time.time()
+        for i, key in enumerate(keys):
+            writer.put(key, {"v": np.full(1, float(i))})
+            os.utime(writer._path(key), (now - 100 + i, now - 100 + i))
+        store = ResultStore(tmp_path / "cache", max_entries=3)
+        store.put(canonical_key({"cell": 99}), {"v": np.zeros(1)})
+        assert store.stats.evictions == 2
+        assert store.get(keys[0]) is None
+        assert store.get(keys[1]) is None
+        for key in keys[2:]:
+            assert store.get(key) is not None
+
+    def test_put_does_not_rescan_the_directory(self, tmp_path, monkeypatch):
+        # O(1) amortized puts: after the one-time index build, further
+        # puts (including evicting ones) never call os.listdir again.
+        store = ResultStore(tmp_path / "cache", max_entries=4)
+        store.put(canonical_key({"cell": 0}), {"v": np.zeros(1)})
+        calls = []
+        real_listdir = os.listdir
+        monkeypatch.setattr(
+            os, "listdir", lambda *a: calls.append(a) or real_listdir(*a))
+        for k in range(1, 10):
+            store.put(canonical_key({"cell": k}), {"v": np.zeros(1)})
+        assert calls == []
+        assert store.stats.evictions == 6
+        assert len(store) == 4
+
+
+class TestConcurrentAccess:
+    def test_two_processes_share_one_cache_dir(self, tmp_path):
+        """Two workers on one --cache-dir: atomic temp-file + rename
+        writes mean every surviving cell is complete, and evicting a
+        cell the other process already removed is a silent no-op (no
+        double-evict crash, no corrupt entries)."""
+        root = str(tmp_path / "shared-cache")
+        ctx = multiprocessing.get_context()
+        procs = [
+            ctx.Process(target=_store_worker, args=(root, w, 6))
+            for w in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        # Every cell left on disk must load cleanly and carry the
+        # exact pattern of its key (no torn/interleaved writes) ...
+        pattern = {canonical_key({"cell": k}): k
+                   for k in range(N_CONCURRENT_CELLS)}
+        survivors = 0
+        checker = ResultStore(root)
+        for key, k in pattern.items():
+            got = checker.get(key)
+            if got is None:
+                continue
+            survivors += 1
+            assert np.array_equal(got["v"], np.full(32, float(k)))
+        # ... no stray temp files survive, and the per-process bound
+        # kept the directory from growing without limit.
+        stray = [name for shard in os.listdir(root)
+                 if os.path.isdir(os.path.join(root, shard))
+                 for name in os.listdir(os.path.join(root, shard))
+                 if not name.endswith(".npz")]
+        assert stray == []
+        assert 1 <= survivors <= 16  # 2 workers x max_entries=8

@@ -1,0 +1,593 @@
+"""Simulation service: requests, queue, micro-batching scheduler.
+
+The load-bearing properties:
+
+* coalescing — concurrent requests land in ONE engine batch;
+* dedup — identical cells across requests are computed once (by the
+  same content address the ResultStore files results under);
+* parity — service responses are bitwise-identical to a direct
+  ``SweepOrchestrator`` run of the same cells;
+* backpressure — the bounded queue rejects with a typed error, and a
+  cancelled queued job never runs its cells.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import RemotePoweringSystem
+from repro.core import AdaptivePowerController
+from repro.engine import (
+    ScenarioAxisError,
+    ScenarioBatch,
+    SweepOrchestrator,
+)
+from repro.service import (
+    JobCancelledError,
+    JobFailedError,
+    JobQueue,
+    JobState,
+    QueueFullError,
+    ServiceClient,
+    SimRequest,
+    SimRequestError,
+    SimulationService,
+)
+from repro.service.jobs import Job
+
+
+@pytest.fixture(scope="module")
+def system():
+    return RemotePoweringSystem(distance=10e-3)
+
+
+@pytest.fixture(scope="module")
+def controller():
+    return AdaptivePowerController()
+
+
+def sweep_payload(distance, i_load=352e-6, t_stop=5e-3):
+    return {"kind": "sweep", "t_stop": t_stop,
+            "axes": {"distance": [distance], "i_load": [i_load]}}
+
+
+def make_service(system, controller, **kwargs):
+    kwargs.setdefault("window", 5e-3)
+    return SimulationService(system=system, controller=controller,
+                            **kwargs)
+
+
+class TestSimRequest:
+    def test_unknown_kind_is_typed(self):
+        with pytest.raises(SimRequestError, match="kind"):
+            SimRequest(kind="figure-eight", axes={"distance": [8e-3]})
+
+    def test_axes_validated_by_engine_machinery(self):
+        with pytest.raises(ScenarioAxisError, match="bogus"):
+            SimRequest(kind="sweep", axes={"bogus": [1.0]})
+        with pytest.raises(ScenarioAxisError, match="tissue"):
+            SimRequest(kind="sweep",
+                       axes={"distance": [8e-3], "tissue": ["granite"]})
+
+    def test_missing_axes_and_cell_cap(self):
+        with pytest.raises(SimRequestError, match="axis"):
+            SimRequest(kind="sweep", axes={})
+        with pytest.raises(SimRequestError, match="bound"):
+            SimRequest(kind="battery",
+                       axes={"i_load": [i * 1e-6
+                                        for i in range(1, 1100)]})
+
+    def test_nonpositive_engine_params(self):
+        with pytest.raises(SimRequestError, match="t_stop"):
+            SimRequest(kind="sweep", axes={"distance": [8e-3]},
+                       t_stop=-1.0)
+        with pytest.raises(SimRequestError, match="t_stop"):
+            SimRequest(kind="sweep", axes={"distance": [8e-3]},
+                       t_stop=30.0)  # over the per-request horizon cap
+
+    def test_step_budget_bounds_tiny_dt(self):
+        """A microscopic dt cannot buy unbounded integration work: the
+        per-cell step budget rejects it at validation time."""
+        with pytest.raises(SimRequestError, match="steps per"):
+            SimRequest(kind="transient", axes={"i_load": [352e-6]},
+                       t_stop=1.0, dt=1e-12)
+        with pytest.raises(SimRequestError, match="steps per"):
+            SimRequest(kind="battery", axes={"i_load": [352e-6]},
+                       dt=1e-9)
+        with pytest.raises(SimRequestError, match="steps per"):
+            SimRequest(kind="montecarlo", dt=1e-9,
+                       spreads=({"name": "c_out", "nominal": 250e-9,
+                                 "sigma": 0.1, "relative": True},))
+        # Wide-but-coarse transient traces hit the response budget.
+        with pytest.raises(SimRequestError, match="trace budget"):
+            SimRequest(kind="transient",
+                       axes={"i_load": [i * 1e-6
+                                        for i in range(1, 101)]},
+                       t_stop=0.1, dt=1e-6)
+        # The stock battery defaults stay legal (1e6-step search).
+        assert SimRequest(kind="battery",
+                          axes={"i_load": [352e-6]}).n_cells == 1
+
+    def test_from_payload_rejects_junk(self):
+        with pytest.raises(SimRequestError, match="kind"):
+            SimRequest.from_payload({"axes": {"distance": [8e-3]}})
+        with pytest.raises(SimRequestError, match="unknown request"):
+            SimRequest.from_payload({"kind": "sweep", "frobnicate": 1,
+                                     "axes": {"distance": [8e-3]}})
+        with pytest.raises(SimRequestError, match="JSON object"):
+            SimRequest.from_payload([1, 2, 3])
+
+    def test_kind_irrelevant_fields_rejected_not_dropped(self):
+        """Fields another kind consumes must error, not silently
+        vanish — a montecarlo request with 'axes' would otherwise run
+        every sample at nominal load and return a 200."""
+        with pytest.raises(SimRequestError, match="do not apply"):
+            SimRequest.from_payload(
+                {"kind": "montecarlo",
+                 "axes": {"i_load": [200e-6]},
+                 "spreads": [{"name": "c_out", "nominal": 250e-9,
+                              "sigma": 0.1, "relative": True}]})
+        with pytest.raises(SimRequestError, match="do not apply"):
+            SimRequest.from_payload(
+                {"kind": "sweep", "axes": {"distance": [8e-3]},
+                 "n_samples": 64})
+        with pytest.raises(SimRequestError, match="do not apply"):
+            SimRequest.from_payload(
+                {"kind": "battery", "axes": {"i_load": [352e-6]},
+                 "t_stop": 0.02})
+        # Direct construction gets the same guard for the sharp case.
+        with pytest.raises(SimRequestError, match="ignored"):
+            SimRequest(kind="montecarlo",
+                       axes={"i_load": [200e-6]},
+                       spreads=({"name": "c_out", "nominal": 250e-9,
+                                 "sigma": 0.1},))
+
+    def test_payload_round_trip(self):
+        req = SimRequest.from_payload(sweep_payload(8e-3))
+        again = SimRequest.from_payload(req.as_payload())
+        assert again.n_cells == req.n_cells == 1
+        assert again.group_key() == req.group_key()
+
+    def test_montecarlo_spreads_validated(self):
+        with pytest.raises(SimRequestError, match="spread"):
+            SimRequest(kind="montecarlo", spreads=())
+        with pytest.raises(SimRequestError, match="sigma"):
+            SimRequest(kind="montecarlo",
+                       spreads=({"name": "c_out", "nominal": 250e-9,
+                                 "sigma": -1.0},))
+        with pytest.raises(SimRequestError, match="parameter"):
+            SimRequest(kind="montecarlo",
+                       spreads=({"name": "phase_of_moon",
+                                 "nominal": 1.0, "sigma": 0.1},))
+
+    def test_cell_keys_match_store_addresses(self, system, controller):
+        """Service dedup keys ARE the orchestrator's store keys."""
+        from repro.engine import control_cell_keys
+
+        req = SimRequest.from_payload(sweep_payload(8e-3))
+        batch = ScenarioBatch(req.scenarios)
+        assert req.cell_keys(system, controller) == control_cell_keys(
+            batch, system, controller, req.t_stop)
+
+
+class TestJobQueue:
+    def _job(self, priority=0):
+        return Job(request=SimRequest.from_payload(sweep_payload(8e-3)),
+                   priority=priority)
+
+    def test_priority_pops_first_fifo_within_level(self):
+        q = JobQueue(max_pending=8)
+        a, b, c, d = (self._job(p) for p in (0, 5, 5, 0))
+        for job in (a, b, c, d):
+            q.push(job)
+        assert [q.pop_nowait() for _ in range(4)] == [b, c, a, d]
+        assert q.pop_nowait() is None
+
+    def test_bounded_queue_rejects_with_typed_error(self):
+        q = JobQueue(max_pending=2)
+        q.push(self._job())
+        q.push(self._job())
+        with pytest.raises(QueueFullError, match="queue full"):
+            q.push(self._job())
+        assert q.rejected == 1
+        assert q.depth == 2  # nothing was enqueued past the bound
+
+    def test_cancelled_jobs_are_skipped_on_pop(self):
+        q = JobQueue(max_pending=8)
+        a, b = self._job(), self._job()
+        q.push(a)
+        q.push(b)
+        a.state = JobState.CANCELLED
+        q.discard(a)
+        assert q.depth == 1
+        assert q.pop_nowait() is b
+        assert q.pop_nowait() is None
+
+    def test_ghost_entries_are_compacted(self):
+        """Submit+cancel churn must not grow the heap without bound:
+        ghost entries that pops never reach are compacted away."""
+        q = JobQueue(max_pending=4)
+        for _ in range(500):
+            job = self._job(priority=-1)
+            q.push(job)
+            job.state = JobState.CANCELLED
+            q.discard(job)
+        assert q.depth == 0
+        assert len(q._heap) <= 100
+        # The queue still works after compaction.
+        live = self._job()
+        q.push(live)
+        assert q.pop_nowait() is live
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestScheduling:
+    def test_concurrent_requests_coalesce_and_dedupe(self, system,
+                                                     controller):
+        """8 co-arriving requests (2 distinct cells) -> one batch, one
+        computation per distinct cell, bitwise parity with a direct
+        orchestrator run."""
+
+        async def main():
+            service = make_service(system, controller)
+            client = ServiceClient(service)
+            async with service:
+                payloads = [sweep_payload(8e-3), sweep_payload(12e-3)] * 4
+                ids = [await client.submit(p) for p in payloads]
+                return [await client.result(i) for i in ids], service
+
+        results, service = run(main())
+        stats = service.scheduler.stats
+        assert stats.batches == 1
+        assert stats.cells_requested == 8
+        assert stats.cells_deduped == 6
+        assert stats.cells_computed == 2
+        # Duplicate requests got byte-identical rows.
+        assert results[0]["cells"][0] == results[2]["cells"][0]
+        assert results[1]["cells"][0] == results[3]["cells"][0]
+        # And the service answer is bitwise the direct engine answer.
+        req = SimRequest.from_payload(sweep_payload(8e-3))
+        ref = SweepOrchestrator().run_control(
+            ScenarioBatch(req.scenarios), system, controller,
+            req.t_stop)
+        got = np.array(results[0]["cells"][0]["v_rect"])
+        assert np.array_equal(ref.v_rect[0], got)
+        assert np.array_equal(np.array(results[0]["times"]), ref.times)
+
+    def test_mixed_kinds_group_separately(self, system, controller):
+        async def main():
+            service = make_service(system, controller)
+            client = ServiceClient(service)
+            async with service:
+                sweep_id = await client.submit(sweep_payload(8e-3))
+                battery_id = await client.submit(
+                    {"kind": "battery", "axes": {"i_load": [352e-6]},
+                     "p_in": 5e-3})
+                transient_id = await client.submit(
+                    {"kind": "transient",
+                     "axes": {"i_load": [352e-6]},
+                     "p_in": 5e-3, "t_stop": 2e-3, "dt": 1e-5})
+                docs = [await client.result(i)
+                        for i in (sweep_id, battery_id, transient_id)]
+                return docs, service
+
+        (sweep_doc, battery_doc, transient_doc), service = run(main())
+        assert service.scheduler.stats.batches == 1  # one window ...
+        assert sweep_doc["kind"] == "sweep"
+        # ... but three engine groups, each matching its direct twin.
+        batch = ScenarioBatch(SimRequest.from_payload(
+            {"kind": "battery", "axes": {"i_load": [352e-6]},
+             "p_in": 5e-3}).scenarios)
+        t_ref = SweepOrchestrator().charge_times(batch, 5e-3, 2.75)
+        assert battery_doc["cells"][0]["t_charge"] == t_ref[0]
+        env_ref = SweepOrchestrator().run_envelope(batch, 5e-3, 2e-3,
+                                                   dt=1e-5)
+        got = np.array(transient_doc["cells"][0]["v_rect"])
+        assert np.array_equal(env_ref.v_rect[0], got)
+        assert transient_doc["cells"][0]["v_final"] == \
+            env_ref.v_rect[0, -1]
+
+    def test_montecarlo_requests_dedupe_and_match_direct(self, system,
+                                                         controller):
+        payload = {"kind": "montecarlo", "n_samples": 24, "seed": 11,
+                   "spreads": [{"name": "c_out", "nominal": 250e-9,
+                                "sigma": 0.1, "relative": True}]}
+
+        async def main():
+            service = make_service(system, controller)
+            client = ServiceClient(service)
+            async with service:
+                a = await client.submit(payload)
+                b = await client.submit(payload)
+                return (await client.result(a),
+                        await client.result(b), service)
+
+        doc_a, doc_b, service = run(main())
+        assert doc_a["samples"] == doc_b["samples"]
+        assert service.scheduler.stats.cells_deduped == 24
+        req = SimRequest.from_payload(payload)
+        from repro.variability import MonteCarlo
+
+        direct = SweepOrchestrator().run_montecarlo(
+            MonteCarlo(list(req.spreads), seed=req.seed),
+            req.mc_kernel(), n_samples=req.n_samples, seed=req.seed)
+        assert np.array_equal(np.array(doc_a["samples"]),
+                              direct["t_charge"])
+        assert doc_a["reached_target"] == int(
+            np.isfinite(direct["t_charge"]).sum())
+
+    def test_priority_runs_first(self, system, controller):
+        async def main():
+            service = make_service(system, controller, window=0.0,
+                                   max_batch=1)
+            low = service.submit(sweep_payload(8e-3), priority=0)
+            high = service.submit(sweep_payload(12e-3), priority=5)
+            async with service:
+                await service.result(low.id)
+                await service.result(high.id)
+            return low, high
+
+        low, high = run(main())
+        # max_batch=1 -> one batch per job; the high-priority job's
+        # batch fully completes before the low one starts.
+        assert high.finished_at <= low.started_at
+
+    def test_cancelled_queued_job_never_runs(self, system, controller):
+        async def main():
+            service = make_service(system, controller)
+            victim = service.submit(sweep_payload(8e-3))
+            assert service.cancel(victim.id) is True
+            async with service:
+                survivor = service.submit(sweep_payload(12e-3))
+                await service.result(survivor.id)
+                with pytest.raises(JobCancelledError):
+                    await service.result(victim.id)
+            return service, victim
+
+        service, victim = run(main())
+        assert victim.state is JobState.CANCELLED
+        # The victim's cell never entered any batch.
+        assert service.scheduler.stats.cells_requested == 1
+        assert service.cancel(victim.id) is False  # already terminal
+
+    def test_job_cancelled_mid_batch_stays_cancelled(self, system,
+                                                     controller):
+        """A job cancelled after collection (while an earlier group of
+        the same micro-batch computes) must stay cancelled — its cells
+        never dispatch and its state machine never leaves CANCELLED."""
+
+        async def main():
+            service = make_service(system, controller)
+            survivor = service.submit(sweep_payload(8e-3))
+            victim = service.submit(
+                {"kind": "battery", "axes": {"i_load": [352e-6]},
+                 "p_in": 5e-3})
+            # Simulate the dispatcher having collected both jobs, then
+            # a cancel landing before the victim's group runs.
+            group = [service.queue.pop_nowait(),
+                     service.queue.pop_nowait()]
+            assert service.cancel(victim.id) is True
+            await service.scheduler._execute(group)
+            return service, survivor, victim
+
+        service, survivor, victim = run(main())
+        assert survivor.state is JobState.DONE
+        assert victim.state is JobState.CANCELLED
+        assert victim.result is None
+        # Only the survivor's cell was ever dispatched.
+        assert service.scheduler.stats.cells_requested == 1
+        assert service.scheduler.stats.jobs_done == 1
+
+    def test_engine_failure_is_a_typed_job_error(self, system,
+                                                 controller):
+        """A cell that passes validation but fails in the engine
+        (coil turns beyond the paper footprint) fails its job — it
+        does not kill the scheduler, and later jobs still run."""
+
+        async def main():
+            service = make_service(system, controller)
+            client = ServiceClient(service)
+            async with service:
+                bad = await client.submit(
+                    {"kind": "sweep", "t_stop": 5e-3,
+                     "axes": {"distance": [8e-3], "rx_turns": [34.0]}})
+                with pytest.raises(JobFailedError,
+                                   match="rx_turns"):
+                    await client.result(bad)
+                ok = await client.submit(sweep_payload(8e-3))
+                doc = await client.result(ok)
+            return doc, service
+
+        doc, service = run(main())
+        assert doc["cells"][0]["in_window"] >= 0.0
+        assert service.scheduler.stats.jobs_failed == 1
+        assert service.scheduler.stats.jobs_done == 1
+
+    def test_served_sweep_with_worker_processes(self, system,
+                                                controller):
+        """`serve --workers N` dispatches from an executor thread —
+        the pool must not fork the multi-threaded process (the
+        non-main-thread path picks forkserver/spawn), and the merged
+        arrays stay bitwise-identical to the serial run."""
+
+        async def main():
+            service = make_service(system, controller, workers=2)
+            client = ServiceClient(service)
+            async with service:
+                job_id = await client.submit(
+                    {"kind": "sweep", "t_stop": 5e-3,
+                     "axes": {"distance": [8e-3, 10e-3, 12e-3, 14e-3],
+                              "i_load": [352e-6]}})
+                return await client.result(job_id), service
+
+        doc, service = run(main())
+        assert service.orchestrator.stats.parallel
+        req = SimRequest.from_payload(
+            {"kind": "sweep", "t_stop": 5e-3,
+             "axes": {"distance": [8e-3, 10e-3, 12e-3, 14e-3],
+                      "i_load": [352e-6]}})
+        ref = ScenarioBatch(req.scenarios).run_control(
+            system, controller, 5e-3)
+        for i in range(4):
+            assert np.array_equal(
+                np.array(doc["cells"][i]["v_rect"]), ref.v_rect[i])
+
+    def test_store_serves_repeat_batches(self, system, controller,
+                                         tmp_path):
+        from repro.engine import ResultStore
+
+        async def main():
+            service = make_service(
+                system, controller,
+                store=ResultStore(tmp_path / "cache"))
+            client = ServiceClient(service)
+            async with service:
+                first = await client.result(
+                    await client.submit(sweep_payload(8e-3)))
+                # Let the first batch fully retire, then repeat it.
+                second = await client.result(
+                    await client.submit(sweep_payload(8e-3)))
+            return first, second, service
+
+        first, second, service = run(main())
+        assert first["cells"][0]["v_rect"] == second["cells"][0]["v_rect"]
+        stats = service.scheduler.stats
+        assert stats.cells_cached >= 1      # second batch hit the store
+        assert stats.cells_computed == 1    # only the first computed
+
+
+class TestServiceSurface:
+    def test_backpressure_is_bounded_and_typed(self, system,
+                                               controller):
+        async def main():
+            service = make_service(system, controller, max_pending=2)
+            service.submit(sweep_payload(8e-3))
+            service.submit(sweep_payload(9e-3))
+            with pytest.raises(QueueFullError):
+                service.submit(sweep_payload(10e-3))
+            assert service.queue.depth == 2
+            assert service.stats()["rejected"] == 1
+            # Draining the queue frees capacity again.
+            async with service:
+                for job in list(service._jobs.values()):
+                    await service.result(job.id)
+            service.submit(sweep_payload(11e-3))
+            return service
+
+        service = run(main())
+        assert service.queue.depth == 1
+
+    def test_stats_document(self, system, controller):
+        async def main():
+            service = make_service(system, controller)
+            client = ServiceClient(service)
+            async with service:
+                ids = [await client.submit(sweep_payload(8e-3 + k * 1e-3))
+                       for k in range(3)]
+                for job_id in ids:
+                    await client.result(job_id)
+                return await client.stats()
+
+        doc = run(main())
+        assert doc["submitted"] == 3
+        assert doc["jobs"]["done"] == 3
+        assert doc["queue_depth"] == 0
+        assert doc["latency"]["count"] == 3
+        assert doc["latency"]["p50_s"] > 0.0
+        assert doc["latency"]["p99_s"] >= doc["latency"]["p50_s"]
+        assert doc["batching"]["batches"] >= 1
+        assert 0.0 <= doc["batching"]["dedup_rate"] <= 1.0
+
+    def test_unknown_job_is_typed(self, system, controller):
+        from repro.service import JobNotFoundError
+
+        service = make_service(system, controller)
+        with pytest.raises(JobNotFoundError):
+            service.job("no-such-job")
+
+
+class TestShutdownAndRecovery:
+    def test_stop_requeues_in_flight_jobs(self, system, controller):
+        """Stopping mid-collection-window must not strand the popped
+        job: it goes back to the queue and a restarted scheduler
+        serves it."""
+
+        async def main():
+            # A long window parks the dispatcher in collection with
+            # the job already popped.
+            service = make_service(system, controller, window=30.0)
+            await service.start()
+            job = service.submit(sweep_payload(8e-3))
+            await asyncio.sleep(0.05)   # let the dispatcher pop it
+            assert service.queue.depth == 0
+            await service.stop()
+            assert job.state is JobState.QUEUED
+            assert service.queue.depth == 1
+            service.scheduler.window = 5e-3
+            await service.start()
+            result = await service.result(job.id, timeout=10.0)
+            await service.stop()
+            return job, result
+
+        job, result = run(main())
+        assert job.state is JobState.DONE
+        assert result["cells"][0]["in_window"] >= 0.0
+
+    def test_payload_priority_matches_http_semantics(self, system,
+                                                     controller):
+        """An in-body "priority" field prioritizes on the in-process
+        path exactly as it does over HTTP."""
+        service = make_service(system, controller)
+        job = service.submit({**sweep_payload(8e-3), "priority": 5})
+        assert job.priority == 5
+        # An explicit argument wins over the body field.
+        job2 = service.submit({**sweep_payload(9e-3), "priority": 5},
+                              priority=2)
+        assert job2.priority == 2
+        with pytest.raises(SimRequestError, match="priority"):
+            service.submit({**sweep_payload(10e-3),
+                            "priority": "high"})
+
+    def test_load_generator_gives_up_at_its_deadline(self, system,
+                                                     controller):
+        """A never-started service must make the closed-loop client
+        fail its requests at the timeout, not hang forever."""
+        from repro.service import LoadGenerator
+
+        async def main():
+            service = make_service(system, controller, max_pending=1)
+            generator = LoadGenerator(
+                ServiceClient(service),
+                [sweep_payload(8e-3), sweep_payload(9e-3)],
+                concurrency=2, retry_backoff=0.02, timeout=0.3)
+            return await asyncio.wait_for(generator.run(), timeout=5.0)
+
+        summary = run(main())
+        assert summary["completed"] == 0
+        assert summary["failed"] == 2
+        assert summary["rejected_retried"] >= 1
+
+    def test_load_generator_survives_a_dead_http_service(self):
+        """Connection errors from an unreachable HTTP service count
+        as failed requests — run() still returns its summary."""
+        from repro.service import HttpServiceClient, LoadGenerator
+
+        async def main():
+            # Bind-and-close to get a port with no listener.
+            server = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            generator = LoadGenerator(
+                HttpServiceClient("127.0.0.1", port),
+                [sweep_payload(8e-3)] * 3, concurrency=2, timeout=2.0)
+            return await asyncio.wait_for(generator.run(), timeout=10.0)
+
+        summary = run(main())
+        assert summary["completed"] == 0
+        assert summary["failed"] == 3

@@ -1,0 +1,244 @@
+"""JSON-over-HTTP front-end: routes, typed status codes, parity.
+
+The server is the stdlib asyncio-streams front-end `repro serve`
+exposes; every test binds port 0 (a free port) and drives it through
+:class:`HttpServiceClient` or raw bytes.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro import RemotePoweringSystem
+from repro.core import AdaptivePowerController
+from repro.engine import ScenarioBatch, SweepOrchestrator
+from repro.service import (
+    HttpServiceClient,
+    JobNotFoundError,
+    QueueFullError,
+    ServiceHTTPServer,
+    SimRequest,
+    SimRequestError,
+    SimulationService,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return RemotePoweringSystem(distance=10e-3)
+
+
+@pytest.fixture(scope="module")
+def controller():
+    return AdaptivePowerController()
+
+
+def sweep_payload(distance, t_stop=5e-3):
+    return {"kind": "sweep", "t_stop": t_stop,
+            "axes": {"distance": [distance], "i_load": [352e-6]}}
+
+
+def serve(system, controller, coro_fn, *, start_service=True,
+          **service_kwargs):
+    """Run ``coro_fn(client, service)`` against a live server on a
+    free port."""
+
+    async def main():
+        service_kwargs.setdefault("window", 5e-3)
+        service = SimulationService(system=system,
+                                    controller=controller,
+                                    **service_kwargs)
+        server = ServiceHTTPServer(service, port=0)
+        host, port = await server.start()
+        client = HttpServiceClient(host, port, poll_interval=0.01)
+        try:
+            if start_service:
+                await service.start()
+            return await coro_fn(client, service)
+        finally:
+            await service.stop()
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestRoutes:
+    def test_submit_poll_result_matches_direct_run(self, system,
+                                                   controller):
+        async def scenario(client, service):
+            job_id = await client.submit(sweep_payload(8e-3))
+            doc = await client.job(job_id)
+            assert doc["state"] in ("queued", "running", "done")
+            result = await client.result(job_id)
+            return result
+
+        result = serve(system, controller, scenario)
+        req = SimRequest.from_payload(sweep_payload(8e-3))
+        ref = SweepOrchestrator().run_control(
+            ScenarioBatch(req.scenarios), system, controller,
+            req.t_stop)
+        # JSON floats round-trip bitwise, so over-the-wire equals the
+        # direct engine arrays exactly.
+        assert np.array_equal(
+            np.array(result["cells"][0]["v_rect"]), ref.v_rect[0])
+        assert np.array_equal(
+            np.array(result["cells"][0]["p_delivered"]),
+            ref.p_delivered[0])
+
+    def test_health_and_stats(self, system, controller):
+        async def scenario(client, service):
+            assert (await client.health())["ok"] is True
+            await client.result(await client.submit(
+                sweep_payload(9e-3)))
+            return await client.stats()
+
+        doc = serve(system, controller, scenario)
+        assert doc["submitted"] == 1
+        assert doc["jobs"]["done"] == 1
+        assert doc["latency"]["p90_s"] > 0.0
+
+    def test_cancel_route(self, system, controller):
+        async def scenario(client, service):
+            # Service not started: the job stays queued, so the
+            # cancel must win and its cells must never run.
+            job_id = await client.submit(sweep_payload(8e-3))
+            assert await client.cancel(job_id) is True
+            doc = await client.job(job_id)
+            assert doc["state"] == "cancelled"
+            await service.start()
+            ok = await client.submit(sweep_payload(12e-3))
+            await client.result(ok)
+            assert service.scheduler.stats.cells_requested == 1
+            # Cancelling a terminal job reports False, not an error.
+            assert await client.cancel(job_id) is False
+            return True
+
+        assert serve(system, controller, scenario,
+                     start_service=False)
+
+
+class TestErrorMapping:
+    def test_bad_payloads_are_400(self, system, controller):
+        async def scenario(client, service):
+            with pytest.raises(SimRequestError):
+                await client.submit({"kind": "nope"})
+            with pytest.raises(SimRequestError):  # typed axis error
+                await client.submit(
+                    {"kind": "sweep", "axes": {"bogus": [1.0]}})
+            with pytest.raises(SimRequestError):
+                await client.submit(
+                    {"kind": "sweep",
+                     "axes": {"distance": [-5.0]}})
+            return await client.stats()
+
+        doc = serve(system, controller, scenario)
+        assert doc["submitted"] == 0
+
+    def test_unknown_job_is_404(self, system, controller):
+        async def scenario(client, service):
+            with pytest.raises(JobNotFoundError):
+                await client.job("feedfacecafe")
+            return True
+
+        assert serve(system, controller, scenario)
+
+    def test_queue_full_is_429(self, system, controller):
+        async def scenario(client, service):
+            await client.submit(sweep_payload(8e-3))
+            await client.submit(sweep_payload(9e-3))
+            with pytest.raises(QueueFullError):
+                await client.submit(sweep_payload(10e-3))
+            return await client.stats()
+
+        # Dispatcher off: nothing drains, so the bound must hold.
+        doc = serve(system, controller, scenario,
+                    start_service=False, max_pending=2)
+        assert doc["rejected"] == 1
+        assert doc["queue_depth"] == 2
+
+    def test_unknown_route_is_404_and_bad_json_is_400(self, system,
+                                                      controller):
+        async def scenario(client, service):
+            status, doc = await _raw(client,
+                                     b"GET /teapot HTTP/1.1\r\n\r\n")
+            assert status == 404
+            body = b"{definitely not json"
+            head = (f"POST /submit HTTP/1.1\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n"
+                    ).encode() + body
+            status, doc = await _raw(client, head)
+            assert status == 400
+            assert doc["error"] == "bad_json"
+            return True
+
+        assert serve(system, controller, scenario)
+
+
+async def _raw(client, payload):
+    """Send raw bytes to the server, return (status, json body)."""
+    reader, writer = await asyncio.open_connection(client.host,
+                                                   client.port)
+    writer.write(payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    header, _, body = raw.partition(b"\r\n\r\n")
+    status = int(header.split()[1])
+    return status, json.loads(body) if body else {}
+
+
+class TestMalformedHeaders:
+    def test_negative_content_length_is_400(self, system, controller):
+        async def scenario(client, service):
+            head = (b"POST /submit HTTP/1.1\r\n"
+                    b"Content-Length: -1\r\n\r\n")
+            status, doc = await _raw(client, head)
+            assert status == 400
+            assert doc["error"] == "bad_request"
+            return True
+
+        assert serve(system, controller, scenario)
+
+    def test_http_priority_field_reaches_the_job(self, system,
+                                                 controller):
+        async def scenario(client, service):
+            job_id = await client.submit(
+                {**sweep_payload(8e-3), "priority": 7})
+            doc = await client.job(job_id)
+            assert doc["priority"] == 7
+            return True
+
+        assert serve(system, controller, scenario,
+                     start_service=False)
+
+    def test_silent_connection_gets_408_not_a_stuck_task(self, system,
+                                                         controller):
+        async def scenario(client, service):
+            # Send nothing: the server must answer 408 on its own
+            # read timeout rather than parking the handler forever.
+            reader, writer = await asyncio.open_connection(
+                client.host, client.port)
+            raw = await asyncio.wait_for(reader.read(), timeout=5.0)
+            writer.close()
+            await writer.wait_closed()
+            status = int(raw.split()[1])
+            assert status == 408
+            return True
+
+        async def main():
+            service = SimulationService(system=system,
+                                        controller=controller,
+                                        window=5e-3)
+            server = ServiceHTTPServer(service, port=0,
+                                       read_timeout=0.2)
+            host, port = await server.start()
+            client = HttpServiceClient(host, port)
+            try:
+                return await scenario(client, service)
+            finally:
+                await server.stop()
+
+        assert asyncio.run(main())
