@@ -32,6 +32,7 @@ DEFAULT_GATE = [
     "test_bench_service_microbatch_speedup",
     "test_bench_spice_accuracy_and_speed",
     "test_bench_nonlinear_newton_speed",
+    "test_bench_spice_adaptive",
 ]
 
 

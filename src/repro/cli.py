@@ -146,34 +146,40 @@ _SWEEP_AXES = {
 _PHYSICAL_AXES = ("temperature", "tissue", "enzyme", "rx_turns",
                   "tx_turns")
 
+#: ``--axis`` keys of the circuit-level (``--study spice``) sweep.
+_SPICE_AXES = {
+    "template": ("template", str),
+    "amplitude": ("amplitude", float),
+    "freq_mhz": ("freq", lambda v: float(v) * 1e6),
+    "load_ua": ("i_load", lambda v: float(v) * 1e-6),
+}
 
-def _parse_sweep_axes(args):
-    """The sweep grid as {Scenario field: [values]}; every bad axis
-    name or value raises a typed ScenarioAxisError (never a numpy
-    broadcast traceback from deep inside a runner)."""
+
+def _parse_axis_specs(specs, table, unknown_hint):
+    """Shared ``--axis KEY=V1,V2,...`` parser: every bad axis name or
+    value raises a typed ScenarioAxisError (never a numpy broadcast
+    traceback from deep inside a runner).  ``table`` maps CLI keys to
+    (scenario field, value parser)."""
     from repro.engine import ScenarioAxisError
 
-    axes = {
-        "distance": [float(d) * 1e-3 for d in args.distances],
-        "i_load": [float(i) * 1e-6 for i in args.loads_ua],
-        "duty_cycle": [args.duty],
-    }
+    axes = {}
     seen = set()
-    for spec in args.axis or []:
+    for spec in specs or []:
         key, sep, values = spec.partition("=")
         key = key.strip().lower()
         if not sep or not values:
             raise ScenarioAxisError.for_axis(
                 "--axis", spec, "expected KEY=V1,V2,...")
-        if key not in _SWEEP_AXES:
+        if key not in table:
             raise ScenarioAxisError.for_axis(
-                key, spec, f"unknown axis; known: {sorted(_SWEEP_AXES)}")
+                key, spec,
+                f"unknown {unknown_hint}; known: {sorted(table)}")
         if key in seen:
             raise ScenarioAxisError.for_axis(
                 key, spec, "axis given twice; list every value in one "
                            "--axis KEY=V1,V2,...")
         seen.add(key)
-        field, parse = _SWEEP_AXES[key]
+        field, parse = table[key]
         parsed = []
         for token in values.split(","):
             token = token.strip()
@@ -183,6 +189,17 @@ def _parse_sweep_axes(args):
                 raise ScenarioAxisError.for_axis(
                     key, token, "not a valid value for this axis")
         axes[field] = parsed
+    return axes
+
+
+def _parse_sweep_axes(args):
+    """The control-sweep grid as {Scenario field: [values]}."""
+    axes = {
+        "distance": [float(d) * 1e-3 for d in args.distances],
+        "i_load": [float(i) * 1e-6 for i in args.loads_ua],
+        "duty_cycle": [args.duty],
+    }
+    axes.update(_parse_axis_specs(args.axis, _SWEEP_AXES, "axis"))
     return axes
 
 
@@ -230,6 +247,75 @@ def _sweep_cells(batch, result, system, physical):
     return cells
 
 
+def _parse_spice_axes(args):
+    """The ``--study spice`` grid as {SpiceScenario field: [values]}."""
+    axes = _parse_axis_specs(args.axis, _SPICE_AXES, "spice axis")
+    if not axes:
+        # Default circuit grid: the paper's rectifier over drive
+        # amplitude x load current.
+        axes = {"template": ["rectifier"],
+                "amplitude": [1.25, 1.5, 1.75],
+                "i_load": [200e-6, 352e-6, 500e-6]}
+    return axes
+
+
+def _run_spice_sweep(args, orchestrator):
+    """The ``--study spice`` lane of cmd_sweep: circuit cells through
+    the lockstep-batched adaptive transient backend."""
+    import json
+
+    from repro.engine import ScenarioAxisError, SpiceBatch
+
+    if args.spice_t_stop_us <= 0 or args.spice_dt_ns <= 0:
+        print("sweep: --spice-t-stop-us and --spice-dt-ns must be "
+              "positive", file=sys.stderr)
+        return 2
+    try:
+        axes = _parse_spice_axes(args)
+        batch = SpiceBatch.from_axes(**axes)
+        result = orchestrator.run_spice(
+            batch, args.spice_t_stop_us * 1e-6, args.spice_dt_ns * 1e-9,
+            method=args.spice_method)
+    except ScenarioAxisError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    stats = orchestrator.stats
+    cells = [{
+        "template": sc.template,
+        "amplitude": sc.amplitude,
+        "freq_mhz": sc.freq * 1e-6,
+        "load_ua": sc.i_load * 1e6,
+        "v_final": float(result.v_final[i]),
+        "ripple_mv": float(result.ripple[i]) * 1e3,
+        "steps": int(result.steps[i]),
+    } for i, sc in enumerate(batch.scenarios)]
+    if args.format == "json":
+        print(json.dumps({"stats": stats.as_dict(), "cells": cells},
+                         indent=2))
+        return 0
+    if args.format == "csv":
+        import csv
+
+        writer = csv.DictWriter(sys.stdout, fieldnames=list(cells[0]))
+        writer.writeheader()
+        writer.writerows(cells)
+        print(f"sweep: {stats.summary()}", file=sys.stderr)
+        return 0
+    headers = {"template": "template", "amplitude": "V_in (V)",
+               "freq_mhz": "f (MHz)", "load_ua": "I_load (uA)",
+               "v_final": "V_out (V)", "ripple_mv": "ripple (mV)",
+               "steps": "steps"}
+    columns = list(cells[0])
+    rows = [tuple(cell[key] for key in columns) for cell in cells]
+    _print_table(
+        f"Circuit-level sweep ({len(batch)} cells, "
+        f"{args.spice_method} backend, "
+        f"t_stop={args.spice_t_stop_us:g} us)",
+        rows, [headers.get(key, key) for key in columns])
+    print(f"\n  [{stats.summary()}]")
+    return 0
+
+
 def cmd_sweep(args):
     import json
 
@@ -258,6 +344,8 @@ def cmd_sweep(args):
                   file=sys.stderr, flush=True)
     orchestrator = SweepOrchestrator(workers=args.workers, store=store,
                                      progress=progress)
+    if args.study == "spice":
+        return _run_spice_sweep(args, orchestrator)
     try:
         axes = _parse_sweep_axes(args)
         batch = ScenarioBatch.from_axes(**axes)
@@ -407,6 +495,18 @@ def build_parser():
             p.add_argument("--concentration", type=float, default=0.8,
                            help="lactate concentration in mM")
         if name == "sweep":
+            p.add_argument("--study", default="control",
+                           choices=("control", "spice"),
+                           help="sweep family: adaptive-power control "
+                                "grid (default) or carrier-resolved "
+                                "circuit cells")
+            p.add_argument("--spice-t-stop-us", type=float, default=4.0,
+                           help="spice study: transient horizon in us")
+            p.add_argument("--spice-dt-ns", type=float, default=5.0,
+                           help="spice study: nominal step in ns")
+            p.add_argument("--spice-method", default="adaptive",
+                           choices=("adaptive", "trap", "be"),
+                           help="spice study: integrator backend")
             p.add_argument("--distances", type=float, nargs="+",
                            default=[6.0, 8.0, 10.0, 12.0, 14.0, 16.0,
                                     18.0, 20.0],

@@ -31,11 +31,15 @@ from repro.engine.components import (
     TelemetryControl,
 )
 from repro.engine.scenario import (
+    SPICE_TEMPLATES,
     BatchControlResult,
     BatchEnvelopeResult,
     Scenario,
     ScenarioAxisError,
     ScenarioBatch,
+    SpiceBatch,
+    SpiceBatchResult,
+    SpiceScenario,
 )
 from repro.engine.parallel import (
     SweepOrchestrator,
@@ -43,6 +47,7 @@ from repro.engine.parallel import (
     charge_cell_keys,
     control_cell_keys,
     envelope_cell_keys,
+    spice_cell_keys,
 )
 from repro.engine.store import ResultStore, StoreStats, canonical_key
 
@@ -64,11 +69,16 @@ __all__ = [
     "Scenario",
     "ScenarioAxisError",
     "ScenarioBatch",
+    "SPICE_TEMPLATES",
+    "SpiceBatch",
+    "SpiceBatchResult",
+    "SpiceScenario",
     "SweepOrchestrator",
     "SweepStats",
     "charge_cell_keys",
     "control_cell_keys",
     "envelope_cell_keys",
+    "spice_cell_keys",
     "ResultStore",
     "StoreStats",
     "canonical_key",

@@ -47,6 +47,8 @@ from repro.engine.scenario import (
     BatchControlResult,
     BatchEnvelopeResult,
     ScenarioBatch,
+    SpiceBatch,
+    SpiceBatchResult,
     resolve_tissue,
 )
 from repro.engine.store import STORE_SCHEMA_VERSION, canonical_key
@@ -234,6 +236,43 @@ def charge_cell_keys(batch, p_in, v_target, v0=None, dt=1e-6, limit=1.0, i_load=
     )
 
 
+def spice_cell_keys(batch, t_stop, dt, method="adaptive", n_points=256,
+                    atol=None, rtol=None):
+    """Cell keys of a :meth:`SweepOrchestrator.run_spice` run.
+
+    The fingerprint is the full circuit-cell content: netlist template
+    + element-value axes + integrator backend and tolerances + the
+    output resampling grid — so "same cell" means the same stored
+    trace, across requests and across processes.
+    """
+    from repro.spice.transient import ADAPTIVE_ATOL, ADAPTIVE_RTOL
+
+    if not isinstance(batch, SpiceBatch):
+        batch = SpiceBatch(list(batch))
+    base = {
+        "schema": STORE_SCHEMA_VERSION,
+        "mode": "spice",
+        "t_stop": float(t_stop),
+        "dt": float(dt),
+        "method": str(method),
+        "n_points": int(n_points),
+        "atol": ADAPTIVE_ATOL if atol is None else float(atol),
+        "rtol": ADAPTIVE_RTOL if rtol is None else float(rtol),
+    }
+    return [
+        canonical_key({
+            **base,
+            "scenario": {
+                "template": sc.template,
+                "amplitude": sc.amplitude,
+                "freq": sc.freq,
+                "i_load": sc.i_load,
+            },
+        })
+        for sc in batch.scenarios
+    ]
+
+
 # ----------------------------------------------------------------------
 # Chunk evaluation — module-level so worker processes can import it
 # ----------------------------------------------------------------------
@@ -244,6 +283,8 @@ def _evaluate_chunk(payload):
         return payload["mc"].run_batch(
             payload["evaluate"], payload["n_samples"], seed=payload["seed"]
         )
+    if mode == "spice":
+        return _evaluate_spice_chunk(payload)
     batch = ScenarioBatch(
         payload["scenarios"], default_rectifier=payload["default_rectifier"]
     )
@@ -273,6 +314,22 @@ def _evaluate_chunk(payload):
             )
         }
     raise ValueError(f"unknown chunk mode {mode!r}")
+
+
+def _evaluate_spice_chunk(payload):
+    """Run one spice chunk (kept separate from _evaluate_chunk: spice
+    payloads carry SpiceScenario cells, not engine Scenario cells)."""
+    batch = SpiceBatch(payload["scenarios"])
+    result = batch.run(
+        payload["t_stop"], payload["dt"], method=payload["method"],
+        n_points=payload["n_points"], atol=payload["atol"],
+        rtol=payload["rtol"])
+    return {
+        "v_out": result.v_out,
+        "v_final": result.v_final,
+        "ripple": result.ripple,
+        "steps": result.steps,
+    }
 
 
 @dataclass
@@ -673,6 +730,88 @@ class SweepOrchestrator:
             t0,
         )
         return out
+
+    # -- batched circuit-level (spice) studies -------------------------
+    def run_spice(self, batch, t_stop, dt, method="adaptive", n_points=256,
+                  atol=None, rtol=None, keys=None):
+        """Orchestrated twin of :meth:`SpiceBatch.run`: the same
+        per-cell rows, with sharding, caching and (optional) worker
+        processes.  ``keys`` as in :meth:`run_control`.
+
+        Unlike the elementwise runners, spice cells share their
+        chunk's lockstep step control, so sharding reproduces rows to
+        solver tolerance rather than bitwise (and a cached row keeps
+        the values of the composition that first computed it)."""
+        from repro.spice.transient import ADAPTIVE_ATOL, ADAPTIVE_RTOL
+
+        t0 = time.perf_counter()
+        if not isinstance(batch, SpiceBatch):
+            batch = SpiceBatch(list(batch))
+        atol = ADAPTIVE_ATOL if atol is None else float(atol)
+        rtol = ADAPTIVE_RTOL if rtol is None else float(rtol)
+        n_points = int(n_points)
+        times = np.linspace(0.0, float(t_stop), n_points)
+        if self.store is None:
+            keys = None
+        elif keys is None:
+            keys = spice_cell_keys(batch, t_stop, dt, method=method,
+                                   n_points=n_points, atol=atol, rtol=rtol)
+        cached, misses, keys = self._lookup(keys, len(batch))
+        chunks = self._chunk_plan(misses)
+        payloads = [
+            {
+                "mode": "spice",
+                "scenarios": [batch.scenarios[i] for i in chunk],
+                "t_stop": t_stop,
+                "dt": dt,
+                "method": method,
+                "n_points": n_points,
+                "atol": atol,
+                "rtol": rtol,
+            }
+            for chunk in chunks
+        ]
+        results, parallel, reason = self._map(payloads)
+        v_out = np.empty((len(batch), n_points))
+        v_final = np.empty(len(batch))
+        ripple = np.empty(len(batch))
+        steps = np.empty(len(batch), dtype=int)
+        for i, row in cached.items():
+            v_out[i] = row["v_out"]
+            v_final[i] = row["v_final"]
+            ripple[i] = row["ripple"]
+            steps[i] = int(row["steps"])
+        for chunk, rows in zip(chunks, results):
+            v_out[chunk] = rows["v_out"]
+            v_final[chunk] = rows["v_final"]
+            ripple[chunk] = rows["ripple"]
+            steps[chunk] = rows["steps"]
+        if self.store is not None:
+            for i in misses:
+                self.store.put(keys[i], {
+                    "v_out": v_out[i],
+                    "v_final": np.asarray(v_final[i]),
+                    "ripple": np.asarray(ripple[i]),
+                    "steps": np.asarray(steps[i]),
+                })
+        self._finish(
+            "spice",
+            len(batch),
+            len(cached),
+            len(misses),
+            len(chunks),
+            parallel,
+            reason,
+            t0,
+        )
+        return SpiceBatchResult(
+            times=times,
+            v_out=v_out,
+            v_final=v_final,
+            ripple=ripple,
+            steps=steps,
+            scenarios=batch.scenarios,
+        )
 
     # -- sharded Monte Carlo -------------------------------------------
     def run_montecarlo(self, mc, evaluate_batch, n_samples=200, seed=0, chunk_size=64):

@@ -186,6 +186,214 @@ class Scenario:
                 or self.tx_turns is not None)
 
 
+# ----------------------------------------------------------------------
+# Circuit-level (SPICE) scenarios: carrier-resolved netlist sweeps
+# ----------------------------------------------------------------------
+def _rectifier_template(sc):
+    """The paper's Fig. 8 clamp-plus-rectifier cell (engine default)."""
+    from repro.power.rectifier import build_rectifier_circuit
+
+    ckt = build_rectifier_circuit(
+        v_in_amplitude=sc.amplitude, freq=sc.freq, i_load=sc.i_load)
+    if "ILOAD" not in ckt:
+        # build_rectifier_circuit omits the load source at i_load=0;
+        # a zero-ampere source keeps every cell of a study family
+        # structurally identical so mixed loads can run in lockstep.
+        ckt.add_isource("ILOAD", "vo", "0", 0.0)
+    return ckt, "vo"
+
+
+def _halfwave_template(sc):
+    """Half-wave peak detector: diode into Co with a resistive load
+    sized to draw ``i_load`` at the source amplitude."""
+    from repro.spice import Circuit, sine
+
+    ckt = Circuit(f"halfwave[{sc.label or sc.amplitude}]")
+    ckt.add_vsource("V1", "in", "0", sine(sc.amplitude, sc.freq))
+    ckt.add_diode("D1", "in", "out", i_s=1e-9)
+    ckt.add_capacitor("C1", "out", "0", 100e-9, ic=0.0)
+    r_load = sc.amplitude / max(sc.i_load, 1e-6)
+    ckt.add_resistor("RL", "out", "0", r_load)
+    return ckt, "out"
+
+
+def _clamp_template(sc):
+    """Stiff diode-clamp stack (the rectifier's overvoltage chain in
+    isolation): a series resistor into four clamping diodes."""
+    from repro.spice import Circuit, sine
+
+    ckt = Circuit(f"clamp[{sc.label or sc.amplitude}]")
+    ckt.add_vsource("V1", "in", "0", sine(sc.amplitude, sc.freq))
+    ckt.add_resistor("Rs", "in", "out", 100.0)
+    ckt.add_capacitor("Cs", "out", "0", 10e-12)
+    previous = "out"
+    for k in range(4):
+        nxt = "0" if k == 3 else f"m{k}"
+        ckt.add_diode(f"DC{k}", previous, nxt, i_s=1e-12)
+        previous = nxt
+    # Unconditional (possibly zero-ampere) load source: cells of one
+    # family must stay structurally identical across the i_load axis.
+    ckt.add_isource("IL", "out", "0", sc.i_load)
+    return ckt, "out"
+
+
+#: Netlist-template axis of the spice study: name -> builder returning
+#: ``(circuit, output_node)`` for one :class:`SpiceScenario`.
+SPICE_TEMPLATES = {
+    "rectifier": _rectifier_template,
+    "halfwave": _halfwave_template,
+    "clamp": _clamp_template,
+}
+
+
+@dataclass(frozen=True)
+class SpiceScenario:
+    """One circuit cell of a spice study: a netlist template
+    instantiated at a source amplitude (V), carrier frequency (Hz) and
+    DC load current (A).  Validation raises the same typed
+    :class:`ScenarioAxisError` as the envelope/control axes."""
+
+    template: str = "rectifier"
+    amplitude: float = 1.75
+    freq: float = 5e6
+    i_load: float = 350e-6
+    label: str = ""
+
+    def __post_init__(self):
+        if self.template not in SPICE_TEMPLATES:
+            raise ScenarioAxisError.for_axis(
+                "template", self.template,
+                f"known templates: {sorted(SPICE_TEMPLATES)}")
+        for name in ("amplitude", "freq"):
+            value = _require_finite(getattr(self, name), name)
+            if value <= 0.0:
+                raise ScenarioAxisError.for_axis(
+                    name, value, "must be > 0")
+        if _require_finite(self.i_load, "i_load") < 0.0:
+            raise ScenarioAxisError.for_axis(
+                "i_load", self.i_load, "load current must be >= 0")
+
+    def build(self):
+        """(circuit, output node) for this cell."""
+        return SPICE_TEMPLATES[self.template](self)
+
+
+@dataclass
+class SpiceBatchResult:
+    """Per-cell traces and metrics of one spice study run.
+
+    ``v_out`` holds each cell's output-node voltage resampled onto the
+    shared uniform ``times`` grid (fixed shape per cell, which is what
+    makes the rows content-addressable in the ResultStore)."""
+
+    times: np.ndarray               # (n_points,)
+    v_out: np.ndarray               # (n_cells, n_points)
+    v_final: np.ndarray             # (n_cells,)
+    ripple: np.ndarray              # (n_cells,) max-min over the last 25%
+    steps: np.ndarray               # (n_cells,) accepted integrator steps
+    scenarios: list = field(default_factory=list)
+
+    @property
+    def n_cells(self):
+        return self.v_out.shape[0]
+
+
+class SpiceBatch:
+    """A list of :class:`SpiceScenario` evaluated through the
+    carrier-resolved circuit engine.
+
+    Cells sharing a netlist template run in one lockstep
+    :func:`~repro.spice.batch.transient_batch` family (the adaptive
+    backend's vectorized/factorization-reuse path); mixed-template
+    batches group by template.
+    """
+
+    def __init__(self, scenarios):
+        self.scenarios = list(scenarios)
+        if not self.scenarios:
+            raise ValueError("need at least one spice scenario")
+
+    def __len__(self):
+        return len(self.scenarios)
+
+    @classmethod
+    def from_axes(cls, **axes):
+        """Cartesian product over named :class:`SpiceScenario` axes
+        (``template``, ``amplitude``, ``freq``, ``i_load``), mirroring
+        :meth:`ScenarioBatch.from_axes`."""
+        valid = {f for f in SpiceScenario.__dataclass_fields__
+                 if f != "label"}
+        for name in axes:
+            if name not in valid:
+                raise ScenarioAxisError.for_axis(
+                    name, axes[name],
+                    f"unknown spice axis; valid axes: {sorted(valid)}")
+        names = list(axes)
+        for name in names:
+            values = list(axes[name])
+            if not values:
+                raise ScenarioAxisError.for_axis(
+                    name, axes[name], "axis needs at least one value")
+            axes[name] = values
+        scenarios = []
+        for combo in itertools.product(*(axes[n] for n in names)):
+            kwargs = dict(zip(names, combo))
+            label = ",".join(
+                f"{n}={v}" if isinstance(v, str) else f"{n}={v:g}"
+                for n, v in kwargs.items())
+            scenarios.append(SpiceScenario(label=label, **kwargs))
+        return cls(scenarios)
+
+    def run(self, t_stop, dt, method="adaptive", n_points=256,
+            atol=None, rtol=None, max_dt=None):
+        """Integrate every cell and resample the output node onto a
+        uniform ``n_points`` grid.  ``method`` is any
+        :data:`repro.spice.METHODS` backend; solver tolerances default
+        to the transient engine's adaptive defaults.
+
+        Step control is shared within a lockstep family, so a cell's
+        trace is reproduced to solver tolerance — not bitwise — when
+        the surrounding batch composition changes (unlike the
+        elementwise envelope/control runners)."""
+        from repro.spice import transient_batch
+        from repro.spice.transient import ADAPTIVE_ATOL, ADAPTIVE_RTOL
+
+        require_positive(t_stop, "t_stop")
+        require_positive(dt, "dt")
+        n_points = int(n_points)
+        if n_points < 2:
+            raise ValueError("n_points must be >= 2")
+        atol = ADAPTIVE_ATOL if atol is None else float(atol)
+        rtol = ADAPTIVE_RTOL if rtol is None else float(rtol)
+        times = np.linspace(0.0, float(t_stop), n_points)
+        n_sc = len(self)
+        v_out = np.empty((n_sc, n_points))
+        v_final = np.empty(n_sc)
+        ripple = np.empty(n_sc)
+        steps = np.empty(n_sc, dtype=int)
+        groups = {}
+        for idx, sc in enumerate(self.scenarios):
+            groups.setdefault(sc.template, []).append(idx)
+        for indices in groups.values():
+            built = [self.scenarios[i].build() for i in indices]
+            circuits = [c for c, _node in built]
+            node = built[0][1]
+            family = transient_batch(
+                circuits, t_stop, dt, method=method, use_ic=True,
+                atol=atol, rtol=rtol, max_dt=max_dt)
+            traces = family.voltage(node)
+            tail = family.t >= 0.75 * t_stop
+            for row, i in enumerate(indices):
+                v = np.interp(times, family.t, traces[row])
+                v_out[i] = v
+                v_final[i] = traces[row][-1]
+                ripple[i] = traces[row][tail].max() - traces[row][tail].min()
+                steps[i] = family.t.size - 1
+        return SpiceBatchResult(
+            times=times, v_out=v_out, v_final=v_final, ripple=ripple,
+            steps=steps, scenarios=self.scenarios)
+
+
 @dataclass
 class BatchControlResult:
     """Vectorized adaptive-control traces: one row per scenario."""

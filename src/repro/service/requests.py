@@ -13,7 +13,10 @@ the engine's own axes so validation is exactly the existing
 * ``montecarlo`` — charge-time yield under component spreads
                    (:meth:`SweepOrchestrator.run_montecarlo`, with
                    deterministic seeding so identical requests are
-                   identical results).
+                   identical results);
+* ``spice``      — carrier-resolved circuit study over netlist-template
+                   axes (:meth:`SweepOrchestrator.run_spice`, the
+                   lockstep-batched adaptive transient backend).
 
 Every request knows its engine-parameter *group key* (requests with
 the same key can run as one coalesced batch) and its per-cell *content
@@ -31,12 +34,17 @@ from repro.engine.parallel import (
     charge_cell_keys,
     control_cell_keys,
     envelope_cell_keys,
+    spice_cell_keys,
 )
-from repro.engine.scenario import ScenarioAxisError, ScenarioBatch
+from repro.engine.scenario import ScenarioAxisError, ScenarioBatch, SpiceBatch
 from repro.engine.store import canonical_key
 from repro.service.jobs import SimRequestError
 
-KINDS = ("sweep", "transient", "battery", "montecarlo")
+KINDS = ("sweep", "transient", "battery", "montecarlo", "spice")
+
+#: Output-grid length of a served spice cell (fixed server-side so the
+#: response shape — and the content address — is one per circuit cell).
+SPICE_N_POINTS = 256
 
 #: Hard per-request bounds: a single request may not ask for more cells
 #: or a longer horizon than this — oversized studies must be split, so
@@ -66,6 +74,7 @@ KIND_FIELDS = {
     "battery": {"axes", "p_in", "v_target", "dt", "limit"},
     "montecarlo": {"spreads", "n_samples", "seed", "p_in", "v_target",
                    "dt", "limit"},
+    "spice": {"axes", "t_stop", "dt", "method"},
 }
 
 
@@ -126,14 +135,15 @@ class SimRequest:
 
     kind: str
     axes: dict = field(default_factory=dict)
-    t_stop: float = 60e-3           # sweep / transient horizon (s)
-    dt: float = 1e-6                # transient / battery step (s)
+    t_stop: float = 60e-3           # sweep / transient / spice horizon (s)
+    dt: float = 1e-6                # transient / battery / spice step (s)
     p_in: float = 5e-3              # transient / battery / mc power (W)
     v_target: float = 2.75          # battery / mc target rail (V)
     limit: float = 1.0              # battery / mc search horizon (s)
     n_samples: int = 128            # mc sample count
     seed: int = 0                   # mc master seed
     spreads: tuple = ()             # mc ParameterSpread specs
+    method: str = "adaptive"        # spice integrator backend
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -162,6 +172,9 @@ class SimRequest:
         if not self.axes:
             raise SimRequestError(
                 f"a {self.kind!r} request needs at least one axis")
+        if self.kind == "spice":
+            self._init_spice()
+            return
         # from_axes is the validation: unknown axis names and invalid
         # values raise a typed ScenarioAxisError naming the axis.
         batch = ScenarioBatch.from_axes(**dict(self.axes))
@@ -186,6 +199,42 @@ class SimRequest:
                 f"limit/dt is {self.limit / self.dt:.3g} search steps "
                 f"per cell; the bound is {MAX_STEPS} — raise dt or "
                 f"lower limit")
+        object.__setattr__(self, "_scenarios", batch.scenarios)
+
+    def _init_spice(self):
+        from repro.spice.transient import METHODS
+
+        if self.method not in METHODS:
+            raise SimRequestError(
+                f"unknown spice method {self.method!r}; "
+                f"known methods: {list(METHODS)}")
+        # from_axes is the validation: unknown axis names and invalid
+        # values raise a typed ScenarioAxisError naming the axis.
+        batch = SpiceBatch.from_axes(**dict(self.axes))
+        if len(batch) > MAX_CELLS:
+            raise SimRequestError(
+                f"request asks for {len(batch)} circuit cells; the "
+                f"per-request bound is {MAX_CELLS} — split the study")
+        # Bound the WORST-CASE accepted-step count, not the nominal
+        # one: the integrator may refine down to its min_dt floor
+        # (dt/1024 adaptive, dt/64 fixed), and each accepted step is
+        # held in memory before the 256-point resample — without this
+        # a default 60 ms / 1 us request validates at 60k nominal
+        # steps yet can pin a scheduler worker for millions.
+        refine = 1024 if self.method == "adaptive" else 64
+        steps = self.t_stop / self.dt * refine
+        if steps > MAX_STEPS:
+            raise SimRequestError(
+                f"t_stop/dt x the {self.method!r} backend's maximum "
+                f"step refinement ({refine}x) is {steps:.3g} steps per "
+                f"cell; the bound is {MAX_STEPS} — raise dt or shorten "
+                f"t_stop (carrier-resolved studies run microsecond "
+                f"horizons at nanosecond steps)")
+        if len(batch) * SPICE_N_POINTS > MAX_TRACE_VALUES:
+            raise SimRequestError(
+                f"{len(batch)} cells x {SPICE_N_POINTS} trace points "
+                f"exceeds the {MAX_TRACE_VALUES} response-trace budget "
+                f"— split the study")
         object.__setattr__(self, "_scenarios", batch.scenarios)
 
     def _init_montecarlo(self):
@@ -244,6 +293,8 @@ class SimRequest:
         if self.kind == "battery":
             return ("battery", self.p_in, self.v_target, self.dt,
                     self.limit)
+        if self.kind == "spice":
+            return ("spice", self.t_stop, self.dt, self.method)
         return ("montecarlo",)
 
     def cell_keys(self, system, controller):
@@ -251,6 +302,11 @@ class SimRequest:
         :func:`~repro.engine.store.canonical_key` values the
         orchestrator files results under, so in-flight deduplication
         and the on-disk cache agree on what "the same cell" means."""
+        if self.kind == "spice":
+            return spice_cell_keys(SpiceBatch(self._scenarios),
+                                   self.t_stop, self.dt,
+                                   method=self.method,
+                                   n_points=SPICE_N_POINTS)
         batch = ScenarioBatch(self._scenarios) \
             if self.kind != "montecarlo" else None
         if self.kind == "sweep":
@@ -344,6 +400,9 @@ class SimRequest:
         elif self.kind == "transient":
             doc.update({"t_stop": self.t_stop, "dt": self.dt,
                         "p_in": self.p_in})
+        elif self.kind == "spice":
+            doc.update({"t_stop": self.t_stop, "dt": self.dt,
+                        "method": self.method})
         else:
             doc.update({"p_in": self.p_in, "v_target": self.v_target,
                         "dt": self.dt, "limit": self.limit})

@@ -39,7 +39,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.engine.scenario import BatchControlResult, ScenarioBatch
+from repro.engine.scenario import (
+    BatchControlResult,
+    ScenarioBatch,
+    SpiceBatch,
+)
 from repro.service.jobs import JobState
 from repro.variability import MonteCarlo
 
@@ -297,6 +301,13 @@ class MicroBatchScheduler:
                     n_samples=request.n_samples, seed=request.seed)
                 out.append(merged)
             return out
+        if kind == "spice":
+            from repro.service.requests import SPICE_N_POINTS
+
+            return self.orchestrator.run_spice(
+                SpiceBatch(unique_cells), proto.t_stop, proto.dt,
+                method=proto.method, n_points=SPICE_N_POINTS,
+                keys=unique_keys)
         batch = ScenarioBatch(unique_cells)
         if kind == "sweep":
             return self.orchestrator.run_control(
@@ -372,6 +383,25 @@ class MicroBatchScheduler:
                     "p_in": wire_float(rows.p_in[pick]),
                     "i_load": wire_float(rows.i_load[pick]),
                     "v_final": wire_float(rows.v_rect[pick, -1]),
+                } for sc, pick in zip(scenarios, picks)],
+            }
+        if request.kind == "spice":
+            return {
+                "kind": "spice",
+                "t_stop": request.t_stop,
+                "dt": request.dt,
+                "method": request.method,
+                "times": wire_list(rows.times),
+                "cells": [{
+                    "label": sc.label,
+                    "template": sc.template,
+                    "amplitude": sc.amplitude,
+                    "freq": sc.freq,
+                    "i_load": sc.i_load,
+                    "v_out": wire_list(rows.v_out[pick]),
+                    "v_final": wire_float(rows.v_final[pick]),
+                    "ripple": wire_float(rows.ripple[pick]),
+                    "steps": int(rows.steps[pick]),
                 } for sc, pick in zip(scenarios, picks)],
             }
         return {

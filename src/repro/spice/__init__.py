@@ -9,7 +9,11 @@ iteration, supporting
 * nonlinear elements: junction diodes, level-1 MOSFETs, voltage-controlled
   switches;
 * analyses: DC operating point (with gmin and source stepping), AC
-  small-signal sweep, and transient (backward-Euler or trapezoidal).
+  small-signal sweep, and transient (fixed-step backward-Euler or
+  trapezoidal, plus an adaptive-timestep backend with LTE step control,
+  linear-part factorization reuse and a lockstep batched runner for
+  circuit families — see :mod:`repro.spice.transient` and
+  :mod:`repro.spice.batch`).
 
 Circuits here are small (tens of nodes), so dense numpy linear algebra is
 used throughout.
@@ -31,7 +35,8 @@ from repro.spice.components import (
 )
 from repro.spice.sources import dc_source, sine, pulse, pwl, square, ask_carrier
 from repro.spice.dc import OperatingPoint, dc_operating_point
-from repro.spice.transient import TransientResult, transient
+from repro.spice.transient import METHODS, TransientResult, transient
+from repro.spice.batch import BatchTransientResult, transient_batch
 from repro.spice.ac import ACResult, ac_sweep
 from repro.spice.netlist_io import parse_netlist, write_netlist, NetlistError
 from repro.spice.sweep import dc_sweep, DCSweepResult, operating_point_report
@@ -57,8 +62,11 @@ __all__ = [
     "ask_carrier",
     "OperatingPoint",
     "dc_operating_point",
+    "METHODS",
     "TransientResult",
     "transient",
+    "BatchTransientResult",
+    "transient_batch",
     "ACResult",
     "ac_sweep",
     "parse_netlist",

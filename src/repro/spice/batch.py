@@ -1,0 +1,570 @@
+"""Lockstep-batched transient analysis for circuit families.
+
+A spice *study* sweeps one netlist template over parameter axes
+(source amplitude, frequency, load), producing N structurally
+identical circuits — same components in the same order, same node
+indices, different element values.  Integrating them one at a time
+repeats every numpy call N times on tiny arrays, so Python/numpy
+dispatch overhead dominates.  :func:`transient_batch` instead advances
+the whole family in lockstep:
+
+* the per-``(dt, method)`` linear base matrices are stacked into one
+  ``(N, n, n)`` tensor (prefactored to a batched inverse when the
+  family is linear, so a step is a single batched matvec);
+* capacitor/inductor companion states live in ``(N,)`` arrays updated
+  with vectorized ops;
+* every diode of every cell is evaluated as one ``(N, nd)`` block and
+  scattered through two small matmuls;
+* the damped Newton iteration solves all cells at once through
+  numpy's batched ``linalg.solve``.
+
+Step control is shared across the family (the worst cell's Newton
+failure or local-truncation-error estimate drives the halving/doubling
+decision), so all cells walk the same time grid — which is exactly
+what makes a batched run comparable point-for-point against per-cell
+fixed-step references (see tests/test_spice_batch.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spice.components import (
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Inductor,
+    VoltageSource,
+)
+from repro.spice.dc import ConvergenceError, _newton_solve, dc_operating_point
+from repro.spice.transient import (
+    ADAPTIVE_ATOL,
+    ADAPTIVE_RTOL,
+    ADAPTIVE_V_RELTOL,
+    METHODS,
+    TransientResult,
+    _breakpoint_sources,
+    _clamp_to_breakpoints,
+    _diode_scatter_plan,
+    _lte_trap,
+)
+
+
+class BatchTransientResult:
+    """Time-series output of a lockstep family run.
+
+    ``x`` has shape ``(n_cells, n_points, n_unknowns)`` on the shared
+    stored time grid; :meth:`result` gives cell ``i`` as an ordinary
+    :class:`~repro.spice.transient.TransientResult`.
+    """
+
+    def __init__(self, circuits, times, x):
+        self.circuits = list(circuits)
+        self.t = np.asarray(times, dtype=float)
+        self.x = np.asarray(x, dtype=float)
+
+    def __len__(self):
+        return len(self.circuits)
+
+    def result(self, i):
+        """Cell ``i`` as a single-circuit TransientResult."""
+        return TransientResult(self.circuits[i], self.t, self.x[i])
+
+    def voltage(self, node):
+        """(n_cells, n_points) array of one node voltage (all cells
+        share the template's node table)."""
+        idx = self.circuits[0].node_index(node)
+        if idx < 0:
+            return np.zeros((len(self.circuits), self.t.size))
+        return self.x[:, :, idx]
+
+
+def _check_family(circuits):
+    """Validate the circuits are structurally identical (same
+    component classes, node indices and branch layout slot by slot)."""
+    if not circuits:
+        raise ValueError("transient_batch needs at least one circuit")
+    for ckt in circuits:
+        ckt.build()
+    first = circuits[0]
+    n = first.n_unknowns
+    for ckt in circuits[1:]:
+        if ckt.n_unknowns != n or len(ckt.components) != len(first.components):
+            raise ValueError(
+                f"circuit {ckt.title!r} is not structurally identical to "
+                f"{first.title!r}; a lockstep batch needs one netlist "
+                f"template instantiated at different element values"
+            )
+        for a, b in zip(first.components, ckt.components):
+            if type(a) is not type(b) or a.nodes != b.nodes or a.branch != b.branch:
+                raise ValueError(
+                    f"component slot {a.name!r}/{b.name!r} differs between "
+                    f"{first.title!r} and {ckt.title!r} (class or topology)"
+                )
+
+
+class _BatchSystem:
+    """Stacked MNA workspace for one circuit family (see module doc)."""
+
+    def __init__(self, circuits, gmin):
+        self.circuits = circuits
+        self.gmin = gmin
+        self.N = len(circuits)
+        first = circuits[0]
+        self.n = first.n_unknowns
+        self.nn = first.n_nodes
+        slots = list(zip(*[c.components for c in circuits]))
+        self.cap_slots = []     # (a, b, C (N,), v (N,), i (N,))
+        self.ind_slots = []     # dict per slot
+        self.vsrc_slots = []    # (branch, comps, const (N,) or None)
+        self.isrc_slots = []
+        self.diode_slots = []
+        self.other_slots = []   # per-cell scalar fallback (Mosfet/Switch)
+        self.matrix_slots = []  # linear, matrix-only contributions
+        ind_index = {}
+        for slot in slots:
+            comp = slot[0]
+            if isinstance(comp, Capacitor):
+                self.cap_slots.append({
+                    "a": comp.nodes[0], "b": comp.nodes[1],
+                    "c": np.array([c.capacitance for c in slot]),
+                    "v": np.zeros(self.N), "i": np.zeros(self.N),
+                    "comps": slot,
+                })
+            elif isinstance(comp, Inductor):
+                entry = {
+                    "a": comp.nodes[0], "b": comp.nodes[1],
+                    "k": comp.branch,
+                    "l": np.array([c.inductance for c in slot]),
+                    "i": np.zeros(self.N), "v": np.zeros(self.N),
+                    "comps": slot, "couplings": [],
+                }
+                ind_index[id(comp)] = entry
+                self.ind_slots.append(entry)
+            elif isinstance(comp, VoltageSource):
+                sources = [c.source for c in slot]
+                const = (np.array([s.dc_value for s in sources])
+                         if all(s.label == "dc" for s in sources) else None)
+                self.vsrc_slots.append(
+                    {"k": comp.branch, "sources": sources, "const": const})
+            elif isinstance(comp, CurrentSource):
+                sources = [c.source for c in slot]
+                const = (np.array([s.dc_value for s in sources])
+                         if all(s.label == "dc" for s in sources) else None)
+                self.isrc_slots.append(
+                    {"a": comp.nodes[0], "b": comp.nodes[1],
+                     "sources": sources, "const": const})
+            elif isinstance(comp, Diode):
+                self.diode_slots.append(slot)
+            elif not comp.linear_stamps:
+                self.other_slots.append(slot)
+            if comp.linear_stamps:
+                self.matrix_slots.append(slot)
+        # Couplings resolve against the slot entries of their partner
+        # inductors; coupling lists are built in netlist order, so
+        # position p pairs cellwise across the family.
+        for entry in self.ind_slots:
+            proto = entry["comps"][0]
+            for p, (_m_val, other) in enumerate(proto.couplings):
+                entry["couplings"].append({
+                    "m": np.array([c.couplings[p][0]
+                                   for c in entry["comps"]]),
+                    "other": ind_index[id(other)],
+                })
+        self.is_linear = not self.diode_slots and not self.other_slots
+        self._init_diodes()
+        n, N = self.n, self.N
+        self.G = np.empty((N, n, n))
+        self.rhs = np.empty((N, n))
+        self._rhs_base = np.empty((N, n))
+        self._x_pad = np.zeros((N, n + 1))
+        self._base = {}
+
+    # -- diode group ----------------------------------------------------
+    def _init_diodes(self):
+        slots = self.diode_slots
+        self.nd = nd = len(slots)
+        if not nd:
+            return
+        n = self.n
+        # Topology plan shared with the single-circuit assembler (the
+        # family is structurally identical, so slot 0 speaks for all).
+        self.d_ai, self.d_bi, P_g, P_r = _diode_scatter_plan(
+            [s[0] for s in slots], n)
+        self.d_is = np.array([[c.i_s for c in s] for s in slots]).T      # (N, nd)
+        nvt = np.array([[c.n * c.vt for c in s] for s in slots]).T
+        self.d_inv_nvt = 1.0 / nvt
+        self.d_vmax = np.array([[c.v_max for c in s] for s in slots]).T
+        e_knee = np.exp(self.d_vmax * self.d_inv_nvt)
+        self.d_gknee = self.d_is * e_knee * self.d_inv_nvt
+        self.d_iknee = self.d_is * (e_knee - 1.0)
+        self.d_vmax_floor = float(self.d_vmax.min())
+        self.dP_gT = np.ascontiguousarray(P_g.T)   # (nd, n*n)
+        self.dP_rT = np.ascontiguousarray(P_r.T)   # (nd, n)
+
+    def _stamp_diodes(self, G2, rhs, x):
+        """One vectorized Newton stamp of every diode of every cell:
+        ``G2`` is the matrix tensor viewed as (N, n*n)."""
+        xp = self._x_pad
+        xp[:, : self.n] = x
+        vd = xp[:, self.d_ai] - xp[:, self.d_bi]
+        e = np.exp(np.minimum(vd, self.d_vmax) * self.d_inv_nvt)
+        i = self.d_is * (e - 1.0)
+        g = (i + self.d_is) * self.d_inv_nvt
+        if vd.max() > self.d_vmax_floor:
+            over = vd > self.d_vmax
+            i = np.where(over,
+                         self.d_iknee + self.d_gknee * (vd - self.d_vmax), i)
+            g = np.where(over, self.d_gknee, g)
+        g += self.gmin
+        ieq = i - g * vd
+        G2 += g @ self.dP_gT
+        rhs += ieq @ self.dP_rT
+
+    # -- state management ----------------------------------------------
+    def init_states(self, x, use_ic):
+        """Companion-model state arrays at t=0 (mirrors the single-cell
+        ``init_state`` + use_ic override semantics)."""
+        for slot in self.cap_slots:
+            if use_ic:
+                slot["v"] = np.array([
+                    c.ic if c.ic is not None else 0.0 for c in slot["comps"]])
+            else:
+                slot["v"] = np.array([
+                    c.ic if c.ic is not None else
+                    self._vdiff_cell(x[j], slot["a"], slot["b"])
+                    for j, c in enumerate(slot["comps"])])
+            slot["i"] = np.zeros(self.N)
+        for slot in self.ind_slots:
+            if use_ic:
+                slot["i"] = np.array([c.ic for c in slot["comps"]])
+            else:
+                slot["i"] = x[:, slot["k"]].copy()
+            slot["v"] = np.zeros(self.N)
+
+    @staticmethod
+    def _vdiff_cell(x_row, a, b):
+        va = 0.0 if a < 0 else x_row[a]
+        vb = 0.0 if b < 0 else x_row[b]
+        return va - vb
+
+    def _vdiff(self, x, a, b):
+        va = 0.0 if a < 0 else x[:, a]
+        vb = 0.0 if b < 0 else x[:, b]
+        return va - vb
+
+    def update_states(self, x, dt, method):
+        trap = method == "trap"
+        for slot in self.cap_slots:
+            geq = (2.0 if trap else 1.0) * slot["c"] / dt
+            v_new = self._vdiff(x, slot["a"], slot["b"])
+            if trap:
+                slot["i"] = geq * (v_new - slot["v"]) - slot["i"]
+            else:
+                slot["i"] = geq * (v_new - slot["v"])
+            slot["v"] = v_new
+        for slot in self.ind_slots:
+            slot["i"] = x[:, slot["k"]].copy()
+            slot["v"] = self._vdiff(x, slot["a"], slot["b"])
+
+    # -- assembly -------------------------------------------------------
+    def base_for(self, dt, method):
+        """(N, n, n) linear base for one ``(dt, method)`` — and, for a
+        linear family, its batched inverse so every step is one
+        batched matvec (factorization reuse across the whole run)."""
+        key = (dt, method)
+        entry = self._base.get(key)
+        if entry is None:
+            G = np.zeros((self.N, self.n, self.n))
+            for slot in self.matrix_slots:
+                for j, comp in enumerate(slot):
+                    comp.stamp_tran_matrix(G[j], dt, method)
+            inv = None
+            if self.is_linear:
+                try:
+                    inv = np.linalg.inv(G)
+                except np.linalg.LinAlgError:
+                    inv = None
+            if len(self._base) >= 64:
+                self._base.clear()
+            entry = (G, inv)
+            self._base[key] = entry
+        return entry
+
+    def build_rhs(self, dt, method, t):
+        rhs = self._rhs_base
+        rhs[:] = 0.0
+        trap = method == "trap"
+        fac = 2.0 if trap else 1.0
+        for slot in self.cap_slots:
+            geq = fac * slot["c"] / dt
+            ieq = geq * slot["v"] + (slot["i"] if trap else 0.0)
+            a, b = slot["a"], slot["b"]
+            if a >= 0:
+                rhs[:, a] += ieq
+            if b >= 0:
+                rhs[:, b] -= ieq
+        for slot in self.ind_slots:
+            leq = fac * slot["l"] / dt
+            k = slot["k"]
+            if trap:
+                rhs[:, k] += -slot["v"] - leq * slot["i"]
+            else:
+                rhs[:, k] += -leq * slot["i"]
+            for coupling in slot["couplings"]:
+                rhs[:, k] -= fac * coupling["m"] / dt * coupling["other"]["i"]
+        for slot in self.vsrc_slots:
+            vals = (slot["const"] if slot["const"] is not None
+                    else np.array([s(t) for s in slot["sources"]]))
+            rhs[:, slot["k"]] += vals
+        for slot in self.isrc_slots:
+            vals = (slot["const"] if slot["const"] is not None
+                    else np.array([s(t) for s in slot["sources"]]))
+            a, b = slot["a"], slot["b"]
+            if a >= 0:
+                rhs[:, a] -= vals
+            if b >= 0:
+                rhs[:, b] += vals
+        return rhs
+
+    # -- solves ---------------------------------------------------------
+    def step_linear(self, dt, method, t):
+        G, inv = self.base_for(dt, method)
+        rhs = self.build_rhs(dt, method, t)
+        if inv is not None:
+            return np.einsum("nij,nj->ni", inv, rhs)
+        try:
+            return np.linalg.solve(G, rhs[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"singular MNA matrix in batched family "
+                f"({self.circuits[0].title!r}): {exc}") from exc
+
+    def newton(self, x0, dt, method, t, max_newton=60, damping_limit=2.0,
+               v_tol=1e-6, v_reltol=0.0, i_tol=1e-9, i_reltol=1e-6):
+        """Damped lockstep Newton: all cells iterate together until
+        every cell satisfies the (absolute + relative) criterion."""
+        G_base, _ = self.base_for(dt, method)
+        rhs_base = self.build_rhs(dt, method, t)
+        G, rhs = self.G, self.rhs
+        G2 = G.reshape(self.N, self.n * self.n)
+        x = np.array(x0, dtype=float, copy=True)
+        nn = self.nn
+        has_branches = self.n > nn
+        for _ in range(max_newton):
+            np.copyto(G, G_base)
+            np.copyto(rhs, rhs_base)
+            if self.nd:
+                self._stamp_diodes(G2, rhs, x)
+            for slot in self.other_slots:
+                for j, comp in enumerate(slot):
+                    comp.stamp_tran(G[j], rhs[j], x[j], _SlotStates(self, j),
+                                    dt, method, t, self.gmin)
+            try:
+                x_new = np.linalg.solve(G, rhs[:, :, None])[:, :, 0]
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(
+                    f"singular MNA matrix in batched family "
+                    f"({self.circuits[0].title!r}): {exc}") from exc
+            dxa = np.abs(x_new - x)
+            row_max = dxa.max(axis=1)
+            if row_max.max() > damping_limit:
+                scale = np.minimum(1.0, damping_limit / np.maximum(
+                    row_max, 1e-300))
+                x = x + (x_new - x) * scale[:, None]
+                dxa *= scale[:, None]
+            else:
+                x = x_new
+            dv = dxa[:, :nn].max(axis=1)
+            v_ok = dv < v_tol + v_reltol * np.abs(x[:, :nn]).max(axis=1)
+            if has_branches:
+                di = dxa[:, nn:].max(axis=1)
+                i_ok = di < i_tol + i_reltol * np.abs(x[:, nn:]).max(axis=1)
+                converged = bool((v_ok & i_ok).all())
+            else:
+                converged = bool(v_ok.all())
+            if converged:
+                return x
+        raise ConvergenceError(
+            f"lockstep Newton failed to converge in {max_newton} "
+            f"iterations ({self.circuits[0].title!r} family)")
+
+
+class _SlotStates:
+    """Adapter handing a per-cell view of the slot state arrays to the
+    scalar ``stamp_tran`` of non-vectorized devices (Mosfet/Switch use
+    no states today, but the mapping stays correct if they grow some)."""
+
+    def __init__(self, system, cell):
+        self.system = system
+        self.cell = cell
+
+    def __getitem__(self, comp):
+        for slot in self.system.cap_slots + self.system.ind_slots:
+            if slot["comps"][self.cell] is comp:
+                return {"v": slot["v"][self.cell], "i": slot["i"][self.cell]}
+        raise KeyError(comp)
+
+
+def transient_batch(
+    circuits,
+    t_stop,
+    dt,
+    t_start=0.0,
+    method="adaptive",
+    use_ic=False,
+    x0=None,
+    max_newton=60,
+    store_every=1,
+    atol=ADAPTIVE_ATOL,
+    rtol=ADAPTIVE_RTOL,
+    max_dt=None,
+    min_dt=None,
+    v_reltol=None,
+):
+    """Run one lockstep transient over a family of circuits.
+
+    Parameters mirror :func:`repro.spice.transient.transient`; the
+    family walks a single shared time grid.  ``method="trap"``/``"be"``
+    run fixed-step (halving only on Newton failure, regrowing toward
+    the nominal ``dt`` — the same policy as the single-circuit
+    reference path); ``"adaptive"`` adds the shared LTE step control
+    (the worst cell decides).  ``x0``, when given, is an
+    ``(n_cells, n_unknowns)`` array.
+
+    Returns a :class:`BatchTransientResult`.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown integration method {method!r}; "
+                         f"known methods: {METHODS}")
+    if dt <= 0 or t_stop <= t_start:
+        raise ValueError("need dt > 0 and t_stop > t_start")
+    if int(store_every) < 1:
+        raise ValueError("store_every must be >= 1")
+    store_every = int(store_every)
+    circuits = list(circuits)
+    _check_family(circuits)
+    gmin = 1e-12
+    N = len(circuits)
+    n = circuits[0].n_unknowns
+    adaptive = method == "adaptive"
+    base_method = "trap" if adaptive else method
+    atol = float(atol)
+    rtol = float(rtol)
+    max_dt = (dt * 256.0 if max_dt is None else float(max_dt)) \
+        if adaptive else dt
+    min_dt = ((dt / 1024.0 if adaptive else dt / 64.0)
+              if min_dt is None else float(min_dt))
+    v_reltol = (ADAPTIVE_V_RELTOL if v_reltol is None else float(v_reltol)) \
+        if adaptive else 0.0
+
+    # Initial solution per cell (DC seed or zero + initial conditions).
+    if x0 is not None:
+        x = np.array(x0, dtype=float, copy=True).reshape(N, n)
+    elif use_ic:
+        x = np.zeros((N, n))
+    else:
+        x = np.stack([dc_operating_point(c).x for c in circuits])
+
+    system = _BatchSystem(circuits, gmin)
+    system.init_states(x, use_ic)
+
+    if use_ic:
+        # Per-cell consistency micro-step (as in the single-circuit
+        # path): pins node voltages to the imposed initial conditions.
+        dt_micro = dt * 1e-9
+        for j, ckt in enumerate(circuits):
+            states = {}
+            for comp in ckt.components:
+                st = comp.init_state(None)
+                if st is not None:
+                    states[comp] = st
+            for comp, st in states.items():
+                if hasattr(comp, "ic") and comp.ic is not None and "v" in st:
+                    st["v"] = comp.ic
+
+            def warm_stamp(G, rhs, xg, g, _states=states, _ckt=ckt):
+                for comp in _ckt.components:
+                    comp.stamp_tran(G, rhs, xg, _states, dt_micro, "be",
+                                    t_start, g)
+
+            x[j] = _newton_solve(ckt, x[j], warm_stamp, gmin,
+                                 max_iter=max_newton, damping_limit=5.0)
+
+    # NOTE: this time loop mirrors transient._adaptive_loop (breakpoint
+    # clamp, BE first step, predictor, LTE accept/reject, history ring,
+    # store grid) with batch-specific differences: fixed-step lanes
+    # regrow toward the nominal dt here, and the single-circuit loop
+    # additionally carries the reverse-bias bypass and callbacks.  A
+    # change to the step-control rules must land in both; the
+    # batch-vs-single parity tests (tests/test_spice_batch.py) pin
+    # them together.
+    times = [t_start]
+    solutions = [x.copy()]
+    t = t_start
+    h = dt
+    hist_t = [t_start]
+    hist_x = [x.copy()]
+    accepted = 0
+    first_step = True
+    # Step-growth clamping at source discontinuities is an adaptive
+    # concern; the fixed-step lanes mirror the single-circuit reference
+    # path, which never grows past its nominal dt.
+    bp_sources = _breakpoint_sources(circuits) if adaptive else []
+    while t < t_stop - 1e-15:
+        step = min(h, t_stop - t)
+        if bp_sources:
+            step = _clamp_to_breakpoints(bp_sources, t, step)
+        t_next = t + step
+        step_method = "be" if first_step else base_method
+        try:
+            if system.is_linear:
+                x_new = system.step_linear(step, step_method, t_next)
+            else:
+                if len(hist_t) >= 2:
+                    guess = x + (x - hist_x[-2]) * (
+                        step / (hist_t[-1] - hist_t[-2]))
+                else:
+                    guess = x
+                x_new = system.newton(guess, step, step_method, t_next,
+                                      max_newton=max_newton,
+                                      v_reltol=v_reltol)
+        except ConvergenceError:
+            if h / 2.0 < min_dt:
+                raise ConvergenceError(
+                    f"batched transient step failed at t={t_next:.4g}s even "
+                    f"at minimum step {min_dt:.3g}s "
+                    f"({circuits[0].title!r} family)")
+            h /= 2.0
+            continue
+        grow = False
+        if adaptive and not first_step and len(hist_t) >= 3:
+            # The single-circuit LTE estimator broadcasts unchanged
+            # over the stacked (N, n) history arrays.
+            err = _lte_trap(hist_t, hist_x, t_next, x_new, step)
+            ratio = float(np.max(err / (atol + rtol * np.abs(x_new))))
+            if ratio > 1.0 and step > min_dt * 1.000001:
+                h = max(step / 2.0, min_dt)
+                continue
+            grow = ratio < 1.0 / 16.0
+        system.update_states(x_new, step, step_method)
+        first_step = False
+        x = x_new
+        t = t_next
+        accepted += 1
+        hist_t.append(t)
+        hist_x.append(x)
+        if len(hist_t) > 4:
+            hist_t.pop(0)
+            hist_x.pop(0)
+        if accepted % store_every == 0 or t >= t_stop - 1e-15:
+            times.append(t)
+            solutions.append(x.copy())
+        if adaptive:
+            if grow:
+                h = min(h * 2.0, max_dt)
+        elif h < dt:
+            # Fixed-step policy: regrow toward the nominal step.
+            h = min(dt, h * 2.0)
+    return BatchTransientResult(
+        circuits, times, np.stack(solutions, axis=1))

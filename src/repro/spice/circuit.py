@@ -163,11 +163,28 @@ class Circuit:
             raise KeyError(f"unknown node {name!r} in circuit {self.title!r}")
 
     def branch_index(self, component_name):
-        """Solution-vector index of a branch current (V sources, inductors)."""
+        """Solution-vector index of a branch current (V sources, inductors).
+
+        Raises :class:`ValueError` — never a bare :class:`KeyError` —
+        both for unknown component names and for components that carry
+        no branch current unknown, so ``branch_current`` accessors fail
+        with an actionable message.
+        """
         self.build()
-        comp = self[component_name]
+        try:
+            comp = self[component_name]
+        except KeyError:
+            raise ValueError(
+                f"no component named {component_name!r} in circuit "
+                f"{self.title!r}; branch currents exist for voltage "
+                f"sources and inductors"
+            ) from None
         if comp.branch is None:
-            raise ValueError(f"{component_name} carries no branch current")
+            raise ValueError(
+                f"{component_name} ({type(comp).__name__}) carries no "
+                f"branch current; use device_current({component_name!r}) "
+                f"for resistor/diode/switch currents"
+            )
         return comp.branch
 
     def __repr__(self):

@@ -41,9 +41,20 @@ def _add_rhs(rhs, i, value):
 
 class Component:
     """Base class; subclasses set ``needs_branch`` if they add a current
-    unknown to the MNA system."""
+    unknown to the MNA system.
+
+    Components whose transient stamps do not depend on the solution
+    vector ``x`` set ``linear_stamps = True`` and implement the split
+    hooks :meth:`stamp_tran_matrix` (constant per ``(dt, method)``) and
+    :meth:`stamp_tran_rhs` (per-step: source values, companion-model
+    state terms).  The transient engine assembles those once per unique
+    step size instead of once per Newton iteration; components that
+    keep the default ``linear_stamps = False`` are restamped through
+    :meth:`stamp_tran` on every iteration, which is always correct.
+    """
 
     needs_branch = False
+    linear_stamps = False
 
     def __init__(self, name, nodes):
         self.name = str(name)
@@ -58,6 +69,20 @@ class Component:
     def stamp_tran(self, G, rhs, x, states, dt, method, t, gmin):
         # By default transient behaves like DC (resistors, sources...).
         self.stamp_dc(G, rhs, x, gmin)
+
+    def stamp_tran_matrix(self, G, dt, method):
+        """The x- and t-independent matrix part of the transient stamp
+        (only consulted when ``linear_stamps`` is True)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} declares linear_stamps but does not "
+            f"implement stamp_tran_matrix")
+
+    def stamp_tran_rhs(self, rhs, states, dt, method, t):
+        """The x-independent right-hand-side part of the transient
+        stamp (only consulted when ``linear_stamps`` is True)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} declares linear_stamps but does not "
+            f"implement stamp_tran_rhs")
 
     def stamp_ac(self, Y, rhs, omega, x_op):
         pass
@@ -88,6 +113,8 @@ class Component:
 class Resistor(Component):
     """Ideal resistor."""
 
+    linear_stamps = True
+
     def __init__(self, name, n1, n2, resistance):
         super().__init__(name, [n1, n2])
         self.resistance = require_positive(float(resistance), "resistance")
@@ -103,6 +130,12 @@ class Resistor(Component):
     def stamp_dc(self, G, rhs, x, gmin):
         self._stamp_g(G)
 
+    def stamp_tran_matrix(self, G, dt, method):
+        self._stamp_g(G)
+
+    def stamp_tran_rhs(self, rhs, states, dt, method, t):
+        pass
+
     def stamp_ac(self, Y, rhs, omega, x_op):
         self._stamp_g(Y)
 
@@ -113,6 +146,8 @@ class Resistor(Component):
 
 class Capacitor(Component):
     """Ideal capacitor with optional initial voltage ``ic``."""
+
+    linear_stamps = True
 
     def __init__(self, name, n1, n2, capacitance, ic=None):
         super().__init__(name, [n1, n2])
@@ -140,14 +175,22 @@ class Capacitor(Component):
         return self.capacitance / dt
 
     def stamp_tran(self, G, rhs, x, states, dt, method, t, gmin):
-        st = states[self]
+        self.stamp_tran_matrix(G, dt, method)
+        self.stamp_tran_rhs(rhs, states, dt, method, t)
+
+    def stamp_tran_matrix(self, G, dt, method):
         geq = self._geq(dt, method)
-        ieq = geq * st["v"] + (st["i"] if method == "trap" else 0.0)
         a, b = self.nodes
         _add(G, a, a, geq)
         _add(G, b, b, geq)
         _add(G, a, b, -geq)
         _add(G, b, a, -geq)
+
+    def stamp_tran_rhs(self, rhs, states, dt, method, t):
+        st = states[self]
+        geq = self._geq(dt, method)
+        ieq = geq * st["v"] + (st["i"] if method == "trap" else 0.0)
+        a, b = self.nodes
         _add_rhs(rhs, a, ieq)
         _add_rhs(rhs, b, -ieq)
 
@@ -175,6 +218,7 @@ class Inductor(Component):
     """Ideal inductor; adds a branch current unknown."""
 
     needs_branch = True
+    linear_stamps = True
 
     def __init__(self, name, n1, n2, inductance, ic=0.0):
         super().__init__(name, [n1, n2])
@@ -205,11 +249,22 @@ class Inductor(Component):
         return factor * self.inductance / dt
 
     def stamp_tran(self, G, rhs, x, states, dt, method, t, gmin):
-        st = states[self]
+        self.stamp_tran_matrix(G, dt, method)
+        self.stamp_tran_rhs(rhs, states, dt, method, t)
+
+    def stamp_tran_matrix(self, G, dt, method):
         leq = self._leq(dt, method)
         k = self.branch
         self._stamp_incidence(G)
         _add(G, k, k, -leq)
+        factor = 2.0 if method == "trap" else 1.0
+        for m_val, other in self.couplings:
+            _add(G, k, other.branch, -factor * m_val / dt)
+
+    def stamp_tran_rhs(self, rhs, states, dt, method, t):
+        st = states[self]
+        leq = self._leq(dt, method)
+        k = self.branch
         if method == "trap":
             _add_rhs(rhs, k, -st["v"] - leq * st["i"])
         else:
@@ -217,14 +272,10 @@ class Inductor(Component):
         factor = 2.0 if method == "trap" else 1.0
         for m_val, other in self.couplings:
             meq = factor * m_val / dt
-            _add(G, k, other.branch, -meq)
             other_st = states[other]
-            extra = -meq * other_st["i"]
-            if method == "trap":
-                # The partner's previous voltage term is already in -st["v"]
-                # because state v stores the *total* branch voltage.
-                pass
-            _add_rhs(rhs, k, extra)
+            # The partner's previous *voltage* term (trap) is already in
+            # -st["v"]: state v stores the total branch voltage.
+            _add_rhs(rhs, k, -meq * other_st["i"])
 
     def update_state(self, x, states, dt, method):
         st = states[self]
@@ -245,6 +296,8 @@ class MutualCoupling(Component):
     Registers cross terms on both inductors; carries no stamps itself.
     """
 
+    linear_stamps = True
+
     def __init__(self, name, inductor1, inductor2, k):
         super().__init__(name, [])
         if not (-1.0 < float(k) < 1.0):
@@ -258,6 +311,13 @@ class MutualCoupling(Component):
         inductor1.couplings.append((self.mutual, inductor2))
         inductor2.couplings.append((self.mutual, inductor1))
 
+    def stamp_tran_matrix(self, G, dt, method):
+        pass
+
+    def stamp_tran_rhs(self, rhs, states, dt, method, t):
+        pass
+
+
 
 # ---------------------------------------------------------------------------
 # Independent sources
@@ -267,6 +327,7 @@ class VoltageSource(Component):
     function from :mod:`repro.spice.sources`."""
 
     needs_branch = True
+    linear_stamps = True
 
     def __init__(self, name, n1, n2, value):
         super().__init__(name, [n1, n2])
@@ -288,6 +349,12 @@ class VoltageSource(Component):
         self._stamp_incidence(G)
         _add_rhs(rhs, self.branch, self.source(t))
 
+    def stamp_tran_matrix(self, G, dt, method):
+        self._stamp_incidence(G)
+
+    def stamp_tran_rhs(self, rhs, states, dt, method, t):
+        _add_rhs(rhs, self.branch, self.source(t))
+
     def stamp_ac(self, Y, rhs, omega, x_op):
         self._stamp_incidence(Y)
         _add_rhs(rhs, self.branch, complex(self.source.ac_mag))
@@ -296,6 +363,8 @@ class VoltageSource(Component):
 class CurrentSource(Component):
     """Independent current source (current flows n1 -> n2 internally,
     i.e. it pushes current *into* n2)."""
+
+    linear_stamps = True
 
     def __init__(self, name, n1, n2, value):
         super().__init__(name, [n1, n2])
@@ -312,6 +381,12 @@ class CurrentSource(Component):
     def stamp_tran(self, G, rhs, x, states, dt, method, t, gmin):
         self._stamp_value(rhs, self.source(t))
 
+    def stamp_tran_matrix(self, G, dt, method):
+        pass
+
+    def stamp_tran_rhs(self, rhs, states, dt, method, t):
+        self._stamp_value(rhs, self.source(t))
+
     def stamp_ac(self, Y, rhs, omega, x_op):
         self._stamp_value(rhs, complex(self.source.ac_mag))
 
@@ -323,6 +398,7 @@ class Vcvs(Component):
     """Voltage-controlled voltage source: V(n1,n2) = gain * V(cp,cn)."""
 
     needs_branch = True
+    linear_stamps = True
 
     def __init__(self, name, n1, n2, cp, cn, gain):
         super().__init__(name, [n1, n2, cp, cn])
@@ -341,12 +417,20 @@ class Vcvs(Component):
     def stamp_dc(self, G, rhs, x, gmin):
         self._stamp(G)
 
+    def stamp_tran_matrix(self, G, dt, method):
+        self._stamp(G)
+
+    def stamp_tran_rhs(self, rhs, states, dt, method, t):
+        pass
+
     def stamp_ac(self, Y, rhs, omega, x_op):
         self._stamp(Y)
 
 
 class Vccs(Component):
     """Voltage-controlled current source: I(n1->n2) = gm * V(cp,cn)."""
+
+    linear_stamps = True
 
     def __init__(self, name, n1, n2, cp, cn, gm):
         super().__init__(name, [n1, n2, cp, cn])
@@ -361,6 +445,12 @@ class Vccs(Component):
 
     def stamp_dc(self, G, rhs, x, gmin):
         self._stamp(G)
+
+    def stamp_tran_matrix(self, G, dt, method):
+        self._stamp(G)
+
+    def stamp_tran_rhs(self, rhs, states, dt, method, t):
+        pass
 
     def stamp_ac(self, Y, rhs, omega, x_op):
         self._stamp(Y)

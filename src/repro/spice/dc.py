@@ -22,7 +22,13 @@ class OperatingPoint:
         return 0.0 if idx < 0 else float(self.x[idx])
 
     def branch_current(self, component_name):
-        """Branch current through a voltage source or inductor."""
+        """Branch current through a voltage source or inductor.
+
+        Raises :class:`ValueError` (naming the component and pointing
+        at ``device_current``) for components that carry no branch
+        current unknown — resistors, diodes, switches — and for names
+        that are not in the circuit at all.
+        """
         return float(self.x[self.circuit.branch_index(component_name)])
 
     def voltages(self):
@@ -36,6 +42,23 @@ class OperatingPoint:
         return f"OperatingPoint({volts})"
 
 
+def newton_converged(dx, x, n_nodes, v_tol=1e-6, i_tol=1e-9, i_reltol=1e-6):
+    """Absolute+relative convergence test on one Newton update.
+
+    Voltages converge when the update is below ``v_tol``; branch
+    currents when the update is below ``i_tol + i_reltol * |I|max``.
+    The historical criterion ``i_tol * max(1, |I|max/i_tol)``
+    algebraically collapses to ``max(i_tol, |I|max)`` — a 100% relative
+    tolerance that let a damped iterate whose *step* equalled the
+    branch current pass as "converged" while being off by 2x or more
+    (see tests/test_spice_dc.py::TestNewtonConvergence).
+    """
+    if np.max(np.abs(dx[:n_nodes]), initial=0.0) >= v_tol:
+        return False
+    di = np.max(np.abs(dx[n_nodes:]), initial=0.0)
+    return di < i_tol + i_reltol * np.max(np.abs(x[n_nodes:]), initial=0.0)
+
+
 def _newton_solve(
     circuit,
     x0,
@@ -44,6 +67,7 @@ def _newton_solve(
     max_iter=150,
     v_tol=1e-6,
     i_tol=1e-9,
+    i_reltol=1e-6,
     damping_limit=1.0,
 ):
     """Generic damped Newton loop over a stamping closure.
@@ -52,6 +76,7 @@ def _newton_solve(
     the converged solution or raises :class:`ConvergenceError`.
     """
     n = circuit.n_unknowns
+    n_nodes = circuit.n_nodes
     x = np.array(x0, dtype=float, copy=True)
     for _ in range(max_iter):
         G = np.zeros((n, n))
@@ -70,9 +95,7 @@ def _newton_solve(
         if max_step > damping_limit:
             dx *= damping_limit / max_step
         x = x + dx
-        if np.max(np.abs(dx[: circuit.n_nodes]), initial=0.0) < v_tol and np.max(
-            np.abs(dx[circuit.n_nodes :]), initial=0.0
-        ) < i_tol * max(1.0, np.max(np.abs(x[circuit.n_nodes :]), initial=0.0) / i_tol):
+        if newton_converged(dx, x, n_nodes, v_tol, i_tol, i_reltol):
             return x
     raise ConvergenceError(
         f"Newton failed to converge in {max_iter} iterations "

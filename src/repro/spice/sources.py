@@ -19,16 +19,55 @@ class SourceFunction:
     ``func`` is evaluated at arbitrary times by the transient engine.
     ``ac_mag`` (default 0) is the small-signal excitation used in AC
     analysis; set it to 1 on the input source of interest.
+
+    ``breakpoints`` optionally declares the waveform's discontinuity
+    times as ``(offsets, period)`` — a sorted array of event offsets,
+    repeated every ``period`` seconds (``period=None`` for a one-shot
+    list).  The adaptive transient backend clamps its step growth to
+    the next breakpoint so a grown step can never silently jump over a
+    narrow pulse or a switching edge; sources built from plain
+    callables carry none (the integrator then only sees what its LTE
+    estimate samples — pick ``max_dt`` accordingly).
     """
 
-    def __init__(self, func, dc_value=None, ac_mag=0.0, label="source"):
+    def __init__(self, func, dc_value=None, ac_mag=0.0, label="source",
+                 breakpoints=None):
         self._func = func
         self.ac_mag = float(ac_mag)
         self.label = label
         self.dc_value = float(func(0.0)) if dc_value is None else float(dc_value)
+        if breakpoints is None:
+            self._bp_offsets = None
+            self._bp_period = None
+        else:
+            offsets, period = breakpoints
+            self._bp_offsets = np.sort(np.asarray(offsets, dtype=float))
+            self._bp_period = None if period is None else float(period)
 
     def __call__(self, t):
         return self._func(t)
+
+    def next_breakpoint(self, t):
+        """The earliest declared discontinuity strictly after ``t``
+        (None when there is none, or none were declared)."""
+        offs = self._bp_offsets
+        if offs is None or offs.size == 0:
+            return None
+        # Strictness guard: an event at exactly t must not be returned
+        # again (the integrator just landed on it).
+        t_eps = t + 1e-15 + abs(t) * 1e-12
+        if self._bp_period is None:
+            idx = np.searchsorted(offs, t_eps, side="right")
+            return float(offs[idx]) if idx < offs.size else None
+        # Periodic events exist for cycle indices >= 0 only (waveforms
+        # hold their initial level before the first declared offset).
+        k = max(math.floor((t_eps - offs[0]) / self._bp_period), 0)
+        for base in (k, k + 1):
+            candidates = offs + base * self._bp_period
+            after = candidates[candidates > t_eps]
+            if after.size:
+                return float(after[0])
+        return None  # pragma: no cover - unreachable for period > 0
 
     def __repr__(self):
         return f"SourceFunction({self.label}, dc={self.dc_value:g})"
@@ -67,7 +106,8 @@ def sine(amplitude, freq, offset=0.0, phase_deg=0.0, delay=0.0, ac_mag=0.0):
             return off
         return off + amp * math.sin(w * (t - d) + phi)
 
-    return SourceFunction(f, dc_value=off, ac_mag=ac_mag, label="sine")
+    return SourceFunction(f, dc_value=off, ac_mag=ac_mag, label="sine",
+                          breakpoints=([d], None) if d > 0 else None)
 
 
 def pulse(v1, v2, delay=0.0, rise=1e-9, fall=1e-9, width=1e-6, period=2e-6):
@@ -92,7 +132,12 @@ def pulse(v1, v2, delay=0.0, rise=1e-9, fall=1e-9, width=1e-6, period=2e-6):
             return v2 + (v1 - v2) * (tau - rise - width) / fall
         return v1
 
-    return SourceFunction(f, dc_value=v1, label="pulse")
+    # Slope discontinuities of every cycle: start of rise, top, start
+    # of fall, back to v1.
+    corners = [delay, delay + rise, delay + rise + width,
+               delay + rise + width + fall]
+    return SourceFunction(f, dc_value=v1, label="pulse",
+                          breakpoints=(corners, period))
 
 
 def square(v1, v2, freq, duty=0.5, delay=0.0, transition_frac=0.01):
@@ -126,7 +171,9 @@ def pwl(points, after="hold"):
             t = ts[0] + (t - ts[0]) % span
         return float(np.interp(t, ts, vs))
 
-    return SourceFunction(f, dc_value=vs[0], label="pwl")
+    return SourceFunction(
+        f, dc_value=vs[0], label="pwl",
+        breakpoints=(ts, span if after == "repeat" else None))
 
 
 def ask_carrier(amplitude, freq, bits, bit_rate, depth, delay=0.0, offset=0.0):
@@ -156,4 +203,7 @@ def ask_carrier(amplitude, freq, bits, bit_rate, depth, delay=0.0, offset=0.0):
             level = amp
         return offset + level * carrier
 
-    return SourceFunction(f, dc_value=offset, label="ask")
+    # Amplitude switches at every bit boundary of the frame.
+    edges = [delay + k * tbit for k in range(len(bits) + 1)]
+    return SourceFunction(f, dc_value=offset, label="ask",
+                          breakpoints=(edges, None))

@@ -41,12 +41,27 @@ class DCSweepResult:
         return np.array([comp.current(p.x) for p in self.points])
 
     def transfer_gain(self, node):
-        """Numerical d(V_node)/d(swept value) along the sweep."""
+        """Numerical d(V_node)/d(swept value) along the sweep.
+
+        A gradient needs at least two sweep points; a degenerate
+        (single-point) grid raises a typed :class:`ValueError` instead
+        of numpy's bare ``IndexError`` from inside ``np.gradient``.
+        """
+        if self.values.size < 2:
+            raise ValueError(
+                f"transfer_gain needs at least 2 sweep points, got "
+                f"{self.values.size} ({self.circuit.title!r}); sweep a "
+                f"grid to differentiate along"
+            )
         return np.gradient(self.voltage(node), self.values)
 
     def find_crossing(self, node, level):
         """Swept value at which V(node) crosses ``level`` (first hit,
-        linear interpolation); None if it never does."""
+        linear interpolation); None if it never does.  A degenerate
+        (fewer than 2 points) grid has no interval to bracket a
+        crossing and returns None."""
+        if self.values.size < 2:
+            return None
         v = self.voltage(node)
         sign = np.sign(v - level)
         hits = np.nonzero(np.diff(sign) != 0)[0]

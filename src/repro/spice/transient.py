@@ -1,8 +1,23 @@
-"""Transient analysis: fixed-step companion-model integration.
+"""Transient analysis: companion-model integration.
 
-Backward-Euler (robust, damped) and trapezoidal (second-order accurate)
-methods are supported.  Each step solves the nonlinear system with damped
-Newton; a failing step is retried with a halved step until ``min_dt``.
+Three backends share one front door (:func:`transient`):
+
+* ``"be"`` / ``"trap"`` — the fixed-step reference path: backward-Euler
+  (robust, damped) or trapezoidal (second-order accurate), one damped
+  Newton solve per step with a fresh dense assembly per iteration.  A
+  failing step is retried with a halved step until ``min_dt``.  This
+  path is kept deliberately simple: it is the parity reference the
+  adaptive backend is tested (and benchmarked) against.
+* ``"adaptive"`` — trapezoidal integration with local-truncation-error
+  step control (step doubling/halving driven by the LTE estimate, not
+  only by Newton failure) on top of a structure-aware assembler
+  (:class:`_TransientSystem`): the linear (constant-coefficient) stamps
+  are assembled once per unique ``(dt, method)`` and — for circuits
+  with no nonlinear devices — LU-prefactorized once, so linear circuits
+  bypass Newton entirely and each step is a single triangular solve.
+  Nonlinear circuits restamp only their nonlinear devices into a
+  preallocated copy of the prefactored base each Newton iteration, with
+  all diodes evaluated as one vectorized group.
 """
 
 from __future__ import annotations
@@ -10,7 +25,30 @@ from __future__ import annotations
 import numpy as np
 
 from repro.signals import Waveform
+from repro.spice.components import Diode
 from repro.spice.dc import ConvergenceError, _newton_solve, dc_operating_point
+
+try:  # pragma: no cover - exercised indirectly via the linear bypass
+    from scipy.linalg import lu_factor, lu_solve
+    from scipy.linalg.lapack import dgesv as _dgesv
+    from scipy.linalg.lapack import dgetrs as _dgetrs
+except ImportError:  # pragma: no cover - scipy is a soft dependency here
+    lu_factor = lu_solve = _dgesv = _dgetrs = None
+
+#: Reverse-bias bypass threshold: a diode whose forward current would
+#: stay below this is stamped as its constant reverse model (gmin in
+#: parallel with -i_s), making the whole step linear and prefactorable.
+#: The model error per bypassed diode is bounded by this current.
+BYPASS_I_EPS = 1e-12
+
+#: Integration backends accepted by :func:`transient`.
+METHODS = ("trap", "be", "adaptive")
+
+#: Adaptive-backend defaults, shared with the engine's spice study so
+#: cache keys and solver behaviour agree (repro.engine.scenario).
+ADAPTIVE_ATOL = 1e-6
+ADAPTIVE_RTOL = 1e-3
+ADAPTIVE_V_RELTOL = 1e-5
 
 
 class TransientResult:
@@ -34,7 +72,12 @@ class TransientResult:
         return Waveform(self.t, self.x[:, idx])
 
     def branch_current(self, component_name):
-        """Waveform of a branch current (through a V source or inductor)."""
+        """Waveform of a branch current (through a V source or inductor).
+
+        Raises :class:`ValueError` (naming the component and pointing at
+        :meth:`device_current`) for components without a branch current
+        unknown — resistors, diodes, switches — and for unknown names.
+        """
         idx = self.circuit.branch_index(component_name)
         return Waveform(self.t, self.x[:, idx])
 
@@ -58,6 +101,471 @@ class TransientResult:
         return self.x[-1].copy()
 
 
+# ---------------------------------------------------------------------------
+# Structure-aware assembly: the adaptive backend's workspace
+# ---------------------------------------------------------------------------
+class _TransientSystem:
+    """Preallocated, structure-split Newton workspace for one run.
+
+    Components with ``linear_stamps`` contribute a matrix block that is
+    constant for a given ``(dt, method)``; it is assembled once per
+    unique step size and cached (``base_for``).  Their right-hand-side
+    contributions (source values, companion-model state terms) change
+    per step but not per Newton iteration, so they are built once per
+    step (``build_rhs``).  Nonlinear devices restamp into preallocated
+    copies each iteration; all diodes are evaluated as one vectorized
+    group through a precomputed scatter plan.
+    """
+
+    def __init__(self, circuit, states, gmin):
+        self.circuit = circuit
+        self.states = states
+        self.gmin = gmin
+        self.n = circuit.n_unknowns
+        self.n_nodes = circuit.n_nodes
+        comps = circuit.components
+        self.linear = [c for c in comps if c.linear_stamps]
+        nonlinear = [c for c in comps if not c.linear_stamps]
+        self.diodes = [c for c in nonlinear if isinstance(c, Diode)]
+        self.other_nl = [c for c in nonlinear if not isinstance(c, Diode)]
+        self.is_linear = not nonlinear
+        # Only sources and reactive elements contribute to the per-step
+        # rhs; pure-matrix components (R, VCVS, VCCS, couplings) are
+        # skipped, and the bound methods are extracted once.
+        from repro.spice.components import (
+            MutualCoupling,
+            Resistor,
+            Vccs,
+            Vcvs,
+        )
+
+        self._rhs_stampers = [
+            c.stamp_tran_rhs for c in self.linear
+            if not isinstance(c, (Resistor, Vcvs, Vccs, MutualCoupling))
+        ]
+        self.G = np.empty((self.n, self.n))
+        self.rhs = np.empty(self.n)
+        self._rhs_base = np.empty(self.n)
+        self._x_pad = np.zeros(self.n + 1)  # trailing slot: ground (0 V)
+        self._base = {}  # (dt, method) -> (G_base, lu-or-None)
+        self.can_bypass = False
+        self.all_off = False
+        if self.diodes:
+            self._init_diode_group()
+
+    def _init_diode_group(self):
+        diodes = self.diodes
+        n = self.n
+        self.d_ai, self.d_bi, self.dP_g, self.dP_r = \
+            _diode_scatter_plan(diodes, n)
+        self.d_is = np.array([c.i_s for c in diodes])
+        self.d_nvt = np.array([c.n * c.vt for c in diodes])
+        self.d_vmax = np.array([c.v_max for c in diodes])
+        e_knee = np.exp(self.d_vmax / self.d_nvt)
+        self.d_gknee = self.d_is * e_knee / self.d_nvt
+        self.d_iknee = self.d_is * (e_knee - 1.0)
+        self.d_inv_nvt = 1.0 / self.d_nvt
+        self.d_vmax_floor = float(self.d_vmax.min())
+        nd = len(diodes)
+        self._g_scratch = np.empty(n * n)
+        self._r_scratch = np.empty(n)
+        self._vd = np.empty(nd)
+        self._va = np.empty(nd)
+        self._e = np.empty(nd)
+        self._ieq = np.empty(nd)
+        # Reverse-bias bypass: below vd_off the diode current is under
+        # BYPASS_I_EPS and the device is indistinguishable (to ~1e-12 A)
+        # from its constant reverse model, so a step in which every
+        # diode sits below its threshold is linear and solved with one
+        # prefactored triangular solve instead of a Newton loop.  The
+        # solve is verified afterwards (all vd still below threshold)
+        # and falls back to Newton when conduction starts.
+        self.d_vd_off = self.d_nvt * np.log(BYPASS_I_EPS / self.d_is)
+        self._rhs_off = np.dot(self.dP_r, -self.d_is)
+        self._off_base = {}  # (dt, method) -> (G_off, lu-or-None)
+        self.can_bypass = not self.other_nl
+        self.all_off = False
+
+    def _stamp_diodes(self, G1d, rhs, x):
+        """Vectorized Newton stamp of every diode (piecewise matching
+        the scalar ``Diode.iv``: exponential region with underflow-safe
+        reverse tail, linear continuation past the overflow knee).
+        ``G1d`` is the raveled view of the working matrix."""
+        xp = self._x_pad
+        xp[: self.n] = x
+        vd = np.take(xp, self.d_ai, out=self._vd)
+        vd -= np.take(xp, self.d_bi, out=self._va)
+        e = np.minimum(vd, self.d_vmax, out=self._e)
+        e *= self.d_inv_nvt
+        np.exp(e, out=e)
+        i = e * self.d_is
+        g = i * self.d_inv_nvt  # = i_s * e / nvt
+        i -= self.d_is
+        if vd.max() > self.d_vmax_floor:
+            over = vd > self.d_vmax
+            i = np.where(over,
+                         self.d_iknee + self.d_gknee * (vd - self.d_vmax), i)
+            g = np.where(over, self.d_gknee, g)
+        g += self.gmin
+        ieq = np.multiply(g, vd, out=self._ieq)
+        np.subtract(i, ieq, out=ieq)
+        G1d += np.dot(self.dP_g, g, out=self._g_scratch)
+        rhs += np.dot(self.dP_r, ieq, out=self._r_scratch)
+
+    def base_for(self, dt, method):
+        """The cached linear base matrix (and, for linear circuits, its
+        LU factorization) for one unique ``(dt, method)``."""
+        key = (dt, method)
+        entry = self._base.get(key)
+        if entry is None:
+            G = np.zeros((self.n, self.n))
+            for comp in self.linear:
+                comp.stamp_tran_matrix(G, dt, method)
+            # Singular bases fall through to np.linalg.solve, which
+            # surfaces the typed ConvergenceError at solve time.
+            lu = _lu_factor_checked(G) if self.is_linear else None
+            if len(self._base) >= 64:
+                # Pathological dt churn (every step a new size) cannot
+                # grow the cache without bound.
+                self._base.clear()
+            entry = (G, lu)
+            self._base[key] = entry
+        return entry
+
+    def off_for(self, dt, method):
+        """The cached all-diodes-off system for one ``(dt, method)``:
+        the linear base plus every diode's constant reverse stamp
+        (gmin), prefactored once."""
+        key = (dt, method)
+        entry = self._off_base.get(key)
+        if entry is None:
+            G_base, _ = self.base_for(dt, method)
+            G = G_base + np.dot(
+                self.dP_g, np.full(len(self.diodes), self.gmin)
+            ).reshape(self.n, self.n)
+            lu = _lu_factor_checked(G)
+            if len(self._off_base) >= 64:
+                self._off_base.clear()
+            entry = (G, lu)
+            self._off_base[key] = entry
+        return entry
+
+    def _diode_vd(self, x):
+        xp = self._x_pad
+        xp[: self.n] = x
+        vd = np.take(xp, self.d_ai, out=self._vd)
+        vd -= np.take(xp, self.d_bi, out=self._va)
+        return vd
+
+    def step_bypass(self, dt, method, t):
+        """Attempt one all-diodes-off linear step; returns the solution
+        or None when a diode would conduct (caller falls back to
+        Newton).  The constant reverse model injects -i_s per diode, so
+        the per-step deviation from the Newton path is bounded by
+        BYPASS_I_EPS per device."""
+        G, lu = self.off_for(dt, method)
+        rhs = self.build_rhs(dt, method, t)
+        rhs = rhs + self._rhs_off
+        if lu is not None and _dgetrs is not None:
+            x_new, info = _dgetrs(lu[0], lu[1], rhs)
+            if info != 0:
+                return None
+        elif lu is not None:
+            x_new = lu_solve(lu, rhs)
+        else:
+            try:
+                x_new = np.linalg.solve(G, rhs)
+            except np.linalg.LinAlgError:
+                return None
+        if bool((self._diode_vd(x_new) < self.d_vd_off).all()):
+            return x_new
+        return None
+
+    def note_off_state(self, x):
+        """Record whether every diode is reverse-biased at ``x`` (the
+        next step then attempts the bypass path first)."""
+        if self.can_bypass and self.diodes:
+            self.all_off = bool((self._diode_vd(x) < self.d_vd_off).all())
+
+    def build_rhs(self, dt, method, t):
+        """Per-step x-independent right-hand side (sources + companion
+        state terms), shared by every Newton iteration of the step."""
+        rhs = self._rhs_base
+        rhs[:] = 0.0
+        states = self.states
+        for stamp_rhs in self._rhs_stampers:
+            stamp_rhs(rhs, states, dt, method, t)
+        return rhs
+
+    def step_linear(self, dt, method, t):
+        """One step of a circuit with no nonlinear devices: no Newton,
+        just the prefactored solve."""
+        G, lu = self.base_for(dt, method)
+        rhs = self.build_rhs(dt, method, t)
+        if lu is not None:
+            return lu_solve(lu, rhs)
+        try:
+            return np.linalg.solve(G, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"singular MNA matrix in {self.circuit.title!r}: {exc}"
+            ) from exc
+
+    def newton(self, x0, dt, method, t, max_newton=60, damping_limit=2.0,
+               v_tol=1e-6, v_reltol=0.0, i_tol=1e-9, i_reltol=1e-6):
+        """Damped Newton on the preassembled base.
+
+        Same damping semantics as :func:`repro.spice.dc._newton_solve`;
+        the linear solve goes through the low-overhead LAPACK ``dgesv``
+        wrapper when scipy is present.  ``v_reltol`` adds the classic
+        SPICE relative voltage term to the acceptance test
+        (``|dV| < v_tol + v_reltol*|V|max``); the fixed-step reference
+        path keeps the stricter absolute-only criterion.
+        """
+        G_base, _ = self.base_for(dt, method)
+        rhs_base = self.build_rhs(dt, method, t)
+        G, rhs = self.G, self.rhs
+        G1d = G.reshape(-1)
+        states, gmin = self.states, self.gmin
+        other_nl = self.other_nl
+        stamp_diodes = self._stamp_diodes if self.diodes else None
+        dgesv = _dgesv
+        copyto = np.copyto
+        x = np.array(x0, dtype=float, copy=True)
+        nn = self.n_nodes
+        for _ in range(max_newton):
+            copyto(G, G_base)
+            copyto(rhs, rhs_base)
+            if stamp_diodes is not None:
+                stamp_diodes(G1d, rhs, x)
+            if other_nl:
+                for comp in other_nl:
+                    comp.stamp_tran(G, rhs, x, states, dt, method, t, gmin)
+            if dgesv is not None:
+                # dgesv overwrites G with its LU factors — G is rebuilt
+                # from G_base next iteration anyway.
+                _, _, x_new, info = dgesv(G, rhs, overwrite_a=1)
+                if info != 0:
+                    raise ConvergenceError(
+                        f"singular MNA matrix in {self.circuit.title!r} "
+                        f"(dgesv info={info})"
+                    )
+            else:
+                try:
+                    x_new = np.linalg.solve(G, rhs)
+                except np.linalg.LinAlgError as exc:
+                    raise ConvergenceError(
+                        f"singular MNA matrix in {self.circuit.title!r}: "
+                        f"{exc}"
+                    ) from exc
+            dxa = np.abs(x_new - x)
+            dv = dxa[:nn].max(initial=0.0)
+            di = dxa[nn:].max(initial=0.0)
+            max_step = dv if dv >= di else di
+            if max_step > damping_limit:
+                scale = damping_limit / max_step
+                x = x + (x_new - x) * scale
+                dv *= scale
+                di *= scale
+            else:
+                x = x_new
+            if (dv < v_tol
+                    or (v_reltol
+                        and dv < v_tol
+                        + v_reltol * np.abs(x[:nn]).max(initial=0.0))):
+                if di < i_tol + i_reltol * np.abs(x[nn:]).max(initial=0.0):
+                    return x
+        raise ConvergenceError(
+            f"Newton failed to converge in {max_newton} iterations "
+            f"({self.circuit.title!r})"
+        )
+
+
+def _lu_factor_checked(G):
+    """LU-prefactor ``G``, returning None when it is (numerically)
+    singular.  scipy's ``lu_factor`` does not raise on an exactly
+    singular matrix — it warns and returns factors with zero pivots,
+    which would silently turn every later solve into inf/NaN — so the
+    pivots are validated here and singular systems fall back to
+    ``np.linalg.solve``, which raises the typed error the fixed-step
+    path reports."""
+    if lu_factor is None:
+        return None
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            lu = lu_factor(G)
+        except (np.linalg.LinAlgError, ValueError):
+            return None
+    pivots = np.abs(np.diag(lu[0]))
+    if not np.all(np.isfinite(lu[0])) or pivots.min(initial=np.inf) \
+            < np.finfo(float).tiny:
+        return None
+    return lu
+
+
+def _diode_scatter_plan(diodes, n):
+    """Shared topology plan of a vectorized diode group: padded gather
+    indices for vd = V(a) - V(b) (ground mapped to the extra zero
+    slot) and the dense scatter projections P_g (per-diode conductance
+    -> raveled matrix entries, signed) and P_r (per-diode equivalent
+    current -> rhs entries).  Used by both the single-circuit assembler
+    and the lockstep batch (same topology across a family).
+    """
+    a = np.array([c.nodes[0] for c in diodes], dtype=np.intp)
+    b = np.array([c.nodes[1] for c in diodes], dtype=np.intp)
+    nd = len(diodes)
+    P_g = np.zeros((n * n, nd))
+    P_r = np.zeros((n, nd))
+    for k in range(nd):
+        for row, col, sign in ((a[k], a[k], 1.0), (b[k], b[k], 1.0),
+                               (a[k], b[k], -1.0), (b[k], a[k], -1.0)):
+            if row >= 0 and col >= 0:
+                P_g[row * n + col, k] += sign
+        if a[k] >= 0:
+            P_r[a[k], k] -= 1.0
+        if b[k] >= 0:
+            P_r[b[k], k] += 1.0
+    ai = np.where(a < 0, n, a)
+    bi = np.where(b < 0, n, b)
+    return ai, bi, P_g, P_r
+
+
+def _breakpoint_sources(circuits):
+    """Every source (of one circuit or a family) declaring waveform
+    discontinuities — the adaptive loops clamp step growth to the next
+    one so a grown step never jumps over a pulse or switching edge."""
+    sources = []
+    for circuit in circuits:
+        for comp in circuit.components:
+            src = getattr(comp, "source", None)
+            if src is not None and \
+                    getattr(src, "_bp_offsets", None) is not None:
+                sources.append(src)
+    return sources
+
+
+def _clamp_to_breakpoints(sources, t, step):
+    """Shrink ``step`` so ``t + step`` does not pass any source
+    discontinuity (landing exactly on one is fine)."""
+    for src in sources:
+        bp = src.next_breakpoint(t)
+        if bp is not None and bp - t < step * (1.0 - 1e-12):
+            step = bp - t
+    return step
+
+
+def _lte_trap(hist_t, hist_x, t_new, x_new, h):
+    """Per-unknown trapezoidal local-truncation-error estimate.
+
+    LTE_trap = (h^3/12) x'''; the third derivative is estimated from
+    the third divided difference over the last three accepted points
+    plus the candidate (f[t0..t3] = x'''/6 for smooth x), so the
+    estimate costs a handful of vector ops and no extra solves.
+    """
+    t0, t1, t2 = hist_t[-3], hist_t[-2], hist_t[-1]
+    x0, x1, x2 = hist_x[-3], hist_x[-2], hist_x[-1]
+    d01 = (x1 - x0) / (t1 - t0)
+    d12 = (x2 - x1) / (t2 - t1)
+    d23 = (x_new - x2) / (t_new - t2)
+    dd1 = (d12 - d01) / (t2 - t0)
+    dd2 = (d23 - d12) / (t_new - t1)
+    dd3 = (dd2 - dd1) / (t_new - t0)
+    return np.abs(dd3) * (0.5 * h**3)
+
+
+def _adaptive_loop(circuit, system, x, t_start, t_stop, dt, max_newton,
+                   store_every, callback, atol, rtol, max_dt, min_dt,
+                   v_reltol):
+    """The adaptive-backend time loop (see the module docstring).
+
+    The lockstep family loop in :func:`repro.spice.batch.transient_batch`
+    mirrors this step-control state machine — keep rule changes in
+    sync (the batch parity tests pin the two together).
+    """
+    times = [t_start]
+    solutions = [x.copy()]
+    t = t_start
+    h = dt
+    hist_t = [t_start]
+    hist_x = [x.copy()]
+    accepted = 0
+    first_step = True
+    bp_sources = _breakpoint_sources([circuit])
+    while t < t_stop - 1e-15:
+        step = min(h, t_stop - t)
+        if bp_sources:
+            step = _clamp_to_breakpoints(bp_sources, t, step)
+        t_next = t + step
+        # As in the fixed path, the very first step runs backward-Euler
+        # so the unknown reactive-element currents settle consistently.
+        method = "be" if first_step else "trap"
+        try:
+            if system.is_linear:
+                x_new = system.step_linear(step, method, t_next)
+            else:
+                x_new = None
+                if system.all_off:
+                    # All diodes reverse-biased at the last accepted
+                    # point: the step is linear until proven otherwise.
+                    x_new = system.step_bypass(step, method, t_next)
+                if x_new is None:
+                    # Linear extrapolation of the last accepted step
+                    # seeds Newton one iteration closer than the
+                    # previous solution alone (the converged result is
+                    # tolerance-identical).
+                    if len(hist_t) >= 2:
+                        guess = x + (x - hist_x[-2]) * (
+                            step / (hist_t[-1] - hist_t[-2]))
+                    else:
+                        guess = x
+                    x_new = system.newton(guess, step, method, t_next,
+                                          max_newton=max_newton,
+                                          v_reltol=v_reltol)
+                    system.note_off_state(x_new)
+        except ConvergenceError:
+            if h / 2.0 < min_dt:
+                raise ConvergenceError(
+                    f"transient step failed at t={t_next:.4g}s even at "
+                    f"minimum step {min_dt:.3g}s ({circuit.title!r})"
+                )
+            h /= 2.0
+            continue
+        grow = False
+        if not first_step and len(hist_t) >= 3:
+            err = _lte_trap(hist_t, hist_x, t_next, x_new, step)
+            ratio = float(np.max(err / (atol + rtol * np.abs(x_new))))
+            if ratio > 1.0 and step > min_dt * 1.000001:
+                # Reject: the step's truncation error is out of budget.
+                h = max(step / 2.0, min_dt)
+                continue
+            # Doubling multiplies the trap LTE by 8; only grow with a
+            # further 2x safety margin so the next step is not an
+            # immediate rejection.
+            grow = ratio < 1.0 / 16.0
+        for comp in circuit.components:
+            comp.update_state(x_new, system.states, step, method)
+        first_step = False
+        x = x_new
+        t = t_next
+        accepted += 1
+        hist_t.append(t)
+        hist_x.append(x)
+        if len(hist_t) > 4:
+            hist_t.pop(0)
+            hist_x.pop(0)
+        if accepted % store_every == 0 or t >= t_stop - 1e-15:
+            times.append(t)
+            solutions.append(x.copy())
+        if callback is not None:
+            callback(t, x)
+        if grow:
+            h = min(h * 2.0, max_dt)
+    return TransientResult(circuit, times, solutions)
+
+
 def transient(
     circuit,
     t_stop,
@@ -69,6 +577,11 @@ def transient(
     max_newton=60,
     store_every=1,
     callback=None,
+    atol=ADAPTIVE_ATOL,
+    rtol=ADAPTIVE_RTOL,
+    max_dt=None,
+    min_dt=None,
+    v_reltol=None,
 ):
     """Run a transient analysis.
 
@@ -76,8 +589,10 @@ def transient(
     ----------
     circuit : Circuit
     t_stop, dt : float
-        End time and nominal step.
-    method : ``"trap"`` or ``"be"``.
+        End time and nominal step.  For ``method="adaptive"``, ``dt``
+        is the initial step; the integrator then doubles/halves it
+        under local-truncation-error control.
+    method : ``"trap"``, ``"be"`` (fixed step) or ``"adaptive"``.
     x0 : optional initial solution vector; when omitted the DC operating
         point (with all sources at their t=0 value) seeds the run.
     use_ic : bool
@@ -85,12 +600,27 @@ def transient(
         initial conditions (capacitor ``ic``, inductor ``ic``).
     store_every : int
         Keep every k-th accepted step (memory control for long runs).
+        The stored grid is: the first point, every k-th accepted step,
+        and always the final point.
     callback : optional ``f(t, x)`` invoked on each accepted step.
+    atol, rtol : adaptive only — the per-step LTE budget per unknown is
+        ``atol + rtol*|x|``.
+    max_dt : adaptive only — step-growth ceiling (default ``256*dt``).
+    min_dt : smallest step retried after a failed/rejected step
+        (default ``dt/64`` fixed, ``dt/1024`` adaptive).
+    v_reltol : adaptive only — relative term of the Newton voltage
+        acceptance test (``|dV| < 1e-6 + v_reltol*|V|max``, the classic
+        SPICE RELTOL; default :data:`ADAPTIVE_V_RELTOL`).  The fixed
+        reference path always converges to the absolute 1e-6.
     """
-    if method not in ("trap", "be"):
-        raise ValueError(f"unknown integration method {method!r}")
+    if method not in METHODS:
+        raise ValueError(f"unknown integration method {method!r}; "
+                         f"known methods: {METHODS}")
     if dt <= 0 or t_stop <= t_start:
         raise ValueError("need dt > 0 and t_stop > t_start")
+    if int(store_every) < 1:
+        raise ValueError("store_every must be >= 1")
+    store_every = int(store_every)
     circuit.build()
     gmin = 1e-12
 
@@ -126,10 +656,20 @@ def transient(
         x = _newton_solve(circuit, x, warm_stamp, gmin, max_iter=max_newton,
                           damping_limit=5.0)
 
+    if method == "adaptive":
+        system = _TransientSystem(circuit, states, gmin)
+        return _adaptive_loop(
+            circuit, system, x, t_start, t_stop, dt, max_newton,
+            store_every, callback, float(atol), float(rtol),
+            dt * 256.0 if max_dt is None else float(max_dt),
+            dt / 1024.0 if min_dt is None else float(min_dt),
+            ADAPTIVE_V_RELTOL if v_reltol is None else float(v_reltol),
+        )
+
     times = [t_start]
     solutions = [x.copy()]
     t = t_start
-    min_dt = dt / 64.0
+    min_dt = dt / 64.0 if min_dt is None else float(min_dt)
     step = dt
     stored = 0
 

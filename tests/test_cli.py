@@ -218,6 +218,78 @@ class TestSweepProgress:
 
 
 class TestServeParser:
+    def test_spice_sweep_table(self, capsys):
+        assert main(["sweep", "--study", "spice",
+                     "--axis", "amplitude=1.25,1.75",
+                     "--axis", "load_ua=200,352",
+                     "--spice-t-stop-us", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out
+        assert "rectifier" in out
+        assert "V_out (V)" in out
+
+    def test_spice_sweep_json(self, capsys):
+        import json
+
+        assert main(["sweep", "--study", "spice",
+                     "--axis", "amplitude=1.4",
+                     "--spice-t-stop-us", "1", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stats"]["mode"] == "spice"
+        assert doc["cells"][0]["template"] == "rectifier"
+        assert doc["cells"][0]["v_final"] > 0.0
+
+    def test_spice_sweep_csv(self, capsys):
+        assert main(["sweep", "--study", "spice",
+                     "--axis", "amplitude=1.4", "--axis",
+                     "template=halfwave",
+                     "--spice-t-stop-us", "1", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("template,")
+        assert "halfwave" in out
+
+    def test_spice_sweep_cache(self, capsys, tmp_path):
+        argv = ["sweep", "--study", "spice",
+                "--axis", "amplitude=1.25,1.75",
+                "--spice-t-stop-us", "1",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cache 0 hit / 2 miss" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache 2 hit / 0 miss" in warm
+
+    def test_spice_sweep_unknown_axis_is_exit_2(self, capsys):
+        assert main(["sweep", "--study", "spice",
+                     "--axis", "distance_mm=10"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown spice axis" in err
+
+    def test_spice_sweep_bad_template_is_exit_2(self, capsys):
+        assert main(["sweep", "--study", "spice",
+                     "--axis", "template=bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "template" in err
+
+    def test_spice_sweep_nonpositive_timing_is_exit_2(self, capsys):
+        assert main(["sweep", "--study", "spice",
+                     "--axis", "amplitude=1.4",
+                     "--spice-t-stop-us", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+        assert main(["sweep", "--study", "spice",
+                     "--axis", "amplitude=1.4",
+                     "--spice-dt-ns", "-1"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_spice_sweep_fixed_method(self, capsys):
+        assert main(["sweep", "--study", "spice",
+                     "--axis", "amplitude=1.4",
+                     "--spice-t-stop-us", "1",
+                     "--spice-method", "trap"]) == 0
+        out = capsys.readouterr().out
+        assert "trap backend" in out
+
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert args.host == "127.0.0.1"

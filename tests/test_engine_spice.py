@@ -1,0 +1,186 @@
+"""The engine's spice study: scenarios, batch runner, orchestration."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    SPICE_TEMPLATES,
+    ResultStore,
+    ScenarioAxisError,
+    SpiceBatch,
+    SpiceScenario,
+    SweepOrchestrator,
+    spice_cell_keys,
+)
+
+T_STOP = 1e-6
+DT = 1.0 / (5e6 * 100)
+
+
+class TestSpiceScenario:
+    def test_defaults_are_the_paper_rectifier(self):
+        sc = SpiceScenario()
+        assert sc.template == "rectifier"
+        circuit, node = sc.build()
+        assert node == "vo"
+        assert "DR" in circuit
+
+    def test_unknown_template_raises_typed_error(self):
+        with pytest.raises(ScenarioAxisError, match="template"):
+            SpiceScenario(template="flux_capacitor")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"amplitude": 0.0},
+        {"amplitude": float("nan")},
+        {"freq": -5e6},
+        {"i_load": -1e-6},
+    ])
+    def test_invalid_values_raise_typed_errors(self, kwargs):
+        with pytest.raises((ScenarioAxisError, ValueError)):
+            SpiceScenario(**kwargs)
+
+    def test_all_templates_build(self):
+        for name in SPICE_TEMPLATES:
+            circuit, node = SpiceScenario(template=name).build()
+            circuit.build()
+            assert circuit.node_index(node) >= 0
+
+
+class TestSpiceBatch:
+    def test_from_axes_cartesian(self):
+        batch = SpiceBatch.from_axes(amplitude=[1.25, 1.75],
+                                     i_load=[200e-6, 350e-6])
+        assert len(batch) == 4
+        labels = [s.label for s in batch.scenarios]
+        assert len(set(labels)) == 4
+
+    def test_from_axes_rejects_unknown_axis(self):
+        with pytest.raises(ScenarioAxisError, match="unknown spice axis"):
+            SpiceBatch.from_axes(distance=[1e-3])
+
+    def test_from_axes_rejects_empty_axis(self):
+        with pytest.raises(ScenarioAxisError, match="at least one value"):
+            SpiceBatch.from_axes(amplitude=[])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            SpiceBatch([])
+
+    def test_run_shapes_and_metrics(self):
+        batch = SpiceBatch.from_axes(amplitude=[1.25, 1.75])
+        res = batch.run(T_STOP, DT, n_points=64)
+        assert res.times.shape == (64,)
+        assert res.v_out.shape == (2, 64)
+        assert res.v_final.shape == (2,)
+        assert res.n_cells == 2
+        # A bigger drive charges the rail further.
+        assert res.v_final[1] > res.v_final[0] > 0.0
+        assert np.all(res.steps > 0)
+
+    def test_run_validates_inputs(self):
+        batch = SpiceBatch.from_axes(amplitude=[1.5])
+        with pytest.raises(ValueError):
+            batch.run(0.0, DT)
+        with pytest.raises(ValueError):
+            batch.run(T_STOP, DT, n_points=1)
+
+    @pytest.mark.parametrize("template", sorted(SPICE_TEMPLATES))
+    def test_mixed_zero_and_nonzero_loads_stay_one_family(self, template):
+        """Every template must instantiate structurally identical
+        circuits across the i_load axis — including i_load=0 — or the
+        lockstep family check rejects a validated study at run time."""
+        batch = SpiceBatch.from_axes(template=[template],
+                                     i_load=[0.0, 350e-6])
+        res = batch.run(T_STOP, DT, n_points=32)
+        assert res.v_out.shape == (2, 32)
+
+    def test_mixed_templates_group_correctly(self):
+        batch = SpiceBatch([
+            SpiceScenario(template="halfwave", amplitude=2.0),
+            SpiceScenario(template="rectifier", amplitude=1.5),
+            SpiceScenario(template="halfwave", amplitude=3.0),
+        ])
+        res = batch.run(T_STOP, DT, n_points=32)
+        # Rows come back in scenario order despite template grouping.
+        assert res.v_final[2] > res.v_final[0]  # bigger halfwave drive
+        assert res.scenarios[1].template == "rectifier"
+
+
+class TestSpiceCellKeys:
+    def test_keys_distinct_per_cell(self):
+        batch = SpiceBatch.from_axes(amplitude=[1.2, 1.4],
+                                     i_load=[1e-4, 2e-4])
+        keys = spice_cell_keys(batch, T_STOP, DT)
+        assert len(set(keys)) == 4
+
+    def test_keys_depend_on_solver_config(self):
+        batch = SpiceBatch.from_axes(amplitude=[1.5])
+        base = spice_cell_keys(batch, T_STOP, DT)[0]
+        assert spice_cell_keys(batch, T_STOP, DT)[0] == base
+        assert spice_cell_keys(batch, T_STOP, DT, method="trap")[0] != base
+        assert spice_cell_keys(batch, 2 * T_STOP, DT)[0] != base
+        assert spice_cell_keys(batch, T_STOP, DT, n_points=128)[0] != base
+
+
+class TestOrchestratedSpice:
+    def test_orchestrated_matches_direct(self):
+        batch = SpiceBatch.from_axes(amplitude=[1.25, 1.75])
+        direct = batch.run(T_STOP, DT)
+        orch = SweepOrchestrator().run_spice(batch, T_STOP, DT)
+        assert np.array_equal(direct.v_out, orch.v_out)
+        assert np.array_equal(direct.v_final, orch.v_final)
+
+    def test_store_caches_cells(self, tmp_path):
+        batch = SpiceBatch.from_axes(amplitude=[1.25, 1.75])
+        store = ResultStore(tmp_path)
+        orch = SweepOrchestrator(store=store)
+        first = orch.run_spice(batch, T_STOP, DT)
+        assert orch.stats.n_computed == 2
+        second = orch.run_spice(batch, T_STOP, DT)
+        assert orch.stats.n_cached == 2
+        assert orch.stats.n_computed == 0
+        assert np.allclose(first.v_out, second.v_out)
+
+    def test_partial_overlap_only_computes_new_cells(self, tmp_path):
+        store = ResultStore(tmp_path)
+        orch = SweepOrchestrator(store=store)
+        orch.run_spice(SpiceBatch.from_axes(amplitude=[1.25]), T_STOP, DT)
+        orch.run_spice(SpiceBatch.from_axes(amplitude=[1.25, 1.75]),
+                       T_STOP, DT)
+        assert orch.stats.n_cached == 1
+        assert orch.stats.n_computed == 1
+
+    @pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                        reason="needs >= 2 CPUs for a meaningful "
+                               "multi-worker sweep")
+    def test_two_worker_spice_sweep_matches_serial(self):
+        # Lockstep step control is shared within a chunk, so a
+        # different sharding reproduces cells to solver tolerance, not
+        # bitwise (unlike the elementwise envelope/control runners).
+        batch = SpiceBatch.from_axes(amplitude=[1.2, 1.4, 1.6, 1.8])
+        serial = SweepOrchestrator().run_spice(batch, T_STOP, DT,
+                                               method="trap")
+        parallel = SweepOrchestrator(workers=2).run_spice(
+            batch, T_STOP, DT, method="trap")
+        assert np.allclose(serial.v_out, parallel.v_out, atol=1e-8)
+
+    def test_spice_payload_chunks_merge_in_order(self):
+        """Chunked dispatch (serial fallback on a 1-CPU container)
+        must merge rows back in scenario order.  On the fixed "trap"
+        backend the grid is deterministic, so chunk composition only
+        moves results at Newton-tolerance level; under "adaptive" the
+        shared LTE control means composition can also shift the step
+        grid within the LTE budget."""
+        batch = SpiceBatch.from_axes(amplitude=[1.25, 1.75])
+        orch = SweepOrchestrator(chunk_size=1)
+        res = orch.run_spice(batch, T_STOP, DT, method="trap")
+        assert orch.stats.n_chunks == 2
+        direct = batch.run(T_STOP, DT, method="trap")
+        assert np.allclose(res.v_out, direct.v_out, atol=1e-8)
+        # Rows stayed attached to their cells (amplitudes order).
+        assert res.v_final[1] > res.v_final[0]
+        import pickle
+
+        pickle.dumps(batch.scenarios)

@@ -1,0 +1,152 @@
+"""`study="spice"` requests through the service stack: validation,
+round trip, cross-request dedup, store caching."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine import ResultStore, ScenarioAxisError
+from repro.service import SimulationService
+from repro.service.jobs import SimRequestError
+from repro.service.requests import SPICE_N_POINTS, SimRequest
+
+AXES = {"template": ["rectifier"], "amplitude": [1.25, 1.75]}
+T_STOP = 1e-6
+DT = 2e-9
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSpiceRequestValidation:
+    def test_valid_request(self):
+        req = SimRequest(kind="spice", axes=AXES, t_stop=T_STOP, dt=DT)
+        assert req.n_cells == 2
+        assert req.method == "adaptive"
+        assert req.group_key() == ("spice", T_STOP, DT, "adaptive")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SimRequestError, match="method"):
+            SimRequest(kind="spice", axes=AXES, t_stop=T_STOP, dt=DT,
+                       method="euler")
+
+    def test_axes_validated_with_typed_errors(self):
+        with pytest.raises(ScenarioAxisError, match="template"):
+            SimRequest(kind="spice", axes={"template": ["bogus"]},
+                       t_stop=T_STOP, dt=DT)
+        with pytest.raises(ScenarioAxisError, match="unknown spice axis"):
+            SimRequest(kind="spice", axes={"distance": [1e-3]},
+                       t_stop=T_STOP, dt=DT)
+
+    def test_needs_axes(self):
+        with pytest.raises(SimRequestError, match="at least one axis"):
+            SimRequest(kind="spice", t_stop=T_STOP, dt=DT)
+
+    def test_step_budget_enforced(self):
+        with pytest.raises(SimRequestError, match="steps per"):
+            SimRequest(kind="spice", axes=AXES, t_stop=1.0, dt=1e-9)
+
+    def test_step_budget_counts_worst_case_refinement(self):
+        # 60 ms at 1 us is only 60k nominal steps, but the adaptive
+        # backend may refine 1024x — the bound must reject it so a
+        # defaults-only request cannot pin a scheduler worker.
+        with pytest.raises(SimRequestError, match="refinement"):
+            SimRequest(kind="spice", axes=AXES)
+        # The carrier-resolved operating point stays comfortably legal.
+        assert SimRequest(kind="spice", axes=AXES, t_stop=4e-6,
+                          dt=5e-9).n_cells == 2
+
+    def test_spreads_rejected(self):
+        with pytest.raises(SimRequestError, match="spreads"):
+            SimRequest(kind="spice", axes=AXES, t_stop=T_STOP, dt=DT,
+                       spreads=({"name": "c_out", "nominal": 1.0,
+                                 "sigma": 0.1},))
+
+    def test_from_payload_rejects_foreign_fields(self):
+        with pytest.raises(SimRequestError, match="do not apply"):
+            SimRequest.from_payload({"kind": "spice", "axes": AXES,
+                                     "t_stop": T_STOP, "dt": DT,
+                                     "p_in": 5e-3})
+
+    def test_payload_round_trip(self):
+        req = SimRequest(kind="spice", axes=AXES, t_stop=T_STOP, dt=DT,
+                         method="trap")
+        clone = SimRequest.from_payload(req.as_payload())
+        assert clone.group_key() == req.group_key()
+        assert clone.cell_keys(None, None) == req.cell_keys(None, None)
+
+    def test_cell_keys_distinct_and_stable(self):
+        req = SimRequest(kind="spice", axes=AXES, t_stop=T_STOP, dt=DT)
+        keys = req.cell_keys(None, None)
+        assert len(set(keys)) == 2
+        assert keys == req.cell_keys(None, None)
+
+
+class TestSpiceService:
+    def test_round_trip_with_dedup(self):
+        async def main():
+            service = SimulationService(window=5e-3)
+            async with service:
+                payload = {"kind": "spice", "axes": AXES,
+                           "t_stop": T_STOP, "dt": DT}
+                j1 = service.submit(dict(payload))
+                j2 = service.submit(dict(payload))
+                r1 = await service.result(j1.id, timeout=120)
+                r2 = await service.result(j2.id, timeout=120)
+                return service, r1, r2
+
+        service, r1, r2 = run(main())
+        assert r1["kind"] == "spice"
+        assert len(r1["cells"]) == 2
+        assert len(r1["times"]) == SPICE_N_POINTS
+        assert r1 == r2  # identical requests, identical documents
+        stats = service.scheduler.stats
+        # Two identical 2-cell requests coalesce: 2 shared, 2 computed.
+        assert stats.cells_requested == 4
+        assert stats.cells_deduped == 2
+        assert stats.cells_computed == 2
+        cell = r1["cells"][0]
+        assert cell["template"] == "rectifier"
+        assert cell["steps"] > 0
+        assert cell["v_final"] == cell["v_out"][-1]
+
+    def test_store_serves_repeat_batches(self, tmp_path):
+        async def main():
+            store = ResultStore(tmp_path)
+            service = SimulationService(window=2e-3, store=store)
+            async with service:
+                payload = {"kind": "spice", "axes": AXES,
+                           "t_stop": T_STOP, "dt": DT}
+                first = await service.result(
+                    service.submit(dict(payload)).id, timeout=120)
+                # Second batch (separate micro-batch): all store hits.
+                second = await service.result(
+                    service.submit(dict(payload)).id, timeout=120)
+                return service, first, second
+
+        service, first, second = run(main())
+        assert first == second
+        assert service.scheduler.stats.cells_cached >= 2
+
+    def test_spice_and_sweep_requests_coexist_in_a_batch(self):
+        async def main():
+            service = SimulationService(window=20e-3)
+            async with service:
+                j_spice = service.submit({
+                    "kind": "spice", "axes": AXES,
+                    "t_stop": T_STOP, "dt": DT})
+                j_sweep = service.submit({
+                    "kind": "sweep",
+                    "axes": {"distance": [10e-3], "i_load": [352e-6]},
+                    "t_stop": 10e-3})
+                r_spice = await service.result(j_spice.id, timeout=120)
+                r_sweep = await service.result(j_sweep.id, timeout=120)
+                return r_spice, r_sweep
+
+        r_spice, r_sweep = run(main())
+        assert r_spice["kind"] == "spice"
+        assert r_sweep["kind"] == "sweep"
+        v = np.array(r_spice["cells"][1]["v_out"], dtype=float)
+        assert v[-1] > 0.0

@@ -1,0 +1,155 @@
+"""Lockstep-batched transient: family validation and per-cell parity."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, sine, transient, transient_batch
+
+
+def rc(r, c=1e-6, vstep=1.0):
+    ckt = Circuit(f"rc[{r}]")
+    ckt.add_vsource("V1", "in", "0", vstep)
+    ckt.add_resistor("R1", "in", "out", r)
+    ckt.add_capacitor("C1", "out", "0", c, ic=0.0)
+    return ckt
+
+
+def rectifier(amp, load):
+    from repro.power import build_rectifier_circuit
+
+    return build_rectifier_circuit(v_in_amplitude=amp, i_load=load)
+
+
+class TestFamilyValidation:
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            transient_batch([], 1e-3, 1e-6)
+
+    def test_structural_mismatch_rejected(self):
+        other = Circuit("other")
+        other.add_vsource("V1", "in", "0", 1.0)
+        other.add_resistor("R1", "in", "0", 1e3)
+        with pytest.raises(ValueError, match="structurally identical"):
+            transient_batch([rc(1e3), other], 1e-3, 1e-6)
+
+    def test_topology_mismatch_rejected(self):
+        a = rc(1e3)
+        b = Circuit("b")  # same node count, capacitor wired differently
+        b.add_vsource("V1", "in", "0", 1.0)
+        b.add_resistor("R1", "in", "out", 1e3)
+        b.add_capacitor("C1", "in", "0", 1e-6, ic=0.0)
+        with pytest.raises(ValueError, match="slot"):
+            transient_batch([a, b], 1e-3, 1e-6)
+
+    def test_rejects_bad_method(self):
+        with pytest.raises(ValueError, match="method"):
+            transient_batch([rc(1e3)], 1e-3, 1e-6, method="euler")
+
+
+class TestLockstepParity:
+    """A batched family on the per-cell fixed grid must match a loop of
+    single-circuit runs to solver tolerance (this is the property the
+    gated spice bench quantifies on the rectifier)."""
+
+    def test_linear_family_matches_per_cell_fixed(self):
+        rs = [500.0, 1e3, 2e3]
+        refs = [transient(rc(r), 2e-3, 1e-5, method="trap", use_ic=True)
+                for r in rs]
+        fam = transient_batch([rc(r) for r in rs], 2e-3, 1e-5,
+                              method="adaptive", use_ic=True,
+                              max_dt=1e-5, atol=1e30, rtol=1e30)
+        assert fam.t.size == len(refs[0].t)
+        for i, ref in enumerate(refs):
+            dev = np.max(np.abs(ref.voltage("out").v
+                                - fam.voltage("out")[i]))
+            assert dev < 1e-9
+
+    def test_rectifier_family_matches_per_cell_fixed(self):
+        cells = [(1.25, 200e-6), (1.75, 350e-6)]
+        period = 1.0 / 5e6
+        refs = [transient(rectifier(a, l), 2e-6, period / 100,
+                          method="trap", use_ic=True) for a, l in cells]
+        fam = transient_batch([rectifier(a, l) for a, l in cells],
+                              2e-6, period / 100, method="adaptive",
+                              use_ic=True, max_dt=period / 100,
+                              atol=1e30, rtol=1e30)
+        assert fam.t.size == len(refs[0].t)
+        for i, ref in enumerate(refs):
+            dev = np.max(np.abs(ref.voltage("vo").v
+                                - fam.voltage("vo")[i]))
+            assert dev < 1e-6
+
+    def test_fixed_methods_supported(self):
+        rs = [1e3, 2e3]
+        for method in ("trap", "be"):
+            refs = [transient(rc(r), 1e-3, 1e-5, method=method,
+                              use_ic=True) for r in rs]
+            fam = transient_batch([rc(r) for r in rs], 1e-3, 1e-5,
+                                  method=method, use_ic=True)
+            for i, ref in enumerate(refs):
+                dev = np.max(np.abs(ref.voltage("out").v
+                                    - fam.voltage("out")[i]))
+                assert dev < 1e-9
+
+    def test_coupled_inductor_family(self):
+        def xf(rl):
+            ckt = Circuit("xf")
+            ckt.add_vsource("V1", "in", "0", sine(1.0, 1e5))
+            ckt.add_resistor("Rs", "in", "p", 1.0)
+            l1 = ckt.add_inductor("L1", "p", "0", 1e-3)
+            l2 = ckt.add_inductor("L2", "s", "0", 4e-3)
+            ckt.add_coupling("K1", l1, l2, 0.9999)
+            ckt.add_resistor("RL", "s", "0", rl)
+            return ckt
+
+        rls = [5e3, 10e3]
+        refs = [transient(xf(rl), 50e-6, 0.05e-6, use_ic=True)
+                for rl in rls]
+        fam = transient_batch([xf(rl) for rl in rls], 50e-6, 0.05e-6,
+                              method="adaptive", use_ic=True,
+                              max_dt=0.05e-6, atol=1e30, rtol=1e30)
+        for i, ref in enumerate(refs):
+            dev = np.max(np.abs(ref.voltage("s").v
+                                - fam.voltage("s")[i]))
+            assert dev < 1e-9
+
+    def test_result_accessors(self):
+        fam = transient_batch([rc(1e3), rc(2e3)], 1e-3, 1e-5,
+                              use_ic=True, store_every=5)
+        assert len(fam) == 2
+        single = fam.result(1)
+        assert single.voltage("out").v.shape == fam.t.shape
+        assert fam.voltage("out").shape == (2, fam.t.size)
+        # Ground node reads as zeros.
+        assert np.all(fam.voltage("0") == 0.0)
+
+
+class TestBatchBreakpoints:
+    def test_family_resolves_a_narrow_pulse(self):
+        from repro.spice import pulse
+
+        def build():
+            ckt = Circuit("pulse_rc")
+            ckt.add_vsource("V1", "in", "0",
+                            pulse(0.0, 1.0, delay=10e-6, width=50e-9,
+                                  period=40e-6))
+            ckt.add_resistor("R1", "in", "out", 1e3)
+            ckt.add_capacitor("C1", "out", "0", 100e-12, ic=0.0)
+            return ckt
+
+        fam = transient_batch([build(), build()], 20e-6, 100e-9,
+                              method="adaptive", use_ic=True)
+        peaks = fam.voltage("out").max(axis=1)
+        assert np.all(np.abs(peaks - (1.0 - np.exp(-0.5))) < 0.05)
+
+
+class TestBatchAdaptiveGrowth:
+    def test_linear_family_grows_steps(self):
+        rs = [1e3, 2e3]
+        fam = transient_batch([rc(r) for r in rs], 5e-3, 1e-5,
+                              method="adaptive", use_ic=True)
+        assert fam.t.size < 100  # fixed grid would be 501 points
+        for i, r in enumerate(rs):
+            tau = r * 1e-6
+            expected = 1.0 - np.exp(-fam.t / tau)
+            assert np.max(np.abs(fam.voltage("out")[i] - expected)) < 2e-3

@@ -185,6 +185,77 @@ class TestNonlinearDC:
             assert op.voltage("b") == pytest.approx(expected, rel=0.01)
 
 
+class TestNewtonConvergence:
+    """Regression for the branch-current convergence criterion.
+
+    The seed criterion ``i_tol * max(1, |I|max/i_tol)`` collapses to
+    ``max(i_tol, |I|max)`` — a 100% relative tolerance.  A voltage
+    source directly across a diode is the canonical trigger: the damped
+    Newton update's current step equals the damping limit, the updated
+    branch current is a hair above it, and the broken check accepted a
+    current of -1 A when the true current is -83 A.
+    """
+
+    def test_diode_branch_current_converges_to_tolerance(self):
+        vin, i_s = 0.65, 1e-9
+        ckt = Circuit("vd")
+        ckt.add_vsource("V1", "a", "0", vin)
+        ckt.add_diode("D1", "a", "0", i_s=i_s)
+        op = dc_operating_point(ckt)
+        i_true = -ckt["D1"].iv(vin)[0]
+        assert abs(i_true) > 50.0  # a genuinely stiff operating point
+        # Seed behaviour: branch current -1.0 (98.8% error).  The
+        # absolute+relative criterion converges to ~1e-6 relative.
+        assert op.branch_current("V1") == pytest.approx(i_true, rel=1e-5)
+
+    def test_moderate_diode_branch_current_still_exact(self):
+        ckt = Circuit("vd2")
+        ckt.add_vsource("V1", "a", "0", 0.55)
+        ckt.add_diode("D1", "a", "0", i_s=1e-12)
+        op = dc_operating_point(ckt)
+        i_true = -ckt["D1"].iv(0.55)[0]
+        assert op.branch_current("V1") == pytest.approx(i_true, rel=1e-9)
+
+    def test_newton_converged_criterion(self):
+        from repro.spice.dc import newton_converged
+
+        nn = 1
+        # A current update equal to the current magnitude must NOT pass
+        # (the seed criterion accepted exactly this shape).
+        dx = np.array([0.0, 1.0])
+        x = np.array([0.65, -1.000001])
+        assert not newton_converged(dx, x, nn)
+        # A current update within i_tol + i_reltol*|I| passes.
+        dx = np.array([1e-8, 5e-7])
+        x = np.array([0.65, -1.0])
+        assert newton_converged(dx, x, nn)
+        # Voltage updates above v_tol never pass.
+        assert not newton_converged(np.array([1e-3, 0.0]), x, nn)
+
+
+class TestBranchCurrentErrors:
+    """Satellite: branch_current must raise a typed ValueError naming
+    the component and suggesting device_current — never a bare
+    KeyError — for branchless components and unknown names."""
+
+    def _op(self):
+        ckt = Circuit("bc")
+        ckt.add_vsource("V1", "in", "0", 1.0)
+        ckt.add_resistor("R1", "in", "0", 1e3)
+        return dc_operating_point(ckt)
+
+    def test_resistor_suggests_device_current(self):
+        with pytest.raises(ValueError, match="device_current"):
+            self._op().branch_current("R1")
+
+    def test_unknown_name_is_value_error(self):
+        with pytest.raises(ValueError, match="no component named 'nope'"):
+            self._op().branch_current("nope")
+
+    def test_voltage_source_still_works(self):
+        assert self._op().branch_current("V1") == pytest.approx(-1e-3)
+
+
 class TestDCRobustness:
     def test_diode_bridge_converges(self):
         """Full-bridge rectifier DC solve (4 diodes) via gmin stepping."""

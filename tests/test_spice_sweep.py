@@ -91,6 +91,35 @@ class TestDCSweep:
         assert len(res) == 3
 
 
+class TestDegenerateGrids:
+    """Satellite: single-point sweeps must fail with a typed error (or
+    return a well-defined null result), not a raw numpy IndexError."""
+
+    def _sweep(self, n):
+        ckt = Circuit("deg")
+        ckt.add_vsource("V1", "in", "0", 0.0)
+        ckt.add_resistor("R1", "in", "out", 1e3)
+        ckt.add_resistor("R2", "out", "0", 1e3)
+        return dc_sweep(ckt, "V1", np.linspace(1.0, 2.0, n))
+
+    def test_transfer_gain_single_point_raises_typed_error(self):
+        with pytest.raises(ValueError, match="at least 2 sweep points"):
+            self._sweep(1).transfer_gain("out")
+
+    def test_transfer_gain_two_points_works(self):
+        gain = self._sweep(2).transfer_gain("out")
+        assert gain.shape == (2,)
+        assert np.allclose(gain, 0.5)
+
+    def test_find_crossing_single_point_returns_none(self):
+        assert self._sweep(1).find_crossing("out", 0.75) is None
+
+    def test_find_crossing_two_points_works(self):
+        res = self._sweep(2)
+        crossing = res.find_crossing("out", 0.75)
+        assert crossing == pytest.approx(1.5)
+
+
 class TestReport:
     def test_report_contains_nodes_and_currents(self):
         ckt = diode_circuit()

@@ -181,6 +181,217 @@ class TestNonlinearTransient:
         assert v_a.min() < 0.01
 
 
+class TestStoreEverySemantics:
+    """Satellite: the stored grid is the first point, every k-th
+    accepted step, and always the final point."""
+
+    @pytest.mark.parametrize("method", ["trap", "be", "adaptive"])
+    def test_first_and_final_points_always_stored(self, method):
+        kwargs = {"max_dt": 1e-6} if method == "adaptive" else {}
+        res = transient(rc_charge_circuit(), t_stop=1e-4, dt=1e-6,
+                        method=method, use_ic=True, store_every=7,
+                        **kwargs)
+        assert res.t[0] == 0.0
+        assert res.t[-1] == pytest.approx(1e-4, rel=1e-12)
+
+    def test_every_kth_accepted_step_on_fixed_grid(self):
+        # 100 uniform accepted steps, store_every=10: points at steps
+        # 0, 10, 20, ..., 100 (the final point is also a multiple).
+        res = transient(rc_charge_circuit(), t_stop=1e-4, dt=1e-6,
+                        use_ic=True, store_every=10)
+        expected = np.concatenate([[0.0], (np.arange(1, 11)) * 1e-5])
+        assert np.allclose(res.t, expected, rtol=1e-9)
+
+    def test_non_dividing_final_step_still_stored_once(self):
+        # 100 steps, store_every=7: 0, 7e-6, ..., 98e-6, then 100e-6.
+        res = transient(rc_charge_circuit(), t_stop=1e-4, dt=1e-6,
+                        use_ic=True, store_every=7)
+        assert res.t[0] == 0.0
+        assert np.all(np.diff(res.t) > 0)  # final point appended once
+        assert res.t[-1] == pytest.approx(1e-4, rel=1e-12)
+        assert res.t[-2] == pytest.approx(98e-6, rel=1e-9)
+        assert len(res.t) == 2 + 14
+
+    def test_rejects_bad_store_every(self):
+        with pytest.raises(ValueError, match="store_every"):
+            transient(rc_charge_circuit(), 1e-4, 1e-6, store_every=0)
+
+
+class TestAdaptiveBackend:
+    """Tentpole: LTE-controlled adaptive integration with linear-part
+    factorization reuse, checked against the fixed-step parity
+    reference on linear, rectifier, and stiff clamp circuits."""
+
+    def test_rc_linear_bypass_grows_steps_and_stays_accurate(self):
+        r, c = 1e3, 1e-6
+        tau = r * c
+        ckt = rc_charge_circuit(r=r, c=c)
+        res = transient(ckt, t_stop=5 * tau, dt=tau / 100,
+                        method="adaptive", use_ic=True)
+        v = res.voltage("out")
+        expected = 1.0 - np.exp(-v.t / tau)
+        # Far fewer accepted steps than the 500-step fixed grid, still
+        # inside the default LTE budget.
+        assert len(res.t) < 100
+        assert np.max(np.abs(v.v - expected)) < 2e-3
+
+    def test_rc_same_grid_matches_fixed_to_solver_tolerance(self):
+        ckt = rc_charge_circuit()
+        fixed = transient(ckt, t_stop=2e-3, dt=5e-6, use_ic=True)
+        ckt2 = rc_charge_circuit()
+        adaptive = transient(ckt2, t_stop=2e-3, dt=5e-6,
+                             method="adaptive", use_ic=True,
+                             max_dt=5e-6, atol=1e30, rtol=1e30)
+        assert len(fixed.t) == len(adaptive.t)
+        dev = np.max(np.abs(fixed.voltage("out").v
+                            - adaptive.voltage("out").v))
+        assert dev < 1e-9
+
+    def test_rectifier_same_grid_parity(self):
+        from repro.power import build_rectifier_circuit
+
+        period = 1.0 / 5e6
+        fixed = transient(build_rectifier_circuit(), 2e-6, period / 100,
+                          method="trap", use_ic=True)
+        adaptive = transient(build_rectifier_circuit(), 2e-6,
+                             period / 100, method="adaptive",
+                             use_ic=True, max_dt=period / 100,
+                             atol=1e30, rtol=1e30)
+        assert len(fixed.t) == len(adaptive.t)
+        nn = fixed.circuit.n_nodes
+        dev = np.max(np.abs(fixed.x[:, :nn] - adaptive.x[:, :nn]))
+        assert dev < 1e-6
+
+    def test_stiff_diode_clamp_parity(self):
+        def clamp():
+            ckt = Circuit("clamp")
+            ckt.add_vsource("V1", "in", "0", sine(10.0, 1e5))
+            ckt.add_resistor("Rs", "in", "out", 100.0)
+            previous = "out"
+            for k in range(4):
+                nxt = "0" if k == 3 else f"m{k}"
+                ckt.add_diode(f"DC{k}", previous, nxt, i_s=1e-12)
+                previous = nxt
+            return ckt
+
+        fixed = transient(clamp(), 40e-6, 0.05e-6, use_ic=True)
+        adaptive = transient(clamp(), 40e-6, 0.05e-6, method="adaptive",
+                             use_ic=True, max_dt=0.05e-6,
+                             atol=1e30, rtol=1e30)
+        assert len(fixed.t) == len(adaptive.t)
+        dev = np.max(np.abs(fixed.voltage("out").v
+                            - adaptive.voltage("out").v))
+        assert dev < 1e-6
+        assert adaptive.voltage("out").max() < 3.4
+
+    def test_adaptive_lte_rejects_coarse_initial_step(self):
+        """A deliberately huge initial dt must be halved by LTE control,
+        not accepted: the LC tank still rings at the right frequency."""
+        l, c = 10e-6, 100e-12
+        f0 = 1.0 / (2 * np.pi * np.sqrt(l * c))
+        ckt = Circuit("lc")
+        ckt.add_capacitor("C1", "a", "0", c, ic=1.0)
+        ckt.add_inductor("L1", "a", "0", l)
+        ckt.add_resistor("Rbig", "a", "0", 1e9)
+        res = transient(ckt, t_stop=10 / f0, dt=1 / (f0 * 8),
+                        method="adaptive", use_ic=True)
+        v = res.voltage("a")
+        crossings = np.sum(np.diff(np.sign(v.v)) != 0)
+        measured = crossings / 2.0 / v.duration
+        assert measured == pytest.approx(f0, rel=0.05)
+        assert len(res.t) > 81  # finer than the requested 80-step grid
+
+    def test_grown_steps_cannot_skip_a_narrow_pulse(self):
+        """Source breakpoints clamp adaptive step growth: a 50 ns pulse
+        far into a quiet interval must be resolved, not stepped over
+        (the LTE estimate alone cannot see events between samples)."""
+        from repro.spice import pulse
+
+        def build():
+            ckt = Circuit("pulse_rc")
+            ckt.add_vsource("V1", "in", "0",
+                            pulse(0.0, 1.0, delay=10e-6, width=50e-9,
+                                  period=40e-6))
+            ckt.add_resistor("R1", "in", "out", 1e3)
+            ckt.add_capacitor("C1", "out", "0", 100e-12, ic=0.0)
+            return ckt
+
+        res = transient(build(), 20e-6, 100e-9, method="adaptive",
+                        use_ic=True)
+        # tau = 100 ns, 50 ns on-time: peak = 1 - exp(-0.5).
+        assert res.voltage("out").max() == pytest.approx(
+            1.0 - np.exp(-0.5), rel=0.05)
+
+    def test_square_source_edges_survive_step_growth(self):
+        from repro.spice import square as square_src
+
+        def chop():
+            ckt = Circuit("chop")
+            ckt.add_vsource("V1", "in", "0", 1.0)
+            ckt.add_vsource("VC", "c", "0", square_src(0.0, 1.0, 1e5))
+            ckt.add_resistor("R1", "in", "a", 1e3)
+            ckt.add_switch("S1", "a", "0", "c", "0", r_on=1.0)
+            return ckt
+
+        fixed = transient(chop(), 30e-6, 0.1e-6, use_ic=True)
+        adaptive = transient(chop(), 30e-6, 0.1e-6, method="adaptive",
+                             use_ic=True)
+        vf = fixed.voltage("a")
+        va = adaptive.voltage("a")
+        dev = np.max(np.abs(np.interp(vf.t, va.t, va.v) - vf.v))
+        assert dev < 1e-6
+
+    def test_singular_linear_circuit_raises_typed_error(self):
+        """The prefactored linear bypass must report a singular MNA
+        matrix as ConvergenceError like the fixed path — scipy's
+        lu_factor does not raise on singularity (it returns zero-pivot
+        factors that would silently solve to NaN)."""
+        from repro.spice.dc import ConvergenceError
+
+        def singular():
+            ckt = Circuit("sing")
+            ckt.add_vsource("V1", "a", "0", 1.0)
+            ckt.add_vsource("V2", "a", "0", 2.0)
+            ckt.add_capacitor("C1", "a", "0", 1e-9)
+            return ckt
+
+        x0 = np.zeros(3)
+        for method in ("trap", "adaptive"):
+            # The per-step singularity is retried at halved steps until
+            # min_dt, so the surfaced message is either the wrapped
+            # "singular MNA matrix" or the step-failure wrapper — never
+            # a silent NaN result or an untyped scipy error.
+            with pytest.raises(ConvergenceError,
+                               match="singular|step failed"):
+                transient(singular(), 1e-6, 1e-7, method=method, x0=x0)
+
+    def test_callback_and_final_state_on_adaptive(self):
+        seen = []
+        ckt = rc_charge_circuit()
+        res = transient(ckt, t_stop=1e-4, dt=1e-6, use_ic=True,
+                        method="adaptive",
+                        callback=lambda t, x: seen.append(t))
+        assert seen == sorted(seen)
+        assert seen[-1] == pytest.approx(1e-4, rel=1e-12)
+        assert res.final_state().shape == (ckt.n_unknowns,)
+
+
+class TestTransientBranchCurrentErrors:
+    """Satellite: TransientResult.branch_current raises typed errors
+    matching the device_current style."""
+
+    def _res(self):
+        return transient(rc_charge_circuit(), 1e-5, 1e-6, use_ic=True)
+
+    def test_resistor_suggests_device_current(self):
+        with pytest.raises(ValueError, match="device_current"):
+            self._res().branch_current("R1")
+
+    def test_unknown_name_is_value_error(self):
+        with pytest.raises(ValueError, match="no component named"):
+            self._res().branch_current("nope")
+
+
 class TestTransientValidation:
     def test_rejects_bad_method(self):
         with pytest.raises(ValueError, match="method"):
