@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Append one nightly benchmark snapshot to a JSONL trend file.
+
+The nightly CI job runs the full suite with ``--benchmark-json``,
+then calls this script to append a single JSON line — the gated
+benchmark minima plus run metadata — to ``BENCH_trend.jsonl``.  The
+file is carried between runs with ``actions/cache`` and uploaded as
+the ``BENCH_trend`` artifact, so perf drift is visible across nights
+without committing churn to the repository::
+
+    python benchmarks/append_trend.py BENCH_nightly.json BENCH_trend.jsonl \
+        --run-id "$GITHUB_RUN_ID" --ref "$GITHUB_SHA"
+
+Reuses :func:`check_regression.load_results` and the gated benchmark
+set, so the trend rows track exactly what the PR regression gate
+watches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from check_regression import DEFAULT_GATE, load_results  # noqa: E402
+
+
+def build_row(results, run_id="", ref="", timestamp=None):
+    """One compact trend row: gated minima only (the full result file
+    is already archived per-run as an artifact)."""
+    gated = {
+        name: round(results[name]["min"], 6) for name in DEFAULT_GATE if name in results
+    }
+    missing = sorted(set(DEFAULT_GATE) - set(gated))
+    row = {
+        "ts": timestamp or datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "run_id": run_id,
+        "ref": ref,
+        "n_benchmarks": len(results),
+        "gated_min_s": gated,
+    }
+    if missing:
+        row["missing"] = missing
+    return row
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="pytest-benchmark JSON file")
+    parser.add_argument("trend", help="JSONL trend file to append to")
+    parser.add_argument("--run-id", default="", help="CI run identifier")
+    parser.add_argument("--ref", default="", help="commit SHA or ref")
+    parser.add_argument(
+        "--timestamp", default=None, help="ISO timestamp override (default: now, UTC)"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        results = load_results(args.results)
+    except OSError as exc:
+        raise SystemExit(f"cannot read results file: {exc}")
+    row = build_row(results, run_id=args.run_id, ref=args.ref, timestamp=args.timestamp)
+    with open(args.trend, "a") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+    n_rows = sum(1 for _ in open(args.trend))
+    print(
+        f"appended trend row ({len(row['gated_min_s'])} gated benches) "
+        f"to {args.trend} — {n_rows} rows total"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

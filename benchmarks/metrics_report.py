@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Summarize and gate session-metrics JSONL files (``repro.obs``).
+
+Reads one or more ``--metrics-jsonl`` session files, validates every
+event against the versioned schema (``repro.obs.EVENT_SCHEMAS``), and
+prints a human summary (or ``--json``).  Two CI gates:
+
+* ``--min-warm-cache-hit-rate R`` — the *last* sweep event across the
+  given files must report ``cache_hit_rate >= R`` (the warm rerun of
+  an identical study must replay from the content-addressed store);
+* ``--require-events T1,T2,...`` — every listed event type must occur
+  at least once (catches silently-dead instrumentation).
+
+Exit codes: 0 ok, 1 a gate failed, 2 schema validation failed.
+
+Used by the ``metrics-gate`` CI job::
+
+    python benchmarks/metrics_report.py metrics.jsonl \
+        --min-warm-cache-hit-rate 0.95 --require-events sweep,chunk,store
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import (  # noqa: E402
+    MetricsSchemaError,
+    read_jsonl,
+    summarize_events,
+    warm_cache_hit_rate,
+)
+
+
+def _fmt_rate(value):
+    return "-" if value is None else f"{value:.1%}"
+
+
+def render_text(summary, files):
+    lines = [f"metrics report — {len(files)} file(s), {summary['events']} events"]
+    for path in files:
+        lines.append(f"  {path}")
+    sweeps = summary["sweeps"]
+    lines.append(
+        f"sweeps   : {sweeps['runs']} runs, {sweeps['cells']} cells "
+        f"({sweeps['cached']} cached / {sweeps['computed']} computed), "
+        f"hit rate {_fmt_rate(sweeps['cache_hit_rate'])}, "
+        f"warm {_fmt_rate(sweeps['warm_cache_hit_rate'])}"
+    )
+    chunks = summary["chunks"]
+    if chunks["count"]:
+        elapsed = chunks["elapsed"]
+        lines.append(
+            f"chunks   : {chunks['count']}, "
+            f"p50 {elapsed.get('p50_s', 0.0):.3g} s, "
+            f"max {elapsed.get('max_s', 0.0):.3g} s"
+        )
+    solver = summary["solver"]
+    if solver["chunks"]:
+        lines.append(
+            f"solver   : {solver['cells']} cells, "
+            f"{solver['accepted_steps']} accepted steps, "
+            f"{solver['newton_iters']} newton iters "
+            f"({solver['newton_rejects']} newton / "
+            f"{solver['lte_rejects']} LTE rejects)"
+        )
+    deltas = summary["deltas"]
+    if deltas["runs"]:
+        lines.append(
+            f"deltas   : {deltas['runs']} runs, {deltas['cells']} cells, "
+            f"{deltas['changed']} recomputed, {deltas['replayed']} replayed, "
+            f"{deltas['replay_miss']} replay misses"
+        )
+    batches = summary["batches"]
+    if batches["count"]:
+        lines.append(
+            f"batches  : {batches['count']}, {batches['cells']} cells, "
+            f"{batches['deduped']} deduped, {batches['cached']} cached"
+        )
+    jobs = summary["jobs"]
+    if jobs["count"]:
+        lines.append(
+            f"jobs     : {jobs['count']} {dict(jobs['by_state'])}, "
+            f"latency p50 {jobs['latency'].get('p50_s', 0.0):.3g} s"
+        )
+    by_type = ", ".join(f"{k}={v}" for k, v in sorted(summary["by_type"].items()))
+    lines.append(f"by type  : {by_type}")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="metrics JSONL session file(s)")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary document as JSON"
+    )
+    parser.add_argument(
+        "--min-warm-cache-hit-rate",
+        type=float,
+        metavar="R",
+        help="fail (exit 1) when the last sweep event's cache_hit_rate < R",
+    )
+    parser.add_argument(
+        "--require-events",
+        metavar="T1,T2,...",
+        help="fail (exit 1) unless each listed event type occurs at least once",
+    )
+    args = parser.parse_args(argv)
+
+    events = []
+    for path in args.files:
+        try:
+            events.extend(read_jsonl(path))
+        except OSError as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        except MetricsSchemaError as exc:
+            print(f"schema validation FAILED: {exc}", file=sys.stderr)
+            return 2
+
+    summary = summarize_events(events)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_text(summary, args.files))
+
+    failures = []
+    if args.min_warm_cache_hit_rate is not None:
+        rate = warm_cache_hit_rate(events)
+        if rate is None:
+            failures.append("warm-cache gate: no sweep event found")
+        elif rate < args.min_warm_cache_hit_rate:
+            failures.append(
+                f"warm-cache gate: last sweep hit rate {rate:.1%} < "
+                f"{args.min_warm_cache_hit_rate:.1%}"
+            )
+    if args.require_events:
+        present = summary["by_type"]
+        for kind in args.require_events.split(","):
+            kind = kind.strip()
+            if kind and not present.get(kind):
+                failures.append(f"required event type never emitted: {kind}")
+
+    if failures:
+        print("\nmetrics gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    if args.min_warm_cache_hit_rate is not None or args.require_events:
+        print("\nmetrics gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

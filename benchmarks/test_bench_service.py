@@ -160,9 +160,9 @@ def test_bench_service_closed_loop_dedup(once, tmp_path):
     report("Closed-loop service load (8 clients, 48 requests)", [
         ("completed", float(summary["completed"]), "of 48"),
         ("throughput (req/s)", summary["throughput_rps"], ""),
-        ("p50 latency (s)", summary["latency_p50_s"],
+        ("p50 latency (s)", summary["latency"]["p50_s"],
          "includes batching window"),
-        ("p95 latency (s)", summary["latency_p95_s"], ""),
+        ("p90 latency (s)", summary["latency"]["p90_s"], ""),
         ("cells computed", float(stats.cells_computed),
          "12 distinct cells exist"),
         ("dedup + cache rate",

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Incremental study recomputation + session metrics, end to end.
+
+A long-running power study rarely changes wholesale: one axis value
+moves, a controller threshold is retuned, a distance is added.  Since
+every scenario cell has a content address (the same canonical key the
+`ResultStore` files results under and the service dedups by), a new
+study definition can be *diffed* against the previous one and only
+the changed cells simulated.  This example:
+
+1. runs a distance x load control grid cold through the
+   `SweepOrchestrator` with a content-addressed store and a
+   `MetricsRecorder` writing a JSONL session file,
+2. reruns the identical grid warm — every cell replays (hit rate 1.0),
+3. moves one distance value and reruns via `run_delta` — exactly the
+   affected cells are computed, the rest replay from the store,
+4. clears the store and repeats the delta — the replay misses are
+   reported honestly instead of being silently recomputed-as-cached,
+5. reads the JSONL session back (`repro.obs.read_jsonl`) and prints
+   the summarized sweep/chunk/delta metrics.
+
+The CLI spelling of the same flow is `repro sweep --format json`
+(records the study keys) followed by `--diff-against PREV.json`.
+
+Run:  python examples/incremental_sweep.py
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import RemotePoweringSystem
+from repro.core import AdaptivePowerController
+from repro.engine import (
+    ResultStore,
+    ScenarioBatch,
+    StudyDiff,
+    SweepOrchestrator,
+    control_cell_keys,
+)
+from repro.obs import MetricsRecorder, read_jsonl, summarize_events
+
+T_STOP = 20e-3
+
+
+def grid(distances_mm):
+    return ScenarioBatch.from_axes(
+        distance=[d * 1e-3 for d in distances_mm],
+        i_load=[352e-6, 800e-6, 1.302e-3],
+    )
+
+
+def main():
+    system = RemotePoweringSystem(distance=10e-3)
+    controller = AdaptivePowerController()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        jsonl = Path(tmp) / "session.jsonl"
+        store = ResultStore(Path(tmp) / "cache")
+        recorder = MetricsRecorder(jsonl_path=jsonl, label="incremental")
+        orch = SweepOrchestrator(store=store, recorder=recorder)
+
+        print("=" * 64)
+        print("1. cold run — 3 distances x 3 loads")
+        print("=" * 64)
+        prev_batch = grid([8.0, 10.0, 12.0])
+        orch.run_control(prev_batch, system, controller, T_STOP)
+        print(f"   {orch.stats.summary()}")
+        prev_keys = control_cell_keys(prev_batch, system, controller, T_STOP)
+
+        print()
+        print("2. warm rerun of the identical grid")
+        orch.run_control(grid([8.0, 10.0, 12.0]), system, controller, T_STOP)
+        print(f"   {orch.stats.summary()}")
+
+        print()
+        print("3. move one axis value: distance 12 mm -> 14 mm")
+        next_batch = grid([8.0, 10.0, 14.0])
+        next_keys = control_cell_keys(next_batch, system, controller, T_STOP)
+        diff = StudyDiff.between(prev_keys, next_keys)
+        print(
+            f"   StudyDiff: {diff.n_changed} changed / "
+            f"{diff.n_unchanged} unchanged / {diff.n_removed} removed"
+        )
+        _, report = orch.run_delta(
+            "control",
+            next_batch,
+            prev_keys,
+            system=system,
+            controller=controller,
+            t_stop=T_STOP,
+        )
+        print(f"   {report.summary()}")
+        print(f"   orchestrator: {orch.stats.summary()}")
+
+        print()
+        print("4. same delta against a cleared store — honest replay misses")
+        store.clear()
+        _, report = orch.run_delta(
+            "control",
+            next_batch,
+            next_keys,
+            system=system,
+            controller=controller,
+            t_stop=T_STOP,
+        )
+        print(f"   {report.summary()}")
+
+        recorder.close()
+
+        print()
+        print("5. the JSONL session, summarized")
+        print("=" * 64)
+        events = read_jsonl(jsonl)
+        summary = summarize_events(events)
+        sweeps = summary["sweeps"]
+        deltas = summary["deltas"]
+        print(f"   events   : {summary['events']} (schema-valid)")
+        print(
+            f"   sweeps   : {sweeps['runs']} runs, {sweeps['cells']} cells, "
+            f"{sweeps['cached']} cached / {sweeps['computed']} computed"
+        )
+        print(
+            f"   deltas   : {deltas['runs']} runs, "
+            f"{deltas['changed']} recomputed, {deltas['replayed']} replayed, "
+            f"{deltas['replay_miss']} replay misses"
+        )
+        print("   gate this file in CI:")
+        print(f"     python benchmarks/metrics_report.py {jsonl.name} \\")
+        print("         --require-events sweep,chunk,store,study_diff")
+
+
+if __name__ == "__main__":
+    main()

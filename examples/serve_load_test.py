@@ -120,8 +120,8 @@ async def main():
     print(f"\n[4] closed-loop mix: {summary['completed']}/"
           f"{summary['requests']} ok, "
           f"{summary['throughput_rps']:.0f} req/s, "
-          f"p50 {summary['latency_p50_s'] * 1e3:.1f} ms, "
-          f"p95 {summary['latency_p95_s'] * 1e3:.1f} ms")
+          f"p50 {summary['latency']['p50_s'] * 1e3:.1f} ms, "
+          f"p90 {summary['latency']['p90_s'] * 1e3:.1f} ms")
     print(f"    dedup rate {sdict['dedup_rate']:.0%} "
           f"(identical cells across clients computed once)")
 

@@ -259,6 +259,52 @@ def _parse_spice_axes(args):
     return axes
 
 
+def _load_prev_study(path, expected_kind):
+    """The previous study's cell-key list from a ``--format json``
+    sweep output (its ``study.cell_keys`` block).  Returns
+    ``(keys, None)`` or ``(None, error message)``."""
+    import json
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return None, f"cannot read previous study {path!r}: {exc}"
+    study = doc.get("study") if isinstance(doc, dict) else None
+    if not isinstance(study, dict) or "cell_keys" not in study:
+        return None, (
+            f"{path!r} has no study.cell_keys block; --diff-against "
+            f"needs the JSON output of a previous `repro sweep "
+            f"--format json` run")
+    if study.get("kind") != expected_kind:
+        return None, (
+            f"previous study in {path!r} is kind "
+            f"{study.get('kind')!r}, this sweep is {expected_kind!r}; "
+            f"deltas only compare like with like")
+    return list(study["cell_keys"]), None
+
+
+def _run_delta(args, orchestrator, mode, batch, keys, **params):
+    """The ``--diff-against`` lane shared by both sweep studies:
+    validate prerequisites, load the previous key list, and run the
+    incremental recomputation.  Returns ``(result, error exit code)``
+    with exactly one of the two set."""
+    if orchestrator.store is None:
+        print("sweep: --diff-against requires --cache-dir (unchanged "
+              "cells are replayed from the store)", file=sys.stderr)
+        return None, 2
+    prev_keys, error = _load_prev_study(args.diff_against, mode)
+    if error:
+        print(f"sweep: {error}", file=sys.stderr)
+        return None, 2
+    result, report = orchestrator.run_delta(
+        mode, batch, prev_keys, keys=keys, **params)
+    if not args.quiet:
+        print(f"sweep: delta vs {args.diff_against}: "
+              f"{report.summary()}", file=sys.stderr, flush=True)
+    return result, None
+
+
 def _run_spice_sweep(args, orchestrator):
     """The ``--study spice`` lane of cmd_sweep: circuit cells through
     the lockstep-batched adaptive transient backend."""
@@ -270,12 +316,22 @@ def _run_spice_sweep(args, orchestrator):
         print("sweep: --spice-t-stop-us and --spice-dt-ns must be "
               "positive", file=sys.stderr)
         return 2
+    params = {
+        "t_stop": args.spice_t_stop_us * 1e-6,
+        "dt": args.spice_dt_ns * 1e-9,
+        "method": args.spice_method,
+    }
     try:
         axes = _parse_spice_axes(args)
         batch = SpiceBatch.from_axes(**axes)
-        result = orchestrator.run_spice(
-            batch, args.spice_t_stop_us * 1e-6, args.spice_dt_ns * 1e-9,
-            method=args.spice_method)
+        keys = orchestrator.cell_keys("spice", batch, **params)
+        if args.diff_against:
+            result, code = _run_delta(
+                args, orchestrator, "spice", batch, keys, **params)
+            if result is None:
+                return code
+        else:
+            result = orchestrator.run_spice(batch, keys=keys, **params)
     except ScenarioAxisError as exc:
         print(f"sweep: {exc}", file=sys.stderr)
         return 2
@@ -290,8 +346,18 @@ def _run_spice_sweep(args, orchestrator):
         "steps": int(result.steps[i]),
     } for i, sc in enumerate(batch.scenarios)]
     if args.format == "json":
-        print(json.dumps({"stats": stats.as_dict(), "cells": cells},
-                         indent=2))
+        study = {
+            "kind": "spice",
+            "params": {
+                "t_stop_us": args.spice_t_stop_us,
+                "dt_ns": args.spice_dt_ns,
+                "method": args.spice_method,
+            },
+            "cell_keys": keys,
+        }
+        print(json.dumps(
+            {"stats": stats.as_dict(), "study": study, "cells": cells},
+            indent=2))
         return 0
     if args.format == "csv":
         import csv
@@ -317,16 +383,9 @@ def _run_spice_sweep(args, orchestrator):
 
 
 def cmd_sweep(args):
-    import json
-
     from repro import RemotePoweringSystem
     from repro.core import AdaptivePowerController
-    from repro.engine import (
-        ResultStore,
-        ScenarioAxisError,
-        ScenarioBatch,
-        SweepOrchestrator,
-    )
+    from repro.engine import ResultStore, SweepOrchestrator
 
     system = RemotePoweringSystem(distance=10e-3)
     controller = AdaptivePowerController()
@@ -342,18 +401,50 @@ def cmd_sweep(args):
             print(f"sweep: chunk {done}/{total} done "
                   f"({cells_done}/{cells_total} cells)",
                   file=sys.stderr, flush=True)
+    recorder = None
+    if args.metrics_jsonl:
+        from repro.obs import MetricsRecorder
+
+        recorder = MetricsRecorder(jsonl_path=args.metrics_jsonl,
+                                   label=f"sweep:{args.study}")
     orchestrator = SweepOrchestrator(workers=args.workers, store=store,
-                                     progress=progress)
-    if args.study == "spice":
-        return _run_spice_sweep(args, orchestrator)
+                                     progress=progress,
+                                     recorder=recorder)
+    try:
+        if args.study == "spice":
+            return _run_spice_sweep(args, orchestrator)
+        return _run_control_sweep(args, orchestrator, system,
+                                  controller)
+    finally:
+        if recorder is not None:
+            recorder.close()
+
+
+def _run_control_sweep(args, orchestrator, system, controller):
+    import json
+
+    from repro.engine import ScenarioAxisError, ScenarioBatch
+
+    store = orchestrator.store
+    t_stop = args.t_stop * 1e-3
     try:
         axes = _parse_sweep_axes(args)
         batch = ScenarioBatch.from_axes(**axes)
+        keys = orchestrator.cell_keys(
+            "control", batch, system=system, controller=controller,
+            t_stop=t_stop)
         # The run can still raise a typed axis error for values only
         # the physics rejects (e.g. rx_turns that pass range checks
         # but do not fit the coil footprint).
-        result = orchestrator.run_control(batch, system, controller,
-                                          t_stop=args.t_stop * 1e-3)
+        if args.diff_against:
+            result, code = _run_delta(
+                args, orchestrator, "control", batch, keys,
+                system=system, controller=controller, t_stop=t_stop)
+            if result is None:
+                return code
+        else:
+            result = orchestrator.run_control(batch, system, controller,
+                                              t_stop=t_stop, keys=keys)
         physical = any(name in axes for name in _PHYSICAL_AXES)
         cells = _sweep_cells(batch, result, system, physical)
     except ScenarioAxisError as exc:
@@ -365,8 +456,14 @@ def cmd_sweep(args):
               f"from cache", file=sys.stderr, flush=True)
 
     if args.format == "json":
-        print(json.dumps({"stats": stats.as_dict(), "cells": cells},
-                         indent=2))
+        study = {
+            "kind": "control",
+            "params": {"t_stop_ms": args.t_stop, "duty": args.duty},
+            "cell_keys": keys,
+        }
+        print(json.dumps(
+            {"stats": stats.as_dict(), "study": study, "cells": cells},
+            indent=2))
         return 0
     if args.format == "csv":
         import csv
@@ -411,11 +508,18 @@ def cmd_serve(args):
               file=sys.stderr)
         return 2
 
+    recorder = None
+    if args.metrics_jsonl:
+        from repro.obs import MetricsRecorder
+
+        recorder = MetricsRecorder(jsonl_path=args.metrics_jsonl,
+                                   label="serve")
+
     async def run():
         service = SimulationService(
             store=store, workers=args.workers,
             window=args.window_ms * 1e-3, max_batch=args.max_batch,
-            max_pending=args.max_pending)
+            max_pending=args.max_pending, recorder=recorder)
         server = ServiceHTTPServer(service, host=args.host,
                                    port=args.port)
         host, port = await server.start()
@@ -440,6 +544,9 @@ def cmd_serve(args):
         print(f"serve: cannot bind {args.host}:{args.port}: {exc}",
               file=sys.stderr)
         return 2
+    finally:
+        if recorder is not None:
+            recorder.close()
     return 0
 
 
@@ -535,6 +642,16 @@ def build_parser():
             p.add_argument("--quiet", action="store_true",
                            help="suppress per-chunk progress lines "
                                 "on stderr")
+            p.add_argument("--metrics-jsonl", default=None,
+                           metavar="PATH",
+                           help="append session metrics events (one "
+                                "JSON line each) to PATH")
+            p.add_argument("--diff-against", default=None,
+                           metavar="PREV.json",
+                           help="incremental recomputation: previous "
+                                "`--format json` output; only cells "
+                                "whose physics changed are computed, "
+                                "the rest replay from --cache-dir")
         if name == "serve":
             p.add_argument("--host", default="127.0.0.1",
                            help="bind address")
@@ -554,6 +671,11 @@ def build_parser():
             p.add_argument("--max-pending", type=int, default=512,
                            help="job-queue bound; beyond it /submit "
                                 "returns 429")
+            p.add_argument("--metrics-jsonl", default=None,
+                           metavar="PATH",
+                           help="append session metrics events (one "
+                                "JSON line each) to PATH; the live "
+                                "window stays on GET /metrics")
     return parser
 
 

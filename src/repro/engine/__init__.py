@@ -11,7 +11,10 @@
 * :mod:`repro.engine.parallel` — :class:`SweepOrchestrator`: shards a
   batch over multiprocessing workers and merges the results;
 * :mod:`repro.engine.store` — :class:`ResultStore`: content-addressed
-  on-disk cache of per-scenario results.
+  on-disk cache of per-scenario results;
+* :mod:`repro.engine.diff` — :class:`StudyDiff` / :class:`DeltaReport`:
+  cell-key deltas between study definitions, driving
+  :meth:`SweepOrchestrator.run_delta` incremental recomputation.
 """
 
 from repro.engine.core import (
@@ -30,6 +33,7 @@ from repro.engine.components import (
     SubsteppedRail,
     TelemetryControl,
 )
+from repro.engine.diff import DeltaReport, StudyDiff
 from repro.engine.scenario import (
     SPICE_TEMPLATES,
     BatchControlResult,
@@ -73,6 +77,8 @@ __all__ = [
     "SpiceBatch",
     "SpiceBatchResult",
     "SpiceScenario",
+    "DeltaReport",
+    "StudyDiff",
     "SweepOrchestrator",
     "SweepStats",
     "charge_cell_keys",

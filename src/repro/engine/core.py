@@ -32,6 +32,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -104,9 +105,12 @@ class SimulationEngine:
         stepping covers ``times[1:]`` (an initial-value integrator grid);
         when False every grid instant is produced by a ``step()`` call
         (a sampled-controller grid).
+    recorder : optional :class:`~repro.obs.recorder.MetricsRecorder`;
+        when set, :meth:`run` emits one ``engine_run`` event (grid
+        size, component count, events dispatched, wall time).
     """
 
-    def __init__(self, times, record_initial=True):
+    def __init__(self, times, record_initial=True, recorder=None):
         times = np.asarray(times, dtype=float)
         if times.ndim != 1 or times.size < 1:
             raise ValueError("need a 1-D, non-empty time grid")
@@ -114,6 +118,7 @@ class SimulationEngine:
             raise ValueError("time grid must be strictly increasing")
         self.times = times
         self.record_initial = bool(record_initial)
+        self.recorder = recorder
         self.components = []
         self.signals = {}
         self._traced = []
@@ -182,6 +187,7 @@ class SimulationEngine:
         if self._ran:
             raise RuntimeError("an engine instance runs exactly once")
         self._ran = True
+        t0_wall = time.perf_counter()
         t = self.times
         for comp in self.components:
             comp.start(self)
@@ -205,4 +211,12 @@ class SimulationEngine:
         self._dispatch_until(float("inf"))
         for comp in self.components:
             comp.finish(self)
+        if self.recorder is not None:
+            self.recorder.emit(
+                "engine_run",
+                n_steps=int(t.size),
+                n_components=len(self.components),
+                n_events=len(self._event_log),
+                elapsed_s=time.perf_counter() - t0_wall,
+            )
         return SimulationResult(recorded_times, traces, self._event_log)

@@ -1,0 +1,129 @@
+"""Study-definition deltas over content-addressed cell keys.
+
+A study definition — mode + system/controller fingerprints + scenario
+axes — reduces to one :func:`~repro.engine.store.canonical_key` per
+cell (the ``*_cell_keys`` functions in :mod:`repro.engine.parallel`).
+That makes "what changed between two studies?" a set problem:
+:class:`StudyDiff` compares the previous run's key list against the
+new one and classifies every new cell as *changed* (its content
+address did not exist before) or *unchanged* (bitwise-same physics, so
+its stored result can be replayed).  Because keys are content hashes,
+reordering axes or relabelling scenarios changes nothing — only
+physics changes do.
+
+:meth:`SweepOrchestrator.run_delta <repro.engine.parallel.
+SweepOrchestrator.run_delta>` executes the plan — recompute the
+changed cells, replay the unchanged ones from the store — and returns
+a :class:`DeltaReport` alongside the ordinary batch result.  "I moved
+the coil 2 mm" then costs a handful of solves instead of a full sweep,
+and the report says exactly which cells those were.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StudyDiff:
+    """Cell-key delta between a previous study and the current one.
+
+    Indices refer to positions in the *current* study's key list (the
+    previous study's ordering is irrelevant — keys are content
+    addresses).  Duplicate keys within a study count once per cell.
+    """
+
+    changed_indices: tuple
+    unchanged_indices: tuple
+    removed_keys: tuple
+    n_prev: int
+    n_cells: int
+
+    @classmethod
+    def between(cls, prev_keys, keys):
+        """Classify ``keys`` (current study) against ``prev_keys``."""
+        prev_keys = list(prev_keys)
+        keys = list(keys)
+        prev = set(prev_keys)
+        current = set(keys)
+        changed = tuple(i for i, key in enumerate(keys) if key not in prev)
+        unchanged = tuple(i for i, key in enumerate(keys) if key in prev)
+        seen = set()
+        removed = []
+        for key in prev_keys:
+            if key not in current and key not in seen:
+                seen.add(key)
+                removed.append(key)
+        return cls(
+            changed_indices=changed,
+            unchanged_indices=unchanged,
+            removed_keys=tuple(removed),
+            n_prev=len(prev_keys),
+            n_cells=len(keys),
+        )
+
+    @property
+    def n_changed(self):
+        return len(self.changed_indices)
+
+    @property
+    def n_unchanged(self):
+        return len(self.unchanged_indices)
+
+    @property
+    def n_removed(self):
+        return len(self.removed_keys)
+
+    def as_dict(self):
+        return {
+            "n_prev": self.n_prev,
+            "n_cells": self.n_cells,
+            "n_changed": self.n_changed,
+            "n_unchanged": self.n_unchanged,
+            "n_removed": self.n_removed,
+            "changed_indices": list(self.changed_indices),
+        }
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """What one :meth:`~repro.engine.parallel.SweepOrchestrator.
+    run_delta` actually did with a :class:`StudyDiff` plan.
+
+    ``replayed`` are unchanged cells served from the store;
+    ``replay_miss`` are unchanged cells that had to be recomputed
+    anyway because their stored rows had been evicted — a nonzero
+    count flags a store sized below the working set, not a physics
+    change.
+    """
+
+    mode: str
+    n_cells: int
+    n_changed: int
+    n_unchanged: int
+    n_removed: int
+    n_replayed: int
+    n_replay_miss: int
+    changed_indices: tuple = ()
+    replayed_indices: tuple = ()
+    replay_miss_indices: tuple = ()
+
+    def as_dict(self):
+        return {
+            "mode": self.mode,
+            "n_cells": self.n_cells,
+            "n_changed": self.n_changed,
+            "n_unchanged": self.n_unchanged,
+            "n_removed": self.n_removed,
+            "n_replayed": self.n_replayed,
+            "n_replay_miss": self.n_replay_miss,
+            "changed_indices": list(self.changed_indices),
+            "replay_miss_indices": list(self.replay_miss_indices),
+        }
+
+    def summary(self):
+        return (
+            f"{self.n_cells} cells: {self.n_changed} changed (recomputed), "
+            f"{self.n_replayed} replayed from store, "
+            f"{self.n_replay_miss} replay miss, {self.n_removed} removed"
+        )

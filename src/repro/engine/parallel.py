@@ -51,6 +51,7 @@ from repro.engine.scenario import (
     SpiceBatchResult,
     resolve_tissue,
 )
+from repro.engine.diff import DeltaReport, StudyDiff
 from repro.engine.store import STORE_SCHEMA_VERSION, canonical_key
 
 _CONTROL_FIELDS = (
@@ -277,8 +278,34 @@ def spice_cell_keys(batch, t_stop, dt, method="adaptive", n_points=256,
 # Chunk evaluation — module-level so worker processes can import it
 # ----------------------------------------------------------------------
 def _evaluate_chunk(payload):
-    """Run one chunk and return its result rows as plain arrays."""
+    """Run one chunk and return its result rows as plain arrays.
+
+    Alongside the arrays, the returned dict carries a ``"_meta"``
+    record (mode, cell count, wall time, spice solver counters) that
+    the parent pops and turns into ``chunk``/``solve`` metrics events
+    — timings taken inside worker processes travel home with the data,
+    so the recorder itself never crosses a process boundary.
+    """
+    t0 = time.perf_counter()
     mode = payload["mode"]
+    rows = _evaluate_chunk_rows(payload, mode)
+    meta = {
+        "mode": mode,
+        "cells": (
+            int(payload["n_samples"])
+            if mode == "montecarlo"
+            else len(payload["scenarios"])
+        ),
+        "elapsed_s": time.perf_counter() - t0,
+    }
+    solve = rows.pop("_solve", None)
+    if solve is not None:
+        meta["solve"] = solve
+    rows["_meta"] = meta
+    return rows
+
+
+def _evaluate_chunk_rows(payload, mode):
     if mode == "montecarlo":
         return payload["mc"].run_batch(
             payload["evaluate"], payload["n_samples"], seed=payload["seed"]
@@ -320,15 +347,17 @@ def _evaluate_spice_chunk(payload):
     """Run one spice chunk (kept separate from _evaluate_chunk: spice
     payloads carry SpiceScenario cells, not engine Scenario cells)."""
     batch = SpiceBatch(payload["scenarios"])
+    solve = {}
     result = batch.run(
         payload["t_stop"], payload["dt"], method=payload["method"],
         n_points=payload["n_points"], atol=payload["atol"],
-        rtol=payload["rtol"])
+        rtol=payload["rtol"], stats_out=solve)
     return {
         "v_out": result.v_out,
         "v_final": result.v_final,
         "ripple": result.ripple,
         "steps": result.steps,
+        "_solve": solve,
     }
 
 
@@ -346,6 +375,13 @@ class SweepStats:
     fallback_reason: str | None = None
     elapsed: float = 0.0
     store: dict | None = None
+    #: Scenario indices that were actually computed this run (store
+    #: misses); consumed by :meth:`SweepOrchestrator.run_delta` to
+    #: classify replayed vs recomputed cells.  Not serialized.
+    computed_indices: list | None = None
+    #: :meth:`DeltaReport.as_dict` of the enclosing ``run_delta``, when
+    #: this run was an incremental recomputation.
+    delta: dict | None = None
 
     def as_dict(self):
         return {
@@ -359,6 +395,7 @@ class SweepStats:
             "fallback_reason": self.fallback_reason,
             "elapsed_s": self.elapsed,
             "store": self.store,
+            "delta": self.delta,
         }
 
     def summary(self):
@@ -392,6 +429,11 @@ class SweepOrchestrator:
         cells_total)`` fired after every completed chunk (cached cells
         are not chunks — frontends report them from the run stats), so
         long sweeps are observably alive while they run.
+    recorder : optional :class:`~repro.obs.recorder.MetricsRecorder`;
+        when set, every run emits ``sweep``/``chunk``/``solve``/
+        ``store`` events into it (chunk timings are taken inside the
+        workers and harvested by the parent — the recorder itself
+        never crosses the process boundary).
 
     The orchestrator keeps the last run's :class:`SweepStats` in
     ``self.stats``.
@@ -404,6 +446,7 @@ class SweepOrchestrator:
         chunk_size=None,
         start_method=None,
         progress=None,
+        recorder=None,
     ):
         self.workers = max(1, int(workers)) if workers else 1
         self.store = store
@@ -412,6 +455,7 @@ class SweepOrchestrator:
         self.chunk_size = None if chunk_size is None else int(chunk_size)
         self.start_method = start_method
         self.progress = progress
+        self.recorder = recorder
         self.stats = None
 
     # -- chunk plumbing -------------------------------------------------
@@ -428,11 +472,30 @@ class SweepOrchestrator:
             return int(payload["n_samples"])
         return len(payload["scenarios"])
 
+    def _harvest(self, rows):
+        """Pop a chunk result's ``_meta`` record and emit its metrics
+        events (the pop also keeps worker-side bookkeeping out of the
+        merged arrays — montecarlo merges iterate the row keys)."""
+        meta = rows.pop("_meta", None)
+        if meta is None or self.recorder is None:
+            return
+        self.recorder.emit(
+            "chunk",
+            mode=meta["mode"],
+            cells=meta["cells"],
+            elapsed_s=meta["elapsed_s"],
+        )
+        solve = meta.get("solve")
+        if solve:
+            self.recorder.emit("solve", **solve)
+
     def _serial_map(self, payloads):
         report = self._progress_reporter(payloads)
         results = []
         for payload in payloads:
-            results.append(_evaluate_chunk(payload))
+            rows = _evaluate_chunk(payload)
+            self._harvest(rows)
+            results.append(rows)
             report(len(results))
         return results
 
@@ -484,8 +547,9 @@ class SweepOrchestrator:
         report = self._progress_reporter(payloads)
         with ctx.Pool(min(self.workers, len(payloads))) as pool:
             results = []
-            for result in pool.imap(_evaluate_chunk, payloads):
-                results.append(result)
+            for rows in pool.imap(_evaluate_chunk, payloads):
+                self._harvest(rows)
+                results.append(rows)
                 report(len(results))
             return results, True, None
 
@@ -502,7 +566,10 @@ class SweepOrchestrator:
                 cached[i] = row
         return cached, misses, keys
 
-    def _finish(self, mode, n_sc, n_cached, n_miss, n_chunks, parallel, reason, t0):
+    def _finish(
+        self, mode, n_sc, n_cached, n_miss, n_chunks, parallel, reason, t0,
+        computed=None,
+    ):
         self.stats = SweepStats(
             mode=mode,
             n_scenarios=n_sc,
@@ -514,7 +581,30 @@ class SweepOrchestrator:
             fallback_reason=reason,
             elapsed=time.perf_counter() - t0,
             store=self.store.stats.as_dict() if self.store else None,
+            computed_indices=None if computed is None else list(computed),
         )
+        if self.recorder is not None:
+            self.recorder.emit(
+                "sweep",
+                mode=mode,
+                n_scenarios=n_sc,
+                n_cached=n_cached,
+                n_computed=n_miss,
+                n_chunks=n_chunks,
+                workers=self.workers,
+                parallel=parallel,
+                elapsed_s=self.stats.elapsed,
+                cache_hit_rate=n_cached / n_sc if n_sc else 0.0,
+                fallback_reason=reason,
+            )
+            if self.stats.store is not None:
+                self.recorder.emit(
+                    "store",
+                    hits=self.stats.store["hits"],
+                    misses=self.stats.store["misses"],
+                    writes=self.stats.store["writes"],
+                    evictions=self.stats.store["evictions"],
+                )
         return self.stats
 
     @staticmethod
@@ -582,6 +672,7 @@ class SweepOrchestrator:
             parallel,
             reason,
             t0,
+            computed=misses,
         )
         return BatchControlResult(
             times=times,
@@ -662,6 +753,7 @@ class SweepOrchestrator:
             parallel,
             reason,
             t0,
+            computed=misses,
         )
         return BatchEnvelopeResult(
             times=times,
@@ -728,6 +820,7 @@ class SweepOrchestrator:
             parallel,
             reason,
             t0,
+            computed=misses,
         )
         return out
 
@@ -803,6 +896,7 @@ class SweepOrchestrator:
             parallel,
             reason,
             t0,
+            computed=misses,
         )
         return SpiceBatchResult(
             times=times,
@@ -812,6 +906,93 @@ class SweepOrchestrator:
             steps=steps,
             scenarios=batch.scenarios,
         )
+
+    # -- incremental recomputation -------------------------------------
+    #: mode -> (cell-key function, runner method name) for run_delta.
+    _DELTA_MODES = {
+        "control": ("control_cell_keys", "run_control"),
+        "envelope": ("envelope_cell_keys", "run_envelope"),
+        "charge": ("charge_cell_keys", "charge_times"),
+        "spice": ("spice_cell_keys", "run_spice"),
+    }
+
+    def cell_keys(self, mode, batch, **params):
+        """The per-cell content addresses of one run, by mode name.
+
+        ``params`` are the keyword arguments the matching ``run_*``
+        method takes (e.g. ``system=..., controller=..., t_stop=...``
+        for ``"control"``) — the same spelling :meth:`run_delta` uses.
+        """
+        if mode not in self._DELTA_MODES:
+            raise ValueError(
+                f"unknown sweep mode {mode!r}; "
+                f"known modes: {sorted(self._DELTA_MODES)}"
+            )
+        key_fn = globals()[self._DELTA_MODES[mode][0]]
+        return key_fn(batch, **params)
+
+    def run_delta(self, mode, batch, prev_keys, keys=None, **params):
+        """Run one sweep as an *incremental recomputation* against a
+        previous study definition.
+
+        ``prev_keys`` is the previous study's cell-key list (persisted
+        by ``repro sweep --output-json`` under ``study.cell_keys``);
+        the current study's keys are computed from ``batch`` +
+        ``params`` unless handed in.  Unchanged cells — same content
+        address as some previous cell — replay from the store; only
+        changed cells are simulated.  Requires a store for exactly
+        that reason.
+
+        Returns ``(result, report)`` where ``result`` is whatever the
+        mode's plain runner returns and ``report`` is a
+        :class:`~repro.engine.diff.DeltaReport`.  The report is also
+        kept on ``self.stats.delta`` and emitted as a ``study_diff``
+        metrics event.
+        """
+        if self.store is None:
+            raise ValueError(
+                "run_delta requires a result store — unchanged cells "
+                "are replayed from it"
+            )
+        if mode not in self._DELTA_MODES:
+            raise ValueError(
+                f"unknown sweep mode {mode!r}; "
+                f"known modes: {sorted(self._DELTA_MODES)}"
+            )
+        if keys is None:
+            keys = self.cell_keys(mode, batch, **params)
+        diff = StudyDiff.between(prev_keys, keys)
+        runner = getattr(self, self._DELTA_MODES[mode][1])
+        result = runner(batch, keys=keys, **params)
+        computed = set(self.stats.computed_indices or ())
+        unchanged = set(diff.unchanged_indices)
+        replayed = sorted(unchanged - computed)
+        replay_miss = sorted(unchanged & computed)
+        report = DeltaReport(
+            mode=mode,
+            n_cells=diff.n_cells,
+            n_changed=diff.n_changed,
+            n_unchanged=diff.n_unchanged,
+            n_removed=diff.n_removed,
+            n_replayed=len(replayed),
+            n_replay_miss=len(replay_miss),
+            changed_indices=diff.changed_indices,
+            replayed_indices=tuple(replayed),
+            replay_miss_indices=tuple(replay_miss),
+        )
+        self.stats.delta = report.as_dict()
+        if self.recorder is not None:
+            self.recorder.emit(
+                "study_diff",
+                mode=mode,
+                n_cells=report.n_cells,
+                n_changed=report.n_changed,
+                n_unchanged=report.n_unchanged,
+                n_removed=report.n_removed,
+                n_replayed=report.n_replayed,
+                n_replay_miss=report.n_replay_miss,
+            )
+        return result, report
 
     # -- sharded Monte Carlo -------------------------------------------
     def run_montecarlo(self, mc, evaluate_batch, n_samples=200, seed=0, chunk_size=64):

@@ -345,7 +345,7 @@ class SpiceBatch:
         return cls(scenarios)
 
     def run(self, t_stop, dt, method="adaptive", n_points=256,
-            atol=None, rtol=None, max_dt=None):
+            atol=None, rtol=None, max_dt=None, stats_out=None):
         """Integrate every cell and resample the output node onto a
         uniform ``n_points`` grid.  ``method`` is any
         :data:`repro.spice.METHODS` backend; solver tolerances default
@@ -354,7 +354,13 @@ class SpiceBatch:
         Step control is shared within a lockstep family, so a cell's
         trace is reproduced to solver tolerance — not bitwise — when
         the surrounding batch composition changes (unlike the
-        elementwise envelope/control runners)."""
+        elementwise envelope/control runners).
+
+        ``stats_out``, when given a dict, is filled with the solver
+        counters summed over the run's lockstep families
+        (``accepted_steps`` / ``newton_iters`` / ``newton_rejects`` /
+        ``lte_rejects``, plus the sorted ``templates`` string) — the
+        payload of the observability layer's ``solve`` events."""
         from repro.spice import transient_batch
         from repro.spice.transient import ADAPTIVE_ATOL, ADAPTIVE_RTOL
 
@@ -374,6 +380,12 @@ class SpiceBatch:
         groups = {}
         for idx, sc in enumerate(self.scenarios):
             groups.setdefault(sc.template, []).append(idx)
+        solve_totals = {
+            "accepted_steps": 0,
+            "newton_iters": 0,
+            "newton_rejects": 0,
+            "lte_rejects": 0,
+        }
         for indices in groups.values():
             built = [self.scenarios[i].build() for i in indices]
             circuits = [c for c, _node in built]
@@ -381,6 +393,8 @@ class SpiceBatch:
             family = transient_batch(
                 circuits, t_stop, dt, method=method, use_ic=True,
                 atol=atol, rtol=rtol, max_dt=max_dt)
+            for name in solve_totals:
+                solve_totals[name] += int(family.stats.get(name, 0))
             traces = family.voltage(node)
             tail = family.t >= 0.75 * t_stop
             for row, i in enumerate(indices):
@@ -389,6 +403,10 @@ class SpiceBatch:
                 v_final[i] = traces[row][-1]
                 ripple[i] = traces[row][tail].max() - traces[row][tail].min()
                 steps[i] = family.t.size - 1
+        if stats_out is not None:
+            stats_out.update(solve_totals)
+            stats_out["templates"] = ",".join(sorted(groups))
+            stats_out["cells"] = n_sc
         return SpiceBatchResult(
             times=times, v_out=v_out, v_final=v_final, ripple=ripple,
             steps=steps, scenarios=self.scenarios)

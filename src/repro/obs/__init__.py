@@ -1,0 +1,36 @@
+"""Dependency-free session metrics: typed events, JSONL sink, summaries.
+
+See :mod:`repro.obs.events` for the wire schema,
+:mod:`repro.obs.recorder` for the producer side, and
+:mod:`repro.obs.summary` for the percentile/rate reports consumed by
+``benchmarks/metrics_report.py`` and the service ``/metrics`` endpoint.
+"""
+
+from repro.obs.events import (
+    EVENT_SCHEMAS,
+    METRICS_SCHEMA_VERSION,
+    MetricsSchemaError,
+    validate_event,
+)
+from repro.obs.recorder import MetricsRecorder, read_jsonl
+from repro.obs.summary import (
+    distribution,
+    latency_summary,
+    percentile,
+    summarize_events,
+    warm_cache_hit_rate,
+)
+
+__all__ = [
+    "EVENT_SCHEMAS",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRecorder",
+    "MetricsSchemaError",
+    "distribution",
+    "latency_summary",
+    "percentile",
+    "read_jsonl",
+    "summarize_events",
+    "validate_event",
+    "warm_cache_hit_rate",
+]

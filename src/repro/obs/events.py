@@ -1,0 +1,197 @@
+"""Typed session-metrics events and their wire schema.
+
+Every metrics event is one flat JSON object.  Four envelope fields are
+common to all events (stamped by the :class:`~repro.obs.recorder.
+MetricsRecorder`, never by call sites):
+
+* ``event``   — the event type (a key of :data:`EVENT_SCHEMAS`);
+* ``ts``      — seconds since the recorder's session started;
+* ``seq``     — per-session monotonically increasing sequence number;
+* ``session`` — short random session id, so JSONL files holding several
+  appended sessions (the CI metrics-gate appends cold + warm runs into
+  one file) can still be grouped.
+
+The per-type payload fields are declared in :data:`EVENT_SCHEMAS` as
+``field -> (accepted types, required)``.  Validation is strict in both
+directions — a missing required field *and* an undeclared extra field
+both fail — because the CI gate treats any schema drift as a breakage:
+the JSONL session artifacts are only comparable across commits while
+every producer emits exactly the declared shape.
+
+The schema is dependency-free plain data so non-Python consumers can
+mirror it from this file alone.
+"""
+
+from __future__ import annotations
+
+#: Bump when an event type's payload shape changes incompatibly; the
+#: version travels in every ``session_start`` event so a summarizer can
+#: refuse to compare sessions across schema generations.
+METRICS_SCHEMA_VERSION = 1
+
+
+class MetricsSchemaError(ValueError):
+    """An event document that does not match :data:`EVENT_SCHEMAS`."""
+
+
+#: Envelope fields stamped on every event by the recorder.
+COMMON_FIELDS = {
+    "event": str,
+    "ts": float,
+    "seq": int,
+    "session": str,
+}
+
+_NUM = (int, float)
+_OPT_STR = (str, type(None))
+
+#: ``event type -> {field: (accepted types, required)}``.
+EVENT_SCHEMAS = {
+    # One per recorder lifetime, first line of every session.
+    "session_start": {
+        "label": (str, True),
+        "schema": (int, True),
+        "pid": (int, True),
+    },
+    # Emitted by MetricsRecorder.close().
+    "session_end": {
+        "events": (int, True),
+        "elapsed_s": (_NUM, True),
+    },
+    # One orchestrated sweep (SweepOrchestrator run_* methods).
+    "sweep": {
+        "mode": (str, True),
+        "n_scenarios": (int, True),
+        "n_cached": (int, True),
+        "n_computed": (int, True),
+        "n_chunks": (int, True),
+        "workers": (int, True),
+        "parallel": (bool, True),
+        "elapsed_s": (_NUM, True),
+        "cache_hit_rate": (_NUM, True),
+        "fallback_reason": (_OPT_STR, False),
+    },
+    # One evaluated chunk (timed inside the worker, serial or process).
+    "chunk": {
+        "mode": (str, True),
+        "cells": (int, True),
+        "elapsed_s": (_NUM, True),
+    },
+    # Solver counters of the spice cells of one chunk (lockstep
+    # families: accepted steps, Newton iterations, step rejections).
+    "solve": {
+        "templates": (str, True),
+        "cells": (int, True),
+        "accepted_steps": (int, True),
+        "newton_iters": (int, True),
+        "newton_rejects": (int, True),
+        "lte_rejects": (int, True),
+    },
+    # One incremental-recomputation run (SweepOrchestrator.run_delta).
+    "study_diff": {
+        "mode": (str, True),
+        "n_cells": (int, True),
+        "n_changed": (int, True),
+        "n_unchanged": (int, True),
+        "n_removed": (int, True),
+        "n_replayed": (int, True),
+        "n_replay_miss": (int, True),
+    },
+    # One coalesced micro-batch group (service scheduler).
+    "batch": {
+        "kind": (str, True),
+        "jobs": (int, True),
+        "cells": (int, True),
+        "deduped": (int, True),
+        "cached": (int, True),
+        "computed": (int, True),
+        "elapsed_s": (_NUM, True),
+    },
+    # Queue-depth sample, taken when a micro-batch closes collection.
+    "queue": {
+        "depth": (int, True),
+    },
+    # One job reaching a terminal state in the service.
+    "job": {
+        "kind": (str, True),
+        "state": (str, True),
+        "cells": (int, True),
+        "latency_s": (_NUM, True),
+    },
+    # Result-store counter snapshot (cumulative over the store's life).
+    "store": {
+        "hits": (int, True),
+        "misses": (int, True),
+        "writes": (int, True),
+        "evictions": (int, True),
+    },
+    # One SimulationEngine.run() (the discrete-time core).
+    "engine_run": {
+        "n_steps": (int, True),
+        "n_components": (int, True),
+        "n_events": (int, True),
+        "elapsed_s": (_NUM, True),
+    },
+}
+
+
+def _type_ok(value, accepted):
+    """Type check with the two JSON foot-guns handled: bool is an int
+    subclass (a bool must never satisfy an int/float field, and only a
+    real bool satisfies a bool field), and ints satisfy float fields
+    (JSON has one number type)."""
+    if accepted is bool or accepted == (bool,):
+        return isinstance(value, bool)
+    if not isinstance(accepted, tuple):
+        accepted = (accepted,)
+    if isinstance(value, bool):
+        return bool in accepted
+    if isinstance(value, int) and (int in accepted or float in accepted):
+        return True
+    return isinstance(value, accepted)
+
+
+def validate_event(doc):
+    """Check one event document against the schema; raises
+    :class:`MetricsSchemaError` naming the first offending field.
+    Returns the document so call sites can validate-and-pass-through.
+    """
+    if not isinstance(doc, dict):
+        raise MetricsSchemaError(
+            f"event must be an object, got {type(doc).__name__}"
+        )
+    for name, accepted in COMMON_FIELDS.items():
+        if name not in doc:
+            raise MetricsSchemaError(f"event is missing the {name!r} envelope field")
+        if not _type_ok(doc[name], accepted):
+            raise MetricsSchemaError(
+                f"envelope field {name!r} must be {accepted.__name__}, "
+                f"got {doc[name]!r}"
+            )
+    if doc["ts"] < 0.0:
+        raise MetricsSchemaError(f"ts must be >= 0, got {doc['ts']!r}")
+    if doc["seq"] < 0:
+        raise MetricsSchemaError(f"seq must be >= 0, got {doc['seq']!r}")
+    schema = EVENT_SCHEMAS.get(doc["event"])
+    if schema is None:
+        raise MetricsSchemaError(
+            f"unknown event type {doc['event']!r}; "
+            f"known types: {sorted(EVENT_SCHEMAS)}"
+        )
+    for name, (accepted, required) in schema.items():
+        if name not in doc:
+            if required:
+                raise MetricsSchemaError(
+                    f"{doc['event']!r} event is missing required field {name!r}"
+                )
+            continue
+        if not _type_ok(doc[name], accepted):
+            raise MetricsSchemaError(
+                f"{doc['event']!r} field {name!r} has invalid value {doc[name]!r}"
+            )
+    extra = set(doc) - set(schema) - set(COMMON_FIELDS)
+    if extra:
+        raise MetricsSchemaError(
+            f"{doc['event']!r} event carries undeclared fields {sorted(extra)}"
+        )
+    return doc

@@ -1,0 +1,175 @@
+"""The metrics recorder: typed events into a window and a JSONL sink.
+
+:class:`MetricsRecorder` is the single object the instrumented layers
+(engine core, sweep orchestrator, micro-batch scheduler, spice solver
+counters) write into.  It is deliberately boring:
+
+* ``emit`` stamps the envelope (event type, session-relative ``ts``,
+  ``seq``, session id), validates against
+  :data:`~repro.obs.events.EVENT_SCHEMAS`, appends to a bounded
+  in-memory window (what the service ``/metrics`` endpoint serves),
+  and — when a sink path is configured — writes one JSON line,
+  flushed per event so a killed process still leaves a readable
+  session behind;
+* everything is guarded by one lock, because producers span the
+  asyncio event loop, scheduler executor threads, and the orchestrator
+  caller's thread.  (Worker *processes* never touch the recorder —
+  chunk timings travel back in the chunk results and are emitted by
+  the parent.)
+
+The file sink opens in append mode: successive CLI runs pointed at the
+same ``--metrics-jsonl`` path accumulate distinct sessions in one
+file, which is exactly what the CI metrics-gate's cold/warm comparison
+wants.  :func:`read_jsonl` is the matching loader (with per-line
+schema validation) used by ``benchmarks/metrics_report.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from collections import deque
+
+from repro.obs.events import (
+    METRICS_SCHEMA_VERSION,
+    MetricsSchemaError,
+    validate_event,
+)
+
+
+class MetricsRecorder:
+    """See the module docstring.
+
+    Parameters
+    ----------
+    jsonl_path : optional path; when set every event is appended to it
+        as one JSON line (the file is created on first use).
+    window : how many recent events the in-memory window retains for
+        ``/metrics`` and :meth:`summary` (the JSONL sink is unbounded).
+    label : free-form session label (CLI command, service name, ...)
+        carried in the ``session_start`` event.
+    validate : validate every emitted event against the schema (cheap;
+        leave on — an invalid event written to a session file fails
+        the CI gate much later and much more confusingly).
+    """
+
+    def __init__(self, jsonl_path=None, window=1024, label="", validate=True):
+        if int(window) < 1:
+            raise ValueError("window must be >= 1")
+        self.jsonl_path = None if jsonl_path is None else str(jsonl_path)
+        self.label = str(label)
+        self.validate = bool(validate)
+        self.session = uuid.uuid4().hex[:8]
+        self.counts = {}
+        self._window = deque(maxlen=int(window))
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._t0 = time.monotonic()
+        self._fh = None
+        self._closed = False
+        self._closing = False
+        self.emit(
+            "session_start",
+            label=self.label,
+            schema=METRICS_SCHEMA_VERSION,
+            pid=os.getpid(),
+        )
+
+    # -- emission -------------------------------------------------------
+    def emit(self, event, **fields):
+        """Record one typed event; returns the stamped document."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("recorder is closed")
+            doc = {
+                "event": str(event),
+                "ts": time.monotonic() - self._t0,
+                "seq": self._seq,
+                "session": self.session,
+                **fields,
+            }
+            if self.validate:
+                validate_event(doc)
+            self._seq += 1
+            self.counts[doc["event"]] = self.counts.get(doc["event"], 0) + 1
+            self._window.append(doc)
+            if self.jsonl_path is not None:
+                if self._fh is None:
+                    self._fh = open(self.jsonl_path, "a", encoding="utf-8")
+                self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+                self._fh.flush()
+            return doc
+
+    # -- the read side --------------------------------------------------
+    def events(self):
+        """The in-memory window as a list (oldest first)."""
+        with self._lock:
+            return list(self._window)
+
+    @property
+    def n_emitted(self):
+        """Events emitted over the recorder's lifetime (the window may
+        retain fewer)."""
+        with self._lock:
+            return self._seq
+
+    def summary(self):
+        """Percentile/rate summary of the in-memory window (see
+        :func:`repro.obs.summary.summarize_events`)."""
+        from repro.obs.summary import summarize_events
+
+        return summarize_events(self.events())
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self):
+        """Emit ``session_end`` and release the sink (idempotent)."""
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            total = self._seq + 1  # session_end included
+            elapsed = time.monotonic() - self._t0
+        self.emit("session_end", events=total, elapsed_s=elapsed)
+        with self._lock:
+            self._closed = True
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def read_jsonl(path, validate=True):
+    """Load a metrics JSONL session file as a list of event documents.
+
+    With ``validate`` (the default) every line is checked against the
+    event schema; a bad line raises :class:`MetricsSchemaError` naming
+    the line number — the summarizer and the CI gate treat any invalid
+    event as a failed session.
+    """
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise MetricsSchemaError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            if validate:
+                try:
+                    validate_event(doc)
+                except MetricsSchemaError as exc:
+                    raise MetricsSchemaError(f"{path}:{lineno}: {exc}") from exc
+            events.append(doc)
+    return events

@@ -1,0 +1,151 @@
+"""Percentile/rate summaries of metrics-event sessions.
+
+Two layers:
+
+* :func:`percentile` / :func:`distribution` / :func:`latency_summary`
+  — tiny stdlib-only statistics helpers shared by the service
+  ``/stats`` endpoint, the load generator, and the session summarizer.
+  An empty window always yields the explicit ``{"count": 0}`` document
+  (never a silent ``None``), so downstream consumers — dashboards, the
+  CI gate — can distinguish "no samples" from "missing field".
+* :func:`summarize_events` — turns one session's event list (the
+  recorder window, or a JSONL file loaded by
+  :func:`~repro.obs.recorder.read_jsonl`) into the comparable-across-
+  runs summary ``benchmarks/metrics_report.py`` prints and the CI
+  metrics-gate asserts on.
+"""
+
+from __future__ import annotations
+
+
+def percentile(values, q):
+    """The ``q``-th percentile (0..100) of ``values`` with linear
+    interpolation — tiny stdlib-only twin of ``np.percentile``
+    (values need not be sorted).  Returns None for an empty sequence;
+    use :func:`distribution` where an explicit empty document is
+    needed."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def distribution(values, suffix=""):
+    """Count/mean/percentile document for a sample window.
+
+    Empty windows return exactly ``{"count": 0}`` — the explicit
+    "nothing measured yet" document.  ``suffix`` names the unit on the
+    statistic keys (``"_s"`` for seconds)."""
+    values = list(values)
+    if not values:
+        return {"count": 0}
+    return {
+        "count": len(values),
+        f"mean{suffix}": sum(values) / len(values),
+        f"p50{suffix}": percentile(values, 50),
+        f"p90{suffix}": percentile(values, 90),
+        f"p99{suffix}": percentile(values, 99),
+        f"max{suffix}": max(values),
+    }
+
+
+def latency_summary(values):
+    """:func:`distribution` in seconds — the service/load-generator
+    latency document."""
+    return distribution(values, suffix="_s")
+
+
+def _pluck(events, kind):
+    return [doc for doc in events if doc["event"] == kind]
+
+
+def _total(docs, field):
+    return sum(doc[field] for doc in docs)
+
+
+def warm_cache_hit_rate(events):
+    """Cache-hit rate of the *last* orchestrated sweep in the session
+    (the "warm rerun" the CI gate checks), or None without sweeps."""
+    sweeps = _pluck(events, "sweep")
+    if not sweeps:
+        return None
+    return sweeps[-1]["cache_hit_rate"]
+
+
+def summarize_events(events):
+    """One session (or several appended sessions) of events as a
+    percentile/rate summary document.  Input events are assumed
+    schema-valid (the recorder validates on emit; ``read_jsonl``
+    validates on load)."""
+    events = list(events)
+    by_type = {}
+    for doc in events:
+        by_type[doc["event"]] = by_type.get(doc["event"], 0) + 1
+    sweeps = _pluck(events, "sweep")
+    chunks = _pluck(events, "chunk")
+    solves = _pluck(events, "solve")
+    batches = _pluck(events, "batch")
+    jobs = _pluck(events, "job")
+    deltas = _pluck(events, "study_diff")
+    queue = _pluck(events, "queue")
+    cells = _total(sweeps, "n_scenarios")
+    cached = _total(sweeps, "n_cached")
+    summary = {
+        "events": len(events),
+        "sessions": len({doc["session"] for doc in events}),
+        "by_type": by_type,
+        "sweeps": {
+            "runs": len(sweeps),
+            "cells": cells,
+            "cached": cached,
+            "computed": _total(sweeps, "n_computed"),
+            "cache_hit_rate": cached / cells if cells else None,
+            "warm_cache_hit_rate": warm_cache_hit_rate(events),
+            "elapsed": latency_summary([doc["elapsed_s"] for doc in sweeps]),
+        },
+        "chunks": {
+            "count": len(chunks),
+            "cells": _total(chunks, "cells"),
+            "elapsed": latency_summary([doc["elapsed_s"] for doc in chunks]),
+        },
+        "solver": {
+            "chunks": len(solves),
+            "cells": _total(solves, "cells"),
+            "accepted_steps": _total(solves, "accepted_steps"),
+            "newton_iters": _total(solves, "newton_iters"),
+            "newton_rejects": _total(solves, "newton_rejects"),
+            "lte_rejects": _total(solves, "lte_rejects"),
+        },
+        "batches": {
+            "count": len(batches),
+            "jobs": _total(batches, "jobs"),
+            "cells": _total(batches, "cells"),
+            "deduped": _total(batches, "deduped"),
+            "cached": _total(batches, "cached"),
+            "computed": _total(batches, "computed"),
+            "elapsed": latency_summary([doc["elapsed_s"] for doc in batches]),
+        },
+        "jobs": {
+            "count": len(jobs),
+            "by_state": {},
+            "latency": latency_summary([doc["latency_s"] for doc in jobs]),
+        },
+        "deltas": {
+            "runs": len(deltas),
+            "cells": _total(deltas, "n_cells"),
+            "changed": _total(deltas, "n_changed"),
+            "replayed": _total(deltas, "n_replayed"),
+            "replay_miss": _total(deltas, "n_replay_miss"),
+        },
+        "queue_depth": distribution([doc["depth"] for doc in queue]),
+    }
+    for doc in jobs:
+        states = summary["jobs"]["by_state"]
+        states[doc["state"]] = states.get(doc["state"], 0) + 1
+    return summary

@@ -72,8 +72,7 @@ class HttpServiceClient:
 
     async def _request(self, method, path, payload=None):
         body = b"" if payload is None else json.dumps(payload).encode()
-        reader, writer = await asyncio.open_connection(self.host,
-                                                       self.port)
+        reader, writer = await asyncio.open_connection(self.host, self.port)
         try:
             head = (
                 f"{method} {path} HTTP/1.1\r\n"
@@ -125,11 +124,9 @@ class HttpServiceClient:
             if state == "cancelled":
                 raise JobCancelledError(f"job {job_id} was cancelled")
             if state == "failed":
-                raise JobFailedError(
-                    f"job {job_id} failed: {doc.get('error')}")
+                raise JobFailedError(f"job {job_id} failed: {doc.get('error')}")
             if time.monotonic() >= deadline:
-                raise TimeoutError(
-                    f"job {job_id} still {state} after {timeout} s")
+                raise TimeoutError(f"job {job_id} still {state} after {timeout} s")
             await asyncio.sleep(self.poll_interval)
 
     async def cancel(self, job_id):
@@ -157,8 +154,9 @@ class LoadGenerator:
     never as a hang.
     """
 
-    def __init__(self, client, payloads, concurrency=8,
-                 retry_backoff=0.02, timeout=60.0):
+    def __init__(
+        self, client, payloads, concurrency=8, retry_backoff=0.02, timeout=60.0
+    ):
         self.client = client
         self.payloads = list(payloads)
         self.concurrency = max(1, int(concurrency))
@@ -196,21 +194,30 @@ class LoadGenerator:
                 continue
             try:
                 await self.client.result(
-                    job_id,
-                    timeout=max(0.0, deadline - time.monotonic()))
+                    job_id, timeout=max(0.0, deadline - time.monotonic())
+                )
                 self.latencies.append(time.monotonic() - t0)
-            except (JobFailedError, JobCancelledError, TimeoutError,
-                    ServiceError, OSError):
+            except (
+                JobFailedError,
+                JobCancelledError,
+                TimeoutError,
+                ServiceError,
+                OSError,
+            ):
                 self.failed += 1
 
     async def run(self):
-        """Drive every payload to completion; returns the summary."""
-        from repro.service.service import percentile
+        """Drive every payload to completion; returns the summary.
+
+        The ``latency`` block is the shared percentile document
+        (:func:`repro.obs.summary.latency_summary`): ``{"count": 0}``
+        when nothing completed — never silent ``None`` percentiles.
+        """
+        from repro.obs import latency_summary
 
         feed = iter(self.payloads)
         t0 = time.monotonic()
-        await asyncio.gather(*(self._worker(feed)
-                               for _ in range(self.concurrency)))
+        await asyncio.gather(*(self._worker(feed) for _ in range(self.concurrency)))
         elapsed = time.monotonic() - t0
         done = len(self.latencies)
         return {
@@ -221,7 +228,5 @@ class LoadGenerator:
             "concurrency": self.concurrency,
             "elapsed_s": elapsed,
             "throughput_rps": done / elapsed if elapsed > 0 else 0.0,
-            "latency_p50_s": percentile(self.latencies, 50),
-            "latency_p95_s": percentile(self.latencies, 95),
-            "latency_max_s": max(self.latencies, default=None),
+            "latency": latency_summary(self.latencies),
         }

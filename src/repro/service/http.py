@@ -16,6 +16,10 @@ Routes
   ``{"cancelled": bool}`` (False: it already left the queue).
 * ``GET /stats``            — queue depth, latency percentiles, batch
   sizes, dedup/cache rates.
+* ``GET /metrics``          — percentile/rate summary of the service's
+  rolling metrics-event window.
+* ``GET /metrics/events``   — the raw event window (schema-valid flat
+  JSON documents, oldest first).
 * ``GET /healthz``          — liveness probe.
 """
 
@@ -53,8 +57,7 @@ class ServiceHTTPServer:
     connections can never accumulate past the queue's backpressure.
     """
 
-    def __init__(self, service, host="127.0.0.1", port=8765,
-                 read_timeout=30.0):
+    def __init__(self, service, host="127.0.0.1", port=8765, read_timeout=30.0):
         self.service = service
         self.host = host
         self.port = int(port)
@@ -63,8 +66,7 @@ class ServiceHTTPServer:
 
     async def start(self):
         """Bind and start accepting; returns (host, actual port)."""
-        self._server = await asyncio.start_server(
-            self._handle, self.host, self.port)
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         return self.host, self.port
 
@@ -82,20 +84,25 @@ class ServiceHTTPServer:
     async def _handle(self, reader, writer):
         try:
             status, payload = await asyncio.wait_for(
-                self._respond_to(reader), self.read_timeout)
+                self._respond_to(reader), self.read_timeout
+            )
         except asyncio.TimeoutError:
             status, payload = 408, {
                 "error": "timeout",
-                "message": f"request not received within "
-                           f"{self.read_timeout:g} s"}
-        except (ValueError, asyncio.IncompleteReadError,
-                asyncio.LimitOverrunError) as exc:
+                "message": f"request not received within {self.read_timeout:g} s",
+            }
+        except (
+            ValueError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ) as exc:
             # Oversized header line / truncated body: client error.
-            status, payload = 400, {"error": "bad_request",
-                                    "message": str(exc)}
+            status, payload = 400, {"error": "bad_request", "message": str(exc)}
         except Exception as exc:  # noqa: BLE001 - never kill the server
-            status, payload = 500, {"error": "internal",
-                                    "message": f"{type(exc).__name__}: {exc}"}
+            status, payload = 500, {
+                "error": "internal",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
         body = json.dumps(payload).encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
@@ -119,8 +126,7 @@ class ServiceHTTPServer:
         request_line = (await reader.readline()).decode("latin-1")
         parts = request_line.split()
         if len(parts) < 2:
-            return 400, {"error": "bad_request",
-                         "message": "malformed request line"}
+            return 400, {"error": "bad_request", "message": "malformed request line"}
         method, path = parts[0].upper(), parts[1]
         length = 0
         for _ in range(MAX_HEADERS + 1):
@@ -134,22 +140,27 @@ class ServiceHTTPServer:
                 except ValueError:
                     length = -1
                 if length < 0:
-                    return 400, {"error": "bad_request",
-                                 "message": "bad Content-Length"}
+                    return 400, {
+                        "error": "bad_request",
+                        "message": "bad Content-Length",
+                    }
         else:
-            return 400, {"error": "bad_request",
-                         "message": f"more than {MAX_HEADERS} headers"}
+            return 400, {
+                "error": "bad_request",
+                "message": f"more than {MAX_HEADERS} headers",
+            }
         if length > MAX_BODY_BYTES:
-            return 400, {"error": "bad_request",
-                         "message": f"body exceeds {MAX_BODY_BYTES} bytes"}
+            return 400, {
+                "error": "bad_request",
+                "message": f"body exceeds {MAX_BODY_BYTES} bytes",
+            }
         body = await reader.readexactly(length) if length else b""
         try:
             return await self._route(method, path, body)
         except ScenarioAxisError as exc:
             return 400, {"error": "bad_axis", "message": str(exc)}
         except ServiceError as exc:
-            return exc.http_status, {"error": exc.code,
-                                     "message": str(exc)}
+            return exc.http_status, {"error": exc.code, "message": str(exc)}
 
     async def _route(self, method, path, body):
         service = self.service
@@ -161,20 +172,29 @@ class ServiceHTTPServer:
             # An in-body "priority" field is applied by service.submit
             # itself, so HTTP and in-process submits are one path.
             job = service.submit(payload)
-            return 200, {"job_id": job.id, "state": job.state.value,
-                         "n_cells": job.request.n_cells}
+            return 200, {
+                "job_id": job.id,
+                "state": job.state.value,
+                "n_cells": job.request.n_cells,
+            }
         if path.startswith("/job/"):
-            rest = path[len("/job/"):]
+            rest = path[len("/job/") :]
             if method == "POST" and rest.endswith("/cancel"):
                 job_id = rest[: -len("/cancel")].rstrip("/")
                 cancelled = service.cancel(job_id)
-                return 200, {"job_id": job_id, "cancelled": cancelled,
-                             "state": service.job(job_id).state.value}
+                return 200, {
+                    "job_id": job_id,
+                    "cancelled": cancelled,
+                    "state": service.job(job_id).state.value,
+                }
             if method == "GET":
                 return 200, service.job(rest).snapshot()
         if method == "GET" and path == "/stats":
             return 200, service.stats()
+        if method == "GET" and path == "/metrics":
+            return 200, service.metrics()
+        if method == "GET" and path == "/metrics/events":
+            return 200, {"events": service.metrics_events()}
         if method == "GET" and path == "/healthz":
             return 200, {"ok": True, "queue_depth": service.queue.depth}
-        return 404, {"error": "not_found",
-                     "message": f"no route for {method} {path}"}
+        return 404, {"error": "not_found", "message": f"no route for {method} {path}"}

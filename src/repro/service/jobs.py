@@ -155,8 +155,8 @@ class JobQueue:
         self.max_pending = int(max_pending)
         self._heap = []
         self._seq = itertools.count()
-        self._size = 0          # live (non-cancelled) queued jobs
-        self._ghosts = 0        # cancelled entries awaiting removal
+        self._size = 0  # live (non-cancelled) queued jobs
+        self._ghosts = 0  # cancelled entries awaiting removal
         self._event = asyncio.Event()
         self.rejected = 0
 
@@ -211,7 +211,7 @@ class JobQueue:
         """The highest-priority live job, or None."""
         while self._heap:
             _, _, job = heapq.heappop(self._heap)
-            if not job.in_queue:        # cancelled: skip the ghost
+            if not job.in_queue:  # cancelled: skip the ghost
                 self._ghosts -= 1
                 continue
             job.in_queue = False

@@ -72,8 +72,7 @@ KIND_FIELDS = {
     "sweep": {"axes", "t_stop"},
     "transient": {"axes", "t_stop", "dt", "p_in"},
     "battery": {"axes", "p_in", "v_target", "dt", "limit"},
-    "montecarlo": {"spreads", "n_samples", "seed", "p_in", "v_target",
-                   "dt", "limit"},
+    "montecarlo": {"spreads", "n_samples", "seed", "p_in", "v_target", "dt", "limit"},
     "spice": {"axes", "t_stop", "dt", "method"},
 }
 
@@ -82,8 +81,7 @@ def _positive(payload_value, name, maximum=None):
     try:
         value = float(payload_value)
     except (TypeError, ValueError):
-        raise SimRequestError(f"{name} must be a number, "
-                              f"got {payload_value!r}")
+        raise SimRequestError(f"{name} must be a number, got {payload_value!r}")
     if not value > 0.0:
         raise SimRequestError(f"{name} must be positive, got {value}")
     if maximum is not None and value > maximum:
@@ -121,8 +119,7 @@ def mc_charge_kernel(params, p_in, v_target, dt, limit):
         for c, i in zip(c_out, i_load)
     ]
     batch = ScenarioBatch(scenarios)
-    return {"t_charge": batch.charge_times(p_in, v_target, dt=dt,
-                                           limit=limit)}
+    return {"t_charge": batch.charge_times(p_in, v_target, dt=dt, limit=limit)}
 
 
 @dataclass(frozen=True)
@@ -135,43 +132,42 @@ class SimRequest:
 
     kind: str
     axes: dict = field(default_factory=dict)
-    t_stop: float = 60e-3           # sweep / transient / spice horizon (s)
-    dt: float = 1e-6                # transient / battery / spice step (s)
-    p_in: float = 5e-3              # transient / battery / mc power (W)
-    v_target: float = 2.75          # battery / mc target rail (V)
-    limit: float = 1.0              # battery / mc search horizon (s)
-    n_samples: int = 128            # mc sample count
-    seed: int = 0                   # mc master seed
-    spreads: tuple = ()             # mc ParameterSpread specs
-    method: str = "adaptive"        # spice integrator backend
+    t_stop: float = 60e-3  # sweep / transient / spice horizon (s)
+    dt: float = 1e-6  # transient / battery / spice step (s)
+    p_in: float = 5e-3  # transient / battery / mc power (W)
+    v_target: float = 2.75  # battery / mc target rail (V)
+    limit: float = 1.0  # battery / mc search horizon (s)
+    n_samples: int = 128  # mc sample count
+    seed: int = 0  # mc master seed
+    spreads: tuple = ()  # mc ParameterSpread specs
+    method: str = "adaptive"  # spice integrator backend
 
     def __post_init__(self):
         if self.kind not in KINDS:
             raise SimRequestError(
-                f"unknown request kind {self.kind!r}; "
-                f"known kinds: {list(KINDS)}")
-        object.__setattr__(self, "t_stop",
-                           _positive(self.t_stop, "t_stop", MAX_T_STOP))
+                f"unknown request kind {self.kind!r}; known kinds: {list(KINDS)}"
+            )
+        object.__setattr__(
+            self, "t_stop", _positive(self.t_stop, "t_stop", MAX_T_STOP)
+        )
         object.__setattr__(self, "dt", _positive(self.dt, "dt"))
         object.__setattr__(self, "p_in", _positive(self.p_in, "p_in"))
-        object.__setattr__(self, "v_target",
-                           _positive(self.v_target, "v_target"))
-        object.__setattr__(self, "limit",
-                           _positive(self.limit, "limit", MAX_T_STOP))
+        object.__setattr__(self, "v_target", _positive(self.v_target, "v_target"))
+        object.__setattr__(self, "limit", _positive(self.limit, "limit", MAX_T_STOP))
         if self.kind == "montecarlo":
             if self.axes:
                 raise SimRequestError(
-                    "a montecarlo request varies 'spreads', not "
-                    "'axes' — the axes would be silently ignored")
+                    "a montecarlo request varies 'spreads', not 'axes' — the axes would be silently ignored"
+                )
             object.__setattr__(self, "_scenarios", None)
             self._init_montecarlo()
             return
         if self.spreads:
             raise SimRequestError(
-                f"'spreads' does not apply to a {self.kind!r} request")
+                f"'spreads' does not apply to a {self.kind!r} request"
+            )
         if not self.axes:
-            raise SimRequestError(
-                f"a {self.kind!r} request needs at least one axis")
+            raise SimRequestError(f"a {self.kind!r} request needs at least one axis")
         if self.kind == "spice":
             self._init_spice()
             return
@@ -180,25 +176,22 @@ class SimRequest:
         batch = ScenarioBatch.from_axes(**dict(self.axes))
         if len(batch) > MAX_CELLS:
             raise SimRequestError(
-                f"request asks for {len(batch)} cells; the per-request "
-                f"bound is {MAX_CELLS} — split the study")
+                f"request asks for {len(batch)} cells; the per-request bound is {MAX_CELLS} — split the study"
+            )
         if self.kind == "transient":
             steps = self.t_stop / self.dt
             if steps > MAX_STEPS:
                 raise SimRequestError(
-                    f"t_stop/dt is {steps:.3g} integration steps per "
-                    f"cell; the bound is {MAX_STEPS} — raise dt or "
-                    f"shorten t_stop")
+                    f"t_stop/dt is {steps:.3g} integration steps per cell; the bound is {MAX_STEPS} — raise dt or shorten t_stop"
+                )
             if len(batch) * steps > MAX_TRACE_VALUES:
                 raise SimRequestError(
-                    f"{len(batch)} cells x {steps:.3g} steps exceeds "
-                    f"the {MAX_TRACE_VALUES} response-trace budget — "
-                    f"split the study")
+                    f"{len(batch)} cells x {steps:.3g} steps exceeds the {MAX_TRACE_VALUES} response-trace budget — split the study"
+                )
         if self.kind == "battery" and self.limit / self.dt > MAX_STEPS:
             raise SimRequestError(
-                f"limit/dt is {self.limit / self.dt:.3g} search steps "
-                f"per cell; the bound is {MAX_STEPS} — raise dt or "
-                f"lower limit")
+                f"limit/dt is {self.limit / self.dt:.3g} search steps per cell; the bound is {MAX_STEPS} — raise dt or lower limit"
+            )
         object.__setattr__(self, "_scenarios", batch.scenarios)
 
     def _init_spice(self):
@@ -206,15 +199,15 @@ class SimRequest:
 
         if self.method not in METHODS:
             raise SimRequestError(
-                f"unknown spice method {self.method!r}; "
-                f"known methods: {list(METHODS)}")
+                f"unknown spice method {self.method!r}; known methods: {list(METHODS)}"
+            )
         # from_axes is the validation: unknown axis names and invalid
         # values raise a typed ScenarioAxisError naming the axis.
         batch = SpiceBatch.from_axes(**dict(self.axes))
         if len(batch) > MAX_CELLS:
             raise SimRequestError(
-                f"request asks for {len(batch)} circuit cells; the "
-                f"per-request bound is {MAX_CELLS} — split the study")
+                f"request asks for {len(batch)} circuit cells; the per-request bound is {MAX_CELLS} — split the study"
+            )
         # Bound the WORST-CASE accepted-step count, not the nominal
         # one: the integrator may refine down to its min_dt floor
         # (dt/1024 adaptive, dt/64 fixed), and each accepted step is
@@ -225,16 +218,17 @@ class SimRequest:
         steps = self.t_stop / self.dt * refine
         if steps > MAX_STEPS:
             raise SimRequestError(
-                f"t_stop/dt x the {self.method!r} backend's maximum "
-                f"step refinement ({refine}x) is {steps:.3g} steps per "
-                f"cell; the bound is {MAX_STEPS} — raise dt or shorten "
-                f"t_stop (carrier-resolved studies run microsecond "
-                f"horizons at nanosecond steps)")
+                f"t_stop/dt x the {self.method!r} backend's maximum step "
+                f"refinement ({refine}x) is {steps:.3g} steps per cell; the "
+                f"bound is {MAX_STEPS} — raise dt or shorten t_stop "
+                f"(carrier-resolved studies run microsecond horizons at "
+                f"nanosecond steps)"
+            )
         if len(batch) * SPICE_N_POINTS > MAX_TRACE_VALUES:
             raise SimRequestError(
-                f"{len(batch)} cells x {SPICE_N_POINTS} trace points "
-                f"exceeds the {MAX_TRACE_VALUES} response-trace budget "
-                f"— split the study")
+                f"{len(batch)} cells x {SPICE_N_POINTS} trace points exceeds "
+                f"the {MAX_TRACE_VALUES} response-trace budget — split the study"
+            )
         object.__setattr__(self, "_scenarios", batch.scenarios)
 
     def _init_montecarlo(self):
@@ -242,18 +236,18 @@ class SimRequest:
 
         if self.limit / self.dt > MAX_STEPS:
             raise SimRequestError(
-                f"limit/dt is {self.limit / self.dt:.3g} search steps "
-                f"per sample; the bound is {MAX_STEPS} — raise dt or "
-                f"lower limit")
+                f"limit/dt is {self.limit / self.dt:.3g} search steps per "
+                f"sample; the bound is {MAX_STEPS} — raise dt or lower limit"
+            )
         n = int(self.n_samples)
         if not 1 <= n <= MAX_SAMPLES:
             raise SimRequestError(
-                f"n_samples must be 1..{MAX_SAMPLES}, got {self.n_samples}")
+                f"n_samples must be 1..{MAX_SAMPLES}, got {self.n_samples}"
+            )
         object.__setattr__(self, "n_samples", n)
         object.__setattr__(self, "seed", int(self.seed))
         if not self.spreads:
-            raise SimRequestError(
-                "a montecarlo request needs at least one spread")
+            raise SimRequestError("a montecarlo request needs at least one spread")
         parsed = []
         for spec in self.spreads:
             if isinstance(spec, ParameterSpread):
@@ -262,12 +256,11 @@ class SimRequest:
                 try:
                     spread = ParameterSpread(**dict(spec))
                 except (TypeError, ValueError) as exc:
-                    raise SimRequestError(
-                        f"bad spread {spec!r}: {exc}") from exc
+                    raise SimRequestError(f"bad spread {spec!r}: {exc}") from exc
             if spread.name not in MC_PARAMS:
                 raise SimRequestError(
-                    f"unknown spread parameter {spread.name!r}; "
-                    f"known: {list(MC_PARAMS)}")
+                    f"unknown spread parameter {spread.name!r}; known: {list(MC_PARAMS)}"
+                )
             parsed.append(spread)
         object.__setattr__(self, "spreads", tuple(parsed))
 
@@ -291,8 +284,7 @@ class SimRequest:
         if self.kind == "transient":
             return ("transient", self.t_stop, self.dt, self.p_in)
         if self.kind == "battery":
-            return ("battery", self.p_in, self.v_target, self.dt,
-                    self.limit)
+            return ("battery", self.p_in, self.v_target, self.dt, self.limit)
         if self.kind == "spice":
             return ("spice", self.t_stop, self.dt, self.method)
         return ("montecarlo",)
@@ -303,25 +295,26 @@ class SimRequest:
         orchestrator files results under, so in-flight deduplication
         and the on-disk cache agree on what "the same cell" means."""
         if self.kind == "spice":
-            return spice_cell_keys(SpiceBatch(self._scenarios),
-                                   self.t_stop, self.dt,
-                                   method=self.method,
-                                   n_points=SPICE_N_POINTS)
-        batch = ScenarioBatch(self._scenarios) \
-            if self.kind != "montecarlo" else None
+            return spice_cell_keys(
+                SpiceBatch(self._scenarios),
+                self.t_stop,
+                self.dt,
+                method=self.method,
+                n_points=SPICE_N_POINTS,
+            )
+        batch = ScenarioBatch(self._scenarios) if self.kind != "montecarlo" else None
         if self.kind == "sweep":
-            return control_cell_keys(batch, system, controller,
-                                     self.t_stop)
+            return control_cell_keys(batch, system, controller, self.t_stop)
         if self.kind == "transient":
-            return envelope_cell_keys(batch, self.p_in, self.t_stop,
-                                      dt=self.dt)
+            return envelope_cell_keys(batch, self.p_in, self.t_stop, dt=self.dt)
         if self.kind == "battery":
-            return charge_cell_keys(batch, self.p_in, self.v_target,
-                                    dt=self.dt, limit=self.limit)
+            return charge_cell_keys(
+                batch, self.p_in, self.v_target, dt=self.dt, limit=self.limit
+            )
         # A montecarlo request is one indivisible cell: identical
         # specs (spreads + seed + kernel params) are identical results
         # because chunk seeding is deterministic.
-        return [canonical_key({
+        doc = {
             "mode": "montecarlo",
             "spreads": [_spread_doc(s) for s in self.spreads],
             "n_samples": self.n_samples,
@@ -330,13 +323,18 @@ class SimRequest:
             "v_target": self.v_target,
             "dt": self.dt,
             "limit": self.limit,
-        })]
+        }
+        return [canonical_key(doc)]
 
     def mc_kernel(self):
         """The picklable evaluate-batch callable for this request."""
         return functools.partial(
-            mc_charge_kernel, p_in=self.p_in, v_target=self.v_target,
-            dt=self.dt, limit=self.limit)
+            mc_charge_kernel,
+            p_in=self.p_in,
+            v_target=self.v_target,
+            dt=self.dt,
+            limit=self.limit,
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -347,24 +345,23 @@ class SimRequest:
         front-end reports as a 400."""
         if not isinstance(payload, dict):
             raise SimRequestError(
-                f"request body must be a JSON object, "
-                f"got {type(payload).__name__}")
+                f"request body must be a JSON object, got {type(payload).__name__}"
+            )
         known = {f for f in cls.__dataclass_fields__}
         unknown = set(payload) - known - {"priority"}
         if unknown:
             raise SimRequestError(
-                f"unknown request fields {sorted(unknown)}; "
-                f"known: {sorted(known)}")
+                f"unknown request fields {sorted(unknown)}; known: {sorted(known)}"
+            )
         kwargs = {k: v for k, v in payload.items() if k in known}
         axes = kwargs.get("axes", {})
         if axes is not None and not isinstance(axes, dict):
             raise SimRequestError(
-                f"axes must be an object of axis: [values], "
-                f"got {type(axes).__name__}")
+                f"axes must be an object of axis: [values], got {type(axes).__name__}"
+            )
         if "spreads" in kwargs:
             if not isinstance(kwargs["spreads"], (list, tuple)):
-                raise SimRequestError("spreads must be a list of "
-                                      "spread objects")
+                raise SimRequestError("spreads must be a list of spread objects")
             kwargs["spreads"] = tuple(kwargs["spreads"])
         if "kind" not in kwargs:
             raise SimRequestError("request needs a 'kind' field")
@@ -374,8 +371,8 @@ class SimRequest:
             if extra:
                 raise SimRequestError(
                     f"fields {sorted(extra)} do not apply to a "
-                    f"{kwargs['kind']!r} request; it takes "
-                    f"{sorted(fields)}")
+                    f"{kwargs['kind']!r} request; it takes {sorted(fields)}"
+                )
         try:
             return cls(**kwargs)
         except TypeError as exc:
@@ -386,24 +383,32 @@ class SimRequest:
         :meth:`from_payload` for JSON-expressible requests)."""
         doc = {"kind": self.kind}
         if self.kind == "montecarlo":
-            doc.update({
-                "n_samples": self.n_samples, "seed": self.seed,
-                "p_in": self.p_in, "v_target": self.v_target,
-                "dt": self.dt, "limit": self.limit,
-                "spreads": [_spread_doc(s) for s in self.spreads],
-            })
+            doc.update(
+                {
+                    "n_samples": self.n_samples,
+                    "seed": self.seed,
+                    "p_in": self.p_in,
+                    "v_target": self.v_target,
+                    "dt": self.dt,
+                    "limit": self.limit,
+                    "spreads": [_spread_doc(s) for s in self.spreads],
+                }
+            )
             return doc
-        doc["axes"] = {name: list(values)
-                       for name, values in self.axes.items()}
+        doc["axes"] = {name: list(values) for name, values in self.axes.items()}
         if self.kind == "sweep":
             doc["t_stop"] = self.t_stop
         elif self.kind == "transient":
-            doc.update({"t_stop": self.t_stop, "dt": self.dt,
-                        "p_in": self.p_in})
+            doc.update({"t_stop": self.t_stop, "dt": self.dt, "p_in": self.p_in})
         elif self.kind == "spice":
-            doc.update({"t_stop": self.t_stop, "dt": self.dt,
-                        "method": self.method})
+            doc.update({"t_stop": self.t_stop, "dt": self.dt, "method": self.method})
         else:
-            doc.update({"p_in": self.p_in, "v_target": self.v_target,
-                        "dt": self.dt, "limit": self.limit})
+            doc.update(
+                {
+                    "p_in": self.p_in,
+                    "v_target": self.v_target,
+                    "dt": self.dt,
+                    "limit": self.limit,
+                }
+            )
         return doc

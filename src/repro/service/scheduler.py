@@ -73,14 +73,16 @@ class SchedulerStats:
     jobs_done: int = 0
     jobs_failed: int = 0
     cells_requested: int = 0
-    cells_deduped: int = 0      # shared with another request in-batch
-    cells_cached: int = 0       # served by the result store
+    cells_deduped: int = 0  # shared with another request in-batch
+    cells_cached: int = 0  # served by the result store
     cells_computed: int = 0
     batch_cells: deque = field(default_factory=lambda: deque(maxlen=256))
     batch_jobs: deque = field(default_factory=lambda: deque(maxlen=256))
 
     def as_dict(self):
         sizes = list(self.batch_cells)
+        jobs = list(self.batch_jobs)
+        requested = self.cells_requested
         return {
             "batches": self.batches,
             "jobs_done": self.jobs_done,
@@ -89,16 +91,11 @@ class SchedulerStats:
             "cells_deduped": self.cells_deduped,
             "cells_cached": self.cells_cached,
             "cells_computed": self.cells_computed,
-            "dedup_rate": (self.cells_deduped / self.cells_requested
-                           if self.cells_requested else 0.0),
-            "cache_hit_rate": (self.cells_cached / self.cells_requested
-                               if self.cells_requested else 0.0),
-            "mean_batch_cells": (sum(sizes) / len(sizes)
-                                 if sizes else 0.0),
+            "dedup_rate": self.cells_deduped / requested if requested else 0.0,
+            "cache_hit_rate": self.cells_cached / requested if requested else 0.0,
+            "mean_batch_cells": sum(sizes) / len(sizes) if sizes else 0.0,
             "max_batch_cells": max(sizes, default=0),
-            "mean_batch_jobs": (sum(self.batch_jobs)
-                                / len(self.batch_jobs)
-                                if self.batch_jobs else 0.0),
+            "mean_batch_jobs": sum(jobs) / len(jobs) if jobs else 0.0,
         }
 
 
@@ -121,10 +118,22 @@ class MicroBatchScheduler:
         engine call.
     max_batch : cell budget per micro-batch; collection stops early
         when reached (further jobs stay queued for the next batch).
+    recorder : optional :class:`~repro.obs.recorder.MetricsRecorder`;
+        when set, every dispatched group emits a ``batch`` event, each
+        terminal job a ``job`` event, and every micro-batch samples the
+        queue depth into a ``queue`` event.
     """
 
-    def __init__(self, queue, system, controller, orchestrator,
-                 window=10e-3, max_batch=512):
+    def __init__(
+        self,
+        queue,
+        system,
+        controller,
+        orchestrator,
+        window=10e-3,
+        max_batch=512,
+        recorder=None,
+    ):
         if window < 0:
             raise ValueError("window must be >= 0")
         self.queue = queue
@@ -133,6 +142,7 @@ class MicroBatchScheduler:
         self.orchestrator = orchestrator
         self.window = float(window)
         self.max_batch = max(1, int(max_batch))
+        self.recorder = recorder
         self.stats = SchedulerStats()
         self._running = False
 
@@ -197,8 +207,11 @@ class MicroBatchScheduler:
             by_key.setdefault(job.request.group_key(), []).append(job)
         self.stats.batches += 1
         self.stats.batch_jobs.append(len(live))
-        self.stats.batch_cells.append(
-            sum(job.request.n_cells for job in live))
+        self.stats.batch_cells.append(sum(job.request.n_cells for job in live))
+        if self.recorder is not None:
+            # Depth at collection close = jobs left waiting for the
+            # *next* micro-batch — the backpressure signal.
+            self.recorder.emit("queue", depth=self.queue.depth)
         for jobs in by_key.values():
             await self._run_group(jobs)
 
@@ -218,33 +231,70 @@ class MicroBatchScheduler:
             job.state = JobState.RUNNING
             job.started_at = now
         kind = jobs[0].request.kind
+        t0 = time.perf_counter()
         try:
             # The content-key fingerprints, the dedup pass, the engine
             # run, and the wire-format scattering are all heavy — do
             # the lot in the worker thread so the event loop keeps
             # serving submits/status.
-            shaped, shared_counts, unique_total = \
-                await asyncio.get_running_loop().run_in_executor(
-                    None, self._plan_and_dispatch, kind, jobs)
+            loop = asyncio.get_running_loop()
+            shaped, shared_counts, unique_total = await loop.run_in_executor(
+                None, self._plan_and_dispatch, kind, jobs
+            )
             for job, shared in zip(jobs, shared_counts):
                 job.shared_cells = shared
                 self.stats.cells_requested += job.request.n_cells
                 self.stats.cells_deduped += shared
             ostats = self.orchestrator.stats
             if kind != "montecarlo" and ostats is not None:
-                self.stats.cells_cached += ostats.n_cached
-                self.stats.cells_computed += ostats.n_computed
+                cached, computed = ostats.n_cached, ostats.n_computed
             else:
-                self.stats.cells_computed += unique_total
+                cached, computed = 0, unique_total
+            self.stats.cells_cached += cached
+            self.stats.cells_computed += computed
             for job, result in zip(jobs, shaped):
                 job.finish(JobState.DONE, result=result)
                 self.stats.jobs_done += 1
+            self._record_batch(
+                kind, jobs, shared_counts, cached, computed, time.perf_counter() - t0
+            )
         except Exception as exc:  # noqa: BLE001 - engine/axis errors
             message = f"{type(exc).__name__}: {exc}"
             for job in jobs:
                 if not job.state.terminal:
                     job.finish(JobState.FAILED, error=message)
                     self.stats.jobs_failed += 1
+            self._record_jobs(kind, jobs)
+
+    # -- metrics emission ----------------------------------------------
+    def _record_batch(self, kind, jobs, shared_counts, cached, computed, elapsed):
+        if self.recorder is None:
+            return
+        self.recorder.emit(
+            "batch",
+            kind=kind,
+            jobs=len(jobs),
+            cells=sum(job.request.n_cells for job in jobs),
+            deduped=sum(shared_counts),
+            cached=cached,
+            computed=computed,
+            elapsed_s=elapsed,
+        )
+        self._record_jobs(kind, jobs)
+
+    def _record_jobs(self, kind, jobs):
+        if self.recorder is None:
+            return
+        for job in jobs:
+            if not job.state.terminal:
+                continue
+            self.recorder.emit(
+                "job",
+                kind=kind,
+                state=job.state.value,
+                cells=job.request.n_cells,
+                latency_s=job.latency if job.latency is not None else 0.0,
+            )
 
     # -- planning + engine dispatch (worker thread) --------------------
     def _plan_and_dispatch(self, kind, jobs):
@@ -256,8 +306,9 @@ class MicroBatchScheduler:
         Returns (per-job shaped results, per-job shared-cell counts,
         unique cell total) — the dedup rule lives only here.
         """
-        job_keys = [job.request.cell_keys(self.system, self.controller)
-                    for job in jobs]
+        job_keys = [
+            job.request.cell_keys(self.system, self.controller) for job in jobs
+        ]
         index = {}
         unique_cells = []
         unique_keys = []
@@ -265,8 +316,7 @@ class MicroBatchScheduler:
         unique_total = 0
         for job, keys in zip(jobs, job_keys):
             shared = 0
-            cells = (job.request.scenarios
-                     if kind != "montecarlo" else [job.request])
+            cells = job.request.scenarios if kind != "montecarlo" else [job.request]
             weight = job.request.n_cells if kind == "montecarlo" else 1
             for key, cell in zip(keys, cells):
                 if key in index:
@@ -277,10 +327,11 @@ class MicroBatchScheduler:
                 unique_keys.append(key)
                 unique_total += weight
             shared_counts.append(shared)
-        rows = self._dispatch(kind, jobs[0].request, unique_cells,
-                              unique_keys)
-        shaped = [self._shape(job.request, keys, index, rows)
-                  for job, keys in zip(jobs, job_keys)]
+        rows = self._dispatch(kind, jobs[0].request, unique_cells, unique_keys)
+        shaped = [
+            self._shape(job.request, keys, index, rows)
+            for job, keys in zip(jobs, job_keys)
+        ]
         return shaped, shared_counts, unique_total
 
     def _dispatch(self, kind, proto, unique_cells, unique_keys):
@@ -297,29 +348,41 @@ class MicroBatchScheduler:
             for request in unique_cells:
                 mc = MonteCarlo(list(request.spreads), seed=request.seed)
                 merged = self.orchestrator.run_montecarlo(
-                    mc, request.mc_kernel(),
-                    n_samples=request.n_samples, seed=request.seed)
+                    mc,
+                    request.mc_kernel(),
+                    n_samples=request.n_samples,
+                    seed=request.seed,
+                )
                 out.append(merged)
             return out
         if kind == "spice":
             from repro.service.requests import SPICE_N_POINTS
 
             return self.orchestrator.run_spice(
-                SpiceBatch(unique_cells), proto.t_stop, proto.dt,
-                method=proto.method, n_points=SPICE_N_POINTS,
-                keys=unique_keys)
+                SpiceBatch(unique_cells),
+                proto.t_stop,
+                proto.dt,
+                method=proto.method,
+                n_points=SPICE_N_POINTS,
+                keys=unique_keys,
+            )
         batch = ScenarioBatch(unique_cells)
         if kind == "sweep":
             return self.orchestrator.run_control(
-                batch, self.system, self.controller, proto.t_stop,
-                keys=unique_keys)
+                batch, self.system, self.controller, proto.t_stop, keys=unique_keys
+            )
         if kind == "transient":
             return self.orchestrator.run_envelope(
-                batch, proto.p_in, proto.t_stop, dt=proto.dt,
-                keys=unique_keys)
+                batch, proto.p_in, proto.t_stop, dt=proto.dt, keys=unique_keys
+            )
         return self.orchestrator.charge_times(
-            batch, proto.p_in, proto.v_target, dt=proto.dt,
-            limit=proto.limit, keys=unique_keys)
+            batch,
+            proto.p_in,
+            proto.v_target,
+            dt=proto.dt,
+            limit=proto.limit,
+            keys=unique_keys,
+        )
 
     # -- result scattering ---------------------------------------------
     def _shape(self, request, keys, index, rows):
@@ -334,10 +397,8 @@ class MicroBatchScheduler:
                 "n_samples": int(samples.size),
                 "seed": request.seed,
                 "samples": wire_list(samples),
-                "mean": wire_float(finite.mean())
-                if finite.size else None,
-                "std": wire_float(finite.std(ddof=1))
-                if finite.size > 1 else None,
+                "mean": wire_float(finite.mean()) if finite.size else None,
+                "std": wire_float(finite.std(ddof=1)) if finite.size > 1 else None,
                 "reached_target": int(finite.size),
             }
         picks = [index[key] for key in keys]
@@ -351,25 +412,29 @@ class MicroBatchScheduler:
                 drive_scale=rows.drive_scale[picks],
                 p_delivered=rows.p_delivered[picks],
                 saturated=rows.saturated[picks],
-                scenarios=scenarios)
+                scenarios=scenarios,
+            )
             frac, v_min, v_max, drive = sub.regulation_statistics()
             return {
                 "kind": "sweep",
                 "t_stop": request.t_stop,
                 "times": wire_list(rows.times),
-                "cells": [{
-                    "label": sc.label,
-                    "distance": wire_list(sub.distance[i]),
-                    "v_rect": wire_list(sub.v_rect[i]),
-                    "v_reported": wire_list(sub.v_reported[i]),
-                    "drive_scale": wire_list(sub.drive_scale[i]),
-                    "p_delivered": wire_list(sub.p_delivered[i]),
-                    "saturated": [bool(v) for v in sub.saturated[i]],
-                    "in_window": float(frac[i]),
-                    "v_min": float(v_min[i]),
-                    "v_max": float(v_max[i]),
-                    "mean_drive": float(drive[i]),
-                } for i, sc in enumerate(scenarios)],
+                "cells": [
+                    {
+                        "label": sc.label,
+                        "distance": wire_list(sub.distance[i]),
+                        "v_rect": wire_list(sub.v_rect[i]),
+                        "v_reported": wire_list(sub.v_reported[i]),
+                        "drive_scale": wire_list(sub.drive_scale[i]),
+                        "p_delivered": wire_list(sub.p_delivered[i]),
+                        "saturated": [bool(v) for v in sub.saturated[i]],
+                        "in_window": float(frac[i]),
+                        "v_min": float(v_min[i]),
+                        "v_max": float(v_max[i]),
+                        "mean_drive": float(drive[i]),
+                    }
+                    for i, sc in enumerate(scenarios)
+                ],
             }
         if request.kind == "transient":
             return {
@@ -377,13 +442,16 @@ class MicroBatchScheduler:
                 "t_stop": request.t_stop,
                 "dt": request.dt,
                 "times": wire_list(rows.times),
-                "cells": [{
-                    "label": sc.label,
-                    "v_rect": wire_list(rows.v_rect[pick]),
-                    "p_in": wire_float(rows.p_in[pick]),
-                    "i_load": wire_float(rows.i_load[pick]),
-                    "v_final": wire_float(rows.v_rect[pick, -1]),
-                } for sc, pick in zip(scenarios, picks)],
+                "cells": [
+                    {
+                        "label": sc.label,
+                        "v_rect": wire_list(rows.v_rect[pick]),
+                        "p_in": wire_float(rows.p_in[pick]),
+                        "i_load": wire_float(rows.i_load[pick]),
+                        "v_final": wire_float(rows.v_rect[pick, -1]),
+                    }
+                    for sc, pick in zip(scenarios, picks)
+                ],
             }
         if request.kind == "spice":
             return {
@@ -392,24 +460,30 @@ class MicroBatchScheduler:
                 "dt": request.dt,
                 "method": request.method,
                 "times": wire_list(rows.times),
-                "cells": [{
-                    "label": sc.label,
-                    "template": sc.template,
-                    "amplitude": sc.amplitude,
-                    "freq": sc.freq,
-                    "i_load": sc.i_load,
-                    "v_out": wire_list(rows.v_out[pick]),
-                    "v_final": wire_float(rows.v_final[pick]),
-                    "ripple": wire_float(rows.ripple[pick]),
-                    "steps": int(rows.steps[pick]),
-                } for sc, pick in zip(scenarios, picks)],
+                "cells": [
+                    {
+                        "label": sc.label,
+                        "template": sc.template,
+                        "amplitude": sc.amplitude,
+                        "freq": sc.freq,
+                        "i_load": sc.i_load,
+                        "v_out": wire_list(rows.v_out[pick]),
+                        "v_final": wire_float(rows.v_final[pick]),
+                        "ripple": wire_float(rows.ripple[pick]),
+                        "steps": int(rows.steps[pick]),
+                    }
+                    for sc, pick in zip(scenarios, picks)
+                ],
             }
         return {
             "kind": "battery",
             "p_in": request.p_in,
             "v_target": request.v_target,
-            "cells": [{
-                "label": sc.label,
-                "t_charge": wire_float(rows[pick]),
-            } for sc, pick in zip(scenarios, picks)],
+            "cells": [
+                {
+                    "label": sc.label,
+                    "t_charge": wire_float(rows[pick]),
+                }
+                for sc, pick in zip(scenarios, picks)
+            ],
         }

@@ -16,6 +16,11 @@ import time
 from collections import OrderedDict, deque
 
 from repro.engine.parallel import SweepOrchestrator
+from repro.obs import METRICS_SCHEMA_VERSION, MetricsRecorder, latency_summary
+
+# Re-exported for back-compat: the percentile helper moved to
+# repro.obs.summary where the metrics summarizer shares it.
+from repro.obs import percentile as percentile  # noqa: PLC0414
 from repro.service.jobs import (
     Job,
     JobNotFoundError,
@@ -24,22 +29,6 @@ from repro.service.jobs import (
 )
 from repro.service.requests import SimRequest
 from repro.service.scheduler import MicroBatchScheduler
-
-
-def percentile(values, q):
-    """The ``q``-th percentile (0..100) of ``values`` with linear
-    interpolation — tiny stdlib-only twin of ``np.percentile`` for the
-    stats endpoint (values need not be sorted)."""
-    if not values:
-        return None
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return float(ordered[0])
-    rank = (len(ordered) - 1) * (q / 100.0)
-    lo = int(rank)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = rank - lo
-    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
 
 
 class SimulationService:
@@ -58,11 +47,26 @@ class SimulationService:
     max_pending : job-queue bound — the backpressure point.
     max_jobs : finished jobs retained for ``/job/<id>`` polling before
         the oldest are forgotten.
+    recorder : optional :class:`~repro.obs.recorder.MetricsRecorder`
+        shared by the orchestrator and scheduler; default is a fresh
+        in-memory recorder (rolling window only), which is what the
+        ``/metrics`` endpoint serves.  Hand in a recorder with a JSONL
+        sink (``repro serve --metrics-jsonl``) to persist the session.
     """
 
-    def __init__(self, system=None, controller=None, store=None,
-                 workers=None, window=10e-3, max_batch=512,
-                 max_pending=512, max_jobs=4096, latency_window=1024):
+    def __init__(
+        self,
+        system=None,
+        controller=None,
+        store=None,
+        workers=None,
+        window=10e-3,
+        max_batch=512,
+        max_pending=512,
+        max_jobs=4096,
+        latency_window=1024,
+        recorder=None,
+    ):
         if system is None:
             from repro import RemotePoweringSystem
 
@@ -71,15 +75,25 @@ class SimulationService:
             from repro.core import AdaptivePowerController
 
             controller = AdaptivePowerController()
+        if recorder is None:
+            recorder = MetricsRecorder(label="service")
         self.system = system
         self.controller = controller
         self.store = store
-        self.orchestrator = SweepOrchestrator(workers=workers,
-                                              store=store)
+        self.recorder = recorder
+        self.orchestrator = SweepOrchestrator(
+            workers=workers, store=store, recorder=recorder
+        )
         self.queue = JobQueue(max_pending=max_pending)
         self.scheduler = MicroBatchScheduler(
-            self.queue, system, controller, self.orchestrator,
-            window=window, max_batch=max_batch)
+            self.queue,
+            system,
+            controller,
+            self.orchestrator,
+            window=window,
+            max_batch=max_batch,
+            recorder=recorder,
+        )
         self.max_jobs = int(max_jobs)
         self._jobs = OrderedDict()
         self._latencies = deque(maxlen=int(latency_window))
@@ -92,8 +106,9 @@ class SimulationService:
     async def start(self):
         """Start the dispatch loop (idempotent)."""
         if self._task is None or self._task.done():
-            self._task = asyncio.create_task(self.scheduler.run(),
-                                             name="repro-scheduler")
+            self._task = asyncio.create_task(
+                self.scheduler.run(), name="repro-scheduler"
+            )
         return self
 
     async def stop(self):
@@ -130,18 +145,17 @@ class SimulationService:
             if isinstance(request, dict) and "priority" in request:
                 request = dict(request)
                 embedded = request.pop("priority")
-                if not isinstance(embedded, int) \
-                        or isinstance(embedded, bool):
+                if not isinstance(embedded, int) or isinstance(embedded, bool):
                     from repro.service.jobs import SimRequestError
 
                     raise SimRequestError(
-                        f"priority must be an integer, "
-                        f"got {embedded!r}")
+                        f"priority must be an integer, got {embedded!r}"
+                    )
                 if not priority:
                     priority = embedded
             request = SimRequest.from_payload(request)
         job = Job(request=request, priority=int(priority))
-        self.queue.push(job)        # may raise QueueFullError
+        self.queue.push(job)  # may raise QueueFullError
         self._jobs[job.id] = job
         self._submitted += 1
         self._prune()
@@ -177,8 +191,11 @@ class SimulationService:
 
     # -- accounting -----------------------------------------------------
     def _note_latency(self, job):
-        if job.latency is not None and job.state is JobState.DONE \
-                and not getattr(job, "_latency_noted", False):
+        if (
+            job.latency is not None
+            and job.state is JobState.DONE
+            and not getattr(job, "_latency_noted", False)
+        ):
             job._latency_noted = True
             self._latencies.append(job.latency)
 
@@ -195,15 +212,18 @@ class SimulationService:
 
     def stats(self):
         """The ``/stats`` document: queue, latency percentiles, batch
-        sizes, dedup/cache rates."""
+        sizes, dedup/cache rates.
+
+        The ``latency`` block is the explicit empty document
+        ``{"count": 0}`` before any job completes — never a set of
+        silent ``None`` percentiles.
+        """
         for job in self._jobs.values():
             self._note_latency(job)
         states = {state.value: 0 for state in JobState}
         for job in self._jobs.values():
             states[job.state.value] += 1
-        lat = list(self._latencies)
-        store_stats = self.store.stats.as_dict() \
-            if self.store is not None else None
+        store_stats = self.store.stats.as_dict() if self.store is not None else None
         return {
             "uptime_s": time.monotonic() - self._started_at,
             "submitted": self._submitted,
@@ -212,16 +232,26 @@ class SimulationService:
             "queue_depth": self.queue.depth,
             "max_pending": self.queue.max_pending,
             "jobs": states,
-            "latency": {
-                "count": len(lat),
-                "mean_s": sum(lat) / len(lat) if lat else None,
-                "p50_s": percentile(lat, 50),
-                "p90_s": percentile(lat, 90),
-                "p99_s": percentile(lat, 99),
-                "max_s": max(lat) if lat else None,
-            },
+            "latency": latency_summary(self._latencies),
             "batching": self.scheduler.stats.as_dict(),
             "store": store_stats,
             "window_s": self.scheduler.window,
             "max_batch": self.scheduler.max_batch,
         }
+
+    def metrics(self):
+        """The ``/metrics`` document: percentile/rate summary of the
+        recorder's in-memory event window (see
+        :func:`repro.obs.summary.summarize_events`)."""
+        return {
+            "session": self.recorder.session,
+            "schema": METRICS_SCHEMA_VERSION,
+            "events_emitted": self.recorder.n_emitted,
+            "jsonl_path": self.recorder.jsonl_path,
+            "summary": self.recorder.summary(),
+        }
+
+    def metrics_events(self):
+        """The raw in-memory event window (oldest first) — every
+        document is schema-valid JSON-safe flat data."""
+        return self.recorder.events()

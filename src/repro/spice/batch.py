@@ -58,10 +58,19 @@ class BatchTransientResult:
     :class:`~repro.spice.transient.TransientResult`.
     """
 
-    def __init__(self, circuits, times, x):
+    def __init__(self, circuits, times, x, stats=None):
         self.circuits = list(circuits)
         self.t = np.asarray(times, dtype=float)
         self.x = np.asarray(x, dtype=float)
+        #: Solver-effort counters of the run that produced this family
+        #: (accepted_steps / newton_iters / newton_rejects / lte_rejects),
+        #: fed into the observability layer's ``solve`` events.
+        self.stats = dict(stats) if stats is not None else {
+            "accepted_steps": 0,
+            "newton_iters": 0,
+            "newton_rejects": 0,
+            "lte_rejects": 0,
+        }
 
     def __len__(self):
         return len(self.circuits)
@@ -172,6 +181,7 @@ class _BatchSystem:
                     "other": ind_index[id(other)],
                 })
         self.is_linear = not self.diode_slots and not self.other_slots
+        self.newton_iters = 0  # cumulative, read by transient_batch
         self._init_diodes()
         n, N = self.n, self.N
         self.G = np.empty((N, n, n))
@@ -352,6 +362,7 @@ class _BatchSystem:
         nn = self.nn
         has_branches = self.n > nn
         for _ in range(max_newton):
+            self.newton_iters += 1
             np.copyto(G, G_base)
             np.copyto(rhs, rhs_base)
             if self.nd:
@@ -506,6 +517,8 @@ def transient_batch(
     hist_t = [t_start]
     hist_x = [x.copy()]
     accepted = 0
+    newton_rejects = 0
+    lte_rejects = 0
     first_step = True
     # Step-growth clamping at source discontinuities is an adaptive
     # concern; the fixed-step lanes mirror the single-circuit reference
@@ -535,6 +548,7 @@ def transient_batch(
                     f"batched transient step failed at t={t_next:.4g}s even "
                     f"at minimum step {min_dt:.3g}s "
                     f"({circuits[0].title!r} family)")
+            newton_rejects += 1
             h /= 2.0
             continue
         grow = False
@@ -544,6 +558,7 @@ def transient_batch(
             err = _lte_trap(hist_t, hist_x, t_next, x_new, step)
             ratio = float(np.max(err / (atol + rtol * np.abs(x_new))))
             if ratio > 1.0 and step > min_dt * 1.000001:
+                lte_rejects += 1
                 h = max(step / 2.0, min_dt)
                 continue
             grow = ratio < 1.0 / 16.0
@@ -567,4 +582,10 @@ def transient_batch(
             # Fixed-step policy: regrow toward the nominal step.
             h = min(dt, h * 2.0)
     return BatchTransientResult(
-        circuits, times, np.stack(solutions, axis=1))
+        circuits, times, np.stack(solutions, axis=1),
+        stats={
+            "accepted_steps": accepted,
+            "newton_iters": system.newton_iters,
+            "newton_rejects": newton_rejects,
+            "lte_rejects": lte_rejects,
+        })

@@ -1,0 +1,216 @@
+"""Incremental recomputation: StudyDiff deltas and run_delta replay.
+
+The load-bearing properties:
+
+* a study identical to its predecessor recomputes nothing;
+* reordering axis values (same cell set) recomputes nothing — cell
+  identity is the content address, not the grid position;
+* moving one axis value recomputes exactly the affected cells, and
+  the delta result is bitwise-identical to a cold run of the grid;
+* unchanged cells replay from the store (and a cleared store is
+  reported as replay misses, never silently recomputed-as-replayed).
+"""
+
+import numpy as np
+import pytest
+
+from repro import RemotePoweringSystem
+from repro.core import AdaptivePowerController
+from repro.engine import (
+    DeltaReport,
+    ResultStore,
+    ScenarioBatch,
+    StudyDiff,
+    SweepOrchestrator,
+    control_cell_keys,
+)
+
+T_STOP = 5e-3
+
+
+@pytest.fixture(scope="module")
+def system():
+    return RemotePoweringSystem(distance=10e-3)
+
+
+@pytest.fixture(scope="module")
+def controller():
+    return AdaptivePowerController()
+
+
+def grid(distances_mm, loads_ua=(352.0, 800.0)):
+    return ScenarioBatch.from_axes(
+        distance=[d * 1e-3 for d in distances_mm],
+        i_load=[i * 1e-6 for i in loads_ua],
+    )
+
+
+def keys_of(batch, system, controller):
+    return control_cell_keys(batch, system, controller, T_STOP)
+
+
+class TestStudyDiff:
+    def test_identical_studies_change_nothing(self, system, controller):
+        keys = keys_of(grid([8.0, 10.0, 12.0]), system, controller)
+        diff = StudyDiff.between(keys, keys)
+        assert diff.n_changed == 0
+        assert diff.n_unchanged == len(keys)
+        assert diff.n_removed == 0
+        assert diff.unchanged_indices == tuple(range(len(keys)))
+
+    def test_axis_reorder_changes_nothing(self, system, controller):
+        prev = keys_of(grid([8.0, 10.0, 12.0]), system, controller)
+        now = keys_of(grid([12.0, 8.0, 10.0]), system, controller)
+        assert prev != now  # genuinely permuted...
+        diff = StudyDiff.between(prev, now)
+        assert diff.n_changed == 0  # ...but no cell is new
+        assert diff.n_unchanged == len(now)
+        assert diff.n_removed == 0
+
+    def test_one_moved_value_affects_exactly_its_cells(self, system, controller):
+        batch_prev = grid([8.0, 10.0, 12.0])
+        batch_now = grid([8.0, 10.0, 14.0])
+        diff = StudyDiff.between(
+            keys_of(batch_prev, system, controller),
+            keys_of(batch_now, system, controller),
+        )
+        assert diff.n_changed == 2  # the two loads at 14 mm
+        assert diff.n_unchanged == 4
+        assert diff.n_removed == 2  # the two cells at 12 mm
+        for i in diff.changed_indices:
+            assert batch_now.scenarios[i].distance == pytest.approx(14e-3)
+        for i in diff.unchanged_indices:
+            assert batch_now.scenarios[i].distance < 14e-3
+
+    def test_removed_axis_value_only(self, system, controller):
+        prev = keys_of(grid([8.0, 10.0, 12.0]), system, controller)
+        now = keys_of(grid([8.0, 10.0]), system, controller)
+        diff = StudyDiff.between(prev, now)
+        assert diff.n_changed == 0
+        assert diff.n_unchanged == len(now)
+        assert diff.n_removed == 2
+        assert len(diff.removed_keys) == 2
+
+    def test_empty_previous_study_changes_everything(self, system, controller):
+        now = keys_of(grid([8.0, 10.0]), system, controller)
+        diff = StudyDiff.between([], now)
+        assert diff.n_changed == len(now)
+        assert diff.n_unchanged == 0
+
+    def test_controller_change_invalidates_every_cell(self, system, controller):
+        batch = grid([8.0, 10.0])
+        retuned = AdaptivePowerController(v_high=controller.v_high + 0.1)
+        prev = keys_of(batch, system, controller)
+        now = keys_of(batch, system, retuned)
+        diff = StudyDiff.between(prev, now)
+        assert diff.n_changed == len(now)  # the controller is in the key
+        assert diff.n_unchanged == 0
+
+    def test_as_dict_round_trips_counts(self, system, controller):
+        prev = keys_of(grid([8.0, 10.0, 12.0]), system, controller)
+        now = keys_of(grid([8.0, 10.0, 14.0]), system, controller)
+        doc = StudyDiff.between(prev, now).as_dict()
+        assert doc["n_cells"] == 6
+        assert doc["n_changed"] == 2
+        assert doc["n_unchanged"] == 4
+        assert doc["n_removed"] == 2
+        assert sorted(doc["changed_indices"]) == list(doc["changed_indices"])
+
+
+class TestRunDelta:
+    def test_requires_a_store(self, system, controller):
+        orchestrator = SweepOrchestrator()
+        with pytest.raises(ValueError, match="store"):
+            orchestrator.run_delta(
+                "control",
+                grid([8.0]),
+                [],
+                system=system,
+                controller=controller,
+                t_stop=T_STOP,
+            )
+
+    def test_unknown_mode_is_a_typed_error(self, system, controller, tmp_path):
+        orchestrator = SweepOrchestrator(store=ResultStore(tmp_path / "cache"))
+        with pytest.raises(ValueError, match="unknown sweep mode"):
+            orchestrator.run_delta("tides", grid([8.0]), [])
+        with pytest.raises(ValueError, match="unknown sweep mode"):
+            orchestrator.cell_keys(
+                "tides", grid([8.0]), system=system, controller=controller
+            )
+
+    def test_delta_computes_only_changed_cells(self, system, controller, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        orchestrator = SweepOrchestrator(store=store)
+        batch_prev = grid([8.0, 10.0, 12.0])
+        batch_now = grid([8.0, 10.0, 14.0])
+        prev_keys = keys_of(batch_prev, system, controller)
+
+        orchestrator.run_control(batch_prev, system, controller, T_STOP)
+        assert orchestrator.stats.n_computed == 6  # cold
+
+        result, report = orchestrator.run_delta(
+            "control",
+            batch_now,
+            prev_keys,
+            system=system,
+            controller=controller,
+            t_stop=T_STOP,
+        )
+        assert isinstance(report, DeltaReport)
+        assert report.n_cells == 6
+        assert report.n_changed == 2
+        assert report.n_replayed == 4
+        assert report.n_replay_miss == 0
+        assert orchestrator.stats.n_computed == 2  # only the delta ran
+        assert orchestrator.stats.n_cached == 4
+        assert orchestrator.stats.delta == report.as_dict()
+
+        # Parity: the merged cold+replayed result is bitwise-identical
+        # to a from-scratch run of the new grid.
+        cold = SweepOrchestrator().run_control(batch_now, system, controller, T_STOP)
+        assert np.array_equal(result.v_rect, cold.v_rect)
+        assert np.array_equal(result.p_delivered, cold.p_delivered)
+
+    def test_identical_study_recomputes_nothing(self, system, controller, tmp_path):
+        orchestrator = SweepOrchestrator(store=ResultStore(tmp_path / "cache"))
+        batch = grid([8.0, 10.0])
+        keys = keys_of(batch, system, controller)
+        orchestrator.run_control(batch, system, controller, T_STOP)
+        _, report = orchestrator.run_delta(
+            "control",
+            batch,
+            keys,
+            system=system,
+            controller=controller,
+            t_stop=T_STOP,
+        )
+        assert report.n_changed == 0
+        assert report.n_replayed == len(batch)
+        assert orchestrator.stats.n_computed == 0
+
+    def test_cleared_store_reports_replay_misses(self, system, controller, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        orchestrator = SweepOrchestrator(store=store)
+        batch = grid([8.0, 10.0])
+        keys = keys_of(batch, system, controller)
+        orchestrator.run_control(batch, system, controller, T_STOP)
+        store.clear()
+        _, report = orchestrator.run_delta(
+            "control",
+            batch,
+            keys,
+            system=system,
+            controller=controller,
+            t_stop=T_STOP,
+        )
+        assert report.n_changed == 0
+        assert report.n_replayed == 0
+        assert report.n_replay_miss == len(batch)  # recomputed, honestly
+
+    def test_cell_keys_match_module_function(self, system, controller):
+        batch = grid([8.0, 10.0])
+        orchestrator = SweepOrchestrator()
+        assert orchestrator.cell_keys(
+            "control", batch, system=system, controller=controller, t_stop=T_STOP
+        ) == keys_of(batch, system, controller)

@@ -1,0 +1,378 @@
+"""Session metrics: schema validation, recorder, JSONL, summaries.
+
+The load-bearing properties:
+
+* validation is strict both ways — a missing required field AND an
+  undeclared extra field fail (schema drift breaks the CI gate loudly);
+* the JSONL sink round-trips exactly what the recorder emitted, and
+  ``read_jsonl`` pins failures to ``path:lineno``;
+* empty latency summaries are the explicit ``{"count": 0}`` document,
+  never silent ``None`` percentiles;
+* the orchestrator/service instrumentation emits real events: a warm
+  rerun of an identical study reports a 100 % cache-hit sweep.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import RemotePoweringSystem
+from repro.core import AdaptivePowerController
+from repro.engine import ResultStore, ScenarioBatch, SweepOrchestrator
+from repro.obs import (
+    EVENT_SCHEMAS,
+    METRICS_SCHEMA_VERSION,
+    MetricsRecorder,
+    MetricsSchemaError,
+    distribution,
+    latency_summary,
+    percentile,
+    read_jsonl,
+    summarize_events,
+    validate_event,
+    warm_cache_hit_rate,
+)
+
+T_STOP = 5e-3
+
+
+def chunk_doc(**overrides):
+    doc = {
+        "event": "chunk",
+        "ts": 0.5,
+        "seq": 3,
+        "session": "abcd1234",
+        "mode": "control",
+        "cells": 4,
+        "elapsed_s": 0.25,
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestValidation:
+    def test_valid_event_passes_through(self):
+        doc = chunk_doc()
+        assert validate_event(doc) is doc
+
+    def test_missing_required_field_fails(self):
+        doc = chunk_doc()
+        del doc["cells"]
+        with pytest.raises(MetricsSchemaError, match="missing required field"):
+            validate_event(doc)
+
+    def test_undeclared_extra_field_fails(self):
+        with pytest.raises(MetricsSchemaError, match="undeclared"):
+            validate_event(chunk_doc(surprise=1))
+
+    def test_bool_does_not_satisfy_int(self):
+        with pytest.raises(MetricsSchemaError, match="'cells'"):
+            validate_event(chunk_doc(cells=True))
+
+    def test_int_satisfies_float(self):
+        validate_event(chunk_doc(elapsed_s=1))  # JSON has one number type
+
+    def test_missing_envelope_field_fails(self):
+        doc = chunk_doc()
+        del doc["ts"]
+        with pytest.raises(MetricsSchemaError, match="envelope"):
+            validate_event(doc)
+
+    def test_unknown_event_type_fails(self):
+        with pytest.raises(MetricsSchemaError, match="unknown event type"):
+            validate_event(chunk_doc(event="vibes"))
+
+    def test_every_declared_type_has_flat_scalar_fields(self):
+        for kind, schema in EVENT_SCHEMAS.items():
+            for name, (accepted, required) in schema.items():
+                assert isinstance(name, str), (kind, name)
+                assert isinstance(required, bool), (kind, name)
+
+
+class TestRecorder:
+    def test_emit_stamps_the_envelope(self):
+        with MetricsRecorder(label="t") as recorder:
+            doc = recorder.emit("chunk", mode="control", cells=2, elapsed_s=0.1)
+            assert doc["event"] == "chunk"
+            assert doc["session"] == recorder.session
+            assert doc["ts"] >= 0.0
+            first = recorder.events()[0]
+            assert first["event"] == "session_start"
+            assert first["schema"] == METRICS_SCHEMA_VERSION
+
+    def test_window_bounds_memory_but_not_the_count(self):
+        recorder = MetricsRecorder(window=4)
+        for _ in range(10):
+            recorder.emit("queue", depth=1)
+        assert len(recorder.events()) == 4
+        assert recorder.n_emitted == 11  # session_start + 10
+        seqs = [doc["seq"] for doc in recorder.events()]
+        assert seqs == sorted(seqs)  # oldest first
+        recorder.close()
+
+    def test_emit_after_close_is_an_error(self):
+        recorder = MetricsRecorder()
+        recorder.close()
+        recorder.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            recorder.emit("queue", depth=0)
+
+    def test_invalid_emit_is_rejected_at_the_source(self):
+        with MetricsRecorder() as recorder:
+            with pytest.raises(MetricsSchemaError):
+                recorder.emit("queue", depth="deep")
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with MetricsRecorder(jsonl_path=path, label="rt") as recorder:
+            recorder.emit("queue", depth=3)
+            recorder.emit("chunk", mode="spice", cells=8, elapsed_s=0.5)
+        events = read_jsonl(path)
+        assert [doc["event"] for doc in events] == [
+            "session_start",
+            "queue",
+            "chunk",
+            "session_end",
+        ]
+        assert events[-1]["events"] == 4
+        assert len({doc["session"] for doc in events}) == 1
+
+    def test_jsonl_appends_across_sessions(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        for _ in range(2):
+            with MetricsRecorder(jsonl_path=path):
+                pass
+        events = read_jsonl(path)
+        assert len({doc["session"] for doc in events}) == 2
+        assert summarize_events(events)["sessions"] == 2
+
+    def test_read_jsonl_pins_the_failing_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = json.dumps(chunk_doc())
+        path.write_text(good + "\n" + json.dumps({"event": "chunk"}) + "\n")
+        with pytest.raises(MetricsSchemaError, match=r"bad\.jsonl:2:"):
+            read_jsonl(path)
+        path.write_text("not json\n")
+        with pytest.raises(MetricsSchemaError, match=r"not valid JSON"):
+            read_jsonl(path)
+        path.write_text(json.dumps({"event": "chunk"}) + "\n")
+        assert read_jsonl(path, validate=False) == [{"event": "chunk"}]
+
+
+class TestSummaries:
+    def test_percentile(self):
+        assert percentile([], 50) is None
+        values = list(range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_empty_distributions_are_explicit(self):
+        assert distribution([]) == {"count": 0}
+        assert latency_summary([]) == {"count": 0}
+
+    def test_latency_summary_keys(self):
+        summary = latency_summary([0.1, 0.2, 0.3, 0.4])
+        assert summary["count"] == 4
+        assert set(summary) == {"count", "mean_s", "p50_s", "p90_s", "p99_s", "max_s"}
+        assert summary["max_s"] == pytest.approx(0.4)
+
+    def test_warm_cache_hit_rate_is_the_last_sweep(self):
+        assert warm_cache_hit_rate([]) is None
+
+        def sweep(rate):
+            return {"event": "sweep", "cache_hit_rate": rate}
+
+        assert warm_cache_hit_rate([sweep(0.0), sweep(1.0)]) == 1.0
+        assert warm_cache_hit_rate([sweep(1.0), sweep(0.5)]) == 0.5
+
+
+class TestOrchestratorIntegration:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return RemotePoweringSystem(distance=10e-3)
+
+    @pytest.fixture(scope="class")
+    def controller(self):
+        return AdaptivePowerController()
+
+    def batch(self):
+        return ScenarioBatch.from_axes(
+            distance=[8e-3, 10e-3], i_load=[352e-6, 800e-6]
+        )
+
+    def test_sweep_chunk_and_store_events(self, system, controller, tmp_path):
+        recorder = MetricsRecorder(jsonl_path=tmp_path / "m.jsonl")
+        orchestrator = SweepOrchestrator(
+            store=ResultStore(tmp_path / "cache"), recorder=recorder
+        )
+        orchestrator.run_control(self.batch(), system, controller, T_STOP)
+        orchestrator.run_control(self.batch(), system, controller, T_STOP)
+        recorder.close()
+
+        events = read_jsonl(tmp_path / "m.jsonl")
+        sweeps = [doc for doc in events if doc["event"] == "sweep"]
+        assert len(sweeps) == 2
+        assert sweeps[0]["n_computed"] == 4
+        assert sweeps[0]["cache_hit_rate"] == 0.0
+        assert sweeps[1]["n_cached"] == 4  # warm rerun replays everything
+        assert warm_cache_hit_rate(events) == 1.0
+        assert any(doc["event"] == "chunk" for doc in events)
+        assert any(doc["event"] == "store" for doc in events)
+
+        summary = summarize_events(events)
+        assert summary["sweeps"]["runs"] == 2
+        assert summary["sweeps"]["warm_cache_hit_rate"] == 1.0
+        assert summary["chunks"]["count"] >= 1
+
+    def test_delta_run_emits_study_diff(self, system, controller, tmp_path):
+        recorder = MetricsRecorder(jsonl_path=tmp_path / "m.jsonl")
+        orchestrator = SweepOrchestrator(
+            store=ResultStore(tmp_path / "cache"), recorder=recorder
+        )
+        prev = self.batch()
+        now = ScenarioBatch.from_axes(
+            distance=[8e-3, 14e-3], i_load=[352e-6, 800e-6]
+        )
+        prev_keys = orchestrator.cell_keys(
+            "control", prev, system=system, controller=controller, t_stop=T_STOP
+        )
+        orchestrator.run_control(prev, system, controller, T_STOP)
+        orchestrator.run_delta(
+            "control",
+            now,
+            prev_keys,
+            system=system,
+            controller=controller,
+            t_stop=T_STOP,
+        )
+        recorder.close()
+
+        events = read_jsonl(tmp_path / "m.jsonl")
+        diffs = [doc for doc in events if doc["event"] == "study_diff"]
+        assert len(diffs) == 1
+        assert diffs[0]["n_changed"] == 2
+        assert diffs[0]["n_replayed"] == 2
+        # The acceptance property: the delta sweep computed ONLY the
+        # changed cells, and the JSONL solve counts prove it.
+        delta_sweep = [doc for doc in events if doc["event"] == "sweep"][-1]
+        assert delta_sweep["n_computed"] == diffs[0]["n_changed"]
+        assert delta_sweep["n_cached"] == diffs[0]["n_replayed"]
+
+    def test_spice_solve_events_carry_solver_counters(self, tmp_path):
+        from repro.engine import SpiceBatch
+
+        recorder = MetricsRecorder()
+        orchestrator = SweepOrchestrator(recorder=recorder)
+        batch = SpiceBatch.from_axes(i_load=[352e-6, 800e-6])
+        orchestrator.run_spice(batch, t_stop=1e-6, dt=1.0 / (5e6 * 100))
+        recorder.close()
+
+        solves = [doc for doc in recorder.events() if doc["event"] == "solve"]
+        assert solves, "spice chunks must emit solver counters"
+        assert sum(doc["cells"] for doc in solves) == len(batch)
+        assert all(doc["accepted_steps"] > 0 for doc in solves)
+        assert all(doc["newton_iters"] > 0 for doc in solves)
+        summary = summarize_events(recorder.events())
+        assert summary["solver"]["cells"] == len(batch)
+        assert summary["solver"]["newton_iters"] > 0
+
+
+class TestServiceMetrics:
+    def test_metrics_document_and_event_window(self):
+        import asyncio
+
+        from repro.service import SimulationService
+
+        async def main():
+            service = SimulationService(window=5e-3)
+            async with service:
+                job = service.submit(
+                    {
+                        "kind": "sweep",
+                        "t_stop": T_STOP,
+                        "axes": {"distance": [8e-3], "i_load": [352e-6]},
+                    }
+                )
+                await service.result(job.id, timeout=30)
+            return service
+
+        service = asyncio.run(main())
+        doc = service.metrics()
+        assert doc["schema"] == METRICS_SCHEMA_VERSION
+        assert doc["session"] == service.recorder.session
+        assert doc["events_emitted"] > 0
+        assert doc["summary"]["jobs"]["count"] == 1
+        assert doc["summary"]["jobs"]["by_state"] == {"done": 1}
+        assert doc["summary"]["batches"]["count"] == 1
+
+        events = service.metrics_events()
+        kinds = {doc["event"] for doc in events}
+        assert {"session_start", "queue", "batch", "job"} <= kinds
+        for doc in events:
+            validate_event(doc)
+
+
+class TestMetricsReportTool:
+    @pytest.fixture(scope="class")
+    def tool(self):
+        path = Path(__file__).resolve().parent.parent / "benchmarks"
+        spec = importlib.util.spec_from_file_location(
+            "metrics_report", path / "metrics_report.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def write_session(self, path, hit_rate):
+        with MetricsRecorder(jsonl_path=path, label="gate") as recorder:
+            recorder.emit(
+                "sweep",
+                mode="control",
+                n_scenarios=4,
+                n_cached=int(4 * hit_rate),
+                n_computed=4 - int(4 * hit_rate),
+                n_chunks=1,
+                workers=1,
+                parallel=False,
+                elapsed_s=0.1,
+                cache_hit_rate=hit_rate,
+            )
+
+    def test_gate_passes_on_a_warm_session(self, tool, tmp_path, capsys):
+        path = tmp_path / "warm.jsonl"
+        self.write_session(path, 1.0)
+        code = tool.main(
+            [str(path), "--min-warm-cache-hit-rate", "0.95", "--require-events",
+             "session_start,sweep,session_end"]
+        )
+        assert code == 0
+        assert "metrics gate passed" in capsys.readouterr().out
+
+    def test_gate_fails_on_a_cold_session(self, tool, tmp_path, capsys):
+        path = tmp_path / "cold.jsonl"
+        self.write_session(path, 0.5)
+        assert tool.main([str(path), "--min-warm-cache-hit-rate", "0.95"]) == 1
+        assert "warm-cache gate" in capsys.readouterr().err
+
+    def test_gate_fails_on_missing_event_type(self, tool, tmp_path, capsys):
+        path = tmp_path / "warm.jsonl"
+        self.write_session(path, 1.0)
+        assert tool.main([str(path), "--require-events", "solve"]) == 1
+        assert "never emitted" in capsys.readouterr().err
+
+    def test_schema_breakage_is_exit_2(self, tool, tmp_path, capsys):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"event": "sweep"}\n')
+        assert tool.main([str(path)]) == 2
+        assert "schema validation FAILED" in capsys.readouterr().err
+
+    def test_json_output_is_the_summary_document(self, tool, tmp_path, capsys):
+        path = tmp_path / "warm.jsonl"
+        self.write_session(path, 1.0)
+        assert tool.main([str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["sweeps"]["runs"] == 1
+        assert doc["sweeps"]["warm_cache_hit_rate"] == 1.0
