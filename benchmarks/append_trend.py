@@ -48,6 +48,33 @@ def build_row(results, run_id="", ref="", timestamp=None):
     return row
 
 
+def is_duplicate(row, trend_path):
+    """Whether the trend file already records this exact snapshot — the
+    same commit ref with the same gated minima.  A re-run of the same
+    nightly (cache restored, workflow retried) should not widen the
+    trend with rows that carry no new information; a re-run whose
+    timings moved still lands, because the minima differ."""
+    try:
+        fh = open(trend_path)
+    except OSError:
+        return False
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                prior = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn row must not block new appends
+            if (
+                prior.get("ref") == row["ref"]
+                and prior.get("gated_min_s") == row["gated_min_s"]
+            ):
+                return True
+    return False
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("results", help="pytest-benchmark JSON file")
@@ -64,6 +91,12 @@ def main(argv=None):
     except OSError as exc:
         raise SystemExit(f"cannot read results file: {exc}")
     row = build_row(results, run_id=args.run_id, ref=args.ref, timestamp=args.timestamp)
+    if is_duplicate(row, args.trend):
+        print(
+            f"skipped duplicate trend row: ref {args.ref or '<none>'!r} with "
+            f"identical gated minima is already recorded in {args.trend}"
+        )
+        return 0
     with open(args.trend, "a") as fh:
         fh.write(json.dumps(row, sort_keys=True) + "\n")
     n_rows = sum(1 for _ in open(args.trend))

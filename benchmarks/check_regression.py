@@ -33,6 +33,7 @@ DEFAULT_GATE = [
     "test_bench_spice_accuracy_and_speed",
     "test_bench_nonlinear_newton_speed",
     "test_bench_spice_adaptive",
+    "test_bench_multiworker_saturation",
 ]
 
 

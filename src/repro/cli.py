@@ -290,8 +290,9 @@ def _run_delta(args, orchestrator, mode, batch, keys, **params):
     incremental recomputation.  Returns ``(result, error exit code)``
     with exactly one of the two set."""
     if orchestrator.store is None:
-        print("sweep: --diff-against requires --cache-dir (unchanged "
-              "cells are replayed from the store)", file=sys.stderr)
+        print("sweep: --diff-against requires a result store "
+              "(--cache-dir or --store; unchanged cells are replayed "
+              "from it)", file=sys.stderr)
         return None, 2
     prev_keys, error = _load_prev_study(args.diff_against, mode)
     if error:
@@ -382,19 +383,42 @@ def _run_spice_sweep(args, orchestrator):
     return 0
 
 
+def _open_store(args, label):
+    """Resolve ``--store`` (backend URI) / ``--cache-dir`` into a
+    storage backend.  Returns ``(backend_or_None, exit_code_or_None)``
+    — exactly one of the two is set when opening fails."""
+    store_uri = getattr(args, "store", None)
+    if store_uri:
+        from repro.storage import BackendURIError, open_backend
+
+        try:
+            return open_backend(store_uri), None
+        except (BackendURIError, OSError) as exc:
+            print(f"{label}: cannot open store {store_uri!r}: {exc}",
+                  file=sys.stderr)
+            return None, 2
+    if args.cache_dir:
+        from repro.engine import ResultStore
+
+        try:
+            return ResultStore(args.cache_dir), None
+        except OSError as exc:
+            print(f"{label}: cannot use cache dir "
+                  f"{args.cache_dir!r}: {exc}", file=sys.stderr)
+            return None, 2
+    return None, None
+
+
 def cmd_sweep(args):
     from repro import RemotePoweringSystem
     from repro.core import AdaptivePowerController
-    from repro.engine import ResultStore, SweepOrchestrator
+    from repro.engine import SweepOrchestrator
 
     system = RemotePoweringSystem(distance=10e-3)
     controller = AdaptivePowerController()
-    try:
-        store = ResultStore(args.cache_dir) if args.cache_dir else None
-    except OSError as exc:
-        print(f"sweep: cannot use cache dir {args.cache_dir!r}: {exc}",
-              file=sys.stderr)
-        return 2
+    store, code = _open_store(args, "sweep")
+    if code is not None:
+        return code
     progress = None
     if not args.quiet:
         def progress(done, total, cells_done, cells_total):
@@ -497,16 +521,13 @@ def _run_control_sweep(args, orchestrator, system, controller):
 
 def cmd_serve(args):
     import asyncio
+    import signal
 
-    from repro.engine import ResultStore
     from repro.service import ServiceHTTPServer, SimulationService
 
-    try:
-        store = ResultStore(args.cache_dir) if args.cache_dir else None
-    except OSError as exc:
-        print(f"serve: cannot use cache dir {args.cache_dir!r}: {exc}",
-              file=sys.stderr)
-        return 2
+    store, code = _open_store(args, "serve")
+    if code is not None:
+        return code
 
     recorder = None
     if args.metrics_jsonl:
@@ -517,7 +538,7 @@ def cmd_serve(args):
 
     async def run():
         service = SimulationService(
-            store=store, workers=args.workers,
+            store=store, scheduler_workers=args.workers or 1,
             window=args.window_ms * 1e-3, max_batch=args.max_batch,
             max_pending=args.max_pending, recorder=recorder)
         server = ServiceHTTPServer(service, host=args.host,
@@ -525,18 +546,58 @@ def cmd_serve(args):
         host, port = await server.start()
         await service.start()
         print(f"repro serve: listening on http://{host}:{port} "
-              f"(batch window {args.window_ms:g} ms, "
+              f"({service.scheduler_workers} scheduler worker(s), "
+              f"batch window {args.window_ms:g} ms, "
               f"max batch {args.max_batch} cells, "
               f"queue bound {args.max_pending} jobs)",
               file=sys.stderr, flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        registered = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                registered.append(sig)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without signal handlers: Ctrl-C path
+        serving = asyncio.create_task(server.serve_forever())
+        stopping = asyncio.create_task(stop.wait())
+        drain_stats = None
         try:
-            await server.serve_forever()
+            await asyncio.wait({serving, stopping},
+                               return_when=asyncio.FIRST_COMPLETED)
+            if stop.is_set():
+                # Graceful shutdown: new submits 503 while in-flight
+                # jobs finish (status/stream stay served), bounded by
+                # the drain timeout; leftovers are cancelled.
+                print("repro serve: draining "
+                      f"(timeout {args.drain_timeout_s:g} s)",
+                      file=sys.stderr, flush=True)
+                drain_stats = await service.drain(
+                    timeout=args.drain_timeout_s)
+                print(f"repro serve: drained "
+                      f"{drain_stats['drained_jobs']} job(s) in "
+                      f"{drain_stats['drain_elapsed_s']:.3f} s "
+                      f"(clean={drain_stats['drain_clean']}, "
+                      f"rejected "
+                      f"{drain_stats['rejected_during_drain']})",
+                      file=sys.stderr, flush=True)
         finally:
+            for sig in registered:
+                loop.remove_signal_handler(sig)
+            for task in (serving, stopping):
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
             await service.stop()
             await server.stop()
+        return drain_stats
 
+    drain_stats = None
     try:
-        asyncio.run(run())
+        drain_stats = asyncio.run(run())
     except KeyboardInterrupt:
         print("repro serve: stopped", file=sys.stderr)
         return 0
@@ -546,7 +607,7 @@ def cmd_serve(args):
         return 2
     finally:
         if recorder is not None:
-            recorder.close()
+            recorder.close(**(drain_stats or {}))
     return 0
 
 
@@ -636,6 +697,10 @@ def build_parser():
             p.add_argument("--cache-dir", default=None,
                            help="content-addressed result store; "
                                 "repeated sweeps skip computed cells")
+            p.add_argument("--store", default=None, metavar="URI",
+                           help="storage backend URI (dir://PATH, "
+                                "sqlite://PATH, tiered://PATH?shards=N,"
+                                " mem://); overrides --cache-dir")
             p.add_argument("--format", default="table",
                            choices=("table", "json", "csv"),
                            help="output format")
@@ -658,12 +723,23 @@ def build_parser():
             p.add_argument("--port", type=int, default=8765,
                            help="TCP port (0 picks a free port)")
             p.add_argument("--workers", type=int, default=None,
-                           help="orchestrator worker processes "
-                                "(default: serial; batching is the "
-                                "serving win on 1-CPU hosts)")
+                           help="scheduler workers draining the "
+                                "shared queue (default 1; >1 grows "
+                                "the serving tier to a process pool "
+                                "sharing one storage backend)")
             p.add_argument("--cache-dir", default=None,
                            help="content-addressed result store "
                                 "shared by all requests")
+            p.add_argument("--store", default=None, metavar="URI",
+                           help="storage backend URI (dir://PATH, "
+                                "sqlite://PATH, tiered://PATH?shards=N,"
+                                " mem://); overrides --cache-dir")
+            p.add_argument("--drain-timeout-s", type=float,
+                           default=10.0,
+                           help="graceful-shutdown budget: seconds to "
+                                "let in-flight jobs finish on "
+                                "SIGTERM/SIGINT before cancelling "
+                                "what is still queued")
             p.add_argument("--window-ms", type=float, default=10.0,
                            help="micro-batch collection window (ms)")
             p.add_argument("--max-batch", type=int, default=512,

@@ -417,9 +417,12 @@ class SweepOrchestrator:
     Parameters
     ----------
     workers : worker-process count; None/0/1 runs serially in-process.
-    store : optional :class:`~repro.engine.store.ResultStore`; when
-        set, each scenario cell is looked up by its physics hash before
-        any chunk is run, and computed cells are written back.
+    store : optional :class:`~repro.storage.StoreBackend` (any
+        backend — the original npz directory, sqlite-indexed, tiered)
+        or a backend URI string (``dir://...``, ``sqlite://...``, see
+        :func:`repro.storage.open_backend`); when set, each scenario
+        cell is looked up by its physics hash before any chunk is
+        run, and computed cells are written back.
     chunk_size : scenarios per chunk; default makes one chunk per
         worker (see the module docstring on why fewer chunks win).
     start_method : multiprocessing start method; default prefers
@@ -449,6 +452,10 @@ class SweepOrchestrator:
         recorder=None,
     ):
         self.workers = max(1, int(workers)) if workers else 1
+        if isinstance(store, str):
+            from repro.storage import open_backend
+
+            store = open_backend(store)
         self.store = store
         if chunk_size is not None and int(chunk_size) < 1:
             raise ValueError("chunk_size must be >= 1")

@@ -1,230 +1,32 @@
-"""Content-addressed on-disk result store for sweep orchestration.
+"""Back-compat shim over :mod:`repro.storage`.
 
-Every scenario cell of a sweep is addressed by the SHA-256 of its full
-physics fingerprint (scenario axes + system/controller parameters +
-time grid — assembled in :mod:`repro.engine.parallel`), and its result
-rows live in one ``.npz`` under a two-level sharded directory.  Repeated
-sweeps, partially-overlapping grids, and CI bench reruns then skip every
-already-computed cell; hit/miss counters are surfaced in sweep output.
+The content-addressed result store grew into the pluggable storage
+subsystem (:mod:`repro.storage`): the npz-directory implementation
+that used to live here is now
+:class:`~repro.storage.directory.DirectoryBackend`, one of several
+backends behind one :class:`~repro.storage.base.StoreBackend`
+contract (``dir://``, ``sqlite://``, ``tiered://``, ``mem://`` — see
+:func:`repro.storage.open_backend`).
 
-Keys are content hashes, so a changed controller gain, tissue stack, or
-engine constant simply misses — there is no invalidation protocol.  The
-optional ``max_entries`` bound evicts least-recently-used cells so a
-long-lived cache directory cannot grow without bound.  LRU order is
-tracked in an in-memory index (rebuilt once per store instance from
-file mtimes) so ``put`` never rescans the directory; hits still touch
-the file mtime so a *future* store instance — or another process
-sharing the directory — rebuilds the same order.
-
-Writes go through a temp file + atomic rename, so two processes sharing
-one cache directory can race on the same cell and both leave a complete
-``.npz`` behind; a cell evicted under a concurrent reader's feet simply
-reads as a miss and is recomputed.
+Everything historically importable from this module keeps working:
+``ResultStore`` *is* the directory backend (same constructor, same
+on-disk layout, same LRU/atomic-write semantics), and
+``canonical_key`` / ``StoreStats`` / ``STORE_SCHEMA_VERSION`` are the
+shared storage-layer objects re-exported under their old names.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import math
-import os
-import tempfile
-from dataclasses import dataclass
-
-import numpy as np
-
-#: Bump when the stored row layout or fingerprint layout changes; the
-#: version participates in every key, so old cells simply stop matching.
-STORE_SCHEMA_VERSION = 1
+from repro.storage.base import (  # noqa: F401 - re-exported surface
+    STORE_SCHEMA_VERSION,
+    StoreStats,
+    _canonical_value,
+    canonical_key,
+)
+from repro.storage.directory import DirectoryBackend
 
 
-def _canonical_value(obj):
-    """Recursively reduce a fingerprint payload to canonical plain data.
-
-    Beyond numpy scalars/arrays, non-finite floats are rewritten to a
-    tagged one-key dict: ``json.dumps`` would otherwise emit bare
-    ``NaN``/``Infinity`` tokens (invalid JSON, and a foot-gun for any
-    non-Python consumer of the key scheme).  The tag is a dict — not a
-    bare string — so a payload that legitimately contains the *string*
-    ``"NaN"`` can never collide with a payload containing the float.
-    """
-    if isinstance(obj, (np.floating, np.integer, np.bool_)):
-        obj = obj.item()
-    if isinstance(obj, np.ndarray):
-        obj = obj.tolist()
-    if isinstance(obj, float) and not math.isfinite(obj):
-        if math.isnan(obj):
-            return {"__nonfinite__": "nan"}
-        return {"__nonfinite__": "inf" if obj > 0 else "-inf"}
-    if isinstance(obj, dict):
-        return {str(k): _canonical_value(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [_canonical_value(v) for v in obj]
-    if obj is None or isinstance(obj, (bool, int, float, str)):
-        return obj
-    raise TypeError(f"cannot fingerprint {type(obj).__name__!r} values")
-
-
-def canonical_key(payload):
-    """SHA-256 hex digest of a plain-data payload, via canonical JSON
-    (sorted keys, no whitespace) so logically-equal fingerprints hash
-    identically regardless of dict construction order.  Non-finite
-    floats are canonicalized explicitly (``allow_nan=False`` guards
-    against any slipping through as invalid JSON)."""
-    blob = json.dumps(
-        _canonical_value(payload),
-        sort_keys=True,
-        separators=(",", ":"),
-        allow_nan=False,
-    )
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
-
-
-@dataclass
-class StoreStats:
-    """Hit/miss accounting for one :class:`ResultStore` lifetime."""
-
-    hits: int = 0
-    misses: int = 0
-    writes: int = 0
-    evictions: int = 0
-
-    @property
-    def lookups(self):
-        return self.hits + self.misses
-
-    def as_dict(self):
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "writes": self.writes,
-            "evictions": self.evictions,
-        }
-
-
-class ResultStore:
-    """Scenario-hash -> ``.npz`` store rooted at ``root``.
-
-    ``get``/``put`` move dicts of numpy arrays; writes go through a
-    temp file + atomic rename so a crashed sweep never leaves a
-    half-written cell that later reads as a corrupt hit.
-    """
-
-    def __init__(self, root, max_entries=None):
-        self.root = os.path.expanduser(str(root))
-        os.makedirs(self.root, exist_ok=True)
-        if max_entries is not None and int(max_entries) < 1:
-            raise ValueError("max_entries must be >= 1")
-        self.max_entries = None if max_entries is None else int(max_entries)
-        self.stats = StoreStats()
-        # In-memory LRU index: {path: None}, oldest first.  Built once
-        # (lazily) from file mtimes; after that every put/get is an
-        # O(1) dict move instead of a directory rescan.
-        self._index = None
-
-    def _path(self, key):
-        return os.path.join(self.root, key[:2], key + ".npz")
-
-    def _scan(self):
-        """(mtime, path) for every stored cell — the startup scan."""
-        out = []
-        for shard in os.listdir(self.root):
-            shard_dir = os.path.join(self.root, shard)
-            if not os.path.isdir(shard_dir):
-                continue
-            for name in os.listdir(shard_dir):
-                if not name.endswith(".npz"):
-                    continue
-                path = os.path.join(shard_dir, name)
-                try:
-                    out.append((os.path.getmtime(path), path))
-                except OSError:
-                    continue
-        return out
-
-    def _lru(self):
-        """The in-memory LRU index, rebuilt from disk on first use."""
-        if self._index is None:
-            self._index = {path: None for _, path in sorted(self._scan())}
-        return self._index
-
-    def _touch(self, path):
-        """Move ``path`` to the most-recent end of the LRU index."""
-        index = self._lru()
-        index.pop(path, None)
-        index[path] = None
-
-    def __len__(self):
-        # Directory truth, not the in-memory index: another process
-        # sharing the root may have added or evicted cells since this
-        # instance's index was built.
-        return len(self._scan())
-
-    def get(self, key):
-        """The stored arrays for ``key``, or None (counted as a miss).
-        A hit refreshes the cell's LRU position."""
-        path = self._path(key)
-        try:
-            with np.load(path) as archive:
-                arrays = {name: archive[name] for name in archive.files}
-        except (OSError, ValueError, EOFError, KeyError):
-            # Missing cell, or one corrupted mid-write by a hard kill:
-            # either way it is a miss and will be recomputed.
-            self.stats.misses += 1
-            return None
-        try:
-            os.utime(path)
-        except OSError:
-            # A concurrent process evicted the cell between the load
-            # and the LRU touch; the data is already in hand.
-            pass
-        self._touch(path)
-        self.stats.hits += 1
-        return arrays
-
-    def put(self, key, arrays):
-        """Store ``arrays`` (a dict of numpy arrays) under ``key``."""
-        path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                np.savez(fh, **arrays)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
-        self.stats.writes += 1
-        self._touch(path)
-        if self.max_entries is not None and len(self._index) > self.max_entries:
-            self._evict()
-
-    def _evict(self):
-        """Drop oldest-known cells until the index fits the bound.
-
-        A cell already removed by a concurrent process just falls out
-        of the index without counting as an eviction here — the other
-        process already accounted for it, so shared directories never
-        double-count (or double-delete) a cell.
-        """
-        index = self._lru()
-        excess = len(index) - self.max_entries
-        for path in list(index)[:excess]:
-            del index[path]
-            try:
-                os.unlink(path)
-            except OSError:
-                continue
-            self.stats.evictions += 1
-
-    def clear(self):
-        """Drop every stored cell (keeps the root directory).  Scans
-        the directory rather than trusting the index, so cells written
-        by a concurrent process are dropped too."""
-        for _, path in self._scan():
-            try:
-                os.unlink(path)
-            except OSError:
-                continue
-        self._index = {}
+class ResultStore(DirectoryBackend):
+    """The original scenario-hash -> ``.npz`` store, now an alias of
+    :class:`~repro.storage.directory.DirectoryBackend` (see that class
+    for the semantics; nothing changed on disk)."""

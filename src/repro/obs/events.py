@@ -53,10 +53,15 @@ EVENT_SCHEMAS = {
         "schema": (int, True),
         "pid": (int, True),
     },
-    # Emitted by MetricsRecorder.close().
+    # Emitted by MetricsRecorder.close().  The optional drain fields
+    # are stamped by `repro serve` graceful shutdown (close(**stats)).
     "session_end": {
         "events": (int, True),
         "elapsed_s": (_NUM, True),
+        "drained_jobs": (int, False),
+        "drain_elapsed_s": (_NUM, False),
+        "drain_clean": (bool, False),
+        "rejected_during_drain": (int, False),
     },
     # One orchestrated sweep (SweepOrchestrator run_* methods).
     "sweep": {
@@ -70,12 +75,14 @@ EVENT_SCHEMAS = {
         "elapsed_s": (_NUM, True),
         "cache_hit_rate": (_NUM, True),
         "fallback_reason": (_OPT_STR, False),
+        "worker": (int, False),
     },
     # One evaluated chunk (timed inside the worker, serial or process).
     "chunk": {
         "mode": (str, True),
         "cells": (int, True),
         "elapsed_s": (_NUM, True),
+        "worker": (int, False),
     },
     # Solver counters of the spice cells of one chunk (lockstep
     # families: accepted steps, Newton iterations, step rejections).
@@ -86,6 +93,7 @@ EVENT_SCHEMAS = {
         "newton_iters": (int, True),
         "newton_rejects": (int, True),
         "lte_rejects": (int, True),
+        "worker": (int, False),
     },
     # One incremental-recomputation run (SweepOrchestrator.run_delta).
     "study_diff": {
@@ -97,7 +105,8 @@ EVENT_SCHEMAS = {
         "n_replayed": (int, True),
         "n_replay_miss": (int, True),
     },
-    # One coalesced micro-batch group (service scheduler).
+    # One coalesced micro-batch group (service scheduler).  ``worker``
+    # is the scheduler-worker id on a multi-worker serving tier.
     "batch": {
         "kind": (str, True),
         "jobs": (int, True),
@@ -106,10 +115,12 @@ EVENT_SCHEMAS = {
         "cached": (int, True),
         "computed": (int, True),
         "elapsed_s": (_NUM, True),
+        "worker": (int, False),
     },
     # Queue-depth sample, taken when a micro-batch closes collection.
     "queue": {
         "depth": (int, True),
+        "worker": (int, False),
     },
     # One job reaching a terminal state in the service.
     "job": {
@@ -117,6 +128,7 @@ EVENT_SCHEMAS = {
         "state": (str, True),
         "cells": (int, True),
         "latency_s": (_NUM, True),
+        "worker": (int, False),
     },
     # Result-store counter snapshot (cumulative over the store's life).
     "store": {
@@ -124,6 +136,24 @@ EVENT_SCHEMAS = {
         "misses": (int, True),
         "writes": (int, True),
         "evictions": (int, True),
+        "worker": (int, False),
+    },
+    # One streamed result chunk published to a job (service scheduler).
+    "stream": {
+        "kind": (str, True),
+        "seq": (int, True),
+        "cells": (int, True),
+        "elapsed_s": (_NUM, True),
+        "worker": (int, False),
+    },
+    # One storage-backend health probe (service /healthz).
+    "store_backend": {
+        "backend": (str, True),
+        "ok": (bool, True),
+        "writable": (bool, True),
+        "entries": (int, True),
+        "elapsed_s": (_NUM, True),
+        "error": (_OPT_STR, False),
     },
     # One SimulationEngine.run() (the discrete-time core).
     "engine_run": {

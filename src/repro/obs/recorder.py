@@ -124,15 +124,19 @@ class MetricsRecorder:
         return summarize_events(self.events())
 
     # -- lifecycle ------------------------------------------------------
-    def close(self):
-        """Emit ``session_end`` and release the sink (idempotent)."""
+    def close(self, **extra):
+        """Emit ``session_end`` and release the sink (idempotent).
+
+        ``extra`` fields ride on the ``session_end`` event (they must
+        be declared optional in its schema) — the serve drain stats
+        use this to close a session with its shutdown accounting."""
         with self._lock:
             if self._closing:
                 return
             self._closing = True
             total = self._seq + 1  # session_end included
             elapsed = time.monotonic() - self._t0
-        self.emit("session_end", events=total, elapsed_s=elapsed)
+        self.emit("session_end", events=total, elapsed_s=elapsed, **extra)
         with self._lock:
             self._closed = True
             if self._fh is not None:

@@ -30,10 +30,15 @@ from repro.service.jobs import (
     JobState,
     QueueFullError,
     ServiceError,
+    ServiceUnavailableError,
     SimRequestError,
 )
 from repro.service.requests import SimRequest
-from repro.service.scheduler import MicroBatchScheduler, SchedulerStats
+from repro.service.scheduler import (
+    InFlightIndex,
+    MicroBatchScheduler,
+    SchedulerStats,
+)
 from repro.service.service import SimulationService, percentile
 
 __all__ = [
@@ -49,8 +54,10 @@ __all__ = [
     "JobState",
     "QueueFullError",
     "ServiceError",
+    "ServiceUnavailableError",
     "SimRequestError",
     "SimRequest",
+    "InFlightIndex",
     "MicroBatchScheduler",
     "SchedulerStats",
     "SimulationService",

@@ -7,9 +7,15 @@ generator used by the serving benchmark and example.
 * :class:`HttpServiceClient` — the same surface over the HTTP
   front-end via asyncio streams (stdlib only); raises the same typed
   errors the in-process path does (429 -> QueueFullError, 400 ->
-  SimRequestError, 404 -> JobNotFoundError, ...).
+  SimRequestError, 404 -> JobNotFoundError, 503 ->
+  ServiceUnavailableError, ...).
 * :class:`LoadGenerator` — N closed-loop clients (submit, await
   result, repeat) with latency/throughput accounting.
+
+Both clients stream partial results: ``iter_results(job_id)`` yields
+the job's chunk documents as the scheduler publishes them (the HTTP
+client consumes the ``/job/<id>/stream`` NDJSON endpoint), raising the
+job's typed terminal error if it fails or is cancelled mid-stream.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.service.jobs import (
     JobNotFoundError,
     QueueFullError,
     ServiceError,
+    ServiceUnavailableError,
     SimRequestError,
 )
 
@@ -32,7 +39,17 @@ _ERRORS_BY_STATUS = {
     404: JobNotFoundError,
     409: JobCancelledError,
     429: QueueFullError,
+    503: ServiceUnavailableError,
 }
+
+
+def _terminal_error(job_id, state, error=None):
+    """The typed error for a non-done terminal state, or None."""
+    if state == "cancelled":
+        return JobCancelledError(f"job {job_id} was cancelled")
+    if state == "failed":
+        return JobFailedError(f"job {job_id} failed: {error}")
+    return None
 
 
 class ServiceClient:
@@ -51,6 +68,18 @@ class ServiceClient:
     async def result(self, job_id, timeout=None):
         return await self.service.result(job_id, timeout=timeout)
 
+    async def iter_results(self, job_id):
+        """Yield the job's streamed chunk documents as they are
+        published; raises the typed terminal error if the job ends
+        failed/cancelled (chunks streamed before the failure are
+        still yielded first)."""
+        job = self.service.job(job_id)
+        async for chunk in job.iter_chunks():
+            yield chunk
+        error = _terminal_error(job_id, job.state.value, job.error)
+        if error is not None:
+            raise error
+
     async def job(self, job_id):
         return self.service.job(job_id).snapshot()
 
@@ -59,6 +88,9 @@ class ServiceClient:
 
     async def stats(self):
         return self.service.stats()
+
+    async def health(self):
+        return self.service.health()
 
 
 class HttpServiceClient:
@@ -70,7 +102,7 @@ class HttpServiceClient:
         self.port = int(port)
         self.poll_interval = float(poll_interval)
 
-    async def _request(self, method, path, payload=None):
+    async def _request(self, method, path, payload=None, accept=(200,)):
         body = b"" if payload is None else json.dumps(payload).encode()
         reader, writer = await asyncio.open_connection(self.host, self.port)
         try:
@@ -83,21 +115,38 @@ class HttpServiceClient:
             ).encode("ascii")
             writer.write(head + body)
             await writer.drain()
-            raw = await reader.read()
+            try:
+                raw = await reader.read()
+            except (ConnectionError, OSError) as exc:
+                # The server (or the network) dropped the connection
+                # mid-response: a transport failure, not a protocol one.
+                raise ServiceError(f"connection lost mid-response: {exc}") from exc
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, BrokenPipeError):
                 pass
-        header, _, rest = raw.partition(b"\r\n\r\n")
+        header, sep, rest = raw.partition(b"\r\n\r\n")
+        if not sep:
+            raise ServiceError(
+                f"truncated response (no header/body separator in "
+                f"{len(raw)} bytes)"
+            )
         status_line = header.split(b"\r\n", 1)[0].decode("latin-1")
         try:
             status = int(status_line.split()[1])
         except (IndexError, ValueError):
             raise ServiceError(f"malformed response: {status_line!r}")
-        doc = json.loads(rest.decode("utf-8")) if rest else {}
-        if status != 200:
+        try:
+            doc = json.loads(rest.decode("utf-8")) if rest else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            if status in accept or status == 200:
+                raise ServiceError(
+                    f"malformed response body (status {status}): {exc}"
+                ) from exc
+            doc = {}
+        if status not in accept:
             error = _ERRORS_BY_STATUS.get(status, ServiceError)
             raise error(doc.get("message", status_line))
         return doc
@@ -121,13 +170,67 @@ class HttpServiceClient:
             state = doc["state"]
             if state == "done":
                 return doc["result"]
-            if state == "cancelled":
-                raise JobCancelledError(f"job {job_id} was cancelled")
-            if state == "failed":
-                raise JobFailedError(f"job {job_id} failed: {doc.get('error')}")
+            error = _terminal_error(job_id, state, doc.get("error"))
+            if error is not None:
+                raise error
             if time.monotonic() >= deadline:
                 raise TimeoutError(f"job {job_id} still {state} after {timeout} s")
             await asyncio.sleep(self.poll_interval)
+
+    async def iter_results(self, job_id):
+        """Consume ``/job/<id>/stream``: yield each chunk document as
+        its NDJSON line arrives; raises the typed terminal error for a
+        failed/cancelled job, and :class:`ServiceError` if the stream
+        ends without a terminal line (server died mid-stream)."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            head = (
+                f"GET /job/{job_id}/stream HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head)
+            await writer.drain()
+            status_line = (await reader.readline()).decode("latin-1")
+            try:
+                status = int(status_line.split()[1])
+            except (IndexError, ValueError):
+                raise ServiceError(f"malformed response: {status_line!r}")
+            while True:  # headers until the blank line
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if status != 200:
+                body = await reader.read()
+                try:
+                    doc = json.loads(body.decode("utf-8")) if body else {}
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    doc = {}
+                error = _ERRORS_BY_STATUS.get(status, ServiceError)
+                raise error(doc.get("message", status_line))
+            while True:
+                line = await reader.readline()
+                if not line:
+                    raise ServiceError(
+                        f"stream for job {job_id} ended without a "
+                        f"terminal event"
+                    )
+                try:
+                    doc = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ServiceError(f"malformed stream line: {exc}") from exc
+                if doc.get("event") == "end":
+                    error = _terminal_error(job_id, doc.get("state"), doc.get("error"))
+                    if error is not None:
+                        raise error
+                    return
+                yield doc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
 
     async def cancel(self, job_id):
         doc = await self._request("POST", f"/job/{job_id}/cancel")
@@ -137,7 +240,10 @@ class HttpServiceClient:
         return await self._request("GET", "/stats")
 
     async def health(self):
-        return await self._request("GET", "/healthz")
+        """The ``/healthz`` document — returned for both the healthy
+        (200) and unhealthy (503) probe, so monitoring sees the
+        backend diagnosis instead of a bare error."""
+        return await self._request("GET", "/healthz", accept=(200, 503))
 
 
 class LoadGenerator:
@@ -186,8 +292,8 @@ class LoadGenerator:
                         break
                     await asyncio.sleep(self.retry_backoff)
                 except (ServiceError, OSError):
-                    # Dead/unreachable service: a failed request, not
-                    # a crashed load run.
+                    # Dead/unreachable/draining service: a failed
+                    # request, not a crashed load run.
                     self.failed += 1
                     break
             if job_id is None:

@@ -14,13 +14,22 @@ Routes
   done; 404 for unknown (or pruned) ids.
 * ``POST /job/<id>/cancel`` — cancel a queued job;
   ``{"cancelled": bool}`` (False: it already left the queue).
+* ``GET /job/<id>/stream``  — newline-delimited JSON stream of the
+  job's result chunks as the scheduler publishes them (one chunk
+  document per line, replayed from the start for late subscribers),
+  terminated by an ``{"event": "end", "state": ...}`` line once the
+  job is terminal.  The only non-buffered route: chunks are written
+  as they land, so a client renders partial results while the tail
+  of the batch still computes.
 * ``GET /stats``            — queue depth, latency percentiles, batch
   sizes, dedup/cache rates.
 * ``GET /metrics``          — percentile/rate summary of the service's
   rolling metrics-event window.
 * ``GET /metrics/events``   — the raw event window (schema-valid flat
   JSON documents, oldest first).
-* ``GET /healthz``          — liveness probe.
+* ``GET /healthz``          — liveness + storage-backend health probe
+  (503 with the same document when the backend probe fails — or while
+  the service drains for shutdown new submits 503 too).
 """
 
 from __future__ import annotations
@@ -39,12 +48,21 @@ _REASONS = {
     409: "Conflict",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: Request bodies past this size are rejected before parsing.
 MAX_BODY_BYTES = 8 * 1024 * 1024
 #: Header lines per request; more is a stalling or hostile client.
 MAX_HEADERS = 100
+
+
+class _StreamJob:
+    """Route sentinel: stream this job's chunks instead of buffering
+    one JSON response."""
+
+    def __init__(self, job):
+        self.job = job
 
 
 class ServiceHTTPServer:
@@ -83,9 +101,15 @@ class ServiceHTTPServer:
     # -- one connection = one request/response -------------------------
     async def _handle(self, reader, writer):
         try:
-            status, payload = await asyncio.wait_for(
+            response = await asyncio.wait_for(
                 self._respond_to(reader), self.read_timeout
             )
+            if isinstance(response, _StreamJob):
+                # The read_timeout bounded receiving + routing the
+                # request; the stream itself runs as long as the job.
+                await self._stream(response.job, writer)
+                return
+            status, payload = response
         except asyncio.TimeoutError:
             status, payload = 408, {
                 "error": "timeout",
@@ -112,6 +136,40 @@ class ServiceHTTPServer:
         ).encode("ascii")
         try:
             writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _stream(self, job, writer):
+        """Write the job's chunk documents as NDJSON, one line per
+        chunk as it is published, ending with a terminal-state line.
+        A client hanging up mid-stream just ends this handler — the
+        job itself is unaffected."""
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head)
+            await writer.drain()
+            async for chunk in job.iter_chunks():
+                writer.write(json.dumps(chunk).encode("utf-8") + b"\n")
+                await writer.drain()
+            end = {
+                "event": "end",
+                "state": job.state.value,
+                "chunks": len(job.chunks),
+            }
+            if job.error is not None:
+                end["error"] = job.error
+            writer.write(json.dumps(end).encode("utf-8") + b"\n")
             await writer.drain()
         except (ConnectionError, BrokenPipeError):
             pass
@@ -187,6 +245,9 @@ class ServiceHTTPServer:
                     "cancelled": cancelled,
                     "state": service.job(job_id).state.value,
                 }
+            if method == "GET" and rest.endswith("/stream"):
+                job_id = rest[: -len("/stream")].rstrip("/")
+                return _StreamJob(service.job(job_id))
             if method == "GET":
                 return 200, service.job(rest).snapshot()
         if method == "GET" and path == "/stats":
@@ -196,5 +257,6 @@ class ServiceHTTPServer:
         if method == "GET" and path == "/metrics/events":
             return 200, {"events": service.metrics_events()}
         if method == "GET" and path == "/healthz":
-            return 200, {"ok": True, "queue_depth": service.queue.depth}
+            doc = service.health()
+            return (200 if doc.get("ok") else 503), doc
         return 404, {"error": "not_found", "message": f"no route for {method} {path}"}

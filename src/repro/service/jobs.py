@@ -45,6 +45,15 @@ class QueueFullError(ServiceError):
     code = "queue_full"
 
 
+class ServiceUnavailableError(ServiceError):
+    """The service is draining for shutdown (or otherwise refusing
+    work); the submit was rejected and will not succeed on retry
+    against this instance."""
+
+    http_status = 503
+    code = "unavailable"
+
+
 class JobNotFoundError(ServiceError):
     http_status = 404
     code = "job_not_found"
@@ -94,7 +103,11 @@ class Job:
     #: once by another job's — or a cached — cell, not by this one).
     shared_cells: int = 0
     in_queue: bool = False
+    #: Streamed partial-result documents (appended by the scheduler as
+    #: slices of the job's cells resolve; consumed by iter_chunks).
+    chunks: list = field(default_factory=list, repr=False)
     _done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+    _chunk_event: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
 
     @property
     def latency(self):
@@ -109,6 +122,33 @@ class Job:
         self.error = error
         self.finished_at = time.monotonic()
         self._done.set()
+        self._chunk_event.set()  # wake streamers: terminal, no more chunks
+
+    def add_chunk(self, doc):
+        """Publish one streamed partial-result document (event-loop
+        only — the scheduler calls this as slices of the job's cells
+        resolve)."""
+        self.chunks.append(doc)
+        self._chunk_event.set()
+
+    async def iter_chunks(self):
+        """Yield streamed chunk documents as they are published, then
+        return once the job is terminal.  Chunks already published
+        before iteration starts are replayed first, so a late consumer
+        sees the identical sequence."""
+        seen = 0
+        while True:
+            while seen < len(self.chunks):
+                yield self.chunks[seen]
+                seen += 1
+            if self.state.terminal:
+                return
+            self._chunk_event.clear()
+            # Re-check after the clear: a publish (or finish) between
+            # the len() check and the clear must not be slept through.
+            if seen < len(self.chunks) or self.state.terminal:
+                continue
+            await self._chunk_event.wait()
 
     async def wait(self, timeout=None):
         """Block until the job is terminal, then return its result.
@@ -137,6 +177,7 @@ class Job:
             "n_cells": self.request.n_cells,
             "shared_cells": self.shared_cells,
             "latency_s": self.latency,
+            "chunks_streamed": len(self.chunks),
         }
         if self.error is not None:
             doc["error"] = self.error

@@ -1,6 +1,6 @@
 """Micro-batched, cache-aware request coalescing.
 
-The scheduler is why one 1-CPU host can answer many concurrent
+The scheduler is why one small host can answer many concurrent
 clients: requests that arrive within one batching window are coalesced
 into a single :class:`~repro.engine.scenario.ScenarioBatch` dispatched
 through the :class:`~repro.engine.parallel.SweepOrchestrator`, so N
@@ -9,10 +9,11 @@ amortisation `ScenarioBatch` applied to per-scenario cost, lifted to
 per-request cost.
 
 Before dispatch, cells are deduplicated across requests by their
-:class:`~repro.engine.store.ResultStore` content address: two clients
-asking for the same (scenario, mode, engine-parameters) cell share one
-computed row, and with a store attached the orchestrator additionally
-skips any cell a *previous* batch (or another process) already filed.
+storage-backend content address (:func:`repro.storage.canonical_key`):
+two clients asking for the same (scenario, mode, engine-parameters)
+cell share one computed row, and with a backend attached the
+orchestrator additionally skips any cell a *previous* batch (or
+another process) already filed.
 
 The dispatch loop:
 
@@ -21,24 +22,43 @@ The dispatch loop:
    cells are gathered — this is the micro-batch;
 3. group the collected jobs by :meth:`SimRequest.group_key` (only
    same-mode, same-engine-parameter requests can share one batch);
-4. per group: dedupe cells, run ONE orchestrated batch in a worker
-   thread (the event loop keeps serving submits/status meanwhile),
-   scatter per-job result rows, resolve the jobs.
+4. per group: dedupe cells, claim them in the cross-worker
+   :class:`InFlightIndex` (cells another scheduler worker is already
+   computing are awaited, then read from the shared backend instead
+   of recomputed), run the owned cells in *slices* — each slice is
+   one orchestrated engine call in a worker thread or a scheduler
+   worker process — and publish every job's newly resolved cells as
+   a streamed chunk (:meth:`Job.add_chunk`) the moment its slice
+   lands;
+5. assemble each job's final result from the very same per-cell
+   documents the chunks carried (streamed and final cells are one
+   object, so stream-vs-final parity is structural, not incidental).
 
 Jobs cancelled while queued are skipped at collection time — their
 cells are never dispatched.
+
+Multi-worker dispatch: when the service runs N scheduler workers, each
+owns one ``MicroBatchScheduler`` with a shared
+:class:`concurrent.futures.ProcessPoolExecutor`.  Slices are shipped
+to pool processes as plain specs (request + physics + cells + the
+backend *URI* — live handles never cross the boundary; the worker
+re-opens the backend by URI, cached per process).  Metrics events
+recorded inside a pool worker travel back with the slice result and
+are re-emitted by the parent tagged with the scheduler-worker id.
 """
 
 from __future__ import annotations
 
 import asyncio
 import math
+import pickle
 import time
 from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.parallel import _CONTROL_FIELDS
 from repro.engine.scenario import (
     BatchControlResult,
     ScenarioBatch,
@@ -74,29 +94,259 @@ class SchedulerStats:
     jobs_failed: int = 0
     cells_requested: int = 0
     cells_deduped: int = 0  # shared with another request in-batch
-    cells_cached: int = 0  # served by the result store
+    cells_cached: int = 0  # served by the storage backend
     cells_computed: int = 0
+    chunks_streamed: int = 0
     batch_cells: deque = field(default_factory=lambda: deque(maxlen=256))
     batch_jobs: deque = field(default_factory=lambda: deque(maxlen=256))
 
     def as_dict(self):
-        sizes = list(self.batch_cells)
-        jobs = list(self.batch_jobs)
-        requested = self.cells_requested
+        return SchedulerStats.merged([self])
+
+    @staticmethod
+    def merged(stats_list):
+        """One combined ``as_dict`` document over several scheduler
+        workers' counter blocks (sums for counters, pooled windows for
+        the batch-size statistics) — ``merged([one])`` is exactly that
+        scheduler's own document, so the service ``/stats`` endpoint
+        uses one code path for any worker count."""
+        sizes = [size for stats in stats_list for size in stats.batch_cells]
+        jobs = [count for stats in stats_list for count in stats.batch_jobs]
+        requested = sum(stats.cells_requested for stats in stats_list)
+        deduped = sum(stats.cells_deduped for stats in stats_list)
+        cached = sum(stats.cells_cached for stats in stats_list)
         return {
-            "batches": self.batches,
-            "jobs_done": self.jobs_done,
-            "jobs_failed": self.jobs_failed,
-            "cells_requested": self.cells_requested,
-            "cells_deduped": self.cells_deduped,
-            "cells_cached": self.cells_cached,
-            "cells_computed": self.cells_computed,
-            "dedup_rate": self.cells_deduped / requested if requested else 0.0,
-            "cache_hit_rate": self.cells_cached / requested if requested else 0.0,
+            "batches": sum(stats.batches for stats in stats_list),
+            "jobs_done": sum(stats.jobs_done for stats in stats_list),
+            "jobs_failed": sum(stats.jobs_failed for stats in stats_list),
+            "cells_requested": requested,
+            "cells_deduped": deduped,
+            "cells_cached": cached,
+            "cells_computed": sum(stats.cells_computed for stats in stats_list),
+            "chunks_streamed": sum(stats.chunks_streamed for stats in stats_list),
+            "dedup_rate": deduped / requested if requested else 0.0,
+            "cache_hit_rate": cached / requested if requested else 0.0,
             "mean_batch_cells": sum(sizes) / len(sizes) if sizes else 0.0,
             "max_batch_cells": max(sizes, default=0),
             "mean_batch_jobs": sum(jobs) / len(jobs) if jobs else 0.0,
         }
+
+
+class InFlightIndex:
+    """Cross-worker registry of content keys currently being computed.
+
+    Event-loop confined (all scheduler workers share one loop): a
+    worker *claims* the keys of its group before dispatch; keys some
+    other worker already claimed come back as futures to await — the
+    deterministic "computed exactly once" rule of cross-worker dedup.
+    Owners release their keys after the backend write, so a waiter
+    that then reads the shared backend sees the row.
+    """
+
+    def __init__(self):
+        self._futures = {}
+
+    def claim(self, keys):
+        """Partition ``keys`` into (owned list, {key: future} foreign)."""
+        loop = asyncio.get_running_loop()
+        owned, foreign = [], {}
+        for key in keys:
+            fut = self._futures.get(key)
+            if fut is None or fut.done():
+                self._futures[key] = loop.create_future()
+                owned.append(key)
+            else:
+                foreign[key] = fut
+        return owned, foreign
+
+    def release(self, keys):
+        """Resolve and forget ``keys`` (owner side; always called —
+        even on failure, so waiters fall back to computing locally
+        instead of hanging)."""
+        for key in keys:
+            fut = self._futures.pop(key, None)
+            if fut is not None and not fut.done():
+                fut.set_result(None)
+
+
+@dataclass
+class _GroupPlan:
+    """The dedup pass of one job group: per-job key lists, one cell
+    per unique content address (first occurrence wins), and how many
+    engine cells each unique key stands for."""
+
+    job_keys: list
+    cells: dict  # key -> cell (scenario, or the SimRequest for mc)
+    unique_keys: list
+    weights: dict  # key -> engine cells this unique key represents
+    shared_counts: list  # per job: cells shared with an earlier request
+
+
+# ----------------------------------------------------------------------
+# Slice execution — module-level so pool worker processes can import it
+# ----------------------------------------------------------------------
+
+#: Per-process cache of re-opened backends in pool workers.
+_WORKER_BACKENDS = {}
+
+
+def _worker_backend(uri):
+    if uri is None:
+        return None
+    backend = _WORKER_BACKENDS.get(uri)
+    if backend is None:
+        from repro.storage import open_backend
+
+        backend = open_backend(uri)
+        _WORKER_BACKENDS[uri] = backend
+    return backend
+
+
+def _pool_warm(uri):
+    """Pre-import the engine stack (and open the backend) in a pool
+    worker so the first real slice does not pay the import cost."""
+    import repro.engine.parallel  # noqa: F401
+    import repro.service.requests  # noqa: F401
+
+    _worker_backend(uri)
+    import os
+
+    return os.getpid()
+
+
+def _run_slice(orchestrator, system, controller, proto, cells, keys):
+    """One deduplicated slice through one engine invocation.
+
+    Returns ``(rows_by_key, info)`` where ``rows_by_key`` maps each
+    content key to its plain row dict (exactly the layout the storage
+    backends hold, so rows computed here, read from the backend, or
+    fetched after a cross-worker wait are interchangeable) and
+    ``info`` carries the cached/computed cell counts.
+    """
+    kind = proto.kind
+    store = orchestrator.store
+    if kind == "montecarlo":
+        rows = {}
+        cached = computed = 0
+        for request, key in zip(cells, keys):
+            merged = store.get(key) if store is not None else None
+            if merged is not None:
+                cached += request.n_cells
+            else:
+                mc = MonteCarlo(list(request.spreads), seed=request.seed)
+                merged = orchestrator.run_montecarlo(
+                    mc,
+                    request.mc_kernel(),
+                    n_samples=request.n_samples,
+                    seed=request.seed,
+                )
+                computed += request.n_cells
+                if store is not None:
+                    store.put(key, merged)
+            rows[key] = merged
+        return rows, {"cached": cached, "computed": computed}
+    use_keys = list(keys) if store is not None else None
+    if kind == "spice":
+        from repro.service.requests import SPICE_N_POINTS
+
+        result = orchestrator.run_spice(
+            SpiceBatch(list(cells)),
+            proto.t_stop,
+            proto.dt,
+            method=proto.method,
+            n_points=SPICE_N_POINTS,
+            keys=use_keys,
+        )
+        rows = {
+            key: {
+                "v_out": result.v_out[i],
+                "v_final": np.asarray(result.v_final[i]),
+                "ripple": np.asarray(result.ripple[i]),
+                "steps": np.asarray(result.steps[i]),
+            }
+            for i, key in enumerate(keys)
+        }
+    elif kind == "sweep":
+        result = orchestrator.run_control(
+            ScenarioBatch(list(cells)), system, controller, proto.t_stop, keys=use_keys
+        )
+        rows = {
+            key: {name: getattr(result, name)[i] for name in _CONTROL_FIELDS}
+            for i, key in enumerate(keys)
+        }
+    elif kind == "transient":
+        result = orchestrator.run_envelope(
+            ScenarioBatch(list(cells)),
+            proto.p_in,
+            proto.t_stop,
+            dt=proto.dt,
+            keys=use_keys,
+        )
+        rows = {
+            key: {
+                "v_rect": result.v_rect[i],
+                "p_in": np.asarray(result.p_in[i]),
+                "i_load": np.asarray(result.i_load[i]),
+            }
+            for i, key in enumerate(keys)
+        }
+    else:  # battery
+        out = orchestrator.charge_times(
+            ScenarioBatch(list(cells)),
+            proto.p_in,
+            proto.v_target,
+            dt=proto.dt,
+            limit=proto.limit,
+            keys=use_keys,
+        )
+        rows = {key: {"t_charge": np.asarray(out[i])} for i, key in enumerate(keys)}
+    stats = orchestrator.stats
+    return rows, {"cached": stats.n_cached, "computed": stats.n_computed}
+
+
+def _pool_run_slice(spec):
+    """Run one slice inside a scheduler-worker process.
+
+    The spec is plain picklable data; the backend is re-opened from
+    its URI (cached per process).  Metrics events recorded by the
+    in-process orchestrator are stripped of their envelope and
+    returned in ``info["events"]`` for the parent to re-emit tagged
+    with the scheduler-worker id — the recorder itself never crosses
+    the process boundary.
+    """
+    from repro.engine.parallel import SweepOrchestrator
+    from repro.obs import MetricsRecorder
+
+    recorder = MetricsRecorder(label=f"scheduler-worker-{spec['worker']}")
+    orchestrator = SweepOrchestrator(
+        workers=1, store=_worker_backend(spec["backend_uri"]), recorder=recorder
+    )
+    rows, info = _run_slice(
+        orchestrator,
+        spec["system"],
+        spec["controller"],
+        spec["request"],
+        spec["cells"],
+        spec["keys"],
+    )
+    events = []
+    for doc in recorder.events():
+        if doc["event"] in ("session_start", "session_end"):
+            continue
+        events.append(
+            {name: value for name, value in doc.items() if name not in
+             ("ts", "seq", "session")}
+        )
+    info["events"] = events
+    return rows, info
+
+
+def _picklable(obj):
+    try:
+        pickle.dumps(obj)
+    except Exception:  # noqa: BLE001 - any pickle failure means "no"
+        return False
+    return True
 
 
 class MicroBatchScheduler:
@@ -105,13 +355,14 @@ class MicroBatchScheduler:
 
     Parameters
     ----------
-    queue : the bounded job queue to drain.
+    queue : the bounded job queue to drain (shared by every scheduler
+        worker of one service).
     system / controller : the shared physics (every request of one
         service instance runs against one system + controller — they
         are part of every cell's content address).
-    orchestrator : the :class:`SweepOrchestrator` every batch runs
-        through (bring a store for cross-batch caching, workers for
-        multi-core hosts).
+    orchestrator : the :class:`SweepOrchestrator` this worker's local
+        slices run through (bring a storage backend for cross-batch
+        caching, workers for multi-core hosts).
     window : seconds to keep collecting after the first job arrives.
         The window trades a bounded latency floor for batching factor;
         at heavy concurrency all co-arriving requests land in one
@@ -120,8 +371,25 @@ class MicroBatchScheduler:
         when reached (further jobs stay queued for the next batch).
     recorder : optional :class:`~repro.obs.recorder.MetricsRecorder`;
         when set, every dispatched group emits a ``batch`` event, each
-        terminal job a ``job`` event, and every micro-batch samples the
-        queue depth into a ``queue`` event.
+        terminal job a ``job`` event, every published chunk a
+        ``stream`` event, and every micro-batch samples the queue
+        depth into a ``queue`` event.
+    worker_id : scheduler-worker id on a multi-worker service; tags
+        every emitted event (None on a single-worker service — the
+        classic untagged event stream).
+    inflight : optional shared :class:`InFlightIndex` for cross-worker
+        dedup (requires a shared storage backend to pay off).
+    pool : optional shared :class:`~concurrent.futures.
+        ProcessPoolExecutor`; when set, slices run in pool processes
+        instead of this worker's executor thread.
+    backend_uri : the storage backend's ``open_backend`` URI, shipped
+        to pool workers so they open the same backend.
+    stream_chunk : cell budget per streamed slice for the elementwise
+        kinds (sweep/transient/battery) — smaller slices stream
+        earlier chunks at slightly more per-call overhead.  Spice
+        groups always run as one slice (cells share their slice's
+        lockstep step control, so slicing would change the composed
+        family); montecarlo requests stream one chunk per request.
     """
 
     def __init__(
@@ -133,9 +401,16 @@ class MicroBatchScheduler:
         window=10e-3,
         max_batch=512,
         recorder=None,
+        worker_id=None,
+        inflight=None,
+        pool=None,
+        backend_uri=None,
+        stream_chunk=256,
     ):
         if window < 0:
             raise ValueError("window must be >= 0")
+        if int(stream_chunk) < 1:
+            raise ValueError("stream_chunk must be >= 1")
         self.queue = queue
         self.system = system
         self.controller = controller
@@ -143,8 +418,17 @@ class MicroBatchScheduler:
         self.window = float(window)
         self.max_batch = max(1, int(max_batch))
         self.recorder = recorder
+        self.worker_id = worker_id
+        self.inflight = inflight
+        self.pool = pool
+        self.backend_uri = backend_uri
+        self.stream_chunk = int(stream_chunk)
         self.stats = SchedulerStats()
         self._running = False
+
+    @property
+    def _worker_field(self):
+        return {} if self.worker_id is None else {"worker": int(self.worker_id)}
 
     # -- the dispatch loop ---------------------------------------------
     async def run(self):
@@ -153,7 +437,7 @@ class MicroBatchScheduler:
         Cancellation never strands a job: anything popped into the
         collection window — or mid-dispatch — that is not yet terminal
         is pushed back onto the queue, so a restarted scheduler
-        resumes it (mid-dispatch cells recompute; with a store they
+        resumes it (mid-dispatch cells recompute; with a backend they
         are cache hits).
         """
         self._running = True
@@ -211,12 +495,13 @@ class MicroBatchScheduler:
         if self.recorder is not None:
             # Depth at collection close = jobs left waiting for the
             # *next* micro-batch — the backpressure signal.
-            self.recorder.emit("queue", depth=self.queue.depth)
+            self.recorder.emit("queue", depth=self.queue.depth, **self._worker_field)
         for jobs in by_key.values():
             await self._run_group(jobs)
 
     async def _run_group(self, jobs):
-        """One engine invocation for one compatible job group.
+        """One compatible job group: plan, claim, dispatch in slices,
+        stream, resolve.
 
         The QUEUED re-check matters: earlier groups of the same
         micro-batch run first, and a job can be legitimately cancelled
@@ -232,31 +517,67 @@ class MicroBatchScheduler:
             job.started_at = now
         kind = jobs[0].request.kind
         t0 = time.perf_counter()
+        loop = asyncio.get_running_loop()
         try:
-            # The content-key fingerprints, the dedup pass, the engine
-            # run, and the wire-format scattering are all heavy — do
-            # the lot in the worker thread so the event loop keeps
-            # serving submits/status.
-            loop = asyncio.get_running_loop()
-            shaped, shared_counts, unique_total = await loop.run_in_executor(
-                None, self._plan_and_dispatch, kind, jobs
+            # Planning, engine slices, and wire-format scattering are
+            # all heavy — they run in the worker thread (or a pool
+            # process) so the event loop keeps serving submits/status.
+            plan = await loop.run_in_executor(None, self._plan, kind, jobs)
+            if self.inflight is not None:
+                owned, foreign = self.inflight.claim(plan.unique_keys)
+            else:
+                owned, foreign = list(plan.unique_keys), {}
+            rows = {}
+            cell_docs = [{} for _ in jobs]
+            cached = computed = 0
+            try:
+                for keys in self._slices(kind, owned):
+                    cells = [plan.cells[key] for key in keys]
+                    sliced, info = await self._dispatch_slice(
+                        jobs[0].request, cells, keys, loop
+                    )
+                    rows.update(sliced)
+                    cached += info["cached"]
+                    computed += info["computed"]
+                    await self._publish(kind, jobs, plan, rows, cell_docs, t0, loop)
+                if foreign:
+                    await asyncio.gather(*foreign.values())
+                    fetched, missing = await loop.run_in_executor(
+                        None, self._fetch_foreign, list(foreign)
+                    )
+                    rows.update(fetched)
+                    cached += sum(plan.weights[key] for key in fetched)
+                    if missing:
+                        cells = [plan.cells[key] for key in missing]
+                        sliced, info = await self._dispatch_slice(
+                            jobs[0].request, cells, missing, loop
+                        )
+                        rows.update(sliced)
+                        cached += info["cached"]
+                        computed += info["computed"]
+                    await self._publish(kind, jobs, plan, rows, cell_docs, t0, loop)
+            finally:
+                if self.inflight is not None:
+                    self.inflight.release(owned)
+            shaped = await loop.run_in_executor(
+                None, self._finalize_jobs, jobs, plan, rows, cell_docs
             )
-            for job, shared in zip(jobs, shared_counts):
+            for job, shared in zip(jobs, plan.shared_counts):
                 job.shared_cells = shared
                 self.stats.cells_requested += job.request.n_cells
                 self.stats.cells_deduped += shared
-            ostats = self.orchestrator.stats
-            if kind != "montecarlo" and ostats is not None:
-                cached, computed = ostats.n_cached, ostats.n_computed
-            else:
-                cached, computed = 0, unique_total
             self.stats.cells_cached += cached
             self.stats.cells_computed += computed
             for job, result in zip(jobs, shaped):
                 job.finish(JobState.DONE, result=result)
                 self.stats.jobs_done += 1
             self._record_batch(
-                kind, jobs, shared_counts, cached, computed, time.perf_counter() - t0
+                kind,
+                jobs,
+                plan.shared_counts,
+                cached,
+                computed,
+                time.perf_counter() - t0,
             )
         except Exception as exc:  # noqa: BLE001 - engine/axis errors
             message = f"{type(exc).__name__}: {exc}"
@@ -279,6 +600,7 @@ class MicroBatchScheduler:
             cached=cached,
             computed=computed,
             elapsed_s=elapsed,
+            **self._worker_field,
         )
         self._record_jobs(kind, jobs)
 
@@ -294,196 +616,311 @@ class MicroBatchScheduler:
                 state=job.state.value,
                 cells=job.request.n_cells,
                 latency_s=job.latency if job.latency is not None else 0.0,
+                **self._worker_field,
             )
 
-    # -- planning + engine dispatch (worker thread) --------------------
-    def _plan_and_dispatch(self, kind, jobs):
-        """Compute content keys, dedupe across requests (first
-        occurrence of an address wins; later requests share its row),
-        run the deduplicated cells as ONE orchestrated call, and shape
-        every job's wire-format result slice.
+    def _emit_harvested(self, events):
+        """Re-emit metrics events a pool worker recorded, tagged with
+        this scheduler worker's id."""
+        if self.recorder is None:
+            return
+        for doc in events:
+            doc = dict(doc)
+            event = doc.pop("event")
+            doc.update(self._worker_field)
+            self.recorder.emit(event, **doc)
 
-        Returns (per-job shaped results, per-job shared-cell counts,
-        unique cell total) — the dedup rule lives only here.
-        """
-        job_keys = [
-            job.request.cell_keys(self.system, self.controller) for job in jobs
-        ]
-        index = {}
-        unique_cells = []
+    # -- planning (worker thread) --------------------------------------
+    def _plan(self, kind, jobs):
+        """Compute content keys and dedupe across requests (first
+        occurrence of an address wins; later requests share its row).
+        The dedup rule lives only here."""
+        job_keys = [job.request.cell_keys(self.system, self.controller) for job in jobs]
+        cells_by_key = {}
         unique_keys = []
+        weights = {}
         shared_counts = []
-        unique_total = 0
         for job, keys in zip(jobs, job_keys):
             shared = 0
             cells = job.request.scenarios if kind != "montecarlo" else [job.request]
             weight = job.request.n_cells if kind == "montecarlo" else 1
             for key, cell in zip(keys, cells):
-                if key in index:
+                if key in cells_by_key:
                     shared += weight
                     continue
-                index[key] = len(unique_cells)
-                unique_cells.append(cell)
+                cells_by_key[key] = cell
                 unique_keys.append(key)
-                unique_total += weight
+                weights[key] = weight
             shared_counts.append(shared)
-        rows = self._dispatch(kind, jobs[0].request, unique_cells, unique_keys)
-        shaped = [
-            self._shape(job.request, keys, index, rows)
-            for job, keys in zip(jobs, job_keys)
-        ]
-        return shaped, shared_counts, unique_total
-
-    def _dispatch(self, kind, proto, unique_cells, unique_keys):
-        """The single engine invocation for one deduplicated group.
-
-        ``proto`` supplies the group-shared engine parameters (all jobs
-        in the group have the same group_key, hence the same values);
-        ``unique_keys`` are handed to the orchestrator so the store
-        lookups reuse the dedup pass's fingerprints instead of
-        recomputing them.
-        """
-        if kind == "montecarlo":
-            out = []
-            for request in unique_cells:
-                mc = MonteCarlo(list(request.spreads), seed=request.seed)
-                merged = self.orchestrator.run_montecarlo(
-                    mc,
-                    request.mc_kernel(),
-                    n_samples=request.n_samples,
-                    seed=request.seed,
-                )
-                out.append(merged)
-            return out
-        if kind == "spice":
-            from repro.service.requests import SPICE_N_POINTS
-
-            return self.orchestrator.run_spice(
-                SpiceBatch(unique_cells),
-                proto.t_stop,
-                proto.dt,
-                method=proto.method,
-                n_points=SPICE_N_POINTS,
-                keys=unique_keys,
-            )
-        batch = ScenarioBatch(unique_cells)
-        if kind == "sweep":
-            return self.orchestrator.run_control(
-                batch, self.system, self.controller, proto.t_stop, keys=unique_keys
-            )
-        if kind == "transient":
-            return self.orchestrator.run_envelope(
-                batch, proto.p_in, proto.t_stop, dt=proto.dt, keys=unique_keys
-            )
-        return self.orchestrator.charge_times(
-            batch,
-            proto.p_in,
-            proto.v_target,
-            dt=proto.dt,
-            limit=proto.limit,
-            keys=unique_keys,
+        return _GroupPlan(
+            job_keys=job_keys,
+            cells=cells_by_key,
+            unique_keys=unique_keys,
+            weights=weights,
+            shared_counts=shared_counts,
         )
 
-    # -- result scattering ---------------------------------------------
-    def _shape(self, request, keys, index, rows):
-        """This job's slice of the batch result, as JSON-safe data."""
-        if request.kind == "montecarlo":
-            merged = rows[index[keys[0]]]
-            samples = merged["t_charge"]
-            finite = samples[np.isfinite(samples)]
-            return {
-                "kind": "montecarlo",
-                "metric": "t_charge",
-                "n_samples": int(samples.size),
-                "seed": request.seed,
-                "samples": wire_list(samples),
-                "mean": wire_float(finite.mean()) if finite.size else None,
-                "std": wire_float(finite.std(ddof=1)) if finite.size > 1 else None,
-                "reached_target": int(finite.size),
+    def _slices(self, kind, owned):
+        """Slice the owned keys into per-engine-call batches (see the
+        ``stream_chunk`` parameter notes for the per-kind policy)."""
+        if not owned:
+            return []
+        if kind in ("sweep", "transient", "battery"):
+            size = self.stream_chunk
+        elif kind == "montecarlo":
+            size = 1
+        else:  # spice: one slice keeps the lockstep composition stable
+            size = len(owned)
+        return [owned[k : k + size] for k in range(0, len(owned), size)]
+
+    # -- engine dispatch -----------------------------------------------
+    async def _dispatch_slice(self, proto, cells, keys, loop):
+        """One slice through the engine: a pool process when this
+        scheduler has one (and the spec pickles), else the local
+        orchestrator in the worker thread."""
+        if self.pool is not None:
+            spec = {
+                "request": proto,
+                "system": self.system,
+                "controller": self.controller,
+                "cells": list(cells),
+                "keys": list(keys),
+                "backend_uri": self.backend_uri,
+                "worker": 0 if self.worker_id is None else int(self.worker_id),
             }
-        picks = [index[key] for key in keys]
-        scenarios = request.scenarios
+            if await loop.run_in_executor(None, _picklable, spec):
+                rows, info = await asyncio.wrap_future(
+                    self.pool.submit(_pool_run_slice, spec)
+                )
+                self._emit_harvested(info.pop("events", []))
+                return rows, info
+        return await loop.run_in_executor(
+            None,
+            _run_slice,
+            self.orchestrator,
+            self.system,
+            self.controller,
+            proto,
+            cells,
+            keys,
+        )
+
+    def _fetch_foreign(self, keys):
+        """Read rows another scheduler worker computed from the shared
+        backend; keys whose rows are not there (no backend, eviction,
+        the owner failed) come back in ``missing`` and are computed
+        locally."""
+        store = self.orchestrator.store
+        fetched, missing = {}, []
+        for key in keys:
+            row = store.get(key) if store is not None else None
+            if row is None:
+                missing.append(key)
+            else:
+                fetched[key] = row
+        return fetched, missing
+
+    # -- streaming ------------------------------------------------------
+    async def _publish(self, kind, jobs, plan, rows, cell_docs, t0, loop):
+        """Publish every job's newly resolved cells as one streamed
+        chunk (document built in the worker thread; the chunk lands on
+        the job on the event loop)."""
+        ready = await loop.run_in_executor(
+            None, self._build_ready, jobs, plan, rows, cell_docs
+        )
+        for job, batch in zip(jobs, ready):
+            if not batch:
+                continue
+            indices, docs = batch
+            chunk = {
+                "job_id": job.id,
+                "kind": kind,
+                "seq": len(job.chunks),
+                "cell_indices": indices,
+                "cells": docs,
+            }
+            job.add_chunk(chunk)
+            self.stats.chunks_streamed += 1
+            if self.recorder is not None:
+                self.recorder.emit(
+                    "stream",
+                    kind=kind,
+                    seq=chunk["seq"],
+                    cells=len(indices),
+                    elapsed_s=time.perf_counter() - t0,
+                    **self._worker_field,
+                )
+
+    def _build_ready(self, jobs, plan, rows, cell_docs):
+        """Per job: the cell indices newly resolvable from ``rows``
+        and their wire documents.  Documents are built exactly once
+        and memoised in ``cell_docs`` — the final result reuses the
+        same objects, which is what makes streamed chunks bitwise-
+        identical to the final ``cells`` list."""
+        out = []
+        for job, keys, docs in zip(jobs, plan.job_keys, cell_docs):
+            indices = [i for i in range(len(keys)) if i not in docs and keys[i] in rows]
+            if not indices:
+                out.append(None)
+                continue
+            built = self._cell_docs(job.request, indices, keys, rows)
+            for i, doc in zip(indices, built):
+                docs[i] = doc
+            out.append((indices, built))
+        return out
+
+    # -- result scattering ---------------------------------------------
+    def _times(self, request):
+        """The shared time grid of one request's result — computed
+        exactly as the orchestrator computes it, so wire parity with a
+        direct run is preserved."""
         if request.kind == "sweep":
+            return ScenarioBatch.control_times(self.controller, request.t_stop)
+        if request.kind == "transient":
+            return ScenarioBatch.envelope_times(request.t_stop, request.dt)
+        if request.kind == "spice":
+            from repro.service.requests import SPICE_N_POINTS
+
+            return np.linspace(0.0, float(request.t_stop), SPICE_N_POINTS)
+        return None
+
+    def _cell_docs(self, request, indices, keys, rows):
+        """JSON-safe per-cell documents for ``indices`` of one request
+        (cell values read from the content-addressed ``rows``)."""
+        kind = request.kind
+        if kind == "montecarlo":
+            merged = rows[keys[0]]
+            samples = np.asarray(merged["t_charge"], dtype=float)
+            finite = samples[np.isfinite(samples)]
+            return [
+                {
+                    "kind": "montecarlo",
+                    "metric": "t_charge",
+                    "n_samples": int(samples.size),
+                    "seed": request.seed,
+                    "samples": wire_list(samples),
+                    "mean": wire_float(finite.mean()) if finite.size else None,
+                    "std": (
+                        wire_float(finite.std(ddof=1)) if finite.size > 1 else None
+                    ),
+                    "reached_target": int(finite.size),
+                }
+            ]
+        scenarios = request.scenarios
+        if kind == "sweep":
+            stacked = {
+                name: np.stack([rows[keys[i]][name] for i in indices])
+                for name in _CONTROL_FIELDS
+            }
             sub = BatchControlResult(
-                times=rows.times,
-                distance=rows.distance[picks],
-                v_rect=rows.v_rect[picks],
-                v_reported=rows.v_reported[picks],
-                drive_scale=rows.drive_scale[picks],
-                p_delivered=rows.p_delivered[picks],
-                saturated=rows.saturated[picks],
-                scenarios=scenarios,
+                times=self._times(request),
+                distance=stacked["distance"],
+                v_rect=stacked["v_rect"],
+                v_reported=stacked["v_reported"],
+                drive_scale=stacked["drive_scale"],
+                p_delivered=stacked["p_delivered"],
+                saturated=stacked["saturated"].astype(bool),
+                scenarios=[scenarios[i] for i in indices],
             )
             frac, v_min, v_max, drive = sub.regulation_statistics()
+            return [
+                {
+                    "label": scenarios[i].label,
+                    "distance": wire_list(sub.distance[j]),
+                    "v_rect": wire_list(sub.v_rect[j]),
+                    "v_reported": wire_list(sub.v_reported[j]),
+                    "drive_scale": wire_list(sub.drive_scale[j]),
+                    "p_delivered": wire_list(sub.p_delivered[j]),
+                    "saturated": [bool(v) for v in sub.saturated[j]],
+                    "in_window": float(frac[j]),
+                    "v_min": float(v_min[j]),
+                    "v_max": float(v_max[j]),
+                    "mean_drive": float(drive[j]),
+                }
+                for j, i in enumerate(indices)
+            ]
+        if kind == "transient":
+            return [
+                {
+                    "label": scenarios[i].label,
+                    "v_rect": wire_list(rows[keys[i]]["v_rect"]),
+                    "p_in": wire_float(rows[keys[i]]["p_in"]),
+                    "i_load": wire_float(rows[keys[i]]["i_load"]),
+                    "v_final": wire_float(rows[keys[i]]["v_rect"][-1]),
+                }
+                for i in indices
+            ]
+        if kind == "spice":
+            return [
+                {
+                    "label": scenarios[i].label,
+                    "template": scenarios[i].template,
+                    "amplitude": scenarios[i].amplitude,
+                    "freq": scenarios[i].freq,
+                    "i_load": scenarios[i].i_load,
+                    "v_out": wire_list(rows[keys[i]]["v_out"]),
+                    "v_final": wire_float(rows[keys[i]]["v_final"]),
+                    "ripple": wire_float(rows[keys[i]]["ripple"]),
+                    "steps": int(rows[keys[i]]["steps"]),
+                }
+                for i in indices
+            ]
+        return [
+            {
+                "label": scenarios[i].label,
+                "t_charge": wire_float(rows[keys[i]]["t_charge"]),
+            }
+            for i in indices
+        ]
+
+    def _finalize_jobs(self, jobs, plan, rows, cell_docs):
+        """Each job's final wire document, assembled from the same
+        per-cell documents its streamed chunks carried."""
+        shaped = []
+        for job, keys, docs in zip(jobs, plan.job_keys, cell_docs):
+            request = job.request
+            n = 1 if request.kind == "montecarlo" else len(keys)
+            missing = [i for i in range(n) if i not in docs]
+            if missing:  # never streamed (e.g. no recorder consumer)
+                for i, doc in zip(
+                    missing, self._cell_docs(request, missing, keys, rows)
+                ):
+                    docs[i] = doc
+            shaped.append(self._result_doc(request, docs))
+        return shaped
+
+    def _result_doc(self, request, docs):
+        kind = request.kind
+        if kind == "montecarlo":
+            return docs[0]
+        cells = [docs[i] for i in range(len(request.scenarios))]
+        if kind == "sweep":
             return {
                 "kind": "sweep",
                 "t_stop": request.t_stop,
-                "times": wire_list(rows.times),
-                "cells": [
-                    {
-                        "label": sc.label,
-                        "distance": wire_list(sub.distance[i]),
-                        "v_rect": wire_list(sub.v_rect[i]),
-                        "v_reported": wire_list(sub.v_reported[i]),
-                        "drive_scale": wire_list(sub.drive_scale[i]),
-                        "p_delivered": wire_list(sub.p_delivered[i]),
-                        "saturated": [bool(v) for v in sub.saturated[i]],
-                        "in_window": float(frac[i]),
-                        "v_min": float(v_min[i]),
-                        "v_max": float(v_max[i]),
-                        "mean_drive": float(drive[i]),
-                    }
-                    for i, sc in enumerate(scenarios)
-                ],
+                "times": wire_list(self._times(request)),
+                "cells": cells,
             }
-        if request.kind == "transient":
+        if kind == "transient":
             return {
                 "kind": "transient",
                 "t_stop": request.t_stop,
                 "dt": request.dt,
-                "times": wire_list(rows.times),
-                "cells": [
-                    {
-                        "label": sc.label,
-                        "v_rect": wire_list(rows.v_rect[pick]),
-                        "p_in": wire_float(rows.p_in[pick]),
-                        "i_load": wire_float(rows.i_load[pick]),
-                        "v_final": wire_float(rows.v_rect[pick, -1]),
-                    }
-                    for sc, pick in zip(scenarios, picks)
-                ],
+                "times": wire_list(self._times(request)),
+                "cells": cells,
             }
-        if request.kind == "spice":
+        if kind == "spice":
             return {
                 "kind": "spice",
                 "t_stop": request.t_stop,
                 "dt": request.dt,
                 "method": request.method,
-                "times": wire_list(rows.times),
-                "cells": [
-                    {
-                        "label": sc.label,
-                        "template": sc.template,
-                        "amplitude": sc.amplitude,
-                        "freq": sc.freq,
-                        "i_load": sc.i_load,
-                        "v_out": wire_list(rows.v_out[pick]),
-                        "v_final": wire_float(rows.v_final[pick]),
-                        "ripple": wire_float(rows.ripple[pick]),
-                        "steps": int(rows.steps[pick]),
-                    }
-                    for sc, pick in zip(scenarios, picks)
-                ],
+                "times": wire_list(self._times(request)),
+                "cells": cells,
             }
         return {
             "kind": "battery",
             "p_in": request.p_in,
             "v_target": request.v_target,
-            "cells": [
-                {
-                    "label": sc.label,
-                    "t_charge": wire_float(rows[pick]),
-                }
-                for sc, pick in zip(scenarios, picks)
-            ],
+            "cells": cells,
         }

@@ -1,19 +1,32 @@
-"""The asyncio simulation service: queue + scheduler + accounting.
+"""The asyncio simulation service: queue + scheduler workers +
+accounting.
 
 :class:`SimulationService` is the in-process serving object the HTTP
 front-end (:mod:`repro.service.http`) and the in-process
 :class:`~repro.service.client.ServiceClient` both drive.  One instance
 owns one physics configuration (system + controller), one bounded
-:class:`~repro.service.jobs.JobQueue`, one
-:class:`~repro.service.scheduler.MicroBatchScheduler`, and the job
-registry with latency accounting.
+:class:`~repro.service.jobs.JobQueue`, one or more
+:class:`~repro.service.scheduler.MicroBatchScheduler` workers draining
+it, and the job registry with latency accounting.
+
+Multi-worker serving (``scheduler_workers > 1``): every worker runs
+its own dispatch loop over the shared queue, its own serial
+orchestrator over the *shared* storage backend, and ships engine
+slices to a shared :class:`~concurrent.futures.ProcessPoolExecutor`
+(created lazily on :meth:`start`; workers re-open the backend from its
+URI).  Cross-worker duplicate cells are resolved through one shared
+:class:`~repro.service.scheduler.InFlightIndex` plus the backend:
+a cell is computed exactly once no matter which worker's micro-batch
+it lands in.
 """
 
 from __future__ import annotations
 
 import asyncio
+import multiprocessing
 import time
 from collections import OrderedDict, deque
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.engine.parallel import SweepOrchestrator
 from repro.obs import METRICS_SCHEMA_VERSION, MetricsRecorder, latency_summary
@@ -26,9 +39,15 @@ from repro.service.jobs import (
     JobNotFoundError,
     JobQueue,
     JobState,
+    ServiceUnavailableError,
 )
 from repro.service.requests import SimRequest
-from repro.service.scheduler import MicroBatchScheduler
+from repro.service.scheduler import (
+    InFlightIndex,
+    MicroBatchScheduler,
+    SchedulerStats,
+    _pool_warm,
+)
 
 
 class SimulationService:
@@ -38,17 +57,27 @@ class SimulationService:
     ----------
     system / controller : the shared physics; defaults are the paper's
         10 mm system and the stock adaptive controller.
-    store : optional :class:`~repro.engine.store.ResultStore` — adds
-        cross-batch (and cross-process) caching to the in-batch dedup.
-    workers : orchestrator worker processes (leave at None for 1-CPU
-        hosts; micro-batching, not multiprocessing, is the serving win).
+    store : optional storage backend — adds cross-batch (and
+        cross-process) caching to the in-batch dedup.  Takes a
+        :class:`~repro.storage.StoreBackend` instance *or* a backend
+        URI string (``dir://...``, ``sqlite://...``, ``tiered://...``,
+        ``mem://`` — see :func:`repro.storage.open_backend`).
+    workers : orchestrator worker processes per engine call (leave at
+        None for 1-CPU hosts; micro-batching, not multiprocessing, is
+        the serving win).
+    scheduler_workers : dispatch loops draining the shared queue.  >1
+        grows the serving tier to a process pool (one pool process per
+        worker) — bring a shareable backend (``sqlite://`` or
+        ``dir://``) so cross-worker dedup and pool-side caching work.
     window / max_batch : micro-batch collection window (s) and cell
         budget per batch (see :class:`MicroBatchScheduler`).
+    stream_chunk : cell budget per streamed result slice (see
+        :class:`MicroBatchScheduler`).
     max_pending : job-queue bound — the backpressure point.
     max_jobs : finished jobs retained for ``/job/<id>`` polling before
         the oldest are forgotten.
     recorder : optional :class:`~repro.obs.recorder.MetricsRecorder`
-        shared by the orchestrator and scheduler; default is a fresh
+        shared by the orchestrators and schedulers; default is a fresh
         in-memory recorder (rolling window only), which is what the
         ``/metrics`` endpoint serves.  Hand in a recorder with a JSONL
         sink (``repro serve --metrics-jsonl``) to persist the session.
@@ -60,8 +89,10 @@ class SimulationService:
         controller=None,
         store=None,
         workers=None,
+        scheduler_workers=1,
         window=10e-3,
         max_batch=512,
+        stream_chunk=256,
         max_pending=512,
         max_jobs=4096,
         latency_window=1024,
@@ -77,56 +108,144 @@ class SimulationService:
             controller = AdaptivePowerController()
         if recorder is None:
             recorder = MetricsRecorder(label="service")
+        if isinstance(store, str):
+            from repro.storage import open_backend
+
+            store = open_backend(store)
         self.system = system
         self.controller = controller
         self.store = store
+        self.store_uri = None if store is None else getattr(store, "uri", None)
         self.recorder = recorder
-        self.orchestrator = SweepOrchestrator(
-            workers=workers, store=store, recorder=recorder
-        )
+        self.scheduler_workers = max(1, int(scheduler_workers))
+        multi = self.scheduler_workers > 1
+        self.inflight = InFlightIndex() if multi else None
         self.queue = JobQueue(max_pending=max_pending)
-        self.scheduler = MicroBatchScheduler(
-            self.queue,
-            system,
-            controller,
-            self.orchestrator,
-            window=window,
-            max_batch=max_batch,
-            recorder=recorder,
-        )
+        self.schedulers = []
+        for worker_id in range(self.scheduler_workers):
+            orchestrator = SweepOrchestrator(
+                workers=workers, store=store, recorder=recorder
+            )
+            self.schedulers.append(
+                MicroBatchScheduler(
+                    self.queue,
+                    system,
+                    controller,
+                    orchestrator,
+                    window=window,
+                    max_batch=max_batch,
+                    recorder=recorder,
+                    worker_id=worker_id if multi else None,
+                    inflight=self.inflight,
+                    backend_uri=self.store_uri,
+                    stream_chunk=stream_chunk,
+                )
+            )
+        # Back-compat handles: the first worker is "the" scheduler /
+        # orchestrator of a single-worker service.
+        self.scheduler = self.schedulers[0]
+        self.orchestrator = self.schedulers[0].orchestrator
         self.max_jobs = int(max_jobs)
+        self.draining = False
+        self._drain_rejected = 0
         self._jobs = OrderedDict()
         self._latencies = deque(maxlen=int(latency_window))
-        self._task = None
+        self._tasks = []
+        self._pool = None
         self._started_at = time.monotonic()
         self._submitted = 0
         self._cancelled = 0
 
     # -- lifecycle ------------------------------------------------------
     async def start(self):
-        """Start the dispatch loop (idempotent)."""
-        if self._task is None or self._task.done():
-            self._task = asyncio.create_task(
-                self.scheduler.run(), name="repro-scheduler"
+        """Start the dispatch loops (idempotent).  On a multi-worker
+        service this also creates and warms the shared process pool —
+        the engine stack is imported (and the backend opened) in every
+        pool process before the first request lands."""
+        if self.scheduler_workers > 1 and self._pool is None:
+            context = None
+            for method in ("forkserver", "spawn"):
+                try:
+                    context = multiprocessing.get_context(method)
+                    break
+                except ValueError:
+                    continue
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.scheduler_workers, mp_context=context
             )
+            for scheduler in self.schedulers:
+                scheduler.pool = self._pool
+            warmups = [
+                asyncio.wrap_future(self._pool.submit(_pool_warm, self.store_uri))
+                for _ in range(self.scheduler_workers)
+            ]
+            await asyncio.gather(*warmups)
+        if not self._tasks or all(task.done() for task in self._tasks):
+            self._tasks = [
+                asyncio.create_task(
+                    scheduler.run(), name=f"repro-scheduler-{k}"
+                )
+                for k, scheduler in enumerate(self.schedulers)
+            ]
         return self
 
     async def stop(self):
-        """Stop the dispatch loop; queued jobs stay queued (a restart
+        """Stop the dispatch loops; queued jobs stay queued (a restart
         resumes them)."""
-        if self._task is not None:
-            self._task.cancel()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
             try:
-                await self._task
+                await task
             except asyncio.CancelledError:
                 pass
-            self._task = None
+        self._tasks = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            for scheduler in self.schedulers:
+                scheduler.pool = None
 
     async def __aenter__(self):
         return await self.start()
 
     async def __aexit__(self, *exc):
         await self.stop()
+
+    async def drain(self, timeout=10.0):
+        """Graceful-shutdown drain: stop admitting work (new submits
+        raise :class:`ServiceUnavailableError` / HTTP 503), wait up to
+        ``timeout`` seconds for the in-flight jobs to reach a terminal
+        state, then cancel whatever is still queued.  Returns the
+        drain accounting document (the ``session_end`` drain fields).
+        """
+        self.draining = True
+        t0 = time.monotonic()
+        pending = [job for job in self._jobs.values() if not job.state.terminal]
+        deadline = t0 + max(0.0, float(timeout))
+        while any(not job.state.terminal for job in pending):
+            if time.monotonic() >= deadline:
+                break
+            await asyncio.sleep(0.02)
+        cancelled = 0
+        for job in pending:
+            if job.state is JobState.QUEUED:
+                self.queue.discard(job)
+                job.finish(JobState.CANCELLED)
+                self._cancelled += 1
+                cancelled += 1
+        clean = cancelled == 0 and all(job.state.terminal for job in pending)
+        drained = sum(
+            1
+            for job in pending
+            if job.state in (JobState.DONE, JobState.FAILED)
+        )
+        return {
+            "drained_jobs": drained,
+            "drain_elapsed_s": time.monotonic() - t0,
+            "drain_clean": bool(clean),
+            "rejected_during_drain": self._drain_rejected,
+        }
 
     # -- the client surface --------------------------------------------
     def submit(self, request, priority=0):
@@ -137,10 +256,17 @@ class SimulationService:
         HTTP submit body format); it applies unless the ``priority``
         argument overrides it, so the in-process and HTTP paths
         prioritize identically.  Raises the typed validation errors
-        for a bad payload and
+        for a bad payload,
         :class:`~repro.service.jobs.QueueFullError` when the bounded
-        queue is at capacity — nothing is ever queued past the bound.
+        queue is at capacity — nothing is ever queued past the bound —
+        and :class:`ServiceUnavailableError` while draining for
+        shutdown.
         """
+        if self.draining:
+            self._drain_rejected += 1
+            raise ServiceUnavailableError(
+                "service is draining for shutdown; not accepting new jobs"
+            )
         if not isinstance(request, SimRequest):
             if isinstance(request, dict) and "priority" in request:
                 request = dict(request)
@@ -210,9 +336,42 @@ class SimulationService:
             if self._jobs[job_id].state.terminal:
                 del self._jobs[job_id]
 
+    def health(self):
+        """The ``/healthz`` document.
+
+        Always carries ``ok`` / ``draining`` / ``queue_depth`` /
+        ``scheduler_workers``; with a storage backend attached it adds
+        the backend health probe (``backend`` sub-document: probe ok,
+        writable, entry count) and ``ok`` goes False — HTTP 503 — when
+        the probe fails.  Each probe is emitted as a ``store_backend``
+        metrics event.
+        """
+        doc = {
+            "ok": True,
+            "draining": self.draining,
+            "queue_depth": self.queue.depth,
+            "scheduler_workers": self.scheduler_workers,
+        }
+        if self.store is not None:
+            backend = self.store.health()
+            doc["backend"] = backend
+            doc["ok"] = bool(backend.get("ok", False))
+            if self.recorder is not None:
+                event = {
+                    "backend": backend["backend"],
+                    "ok": bool(backend["ok"]),
+                    "writable": bool(backend["writable"]),
+                    "entries": int(backend["entries"]),
+                    "elapsed_s": backend["elapsed_s"],
+                }
+                if backend.get("error") is not None:
+                    event["error"] = str(backend["error"])
+                self.recorder.emit("store_backend", **event)
+        return doc
+
     def stats(self):
         """The ``/stats`` document: queue, latency percentiles, batch
-        sizes, dedup/cache rates.
+        sizes, dedup/cache rates (merged over every scheduler worker).
 
         The ``latency`` block is the explicit empty document
         ``{"count": 0}`` before any job completes — never a set of
@@ -233,8 +392,16 @@ class SimulationService:
             "max_pending": self.queue.max_pending,
             "jobs": states,
             "latency": latency_summary(self._latencies),
-            "batching": self.scheduler.stats.as_dict(),
+            "batching": SchedulerStats.merged(
+                [scheduler.stats for scheduler in self.schedulers]
+            ),
             "store": store_stats,
+            "store_backend": None if self.store is None else {
+                "kind": getattr(self.store, "kind", None),
+                "uri": self.store_uri,
+            },
+            "scheduler_workers": self.scheduler_workers,
+            "draining": self.draining,
             "window_s": self.scheduler.window,
             "max_batch": self.scheduler.max_batch,
         }

@@ -1,0 +1,40 @@
+"""Pluggable content-addressed storage backends.
+
+The storage subsystem behind the sweep orchestrator's result cache
+and the serving tier's cross-worker dedup: one
+:class:`~repro.storage.base.StoreBackend` contract, several
+implementations, selected by URI (see :mod:`repro.storage.uri`).
+
+* :class:`DirectoryBackend` — ``dir://`` local npz directory (the
+  original ``ResultStore``, still exported from ``repro.engine``);
+* :class:`SqliteBackend` — ``sqlite://`` single-file index + blob
+  dir, O(1) lookups without directory scans;
+* :class:`TieredBackend` — ``tiered://`` hash-sharded children with
+  an in-memory hot tier;
+* :class:`MemoryBackend` — ``mem://`` process-local LRU.
+"""
+
+from repro.storage.base import (
+    STORE_SCHEMA_VERSION,
+    StoreBackend,
+    StoreStats,
+    canonical_key,
+)
+from repro.storage.directory import DirectoryBackend
+from repro.storage.memory import MemoryBackend
+from repro.storage.sqlite import SqliteBackend
+from repro.storage.tiered import TieredBackend
+from repro.storage.uri import BackendURIError, open_backend
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "BackendURIError",
+    "DirectoryBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "StoreBackend",
+    "StoreStats",
+    "TieredBackend",
+    "canonical_key",
+    "open_backend",
+]

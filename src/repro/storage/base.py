@@ -1,0 +1,231 @@
+"""The pluggable storage-backend interface and its shared plumbing.
+
+Every backend stores *content-addressed result cells*: a cell key is
+the SHA-256 of the cell's full physics fingerprint (assembled in
+:mod:`repro.engine.parallel`), and a cell value is a dict of numpy
+arrays.  Because keys are content hashes there is no invalidation
+protocol anywhere in the subsystem — a changed controller gain, tissue
+stack, or engine constant simply misses.
+
+:class:`StoreBackend` is the contract the orchestrator, the service
+scheduler, and the CLI all program against:
+
+* ``get``/``put``/``contains``/``__len__``/``clear`` move cells;
+* ``put`` must be *atomic* — a concurrent reader (thread or process)
+  never observes a half-written cell, it observes a miss or a
+  complete cell;
+* ``evict`` enforces the backend's ``max_entries`` bound now (LRU
+  order) and returns how many cells were dropped;
+* ``stats`` is a :class:`StoreStats` counter block for one backend
+  lifetime;
+* ``health`` is a cheap liveness/writability probe (the service
+  ``/healthz`` document and the ``store_backend`` metrics event);
+* ``uri`` round-trips the backend through
+  :func:`repro.storage.open_backend` — worker processes re-open the
+  same backend from the string instead of pickling live handles.
+
+Backends are thread-safe for the index/counter bookkeeping (one lock
+per backend): the serving tier reads and writes one shared backend
+from several scheduler executor threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Bump when the stored row layout or fingerprint layout changes; the
+#: version participates in every key, so old cells simply stop matching.
+STORE_SCHEMA_VERSION = 1
+
+
+def _canonical_value(obj):
+    """Recursively reduce a fingerprint payload to canonical plain data.
+
+    Beyond numpy scalars/arrays, non-finite floats are rewritten to a
+    tagged one-key dict: ``json.dumps`` would otherwise emit bare
+    ``NaN``/``Infinity`` tokens (invalid JSON, and a foot-gun for any
+    non-Python consumer of the key scheme).  The tag is a dict — not a
+    bare string — so a payload that legitimately contains the *string*
+    ``"NaN"`` can never collide with a payload containing the float.
+    """
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        obj = obj.item()
+    if isinstance(obj, np.ndarray):
+        obj = obj.tolist()
+    if isinstance(obj, float) and not math.isfinite(obj):
+        if math.isnan(obj):
+            return {"__nonfinite__": "nan"}
+        return {"__nonfinite__": "inf" if obj > 0 else "-inf"}
+    if isinstance(obj, dict):
+        return {str(k): _canonical_value(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical_value(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot fingerprint {type(obj).__name__!r} values")
+
+
+def canonical_key(payload):
+    """SHA-256 hex digest of a plain-data payload, via canonical JSON
+    (sorted keys, no whitespace) so logically-equal fingerprints hash
+    identically regardless of dict construction order.  Non-finite
+    floats are canonicalized explicitly (``allow_nan=False`` guards
+    against any slipping through as invalid JSON)."""
+    blob = json.dumps(
+        _canonical_value(payload),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting for one backend lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    def as_dict(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "writes": self.writes,
+            "evictions": self.evictions,
+        }
+
+
+def write_npz_atomic(path, arrays):
+    """Write ``arrays`` as one ``.npz`` blob via temp file + atomic
+    rename — two processes racing on the same cell both leave a
+    complete blob behind, and a crashed writer leaves nothing that
+    later reads as a corrupt hit."""
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def read_npz(path):
+    """Load one ``.npz`` blob as a dict of arrays (raises OSError /
+    ValueError / EOFError / KeyError for missing or torn blobs — the
+    caller maps those to a counted miss)."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+class StoreBackend:
+    """Abstract content-addressed cell store (see module docstring).
+
+    Subclasses set :attr:`kind` (the short backend name reported by
+    :meth:`health` and the URI scheme), keep :attr:`stats` and
+    :attr:`uri` current, and implement the five data methods plus
+    :meth:`_writable_probe`.
+    """
+
+    #: Short backend name; doubles as the URI scheme.
+    kind = "abstract"
+    #: ``open_backend``-compatible URI for this backend, or None when
+    #: the backend cannot be re-opened from a string (e.g. in-memory).
+    uri = None
+
+    def __init__(self):
+        self.stats = StoreStats()
+        self._lock = threading.RLock()
+
+    # -- the data plane -------------------------------------------------
+    def get(self, key):
+        """The stored arrays for ``key``, or None (counted as a miss).
+        A hit refreshes the cell's LRU position."""
+        raise NotImplementedError
+
+    def put(self, key, arrays):
+        """Store ``arrays`` (a dict of numpy arrays) under ``key``
+        atomically, then enforce the entry bound."""
+        raise NotImplementedError
+
+    def contains(self, key):
+        """Whether ``key`` is currently stored (no stats counted, no
+        LRU refresh — a pure existence probe)."""
+        raise NotImplementedError
+
+    def __len__(self):
+        raise NotImplementedError
+
+    def clear(self):
+        """Drop every stored cell (keeps the backend usable)."""
+        raise NotImplementedError
+
+    def evict(self):
+        """Enforce the backend's entry bound now; returns the number
+        of cells dropped (0 for unbounded backends)."""
+        return 0
+
+    def close(self):
+        """Release any handles; the backend must not be used after."""
+
+    # -- the health probe -----------------------------------------------
+    def _writable_probe(self):
+        """Prove one write can land (cheap; no cell is created)."""
+        raise NotImplementedError
+
+    def health(self):
+        """Liveness document: ``{"backend", "ok", "writable",
+        "entries", "elapsed_s"}`` (+ ``"error"`` when the probe
+        failed).  Never raises — an unreachable backend reports
+        ``ok: False`` so the service ``/healthz`` can degrade to 503
+        instead of 500."""
+        t0 = time.perf_counter()
+        doc = {
+            "backend": self.kind,
+            "ok": False,
+            "writable": False,
+            "entries": 0,
+        }
+        try:
+            doc["entries"] = int(len(self))
+            doc["writable"] = bool(self._writable_probe())
+            doc["ok"] = doc["writable"]
+        except Exception as exc:  # noqa: BLE001 - probe must not raise
+            doc["error"] = f"{type(exc).__name__}: {exc}"
+        doc["elapsed_s"] = time.perf_counter() - t0
+        return doc
+
+    # -- context management ---------------------------------------------
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def probe_directory_writable(root):
+    """The shared writability probe for directory-rooted backends:
+    create and remove one temp file under ``root``."""
+    fd, tmp = tempfile.mkstemp(dir=root, suffix=".probe")
+    os.close(fd)
+    os.unlink(tmp)
+    return True

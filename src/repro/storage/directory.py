@@ -1,0 +1,158 @@
+"""The local npz-directory backend (the original ``ResultStore``).
+
+Cells live as ``.npz`` files under a two-level sharded directory
+(``root/<key[:2]>/<key>.npz``).  LRU order is tracked in an in-memory
+index (rebuilt once per backend instance from file mtimes) so ``put``
+never rescans the directory; hits still touch the file mtime so a
+*future* instance — or another process sharing the directory —
+rebuilds the same order.
+
+Writes go through a temp file + atomic rename, so two processes
+sharing one cache directory can race on the same cell and both leave
+a complete ``.npz`` behind; a cell evicted under a concurrent
+reader's feet simply reads as a miss and is recomputed.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage.base import (
+    StoreBackend,
+    probe_directory_writable,
+    read_npz,
+    write_npz_atomic,
+)
+
+
+class DirectoryBackend(StoreBackend):
+    """Scenario-hash -> ``.npz`` store rooted at ``root``.
+
+    ``get``/``put`` move dicts of numpy arrays; writes go through a
+    temp file + atomic rename so a crashed sweep never leaves a
+    half-written cell that later reads as a corrupt hit.
+    """
+
+    kind = "dir"
+
+    def __init__(self, root, max_entries=None):
+        super().__init__()
+        self.root = os.path.expanduser(str(root))
+        os.makedirs(self.root, exist_ok=True)
+        if max_entries is not None and int(max_entries) < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = None if max_entries is None else int(max_entries)
+        self.uri = f"{self.kind}://{self.root}"
+        # In-memory LRU index: {path: None}, oldest first.  Built once
+        # (lazily) from file mtimes; after that every put/get is an
+        # O(1) dict move instead of a directory rescan.
+        self._index = None
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".npz")
+
+    def _scan(self):
+        """(mtime, path) for every stored cell — the startup scan."""
+        out = []
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if not name.endswith(".npz"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    out.append((os.path.getmtime(path), path))
+                except OSError:
+                    continue
+        return out
+
+    def _lru(self):
+        """The in-memory LRU index, rebuilt from disk on first use."""
+        if self._index is None:
+            self._index = {path: None for _, path in sorted(self._scan())}
+        return self._index
+
+    def _touch(self, path):
+        """Move ``path`` to the most-recent end of the LRU index."""
+        index = self._lru()
+        index.pop(path, None)
+        index[path] = None
+
+    def __len__(self):
+        # Directory truth, not the in-memory index: another process
+        # sharing the root may have added or evicted cells since this
+        # instance's index was built.
+        return len(self._scan())
+
+    def get(self, key):
+        path = self._path(key)
+        try:
+            arrays = read_npz(path)
+        except (OSError, ValueError, EOFError, KeyError):
+            # Missing cell, or one corrupted mid-write by a hard kill:
+            # either way it is a miss and will be recomputed.
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            # A concurrent process evicted the cell between the load
+            # and the LRU touch; the data is already in hand.
+            pass
+        with self._lock:
+            self._touch(path)
+            self.stats.hits += 1
+        return arrays
+
+    def put(self, key, arrays):
+        path = self._path(key)
+        write_npz_atomic(path, arrays)
+        with self._lock:
+            self.stats.writes += 1
+            self._touch(path)
+        if self.max_entries is not None and len(self._index) > self.max_entries:
+            self.evict()
+
+    def contains(self, key):
+        return os.path.exists(self._path(key))
+
+    def evict(self):
+        """Drop oldest-known cells until the index fits the bound.
+
+        A cell already removed by a concurrent process just falls out
+        of the index without counting as an eviction here — the other
+        process already accounted for it, so shared directories never
+        double-count (or double-delete) a cell.
+        """
+        if self.max_entries is None:
+            return 0
+        dropped = 0
+        with self._lock:
+            index = self._lru()
+            excess = len(index) - self.max_entries
+            for path in list(index)[:excess]:
+                del index[path]
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                self.stats.evictions += 1
+                dropped += 1
+        return dropped
+
+    def clear(self):
+        """Drop every stored cell (keeps the root directory).  Scans
+        the directory rather than trusting the index, so cells written
+        by a concurrent process are dropped too."""
+        for _, path in self._scan():
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+        self._index = {}
+
+    def _writable_probe(self):
+        return probe_directory_writable(self.root)

@@ -1,0 +1,72 @@
+"""The in-memory backend: an LRU dict of cells.
+
+Process-local (``uri`` stays None — it cannot be shared with worker
+processes), zero I/O, and exactly the semantics of the persistent
+backends — which makes it both the hot tier of
+:class:`~repro.storage.tiered.TieredBackend` and the cheapest backend
+for tests and short-lived in-process services.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.storage.base import StoreBackend
+
+
+class MemoryBackend(StoreBackend):
+    """Cell dict with LRU eviction at ``max_entries``."""
+
+    kind = "mem"
+
+    def __init__(self, max_entries=None):
+        super().__init__()
+        if max_entries is not None and int(max_entries) < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = None if max_entries is None else int(max_entries)
+        self._cells = OrderedDict()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._cells)
+
+    def get(self, key):
+        with self._lock:
+            arrays = self._cells.get(key)
+            if arrays is None:
+                self.stats.misses += 1
+                return None
+            self._cells.move_to_end(key)
+            self.stats.hits += 1
+            # A shallow copy: callers may add/drop dict keys without
+            # mutating the stored cell (arrays are shared read-only).
+            return dict(arrays)
+
+    def put(self, key, arrays):
+        with self._lock:
+            self._cells.pop(key, None)
+            self._cells[key] = dict(arrays)
+            self.stats.writes += 1
+        self.evict()
+
+    def contains(self, key):
+        with self._lock:
+            return key in self._cells
+
+    def evict(self):
+        if self.max_entries is None:
+            return 0
+        dropped = 0
+        with self._lock:
+            while len(self._cells) > self.max_entries:
+                self._cells.popitem(last=False)
+                self.stats.evictions += 1
+                dropped += 1
+        return dropped
+
+    def clear(self):
+        with self._lock:
+            self._cells.clear()
+
+    def _writable_probe(self):
+        return True

@@ -1,0 +1,180 @@
+"""The sqlite-indexed backend: a single-file index + an npz blob dir.
+
+The directory backend pays a full directory scan to learn its LRU
+order (once per instance) and to answer ``len``.  This backend keeps
+the index in one sqlite file instead — ``get``/``put``/``contains``
+and the LRU-eviction order are all O(1)-ish index queries regardless
+of how many cells are stored, which is what a long-lived shared cache
+in front of a serving tier needs.
+
+Layout under ``root``::
+
+    index.sqlite             -- the cell index (WAL mode)
+    blobs/<key[:2]>/<key>.npz
+
+Blob writes stay temp-file + atomic rename (the same crash/concurrency
+contract as every backend).  The index is advisory: a row whose blob
+was removed by a concurrent process reads as a miss and the stale row
+is dropped; a blob whose row is missing is re-indexed on the next
+``put`` of that key.  WAL mode + a busy timeout make one file safely
+shareable between the service's scheduler threads and worker
+processes.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import time
+
+from repro.storage.base import (
+    StoreBackend,
+    probe_directory_writable,
+    read_npz,
+    write_npz_atomic,
+)
+
+
+class SqliteBackend(StoreBackend):
+    """Scenario-hash -> ``.npz`` store with a sqlite cell index."""
+
+    kind = "sqlite"
+
+    def __init__(self, root, max_entries=None):
+        super().__init__()
+        self.root = os.path.expanduser(str(root))
+        os.makedirs(self.root, exist_ok=True)
+        if max_entries is not None and int(max_entries) < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = None if max_entries is None else int(max_entries)
+        self.uri = f"{self.kind}://{self.root}"
+        self.index_path = os.path.join(self.root, "index.sqlite")
+        self._blob_root = os.path.join(self.root, "blobs")
+        # One connection per backend instance, shared across threads
+        # under self._lock (sqlite's own locking covers processes).
+        self._conn = sqlite3.connect(
+            self.index_path, timeout=10.0, check_same_thread=False
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=10000")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS cells ("
+            " key TEXT PRIMARY KEY,"
+            " path TEXT NOT NULL,"
+            " last_used REAL NOT NULL)"
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS cells_last_used ON cells (last_used)"
+        )
+        self._conn.commit()
+
+    def _path(self, key):
+        return os.path.join(self._blob_root, key[:2], key + ".npz")
+
+    def __len__(self):
+        with self._lock:
+            (count,) = self._conn.execute("SELECT COUNT(*) FROM cells").fetchone()
+        return int(count)
+
+    def get(self, key):
+        path = self._path(key)
+        try:
+            arrays = read_npz(path)
+        except (OSError, ValueError, EOFError, KeyError):
+            # Miss.  Drop any stale index row (the blob is gone —
+            # evicted or never landed) so eviction order stays honest.
+            with self._lock:
+                self._conn.execute("DELETE FROM cells WHERE key = ?", (key,))
+                self._conn.commit()
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO cells (key, path, last_used) VALUES (?, ?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET last_used = excluded.last_used",
+                (key, path, time.time()),
+            )
+            self._conn.commit()
+            self.stats.hits += 1
+        return arrays
+
+    def put(self, key, arrays):
+        path = self._path(key)
+        write_npz_atomic(path, arrays)
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO cells (key, path, last_used) VALUES (?, ?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET last_used = excluded.last_used",
+                (key, path, time.time()),
+            )
+            self._conn.commit()
+            self.stats.writes += 1
+        if self.max_entries is not None:
+            self.evict()
+
+    def contains(self, key):
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM cells WHERE key = ?", (key,)
+            ).fetchone()
+        if row is not None:
+            return True
+        # The index is advisory — trust the blob over a missing row.
+        return os.path.exists(self._path(key))
+
+    def evict(self):
+        """Drop least-recently-used cells past ``max_entries``."""
+        if self.max_entries is None:
+            return 0
+        dropped = 0
+        with self._lock:
+            (count,) = self._conn.execute("SELECT COUNT(*) FROM cells").fetchone()
+            excess = int(count) - self.max_entries
+            if excess <= 0:
+                return 0
+            victims = self._conn.execute(
+                "SELECT key, path FROM cells ORDER BY last_used, key LIMIT ?",
+                (excess,),
+            ).fetchall()
+            for key, path in victims:
+                self._conn.execute("DELETE FROM cells WHERE key = ?", (key,))
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                self.stats.evictions += 1
+                dropped += 1
+            self._conn.commit()
+        return dropped
+
+    def clear(self):
+        with self._lock:
+            rows = self._conn.execute("SELECT path FROM cells").fetchall()
+            self._conn.execute("DELETE FROM cells")
+            self._conn.commit()
+        for (path,) in rows:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+        # Blobs written by another process (whose rows this index never
+        # saw) are dropped too — clear means clear.
+        if os.path.isdir(self._blob_root):
+            for shard in os.listdir(self._blob_root):
+                shard_dir = os.path.join(self._blob_root, shard)
+                if not os.path.isdir(shard_dir):
+                    continue
+                for name in os.listdir(shard_dir):
+                    if name.endswith(".npz"):
+                        try:
+                            os.unlink(os.path.join(shard_dir, name))
+                        except OSError:
+                            continue
+
+    def close(self):
+        with self._lock:
+            self._conn.close()
+
+    def _writable_probe(self):
+        return probe_directory_writable(self.root)

@@ -1,0 +1,133 @@
+"""The sharded/tiered composite backend.
+
+Two compositions in one class:
+
+* **Sharding** — cells are hash-partitioned over N child backends by
+  their content address (``int(key[:8], 16) % N``), so a huge cache
+  splits its index/directory load across children, and children can
+  later live on different disks (or nodes) without changing a single
+  key.
+* **Hot tier** — an in-memory :class:`~repro.storage.memory.
+  MemoryBackend` LRU in front of the children absorbs the repeat
+  lookups of a serving workload (the same cells hit over and over
+  within a session) without touching disk.
+
+The hot tier is write-through: every ``put`` lands in its shard child
+*and* in memory, so the persistent tier is always complete and the
+memory tier is pure acceleration — losing it can only cost latency.
+
+``stats`` counts at the composite surface (a hot-tier hit and a child
+hit are both one ``hits``); :attr:`hot_hits` separates how many hits
+the memory tier absorbed.  ``health`` aggregates the children: the
+composite is healthy only when every shard is.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.storage.base import StoreBackend
+from repro.storage.memory import MemoryBackend
+
+
+class TieredBackend(StoreBackend):
+    """Hash-sharded children behind an in-memory hot tier.
+
+    Parameters
+    ----------
+    children : sequence of :class:`StoreBackend` shards (at least 1).
+        Cell -> shard assignment depends only on the key and the shard
+        count, so re-opening the same children in the same order sees
+        the same cells.
+    hot_entries : hot-tier LRU bound (0 disables the memory tier).
+    uri : optional ``open_backend`` URI this composite was built from
+        (set by the factory; composites assembled by hand are not
+        re-openable from a string).
+    """
+
+    kind = "tiered"
+
+    def __init__(self, children, hot_entries=256, uri=None):
+        super().__init__()
+        self.children = list(children)
+        if not self.children:
+            raise ValueError("tiered backend needs at least one child")
+        if int(hot_entries) < 0:
+            raise ValueError("hot_entries must be >= 0")
+        self.hot = MemoryBackend(max_entries=hot_entries) if hot_entries else None
+        self.hot_hits = 0
+        self.uri = uri
+
+    def _child(self, key):
+        return self.children[int(key[:8], 16) % len(self.children)]
+
+    def __len__(self):
+        # The persistent tier is complete (write-through hot tier), so
+        # the composite size is the shard sum.
+        return sum(len(child) for child in self.children)
+
+    def get(self, key):
+        if self.hot is not None:
+            arrays = self.hot.get(key)
+            if arrays is not None:
+                with self._lock:
+                    self.stats.hits += 1
+                    self.hot_hits += 1
+                return arrays
+        arrays = self._child(key).get(key)
+        with self._lock:
+            if arrays is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+        if self.hot is not None:
+            self.hot.put(key, arrays)
+        return arrays
+
+    def put(self, key, arrays):
+        self._child(key).put(key, arrays)
+        if self.hot is not None:
+            self.hot.put(key, arrays)
+        with self._lock:
+            self.stats.writes += 1
+
+    def contains(self, key):
+        if self.hot is not None and self.hot.contains(key):
+            return True
+        return self._child(key).contains(key)
+
+    def evict(self):
+        dropped = sum(child.evict() for child in self.children)
+        with self._lock:
+            self.stats.evictions += dropped
+        return dropped
+
+    def clear(self):
+        for child in self.children:
+            child.clear()
+        if self.hot is not None:
+            self.hot.clear()
+
+    def close(self):
+        for child in self.children:
+            child.close()
+
+    def health(self):
+        """Aggregate shard health: ok/writable only when every child
+        is; ``entries`` is the shard sum; per-shard documents ride in
+        ``"children"`` (dropped from the flat ``store_backend``
+        metrics event, which carries the aggregate)."""
+        t0 = time.perf_counter()
+        children = [child.health() for child in self.children]
+        doc = {
+            "backend": self.kind,
+            "ok": all(child["ok"] for child in children),
+            "writable": all(child["writable"] for child in children),
+            "entries": sum(child["entries"] for child in children),
+            "children": children,
+        }
+        doc["elapsed_s"] = time.perf_counter() - t0
+        return doc
+
+    def _writable_probe(self):
+        return all(child._writable_probe() for child in self.children)

@@ -1,0 +1,111 @@
+"""Backend URIs: one string selects and configures a store backend.
+
+``repro sweep --store`` / ``repro serve --store`` and the service
+config all take a backend URI; worker processes of the multi-worker
+serving tier re-open the parent's backend from the same string (live
+backend handles never cross a process boundary).
+
+Supported forms::
+
+    dir://PATH[?max_entries=N]      local npz directory (the default)
+    sqlite://PATH[?max_entries=N]   sqlite index + npz blob dir
+    tiered://PATH[?shards=N&child=dir|sqlite&hot=K&max_entries=N]
+                                    N hash-sharded children under
+                                    PATH/shard-<k>, hot-tier LRU of K
+    mem://[?max_entries=N]          process-local in-memory LRU
+
+A bare path (no ``://``) opens a :class:`DirectoryBackend` — exactly
+the old ``--cache-dir`` behaviour, so every existing invocation keeps
+working.  ``max_entries`` bounds each *persistent* backend (for
+``tiered`` it is the per-shard bound).  Unknown schemes and unknown
+query parameters raise :class:`BackendURIError` naming the offender —
+a typo must never silently open a default backend.
+"""
+
+from __future__ import annotations
+
+import os
+from urllib.parse import parse_qsl
+
+from repro.storage.base import StoreBackend
+from repro.storage.directory import DirectoryBackend
+from repro.storage.memory import MemoryBackend
+from repro.storage.sqlite import SqliteBackend
+from repro.storage.tiered import TieredBackend
+
+
+class BackendURIError(ValueError):
+    """A backend URI that cannot be opened (unknown scheme, missing
+    path, unknown or invalid parameter)."""
+
+
+_TIERED_CHILDREN = {"dir": DirectoryBackend, "sqlite": SqliteBackend}
+
+
+def _int_param(params, name, default=None):
+    if name not in params:
+        return default
+    raw = params.pop(name)
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        raise BackendURIError(f"backend URI parameter {name}={raw!r} is not an integer")
+
+
+def open_backend(spec, max_entries=None):
+    """Open a backend from ``spec`` (URI string, bare path, or an
+    already-open :class:`StoreBackend`, returned as-is).
+
+    ``max_entries`` is the default entry bound applied when the URI
+    does not carry its own ``max_entries`` parameter.
+    """
+    if spec is None:
+        raise BackendURIError("backend spec must not be None")
+    if isinstance(spec, StoreBackend):
+        return spec
+    text = str(spec)
+    if "://" not in text:
+        return DirectoryBackend(text, max_entries=max_entries)
+    scheme, _, rest = text.partition("://")
+    scheme = scheme.lower()
+    path, _, query = rest.partition("?")
+    params = dict(parse_qsl(query, keep_blank_values=True))
+    max_entries = _int_param(params, "max_entries", max_entries)
+
+    if scheme == "mem":
+        backend = MemoryBackend(max_entries=max_entries)
+    elif scheme in ("dir", "sqlite"):
+        if not path:
+            raise BackendURIError(f"{scheme}:// URI needs a path: {text!r}")
+        cls = DirectoryBackend if scheme == "dir" else SqliteBackend
+        backend = cls(path, max_entries=max_entries)
+    elif scheme == "tiered":
+        if not path:
+            raise BackendURIError(f"tiered:// URI needs a path: {text!r}")
+        shards = _int_param(params, "shards", 2)
+        hot = _int_param(params, "hot", 256)
+        child_kind = params.pop("child", "dir")
+        child_cls = _TIERED_CHILDREN.get(child_kind)
+        if child_cls is None:
+            raise BackendURIError(
+                f"unknown tiered child backend {child_kind!r}; "
+                f"known: {sorted(_TIERED_CHILDREN)}"
+            )
+        if shards < 1:
+            raise BackendURIError("tiered:// needs shards >= 1")
+        children = [
+            child_cls(os.path.join(path, f"shard-{k}"), max_entries=max_entries)
+            for k in range(shards)
+        ]
+        backend = TieredBackend(children, hot_entries=hot, uri=text)
+    else:
+        raise BackendURIError(
+            f"unknown backend scheme {scheme!r} in {text!r}; "
+            f"known schemes: dir, sqlite, tiered, mem"
+        )
+    if params:
+        backend.close()
+        raise BackendURIError(
+            f"unknown backend URI parameter(s) {sorted(params)} in {text!r}"
+        )
+    return backend

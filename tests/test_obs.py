@@ -376,3 +376,62 @@ class TestMetricsReportTool:
         doc = json.loads(capsys.readouterr().out)
         assert doc["sweeps"]["runs"] == 1
         assert doc["sweeps"]["warm_cache_hit_rate"] == 1.0
+
+
+class TestAppendTrendTool:
+    @pytest.fixture(scope="class")
+    def tool(self):
+        path = Path(__file__).resolve().parent.parent / "benchmarks"
+        spec = importlib.util.spec_from_file_location(
+            "append_trend", path / "append_trend.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def write_results(self, path, tool, scale=1.0):
+        doc = {
+            "benchmarks": [
+                {"name": name, "stats": {"min": 0.01 * scale * (k + 1),
+                                         "mean": 0.02 * scale * (k + 1)}}
+                for k, name in enumerate(tool.DEFAULT_GATE)
+            ]
+        }
+        path.write_text(json.dumps(doc))
+
+    def test_duplicate_snapshot_is_skipped(self, tool, tmp_path, capsys):
+        results = tmp_path / "bench.json"
+        trend = tmp_path / "trend.jsonl"
+        self.write_results(results, tool)
+        args = [str(results), str(trend), "--ref", "abc123",
+                "--timestamp", "2026-08-07T00:00:00+00:00"]
+        assert tool.main(args) == 0
+        assert "appended" in capsys.readouterr().out
+        # Same commit, same gated minima: the re-run adds nothing.
+        assert tool.main(args) == 0
+        assert "skipped duplicate" in capsys.readouterr().out
+        assert len(trend.read_text().splitlines()) == 1
+
+    def test_changed_minima_or_ref_still_append(self, tool, tmp_path):
+        results = tmp_path / "bench.json"
+        trend = tmp_path / "trend.jsonl"
+        self.write_results(results, tool)
+        base = ["--timestamp", "2026-08-07T00:00:00+00:00"]
+        assert tool.main([str(results), str(trend), "--ref", "abc"] + base) == 0
+        # A different commit appends even with identical minima...
+        assert tool.main([str(results), str(trend), "--ref", "def"] + base) == 0
+        # ...and the same commit with moved timings appends too.
+        self.write_results(results, tool, scale=2.0)
+        assert tool.main([str(results), str(trend), "--ref", "abc"] + base) == 0
+        rows = [json.loads(line) for line in trend.read_text().splitlines()]
+        assert [row["ref"] for row in rows] == ["abc", "def", "abc"]
+
+    def test_torn_trend_row_does_not_block_appends(self, tool, tmp_path):
+        results = tmp_path / "bench.json"
+        trend = tmp_path / "trend.jsonl"
+        self.write_results(results, tool)
+        trend.write_text("{not json\n")
+        args = [str(results), str(trend), "--ref", "abc",
+                "--timestamp", "2026-08-07T00:00:00+00:00"]
+        assert tool.main(args) == 0
+        assert len(trend.read_text().splitlines()) == 2

@@ -1,0 +1,486 @@
+"""Streaming results, the multi-worker serving tier, and shutdown.
+
+The load-bearing properties:
+
+* streamed chunks concatenate to *exactly* the final result document
+  (the scheduler publishes the same per-cell docs it later assembles,
+  so parity is structural, and JSON floats round-trip bitwise);
+* late subscribers replay the full chunk history;
+* several scheduler workers sharing one backend compute each distinct
+  cell once (cross-worker dedup by content address);
+* drain finishes in-flight jobs, rejects new submits with the typed
+  503 error, and reports its accounting;
+* ``/healthz`` carries the storage-backend probe and degrades to 503;
+* the HTTP client surfaces transport failures (reset mid-response,
+  malformed bodies) as typed errors and retries 429 backpressure.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import RemotePoweringSystem
+from repro.core import AdaptivePowerController
+from repro.obs import MetricsRecorder
+from repro.service import (
+    HttpServiceClient,
+    InFlightIndex,
+    LoadGenerator,
+    QueueFullError,
+    ServiceClient,
+    ServiceError,
+    ServiceHTTPServer,
+    ServiceUnavailableError,
+    SimulationService,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return RemotePoweringSystem(distance=10e-3)
+
+
+@pytest.fixture(scope="module")
+def controller():
+    return AdaptivePowerController()
+
+
+def sweep_payload(*distances, t_stop=5e-3):
+    return {"kind": "sweep", "t_stop": t_stop,
+            "axes": {"distance": list(distances), "i_load": [352e-6]}}
+
+
+def make_service(system, controller, **kwargs):
+    kwargs.setdefault("window", 5e-3)
+    return SimulationService(system=system, controller=controller,
+                             **kwargs)
+
+
+def reassemble(chunks):
+    """Index -> cell doc map from a chunk sequence."""
+    cells = {}
+    for chunk in chunks:
+        for idx, doc in zip(chunk["cell_indices"], chunk["cells"]):
+            cells[idx] = doc
+    return cells
+
+
+class TestStreamingInProcess:
+    def test_chunks_concatenate_to_final_result(self, system, controller):
+        async def scenario():
+            service = make_service(system, controller, stream_chunk=1)
+            client = ServiceClient(service)
+            await service.start()
+            try:
+                job_id = await client.submit(
+                    sweep_payload(8e-3, 10e-3, 12e-3))
+                chunks = [c async for c in client.iter_results(job_id)]
+                result = await client.result(job_id)
+                stats = service.stats()
+            finally:
+                await service.stop()
+            return chunks, result, stats
+
+        chunks, result, stats = asyncio.run(scenario())
+        # stream_chunk=1 slices the 3-cell sweep into 3 publishes.
+        assert len(chunks) == 3
+        for seq, chunk in enumerate(chunks):
+            assert set(chunk) == {"job_id", "kind", "seq",
+                                  "cell_indices", "cells"}
+            assert chunk["seq"] == seq
+            assert chunk["kind"] == "sweep"
+        cells = reassemble(chunks)
+        assert [cells[i] for i in range(3)] == result["cells"]
+        assert stats["batching"]["chunks_streamed"] == 3
+
+    def test_late_subscriber_replays_all_chunks(self, system, controller):
+        async def scenario():
+            service = make_service(system, controller, stream_chunk=1)
+            client = ServiceClient(service)
+            await service.start()
+            try:
+                job_id = await client.submit(sweep_payload(8e-3, 12e-3))
+                result = await client.result(job_id)  # job terminal now
+                chunks = [c async for c in client.iter_results(job_id)]
+            finally:
+                await service.stop()
+            return chunks, result
+
+        chunks, result = asyncio.run(scenario())
+        assert len(chunks) == 2
+        cells = reassemble(chunks)
+        assert [cells[i] for i in range(2)] == result["cells"]
+
+    def test_stream_events_emitted(self, system, controller):
+        recorder = MetricsRecorder(label="stream-test")
+        async def scenario():
+            service = make_service(system, controller, stream_chunk=1,
+                                   recorder=recorder)
+            client = ServiceClient(service)
+            await service.start()
+            try:
+                await client.result(await client.submit(
+                    sweep_payload(8e-3, 12e-3)))
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+        streams = [e for e in recorder.events() if e["event"] == "stream"]
+        assert len(streams) == 2
+        assert all(e["kind"] == "sweep" and e["cells"] == 1
+                   for e in streams)
+
+
+class TestStreamingHTTP:
+    def test_http_stream_matches_polled_result(self, system, controller):
+        async def scenario():
+            service = make_service(system, controller, stream_chunk=1)
+            server = ServiceHTTPServer(service, port=0)
+            host, port = await server.start()
+            client = HttpServiceClient(host, port, poll_interval=0.01)
+            await service.start()
+            try:
+                job_id = await client.submit(
+                    sweep_payload(8e-3, 10e-3, 12e-3))
+                chunks = [c async for c in client.iter_results(job_id)]
+                result = await client.result(job_id)
+            finally:
+                await service.stop()
+                await server.stop()
+            return chunks, result
+
+        chunks, result = asyncio.run(scenario())
+        assert len(chunks) == 3
+        cells = reassemble(chunks)
+        # Both sides went through JSON, and JSON floats round-trip
+        # bitwise — so streamed cells equal the buffered result exactly.
+        assert [cells[i] for i in range(3)] == result["cells"]
+
+    def test_http_stream_for_unknown_job_is_typed_404(self, system,
+                                                      controller):
+        from repro.service import JobNotFoundError
+
+        async def scenario():
+            service = make_service(system, controller)
+            server = ServiceHTTPServer(service, port=0)
+            host, port = await server.start()
+            client = HttpServiceClient(host, port)
+            try:
+                with pytest.raises(JobNotFoundError):
+                    async for _ in client.iter_results("feedfacecafe"):
+                        pass
+            finally:
+                await server.stop()
+            return True
+
+        assert asyncio.run(scenario())
+
+
+class TestInFlightIndex:
+    def test_claim_release_partition(self):
+        async def scenario():
+            index = InFlightIndex()
+            owned, foreign = index.claim(["a", "b"])
+            assert owned == ["a", "b"] and foreign == {}
+            # A second worker claiming an overlapping set waits on the
+            # owner's futures for the overlap.
+            owned2, foreign2 = index.claim(["b", "c"])
+            assert owned2 == ["c"]
+            assert set(foreign2) == {"b"}
+            assert not foreign2["b"].done()
+            index.release(["a", "b"])
+            assert foreign2["b"].done()
+            # Released keys are claimable again.
+            owned3, _ = index.claim(["a"])
+            assert owned3 == ["a"]
+            index.release(["a", "c"])
+
+        asyncio.run(scenario())
+
+
+class TestMultiWorker:
+    def test_two_scheduler_workers_dedup_across_jobs(self, system,
+                                                     controller,
+                                                     tmp_path):
+        recorder = MetricsRecorder(label="mw-test")
+
+        async def scenario():
+            service = make_service(
+                system, controller,
+                store=f"sqlite://{tmp_path}/cells",
+                scheduler_workers=2,
+                recorder=recorder,
+            )
+            client = ServiceClient(service)
+            await service.start()
+            try:
+                distances = [8e-3, 9e-3, 10e-3, 11e-3]
+                # 8 jobs over 4 distinct single-cell payloads.
+                job_ids = [
+                    await client.submit(sweep_payload(distances[k % 4]))
+                    for k in range(8)
+                ]
+                results = [await client.result(j) for j in job_ids]
+                stats = service.stats()
+            finally:
+                await service.stop()
+            return results, stats
+
+        results, stats = asyncio.run(scenario())
+        # Identical payloads produced identical documents...
+        for k in range(4):
+            assert results[k] == results[k + 4]
+        # ...and each distinct cell was computed exactly once across
+        # both workers (in-batch dedup, in-flight claims, or the
+        # shared backend — whichever path, never twice).
+        batching = stats["batching"]
+        assert batching["cells_requested"] == 8
+        assert batching["cells_computed"] == 4
+        assert (batching["cells_deduped"] + batching["cells_cached"]) == 4
+        assert stats["scheduler_workers"] == 2
+        assert stats["store_backend"]["kind"] == "sqlite"
+        # Worker-tagged scheduler events from both identities are
+        # schema-valid by construction (the recorder validates).
+        workers = {e.get("worker") for e in recorder.events()
+                   if e["event"] == "batch"}
+        assert workers <= {0, 1} and workers
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_then_rejects(self, system,
+                                                  controller):
+        async def scenario():
+            service = make_service(system, controller)
+            client = ServiceClient(service)
+            await service.start()
+            job_id = await client.submit(sweep_payload(8e-3))
+            stats = await service.drain(timeout=10.0)
+            health = service.health()
+            with pytest.raises(ServiceUnavailableError):
+                await client.submit(sweep_payload(9e-3))
+            result = await client.result(job_id)
+            await service.stop()
+            return stats, health, result
+
+        stats, health, result = asyncio.run(scenario())
+        assert stats["drained_jobs"] == 1
+        assert stats["drain_clean"] is True
+        assert stats["drain_elapsed_s"] >= 0.0
+        assert stats["rejected_during_drain"] == 0
+        assert health["draining"] is True
+        assert len(result["cells"]) == 1
+
+    def test_drain_timeout_cancels_stuck_jobs(self, system, controller):
+        async def scenario():
+            # Never started: the queued job cannot make progress, so
+            # the bounded drain must cancel it rather than hang.
+            service = make_service(system, controller)
+            client = ServiceClient(service)
+            job_id = await client.submit(sweep_payload(8e-3))
+            stats = await service.drain(timeout=0.1)
+            state = service.job(job_id).state.value
+            return stats, state
+
+        stats, state = asyncio.run(scenario())
+        assert stats["drain_clean"] is False
+        assert stats["drained_jobs"] == 0
+        assert state == "cancelled"
+
+    def test_session_end_carries_drain_stats(self, system, controller):
+        recorder = MetricsRecorder(label="drain-test")
+
+        async def scenario():
+            service = make_service(system, controller,
+                                   recorder=recorder)
+            await service.start()
+            stats = await service.drain(timeout=1.0)
+            await service.stop()
+            return stats
+
+        stats = asyncio.run(scenario())
+        recorder.close(**stats)
+        end = recorder.events()[-1]
+        assert end["event"] == "session_end"
+        assert end["drained_jobs"] == 0
+        assert end["drain_clean"] is True
+
+
+class TestHealthz:
+    def test_health_carries_backend_probe(self, system, controller,
+                                          tmp_path):
+        service = make_service(system, controller,
+                               store=f"dir://{tmp_path}/cells")
+        doc = service.health()
+        assert doc["ok"] is True
+        assert doc["backend"]["backend"] == "dir"
+        assert doc["backend"]["writable"] is True
+        assert doc["draining"] is False
+
+    def test_healthz_degrades_to_503_on_probe_failure(self, system,
+                                                      controller,
+                                                      tmp_path):
+        async def scenario():
+            service = make_service(system, controller,
+                                   store=f"dir://{tmp_path}/cells")
+            server = ServiceHTTPServer(service, port=0)
+            host, port = await server.start()
+            client = HttpServiceClient(host, port)
+            try:
+                assert (await client.health())["ok"] is True
+
+                def broken_probe():
+                    raise OSError("disk gone")
+
+                service.store._writable_probe = broken_probe
+                doc = await client.health()  # accepts the 503 reply
+                assert doc["ok"] is False
+                assert "disk gone" in doc["backend"]["error"]
+                # And the raw status code really is 503.
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"GET /healthz HTTP/1.1\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                assert raw.split()[1] == b"503"
+            finally:
+                await server.stop()
+            return True
+
+        assert asyncio.run(scenario())
+
+
+# -- stub servers for client failure paths ------------------------------
+
+async def _stub(handler):
+    """One-shot HTTP stub: parse request head, delegate the reply."""
+
+    async def handle(reader, writer):
+        request_line = (await reader.readline()).decode("latin-1")
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+        try:
+            await handler(request_line, writer)
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+def _response(status, doc):
+    body = json.dumps(doc).encode()
+    return (f"HTTP/1.1 {status} X\r\nContent-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode() + body
+
+
+class TestHttpClientFailurePaths:
+    def test_connection_reset_mid_response_is_service_error(self):
+        async def scenario():
+            async def handler(request_line, writer):
+                # Promise a long body, deliver a fragment, then reset.
+                writer.write(b"HTTP/1.1 200 OK\r\n"
+                             b"Content-Length: 4096\r\n\r\n{\"par")
+                await writer.drain()
+                writer.transport.abort()  # RST, not FIN
+
+            server, port = await _stub(handler)
+            client = HttpServiceClient("127.0.0.1", port)
+            try:
+                with pytest.raises(ServiceError):
+                    await client.stats()
+            finally:
+                server.close()
+                await server.wait_closed()
+            return True
+
+        assert asyncio.run(scenario())
+
+    def test_malformed_json_body_is_service_error(self):
+        async def scenario():
+            async def handler(request_line, writer):
+                body = b"<html>gateway error</html>"
+                writer.write(
+                    (f"HTTP/1.1 200 OK\r\n"
+                     f"Content-Length: {len(body)}\r\n"
+                     f"Connection: close\r\n\r\n").encode() + body)
+                await writer.drain()
+
+            server, port = await _stub(handler)
+            client = HttpServiceClient("127.0.0.1", port)
+            try:
+                with pytest.raises(ServiceError, match="malformed"):
+                    await client.stats()
+            finally:
+                server.close()
+                await server.wait_closed()
+            return True
+
+        assert asyncio.run(scenario())
+
+    def test_load_generator_retries_429_backpressure(self):
+        async def scenario():
+            state = {"submits": 0}
+
+            async def handler(request_line, writer):
+                method, path = request_line.split()[:2]
+                if method == "POST" and path == "/submit":
+                    state["submits"] += 1
+                    if state["submits"] == 1:  # first attempt: full
+                        writer.write(_response(429, {
+                            "error": "queue_full",
+                            "message": "queue is full"}))
+                    else:
+                        writer.write(_response(200, {
+                            "job_id": "j1", "state": "queued",
+                            "n_cells": 1}))
+                elif path == "/job/j1":
+                    writer.write(_response(200, {
+                        "job_id": "j1", "state": "done",
+                        "result": {"ok": True}}))
+                else:
+                    writer.write(_response(404, {
+                        "error": "not_found", "message": path}))
+                await writer.drain()
+
+            server, port = await _stub(handler)
+            client = HttpServiceClient("127.0.0.1", port,
+                                       poll_interval=0.01)
+            load = LoadGenerator(client, [{"kind": "sweep"}],
+                                 concurrency=1, retry_backoff=0.01,
+                                 timeout=10.0)
+            try:
+                summary = await load.run()
+            finally:
+                server.close()
+                await server.wait_closed()
+            return summary, state
+
+        summary, state = asyncio.run(scenario())
+        assert state["submits"] == 2
+        assert summary["completed"] == 1
+        assert summary["rejected_retried"] == 1
+        assert summary["failed"] == 0
+
+    def test_typed_429_from_submit(self):
+        async def scenario():
+            async def handler(request_line, writer):
+                writer.write(_response(429, {
+                    "error": "queue_full", "message": "full up"}))
+                await writer.drain()
+
+            server, port = await _stub(handler)
+            client = HttpServiceClient("127.0.0.1", port)
+            try:
+                with pytest.raises(QueueFullError, match="full up"):
+                    await client.submit({"kind": "sweep"})
+            finally:
+                server.close()
+                await server.wait_closed()
+            return True
+
+        assert asyncio.run(scenario())

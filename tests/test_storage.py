@@ -1,0 +1,281 @@
+"""The pluggable storage-backend subsystem.
+
+The load-bearing properties:
+
+* contract — every backend (dir / sqlite / mem / tiered) honours the
+  same get/put/contains/evict/stats/health surface with identical
+  semantics, so callers can swap backends by URI alone;
+* round-trip fidelity — arrays come back bitwise-identical, across
+  process-visible persistence for the durable backends;
+* URI selection — ``open_backend`` maps every scheme (and bare paths)
+  to the right backend, with typed errors for malformed specs;
+* equivalence — an orchestrator run against ``dir://`` and
+  ``sqlite://`` produces identical content-addressed rows.
+"""
+
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro import RemotePoweringSystem
+from repro.core import AdaptivePowerController
+from repro.engine import ResultStore, ScenarioBatch, SweepOrchestrator
+from repro.storage import (
+    BackendURIError,
+    DirectoryBackend,
+    MemoryBackend,
+    SqliteBackend,
+    StoreBackend,
+    TieredBackend,
+    canonical_key,
+    open_backend,
+)
+
+
+def rows(i=0):
+    return {
+        "v": np.linspace(0.0, 1.0 + i, 7),
+        "flag": np.array([True, False, True]),
+    }
+
+
+def key_for(i):
+    return canonical_key({"cell": i})
+
+
+BACKENDS = ("dir", "sqlite", "mem", "tiered")
+
+
+def make_backend(kind, tmp_path, **kwargs):
+    if kind == "dir":
+        return DirectoryBackend(tmp_path / "dir", **kwargs)
+    if kind == "sqlite":
+        return SqliteBackend(tmp_path / "sq", **kwargs)
+    if kind == "mem":
+        return MemoryBackend(**kwargs)
+    children = [
+        SqliteBackend(tmp_path / f"shard-{k}", **kwargs) for k in range(2)
+    ]
+    return TieredBackend(children, hot_entries=4)
+
+
+class TestBackendContract:
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_roundtrip_contains_len_stats(self, kind, tmp_path):
+        with make_backend(kind, tmp_path) as backend:
+            key = key_for(0)
+            assert backend.get(key) is None
+            assert not backend.contains(key)
+            assert backend.stats.misses == 1
+            backend.put(key, rows())
+            assert backend.contains(key)
+            assert len(backend) == 1
+            got = backend.get(key)
+            assert np.array_equal(got["v"], rows()["v"])
+            assert got["flag"].dtype == np.bool_
+            assert backend.stats.hits == 1
+            assert backend.stats.writes == 1
+            assert backend.stats.as_dict()["lookups"] == 2
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_clear_and_health(self, kind, tmp_path):
+        with make_backend(kind, tmp_path) as backend:
+            for i in range(3):
+                backend.put(key_for(i), rows(i))
+            doc = backend.health()
+            assert doc["ok"] is True and doc["writable"] is True
+            assert doc["entries"] == 3
+            assert doc["backend"] == backend.kind
+            backend.clear()
+            assert len(backend) == 0
+
+    @pytest.mark.parametrize("kind", ("dir", "sqlite", "mem"))
+    def test_lru_eviction_bound(self, kind, tmp_path):
+        with make_backend(kind, tmp_path, max_entries=2) as backend:
+            for i in range(4):
+                backend.put(key_for(i), rows(i))
+            assert len(backend) == 2
+            assert backend.stats.evictions == 2
+            # The most recent writes survive.
+            assert backend.get(key_for(3)) is not None
+
+    @pytest.mark.parametrize("kind", ("dir", "sqlite"))
+    def test_persistence_across_reopen(self, kind, tmp_path):
+        with make_backend(kind, tmp_path) as backend:
+            backend.put(key_for(7), rows(7))
+        with make_backend(kind, tmp_path) as reopened:
+            got = reopened.get(key_for(7))
+            assert got is not None
+            assert np.array_equal(got["v"], rows(7)["v"])
+
+    def test_memory_get_returns_copy(self):
+        backend = MemoryBackend()
+        backend.put(key_for(0), rows())
+        got = backend.get(key_for(0))
+        got["v"] = np.zeros(1)
+        assert np.array_equal(backend.get(key_for(0))["v"], rows()["v"])
+
+    def test_abstract_backend_is_abstract(self):
+        backend = StoreBackend()
+        with pytest.raises(NotImplementedError):
+            backend.get("x")
+
+
+class TestSqliteBackend:
+    def test_lookup_without_directory_scan(self, tmp_path, monkeypatch):
+        backend = SqliteBackend(tmp_path / "sq")
+        for i in range(5):
+            backend.put(key_for(i), rows(i))
+
+        def no_listdir(*a, **k):  # O(1) index lookups must not scan
+            raise AssertionError("sqlite backend scanned a directory")
+
+        monkeypatch.setattr(os, "listdir", no_listdir)
+        monkeypatch.setattr(os, "scandir", no_listdir)
+        assert backend.get(key_for(3)) is not None
+        assert backend.contains(key_for(4))
+        assert len(backend) == 5
+        backend.close()
+
+    def test_stale_index_row_is_a_miss(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "sq")
+        backend.put(key_for(0), rows())
+        os.unlink(backend._path(key_for(0)))
+        assert backend.get(key_for(0)) is None
+        assert backend.stats.misses == 1
+        # The stale row was dropped — contains agrees.
+        assert not backend.contains(key_for(0))
+        backend.close()
+
+    def test_unindexed_blob_still_served(self, tmp_path):
+        # A blob written by a process whose index write was lost: the
+        # contains() fallback sees the file.
+        backend = SqliteBackend(tmp_path / "sq")
+        backend.put(key_for(0), rows())
+        with sqlite3.connect(backend.index_path) as conn:
+            conn.execute("DELETE FROM cells")
+        assert backend.contains(key_for(0))
+        backend.close()
+
+
+class TestTieredBackend:
+    def test_sharding_spreads_and_hot_tier_hits(self, tmp_path):
+        children = [MemoryBackend(), MemoryBackend()]
+        backend = TieredBackend(children, hot_entries=8)
+        keys = [key_for(i) for i in range(16)]
+        for i, key in enumerate(keys):
+            backend.put(key, rows(i))
+        assert len(backend) == 16
+        assert all(len(child) > 0 for child in children)
+        # Hash placement is stable: the owning child holds the row.
+        for key in keys:
+            assert backend._child(key).contains(key)
+        backend.get(keys[0])
+        backend.get(keys[0])
+        assert backend.hot_hits >= 1
+
+    def test_health_aggregates_children(self, tmp_path):
+        backend = TieredBackend(
+            [DirectoryBackend(tmp_path / "a"), DirectoryBackend(tmp_path / "b")]
+        )
+        backend.put(key_for(0), rows())
+        doc = backend.health()
+        assert doc["ok"] is True
+        assert doc["entries"] == 1
+        assert len(doc["children"]) == 2
+
+    def test_needs_children(self):
+        with pytest.raises(ValueError, match="child"):
+            TieredBackend([])
+
+
+class TestOpenBackend:
+    def test_schemes_map_to_backends(self, tmp_path):
+        cases = {
+            f"dir://{tmp_path}/d": DirectoryBackend,
+            f"sqlite://{tmp_path}/s": SqliteBackend,
+            f"tiered://{tmp_path}/t?shards=2": TieredBackend,
+            "mem://": MemoryBackend,
+            str(tmp_path / "bare"): DirectoryBackend,  # bare path
+        }
+        for spec, cls in cases.items():
+            backend = open_backend(spec)
+            assert isinstance(backend, cls), spec
+            backend.close()
+
+    def test_backend_instance_passes_through(self):
+        backend = MemoryBackend()
+        assert open_backend(backend) is backend
+
+    def test_uri_roundtrips_for_durable_backends(self, tmp_path):
+        for spec in (f"dir://{tmp_path}/d", f"sqlite://{tmp_path}/s"):
+            backend = open_backend(spec)
+            reopened = open_backend(backend.uri)
+            assert type(reopened) is type(backend)
+            backend.close()
+            reopened.close()
+
+    def test_tiered_params(self, tmp_path):
+        backend = open_backend(
+            f"tiered://{tmp_path}/t?shards=3&child=sqlite&hot=2"
+        )
+        assert isinstance(backend, TieredBackend)
+        assert len(backend.children) == 3
+        assert all(isinstance(c, SqliteBackend) for c in backend.children)
+        assert backend.hot is not None
+        backend.close()
+
+    def test_max_entries_param(self, tmp_path):
+        backend = open_backend(f"dir://{tmp_path}/d?max_entries=2")
+        for i in range(4):
+            backend.put(key_for(i), rows(i))
+        assert len(backend) == 2
+        backend.close()
+
+    def test_typed_errors(self, tmp_path):
+        with pytest.raises(BackendURIError, match="scheme"):
+            open_backend("redis://somewhere")
+        with pytest.raises(BackendURIError):
+            open_backend(f"dir://{tmp_path}/d?bogus=1")
+        with pytest.raises(BackendURIError):
+            open_backend("dir://")
+
+
+class TestResultStoreShim:
+    def test_result_store_is_directory_backend(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        assert isinstance(store, DirectoryBackend)
+        assert store.uri.startswith("dir://")
+
+
+class TestOrchestratorEquivalence:
+    def test_dir_and_sqlite_backends_identical_rows(self, tmp_path):
+        system = RemotePoweringSystem(distance=10e-3)
+        controller = AdaptivePowerController()
+        batch = ScenarioBatch.from_axes(
+            distance=[8e-3, 12e-3], i_load=[352e-6]
+        )
+        results, backends = [], []
+        for spec in (f"dir://{tmp_path}/d", f"sqlite://{tmp_path}/s"):
+            orchestrator = SweepOrchestrator(store=spec)
+            backends.append(orchestrator.store)
+            results.append(
+                orchestrator.run_control(batch, system, controller, 5e-3)
+            )
+        assert np.array_equal(results[0].v_rect, results[1].v_rect)
+        # Same content addresses filed on both backends.
+        from repro.engine.parallel import control_cell_keys
+
+        keys = control_cell_keys(batch, system, controller, 5e-3)
+        for key in keys:
+            row_dir = backends[0].get(key)
+            row_sql = backends[1].get(key)
+            assert row_dir is not None and row_sql is not None
+            for name in row_dir:
+                assert np.array_equal(row_dir[name], row_sql[name])
+
+    def test_orchestrator_accepts_uri_store(self, tmp_path):
+        orchestrator = SweepOrchestrator(store=f"sqlite://{tmp_path}/s")
+        assert isinstance(orchestrator.store, SqliteBackend)
