@@ -34,6 +34,8 @@ DEFAULT_GATE = [
     "test_bench_nonlinear_newton_speed",
     "test_bench_spice_adaptive",
     "test_bench_multiworker_saturation",
+    "test_bench_spice_sparse_ladder",
+    "test_bench_spice_sparse_family",
 ]
 
 

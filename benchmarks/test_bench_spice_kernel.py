@@ -65,3 +65,40 @@ def test_bench_nonlinear_newton_speed(benchmark):
 
     result = benchmark(run)
     assert result.voltage("vo").v[-1] >= 0.0
+
+
+def test_bench_spice_solver_counters(benchmark):
+    """Ungated: linear-solver work counters through the observability
+    pipeline.  A spice study run under a recorder emits ``solve``
+    events whose schema-v2 ``factorizations`` / ``pattern_reuses``
+    fields quantify how much LU work the strategy performed vs how
+    often it reused the frozen pattern/symbolic analysis — the ratio
+    this report tracks across commits."""
+    from repro.engine import SpiceBatch
+    from repro.engine.parallel import SweepOrchestrator
+    from repro.obs import MetricsRecorder
+
+    batch = SpiceBatch.from_axes(amplitude=[1.25, 1.5, 1.75],
+                                 i_load=[200e-6, 352e-6])
+
+    def run():
+        recorder = MetricsRecorder()
+        orchestrator = SweepOrchestrator(recorder=recorder)
+        orchestrator.run_spice(batch, t_stop=1e-6, dt=2e-9,
+                               matrix="sparse")
+        recorder.close()
+        return [doc for doc in recorder.events()
+                if doc["event"] == "solve"]
+
+    solves = benchmark(run)
+    fact = sum(doc["factorizations"] for doc in solves)
+    reuse = sum(doc["pattern_reuses"] for doc in solves)
+    report("SPICE solver counters (6-cell sparse study)", [
+        ("solve events", float(len(solves)), ""),
+        ("numeric factorizations", float(fact), ""),
+        ("pattern reuses", float(reuse), "frozen-pattern refreshes"),
+        ("reuse ratio", reuse / max(fact, 1),
+         "refreshes per factorization"),
+    ])
+    assert fact > 0
+    assert reuse > 0

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""A 200+-node ladder network through the sparse SPICE solver stack.
+
+A distributed rectifier — an RC transmission-line ladder with a
+rectifying diode tap at every node, all taps feeding one smoothed
+output rail — is the kind of circuit the dense adaptive backend
+handles worst: hundreds of MNA unknowns, restamped and LU-factorized
+per Newton iteration.  This example:
+
+1. builds the 200-section ladder (203 MNA unknowns),
+2. runs it dense vs sparse on the identical pinned grid and reports
+   the speedup, the max deviation, and the factorization-reuse
+   counters of the frozen-CSR strategy,
+3. shows `matrix="auto"` picking the sparse strategy for the ladder
+   and the dense one for a small RC cell,
+4. sweeps the ladder's drive amplitude as a lockstep family through
+   `transient_batch(matrix="sparse")` — one symbolic analysis shared
+   by every cell.
+
+Run:  PYTHONPATH=src python examples/ladder_network_sweep.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.spice import Circuit, sine, transient, transient_batch
+from repro.spice.assembler import SPARSE_AVAILABLE, SPARSE_AUTO_THRESHOLD
+
+SECTIONS = 200
+R_SECTION = 5.0
+C_SECTION = 20e-12
+C_OUT = 100e-9
+R_LOAD = 10e3
+FREQ = 5e6
+DT = 2e-9
+T_STOP = 0.4e-6
+
+
+def build_ladder(amplitude=2.0):
+    ckt = Circuit(f"ladder{SECTIONS}")
+    ckt.add_vsource("V1", "n0", "0", sine(amplitude, FREQ))
+    for k in range(SECTIONS):
+        ckt.add_resistor(f"R{k}", f"n{k}", f"n{k + 1}", R_SECTION)
+        ckt.add_capacitor(f"C{k}", f"n{k + 1}", "0", C_SECTION, ic=0.0)
+        ckt.add_diode(f"D{k}", f"n{k + 1}", "vo")
+    ckt.add_capacitor("Co", "vo", "0", C_OUT, ic=0.0)
+    ckt.add_resistor("RL", "vo", "0", R_LOAD)
+    return ckt
+
+
+def run(matrix, stats=None):
+    # Pinning min_dt = max_dt keeps both strategies on the identical
+    # accepted time grid, so the comparison is pure per-step cost.
+    return transient(build_ladder(), T_STOP, DT, method="adaptive",
+                     use_ic=True, min_dt=DT, max_dt=DT, matrix=matrix,
+                     stats_out=stats)
+
+
+def main():
+    print("=" * 64)
+    print("Sparse SPICE solver stack — 200-section ladder network")
+    print("=" * 64)
+
+    if not SPARSE_AVAILABLE:
+        print("scipy.sparse is unavailable; the sparse strategy is "
+              "disabled on this interpreter.  Exiting.")
+        return
+
+    ladder = build_ladder()
+    ladder.build()
+    print(f"\n[1] {SECTIONS}-section ladder: {ladder.n_unknowns} MNA "
+          f"unknowns, {len(ladder.components)} components "
+          f"({SECTIONS} diode taps)")
+
+    # --- 2. dense vs sparse on the identical grid -------------------------
+    print("\n[2] Dense vs sparse adaptive transient (pinned grid)")
+    t0 = time.perf_counter()
+    dense = run("dense")
+    t_dense = time.perf_counter() - t0
+
+    stats = {}
+    t0 = time.perf_counter()
+    sparse = run("sparse", stats)
+    t_sparse = time.perf_counter() - t0
+
+    assert np.array_equal(dense.t, sparse.t)
+    deviation = float(np.max(np.abs(
+        dense.voltage("vo").v - sparse.voltage("vo").v)))
+    print(f"    dense adaptive : {t_dense:7.3f} s  (per-iteration "
+          f"dense LU of a {ladder.n_unknowns}x{ladder.n_unknowns} matrix)")
+    print(f"    sparse adaptive: {t_sparse:7.3f} s  (frozen CSR "
+          f"pattern + SuperLU symbolic reuse)")
+    print(f"    speedup {t_dense / t_sparse:5.1f}x, max |vo| deviation "
+          f"{deviation:.2e} V on {dense.t.size} shared time points")
+    print(f"    solver counters: {stats['factorizations']} numeric "
+          f"factorizations, {stats['pattern_reuses']} pattern reuses")
+
+    # --- 3. auto selection ------------------------------------------------
+    print(f"\n[3] matrix='auto' (threshold: {SPARSE_AUTO_THRESHOLD} "
+          f"unknowns, diode-only nonlinearities)")
+    auto_stats = {}
+    run("auto", auto_stats)
+    picked = "sparse" if auto_stats["pattern_reuses"] else "dense"
+    print(f"    ladder ({ladder.n_unknowns} unknowns) -> {picked}")
+
+    rc = Circuit("rc")
+    rc.add_vsource("V1", "in", "0", sine(1.0, FREQ))
+    rc.add_resistor("R1", "in", "out", 1e3)
+    rc.add_capacitor("C1", "out", "0", 1e-9, ic=0.0)
+    rc_stats = {}
+    transient(rc, T_STOP, DT, method="adaptive", use_ic=True,
+              matrix="auto", stats_out=rc_stats)
+    rc.build()
+    picked = "sparse" if rc_stats["pattern_reuses"] else "dense"
+    print(f"    RC cell ({rc.n_unknowns} unknowns) -> {picked}")
+
+    # --- 4. an amplitude family in lockstep -------------------------------
+    print("\n[4] Drive-amplitude family via transient_batch"
+          "(matrix='sparse')")
+    amplitudes = np.linspace(1.0, 3.0, 8)
+    family_ckts = [build_ladder(float(a)) for a in amplitudes]
+    t0 = time.perf_counter()
+    family = transient_batch(family_ckts, T_STOP, DT, method="adaptive",
+                             use_ic=True, min_dt=DT, max_dt=DT,
+                             matrix="sparse")
+    t_family = time.perf_counter() - t0
+    vo = family.voltage("vo")  # (n_cells, n_points)
+    print(f"    {len(amplitudes)} cells in {t_family:.3f} s "
+          f"({t_family / len(amplitudes):.3f} s/cell vs {t_sparse:.3f} s "
+          f"single-circuit sparse)")
+    print("    (the lockstep kernel amortizes over MANY cells of a "
+          "SMALL circuit — see the 256-cell rectifier bench; for few "
+          "large circuits, per-circuit sparse runs win)")
+    print(f"    one shared symbolic analysis: "
+          f"{family.stats['factorizations']} factorizations, "
+          f"{family.stats['pattern_reuses']} pattern reuses")
+    for a, v in zip(amplitudes, vo[:, -1]):
+        bar = "#" * int(round(v * 30))
+        print(f"    amp {a:4.2f} V -> vo {v:6.3f} V  {bar}")
+
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -317,10 +317,16 @@ def _run_spice_sweep(args, orchestrator):
         print("sweep: --spice-t-stop-us and --spice-dt-ns must be "
               "positive", file=sys.stderr)
         return 2
+    if args.spice_matrix == "sparse" and args.spice_method != "adaptive":
+        print("sweep: --spice-matrix sparse requires the adaptive "
+              "backend (fixed-step methods are the dense parity "
+              "reference)", file=sys.stderr)
+        return 2
     params = {
         "t_stop": args.spice_t_stop_us * 1e-6,
         "dt": args.spice_dt_ns * 1e-9,
         "method": args.spice_method,
+        "matrix": args.spice_matrix,
     }
     try:
         axes = _parse_spice_axes(args)
@@ -353,6 +359,7 @@ def _run_spice_sweep(args, orchestrator):
                 "t_stop_us": args.spice_t_stop_us,
                 "dt_ns": args.spice_dt_ns,
                 "method": args.spice_method,
+                "matrix": args.spice_matrix,
             },
             "cell_keys": keys,
         }
@@ -675,6 +682,11 @@ def build_parser():
             p.add_argument("--spice-method", default="adaptive",
                            choices=("adaptive", "trap", "be"),
                            help="spice study: integrator backend")
+            p.add_argument("--spice-matrix", default="auto",
+                           choices=("auto", "dense", "sparse"),
+                           help="spice study: linear-solver strategy "
+                                "(auto picks sparse CSR above the "
+                                "node-count threshold)")
             p.add_argument("--distances", type=float, nargs="+",
                            default=[6.0, 8.0, 10.0, 12.0, 14.0, 16.0,
                                     18.0, 20.0],

@@ -238,13 +238,19 @@ def charge_cell_keys(batch, p_in, v_target, v0=None, dt=1e-6, limit=1.0, i_load=
 
 
 def spice_cell_keys(batch, t_stop, dt, method="adaptive", n_points=256,
-                    atol=None, rtol=None):
+                    atol=None, rtol=None, matrix="auto"):
     """Cell keys of a :meth:`SweepOrchestrator.run_spice` run.
 
     The fingerprint is the full circuit-cell content: netlist template
     + element-value axes + integrator backend and tolerances + the
     output resampling grid — so "same cell" means the same stored
     trace, across requests and across processes.
+
+    ``matrix`` (the dense/sparse linear-solver strategy) is accepted so
+    :meth:`SweepOrchestrator.run_delta` can forward its run parameters
+    verbatim, but it is deliberately **excluded** from the fingerprint:
+    both strategies solve the same equations on the same accepted grid,
+    so switching solvers must replay cached rows, not recompute them.
     """
     from repro.spice.transient import ADAPTIVE_ATOL, ADAPTIVE_RTOL
 
@@ -351,7 +357,8 @@ def _evaluate_spice_chunk(payload):
     result = batch.run(
         payload["t_stop"], payload["dt"], method=payload["method"],
         n_points=payload["n_points"], atol=payload["atol"],
-        rtol=payload["rtol"], stats_out=solve)
+        rtol=payload["rtol"], stats_out=solve,
+        matrix=payload.get("matrix", "auto"))
     return {
         "v_out": result.v_out,
         "v_final": result.v_final,
@@ -833,7 +840,7 @@ class SweepOrchestrator:
 
     # -- batched circuit-level (spice) studies -------------------------
     def run_spice(self, batch, t_stop, dt, method="adaptive", n_points=256,
-                  atol=None, rtol=None, keys=None):
+                  atol=None, rtol=None, keys=None, matrix="auto"):
         """Orchestrated twin of :meth:`SpiceBatch.run`: the same
         per-cell rows, with sharding, caching and (optional) worker
         processes.  ``keys`` as in :meth:`run_control`.
@@ -841,7 +848,18 @@ class SweepOrchestrator:
         Unlike the elementwise runners, spice cells share their
         chunk's lockstep step control, so sharding reproduces rows to
         solver tolerance rather than bitwise (and a cached row keeps
-        the values of the composition that first computed it)."""
+        the values of the composition that first computed it).
+
+        ``matrix`` picks the family linear-solver strategy (``"auto"``
+        / ``"dense"`` / ``"sparse"``); it travels in the worker payload
+        but not in the cell keys — solver choice is an execution
+        detail, not cell content."""
+        from repro.spice.assembler import MATRIX_MODES
+
+        if matrix not in MATRIX_MODES:
+            raise ValueError(
+                f"unknown matrix mode {matrix!r}; "
+                f"expected one of {MATRIX_MODES}")
         from repro.spice.transient import ADAPTIVE_ATOL, ADAPTIVE_RTOL
 
         t0 = time.perf_counter()
@@ -868,6 +886,7 @@ class SweepOrchestrator:
                 "n_points": n_points,
                 "atol": atol,
                 "rtol": rtol,
+                "matrix": matrix,
             }
             for chunk in chunks
         ]

@@ -274,8 +274,18 @@ class SpiceScenario:
                 "i_load", self.i_load, "load current must be >= 0")
 
     def build(self):
-        """(circuit, output node) for this cell."""
-        return SPICE_TEMPLATES[self.template](self)
+        """(circuit, output node) for this cell.
+
+        Re-validates the template against :data:`SPICE_TEMPLATES` so a
+        scenario deserialized from an older payload (or constructed via
+        ``object.__new__``) still fails with the typed axis error
+        instead of a bare ``KeyError``."""
+        builder = SPICE_TEMPLATES.get(self.template)
+        if builder is None:
+            raise ScenarioAxisError.for_axis(
+                "template", self.template,
+                f"known templates: {sorted(SPICE_TEMPLATES)}")
+        return builder(self)
 
 
 @dataclass
@@ -345,7 +355,8 @@ class SpiceBatch:
         return cls(scenarios)
 
     def run(self, t_stop, dt, method="adaptive", n_points=256,
-            atol=None, rtol=None, max_dt=None, stats_out=None):
+            atol=None, rtol=None, max_dt=None, stats_out=None,
+            matrix="auto"):
         """Integrate every cell and resample the output node onto a
         uniform ``n_points`` grid.  ``method`` is any
         :data:`repro.spice.METHODS` backend; solver tolerances default
@@ -356,11 +367,19 @@ class SpiceBatch:
         the surrounding batch composition changes (unlike the
         elementwise envelope/control runners).
 
+        ``matrix`` selects the linear-solver strategy of each lockstep
+        family (``"auto"`` / ``"dense"`` / ``"sparse"``, see
+        :func:`repro.spice.batch.transient_batch`).  The choice never
+        changes which circuits are solved or the accepted answers
+        beyond solver round-off, so it is *not* part of a cell's
+        content address.
+
         ``stats_out``, when given a dict, is filled with the solver
         counters summed over the run's lockstep families
         (``accepted_steps`` / ``newton_iters`` / ``newton_rejects`` /
-        ``lte_rejects``, plus the sorted ``templates`` string) — the
-        payload of the observability layer's ``solve`` events."""
+        ``lte_rejects`` / ``factorizations`` / ``pattern_reuses``, plus
+        the sorted ``templates`` string) — the payload of the
+        observability layer's ``solve`` events."""
         from repro.spice import transient_batch
         from repro.spice.transient import ADAPTIVE_ATOL, ADAPTIVE_RTOL
 
@@ -385,6 +404,8 @@ class SpiceBatch:
             "newton_iters": 0,
             "newton_rejects": 0,
             "lte_rejects": 0,
+            "factorizations": 0,
+            "pattern_reuses": 0,
         }
         for indices in groups.values():
             built = [self.scenarios[i].build() for i in indices]
@@ -392,7 +413,7 @@ class SpiceBatch:
             node = built[0][1]
             family = transient_batch(
                 circuits, t_stop, dt, method=method, use_ic=True,
-                atol=atol, rtol=rtol, max_dt=max_dt)
+                atol=atol, rtol=rtol, max_dt=max_dt, matrix=matrix)
             for name in solve_totals:
                 solve_totals[name] += int(family.stats.get(name, 0))
             traces = family.voltage(node)

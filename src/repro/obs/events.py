@@ -27,7 +27,9 @@ from __future__ import annotations
 #: Bump when an event type's payload shape changes incompatibly; the
 #: version travels in every ``session_start`` event so a summarizer can
 #: refuse to compare sessions across schema generations.
-METRICS_SCHEMA_VERSION = 1
+#: v2: ``solve`` events grew required ``factorizations`` /
+#: ``pattern_reuses`` counters (sparse linear-solver observability).
+METRICS_SCHEMA_VERSION = 2
 
 
 class MetricsSchemaError(ValueError):
@@ -85,7 +87,11 @@ EVENT_SCHEMAS = {
         "worker": (int, False),
     },
     # Solver counters of the spice cells of one chunk (lockstep
-    # families: accepted steps, Newton iterations, step rejections).
+    # families: accepted steps, Newton iterations, step rejections,
+    # and linear-solver work — ``factorizations`` counts numeric LU
+    # factorizations, ``pattern_reuses`` counts matrix refreshes that
+    # reused a frozen sparsity pattern / symbolic analysis (always 0 on
+    # the dense strategy)).
     "solve": {
         "templates": (str, True),
         "cells": (int, True),
@@ -93,6 +99,8 @@ EVENT_SCHEMAS = {
         "newton_iters": (int, True),
         "newton_rejects": (int, True),
         "lte_rejects": (int, True),
+        "factorizations": (int, True),
+        "pattern_reuses": (int, True),
         "worker": (int, False),
     },
     # One incremental-recomputation run (SweepOrchestrator.run_delta).

@@ -121,6 +121,12 @@ def summarize_events(events):
             "newton_iters": _total(solves, "newton_iters"),
             "newton_rejects": _total(solves, "newton_rejects"),
             "lte_rejects": _total(solves, "lte_rejects"),
+            # Schema-v2 linear-solver counters; .get keeps pre-v2
+            # session files summarizable (they simply report 0).
+            "factorizations": sum(
+                doc.get("factorizations", 0) for doc in solves),
+            "pattern_reuses": sum(
+                doc.get("pattern_reuses", 0) for doc in solves),
         },
         "batches": {
             "count": len(batches),

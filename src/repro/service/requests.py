@@ -73,7 +73,7 @@ KIND_FIELDS = {
     "transient": {"axes", "t_stop", "dt", "p_in"},
     "battery": {"axes", "p_in", "v_target", "dt", "limit"},
     "montecarlo": {"spreads", "n_samples", "seed", "p_in", "v_target", "dt", "limit"},
-    "spice": {"axes", "t_stop", "dt", "method"},
+    "spice": {"axes", "t_stop", "dt", "method", "matrix"},
 }
 
 
@@ -141,6 +141,7 @@ class SimRequest:
     seed: int = 0  # mc master seed
     spreads: tuple = ()  # mc ParameterSpread specs
     method: str = "adaptive"  # spice integrator backend
+    matrix: str = "auto"  # spice linear-solver strategy
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -195,11 +196,23 @@ class SimRequest:
         object.__setattr__(self, "_scenarios", batch.scenarios)
 
     def _init_spice(self):
+        from repro.spice.assembler import MATRIX_MODES
         from repro.spice.transient import METHODS
 
         if self.method not in METHODS:
             raise SimRequestError(
                 f"unknown spice method {self.method!r}; known methods: {list(METHODS)}"
+            )
+        if self.matrix not in MATRIX_MODES:
+            raise SimRequestError(
+                f"unknown spice matrix mode {self.matrix!r}; known modes: "
+                f"{list(MATRIX_MODES)}"
+            )
+        if self.matrix == "sparse" and self.method != "adaptive":
+            raise SimRequestError(
+                f"matrix='sparse' requires the 'adaptive' method; the "
+                f"fixed-step {self.method!r} backend is the dense parity "
+                f"reference"
             )
         # from_axes is the validation: unknown axis names and invalid
         # values raise a typed ScenarioAxisError naming the axis.
@@ -213,7 +226,11 @@ class SimRequest:
         # (dt/1024 adaptive, dt/64 fixed), and each accepted step is
         # held in memory before the 256-point resample — without this
         # a default 60 ms / 1 us request validates at 60k nominal
-        # steps yet can pin a scheduler worker for millions.
+        # steps yet can pin a scheduler worker for millions.  The
+        # matrix mode does not enter the bound: dense and sparse share
+        # the identical LTE/Newton step-control rules, so the worst
+        # case refinement (and thus the accepted-step ceiling) is the
+        # same for every strategy.
         refine = 1024 if self.method == "adaptive" else 64
         steps = self.t_stop / self.dt * refine
         if steps > MAX_STEPS:
@@ -286,7 +303,10 @@ class SimRequest:
         if self.kind == "battery":
             return ("battery", self.p_in, self.v_target, self.dt, self.limit)
         if self.kind == "spice":
-            return ("spice", self.t_stop, self.dt, self.method)
+            # matrix is in the batching key (a family must be solved
+            # by one strategy) but NOT in the cell keys below — the
+            # strategy never changes a cell's content address.
+            return ("spice", self.t_stop, self.dt, self.method, self.matrix)
         return ("montecarlo",)
 
     def cell_keys(self, system, controller):
@@ -401,7 +421,8 @@ class SimRequest:
         elif self.kind == "transient":
             doc.update({"t_stop": self.t_stop, "dt": self.dt, "p_in": self.p_in})
         elif self.kind == "spice":
-            doc.update({"t_stop": self.t_stop, "dt": self.dt, "method": self.method})
+            doc.update({"t_stop": self.t_stop, "dt": self.dt,
+                        "method": self.method, "matrix": self.matrix})
         else:
             doc.update(
                 {

@@ -256,6 +256,7 @@ def _run_slice(orchestrator, system, controller, proto, cells, keys):
             method=proto.method,
             n_points=SPICE_N_POINTS,
             keys=use_keys,
+            matrix=proto.matrix,
         )
         rows = {
             key: {

@@ -23,6 +23,14 @@ failure or local-truncation-error estimate drives the halving/doubling
 decision), so all cells walk the same time grid — which is exactly
 what makes a batched run comparable point-for-point against per-cell
 fixed-step references (see tests/test_spice_batch.py).
+
+``matrix="sparse"`` (or ``"auto"`` above the per-cell unknown
+threshold) swaps the stacked dense solves for block-diagonal sparse
+assembly on one frozen pattern: the symbolic factorization (fill +
+static pivot order) is computed once for the whole family and every
+Newton iteration refreshes only the numeric values
+(:class:`~repro.spice.assembler.SharedPatternLU`).  The dense lockstep
+path remains the default for small cells and the parity reference.
 """
 
 from __future__ import annotations
@@ -46,7 +54,6 @@ from repro.spice.transient import (
     _breakpoint_sources,
     _clamp_to_breakpoints,
     _diode_scatter_plan,
-    _lte_trap,
 )
 
 
@@ -70,6 +77,8 @@ class BatchTransientResult:
             "newton_iters": 0,
             "newton_rejects": 0,
             "lte_rejects": 0,
+            "factorizations": 0,
+            "pattern_reuses": 0,
         }
 
     def __len__(self):
@@ -152,17 +161,30 @@ class _BatchSystem:
                 self.ind_slots.append(entry)
             elif isinstance(comp, VoltageSource):
                 sources = [c.source for c in slot]
-                const = (np.array([s.dc_value for s in sources])
-                         if all(s.label == "dc" for s in sources) else None)
+                const = (
+                    np.array([s.dc_value for s in sources])
+                    if all(s.label == "dc" for s in sources)
+                    else None
+                )
                 self.vsrc_slots.append(
-                    {"k": comp.branch, "sources": sources, "const": const})
+                    {"k": comp.branch, "sources": sources, "const": const, "vec": None}
+                )
             elif isinstance(comp, CurrentSource):
                 sources = [c.source for c in slot]
-                const = (np.array([s.dc_value for s in sources])
-                         if all(s.label == "dc" for s in sources) else None)
+                const = (
+                    np.array([s.dc_value for s in sources])
+                    if all(s.label == "dc" for s in sources)
+                    else None
+                )
                 self.isrc_slots.append(
-                    {"a": comp.nodes[0], "b": comp.nodes[1],
-                     "sources": sources, "const": const})
+                    {
+                        "a": comp.nodes[0],
+                        "b": comp.nodes[1],
+                        "sources": sources,
+                        "const": const,
+                        "vec": None,
+                    }
+                )
             elif isinstance(comp, Diode):
                 self.diode_slots.append(slot)
             elif not comp.linear_stamps:
@@ -175,20 +197,35 @@ class _BatchSystem:
         for entry in self.ind_slots:
             proto = entry["comps"][0]
             for p, (_m_val, other) in enumerate(proto.couplings):
-                entry["couplings"].append({
-                    "m": np.array([c.couplings[p][0]
-                                   for c in entry["comps"]]),
-                    "other": ind_index[id(other)],
-                })
+                entry["couplings"].append(
+                    {
+                        "m": np.array([c.couplings[p][0] for c in entry["comps"]]),
+                        "other": ind_index[id(other)],
+                    }
+                )
         self.is_linear = not self.diode_slots and not self.other_slots
         self.newton_iters = 0  # cumulative, read by transient_batch
+        #: Factorization-reuse counters, per cell (a batched solve of N
+        #: matrices counts N factorizations); the dense strategy never
+        #: reuses a pattern, the sparse strategy reuses its frozen
+        #: symbolic factorization on every refresh.
+        self.factorizations = 0
+        self.pattern_reuses = 0
         self._init_diodes()
         n, N = self.n, self.N
-        self.G = np.empty((N, n, n))
+        # The (N, n, n) stacked workspace is the dense strategy's; it is
+        # allocated on first use so the sparse strategy never pays the
+        # O(N n^2) memory unless it falls back.
+        self.G = None
         self.rhs = np.empty((N, n))
         self._rhs_base = np.empty((N, n))
         self._x_pad = np.zeros((N, n + 1))
         self._base = {}
+
+    def _dense_workspace(self):
+        if self.G is None:
+            self.G = np.empty((self.N, self.n, self.n))
+        return self.G
 
     # -- diode group ----------------------------------------------------
     def _init_diodes(self):
@@ -197,10 +234,11 @@ class _BatchSystem:
         if not nd:
             return
         n = self.n
-        # Topology plan shared with the single-circuit assembler (the
-        # family is structurally identical, so slot 0 speaks for all).
-        self.d_ai, self.d_bi, P_g, P_r = _diode_scatter_plan(
-            [s[0] for s in slots], n)
+        protos = [s[0] for s in slots]
+        a = np.array([c.nodes[0] for c in protos], dtype=np.intp)
+        b = np.array([c.nodes[1] for c in protos], dtype=np.intp)
+        self.d_ai = np.where(a < 0, n, a)
+        self.d_bi = np.where(b < 0, n, b)
         self.d_is = np.array([[c.i_s for c in s] for s in slots]).T      # (N, nd)
         nvt = np.array([[c.n * c.vt for c in s] for s in slots]).T
         self.d_inv_nvt = 1.0 / nvt
@@ -209,12 +247,20 @@ class _BatchSystem:
         self.d_gknee = self.d_is * e_knee * self.d_inv_nvt
         self.d_iknee = self.d_is * (e_knee - 1.0)
         self.d_vmax_floor = float(self.d_vmax.min())
+        self._init_diode_proj()
+
+    def _init_diode_proj(self):
+        """Dense scatter projections of the diode group (the sparse
+        strategy overrides this with frozen-pattern index maps and never
+        materializes the (n*n, nd) matrices)."""
+        _ai, _bi, P_g, P_r = _diode_scatter_plan(
+            [s[0] for s in self.diode_slots], self.n)
         self.dP_gT = np.ascontiguousarray(P_g.T)   # (nd, n*n)
         self.dP_rT = np.ascontiguousarray(P_r.T)   # (nd, n)
 
-    def _stamp_diodes(self, G2, rhs, x):
-        """One vectorized Newton stamp of every diode of every cell:
-        ``G2`` is the matrix tensor viewed as (N, n*n)."""
+    def _diode_eval(self, x):
+        """(g, ieq) of every diode of every cell — the shared piecewise
+        model; the strategies differ only in how the result scatters."""
         xp = self._x_pad
         xp[:, : self.n] = x
         vd = xp[:, self.d_ai] - xp[:, self.d_bi]
@@ -223,11 +269,16 @@ class _BatchSystem:
         g = (i + self.d_is) * self.d_inv_nvt
         if vd.max() > self.d_vmax_floor:
             over = vd > self.d_vmax
-            i = np.where(over,
-                         self.d_iknee + self.d_gknee * (vd - self.d_vmax), i)
+            i = np.where(over, self.d_iknee + self.d_gknee * (vd - self.d_vmax), i)
             g = np.where(over, self.d_gknee, g)
         g += self.gmin
         ieq = i - g * vd
+        return g, ieq
+
+    def _stamp_diodes(self, G2, rhs, x):
+        """One vectorized Newton stamp of every diode of every cell:
+        ``G2`` is the matrix tensor viewed as (N, n*n)."""
+        g, ieq = self._diode_eval(x)
         G2 += g @ self.dP_gT
         rhs += ieq @ self.dP_rT
 
@@ -293,6 +344,7 @@ class _BatchSystem:
             if self.is_linear:
                 try:
                     inv = np.linalg.inv(G)
+                    self.factorizations += self.N
                 except np.linalg.LinAlgError:
                     inv = None
             if len(self._base) >= 64:
@@ -300,6 +352,17 @@ class _BatchSystem:
             entry = (G, inv)
             self._base[key] = entry
         return entry
+
+    @staticmethod
+    def _slot_values(slot, t):
+        """Source values of one family slot at time ``t``: a constant
+        array, a vectorized closed-form evaluation (sparse strategy),
+        or N scalar calls."""
+        if slot["const"] is not None:
+            return slot["const"]
+        if slot["vec"] is not None:
+            return slot["vec"](t)
+        return np.array([s(t) for s in slot["sources"]])
 
     def build_rhs(self, dt, method, t):
         rhs = self._rhs_base
@@ -324,12 +387,10 @@ class _BatchSystem:
             for coupling in slot["couplings"]:
                 rhs[:, k] -= fac * coupling["m"] / dt * coupling["other"]["i"]
         for slot in self.vsrc_slots:
-            vals = (slot["const"] if slot["const"] is not None
-                    else np.array([s(t) for s in slot["sources"]]))
+            vals = self._slot_values(slot, t)
             rhs[:, slot["k"]] += vals
         for slot in self.isrc_slots:
-            vals = (slot["const"] if slot["const"] is not None
-                    else np.array([s(t) for s in slot["sources"]]))
+            vals = self._slot_values(slot, t)
             a, b = slot["a"], slot["b"]
             if a >= 0:
                 rhs[:, a] -= vals
@@ -344,25 +405,38 @@ class _BatchSystem:
         if inv is not None:
             return np.einsum("nij,nj->ni", inv, rhs)
         try:
+            self.factorizations += self.N
             return np.linalg.solve(G, rhs[:, :, None])[:, :, 0]
         except np.linalg.LinAlgError as exc:
             raise ConvergenceError(
                 f"singular MNA matrix in batched family "
                 f"({self.circuits[0].title!r}): {exc}") from exc
 
-    def newton(self, x0, dt, method, t, max_newton=60, damping_limit=2.0,
-               v_tol=1e-6, v_reltol=0.0, i_tol=1e-9, i_reltol=1e-6):
+    def newton(
+        self,
+        x0,
+        dt,
+        method,
+        t,
+        max_newton=60,
+        damping_limit=2.0,
+        v_tol=1e-6,
+        v_reltol=0.0,
+        i_tol=1e-9,
+        i_reltol=1e-6,
+    ):
         """Damped lockstep Newton: all cells iterate together until
         every cell satisfies the (absolute + relative) criterion."""
         G_base, _ = self.base_for(dt, method)
         rhs_base = self.build_rhs(dt, method, t)
-        G, rhs = self.G, self.rhs
+        G, rhs = self._dense_workspace(), self.rhs
         G2 = G.reshape(self.N, self.n * self.n)
         x = np.array(x0, dtype=float, copy=True)
         nn = self.nn
         has_branches = self.n > nn
         for _ in range(max_newton):
             self.newton_iters += 1
+            self.factorizations += self.N
             np.copyto(G, G_base)
             np.copyto(rhs, rhs_base)
             if self.nd:
@@ -417,6 +491,342 @@ class _SlotStates:
         raise KeyError(comp)
 
 
+def _vectorized_source_eval(sources):
+    """A ``t -> (N,)`` closure evaluating a whole family slot in closed
+    form, or None when any source lacks vectorizable metadata (opaque
+    callables, mixed waveform kinds) — the caller then keeps the scalar
+    per-cell path."""
+    params = [getattr(s, "vector_params", None) for s in sources]
+    if any(p is None or p[0] != "sine" for p in params):
+        return None
+    w, phi, amp, off, delay = (
+        np.array([p[k] for p in params]) for k in range(1, 6)
+    )
+
+    def eval_at(t):
+        return np.where(t < delay, off,
+                        off + amp * np.sin(w * (t - delay) + phi))
+
+    return eval_at
+
+
+class _SparseBatchSystem(_BatchSystem):
+    """Block-diagonal sparse strategy for lockstep families.
+
+    One CSR sparsity pattern is frozen for the whole family (every cell
+    shares the template's topology) and one symbolic factorization —
+    fill pattern plus static pivot order — is computed from a
+    representative cell (:class:`~repro.spice.assembler.SharedPatternLU`).
+    Per Newton iteration only the ``(N, nnz)`` numeric values are
+    refreshed and refactorized through the shared elimination schedule;
+    an iteration whose static pivot order breaks down for any cell
+    falls back to the dense partial-pivoting batched solve.  The slot
+    state/rhs kernels are inherited from the dense system (already
+    vectorized over cells); source slots additionally evaluate in
+    closed form when their waveform metadata allows it.
+    """
+
+    def __init__(self, circuits, gmin):
+        from repro.spice import assembler
+
+        if not assembler.SPARSE_AVAILABLE:  # pragma: no cover - guarded
+            raise ValueError(
+                "matrix='sparse' requires scipy; install it or use "
+                "matrix='dense'"
+            )
+        self._asm = assembler
+        super().__init__(circuits, gmin)
+        if self.other_slots:
+            raise ValueError(
+                f"family {circuits[0].title!r} holds nonlinear devices "
+                f"other than diodes; the sparse strategy supports "
+                f"diode-only nonlinearity (use matrix='dense' or 'auto')"
+            )
+        extra = ()
+        if self.nd:
+            pos_r, pos_c = self._d_pos
+            extra = [(pos_r, pos_c)]
+        self._pattern = assembler.pattern_from_circuit(
+            circuits[0], extra_positions=extra
+        )
+        if self.nd:
+            self._d_slots = self._pattern.plan(*self._d_pos)
+            self._rhs_off = None  # batch has no bypass path
+        rows, cols = [], []
+        for slot in self.matrix_slots:
+            r, c, _ = slot[0].sparse_stamps(1.0, "be")
+            rows.append(r)
+            cols.append(c)
+        self._lin_plan = self._pattern.plan(
+            np.concatenate(rows), np.concatenate(cols)
+        )
+        self._data = np.empty((self.N, self._pattern.nnz))
+        self._shared_lu = None
+        for slot in self.vsrc_slots + self.isrc_slots:
+            if slot["const"] is None:
+                slot["vec"] = _vectorized_source_eval(slot["sources"])
+
+    def _init_diode_proj(self):
+        """Frozen-pattern index maps instead of the dense (n*n, nd)
+        projections: one data slot, sign and diode index per matrix
+        contribution; the plan itself resolves after the pattern is
+        frozen (the pattern needs these positions first)."""
+        signs, which, positions = [], [], []
+        r_rows, r_signs, r_which = [], [], []
+        for k, slot in enumerate(self.diode_slots):
+            a, b = slot[0].nodes
+            for i, j, sign in ((a, a, 1.0), (b, b, 1.0), (a, b, -1.0), (b, a, -1.0)):
+                if i >= 0 and j >= 0:
+                    positions.append((i, j))
+                    signs.append(sign)
+                    which.append(k)
+            if a >= 0:
+                r_rows.append(a)
+                r_signs.append(-1.0)
+                r_which.append(k)
+            if b >= 0:
+                r_rows.append(b)
+                r_signs.append(1.0)
+                r_which.append(k)
+        self._d_pos = (
+            np.array([p[0] for p in positions], dtype=np.intp),
+            np.array([p[1] for p in positions], dtype=np.intp),
+        )
+        self._d_signs = np.array(signs)
+        self._d_which = np.array(which, dtype=np.intp)
+        self._dr_rows = np.array(r_rows, dtype=np.intp)
+        self._dr_signs = np.array(r_signs)
+        self._dr_which = np.array(r_which, dtype=np.intp)
+
+    def _assemble_linear(self, dt, method):
+        """(N, nnz) linear base values for one ``(dt, method)`` on the
+        frozen pattern."""
+        parts = [
+            np.stack([comp.sparse_stamps(dt, method)[2] for comp in slot])
+            for slot in self.matrix_slots
+        ]
+        vals = np.concatenate(parts, axis=1)
+        data = np.zeros((self.N, self._pattern.nnz))
+        np.add.at(data, (slice(None), self._lin_plan), vals)
+        self.pattern_reuses += self.N
+        return data
+
+    def _factor_family(self, data):
+        """Shared-schedule numeric factorization of all cells (builds
+        the symbolic analysis lazily from the first cell's values).
+        Raises PivotBreakdownError for the caller's dense fallback."""
+        if self._shared_lu is None:
+            try:
+                self._shared_lu = self._asm.SharedPatternLU(
+                    self._pattern, data[0]
+                )
+            except RuntimeError as exc:
+                raise ConvergenceError(
+                    f"singular MNA matrix in batched family "
+                    f"({self.circuits[0].title!r}): {exc}"
+                ) from exc
+        work = self._shared_lu.factor(data)
+        self.factorizations += self.N
+        return work
+
+    def _densify_all(self, data):
+        """(N, n, n) dense matrices from the (N, nnz) data block — the
+        partial-pivoting fallback for iterations the static pivot order
+        cannot handle."""
+        n = self.n
+        G = np.zeros((self.N, n, n))
+        flat = self._pattern.rows * n + self._pattern.cols
+        G.reshape(self.N, -1)[:, flat] = data
+        return G
+
+    def _solve_dense_fallback(self, data, rhs):
+        self.factorizations += self.N
+        try:
+            return np.linalg.solve(
+                self._densify_all(data), rhs[:, :, None]
+            )[:, :, 0]
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"singular MNA matrix in batched family "
+                f"({self.circuits[0].title!r}): {exc}") from exc
+
+    def base_for(self, dt, method):
+        """(N, nnz) linear base values and, for a linear family, the
+        shared-pattern factor storage (None means dense fallback)."""
+        key = (dt, method)
+        entry = self._base.get(key)
+        if entry is None:
+            data = self._assemble_linear(dt, method)
+            work = None
+            if self.is_linear:
+                try:
+                    work = self._factor_family(data)
+                except self._asm.PivotBreakdownError:
+                    work = None
+            if len(self._base) >= 64:
+                self._base.clear()
+            entry = (data, work)
+            self._base[key] = entry
+        return entry
+
+    def step_linear(self, dt, method, t):
+        data, work = self.base_for(dt, method)
+        rhs = self.build_rhs(dt, method, t)
+        if work is not None:
+            self.pattern_reuses += self.N
+            x = self._shared_lu.solve(work, rhs)
+            if np.all(np.isfinite(x)):
+                return x
+        return self._solve_dense_fallback(data, rhs)
+
+    def newton(
+        self,
+        x0,
+        dt,
+        method,
+        t,
+        max_newton=60,
+        damping_limit=2.0,
+        v_tol=1e-6,
+        v_reltol=0.0,
+        i_tol=1e-9,
+        i_reltol=1e-6,
+    ):
+        """Damped lockstep Newton on the frozen pattern: identical
+        damping and acceptance rules to the dense strategy — only the
+        linear algebra differs (value scatter + shared-schedule
+        refactorization, dense fallback per offending iteration)."""
+        base, _ = self.base_for(dt, method)
+        rhs_base = self.build_rhs(dt, method, t)
+        data, rhs = self._data, self.rhs
+        x = np.array(x0, dtype=float, copy=True)
+        nn = self.nn
+        has_branches = self.n > nn
+        for _ in range(max_newton):
+            self.newton_iters += 1
+            np.copyto(data, base)
+            np.copyto(rhs, rhs_base)
+            if self.nd:
+                g, ieq = self._diode_eval(x)
+                np.add.at(
+                    data,
+                    (slice(None), self._d_slots),
+                    self._d_signs * g[:, self._d_which],
+                )
+                np.add.at(
+                    rhs,
+                    (slice(None), self._dr_rows),
+                    self._dr_signs * ieq[:, self._dr_which],
+                )
+            self.pattern_reuses += self.N
+            x_new = None
+            try:
+                work = self._factor_family(data)
+                x_new = self._shared_lu.solve(work, rhs)
+                if not np.all(np.isfinite(x_new)):
+                    x_new = None
+            except self._asm.PivotBreakdownError:
+                x_new = None
+            if x_new is None:
+                x_new = self._solve_dense_fallback(data, rhs)
+            dxa = np.abs(x_new - x)
+            row_max = dxa.max(axis=1)
+            if row_max.max() > damping_limit:
+                scale = np.minimum(1.0, damping_limit / np.maximum(
+                    row_max, 1e-300))
+                x = x + (x_new - x) * scale[:, None]
+                dxa *= scale[:, None]
+            else:
+                x = x_new
+            dv = dxa[:, :nn].max(axis=1)
+            v_ok = dv < v_tol + v_reltol * np.abs(x[:, :nn]).max(axis=1)
+            if has_branches:
+                di = dxa[:, nn:].max(axis=1)
+                i_ok = di < i_tol + i_reltol * np.abs(x[:, nn:]).max(axis=1)
+                converged = bool((v_ok & i_ok).all())
+            else:
+                converged = bool(v_ok.all())
+            if converged:
+                return x
+        raise ConvergenceError(
+            f"lockstep Newton failed to converge in {max_newton} "
+            f"iterations ({self.circuits[0].title!r} family)")
+
+
+class _LTEKernel:
+    """Preallocated trapezoidal-LTE kernel for the lockstep loop.
+
+    Computes the same divided-difference estimate as
+    :func:`repro.spice.transient._lte_trap` (identical operation order,
+    so accept/reject decisions match the single-circuit reference bit
+    for bit) into reused ``(N, n)`` buffers — the per-step cost is a
+    flat sequence of in-place vector ops with zero allocations.
+
+    NUMBA SEAM: ``ratio`` is pure elementwise arithmetic on
+    preallocated arrays; an ``@numba.njit`` kernel taking the same
+    buffers could drop in without touching the loop.  numba is not a
+    dependency of this repo today, so it stays pure numpy.
+    """
+
+    def __init__(self, shape):
+        self._d01 = np.empty(shape)
+        self._d12 = np.empty(shape)
+        self._d23 = np.empty(shape)
+        self._tol = np.empty(shape)
+
+    def ratio(self, hist_t, hist_x, t_new, x_new, h, atol, rtol):
+        """max over cells/unknowns of LTE / (atol + rtol*|x|)."""
+        t0, t1, t2 = hist_t[-3], hist_t[-2], hist_t[-1]
+        x0, x1, x2 = hist_x[-3], hist_x[-2], hist_x[-1]
+        d01, d12, d23 = self._d01, self._d12, self._d23
+        np.subtract(x1, x0, out=d01)
+        d01 /= t1 - t0
+        np.subtract(x2, x1, out=d12)
+        d12 /= t2 - t1
+        np.subtract(x_new, x2, out=d23)
+        d23 /= t_new - t2
+        np.subtract(d12, d01, out=d01)   # dd1
+        d01 /= t2 - t0
+        np.subtract(d23, d12, out=d12)   # dd2
+        d12 /= t_new - t1
+        np.subtract(d12, d01, out=d01)   # dd3
+        d01 /= t_new - t0
+        np.abs(d01, out=d01)             # err = |dd3| * h^3/2
+        d01 *= 0.5 * h**3
+        np.abs(x_new, out=self._tol)
+        self._tol *= rtol
+        self._tol += atol
+        d01 /= self._tol
+        return float(d01.max())
+
+
+def _pick_batch_matrix(matrix, circuits):
+    """Resolve the batch ``matrix=`` argument (same policy as the
+    single-circuit :func:`~repro.spice.transient._pick_matrix_mode`:
+    the per-cell unknown count and diode-only nonlinearity drive the
+    auto selection)."""
+    from repro.spice.assembler import (
+        MATRIX_MODES,
+        SPARSE_AVAILABLE,
+        SPARSE_AUTO_THRESHOLD,
+    )
+
+    if matrix not in MATRIX_MODES:
+        raise ValueError(
+            f"unknown matrix mode {matrix!r}; known modes: {MATRIX_MODES}"
+        )
+    if matrix != "auto":
+        return matrix
+    first = circuits[0]
+    diode_only = all(
+        c.linear_stamps or isinstance(c, Diode) for c in first.components
+    )
+    if (SPARSE_AVAILABLE and diode_only
+            and first.n_unknowns >= SPARSE_AUTO_THRESHOLD):
+        return "sparse"
+    return "dense"
+
+
 def transient_batch(
     circuits,
     t_stop,
@@ -432,6 +842,7 @@ def transient_batch(
     max_dt=None,
     min_dt=None,
     v_reltol=None,
+    matrix="auto",
 ):
     """Run one lockstep transient over a family of circuits.
 
@@ -441,13 +852,20 @@ def transient_batch(
     the nominal ``dt`` — the same policy as the single-circuit
     reference path); ``"adaptive"`` adds the shared LTE step control
     (the worst cell decides).  ``x0``, when given, is an
-    ``(n_cells, n_unknowns)`` array.
+    ``(n_cells, n_unknowns)`` array.  ``matrix`` selects the family's
+    linear-algebra strategy (``"auto"``/``"dense"``/``"sparse"``, as in
+    the single-circuit front door): sparse assembles all cells
+    block-diagonally on one frozen pattern with a shared symbolic
+    factorization; the strategies agree to solver rounding and walk
+    identical accepted grids.  The fixed-step methods are the dense
+    parity reference and reject ``matrix="sparse"``.
 
     Returns a :class:`BatchTransientResult`.
     """
     if method not in METHODS:
-        raise ValueError(f"unknown integration method {method!r}; "
-                         f"known methods: {METHODS}")
+        raise ValueError(
+            f"unknown integration method {method!r}; " f"known methods: {METHODS}"
+        )
     if dt <= 0 or t_stop <= t_start:
         raise ValueError("need dt > 0 and t_stop > t_start")
     if int(store_every) < 1:
@@ -455,6 +873,12 @@ def transient_batch(
     store_every = int(store_every)
     circuits = list(circuits)
     _check_family(circuits)
+    mode = _pick_batch_matrix(matrix, circuits)
+    if mode == "sparse" and method != "adaptive":
+        raise ValueError(
+            "matrix='sparse' applies to the adaptive backend; the "
+            "fixed-step methods are the dense parity reference"
+        )
     gmin = 1e-12
     N = len(circuits)
     n = circuits[0].n_unknowns
@@ -464,8 +888,9 @@ def transient_batch(
     rtol = float(rtol)
     max_dt = (dt * 256.0 if max_dt is None else float(max_dt)) \
         if adaptive else dt
-    min_dt = ((dt / 1024.0 if adaptive else dt / 64.0)
-              if min_dt is None else float(min_dt))
+    min_dt = (
+        (dt / 1024.0 if adaptive else dt / 64.0) if min_dt is None else float(min_dt)
+    )
     v_reltol = (ADAPTIVE_V_RELTOL if v_reltol is None else float(v_reltol)) \
         if adaptive else 0.0
 
@@ -477,7 +902,10 @@ def transient_batch(
     else:
         x = np.stack([dc_operating_point(c).x for c in circuits])
 
-    system = _BatchSystem(circuits, gmin)
+    if mode == "sparse":
+        system = _SparseBatchSystem(circuits, gmin)
+    else:
+        system = _BatchSystem(circuits, gmin)
     system.init_states(x, use_ic)
 
     if use_ic:
@@ -499,8 +927,9 @@ def transient_batch(
                     comp.stamp_tran(G, rhs, xg, _states, dt_micro, "be",
                                     t_start, g)
 
-            x[j] = _newton_solve(ckt, x[j], warm_stamp, gmin,
-                                 max_iter=max_newton, damping_limit=5.0)
+            x[j] = _newton_solve(
+                ckt, x[j], warm_stamp, gmin, max_iter=max_newton, damping_limit=5.0
+            )
 
     # NOTE: this time loop mirrors transient._adaptive_loop (breakpoint
     # clamp, BE first step, predictor, LTE accept/reject, history ring,
@@ -524,6 +953,7 @@ def transient_batch(
     # concern; the fixed-step lanes mirror the single-circuit reference
     # path, which never grows past its nominal dt.
     bp_sources = _breakpoint_sources(circuits) if adaptive else []
+    lte = _LTEKernel((N, n)) if adaptive else None
     while t < t_stop - 1e-15:
         step = min(h, t_stop - t)
         if bp_sources:
@@ -539,9 +969,14 @@ def transient_batch(
                         step / (hist_t[-1] - hist_t[-2]))
                 else:
                     guess = x
-                x_new = system.newton(guess, step, step_method, t_next,
-                                      max_newton=max_newton,
-                                      v_reltol=v_reltol)
+                x_new = system.newton(
+                    guess,
+                    step,
+                    step_method,
+                    t_next,
+                    max_newton=max_newton,
+                    v_reltol=v_reltol,
+                )
         except ConvergenceError:
             if h / 2.0 < min_dt:
                 raise ConvergenceError(
@@ -553,10 +988,9 @@ def transient_batch(
             continue
         grow = False
         if adaptive and not first_step and len(hist_t) >= 3:
-            # The single-circuit LTE estimator broadcasts unchanged
-            # over the stacked (N, n) history arrays.
-            err = _lte_trap(hist_t, hist_x, t_next, x_new, step)
-            ratio = float(np.max(err / (atol + rtol * np.abs(x_new))))
+            # Same divided-difference estimate as the single-circuit
+            # _lte_trap, through the preallocated (N, n) kernel.
+            ratio = lte.ratio(hist_t, hist_x, t_next, x_new, step, atol, rtol)
             if ratio > 1.0 and step > min_dt * 1.000001:
                 lte_rejects += 1
                 h = max(step / 2.0, min_dt)
@@ -588,4 +1022,6 @@ def transient_batch(
             "newton_iters": system.newton_iters,
             "newton_rejects": newton_rejects,
             "lte_rejects": lte_rejects,
+            "factorizations": system.factorizations,
+            "pattern_reuses": system.pattern_reuses,
         })

@@ -84,6 +84,27 @@ class Component:
             f"{type(self).__name__} declares linear_stamps but does not "
             f"implement stamp_tran_rhs")
 
+    def sparse_stamps(self, dt, method):
+        """COO triplets ``(rows, cols, values)`` of the transient matrix
+        stamp, for the sparse assembler (only consulted when
+        ``linear_stamps`` is True).
+
+        Contract: the returned *positions* must be a fixed function of
+        the circuit topology — identical for every ``(dt, method)`` and
+        never value-dependent — because the assembler freezes the union
+        sparsity pattern once per circuit family and then refreshes only
+        the numeric values.  Duplicate positions are allowed (they sum).
+
+        The default implementation replays :meth:`stamp_tran_matrix`
+        into a COO recorder, so components that only implement the dense
+        hook (including third-party subclasses) work on the sparse path
+        unmodified; override only to skip the recording overhead."""
+        from repro.spice.assembler import COORecorder
+
+        recorder = COORecorder()
+        self.stamp_tran_matrix(recorder, dt, method)
+        return recorder.triplets()
+
     def stamp_ac(self, Y, rhs, omega, x_op):
         pass
 
@@ -525,8 +546,7 @@ class Diode(Component):
             # matching the scalar iv() piecewise definition.
             i = np.where(vd <= -20.0 * nvt, -self.i_s, i)
             g_knee = self.i_s * math.exp(self.v_max / nvt) / nvt
-            i = np.where(vd > self.v_max,
-                         i + g_knee * (vd - self.v_max), i)
+            i = np.where(vd > self.v_max, i + g_knee * (vd - self.v_max), i)
             return i
         return self.iv(vd)[0]
 

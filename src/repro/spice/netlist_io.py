@@ -75,8 +75,9 @@ def _parse_source_value(tokens, line):
                 f"PULSE needs (v1 v2 delay rise fall width period): "
                 f"{line!r}")
         v1, v2, delay, rise, fall, width, period = args[:7]
-        return pulse_src(v1, v2, delay=delay, rise=rise, fall=fall,
-                         width=width, period=period)
+        return pulse_src(
+            v1, v2, delay=delay, rise=rise, fall=fall, width=width, period=period
+        )
     # Bare number.
     return parse_eng(joined)
 
@@ -118,18 +119,21 @@ def parse_netlist(text):
         kind = name[0].upper()
         try:
             if kind == "R":
-                ckt.add_resistor(name, tokens[1], tokens[2],
-                                 parse_eng(tokens[3]))
+                ckt.add_resistor(name, tokens[1], tokens[2], parse_eng(tokens[3]))
             elif kind == "C":
                 rest, kw = _parse_kwargs(tokens[3:])
-                ckt.add_capacitor(name, tokens[1], tokens[2],
-                                  parse_eng(tokens[3]),
-                                  ic=kw.get("IC"))
+                ckt.add_capacitor(
+                    name, tokens[1], tokens[2], parse_eng(tokens[3]), ic=kw.get("IC")
+                )
             elif kind == "L":
                 rest, kw = _parse_kwargs(tokens[3:])
-                ckt.add_inductor(name, tokens[1], tokens[2],
-                                 parse_eng(tokens[3]),
-                                 ic=kw.get("IC", 0.0))
+                ckt.add_inductor(
+                    name,
+                    tokens[1],
+                    tokens[2],
+                    parse_eng(tokens[3]),
+                    ic=kw.get("IC", 0.0),
+                )
             elif kind == "K":
                 pending_couplings.append(
                     (name, tokens[1], tokens[2], parse_eng(tokens[3])))
@@ -141,9 +145,13 @@ def parse_netlist(text):
                                 _parse_source_value(tokens[3:], line))
             elif kind == "D":
                 rest, kw = _parse_kwargs(tokens[3:])
-                ckt.add_diode(name, tokens[1], tokens[2],
-                              i_s=kw.get("IS", 1e-14),
-                              n=kw.get("N", 1.0))
+                ckt.add_diode(
+                    name,
+                    tokens[1],
+                    tokens[2],
+                    i_s=kw.get("IS", 1e-14),
+                    n=kw.get("N", 1.0),
+                )
             elif kind == "M":
                 rest, kw = _parse_kwargs(tokens[4:])
                 polarity = "p" if str(
@@ -162,11 +170,23 @@ def parse_netlist(text):
                     v_threshold=kw.get("VT", 0.5),
                     r_on=kw.get("RON", 1.0), r_off=kw.get("ROFF", 1e9))
             elif kind == "E":
-                ckt.add_vcvs(name, tokens[1], tokens[2], tokens[3],
-                             tokens[4], parse_eng(tokens[5]))
+                ckt.add_vcvs(
+                    name,
+                    tokens[1],
+                    tokens[2],
+                    tokens[3],
+                    tokens[4],
+                    parse_eng(tokens[5]),
+                )
             elif kind == "G":
-                ckt.add_vccs(name, tokens[1], tokens[2], tokens[3],
-                             tokens[4], parse_eng(tokens[5]))
+                ckt.add_vccs(
+                    name,
+                    tokens[1],
+                    tokens[2],
+                    tokens[3],
+                    tokens[4],
+                    parse_eng(tokens[5]),
+                )
             else:
                 raise NetlistError(f"unknown element kind {kind!r}")
         except NetlistError:
@@ -191,26 +211,37 @@ def write_netlist(circuit):
     lines = [circuit.title]
     for c in circuit.components:
         if isinstance(c, comps.Resistor):
-            lines.append(f"{c.name} {c.node_names[0]} {c.node_names[1]} "
-                         f"{c.resistance:g}")
+            lines.append(
+                f"{c.name} {c.node_names[0]} {c.node_names[1]} " f"{c.resistance:g}"
+            )
         elif isinstance(c, comps.Capacitor):
             ic = f" IC={c.ic:g}" if c.ic is not None else ""
-            lines.append(f"{c.name} {c.node_names[0]} {c.node_names[1]} "
-                         f"{c.capacitance:g}{ic}")
+            lines.append(
+                f"{c.name} {c.node_names[0]} {c.node_names[1]} "
+                f"{c.capacitance:g}{ic}"
+            )
         elif isinstance(c, comps.Inductor):
-            lines.append(f"{c.name} {c.node_names[0]} {c.node_names[1]} "
-                         f"{c.inductance:g} IC={c.ic:g}")
+            lines.append(
+                f"{c.name} {c.node_names[0]} {c.node_names[1]} "
+                f"{c.inductance:g} IC={c.ic:g}"
+            )
         elif isinstance(c, comps.MutualCoupling):
             lines.append(f"{c.name} {c.l1.name} {c.l2.name} {c.k:g}")
         elif isinstance(c, comps.VoltageSource):
-            lines.append(f"{c.name} {c.node_names[0]} {c.node_names[1]} "
-                         f"DC {c.source.dc_value:g}")
+            lines.append(
+                f"{c.name} {c.node_names[0]} {c.node_names[1]} "
+                f"DC {c.source.dc_value:g}"
+            )
         elif isinstance(c, comps.CurrentSource):
-            lines.append(f"{c.name} {c.node_names[0]} {c.node_names[1]} "
-                         f"DC {c.source.dc_value:g}")
+            lines.append(
+                f"{c.name} {c.node_names[0]} {c.node_names[1]} "
+                f"DC {c.source.dc_value:g}"
+            )
         elif isinstance(c, comps.Diode):
-            lines.append(f"{c.name} {c.node_names[0]} {c.node_names[1]} "
-                         f"IS={c.i_s:g} N={c.n:g}")
+            lines.append(
+                f"{c.name} {c.node_names[0]} {c.node_names[1]} "
+                f"IS={c.i_s:g} N={c.n:g}"
+            )
         elif isinstance(c, comps.Mosfet):
             lines.append(
                 f"{c.name} {c.node_names[0]} {c.node_names[1]} "
@@ -222,11 +253,9 @@ def write_netlist(circuit):
                 f"{c.node_names[2]} {c.node_names[3]} "
                 f"VT={c.v_threshold:g} RON={c.r_on:g} ROFF={c.r_off:g}")
         elif isinstance(c, comps.Vcvs):
-            lines.append(f"{c.name} " + " ".join(c.node_names)
-                         + f" {c.gain:g}")
+            lines.append(f"{c.name} " + " ".join(c.node_names) + f" {c.gain:g}")
         elif isinstance(c, comps.Vccs):
-            lines.append(f"{c.name} " + " ".join(c.node_names)
-                         + f" {c.gm:g}")
+            lines.append(f"{c.name} " + " ".join(c.node_names) + f" {c.gm:g}")
         else:
             raise NetlistError(
                 f"cannot serialize component type {type(c).__name__}")

@@ -30,12 +30,26 @@ class SourceFunction:
     estimate samples — pick ``max_dt`` accordingly).
     """
 
-    def __init__(self, func, dc_value=None, ac_mag=0.0, label="source",
-                 breakpoints=None):
+    def __init__(
+        self,
+        func,
+        dc_value=None,
+        ac_mag=0.0,
+        label="source",
+        breakpoints=None,
+        vector_params=None,
+    ):
         self._func = func
         self.ac_mag = float(ac_mag)
         self.label = label
         self.dc_value = float(func(0.0)) if dc_value is None else float(dc_value)
+        #: Optional ``(kind, *params)`` tuple describing the waveform in
+        #: closed form (e.g. ``("sine", w, phi, amp, offset, delay)``).
+        #: The lockstep batch solver uses it to evaluate a whole family
+        #: slot of same-kind sources as one vectorized expression
+        #: instead of N scalar calls; sources built from opaque
+        #: callables carry None and keep the scalar path.
+        self.vector_params = vector_params
         if breakpoints is None:
             self._bp_offsets = None
             self._bp_period = None
@@ -106,8 +120,14 @@ def sine(amplitude, freq, offset=0.0, phase_deg=0.0, delay=0.0, ac_mag=0.0):
             return off
         return off + amp * math.sin(w * (t - d) + phi)
 
-    return SourceFunction(f, dc_value=off, ac_mag=ac_mag, label="sine",
-                          breakpoints=([d], None) if d > 0 else None)
+    return SourceFunction(
+        f,
+        dc_value=off,
+        ac_mag=ac_mag,
+        label="sine",
+        breakpoints=([d], None) if d > 0 else None,
+        vector_params=("sine", w, phi, amp, off, d),
+    )
 
 
 def pulse(v1, v2, delay=0.0, rise=1e-9, fall=1e-9, width=1e-6, period=2e-6):
@@ -134,10 +154,8 @@ def pulse(v1, v2, delay=0.0, rise=1e-9, fall=1e-9, width=1e-6, period=2e-6):
 
     # Slope discontinuities of every cycle: start of rise, top, start
     # of fall, back to v1.
-    corners = [delay, delay + rise, delay + rise + width,
-               delay + rise + width + fall]
-    return SourceFunction(f, dc_value=v1, label="pulse",
-                          breakpoints=(corners, period))
+    corners = [delay, delay + rise, delay + rise + width, delay + rise + width + fall]
+    return SourceFunction(f, dc_value=v1, label="pulse", breakpoints=(corners, period))
 
 
 def square(v1, v2, freq, duty=0.5, delay=0.0, transition_frac=0.01):
@@ -205,5 +223,4 @@ def ask_carrier(amplitude, freq, bits, bit_rate, depth, delay=0.0, offset=0.0):
 
     # Amplitude switches at every bit boundary of the frame.
     edges = [delay + k * tbit for k in range(len(bits) + 1)]
-    return SourceFunction(f, dc_value=offset, label="ask",
-                          breakpoints=(edges, None))
+    return SourceFunction(f, dc_value=offset, label="ask", breakpoints=(edges, None))

@@ -30,8 +30,7 @@ class DCSweepResult:
 
     def branch_current(self, component_name):
         """Array of a branch current across the sweep."""
-        return np.array([p.branch_current(component_name)
-                         for p in self.points])
+        return np.array([p.branch_current(component_name) for p in self.points])
 
     def device_current(self, component_name):
         """Array of a two-terminal device current across the sweep."""

@@ -150,14 +150,31 @@ class _TransientSystem:
         self._base = {}  # (dt, method) -> (G_base, lu-or-None)
         self.can_bypass = False
         self.all_off = False
+        #: Factorization-reuse counters (observability): numeric
+        #: factorizations performed, and solves/assemblies that reused a
+        #: frozen sparsity pattern or cached factorization instead of
+        #: re-analyzing.  The dense strategy factorizes afresh per solve
+        #: (pattern_reuses stays 0); the sparse strategy reuses its
+        #: frozen pattern on every refresh.
+        self.factorizations = 0
+        self.pattern_reuses = 0
+        self.newton_iters = 0
         if self.diodes:
             self._init_diode_group()
 
     def _init_diode_group(self):
+        self._init_diode_params()
+        self._init_diode_scatter()
+
+    def _init_diode_params(self):
+        """Per-diode model parameter arrays and scratch, shared by the
+        dense and sparse strategies."""
         diodes = self.diodes
         n = self.n
-        self.d_ai, self.d_bi, self.dP_g, self.dP_r = \
-            _diode_scatter_plan(diodes, n)
+        a = np.array([c.nodes[0] for c in diodes], dtype=np.intp)
+        b = np.array([c.nodes[1] for c in diodes], dtype=np.intp)
+        self.d_ai = np.where(a < 0, n, a)
+        self.d_bi = np.where(b < 0, n, b)
         self.d_is = np.array([c.i_s for c in diodes])
         self.d_nvt = np.array([c.n * c.vt for c in diodes])
         self.d_vmax = np.array([c.v_max for c in diodes])
@@ -167,8 +184,6 @@ class _TransientSystem:
         self.d_inv_nvt = 1.0 / self.d_nvt
         self.d_vmax_floor = float(self.d_vmax.min())
         nd = len(diodes)
-        self._g_scratch = np.empty(n * n)
-        self._r_scratch = np.empty(n)
         self._vd = np.empty(nd)
         self._va = np.empty(nd)
         self._e = np.empty(nd)
@@ -181,10 +196,19 @@ class _TransientSystem:
         # solve is verified afterwards (all vd still below threshold)
         # and falls back to Newton when conduction starts.
         self.d_vd_off = self.d_nvt * np.log(BYPASS_I_EPS / self.d_is)
-        self._rhs_off = np.dot(self.dP_r, -self.d_is)
         self._off_base = {}  # (dt, method) -> (G_off, lu-or-None)
         self.can_bypass = not self.other_nl
         self.all_off = False
+
+    def _init_diode_scatter(self):
+        """Dense scatter projections of the diode group (the sparse
+        strategy overrides this with frozen-pattern index maps)."""
+        n = self.n
+        _ai, _bi, self.dP_g, self.dP_r = \
+            _diode_scatter_plan(self.diodes, n)
+        self._g_scratch = np.empty(n * n)
+        self._r_scratch = np.empty(n)
+        self._rhs_off = np.dot(self.dP_r, -self.d_is)
 
     def _stamp_diodes(self, G1d, rhs, x):
         """Vectorized Newton stamp of every diode (piecewise matching
@@ -203,8 +227,7 @@ class _TransientSystem:
         i -= self.d_is
         if vd.max() > self.d_vmax_floor:
             over = vd > self.d_vmax
-            i = np.where(over,
-                         self.d_iknee + self.d_gknee * (vd - self.d_vmax), i)
+            i = np.where(over, self.d_iknee + self.d_gknee * (vd - self.d_vmax), i)
             g = np.where(over, self.d_gknee, g)
         g += self.gmin
         ieq = np.multiply(g, vd, out=self._ieq)
@@ -224,6 +247,8 @@ class _TransientSystem:
             # Singular bases fall through to np.linalg.solve, which
             # surfaces the typed ConvergenceError at solve time.
             lu = _lu_factor_checked(G) if self.is_linear else None
+            if lu is not None:
+                self.factorizations += 1
             if len(self._base) >= 64:
                 # Pathological dt churn (every step a new size) cannot
                 # grow the cache without bound.
@@ -244,6 +269,8 @@ class _TransientSystem:
                 self.dP_g, np.full(len(self.diodes), self.gmin)
             ).reshape(self.n, self.n)
             lu = _lu_factor_checked(G)
+            if lu is not None:
+                self.factorizations += 1
             if len(self._off_base) >= 64:
                 self._off_base.clear()
             entry = (G, lu)
@@ -297,6 +324,16 @@ class _TransientSystem:
             stamp_rhs(rhs, states, dt, method, t)
         return rhs
 
+    def update_states(self, x, dt, method):
+        """Advance every companion-model state after an accepted step.
+
+        The dense strategy keeps the per-component scalar hooks (this is
+        the parity reference); the sparse strategy overrides this with
+        hoisted slot kernels."""
+        states = self.states
+        for comp in self.circuit.components:
+            comp.update_state(x, states, dt, method)
+
     def step_linear(self, dt, method, t):
         """One step of a circuit with no nonlinear devices: no Newton,
         just the prefactored solve."""
@@ -311,8 +348,19 @@ class _TransientSystem:
                 f"singular MNA matrix in {self.circuit.title!r}: {exc}"
             ) from exc
 
-    def newton(self, x0, dt, method, t, max_newton=60, damping_limit=2.0,
-               v_tol=1e-6, v_reltol=0.0, i_tol=1e-9, i_reltol=1e-6):
+    def newton(
+        self,
+        x0,
+        dt,
+        method,
+        t,
+        max_newton=60,
+        damping_limit=2.0,
+        v_tol=1e-6,
+        v_reltol=0.0,
+        i_tol=1e-9,
+        i_reltol=1e-6,
+    ):
         """Damped Newton on the preassembled base.
 
         Same damping semantics as :func:`repro.spice.dc._newton_solve`;
@@ -334,6 +382,8 @@ class _TransientSystem:
         x = np.array(x0, dtype=float, copy=True)
         nn = self.n_nodes
         for _ in range(max_newton):
+            self.newton_iters += 1
+            self.factorizations += 1
             copyto(G, G_base)
             copyto(rhs, rhs_base)
             if stamp_diodes is not None:
@@ -381,6 +431,450 @@ class _TransientSystem:
         )
 
 
+class _SparseTransientSystem(_TransientSystem):
+    """Sparse strategy: the same Newton workspace interface as the dense
+    :class:`_TransientSystem`, assembled on a frozen CSR pattern.
+
+    The pattern (linear stamps united with the diode-group slots) is
+    frozen once; per ``(dt, method)`` only the linear *values* are
+    refreshed, and per Newton iteration only the diode values are
+    scattered into a preallocated copy of that base vector.  Solves go
+    through SuperLU on the frozen CSC layout — for linear and
+    all-diodes-off systems the factorization itself is cached per
+    ``(dt, method)`` and every later step is a pair of triangular
+    solves.  Selected by ``transient(..., matrix="sparse")`` (or
+    ``"auto"`` above :data:`~repro.spice.assembler.SPARSE_AUTO_THRESHOLD`
+    unknowns); nonlinear devices other than diodes keep the dense
+    strategy (their scalar restamps would dominate either way).
+    """
+
+    def __init__(self, circuit, states, gmin):
+        from repro.spice import assembler
+
+        if not assembler.SPARSE_AVAILABLE:  # pragma: no cover - guarded
+            raise ValueError(
+                "matrix='sparse' requires scipy; install it or use "
+                "matrix='dense'"
+            )
+        self._asm = assembler
+        super().__init__(circuit, states, gmin)
+        if self.other_nl:
+            raise ValueError(
+                f"circuit {circuit.title!r} holds nonlinear devices "
+                f"other than diodes; the sparse strategy supports "
+                f"diode-only nonlinearity (use matrix='dense' or 'auto')"
+            )
+        if not self.diodes:
+            self._freeze_pattern(())
+        self._init_step_kernels()
+
+    def _init_step_kernels(self):
+        """Hoist the per-step scalar hooks (``stamp_tran_rhs`` /
+        ``update_state``) of the stock reactive elements and sources
+        into preallocated slot-array kernels.
+
+        On large netlists these Python loops, not the linear algebra,
+        dominate the step cost.  Only exact stock types are hoisted —
+        subclasses and third-party components keep their scalar hooks
+        through the residual lists, so overridden behaviour is never
+        bypassed.  Ground maps to the trailing pad slot of the length
+        ``n + 1`` gather/scatter buffers and is discarded.
+        """
+        from repro.spice.components import (
+            Capacitor,
+            Component,
+            CurrentSource,
+            Inductor,
+            VoltageSource,
+        )
+
+        n = self.n
+        states = self.states
+
+        def _pad(idx):
+            return np.array([n if i < 0 else i for i in idx], dtype=np.intp)
+
+        caps = [c for c in self.linear if type(c) is Capacitor]
+        inds = [c for c in self.linear if type(c) is Inductor]
+        # A coupled partner outside the hoisted set would read a stale
+        # slot state; such inductors (and their partners) stay scalar.
+        ind_ids = {id(c) for c in inds}
+        demote = {
+            id(c) for c in inds
+            if any(id(other) not in ind_ids for _, other in c.couplings)
+        }
+        while True:
+            grew = {
+                id(c) for c in inds
+                if id(c) not in demote
+                and any(id(other) in demote for _, other in c.couplings)
+            }
+            if not grew:
+                break
+            demote |= grew
+        inds = [c for c in inds if id(c) not in demote]
+        vsrc = [c for c in self.linear if type(c) is VoltageSource]
+        isrc = [c for c in self.linear if type(c) is CurrentSource]
+        kernel = set(caps) | set(inds) | set(vsrc) | set(isrc)
+
+        self._cap_a = _pad([c.nodes[0] for c in caps])
+        self._cap_b = _pad([c.nodes[1] for c in caps])
+        self._cap_c = np.array([c.capacitance for c in caps])
+        self._cap_v = np.array([states[c]["v"] for c in caps])
+        self._cap_i = np.array([states[c]["i"] for c in caps])
+
+        self._ind_k = np.array([c.branch for c in inds], dtype=np.intp)
+        self._ind_a = _pad([c.nodes[0] for c in inds])
+        self._ind_b = _pad([c.nodes[1] for c in inds])
+        self._ind_l = np.array([c.inductance for c in inds])
+        self._ind_i = np.array([states[c]["i"] for c in inds])
+        self._ind_v = np.array([states[c]["v"] for c in inds])
+        slot_of = {id(c): j for j, c in enumerate(inds)}
+        coup = [
+            (c.branch, slot_of[id(other)], m_val)
+            for c in inds for m_val, other in c.couplings
+        ]
+        self._coup_rows = np.array([r for r, _, _ in coup], dtype=np.intp)
+        self._coup_other = np.array([s for _, s, _ in coup], dtype=np.intp)
+        self._coup_m = np.array([m for _, _, m in coup])
+
+        self._vs_k = np.array([c.branch for c in vsrc], dtype=np.intp)
+        self._vs_sources = [c.source for c in vsrc]
+        self._vs_const = (
+            np.array([s.dc_value for s in self._vs_sources])
+            if all(s.label == "dc" for s in self._vs_sources) else None
+        )
+        self._cs_a = _pad([c.nodes[0] for c in isrc])
+        self._cs_b = _pad([c.nodes[1] for c in isrc])
+        self._cs_sources = [c.source for c in isrc]
+        self._cs_const = (
+            np.array([s.dc_value for s in self._cs_sources])
+            if all(s.label == "dc" for s in self._cs_sources) else None
+        )
+
+        self._resid_rhs = [
+            m for m in self._rhs_stampers if m.__self__ not in kernel
+        ]
+        self._resid_update = [
+            c for c in self.circuit.components
+            if c not in kernel
+            and type(c).update_state is not Component.update_state
+        ]
+        self._rhs_pad = np.zeros(n + 1)
+
+    def build_rhs(self, dt, method, t):
+        """Hoisted per-step rhs: slot kernels for stock elements, the
+        scalar hooks for everything else.  Elementwise formulas match
+        the scalar stamps exactly; only the accumulation order differs
+        (grouped by element kind instead of netlist order)."""
+        rp = self._rhs_pad
+        rp[:] = 0.0
+        trap = method == "trap"
+        factor = 2.0 if trap else 1.0
+        if self._cap_c.size:
+            geq = factor * self._cap_c / dt
+            ieq = geq * self._cap_v
+            if trap:
+                ieq += self._cap_i
+            np.add.at(rp, self._cap_a, ieq)
+            np.add.at(rp, self._cap_b, -ieq)
+        if self._ind_l.size:
+            leq = factor * self._ind_l / dt
+            val = -leq * self._ind_i
+            if trap:
+                val -= self._ind_v
+            rp[self._ind_k] += val  # branch rows are unique per inductor
+            if self._coup_m.size:
+                meq = factor * self._coup_m / dt
+                np.add.at(rp, self._coup_rows, -meq * self._ind_i[self._coup_other])
+        if self._vs_k.size:
+            vals = (self._vs_const if self._vs_const is not None
+                    else np.array([s(t) for s in self._vs_sources]))
+            rp[self._vs_k] += vals  # branch rows are unique per source
+        if len(self._cs_sources):
+            vals = (self._cs_const if self._cs_const is not None
+                    else np.array([s(t) for s in self._cs_sources]))
+            np.add.at(rp, self._cs_a, -vals)
+            np.add.at(rp, self._cs_b, vals)
+        rhs = self._rhs_base
+        rhs[:] = rp[: self.n]
+        if self._resid_rhs:
+            states = self.states
+            for stamp_rhs in self._resid_rhs:
+                stamp_rhs(rhs, states, dt, method, t)
+        return rhs
+
+    def update_states(self, x, dt, method):
+        """Hoisted state advance (same formulas as the scalar
+        ``Capacitor.update_state`` / ``Inductor.update_state``)."""
+        xp = self._x_pad
+        xp[: self.n] = x
+        trap = method == "trap"
+        if self._cap_c.size:
+            v_new = xp[self._cap_a] - xp[self._cap_b]
+            geq = (2.0 if trap else 1.0) * self._cap_c / dt
+            i_new = geq * (v_new - self._cap_v)
+            if trap:
+                i_new -= self._cap_i
+            self._cap_v = v_new
+            self._cap_i = i_new
+        if self._ind_l.size:
+            self._ind_i = x[self._ind_k]
+            self._ind_v = xp[self._ind_a] - xp[self._ind_b]
+        if self._resid_update:
+            states = self.states
+            for comp in self._resid_update:
+                comp.update_state(x, states, dt, method)
+
+    def _freeze_pattern(self, extra_positions):
+        """Freeze the union pattern and the per-component linear plan
+        (positions recorded once; later refreshes gather values only)."""
+        asm = self._asm
+        self._pattern = asm.pattern_from_circuit(
+            self.circuit, extra_positions=extra_positions
+        )
+        rows, cols = [], []
+        for comp in self.linear:
+            r, c, _ = comp.sparse_stamps(1.0, "be")
+            rows.append(r)
+            cols.append(c)
+        self._lin_plan = self._pattern.plan(
+            np.concatenate(rows), np.concatenate(cols)
+        )
+        self._data = np.empty(self._pattern.nnz)
+
+    def _init_diode_scatter(self):
+        """Frozen-pattern index maps of the diode group: one data slot,
+        sign and diode index per matrix contribution (replaces the dense
+        ``(n*n, nd)`` projection, which is what caps the dense strategy
+        at small circuits)."""
+        slots, signs, which = [], [], []
+        r_rows, r_signs, r_which = [], [], []
+        positions = []
+        for k, comp in enumerate(self.diodes):
+            a, b = comp.nodes
+            for i, j, sign in ((a, a, 1.0), (b, b, 1.0), (a, b, -1.0), (b, a, -1.0)):
+                if i >= 0 and j >= 0:
+                    positions.append((i, j))
+                    signs.append(sign)
+                    which.append(k)
+            if a >= 0:
+                r_rows.append(a)
+                r_signs.append(-1.0)
+                r_which.append(k)
+            if b >= 0:
+                r_rows.append(b)
+                r_signs.append(1.0)
+                r_which.append(k)
+        pos_r = np.array([p[0] for p in positions], dtype=np.intp)
+        pos_c = np.array([p[1] for p in positions], dtype=np.intp)
+        self._freeze_pattern([(pos_r, pos_c)])
+        self._d_slots = self._pattern.plan(pos_r, pos_c)
+        self._d_signs = np.array(signs)
+        self._d_which = np.array(which, dtype=np.intp)
+        self._dr_rows = np.array(r_rows, dtype=np.intp)
+        self._dr_signs = np.array(r_signs)
+        self._dr_which = np.array(r_which, dtype=np.intp)
+        self._rhs_off = np.zeros(self.n)
+        np.add.at(
+            self._rhs_off, self._dr_rows,
+            self._dr_signs * (-self.d_is)[self._dr_which],
+        )
+        self._g_scratch = np.empty(self._d_slots.size)
+        self._r_scratch = np.empty(self._dr_rows.size)
+
+    def _scatter_diodes(self, data, rhs, g, ieq):
+        """Scatter per-diode conductances / equivalent currents into the
+        frozen-pattern data vector and the rhs."""
+        np.multiply(self._d_signs, g[self._d_which], out=self._g_scratch)
+        np.add.at(data, self._d_slots, self._g_scratch)
+        np.multiply(self._dr_signs, ieq[self._dr_which],
+                    out=self._r_scratch)
+        np.add.at(rhs, self._dr_rows, self._r_scratch)
+
+    def _diode_g_ieq(self, x):
+        """Vectorized diode model evaluation (identical piecewise rules
+        to the dense `_stamp_diodes`, without the dense scatter)."""
+        xp = self._x_pad
+        xp[: self.n] = x
+        vd = np.take(xp, self.d_ai, out=self._vd)
+        vd -= np.take(xp, self.d_bi, out=self._va)
+        e = np.minimum(vd, self.d_vmax, out=self._e)
+        e *= self.d_inv_nvt
+        np.exp(e, out=e)
+        i = e * self.d_is
+        g = i * self.d_inv_nvt
+        i -= self.d_is
+        if vd.max() > self.d_vmax_floor:
+            over = vd > self.d_vmax
+            i = np.where(over, self.d_iknee + self.d_gknee * (vd - self.d_vmax), i)
+            g = np.where(over, self.d_gknee, g)
+        g += self.gmin
+        ieq = np.multiply(g, vd, out=self._ieq)
+        np.subtract(i, ieq, out=ieq)
+        return g, ieq
+
+    def _assemble_linear(self, dt, method):
+        """Value refresh of the linear stamps onto the frozen pattern."""
+        vals = np.concatenate(
+            [comp.sparse_stamps(dt, method)[2] for comp in self.linear]
+        )
+        self.pattern_reuses += 1
+        return self._pattern.accumulate(self._lin_plan, vals)
+
+    def _factor(self, data):
+        """SuperLU factorization of one data vector; singularity
+        surfaces as the engine's typed ConvergenceError."""
+        try:
+            lu = self._asm.splu_factor(self._pattern, data)
+        except RuntimeError as exc:
+            raise ConvergenceError(
+                f"singular MNA matrix in {self.circuit.title!r}: {exc}"
+            ) from exc
+        self.factorizations += 1
+        return lu
+
+    def base_for(self, dt, method):
+        key = (dt, method)
+        entry = self._base.get(key)
+        if entry is None:
+            data = self._assemble_linear(dt, method)
+            lu = self._factor(data) if self.is_linear else None
+            if len(self._base) >= 64:
+                self._base.clear()
+            entry = (data, lu)
+            self._base[key] = entry
+        return entry
+
+    def off_for(self, dt, method):
+        key = (dt, method)
+        entry = self._off_base.get(key)
+        if entry is None:
+            base, _ = self.base_for(dt, method)
+            data = base.copy()
+            np.add.at(
+                data, self._d_slots,
+                self._d_signs * np.full(len(self.diodes), self.gmin
+                                        )[self._d_which],
+            )
+            self.pattern_reuses += 1
+            lu = self._factor(data)
+            if len(self._off_base) >= 64:
+                self._off_base.clear()
+            entry = (data, lu)
+            self._off_base[key] = entry
+        return entry
+
+    def step_bypass(self, dt, method, t):
+        _, lu = self.off_for(dt, method)
+        rhs = self.build_rhs(dt, method, t)
+        x_new = lu.solve(rhs + self._rhs_off)
+        self.pattern_reuses += 1
+        if not np.all(np.isfinite(x_new)):
+            return None
+        if bool((self._diode_vd(x_new) < self.d_vd_off).all()):
+            return x_new
+        return None
+
+    def step_linear(self, dt, method, t):
+        _, lu = self.base_for(dt, method)
+        rhs = self.build_rhs(dt, method, t)
+        self.pattern_reuses += 1
+        x = lu.solve(rhs)
+        if not np.all(np.isfinite(x)):
+            raise ConvergenceError(
+                f"singular MNA matrix in {self.circuit.title!r} "
+                f"(non-finite sparse solve)"
+            )
+        return x
+
+    def newton(
+        self,
+        x0,
+        dt,
+        method,
+        t,
+        max_newton=60,
+        damping_limit=2.0,
+        v_tol=1e-6,
+        v_reltol=0.0,
+        i_tol=1e-9,
+        i_reltol=1e-6,
+    ):
+        """Damped Newton with frozen-pattern assembly: identical damping
+        and acceptance rules to the dense strategy — only the linear
+        algebra differs (value scatter + SuperLU refactorization)."""
+        base, _ = self.base_for(dt, method)
+        rhs_base = self.build_rhs(dt, method, t)
+        data, rhs = self._data, self.rhs
+        x = np.array(x0, dtype=float, copy=True)
+        nn = self.n_nodes
+        for _ in range(max_newton):
+            self.newton_iters += 1
+            np.copyto(data, base)
+            np.copyto(rhs, rhs_base)
+            g, ieq = self._diode_g_ieq(x)
+            self._scatter_diodes(data, rhs, g, ieq)
+            self.pattern_reuses += 1
+            lu = self._factor(data)
+            x_new = lu.solve(rhs)
+            if not np.all(np.isfinite(x_new)):
+                raise ConvergenceError(
+                    f"singular MNA matrix in {self.circuit.title!r} "
+                    f"(non-finite sparse solve)"
+                )
+            dxa = np.abs(x_new - x)
+            dv = dxa[:nn].max(initial=0.0)
+            di = dxa[nn:].max(initial=0.0)
+            max_step = dv if dv >= di else di
+            if max_step > damping_limit:
+                scale = damping_limit / max_step
+                x = x + (x_new - x) * scale
+                dv *= scale
+                di *= scale
+            else:
+                x = x_new
+            if (dv < v_tol
+                    or (v_reltol
+                        and dv < v_tol
+                        + v_reltol * np.abs(x[:nn]).max(initial=0.0))):
+                if di < i_tol + i_reltol * np.abs(x[nn:]).max(initial=0.0):
+                    return x
+        raise ConvergenceError(
+            f"Newton failed to converge in {max_newton} iterations "
+            f"({self.circuit.title!r})"
+        )
+
+
+def _pick_matrix_mode(matrix, circuit):
+    """Resolve the ``matrix=`` front-door argument to a strategy name.
+
+    ``auto`` selects sparse only above the node-count threshold, with
+    dense forced for small systems (LAPACK on a tiny dense matrix beats
+    SuperLU's per-call overhead), for circuits whose nonlinear devices
+    are not all diodes, and when scipy is unavailable.
+    """
+    from repro.spice.assembler import (
+        MATRIX_MODES,
+        SPARSE_AVAILABLE,
+        SPARSE_AUTO_THRESHOLD,
+    )
+
+    if matrix not in MATRIX_MODES:
+        raise ValueError(
+            f"unknown matrix mode {matrix!r}; known modes: {MATRIX_MODES}"
+        )
+    if matrix != "auto":
+        return matrix
+    diode_only = all(
+        c.linear_stamps or isinstance(c, Diode) for c in circuit.components
+    )
+    if (SPARSE_AVAILABLE and diode_only
+            and circuit.n_unknowns >= SPARSE_AUTO_THRESHOLD):
+        return "sparse"
+    return "dense"
+
+
 def _lu_factor_checked(G):
     """LU-prefactor ``G``, returning None when it is (numerically)
     singular.  scipy's ``lu_factor`` does not raise on an exactly
@@ -420,8 +914,12 @@ def _diode_scatter_plan(diodes, n):
     P_g = np.zeros((n * n, nd))
     P_r = np.zeros((n, nd))
     for k in range(nd):
-        for row, col, sign in ((a[k], a[k], 1.0), (b[k], b[k], 1.0),
-                               (a[k], b[k], -1.0), (b[k], a[k], -1.0)):
+        for row, col, sign in (
+            (a[k], a[k], 1.0),
+            (b[k], b[k], 1.0),
+            (a[k], b[k], -1.0),
+            (b[k], a[k], -1.0),
+        ):
             if row >= 0 and col >= 0:
                 P_g[row * n + col, k] += sign
         if a[k] >= 0:
@@ -476,9 +974,23 @@ def _lte_trap(hist_t, hist_x, t_new, x_new, h):
     return np.abs(dd3) * (0.5 * h**3)
 
 
-def _adaptive_loop(circuit, system, x, t_start, t_stop, dt, max_newton,
-                   store_every, callback, atol, rtol, max_dt, min_dt,
-                   v_reltol):
+def _adaptive_loop(
+    circuit,
+    system,
+    x,
+    t_start,
+    t_stop,
+    dt,
+    max_newton,
+    store_every,
+    callback,
+    atol,
+    rtol,
+    max_dt,
+    min_dt,
+    v_reltol,
+    stats=None,
+):
     """The adaptive-backend time loop (see the module docstring).
 
     The lockstep family loop in :func:`repro.spice.batch.transient_batch`
@@ -521,9 +1033,14 @@ def _adaptive_loop(circuit, system, x, t_start, t_stop, dt, max_newton,
                             step / (hist_t[-1] - hist_t[-2]))
                     else:
                         guess = x
-                    x_new = system.newton(guess, step, method, t_next,
-                                          max_newton=max_newton,
-                                          v_reltol=v_reltol)
+                    x_new = system.newton(
+                        guess,
+                        step,
+                        method,
+                        t_next,
+                        max_newton=max_newton,
+                        v_reltol=v_reltol,
+                    )
                     system.note_off_state(x_new)
         except ConvergenceError:
             if h / 2.0 < min_dt:
@@ -545,8 +1062,7 @@ def _adaptive_loop(circuit, system, x, t_start, t_stop, dt, max_newton,
             # further 2x safety margin so the next step is not an
             # immediate rejection.
             grow = ratio < 1.0 / 16.0
-        for comp in circuit.components:
-            comp.update_state(x_new, system.states, step, method)
+        system.update_states(x_new, step, method)
         first_step = False
         x = x_new
         t = t_next
@@ -563,6 +1079,11 @@ def _adaptive_loop(circuit, system, x, t_start, t_stop, dt, max_newton,
             callback(t, x)
         if grow:
             h = min(h * 2.0, max_dt)
+    if stats is not None:
+        stats["accepted_steps"] = accepted
+        stats["newton_iters"] = system.newton_iters
+        stats["factorizations"] = system.factorizations
+        stats["pattern_reuses"] = system.pattern_reuses
     return TransientResult(circuit, times, solutions)
 
 
@@ -582,6 +1103,8 @@ def transient(
     max_dt=None,
     min_dt=None,
     v_reltol=None,
+    matrix="auto",
+    stats_out=None,
 ):
     """Run a transient analysis.
 
@@ -612,16 +1135,35 @@ def transient(
         acceptance test (``|dV| < 1e-6 + v_reltol*|V|max``, the classic
         SPICE RELTOL; default :data:`ADAPTIVE_V_RELTOL`).  The fixed
         reference path always converges to the absolute 1e-6.
+    matrix : ``"auto"``, ``"dense"`` or ``"sparse"`` — the adaptive
+        backend's linear-algebra strategy.  ``"sparse"`` assembles on a
+        frozen CSR pattern and factorizes with SuperLU (see
+        :mod:`repro.spice.assembler`); ``"auto"`` picks it above
+        :data:`~repro.spice.assembler.SPARSE_AUTO_THRESHOLD` unknowns
+        and keeps small systems dense.  The strategies agree to solver
+        rounding (the equivalence tests pin them); the fixed-step
+        methods are the dense parity reference and reject
+        ``matrix="sparse"``.
+    stats_out : optional dict — adaptive only; filled with the run's
+        solver counters (``accepted_steps``, ``newton_iters``,
+        ``factorizations``, ``pattern_reuses``).
     """
     if method not in METHODS:
-        raise ValueError(f"unknown integration method {method!r}; "
-                         f"known methods: {METHODS}")
+        raise ValueError(
+            f"unknown integration method {method!r}; " f"known methods: {METHODS}"
+        )
     if dt <= 0 or t_stop <= t_start:
         raise ValueError("need dt > 0 and t_stop > t_start")
     if int(store_every) < 1:
         raise ValueError("store_every must be >= 1")
     store_every = int(store_every)
     circuit.build()
+    mode = _pick_matrix_mode(matrix, circuit)
+    if mode == "sparse" and method != "adaptive":
+        raise ValueError(
+            "matrix='sparse' applies to the adaptive backend; the "
+            "fixed-step methods are the dense parity reference"
+        )
     gmin = 1e-12
 
     if x0 is not None:
@@ -653,17 +1195,22 @@ def transient(
             for comp in circuit.components:
                 comp.stamp_tran(G, rhs, xg, states, dt_micro, "be", t_start, g)
 
-        x = _newton_solve(circuit, x, warm_stamp, gmin, max_iter=max_newton,
-                          damping_limit=5.0)
+        x = _newton_solve(
+            circuit, x, warm_stamp, gmin, max_iter=max_newton, damping_limit=5.0
+        )
 
     if method == "adaptive":
-        system = _TransientSystem(circuit, states, gmin)
+        if mode == "sparse":
+            system = _SparseTransientSystem(circuit, states, gmin)
+        else:
+            system = _TransientSystem(circuit, states, gmin)
         return _adaptive_loop(
             circuit, system, x, t_start, t_stop, dt, max_newton,
             store_every, callback, float(atol), float(rtol),
             dt * 256.0 if max_dt is None else float(max_dt),
             dt / 1024.0 if min_dt is None else float(min_dt),
             ADAPTIVE_V_RELTOL if v_reltol is None else float(v_reltol),
+            stats=stats_out,
         )
 
     times = [t_start]

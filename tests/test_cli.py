@@ -267,10 +267,54 @@ class TestServeParser:
         assert "unknown spice axis" in err
 
     def test_spice_sweep_bad_template_is_exit_2(self, capsys):
+        from repro.engine.scenario import SPICE_TEMPLATES
+
         assert main(["sweep", "--study", "spice",
                      "--axis", "template=bogus"]) == 2
         err = capsys.readouterr().err
+        # The typed axis error must name the axis, echo the bad value,
+        # and enumerate every known template so the fix is self-evident.
         assert "template" in err
+        assert "bogus" in err
+        for name in SPICE_TEMPLATES:
+            assert name in err
+
+    def test_spice_sweep_matrix_modes(self, capsys):
+        for mode in ("dense", "sparse"):
+            assert main(["sweep", "--study", "spice",
+                         "--axis", "amplitude=1.4",
+                         "--spice-t-stop-us", "1",
+                         "--spice-matrix", mode]) == 0
+            assert capsys.readouterr().out
+
+    def test_spice_sweep_sparse_fixed_step_is_exit_2(self, capsys):
+        assert main(["sweep", "--study", "spice",
+                     "--axis", "amplitude=1.4",
+                     "--spice-method", "trap",
+                     "--spice-matrix", "sparse"]) == 2
+        assert "adaptive" in capsys.readouterr().err
+
+    def test_spice_sweep_matrix_json_params_and_shared_cache(
+            self, capsys, tmp_path):
+        # Solver strategy is recorded in the study params but excluded
+        # from cell keys: a dense-cold / sparse-warm pair shares the
+        # cache fully.
+        import json
+
+        base = ["sweep", "--study", "spice",
+                "--axis", "amplitude=1.25,1.75",
+                "--spice-t-stop-us", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--format", "json"]
+        assert main(base + ["--spice-matrix", "dense"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["study"]["params"]["matrix"] == "dense"
+        assert cold["stats"]["n_computed"] == 2
+        assert main(base + ["--spice-matrix", "sparse"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["study"]["params"]["matrix"] == "sparse"
+        assert warm["stats"]["n_cached"] == 2
+        assert warm["study"]["cell_keys"] == cold["study"]["cell_keys"]
 
     def test_spice_sweep_nonpositive_timing_is_exit_2(self, capsys):
         assert main(["sweep", "--study", "spice",

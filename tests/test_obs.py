@@ -275,9 +275,31 @@ class TestOrchestratorIntegration:
         assert sum(doc["cells"] for doc in solves) == len(batch)
         assert all(doc["accepted_steps"] > 0 for doc in solves)
         assert all(doc["newton_iters"] > 0 for doc in solves)
+        # Schema v2: every solve event carries the linear-solver
+        # counters; factorizations happen on any strategy, reuses only
+        # on the sparse one (this tiny family stays dense under auto).
+        assert all(doc["factorizations"] > 0 for doc in solves)
+        assert all(doc["pattern_reuses"] >= 0 for doc in solves)
         summary = summarize_events(recorder.events())
         assert summary["solver"]["cells"] == len(batch)
         assert summary["solver"]["newton_iters"] > 0
+        assert summary["solver"]["factorizations"] > 0
+        assert "pattern_reuses" in summary["solver"]
+
+    def test_spice_sparse_run_counts_pattern_reuses(self, tmp_path):
+        from repro.engine import SpiceBatch
+
+        recorder = MetricsRecorder()
+        orchestrator = SweepOrchestrator(recorder=recorder)
+        batch = SpiceBatch.from_axes(i_load=[352e-6, 800e-6])
+        orchestrator.run_spice(batch, t_stop=1e-6, dt=1.0 / (5e6 * 100),
+                               matrix="sparse")
+        recorder.close()
+
+        solves = [doc for doc in recorder.events() if doc["event"] == "solve"]
+        assert solves
+        assert all(doc["pattern_reuses"] > 0 for doc in solves)
+        assert all(doc["factorizations"] > 0 for doc in solves)
 
 
 class TestServiceMetrics:

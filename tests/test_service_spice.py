@@ -25,7 +25,37 @@ class TestSpiceRequestValidation:
         req = SimRequest(kind="spice", axes=AXES, t_stop=T_STOP, dt=DT)
         assert req.n_cells == 2
         assert req.method == "adaptive"
-        assert req.group_key() == ("spice", T_STOP, DT, "adaptive")
+        assert req.matrix == "auto"
+        assert req.group_key() == ("spice", T_STOP, DT, "adaptive", "auto")
+
+    def test_matrix_mode_validated_and_grouped(self):
+        req = SimRequest(kind="spice", axes=AXES, t_stop=T_STOP, dt=DT,
+                         matrix="sparse")
+        assert req.group_key()[-1] == "sparse"
+        assert req.as_payload()["matrix"] == "sparse"
+        # Round trip through the JSON payload keeps the mode.
+        assert SimRequest.from_payload(req.as_payload()).matrix == "sparse"
+        with pytest.raises(SimRequestError, match="matrix"):
+            SimRequest(kind="spice", axes=AXES, t_stop=T_STOP, dt=DT,
+                       matrix="banded")
+        with pytest.raises(SimRequestError, match="dense parity"):
+            SimRequest(kind="spice", axes=AXES, t_stop=T_STOP, dt=DT,
+                       method="trap", matrix="sparse")
+        # matrix applies to spice requests only.
+        with pytest.raises(SimRequestError, match="do not apply"):
+            SimRequest.from_payload(
+                {"kind": "sweep", "axes": {"distance": [1e-2]},
+                 "matrix": "sparse"})
+
+    def test_matrix_mode_not_in_cell_keys(self):
+        # Solver strategy is an execution detail: the content address
+        # of every cell must be identical across modes, so switching
+        # solvers replays the cache instead of recomputing.
+        dense = SimRequest(kind="spice", axes=AXES, t_stop=T_STOP, dt=DT,
+                           matrix="dense")
+        sparse = SimRequest(kind="spice", axes=AXES, t_stop=T_STOP, dt=DT,
+                            matrix="sparse")
+        assert dense.cell_keys(None, None) == sparse.cell_keys(None, None)
 
     def test_unknown_method_rejected(self):
         with pytest.raises(SimRequestError, match="method"):

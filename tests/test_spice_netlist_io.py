@@ -158,3 +158,107 @@ class TestWriter:
     def test_written_text_ends_with_end(self):
         assert write_netlist(parse_netlist(DIVIDER)).strip().endswith(
             ".end")
+
+    def test_write_parse_roundtrip_every_component_type(self):
+        """A programmatically built circuit holding one of EVERY
+        serializable component type survives write -> parse with its
+        element values and parameters intact (not just its DC answer)."""
+        from repro.spice import Circuit
+        from repro.spice import components as comps
+
+        ckt = Circuit("every kind")
+        ckt.add_vsource("V1", "in", "0", 3.0)
+        ckt.add_isource("I1", "0", "a", 1e-3)
+        ckt.add_resistor("R1", "in", "a", 1e3)
+        ckt.add_capacitor("C1", "a", "0", 10e-9, ic=0.5)
+        ckt.add_capacitor("C2", "a", "0", 4.7e-9)  # no IC
+        ckt.add_inductor("L1", "a", "b", 1e-6, ic=2e-3)
+        ckt.add_inductor("L2", "c", "0", 4e-6, ic=0.0)
+        ckt.add_coupling("K1", "L1", "L2", 0.3)
+        ckt.add_resistor("R2", "b", "0", 50.0)
+        ckt.add_resistor("R3", "c", "0", 50.0)
+        ckt.add_diode("D1", "a", "d", i_s=1e-13, n=1.1)
+        ckt.add_resistor("R4", "d", "0", 1e3)
+        ckt.add_mosfet("M1", "e", "g", "0", polarity="p", vto=0.4,
+                       kp=150e-6, w=5e-6, l=1e-6, lam=0.02)
+        ckt.add_resistor("R5", "in", "e", 10e3)
+        ckt.add_vsource("V2", "g", "0", 1.0)
+        ckt.add_switch("S1", "f", "0", "g", "0", v_threshold=0.6,
+                       r_on=2.0, r_off=1e7)
+        ckt.add_resistor("R6", "in", "f", 1e3)
+        ckt.add_vcvs("E1", "h", "0", "a", "0", 2.0)
+        ckt.add_resistor("R7", "h", "0", 1e3)
+        ckt.add_vccs("G1", "i", "0", "a", "0", 2e-3)
+        ckt.add_resistor("R8", "i", "0", 1e3)
+
+        again = parse_netlist(write_netlist(ckt))
+        assert len(again.components) == len(ckt.components)
+        # The parser defers K cards until all inductors exist, so match
+        # by name rather than position.
+        for orig in ckt.components:
+            back = again[orig.name]
+            assert type(back) is type(orig)
+            assert back.node_names == orig.node_names
+        assert again["R1"].resistance == 1e3
+        assert again["C1"].capacitance == pytest.approx(10e-9)
+        assert again["C1"].ic == 0.5
+        assert again["C2"].ic is None
+        assert again["L1"].inductance == pytest.approx(1e-6)
+        assert again["L1"].ic == pytest.approx(2e-3)
+        coupling = again["K1"]
+        assert coupling.k == pytest.approx(0.3)
+        assert {coupling.l1.name, coupling.l2.name} == {"L1", "L2"}
+        assert again["V1"].source.dc_value == 3.0
+        assert again["I1"].source.dc_value == pytest.approx(1e-3)
+        assert again["D1"].i_s == pytest.approx(1e-13)
+        assert again["D1"].n == pytest.approx(1.1)
+        mos = again["M1"]
+        assert (mos.polarity, mos.vto, mos.kp) == ("p", 0.4,
+                                                   pytest.approx(150e-6))
+        assert (mos.w, mos.l, mos.lam) == (pytest.approx(5e-6),
+                                           pytest.approx(1e-6), 0.02)
+        sw = again["S1"]
+        assert (sw.v_threshold, sw.r_on, sw.r_off) == (0.6, 2.0, 1e7)
+        assert again["E1"].gain == 2.0
+        assert again["G1"].gm == pytest.approx(2e-3)
+        # And the electrical answer survives too.
+        op1 = dc_operating_point(ckt)
+        op2 = dc_operating_point(again)
+        for node in ckt.node_names():
+            assert op2.voltage(node) == pytest.approx(
+                op1.voltage(node), abs=1e-9)
+
+    def test_unserializable_component_is_typed_error(self):
+        from repro.spice import Circuit
+        from repro.spice.components import Component
+
+        class Gyrator(Component):
+            pass
+
+        ckt = Circuit("custom")
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        ckt.components.append(Gyrator("X1", ["a", "0"]))
+        with pytest.raises(NetlistError, match="Gyrator"):
+            write_netlist(ckt)
+
+
+class TestTypedErrorPaths:
+    def test_source_card_missing_value(self):
+        with pytest.raises(NetlistError, match="missing a value"):
+            parse_netlist("t\nV1 in 0\n")
+
+    def test_sin_arity_error_names_signature(self):
+        with pytest.raises(NetlistError, match=r"SIN needs"):
+            parse_netlist("t\nV1 in 0 SIN(0 1)\n")
+
+    def test_pulse_arity_error_names_signature(self):
+        with pytest.raises(NetlistError, match=r"PULSE needs"):
+            parse_netlist("t\nV1 in 0 PULSE(0 1 0)\n")
+
+    def test_short_card_is_netlist_error_not_index_error(self):
+        with pytest.raises(NetlistError, match="bad card"):
+            parse_netlist("t\nR1 in\n")
+
+    def test_nonnumeric_value_is_netlist_error(self):
+        with pytest.raises(NetlistError, match="bad card"):
+            parse_netlist("t\nR1 in 0 lots\n")

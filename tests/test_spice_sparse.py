@@ -1,0 +1,457 @@
+"""Sparse MNA core: COO recording, frozen patterns, the shared-pattern
+family LU, and dense/sparse strategy equivalence on every study family.
+
+The equivalence contract (the acceptance property of the sparse
+strategy): identical assembled matrices, identical accepted time grids,
+and solutions agreeing to 1e-12 — the strategies differ only in solver
+round-off (LAPACK vs SuperLU), never in step control or stamping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.scenario import SPICE_TEMPLATES, SpiceScenario
+from repro.spice import Circuit, sine, transient, transient_batch
+from repro.spice.assembler import (
+    MATRIX_MODES,
+    SPARSE_AUTO_THRESHOLD,
+    COORecorder,
+    PivotBreakdownError,
+    SharedPatternLU,
+    SparsePattern,
+    pattern_from_circuit,
+    splu_factor,
+)
+from repro.spice.components import Capacitor
+
+EQ_TOL = 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Circuit builders
+# ---------------------------------------------------------------------------
+def rc_ladder(sections=8, r=1e3, c=1e-9, diode_taps=False):
+    """RC ladder driven by a sine; ``diode_taps`` adds a rectifying
+    diode per section so the circuit exercises the Newton path."""
+    ckt = Circuit(f"ladder{sections}")
+    ckt.add_vsource("V1", "n0", "0", sine(1.0, 1e6))
+    for k in range(sections):
+        ckt.add_resistor(f"R{k}", f"n{k}", f"n{k + 1}", r)
+        ckt.add_capacitor(f"C{k}", f"n{k + 1}", "0", c, ic=0.0)
+        if diode_taps:
+            ckt.add_diode(f"D{k}", f"n{k + 1}", "vo")
+    if diode_taps:
+        ckt.add_capacitor("Co", "vo", "0", 10e-9, ic=0.0)
+        ckt.add_resistor("RL", "vo", "0", 10e3)
+    return ckt
+
+
+def rlc_circuit():
+    ckt = Circuit("rlc")
+    ckt.add_vsource("V1", "in", "0", sine(1.0, 1e6))
+    ckt.add_resistor("R1", "in", "mid", 50.0)
+    ckt.add_inductor("L1", "mid", "out", 10e-6, ic=0.0)
+    ckt.add_capacitor("C1", "out", "0", 2.5e-9, ic=0.0)
+    return ckt
+
+
+def clamp_circuit():
+    ckt = Circuit("clamp")
+    ckt.add_vsource("V1", "in", "0", sine(5.0, 1e6))
+    ckt.add_resistor("R1", "in", "out", 1e3)
+    ckt.add_diode("D1", "out", "m1")
+    ckt.add_diode("D2", "m1", "m2")
+    ckt.add_diode("D3", "m2", "0")
+    ckt.add_capacitor("C1", "out", "0", 1e-9, ic=0.0)
+    return ckt
+
+
+def mosfet_circuit():
+    ckt = Circuit("nmos")
+    ckt.add_vsource("VDD", "vdd", "0", 3.0)
+    ckt.add_vsource("VG", "g", "0", sine(1.5, 1e6, offset=1.5))
+    ckt.add_resistor("RD", "vdd", "d", 10e3)
+    ckt.add_mosfet("M1", "d", "g", "0")
+    return ckt
+
+
+def regression_circuits():
+    """(label, circuit builder, output node) for the non-template
+    regression circuits of the equivalence suite."""
+    return [
+        ("rlc", rlc_circuit, "out"),
+        ("clamp", clamp_circuit, "out"),
+        ("ladder", lambda: rc_ladder(12, diode_taps=True), "vo"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# COO recording
+# ---------------------------------------------------------------------------
+class TestCOORecorder:
+    def test_reads_zero_and_records_increments(self):
+        rec = COORecorder()
+        assert rec[3, 4] == 0.0
+        rec[0, 1] = 2.5
+        rec[2, 2] = -1.0
+        rows, cols, vals = rec.triplets()
+        assert rows.tolist() == [0, 2]
+        assert cols.tolist() == [1, 2]
+        assert vals.tolist() == [2.5, -1.0]
+
+    def test_ground_slots_dropped(self):
+        rec = COORecorder()
+        rec[-1, 0] = 1.0
+        rec[0, -1] = 1.0
+        rec[1, 1] = 3.0
+        rows, cols, vals = rec.triplets()
+        assert rows.tolist() == [1]
+        assert vals.tolist() == [3.0]
+
+    def test_duplicates_kept_for_in_order_summation(self):
+        rec = COORecorder()
+        rec[0, 0] = 1.0
+        rec[0, 0] = 2.0
+        rows, _cols, vals = rec.triplets()
+        assert rows.tolist() == [0, 0]
+        assert vals.tolist() == [1.0, 2.0]
+
+
+# ---------------------------------------------------------------------------
+# Frozen patterns
+# ---------------------------------------------------------------------------
+class TestSparsePattern:
+    def test_union_deduplicates_positions(self):
+        patt = SparsePattern(3, [0, 0, 1, 2], [0, 0, 1, 2])
+        assert patt.nnz == 3
+        assert patt.n == 3
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            SparsePattern(3, [], [])
+
+    def test_plan_accumulate_matches_dense_addition(self):
+        rows = [0, 1, 1, 2, 0]
+        cols = [0, 1, 1, 2, 2]
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        patt = SparsePattern(3, rows, cols)
+        plan = patt.plan(rows, cols)
+        data = patt.accumulate(plan, vals)
+        dense = np.zeros((3, 3))
+        for i, j, v in zip(rows, cols, vals):
+            dense[i, j] += v
+        assert np.array_equal(patt.densify(data), dense)
+
+    def test_plan_outside_pattern_is_typed_error(self):
+        patt = SparsePattern(3, [0, 1], [0, 1])
+        with pytest.raises(ValueError, match="outside the frozen"):
+            patt.plan([2], [0])
+
+    def test_csc_view_round_trips(self):
+        rows = [0, 1, 2, 0]
+        cols = [0, 1, 2, 2]
+        patt = SparsePattern(3, rows, cols)
+        data = patt.accumulate(patt.plan(rows, cols),
+                               np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.array_equal(patt.csc(data).toarray(), patt.densify(data))
+        # The CSC workspace is reused: the second call must overwrite
+        # in place, not allocate.
+        first = patt.csc(data)
+        second = patt.csc(data * 2.0)
+        assert first is second
+
+    def test_pattern_from_circuit_matches_dense_stamps(self):
+        ckt = rc_ladder(6)
+        ckt.build()
+        patt = pattern_from_circuit(ckt)
+        n = ckt.n_unknowns
+        dense = np.zeros((n, n))
+        data = np.zeros(patt.nnz)
+        for comp in ckt.components:
+            comp.stamp_tran_matrix(dense, 1e-9, "be")
+            r, c, v = comp.sparse_stamps(1e-9, "be")
+            patt.accumulate(patt.plan(r, c), v, out=data)
+        # Same component order, same per-position addition order: the
+        # assembled values are bitwise identical, not just close.
+        assert np.array_equal(patt.densify(data), dense)
+
+
+# ---------------------------------------------------------------------------
+# Shared-pattern family LU
+# ---------------------------------------------------------------------------
+class TestSharedPatternLU:
+    def _family_data(self, n_cells=4, sections=6, seed=0):
+        ckt = rc_ladder(sections)
+        ckt.build()
+        patt = pattern_from_circuit(ckt)
+        rng = np.random.default_rng(seed)
+        data = np.empty((n_cells, patt.nnz))
+        for i in range(n_cells):
+            d = np.zeros(patt.nnz)
+            for comp in ckt.components:
+                r, c, v = comp.sparse_stamps(1e-9 * (1 + i), "be")
+                patt.accumulate(patt.plan(r, c), v, out=d)
+            # Value jitter keeps cells distinct without moving positions.
+            data[i] = d * (1.0 + 0.1 * rng.random(patt.nnz))
+        return patt, data
+
+    def test_factor_solve_matches_dense_reference(self):
+        patt, data = self._family_data()
+        lu = SharedPatternLU(patt, data[0])
+        work = lu.factor(data)
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal((data.shape[0], patt.n))
+        x = lu.solve(work, b)
+        for i in range(data.shape[0]):
+            ref = np.linalg.solve(patt.densify(data[i]), b[i])
+            assert np.max(np.abs(x[i] - ref)) < 1e-9
+
+    def test_every_cell_walks_the_representative_pattern(self):
+        patt, data = self._family_data(n_cells=3)
+        lu = SharedPatternLU(patt, data[0])
+        # Factoring any subset works against the one symbolic analysis.
+        w1 = lu.factor(data[1:2])
+        w2 = lu.factor(data)
+        assert np.array_equal(w1[0], w2[1])
+
+    def test_singular_representative_is_runtime_error(self):
+        patt = SparsePattern(2, [0, 0, 1, 1], [0, 1, 0, 1])
+        singular = patt.accumulate(
+            patt.plan([0, 0, 1, 1], [0, 1, 0, 1]),
+            np.array([1.0, 2.0, 2.0, 4.0]))
+        with pytest.raises(RuntimeError):
+            SharedPatternLU(patt, singular)
+
+    def test_pivot_breakdown_raises_typed_error(self):
+        patt = SparsePattern(2, [0, 0, 1, 1], [0, 1, 0, 1])
+        pos = patt.plan([0, 0, 1, 1], [0, 1, 0, 1])
+        good = patt.accumulate(pos, np.array([4.0, 1.0, 1.0, 3.0]))
+        bad = patt.accumulate(pos, np.array([4.0, 2.0, 2.0, 1.0]))
+        lu = SharedPatternLU(patt, good)
+        # The second cell is singular under the static order: factor()
+        # must flag it instead of returning Inf/NaN factors.
+        with pytest.raises(PivotBreakdownError, match="pivot"):
+            lu.factor(np.stack([good, bad]))
+
+    def test_splu_factor_solves_on_frozen_pattern(self):
+        patt, data = self._family_data(n_cells=1)
+        lu = splu_factor(patt, data[0])
+        b = np.arange(1.0, patt.n + 1.0)
+        ref = np.linalg.solve(patt.densify(data[0]), b)
+        assert np.max(np.abs(lu.solve(b) - ref)) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Strategy selection
+# ---------------------------------------------------------------------------
+class TestMatrixModeSelection:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="matrix mode"):
+            transient(rlc_circuit(), 1e-6, 1e-9, method="adaptive",
+                      use_ic=True, matrix="banded")
+        with pytest.raises(ValueError, match="matrix mode"):
+            transient_batch([rlc_circuit()], 1e-6, 1e-9, matrix="banded")
+
+    @pytest.mark.parametrize("method", ["trap", "be"])
+    def test_sparse_rejected_on_fixed_step_reference(self, method):
+        with pytest.raises(ValueError, match="dense parity reference"):
+            transient(rlc_circuit(), 1e-6, 1e-9, method=method,
+                      use_ic=True, matrix="sparse")
+        with pytest.raises(ValueError, match="dense parity reference"):
+            transient_batch([rlc_circuit()], 1e-6, 1e-9, method=method,
+                            matrix="sparse")
+
+    def test_auto_keeps_small_circuits_dense(self):
+        stats = {}
+        transient(clamp_circuit(), 0.5e-6, 1e-9, method="adaptive",
+                  use_ic=True, matrix="auto", stats_out=stats)
+        assert stats["factorizations"] > 0
+        assert stats["pattern_reuses"] == 0
+
+    def test_auto_picks_sparse_above_threshold(self):
+        sections = SPARSE_AUTO_THRESHOLD + 8
+        stats = {}
+        transient(rc_ladder(sections), 0.2e-6, 1e-9, method="adaptive",
+                  use_ic=True, matrix="auto", stats_out=stats)
+        assert stats["pattern_reuses"] > 0
+
+    def test_auto_keeps_non_diode_nonlinearity_dense(self):
+        stats = {}
+        transient(mosfet_circuit(), 0.2e-6, 1e-9, method="adaptive",
+                  use_ic=True, matrix="auto", stats_out=stats)
+        assert stats["pattern_reuses"] == 0
+
+    def test_forced_sparse_rejects_non_diode_nonlinearity(self):
+        with pytest.raises(ValueError, match="other than diodes"):
+            transient(mosfet_circuit(), 0.2e-6, 1e-9, method="adaptive",
+                      use_ic=True, matrix="sparse")
+        with pytest.raises(ValueError, match="other than diodes"):
+            transient_batch([mosfet_circuit()], 0.2e-6, 1e-9,
+                            matrix="sparse")
+
+    def test_mode_tuple_is_closed(self):
+        assert MATRIX_MODES == ("auto", "dense", "sparse")
+
+
+# ---------------------------------------------------------------------------
+# Dense/sparse equivalence (single-circuit strategy objects)
+# ---------------------------------------------------------------------------
+class TestDenseSparseEquivalence:
+    """Satellite contract: same matrices, same accepted grids, solutions
+    to 1e-12 — on every netlist-template family and the regression
+    circuits."""
+
+    @staticmethod
+    def _run_pair(build, t_stop=1e-6, dt=2e-9):
+        dense = transient(build(), t_stop, dt, method="adaptive",
+                          use_ic=True, matrix="dense")
+        sparse = transient(build(), t_stop, dt, method="adaptive",
+                           use_ic=True, matrix="sparse")
+        return dense, sparse
+
+    @pytest.mark.parametrize("template", sorted(SPICE_TEMPLATES))
+    def test_templates_agree(self, template):
+        def build():
+            circuit, _node = SpiceScenario(template=template).build()
+            return circuit
+
+        dense, sparse = self._run_pair(build)
+        assert np.array_equal(dense.t, sparse.t), "accepted grids differ"
+        assert np.max(np.abs(dense.x - sparse.x)) <= EQ_TOL
+
+    @pytest.mark.parametrize(
+        "label,build,node",
+        regression_circuits(),
+        ids=[r[0] for r in regression_circuits()])
+    def test_regression_circuits_agree(self, label, build, node):
+        dense, sparse = self._run_pair(build)
+        assert np.array_equal(dense.t, sparse.t), "accepted grids differ"
+        assert np.max(np.abs(dense.x - sparse.x)) <= EQ_TOL
+        assert np.max(np.abs(dense.voltage(node).v
+                             - sparse.voltage(node).v)) <= EQ_TOL
+
+    @pytest.mark.parametrize("template", sorted(SPICE_TEMPLATES))
+    def test_assembled_matrices_bitwise_identical(self, template):
+        """The linear base matrix assembled on the frozen pattern is
+        bitwise the dense stamped matrix (accumulation order matches
+        the dense += order exactly)."""
+        circuit, _node = SpiceScenario(template=template).build()
+        circuit.build()
+        n = circuit.n_unknowns
+        for dt, method in ((2e-9, "trap"), (1e-9, "be")):
+            dense = np.zeros((n, n))
+            patt = pattern_from_circuit(circuit)
+            data = np.zeros(patt.nnz)
+            for comp in circuit.components:
+                if not comp.linear_stamps:
+                    continue
+                comp.stamp_tran_matrix(dense, dt, method)
+                r, c, v = comp.sparse_stamps(dt, method)
+                patt.accumulate(patt.plan(r, c), v, out=data)
+            assert np.array_equal(patt.densify(data), dense)
+
+    def test_sparse_stats_report_reuse(self):
+        stats = {}
+        transient(rc_ladder(12, diode_taps=True), 0.5e-6, 1e-9,
+                  method="adaptive", use_ic=True, matrix="sparse",
+                  stats_out=stats)
+        assert stats["accepted_steps"] > 0
+        assert stats["factorizations"] > 0
+        assert stats["pattern_reuses"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Hoisted step kernels keep overridden hooks on the scalar path
+# ---------------------------------------------------------------------------
+class TestHoistedKernelResidualPath:
+    def test_subclassed_component_keeps_scalar_hooks(self):
+        calls = {"update": 0, "rhs": 0}
+
+        class InstrumentedCapacitor(Capacitor):
+            def update_state(self, x, states, dt, method):
+                calls["update"] += 1
+                super().update_state(x, states, dt, method)
+
+            def stamp_tran_rhs(self, rhs, states, dt, method, t):
+                calls["rhs"] += 1
+                super().stamp_tran_rhs(rhs, states, dt, method, t)
+
+        def build():
+            ckt = rc_ladder(10, diode_taps=True)
+            cap = ckt["C3"]
+            sub = InstrumentedCapacitor(
+                "C3", cap.node_names[0], cap.node_names[1],
+                cap.capacitance, ic=0.0)
+            ckt.components[ckt.components.index(cap)] = sub
+            return ckt
+
+        dense = transient(build(), 0.5e-6, 2e-9, method="adaptive",
+                          use_ic=True, matrix="dense")
+        calls["update"] = calls["rhs"] = 0
+        sparse = transient(build(), 0.5e-6, 2e-9, method="adaptive",
+                           use_ic=True, matrix="sparse")
+        # The override ran on the sparse path (not bypassed by the
+        # hoisted kernels), and the answers still agree.
+        assert calls["update"] > 0
+        assert calls["rhs"] > 0
+        assert np.array_equal(dense.t, sparse.t)
+        assert np.max(np.abs(dense.x - sparse.x)) <= EQ_TOL
+
+
+# ---------------------------------------------------------------------------
+# Lockstep families on the block-shared sparse kernel
+# ---------------------------------------------------------------------------
+class TestBatchSparse:
+    @staticmethod
+    def _rectifiers(n=4):
+        from repro.power import build_rectifier_circuit
+
+        return [build_rectifier_circuit(v_in_amplitude=1.2 + 0.2 * i)
+                for i in range(n)]
+
+    def test_family_matches_dense_batch(self):
+        t_stop, dt = 1e-6, 2e-9
+        dense = transient_batch(self._rectifiers(), t_stop, dt,
+                                use_ic=True, matrix="dense")
+        sparse = transient_batch(self._rectifiers(), t_stop, dt,
+                                 use_ic=True, matrix="sparse")
+        assert np.array_equal(dense.t, sparse.t), "accepted grids differ"
+        # The family kernel accumulates N cells of solver round-off on
+        # a shared grid; one decade of headroom over the single-circuit
+        # 1e-12 contract keeps the bound meaningful without flaking.
+        assert np.max(np.abs(dense.x - sparse.x)) <= 1e-11
+        assert dense.stats["newton_iters"] == sparse.stats["newton_iters"]
+
+    def test_counters_distinguish_strategies(self):
+        t_stop, dt = 0.5e-6, 2e-9
+        dense = transient_batch(self._rectifiers(), t_stop, dt,
+                                use_ic=True, matrix="dense")
+        sparse = transient_batch(self._rectifiers(), t_stop, dt,
+                                 use_ic=True, matrix="sparse")
+        assert dense.stats["pattern_reuses"] == 0
+        assert dense.stats["factorizations"] > 0
+        assert sparse.stats["pattern_reuses"] > 0
+        assert sparse.stats["factorizations"] > 0
+
+    def test_auto_keeps_small_families_dense(self):
+        fam = transient_batch(self._rectifiers(2), 0.25e-6, 2e-9,
+                              use_ic=True, matrix="auto")
+        assert fam.stats["pattern_reuses"] == 0
+
+    def test_auto_picks_sparse_for_large_cells(self):
+        circuits = [rc_ladder(SPARSE_AUTO_THRESHOLD + 8, diode_taps=True)
+                    for _ in range(2)]
+        fam = transient_batch(circuits, 0.1e-6, 1e-9, use_ic=True,
+                              matrix="auto")
+        assert fam.stats["pattern_reuses"] > 0
+
+    def test_linear_family_sparse_parity(self):
+        def ladders():
+            return [rc_ladder(8, r=500.0 * (1 + i)) for i in range(3)]
+
+        dense = transient_batch(ladders(), 1e-6, 2e-9, use_ic=True,
+                                matrix="dense")
+        sparse = transient_batch(ladders(), 1e-6, 2e-9, use_ic=True,
+                                 matrix="sparse")
+        assert np.array_equal(dense.t, sparse.t)
+        assert np.max(np.abs(dense.x - sparse.x)) <= EQ_TOL
