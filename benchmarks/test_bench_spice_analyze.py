@@ -1,0 +1,89 @@
+"""Ungated bench: the static analyzer's pre-flight overhead.
+
+The analyzer runs by default (``check="error"``) in front of every
+solve, so its cost must be negligible against the work it fronts.
+This bench times ``analyze_circuit`` on the same 256-section
+distributed-rectifier ladder the sparse bench uses (259 MNA unknowns,
+including the structural-rank bipartite matching on the full CSR
+pattern) and asserts it stays under 5% of one pinned-grid adaptive
+solve.  Not in ``BENCH_baseline.json``: the bound is asserted inline.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import report
+from repro.spice import Circuit, analyze_circuit, sine, transient
+
+SECTIONS = 256
+R_SECTION = 5.0
+C_SECTION = 20e-12
+C_OUT = 100e-9
+R_LOAD = 10e3
+FREQ = 5e6
+DT = 2e-9
+T_STOP = 0.4e-6
+
+#: Pre-flight budget, as a fraction of one adaptive solve.
+MAX_OVERHEAD = 0.05
+
+
+def build_ladder():
+    ckt = Circuit(f"ladder{SECTIONS}")
+    ckt.add_vsource("V1", "n0", "0", sine(2.0, FREQ))
+    for k in range(SECTIONS):
+        ckt.add_resistor(f"R{k}", f"n{k}", f"n{k + 1}", R_SECTION)
+        ckt.add_capacitor(f"C{k}", f"n{k + 1}", "0", C_SECTION, ic=0.0)
+        ckt.add_diode(f"D{k}", f"n{k + 1}", "vo")
+    ckt.add_capacitor("Co", "vo", "0", C_OUT, ic=0.0)
+    ckt.add_resistor("RL", "vo", "0", R_LOAD)
+    return ckt
+
+
+def test_bench_spice_analyze_overhead(once):
+    # Time the solve once (the expensive side), with the pre-flight
+    # disabled so the two measurements do not overlap.
+    circuit = build_ladder()
+    t0 = time.perf_counter()
+    res = once(transient, circuit, T_STOP, DT, method="adaptive",
+               use_ic=True, check="off")
+    t_solve = time.perf_counter() - t0
+    assert np.isfinite(res.voltage("vo").v[-1])
+
+    # Time the analyzer on pre-built circuits: in the pre-flight the
+    # solver has already paid `circuit.build()`, so the analyzer's
+    # marginal cost excludes it.  Repeat and take the best — the
+    # pre-flight runs once per topology, so steady-state is what
+    # matters.
+    reps = 5
+    fresh = []
+    for _ in range(reps):
+        ckt = build_ladder()
+        ckt.build()
+        fresh.append(ckt)
+    t_analyze = min(_timed(analyze_circuit, c) for c in fresh)
+
+    n = circuit.n_unknowns
+    report(
+        f"static analyzer overhead — {SECTIONS}-section ladder "
+        f"({n} unknowns)",
+        [
+            ("adaptive solve", t_solve),
+            ("analyze_circuit", t_analyze),
+            ("overhead", t_analyze / t_solve),
+            ("budget", MAX_OVERHEAD),
+        ],
+        header=("stage", "seconds"),
+    )
+    assert t_analyze < MAX_OVERHEAD * t_solve, (
+        f"analyzer took {t_analyze:.4f}s vs {t_solve:.4f}s solve "
+        f"({t_analyze / t_solve:.1%} > {MAX_OVERHEAD:.0%} budget)"
+    )
+
+
+def _timed(func, *args):
+    t0 = time.perf_counter()
+    result = func(*args)
+    assert result == []  # the ladder lints clean
+    return time.perf_counter() - t0

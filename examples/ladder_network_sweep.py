@@ -24,7 +24,13 @@ import time
 
 import numpy as np
 
-from repro.spice import Circuit, sine, transient, transient_batch
+from repro.spice import (
+    Circuit,
+    analyze_circuit,
+    sine,
+    transient,
+    transient_batch,
+)
 from repro.spice.assembler import SPARSE_AVAILABLE, SPARSE_AUTO_THRESHOLD
 
 SECTIONS = 200
@@ -72,6 +78,18 @@ def main():
     print(f"\n[1] {SECTIONS}-section ladder: {ladder.n_unknowns} MNA "
           f"unknowns, {len(ladder.components)} components "
           f"({SECTIONS} diode taps)")
+
+    # Static pre-flight: the same analyzer `transient()` runs under
+    # check="error", invoked explicitly so a broken edit to the
+    # builder fails here with a named SP1xx code, not a
+    # ConvergenceError minutes into the dense run.
+    findings = analyze_circuit(ladder)
+    print(f"    static lint: {len(findings)} finding(s)")
+    for d in findings:
+        print(f"      {d.format()}")
+    if any(d.severity == "error" for d in findings):
+        print("    circuit is ill-posed; aborting before any solve.")
+        return
 
     # --- 2. dense vs sparse on the identical grid -------------------------
     print("\n[2] Dense vs sparse adaptive transient (pinned grid)")

@@ -618,6 +618,64 @@ def cmd_serve(args):
     return 0
 
 
+def cmd_lint(args):
+    import json
+
+    from repro.engine import SPICE_TEMPLATES, SpiceScenario
+    from repro.spice.analyze import analyze_circuit, analyze_netlist
+    from repro.spice.netlist_io import NetlistError
+
+    targets = []
+    for path in args.netlists:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"lint: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            _circuit, diags = analyze_netlist(text, source=path)
+        except NetlistError as exc:
+            print(f"lint: {path}: {exc}", file=sys.stderr)
+            return 2
+        targets.append((path, diags))
+    for template in args.template or ():
+        if template not in SPICE_TEMPLATES:
+            print(f"lint: unknown template {template!r}; known "
+                  f"templates: {sorted(SPICE_TEMPLATES)}", file=sys.stderr)
+            return 2
+        circuit, _node = SpiceScenario(template=template).build()
+        targets.append((f"template:{template}", analyze_circuit(circuit)))
+    if not targets:
+        print("lint: nothing to lint — give netlist paths and/or "
+              "--template NAME", file=sys.stderr)
+        return 2
+
+    findings = [d for _, diags in targets for d in diags]
+    errors = sum(1 for d in findings if d.severity == "error")
+    if args.format == "json":
+        print(json.dumps({
+            "targets": [
+                {"source": source, "findings": [d.to_dict() for d in diags]}
+                for source, diags in targets
+            ],
+            "findings": len(findings),
+            "errors": errors,
+            "warnings": len(findings) - errors,
+        }, indent=2))
+    else:
+        for source, diags in targets:
+            verdict = "clean" if not diags else (
+                f"{len(diags)} finding{'s' if len(diags) > 1 else ''}")
+            print(f"{source}: {verdict}")
+            for d in diags:
+                print(f"  {d.format(source=source)}")
+        print(f"{len(targets)} target{'s' if len(targets) > 1 else ''}, "
+              f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+              f"({errors} error{'s' if errors != 1 else ''})")
+    return 2 if findings else 0
+
+
 def cmd_list(_args):
     print("Available experiments:")
     for name, func in sorted(_COMMANDS.items()):
@@ -636,6 +694,7 @@ _COMMANDS = {
     "measure": cmd_measure,
     "sweep": cmd_sweep,
     "serve": cmd_serve,
+    "lint": cmd_lint,
     "list": cmd_list,
 }
 
@@ -648,6 +707,7 @@ cmd_anchors.__doc__ = "every quantitative claim of the paper"
 cmd_measure.__doc__ = "run one remote measurement"
 cmd_sweep.__doc__ = "batched distance x load control sweep (engine)"
 cmd_serve.__doc__ = "JSON-over-HTTP simulation service (micro-batched)"
+cmd_lint.__doc__ = "static circuit analysis of netlists / spice templates"
 cmd_list.__doc__ = "this list"
 
 
@@ -669,6 +729,17 @@ def build_parser():
                            help="coil separation in mm")
             p.add_argument("--concentration", type=float, default=0.8,
                            help="lactate concentration in mM")
+        if name == "lint":
+            p.add_argument("netlists", nargs="*", metavar="NETLIST",
+                           help="netlist files to analyze")
+            p.add_argument("--template", action="append", default=[],
+                           metavar="NAME",
+                           help="lint a built-in spice study template "
+                                "(repeatable; see --study spice)")
+            p.add_argument("--format", default="table",
+                           choices=("table", "json"),
+                           help="findings as a readable table (default) "
+                                "or one JSON document")
         if name == "sweep":
             p.add_argument("--study", default="control",
                            choices=("control", "spice"),

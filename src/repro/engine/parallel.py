@@ -503,6 +503,30 @@ class SweepOrchestrator:
         if solve:
             self.recorder.emit("solve", **solve)
 
+    def _emit_circuit_lint(self, batch):
+        """Lint every distinct template of a spice study once (the
+        cells of a template share one topology) and record the verdict
+        as a ``circuit_lint`` event before any solve is dispatched."""
+        from repro.spice.analyze import analyze_circuit
+
+        representatives = {}
+        for sc in batch.scenarios:
+            representatives.setdefault(sc.template, sc)
+        findings = []
+        for _, sc in sorted(representatives.items()):
+            circuit, _node = sc.build()
+            findings.extend(analyze_circuit(circuit))
+        errors = sum(1 for d in findings if d.severity == "error")
+        self.recorder.emit(
+            "circuit_lint",
+            templates=",".join(sorted(representatives)),
+            cells=len(batch),
+            findings=len(findings),
+            errors=errors,
+            warnings=len(findings) - errors,
+            codes=",".join(sorted({d.code for d in findings})),
+        )
+
     def _serial_map(self, payloads):
         report = self._progress_reporter(payloads)
         results = []
@@ -865,6 +889,8 @@ class SweepOrchestrator:
         t0 = time.perf_counter()
         if not isinstance(batch, SpiceBatch):
             batch = SpiceBatch(list(batch))
+        if self.recorder is not None:
+            self._emit_circuit_lint(batch)
         atol = ADAPTIVE_ATOL if atol is None else float(atol)
         rtol = ADAPTIVE_RTOL if rtol is None else float(rtol)
         n_points = int(n_points)

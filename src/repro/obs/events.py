@@ -29,7 +29,10 @@ from __future__ import annotations
 #: refuse to compare sessions across schema generations.
 #: v2: ``solve`` events grew required ``factorizations`` /
 #: ``pattern_reuses`` counters (sparse linear-solver observability).
-METRICS_SCHEMA_VERSION = 2
+#: v3: new ``circuit_lint`` event type (per-study static-analyzer
+#: verdict) — a new type is additive, but strict two-way validation
+#: means v2 consumers reject files containing it.
+METRICS_SCHEMA_VERSION = 3
 
 
 class MetricsSchemaError(ValueError):
@@ -101,6 +104,20 @@ EVENT_SCHEMAS = {
         "lte_rejects": (int, True),
         "factorizations": (int, True),
         "pattern_reuses": (int, True),
+        "worker": (int, False),
+    },
+    # Static-analyzer verdict of one spice study: every distinct
+    # template in the batch is linted once before the solves are
+    # dispatched (see repro.spice.analyze).  ``codes`` is the
+    # comma-joined sorted set of diagnostic codes found ("" when
+    # clean); ``errors``/``warnings`` split ``findings`` by severity.
+    "circuit_lint": {
+        "templates": (str, True),
+        "cells": (int, True),
+        "findings": (int, True),
+        "errors": (int, True),
+        "warnings": (int, True),
+        "codes": (str, True),
         "worker": (int, False),
     },
     # One incremental-recomputation run (SweepOrchestrator.run_delta).

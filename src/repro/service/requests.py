@@ -246,6 +246,24 @@ class SimRequest:
                 f"{len(batch)} cells x {SPICE_N_POINTS} trace points exceeds "
                 f"the {MAX_TRACE_VALUES} response-trace budget — split the study"
             )
+        # Static pre-flight: lint one representative circuit per
+        # distinct template (the cells of a template share one
+        # topology), so a structurally broken circuit is rejected as a
+        # typed 400 here instead of failing on a scheduler worker.
+        from repro.spice.analyze import CircuitLintError, check_circuit
+
+        seen = set()
+        for sc in batch.scenarios:
+            if sc.template in seen:
+                continue
+            seen.add(sc.template)
+            circuit, _node = sc.build()
+            try:
+                check_circuit(circuit, "error")
+            except CircuitLintError as exc:
+                raise SimRequestError(
+                    f"template {sc.template!r} fails circuit lint: {exc}"
+                ) from exc
         object.__setattr__(self, "_scenarios", batch.scenarios)
 
     def _init_montecarlo(self):

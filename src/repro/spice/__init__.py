@@ -13,7 +13,10 @@ iteration, supporting
   trapezoidal, plus an adaptive-timestep backend with LTE step control,
   linear-part factorization reuse and a lockstep batched runner for
   circuit families — see :mod:`repro.spice.transient` and
-  :mod:`repro.spice.batch`).
+  :mod:`repro.spice.batch`);
+* static analysis: a pre-solve netlist lint with structural-
+  singularity detection (:mod:`repro.spice.analyze`), wired into the
+  solver front doors as the opt-out ``check=`` pre-flight.
 
 Circuits here are small (tens of nodes), so dense numpy linear algebra is
 used throughout.
@@ -40,6 +43,16 @@ from repro.spice.batch import BatchTransientResult, transient_batch
 from repro.spice.ac import ACResult, ac_sweep
 from repro.spice.netlist_io import parse_netlist, write_netlist, NetlistError
 from repro.spice.sweep import dc_sweep, DCSweepResult, operating_point_report
+from repro.spice.analyze import (
+    CHECK_MODES,
+    DIAGNOSTIC_CODES,
+    CircuitLintError,
+    CircuitLintWarning,
+    Diagnostic,
+    analyze_circuit,
+    analyze_netlist,
+    check_circuit,
+)
 
 __all__ = [
     "Circuit",
@@ -75,4 +88,12 @@ __all__ = [
     "dc_sweep",
     "DCSweepResult",
     "operating_point_report",
+    "CHECK_MODES",
+    "DIAGNOSTIC_CODES",
+    "CircuitLintError",
+    "CircuitLintWarning",
+    "Diagnostic",
+    "analyze_circuit",
+    "analyze_netlist",
+    "check_circuit",
 ]

@@ -1,0 +1,618 @@
+"""Static circuit analysis: pre-solve netlist lint with structural-
+singularity detection.
+
+An ill-posed circuit — a floating node, a loop of ideal voltage
+sources, a structurally singular MNA pattern — surfaces at runtime as
+a :class:`~repro.spice.dc.ConvergenceError` deep inside the Newton
+loop, after a factorization has already been attempted.  This module
+inspects a :class:`~repro.spice.circuit.Circuit` *without solving it*
+and emits typed :class:`Diagnostic` records with stable codes:
+
+========  ========  ====================================================
+code      severity  condition
+========  ========  ====================================================
+`SP101`   error     node(s) with no path to ground through any element
+`SP102`   warning   loop of ideal voltage-defining branches (V/L/E)
+`SP103`   warning   no *DC* path to ground (current-source/capacitor
+                    cutset: the nodes are held only through C/I
+                    elements, so the DC operating point rests on gmin)
+`SP104`   error     structurally singular MNA pattern (maximum
+                    bipartite matching on the assembler's CSR pattern
+                    leaves unmatched rows)
+`SP105`   varies    dangling or self-looped branch (error for
+                    voltage-defining self-loops, warning otherwise)
+`SP110`   warning   non-positive or implausibly scaled element value
+========  ========  ====================================================
+
+The severity split encodes what the solver stack actually tolerates:
+an `SP102` voltage-source/inductor loop is deliberately regularized by
+the inductor's tiny series resistance (see ``Inductor.stamp_dc``), and
+an `SP103` cutset is a perfectly good *transient* circuit (a current
+source charging a capacitor), so neither aborts a run under the
+default ``check="error"`` pre-flight — only error-severity findings
+do.
+
+Structural rank (`SP104`) reuses the sparse assembler: the analyzed
+pattern is :func:`~repro.spice.assembler.pattern_from_circuit` plus
+the same nonlinear-device positions the solvers scatter into, so the
+analysis shares the solver's exact sparsity pattern.  The maximum
+bipartite matching is pure Python (Kuhn's augmenting paths) — scipy is
+not required.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+from dataclasses import dataclass, field
+
+from repro.spice.components import (
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Inductor,
+    Mosfet,
+    MutualCoupling,
+    Resistor,
+    Switch,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+
+#: Pre-flight modes accepted by ``dc_operating_point`` / ``transient``
+#: / ``transient_batch``: ``"error"`` raises :class:`CircuitLintError`
+#: on error-severity findings, ``"warn"`` emits every finding as a
+#: :class:`CircuitLintWarning`, ``"off"`` skips the analysis entirely.
+CHECK_MODES = ("error", "warn", "off")
+
+#: Stable diagnostic codes and their one-line meanings (the README
+#: table and ``repro lint`` legend are generated from this map).
+DIAGNOSTIC_CODES = {
+    "SP101": "node with no path to ground through any element",
+    "SP102": "loop of ideal voltage-defining branches (V source/inductor)",
+    "SP103": "no DC path to ground (current-source/capacitor cutset)",
+    "SP104": "structurally singular MNA pattern (unmatched matrix rows)",
+    "SP105": "dangling or self-looped branch",
+    "SP110": "non-positive or implausibly scaled element value",
+}
+
+# Plausibility windows for SP110 (generous on purpose: anything outside
+# is near-certainly a unit mistake, e.g. "10" farads for 10 pF).
+_R_RANGE = (1e-6, 1e12)
+_C_RANGE = (1e-18, 1.0)
+_L_RANGE = (1e-12, 1e3)
+_DIODE_IS_MAX = 1e-3
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    ``line`` is filled by :func:`analyze_netlist` when the circuit came
+    from a netlist file (1-based line of the first involved card).
+    """
+
+    code: str
+    severity: str  # "error" | "warning"
+    message: str
+    components: tuple = ()
+    nodes: tuple = ()
+    hint: str = ""
+    line: int | None = field(default=None, compare=False)
+
+    def format(self, source=None):
+        """``[source:line:] CODE severity: message (hint)`` one-liner."""
+        where = ""
+        if source is not None:
+            where = f"{source}:" if self.line is None else f"{source}:{self.line}:"
+            where += " "
+        tail = f"  hint: {self.hint}" if self.hint else ""
+        return f"{where}{self.code} {self.severity}: {self.message}{tail}"
+
+    def to_dict(self):
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "components": list(self.components),
+            "nodes": list(self.nodes),
+            "hint": self.hint,
+            "line": self.line,
+        }
+
+
+class CircuitLintError(ValueError):
+    """Raised by the ``check="error"`` pre-flight when the analyzer
+    finds error-severity diagnostics.  ``.diagnostics`` holds them."""
+
+    def __init__(self, title, diagnostics):
+        self.diagnostics = tuple(diagnostics)
+        codes = ", ".join(sorted({d.code for d in self.diagnostics}))
+        lines = "\n  ".join(d.format() for d in self.diagnostics)
+        super().__init__(
+            f"circuit {title!r} fails static analysis ({codes}):\n  {lines}"
+        )
+
+
+class CircuitLintWarning(UserWarning):
+    """Category used by the ``check="warn"`` pre-flight."""
+
+
+# ---------------------------------------------------------------------------
+# topology helpers
+
+
+def _two_terminal(comp):
+    """(a, b) resolved node pair of a two-terminal element, else None."""
+    if isinstance(
+        comp, (Resistor, Capacitor, Inductor, VoltageSource, CurrentSource, Diode)
+    ):
+        return comp.nodes[0], comp.nodes[1]
+    return None
+
+
+def _dc_conductive_edges(comp):
+    """Node pairs the element connects with finite DC conductance (or a
+    DC branch constraint).  Unknown component types are conservatively
+    treated as conducting between their first two nodes, so extension
+    components never produce false SP101/SP103 alarms."""
+    if isinstance(comp, (Capacitor, CurrentSource, Vccs, MutualCoupling)):
+        return []
+    if isinstance(comp, (Resistor, Inductor, VoltageSource, Diode, Vcvs, Switch)):
+        return [(comp.nodes[0], comp.nodes[1])]
+    if isinstance(comp, Mosfet):
+        return [(comp.nodes[0], comp.nodes[2])]  # drain-source channel
+    if len(comp.nodes) >= 2:  # pragma: no cover - extension components
+        return [(comp.nodes[0], comp.nodes[1])]
+    return []
+
+
+def _ac_only_edges(comp):
+    """Node pairs that conduct at AC but not DC (capacitors): used to
+    tell an SP103 cutset (transient-solvable) from a truly floating
+    SP101 island."""
+    if isinstance(comp, Capacitor):
+        return [(comp.nodes[0], comp.nodes[1])]
+    return []
+
+
+def _voltage_defined_edges(comp):
+    """Branches that pin the voltage across their terminals: ideal V
+    sources, inductors (DC shorts), and VCVS outputs.  A cycle of these
+    is the classic 'voltage source/inductor loop'."""
+    if isinstance(comp, (VoltageSource, Inductor, Vcvs)):
+        return [(comp.nodes[0], comp.nodes[1])]
+    return []
+
+
+class _UnionFind:
+    def __init__(self, n):
+        self.parent = list(range(n))
+
+    def find(self, i):
+        root = i
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[i] != root:  # path compression
+            self.parent[i], i = root, self.parent[i]
+        return root
+
+    def union(self, i, j):
+        ri, rj = self.find(i), self.find(j)
+        if ri == rj:
+            return False
+        self.parent[ri] = rj
+        return True
+
+
+def _unknown_names(circuit):
+    """Human name of each MNA unknown: node voltages then branch
+    currents, in solver order."""
+    names = list(circuit.node_names())
+    branches = {comp.branch: comp.name for comp in circuit.components
+                if comp.branch is not None}
+    for k in range(circuit.n_nodes, circuit.n_unknowns):
+        names.append(f"I({branches.get(k, f'branch{k}')})")
+    return names
+
+
+def _structural_rank_unmatched(n, indptr, indices):
+    """Rows left unmatched by a maximum bipartite matching of the CSR
+    pattern (Kuhn's augmenting-path algorithm, iterative-friendly via a
+    raised recursion limit; O(V*E) which is trivial at circuit sizes)."""
+    match_col = [-1] * n  # column -> matched row
+    match_row = [-1] * n  # row -> matched column
+
+    # Greedy seed pass: MNA rows almost always own their diagonal (a
+    # grounded node has a self-conductance; a regularized branch has a
+    # (k, k) entry), so matching any free column up front leaves the
+    # augmenting-path search with only the contested handful of rows.
+    for row in range(n):
+        for c in indices[indptr[row]:indptr[row + 1]]:
+            if match_col[c] < 0:
+                match_col[c] = row
+                match_row[row] = c
+                break
+
+    def augment(row, seen):
+        for c in indices[indptr[row]:indptr[row + 1]]:
+            if not seen[c]:
+                seen[c] = True
+                if match_col[c] < 0 or augment(match_col[c], seen):
+                    match_col[c] = row
+                    match_row[row] = c
+                    return True
+        return False
+
+    limit = sys.getrecursionlimit()
+    unmatched = []
+    try:
+        sys.setrecursionlimit(max(limit, 2 * n + 100))
+        for row in range(n):
+            if match_row[row] < 0 and not augment(row, [False] * n):
+                unmatched.append(row)
+    finally:
+        sys.setrecursionlimit(limit)
+    return unmatched
+
+
+def _nonlinear_positions(circuit):
+    """Matrix positions the solvers scatter nonlinear-device stamps
+    into (mirrors ``_init_diode_scatter`` and the Mosfet/Switch Newton
+    stamps), so SP104 sees the same pattern the solver factorizes."""
+    positions = []
+    for comp in circuit.components:
+        if isinstance(comp, Diode):
+            a, b = comp.nodes
+            pairs = ((a, a), (b, b), (a, b), (b, a))
+        elif isinstance(comp, Switch):
+            a, b = comp.nodes[0], comp.nodes[1]
+            pairs = ((a, a), (b, b), (a, b), (b, a))
+        elif isinstance(comp, Mosfet):
+            d, g, s = comp.nodes
+            # Union over the reversed (vds < 0) operating region.
+            pairs = ((d, d), (d, g), (d, s), (s, s), (s, g), (s, d))
+        else:
+            continue
+        positions.extend((i, j) for i, j in pairs if i >= 0 and j >= 0)
+    return positions
+
+
+# ---------------------------------------------------------------------------
+# the individual checks
+
+
+def _check_branches(circuit):
+    """SP105: self-looped and dangling branches."""
+    diagnostics = []
+    degree = {}
+    for comp in circuit.components:
+        for node in set(comp.nodes):
+            if node >= 0:
+                degree[node] = degree.get(node, 0) + 1
+    names = circuit.node_names()
+    for comp in circuit.components:
+        pair = _two_terminal(comp)
+        if pair is None:
+            continue
+        a, b = pair
+        if a == b:
+            severity = (
+                "error" if isinstance(comp, (VoltageSource, Inductor)) else "warning"
+            )
+            where = "ground" if a < 0 else names[a]
+            diagnostics.append(Diagnostic(
+                "SP105", severity,
+                f"{comp.name} is self-looped: both terminals connect to "
+                f"node {where!r}",
+                components=(comp.name,),
+                nodes=(where,),
+                hint="connect the terminals to two distinct nodes or "
+                     "remove the element",
+            ))
+            continue
+        for node in (a, b):
+            if node >= 0 and degree.get(node, 0) == 1:
+                diagnostics.append(Diagnostic(
+                    "SP105", "warning",
+                    f"{comp.name} dangles: node {names[node]!r} connects "
+                    f"to nothing else, so the branch carries no current",
+                    components=(comp.name,),
+                    nodes=(names[node],),
+                    hint=f"connect node {names[node]!r} to the rest of "
+                         f"the circuit or drop the branch",
+                ))
+    return diagnostics
+
+
+def _check_ground_paths(circuit):
+    """SP101 (no path to ground at all) and SP103 (no DC path: the
+    island hangs off the circuit through capacitors/current sources
+    only)."""
+    n = circuit.n_nodes
+    if n == 0:
+        return []
+    dc = _UnionFind(n + 1)  # vertex n = ground
+    full = _UnionFind(n + 1)
+
+    def vertex(node):
+        return n if node < 0 else node
+
+    for comp in circuit.components:
+        for a, b in _dc_conductive_edges(comp):
+            dc.union(vertex(a), vertex(b))
+            full.union(vertex(a), vertex(b))
+        for a, b in _ac_only_edges(comp):
+            full.union(vertex(a), vertex(b))
+
+    names = circuit.node_names()
+    dc_islands, full_islands = {}, {}
+    for i in range(n):
+        if dc.find(i) != dc.find(n):
+            dc_islands.setdefault(dc.find(i), []).append(i)
+    for i in range(n):
+        if full.find(i) != full.find(n):
+            full_islands.setdefault(full.find(i), []).append(i)
+
+    diagnostics = []
+    floating = set()
+    for nodes in full_islands.values():
+        floating.update(nodes)
+        labels = tuple(names[i] for i in nodes)
+        diagnostics.append(Diagnostic(
+            "SP101", "error",
+            f"node{'s' if len(labels) > 1 else ''} "
+            f"{', '.join(repr(x) for x in labels)} "
+            f"ha{'ve' if len(labels) > 1 else 's'} no path to ground "
+            f"through any element",
+            nodes=labels,
+            components=_island_components(circuit, set(nodes)),
+            hint="reference the island to ground (a large resistor "
+                 "suffices) or remove it",
+        ))
+    for nodes in dc_islands.values():
+        island = [i for i in nodes if i not in floating]
+        if not island:
+            continue  # already reported as SP101
+        labels = tuple(names[i] for i in island)
+        diagnostics.append(Diagnostic(
+            "SP103", "warning",
+            f"node{'s' if len(labels) > 1 else ''} "
+            f"{', '.join(repr(x) for x in labels)} "
+            f"ha{'ve' if len(labels) > 1 else 's'} no DC path to ground "
+            f"(held only through capacitors/current sources); the DC "
+            f"operating point rests on the gmin regularization",
+            nodes=labels,
+            components=_island_components(circuit, set(island)),
+            hint="add a DC leakage path (large resistor to ground) or "
+                 "solve with use_ic=True and explicit initial conditions",
+        ))
+    return diagnostics
+
+
+def _island_components(circuit, island):
+    """Names of the components touching a set of node indices."""
+    return tuple(
+        comp.name for comp in circuit.components
+        if any(node in island for node in comp.nodes)
+    )
+
+
+def _check_voltage_loops(circuit):
+    """SP102: cycles in the multigraph of voltage-defining branches."""
+    n = circuit.n_nodes
+    uf = _UnionFind(n + 1)
+
+    def vertex(node):
+        return n if node < 0 else node
+
+    names = circuit.node_names()
+    diagnostics = []
+    loop_members = []
+    for comp in circuit.components:
+        for a, b in _voltage_defined_edges(comp):
+            if a == b:
+                continue  # SP105 reports self-loops
+            loop_members.append(comp)
+            if not uf.union(vertex(a), vertex(b)):
+                labels = tuple(
+                    "0" if node < 0 else names[node] for node in (a, b)
+                )
+                diagnostics.append(Diagnostic(
+                    "SP102", "warning",
+                    f"{comp.name} closes a loop of ideal voltage-defining "
+                    f"branches (V sources/inductors/VCVS outputs) between "
+                    f"nodes {labels[0]!r} and {labels[1]!r}; the loop "
+                    f"current is bounded only by the solver's tiny "
+                    f"series regularization",
+                    components=(comp.name,),
+                    nodes=labels,
+                    hint="break the loop with an explicit series "
+                         "resistance",
+                ))
+    return diagnostics
+
+
+def _check_values(circuit):
+    """SP110: values that passed construction but look like unit
+    mistakes, plus degenerate controlled-source/coupling gains."""
+    diagnostics = []
+
+    def flag(comp, text, hint):
+        diagnostics.append(Diagnostic(
+            "SP110", "warning", f"{comp.name}: {text}",
+            components=(comp.name,), hint=hint,
+        ))
+
+    for comp in circuit.components:
+        if isinstance(comp, Resistor):
+            if not _R_RANGE[0] <= comp.resistance <= _R_RANGE[1]:
+                flag(comp, f"resistance {comp.resistance:g} ohm is outside "
+                           f"the plausible window [{_R_RANGE[0]:g}, "
+                           f"{_R_RANGE[1]:g}]",
+                     "check the unit (ohms expected)")
+        elif isinstance(comp, Capacitor):
+            if not _C_RANGE[0] <= comp.capacitance <= _C_RANGE[1]:
+                flag(comp, f"capacitance {comp.capacitance:g} F is outside "
+                           f"the plausible window [{_C_RANGE[0]:g}, "
+                           f"{_C_RANGE[1]:g}]",
+                     "check the unit (farads expected)")
+        elif isinstance(comp, Inductor):
+            if not _L_RANGE[0] <= comp.inductance <= _L_RANGE[1]:
+                flag(comp, f"inductance {comp.inductance:g} H is outside "
+                           f"the plausible window [{_L_RANGE[0]:g}, "
+                           f"{_L_RANGE[1]:g}]",
+                     "check the unit (henries expected)")
+        elif isinstance(comp, Diode):
+            if comp.i_s > _DIODE_IS_MAX:
+                flag(comp, f"saturation current {comp.i_s:g} A is "
+                           f"implausibly large (> {_DIODE_IS_MAX:g})",
+                     "check the unit (amps expected; typical i_s is fA-nA)")
+        elif isinstance(comp, Switch):
+            if comp.r_on >= comp.r_off:
+                flag(comp, f"r_on ({comp.r_on:g}) is not below r_off "
+                           f"({comp.r_off:g}), so the switch never "
+                           f"switches",
+                     "swap or fix the on/off resistances")
+        elif isinstance(comp, Vcvs):
+            if comp.gain == 0.0:
+                flag(comp, "gain is 0, the output is pinned to 0 V",
+                     "set a nonzero gain or replace with a 0 V source")
+        elif isinstance(comp, Vccs):
+            if comp.gm == 0.0:
+                flag(comp, "transconductance is 0, the source injects "
+                           "nothing",
+                     "set a nonzero gm or remove the element")
+        elif isinstance(comp, MutualCoupling):
+            if comp.k == 0.0:
+                flag(comp, "coupling coefficient is 0, the coupling is "
+                           "a no-op",
+                     "set a nonzero k or remove the element")
+    return diagnostics
+
+
+def _check_structural_rank(circuit):
+    """SP104: maximum bipartite matching on the assembler's CSR pattern
+    (linear stamps plus the solvers' nonlinear scatter positions)."""
+    from repro.spice import assembler
+
+    n = circuit.n_unknowns
+    if n == 0:
+        return []
+    extra = _nonlinear_positions(circuit)
+    extra_positions = ()
+    if extra:
+        extra_positions = [(
+            [i for i, _ in extra], [j for _, j in extra],
+        )]
+    try:
+        pattern = assembler.pattern_from_circuit(
+            circuit, extra_positions=extra_positions
+        )
+    except ValueError:
+        # Nothing stamps the matrix at all (e.g. only current sources):
+        # every row is structurally empty.
+        unmatched = list(range(n))
+    else:
+        if pattern.n < n:  # pragma: no cover - defensive
+            unmatched = list(range(n))
+        else:
+            unmatched = _structural_rank_unmatched(
+                n, pattern.indptr, pattern.indices
+            )
+    if not unmatched:
+        return []
+    names = _unknown_names(circuit)
+    labels = tuple(names[i] for i in unmatched)
+    rank = n - len(unmatched)
+    return [Diagnostic(
+        "SP104", "error",
+        f"MNA pattern is structurally singular: structural rank {rank} "
+        f"< {n} unknowns; unmatched row{'s' if len(labels) > 1 else ''} "
+        f"{', '.join(repr(x) for x in labels)}",
+        nodes=labels,
+        hint="the listed equations share too few matrix entries — look "
+             "for parallel ideal sources or nodes driven only by "
+             "current sources",
+    )]
+
+
+# ---------------------------------------------------------------------------
+# front doors
+
+
+def analyze_circuit(circuit):
+    """Statically analyze ``circuit`` and return its diagnostics.
+
+    Read-only (``circuit.build()`` is invoked, which is idempotent);
+    never raises on findings — see :func:`check_circuit` for the
+    raising pre-flight used by the solvers.
+    """
+    circuit.build()
+    diagnostics = []
+    diagnostics.extend(_check_branches(circuit))
+    diagnostics.extend(_check_ground_paths(circuit))
+    diagnostics.extend(_check_voltage_loops(circuit))
+    diagnostics.extend(_check_values(circuit))
+    diagnostics.extend(_check_structural_rank(circuit))
+    order = {"error": 0, "warning": 1}
+    diagnostics.sort(key=lambda d: (order.get(d.severity, 2), d.code))
+    return diagnostics
+
+
+def check_circuit(circuit, check="error", stacklevel=3):
+    """Solver pre-flight.  ``check`` is one of :data:`CHECK_MODES`:
+
+    * ``"error"`` — raise :class:`CircuitLintError` carrying the
+      error-severity diagnostics (warnings stay silent: the solver
+      stack handles those circuits on purpose);
+    * ``"warn"`` — emit every finding as a :class:`CircuitLintWarning`;
+    * ``"off"`` — skip the analysis entirely.
+
+    Returns the diagnostics found (empty list when ``check="off"``).
+    """
+    if check not in CHECK_MODES:
+        raise ValueError(
+            f"unknown check mode {check!r}; known modes: {CHECK_MODES}"
+        )
+    if check == "off":
+        return []
+    diagnostics = analyze_circuit(circuit)
+    if check == "warn":
+        for diag in diagnostics:
+            warnings.warn(diag.format(), CircuitLintWarning,
+                          stacklevel=stacklevel)
+        return diagnostics
+    errors = [d for d in diagnostics if d.severity == "error"]
+    if errors:
+        raise CircuitLintError(circuit.title, errors)
+    return diagnostics
+
+
+def analyze_netlist(text, source=None):
+    """Parse a netlist and analyze it, attributing diagnostics to
+    source lines.
+
+    Returns ``(circuit, diagnostics)``.  Parse failures raise the
+    (line-carrying) :class:`~repro.spice.netlist_io.NetlistError`;
+    ``source`` is only used for error messages by callers.
+    """
+    from repro.spice.netlist_io import parse_netlist
+
+    circuit = parse_netlist(text)
+    lines = getattr(circuit, "source_lines", {})
+    diagnostics = []
+    for diag in analyze_circuit(circuit):
+        line = min(
+            (lines[name] for name in diag.components if name in lines),
+            default=None,
+        )
+        if line is not None:
+            diag = Diagnostic(
+                diag.code, diag.severity, diag.message,
+                components=diag.components, nodes=diag.nodes,
+                hint=diag.hint, line=line,
+            )
+        diagnostics.append(diag)
+    return circuit, diagnostics

@@ -270,7 +270,7 @@ class SharedPatternLU:
 
     def __init__(self, pattern, repr_data):
         if not SPARSE_AVAILABLE:  # pragma: no cover - guarded by callers
-            raise RuntimeError("scipy is required for the sparse path")
+            raise ValueError("scipy is required for the sparse path")
         self.pattern = pattern
         n = pattern.n
         self.n = n

@@ -843,6 +843,7 @@ def transient_batch(
     min_dt=None,
     v_reltol=None,
     matrix="auto",
+    check="error",
 ):
     """Run one lockstep transient over a family of circuits.
 
@@ -860,6 +861,12 @@ def transient_batch(
     identical accepted grids.  The fixed-step methods are the dense
     parity reference and reject ``matrix="sparse"``.
 
+    ``check`` gates the static pre-flight (see
+    :func:`repro.spice.analyze.check_circuit`).  The family is
+    structurally identical (enforced by the lockstep contract), so the
+    analysis runs **once per topology** on the representative first
+    cell; ``"off"`` skips it entirely.
+
     Returns a :class:`BatchTransientResult`.
     """
     if method not in METHODS:
@@ -873,6 +880,11 @@ def transient_batch(
     store_every = int(store_every)
     circuits = list(circuits)
     _check_family(circuits)
+    if check != "off" and circuits:
+        from repro.spice.analyze import check_circuit
+
+        # The family shares one topology: analyze the representative.
+        check_circuit(circuits[0], check)
     mode = _pick_batch_matrix(matrix, circuits)
     if mode == "sparse" and method != "adaptive":
         raise ValueError(
@@ -900,7 +912,7 @@ def transient_batch(
     elif use_ic:
         x = np.zeros((N, n))
     else:
-        x = np.stack([dc_operating_point(c).x for c in circuits])
+        x = np.stack([dc_operating_point(c, check="off").x for c in circuits])
 
     if mode == "sparse":
         system = _SparseBatchSystem(circuits, gmin)

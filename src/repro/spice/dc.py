@@ -103,14 +103,25 @@ def _newton_solve(
     )
 
 
-def dc_operating_point(circuit, gmin=1e-12, x0=None):
+def dc_operating_point(circuit, gmin=1e-12, x0=None, check="error"):
     """Solve the DC operating point.
 
     Strategy: plain Newton from ``x0`` (zeros by default); on failure,
     gmin stepping from 1e-2 down to ``gmin`` reusing each level's solution
     as the next starting point.
+
+    ``check`` gates the static pre-flight (see
+    :func:`repro.spice.analyze.check_circuit`): ``"error"`` (default)
+    rejects structurally broken circuits with a typed
+    :class:`~repro.spice.analyze.CircuitLintError` before any solve,
+    ``"warn"`` reports findings as warnings, ``"off"`` skips the
+    analysis (bitwise-identical to the pre-analyzer behaviour).
     """
     circuit.build()
+    if check != "off":
+        from repro.spice.analyze import check_circuit
+
+        check_circuit(circuit, check)
 
     def stamp(G, rhs, x, g):
         for comp in circuit.components:

@@ -31,7 +31,21 @@ from repro.util import parse_eng
 
 
 class NetlistError(ValueError):
-    """Raised for unparsable netlist input."""
+    """Raised for unparsable netlist input.
+
+    Carries the 1-based source ``line`` number and the offending
+    ``card`` text (the full logical card, continuations joined) when
+    the failure can be attributed to one; both are ``None`` otherwise.
+    The line number is prefixed to the message, so plain ``str(exc)``
+    already reads ``line 7: bad card ...``.
+    """
+
+    def __init__(self, message, line=None, card=None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.card = card
 
 
 def _parse_kwargs(tokens):
@@ -84,9 +98,11 @@ def _parse_source_value(tokens, line):
 
 def _logical_lines(text):
     """Strip comments, join continuations, drop blanks and directives we
-    ignore."""
+    ignore.  Returns ``(lineno, card)`` pairs: the 1-based source line
+    each logical card *starts* on (continuations attribute to the card
+    they extend)."""
     merged = []
-    for raw in text.splitlines():
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split(";")[0].rstrip()
         if not line.strip():
             continue
@@ -94,22 +110,34 @@ def _logical_lines(text):
             continue
         if line.lstrip().startswith("+"):
             if not merged:
-                raise NetlistError("continuation line with nothing before")
-            merged[-1] += " " + line.lstrip()[1:]
+                raise NetlistError(
+                    "continuation line with nothing before",
+                    line=lineno, card=line.strip(),
+                )
+            start, card = merged[-1]
+            merged[-1] = (start, card + " " + line.lstrip()[1:])
         else:
-            merged.append(line.strip())
+            merged.append((lineno, line.strip()))
     return merged
 
 
 def parse_netlist(text):
-    """Parse SPICE-card text into a :class:`~repro.spice.Circuit`."""
+    """Parse SPICE-card text into a :class:`~repro.spice.Circuit`.
+
+    Parse failures raise :class:`NetlistError` carrying the 1-based
+    source line and the offending card.  The returned circuit carries a
+    ``source_lines`` attribute — ``{component name: line number}`` —
+    used by :func:`repro.spice.analyze.analyze_netlist` for file:line
+    diagnostic attribution.
+    """
     lines = _logical_lines(text)
     if not lines:
         raise NetlistError("empty netlist")
-    title = lines[0]
+    title = lines[0][1]
     ckt = Circuit(title)
+    source_lines = {}
     pending_couplings = []
-    for line in lines[1:]:
+    for lineno, line in lines[1:]:
         if line.lower() in (".end", ".ends"):
             break
         if line.startswith("."):
@@ -117,6 +145,7 @@ def parse_netlist(text):
         tokens = line.split()
         name = tokens[0]
         kind = name[0].upper()
+        source_lines[name] = lineno
         try:
             if kind == "R":
                 ckt.add_resistor(name, tokens[1], tokens[2], parse_eng(tokens[3]))
@@ -136,7 +165,8 @@ def parse_netlist(text):
                 )
             elif kind == "K":
                 pending_couplings.append(
-                    (name, tokens[1], tokens[2], parse_eng(tokens[3])))
+                    (lineno, line, name, tokens[1], tokens[2],
+                     parse_eng(tokens[3])))
             elif kind == "V":
                 ckt.add_vsource(name, tokens[1], tokens[2],
                                 _parse_source_value(tokens[3:], line))
@@ -188,18 +218,35 @@ def parse_netlist(text):
                     parse_eng(tokens[5]),
                 )
             else:
-                raise NetlistError(f"unknown element kind {kind!r}")
-        except NetlistError:
+                raise NetlistError(
+                    f"unknown element kind {kind!r}", line=lineno, card=line
+                )
+        except NetlistError as exc:
+            if exc.line is None:
+                # Attribute errors raised deeper down (e.g. a bad
+                # source value) to the card being parsed.
+                raise NetlistError(
+                    str(exc), line=lineno, card=line
+                ) from exc
             raise
         except (IndexError, ValueError, KeyError) as exc:
-            raise NetlistError(f"bad card {line!r}: {exc}") from exc
-    for name, l1, l2, k in pending_couplings:
+            raise NetlistError(
+                f"bad card {line!r}: {exc}", line=lineno, card=line
+            ) from exc
+    for lineno, line, name, l1, l2, k in pending_couplings:
+        source_lines[name] = lineno
         try:
             ckt.add_coupling(name, l1, l2, k)
         except KeyError as exc:
             raise NetlistError(
-                f"coupling {name} references unknown inductor: {exc}"
+                f"coupling {name} references unknown inductor: {exc}",
+                line=lineno, card=line,
             ) from exc
+        except ValueError as exc:
+            raise NetlistError(
+                f"bad coupling card: {exc}", line=lineno, card=line
+            ) from exc
+    ckt.source_lines = source_lines
     return ckt
 
 

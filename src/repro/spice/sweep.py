@@ -96,9 +96,13 @@ def dc_sweep(circuit, source_name, values, gmin=1e-12):
     points = []
     x_prev = None
     try:
+        check = "error"
         for value in values:
             comp.source = dc_source(float(value))
-            op = dc_operating_point(circuit, gmin=gmin, x0=x_prev)
+            op = dc_operating_point(circuit, gmin=gmin, x0=x_prev, check=check)
+            # The topology never changes across the sweep: the static
+            # pre-flight runs once, on the first point only.
+            check = "off"
             points.append(op)
             x_prev = op.x
     finally:

@@ -1105,6 +1105,7 @@ def transient(
     v_reltol=None,
     matrix="auto",
     stats_out=None,
+    check="error",
 ):
     """Run a transient analysis.
 
@@ -1147,6 +1148,12 @@ def transient(
     stats_out : optional dict — adaptive only; filled with the run's
         solver counters (``accepted_steps``, ``newton_iters``,
         ``factorizations``, ``pattern_reuses``).
+    check : ``"error"`` | ``"warn"`` | ``"off"`` — static pre-flight
+        (see :func:`repro.spice.analyze.check_circuit`).  The default
+        rejects structurally broken circuits with a typed
+        :class:`~repro.spice.analyze.CircuitLintError` before any
+        factorization; ``"off"`` skips the (read-only) analysis and is
+        bitwise-identical to the pre-analyzer behaviour.
     """
     if method not in METHODS:
         raise ValueError(
@@ -1158,6 +1165,10 @@ def transient(
         raise ValueError("store_every must be >= 1")
     store_every = int(store_every)
     circuit.build()
+    if check != "off":
+        from repro.spice.analyze import check_circuit
+
+        check_circuit(circuit, check)
     mode = _pick_matrix_mode(matrix, circuit)
     if mode == "sparse" and method != "adaptive":
         raise ValueError(
@@ -1171,7 +1182,7 @@ def transient(
     elif use_ic:
         x = np.zeros(circuit.n_unknowns)
     else:
-        x = dc_operating_point(circuit).x.copy()
+        x = dc_operating_point(circuit, check="off").x.copy()
 
     states = {}
     for comp in circuit.components:

@@ -1,0 +1,65 @@
+"""The repo-invariant AST lint (tools/check_invariants.py) stays clean
+and actually detects what it claims to."""
+
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_invariants  # noqa: E402
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_violations(self):
+        violations = check_invariants.run()
+        assert violations == [], "\n".join(
+            f"{p}:{line}: {msg}" for p, line, msg in violations)
+
+
+class TestDetection:
+    def check(self, tmp_path, source, name="mod.py"):
+        path = tmp_path / name
+        path.write_text(source)
+        return list(check_invariants.check_file(path))
+
+    def test_bare_except_is_flagged(self, tmp_path):
+        found = self.check(tmp_path,
+                           "try:\n    pass\nexcept:\n    pass\n")
+        assert found and "bare" in found[0][1]
+
+    def test_named_except_is_fine(self, tmp_path):
+        assert self.check(
+            tmp_path, "try:\n    pass\nexcept ValueError:\n    pass\n",
+        ) == []
+
+    def test_print_is_flagged_outside_cli(self, tmp_path):
+        found = self.check(tmp_path, "print('hi')\n")
+        assert found and "print()" in found[0][1]
+
+    def test_generic_raise_is_flagged_in_spice_scope(self, tmp_path):
+        spice = tmp_path / "spice"
+        spice.mkdir()
+        path = spice / "mod.py"
+        path.write_text("raise RuntimeError('boom')\n")
+        # Simulate the spice scope by pointing the checker at it.
+        old = check_invariants.SPICE
+        check_invariants.SPICE = spice
+        try:
+            found = list(check_invariants.check_file(path))
+        finally:
+            check_invariants.SPICE = old
+        assert found and "typed error" in found[0][1]
+
+    def test_typed_raise_is_fine_in_spice_scope(self, tmp_path):
+        spice = tmp_path / "spice"
+        spice.mkdir()
+        path = spice / "mod.py"
+        path.write_text("raise ValueError('boom')\n")
+        old = check_invariants.SPICE
+        check_invariants.SPICE = spice
+        try:
+            found = list(check_invariants.check_file(path))
+        finally:
+            check_invariants.SPICE = old
+        assert found == []

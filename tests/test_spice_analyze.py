@@ -1,0 +1,424 @@
+"""Static circuit analyzer: diagnostics, pre-flight wiring, CLI lint.
+
+One positive (triggers) and one negative (clean) test per diagnostic
+code, the four-layer rejection of a structurally broken circuit
+(direct solve, batch family, service request, `repro lint`), and the
+no-false-positives sweep over every spice template and example
+netlist across the benchmark axis grids.
+"""
+
+import importlib.util
+import json
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.engine import SPICE_TEMPLATES, SpiceBatch, SweepOrchestrator
+from repro.power.rectifier import build_rectifier_circuit
+from repro.service import SimRequest, SimRequestError
+from repro.spice import (
+    CHECK_MODES,
+    DIAGNOSTIC_CODES,
+    Circuit,
+    CircuitLintError,
+    CircuitLintWarning,
+    analyze_circuit,
+    analyze_netlist,
+    check_circuit,
+    dc_operating_point,
+    parse_netlist,
+    sine,
+    transient,
+    transient_batch,
+)
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+T_STOP = 1e-6
+DT = 1.0 / (5e6 * 100)
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+def clean_rc():
+    """A well-posed RC divider: lints with zero findings."""
+    ckt = Circuit("clean rc")
+    ckt.add_vsource("V1", "in", "0", sine(1.0, 5e6))
+    ckt.add_resistor("R1", "in", "out", 1e3)
+    ckt.add_capacitor("C1", "out", "0", 1e-9)
+    return ckt
+
+
+def floating_rectifier():
+    """The paper rectifier plus a deliberately floating R island."""
+    ckt = build_rectifier_circuit()
+    ckt.add_resistor("RF", "fa", "fb", 1e3)
+    return ckt
+
+
+class TestDiagnosticRecords:
+    def test_clean_circuit_has_no_findings(self):
+        assert analyze_circuit(clean_rc()) == []
+
+    def test_every_emitted_code_is_documented(self):
+        ckt = floating_rectifier()
+        ckt.add_vsource("VDUP", "src", "0", sine(2.0, 5e6))
+        for d in analyze_circuit(ckt):
+            assert d.code in DIAGNOSTIC_CODES
+            assert d.severity in ("error", "warning")
+            assert d.message
+            assert d.hint
+
+    def test_errors_sort_before_warnings(self):
+        diags = analyze_circuit(floating_rectifier())
+        severities = [d.severity for d in diags]
+        assert severities == sorted(severities)  # "error" < "warning"
+
+    def test_to_dict_round_trips_json(self):
+        diags = analyze_circuit(floating_rectifier())
+        doc = json.loads(json.dumps([d.to_dict() for d in diags]))
+        assert doc[0]["code"].startswith("SP")
+
+    def test_format_includes_source_and_line(self):
+        _, diags = analyze_netlist(
+            "float demo\nV1 in 0 1.0\nR1 in 0 1k\nRF fa fb 1k\n",
+            source="demo.cir")
+        sp101 = [d for d in diags if d.code == "SP101"]
+        assert sp101 and sp101[0].line == 4
+        assert sp101[0].format(source="demo.cir").startswith("demo.cir:4:")
+
+
+class TestSP101NoGroundPath:
+    def test_floating_island_is_an_error(self):
+        diags = analyze_circuit(floating_rectifier())
+        sp101 = [d for d in diags if d.code == "SP101"]
+        assert sp101 and sp101[0].severity == "error"
+        assert {"fa", "fb"} <= set(sp101[0].nodes)
+        assert "RF" in sp101[0].components
+
+    def test_grounded_circuit_is_clean(self):
+        assert "SP101" not in codes(analyze_circuit(clean_rc()))
+
+
+class TestSP102VoltageLoop:
+    def test_parallel_voltage_sources_warn(self):
+        ckt = Circuit("v loop")
+        ckt.add_vsource("V1", "a", "0", 1.0)
+        ckt.add_vsource("V2", "a", "0", 2.0)
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        diags = analyze_circuit(ckt)
+        sp102 = [d for d in diags if d.code == "SP102"]
+        assert sp102 and sp102[0].severity == "warning"
+        # The loop-closing branch is named.
+        assert set(sp102[0].components) & {"V1", "V2"}
+
+    def test_source_with_series_resistor_is_clean(self):
+        assert "SP102" not in codes(analyze_circuit(clean_rc()))
+
+    def test_v_parallel_inductor_warns_but_is_not_an_error(self):
+        # Inductor.stamp_dc regularizes this loop with a tiny series
+        # resistance, so the pattern has full structural rank: the
+        # analyzer must not escalate the loop beyond a warning.
+        ckt = Circuit("v-l loop")
+        ckt.add_vsource("V1", "a", "0", 1.0)
+        ckt.add_inductor("L1", "a", "0", 1e-6)
+        diags = analyze_circuit(ckt)
+        assert codes(diags) == {"SP102"}
+        assert all(d.severity == "warning" for d in diags)
+
+
+class TestSP103DCFloating:
+    def test_current_source_into_capacitor_warns(self):
+        ckt = Circuit("i into c")
+        ckt.add_isource("I1", "0", "n1", 1e-6)
+        ckt.add_capacitor("C1", "n1", "0", 1e-9)
+        diags = analyze_circuit(ckt)
+        sp103 = [d for d in diags if d.code == "SP103"]
+        assert sp103 and sp103[0].severity == "warning"
+        assert "n1" in sp103[0].nodes
+        # A legitimate transient circuit (from its initial condition):
+        # the error-mode pre-flight must let it through.
+        res = transient(ckt, 1e-7, 1e-9, use_ic=True)
+        assert np.isfinite(res.x[-1]).all()
+
+    def test_resistive_return_path_is_clean(self):
+        ckt = Circuit("i into rc")
+        ckt.add_isource("I1", "0", "n1", 1e-6)
+        ckt.add_capacitor("C1", "n1", "0", 1e-9)
+        ckt.add_resistor("R1", "n1", "0", 1e6)
+        assert "SP103" not in codes(analyze_circuit(ckt))
+
+
+class TestSP104StructuralSingularity:
+    def test_parallel_voltage_sources_are_structurally_singular(self):
+        ckt = Circuit("parallel v")
+        ckt.add_vsource("V1", "a", "0", 1.0)
+        ckt.add_vsource("V2", "a", "0", 1.0)
+        ckt.add_resistor("R1", "a", "0", 1e3)
+        diags = analyze_circuit(ckt)
+        sp104 = [d for d in diags if d.code == "SP104"]
+        assert sp104 and sp104[0].severity == "error"
+        # The unmatched unknowns are named after branch currents.
+        assert any("I(" in u for u in sp104[0].nodes)
+
+    def test_nonlinear_devices_complete_the_pattern(self):
+        # The rectifier's diodes/switches only stamp through the
+        # nonlinear scatter; the analyzer must include those positions
+        # or every template would be a false positive.
+        circuit = build_rectifier_circuit()
+        assert "SP104" not in codes(analyze_circuit(circuit))
+
+
+class TestSP105DanglingBranches:
+    def test_self_looped_resistor_warns(self):
+        ckt = clean_rc()
+        ckt.add_resistor("RX", "out", "out", 1e3)
+        diags = analyze_circuit(ckt)
+        sp105 = [d for d in diags if d.code == "SP105"]
+        assert sp105 and sp105[0].severity == "warning"
+        assert "RX" in sp105[0].components
+
+    def test_self_looped_voltage_source_is_an_error(self):
+        ckt = clean_rc()
+        ckt.add_vsource("VX", "out", "out", 1.0)
+        sp105 = [d for d in analyze_circuit(ckt) if d.code == "SP105"]
+        assert sp105 and sp105[0].severity == "error"
+
+    def test_two_terminal_elements_are_clean(self):
+        assert "SP105" not in codes(analyze_circuit(clean_rc()))
+
+
+class TestSP110ImplausibleValues:
+    @pytest.mark.parametrize("mutate", [
+        lambda c: c.add_resistor("RB", "out", "0", 1e15),
+        lambda c: c.add_resistor("RB", "out", "0", 1e-9),
+        lambda c: c.add_capacitor("CB", "out", "0", 10.0),
+        lambda c: c.add_inductor("LB", "out", "0", 1e4),
+        lambda c: c.add_diode("DB", "out", "0", i_s=1.0),
+    ])
+    def test_out_of_range_value_warns(self, mutate):
+        ckt = clean_rc()
+        mutate(ckt)
+        sp110 = [d for d in analyze_circuit(ckt) if d.code == "SP110"]
+        assert sp110 and sp110[0].severity == "warning"
+
+    def test_plausible_values_are_clean(self):
+        assert "SP110" not in codes(analyze_circuit(clean_rc()))
+
+
+class TestCheckModes:
+    def test_modes_tuple(self):
+        assert CHECK_MODES == ("error", "warn", "off")
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="check"):
+            check_circuit(clean_rc(), check="strict")
+
+    def test_error_mode_raises_only_on_errors(self):
+        with pytest.raises(CircuitLintError) as err:
+            check_circuit(floating_rectifier(), check="error")
+        assert any(d.code == "SP101" for d in err.value.diagnostics)
+        # Warning-severity findings alone do not raise.
+        ckt = Circuit("v-l loop")
+        ckt.add_vsource("V1", "a", "0", 1.0)
+        ckt.add_inductor("L1", "a", "0", 1e-6)
+        check_circuit(ckt, check="error")
+
+    def test_warn_mode_emits_warnings(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            check_circuit(floating_rectifier(), check="warn")
+        messages = [str(w.message) for w in caught
+                    if issubclass(w.category, CircuitLintWarning)]
+        assert any("SP101" in m for m in messages)
+        assert any("SP105" in m for m in messages)
+
+    def test_off_mode_skips_analysis(self):
+        check_circuit(floating_rectifier(), check="off")
+
+
+class TestFourLayerRejection:
+    """A structurally broken circuit is refused with a named SP1xx
+    diagnostic — not a ConvergenceError — at every entry layer."""
+
+    def test_direct_transient_raises_lint_error(self):
+        with pytest.raises(CircuitLintError, match="SP101"):
+            transient(floating_rectifier(), T_STOP, DT)
+
+    def test_dc_operating_point_raises_lint_error(self):
+        with pytest.raises(CircuitLintError, match="SP101"):
+            dc_operating_point(floating_rectifier())
+
+    def test_transient_batch_rejects_the_family(self):
+        family = [floating_rectifier() for _ in range(3)]
+        with pytest.raises(CircuitLintError, match="SP101"):
+            transient_batch(family, T_STOP, DT)
+
+    def test_service_request_is_rejected_before_any_worker(self,
+                                                           monkeypatch):
+        def broken(sc):
+            return floating_rectifier(), "vo"
+
+        monkeypatch.setitem(SPICE_TEMPLATES, "broken_floating", broken)
+        with pytest.raises(SimRequestError, match="SP101"):
+            SimRequest(kind="spice",
+                       axes={"template": ["broken_floating"],
+                             "amplitude": [1.25]},
+                       t_stop=T_STOP, dt=DT)
+
+    def test_cli_lint_exits_2_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "broken.cir"
+        bad.write_text("float demo\nV1 in 0 1.0\nR1 in 0 1k\n"
+                       "RF fa fb 1k\n")
+        assert main(["lint", str(bad)]) == 2
+        out = capsys.readouterr().out
+        assert "SP101" in out and "broken.cir:4:" in out
+
+
+class TestCheckOffParity:
+    def test_off_mode_is_bitwise_identical_for_valid_circuits(self):
+        ref = transient(build_rectifier_circuit(), T_STOP, DT,
+                        check="error")
+        off = transient(build_rectifier_circuit(), T_STOP, DT,
+                        check="off")
+        assert np.array_equal(ref.t, off.t)
+        assert np.array_equal(ref.x, off.x)
+
+    def test_batch_off_mode_is_bitwise_identical(self):
+        def family():
+            return [build_rectifier_circuit(v_in_amplitude=a)
+                    for a in (1.25, 1.75)]
+
+        ref = transient_batch(family(), T_STOP, DT, check="error")
+        off = transient_batch(family(), T_STOP, DT, check="off")
+        assert np.array_equal(ref.t, off.t)
+        assert np.array_equal(ref.x, off.x)
+
+
+class TestNoFalsePositives:
+    """Every template and example circuit lints clean across the
+    benchmark axis grids — error-severity findings are forbidden and
+    so are warnings (the shipped circuits are all well-posed)."""
+
+    @pytest.mark.parametrize("template", sorted(SPICE_TEMPLATES))
+    @pytest.mark.parametrize("amplitude", [1.25, 1.4, 1.55, 1.75, 2.0])
+    @pytest.mark.parametrize("i_load", [200e-6, 352e-6])
+    def test_templates_lint_clean(self, template, amplitude, i_load):
+        from repro.engine import SpiceScenario
+
+        sc = SpiceScenario(template=template, amplitude=amplitude,
+                           i_load=i_load, freq=5e6)
+        circuit, _ = sc.build()
+        assert analyze_circuit(circuit) == []
+
+    def test_example_netlists_lint_clean(self):
+        netlists = sorted(EXAMPLES.glob("*.cir"))
+        assert netlists, "examples/ must ship at least one netlist"
+        for path in netlists:
+            _, diags = analyze_netlist(path.read_text(), source=path.name)
+            assert diags == [], f"{path.name}: {codes(diags)}"
+
+    def test_ladder_example_circuit_lints_clean(self):
+        spec = importlib.util.spec_from_file_location(
+            "ladder_example", EXAMPLES / "ladder_network_sweep.py")
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        assert analyze_circuit(mod.build_ladder()) == []
+
+    def test_templates_pass_the_error_mode_preflight(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CircuitLintWarning)
+            for name in SPICE_TEMPLATES:
+                from repro.engine import SpiceScenario
+
+                circuit, _ = SpiceScenario(template=name).build()
+                check_circuit(circuit, check="warn")
+
+
+class TestObsEvent:
+    def test_run_spice_emits_one_circuit_lint_event(self):
+        from repro.obs import MetricsRecorder
+
+        recorder = MetricsRecorder()
+        orch = SweepOrchestrator(recorder=recorder)
+        batch = SpiceBatch.from_axes(amplitude=[1.25, 1.75])
+        orch.run_spice(batch, T_STOP, DT)
+        recorder.close()
+
+        lint = [doc for doc in recorder.events()
+                if doc["event"] == "circuit_lint"]
+        assert len(lint) == 1
+        doc = lint[0]
+        assert doc["templates"] == "rectifier"
+        assert doc["cells"] == 2
+        assert doc["findings"] == doc["errors"] == doc["warnings"] == 0
+        assert doc["codes"] == ""
+
+
+class TestCliLint:
+    def test_templates_exit_0(self, capsys):
+        args = ["lint"]
+        for name in sorted(SPICE_TEMPLATES):
+            args += ["--template", name]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_unknown_template_exits_2(self, capsys):
+        assert main(["lint", "--template", "flux_capacitor"]) == 2
+        assert "unknown template" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.cir")]) == 2
+        assert "nope.cir" in capsys.readouterr().err
+
+    def test_no_targets_exits_2(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "broken.cir"
+        bad.write_text("float demo\nV1 in 0 1.0\nR1 in 0 1k\n"
+                       "RF fa fb 1k\n")
+        assert main(["lint", "--format", "json", str(bad)]) == 2
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["errors"] >= 1
+        assert doc["targets"][0]["source"] == str(bad)
+        assert any(f["code"] == "SP101"
+                   for f in doc["targets"][0]["findings"])
+
+    def test_parse_error_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "mangled.cir"
+        bad.write_text("title\nR1 a 0 1k\nQ9 what is this\n")
+        assert main(["lint", str(bad)]) == 2
+        assert "mangled.cir" in capsys.readouterr().err
+
+
+class TestNetlistLineAttribution:
+    def test_malformed_card_mid_file_carries_line_and_card(self):
+        text = "title\nV1 in 0 1.0\nR1 in out 1k\nC1 out 0 froop\n"
+        from repro.spice import NetlistError
+
+        with pytest.raises(NetlistError) as err:
+            parse_netlist(text)
+        assert err.value.line == 4
+        assert "C1" in err.value.card
+        assert str(err.value).startswith("line 4:")
+
+    def test_unknown_element_kind_carries_line(self):
+        from repro.spice import NetlistError
+
+        with pytest.raises(NetlistError) as err:
+            parse_netlist("title\nR1 a 0 1k\nQ9 a b c d\n")
+        assert err.value.line == 3
+
+    def test_analyze_netlist_attributes_findings_to_cards(self):
+        _, diags = analyze_netlist(
+            "title\nV1 in 0 1.0\nR1 in 0 1k\n\nRF fa fb 1k\n",
+            source="gap.cir")
+        sp101 = [d for d in diags if d.code == "SP101"][0]
+        assert sp101.line == 5  # blank line must not shift attribution

@@ -361,9 +361,14 @@ class TestAdaptiveBackend:
             # min_dt, so the surfaced message is either the wrapped
             # "singular MNA matrix" or the step-failure wrapper — never
             # a silent NaN result or an untyped scipy error.
+            # check="off" forces the circuit past the static analyzer
+            # (which rejects it as SP104 before any factorization —
+            # see test_spice_analyze.py) so the runtime guard itself
+            # stays exercised.
             with pytest.raises(ConvergenceError,
                                match="singular|step failed"):
-                transient(singular(), 1e-6, 1e-7, method=method, x0=x0)
+                transient(singular(), 1e-6, 1e-7, method=method, x0=x0,
+                          check="off")
 
     def test_callback_and_final_state_on_adaptive(self):
         seen = []

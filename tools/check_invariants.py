@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Repo-invariant AST lint (run in CI next to ruff).
+
+Three invariants that ruff's default rule set does not pin:
+
+1. **No bare ``except:``** anywhere under ``src/repro/`` — a handler
+   must name what it catches (``except Exception:`` included, since it
+   at least survives ``KeyboardInterrupt``/``SystemExit``).
+2. **No ``print()`` in ``src/repro/``** — library code reports through
+   return values, typed exceptions, and the obs event stream.  The CLI
+   module is the one deliberate exemption: stdout *is* its interface.
+3. **Typed raises in ``src/repro/spice/``** — every ``raise`` uses a
+   named error class, never generic ``Exception``/``RuntimeError``/
+   ``BaseException`` (domain classes like ``ConvergenceError`` may
+   *subclass* RuntimeError; raising the bare builtin is what loses the
+   type information).  A bare re-raising ``raise`` is fine.
+
+Exit status 1 and one ``path:line: message`` per finding on stdout.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+SPICE = SRC / "spice"
+
+#: print() is the CLI's interface; everything else in src/repro must
+#: not write to stdout directly.
+PRINT_EXEMPT = {SRC / "cli.py"}
+
+#: Generic exception classes that erase the error type at spice raise
+#: sites (typed subclasses of these are fine — they have names).
+GENERIC_RAISES = {"Exception", "BaseException", "RuntimeError"}
+
+
+def _raised_name(node):
+    """Class name of a ``raise X`` / ``raise X(...)`` statement, or
+    None for bare re-raises and non-name expressions."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+def check_file(path):
+    """Yield ``(lineno, message)`` violations for one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    in_spice = SPICE in path.parents or path.parent == SPICE
+    allow_print = path in PRINT_EXEMPT
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield node.lineno, "bare 'except:' — name the exception(s)"
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+            and not allow_print
+        ):
+            yield (
+                node.lineno,
+                "print() in library code — use typed errors or obs events",
+            )
+        elif isinstance(node, ast.Raise) and in_spice:
+            name = _raised_name(node)
+            if name in GENERIC_RAISES:
+                yield (
+                    node.lineno,
+                    f"raise {name} in spice/ — use a typed error class",
+                )
+
+
+def run(root=SRC):
+    """Check every ``*.py`` under ``root``; returns the violation list."""
+    violations = []
+    for path in sorted(Path(root).rglob("*.py")):
+        for lineno, message in check_file(path):
+            violations.append((path, lineno, message))
+    return violations
+
+
+def main():
+    violations = run()
+    for path, lineno, message in violations:
+        print(f"{path.relative_to(REPO_ROOT)}:{lineno}: {message}")
+    if violations:
+        print(f"{len(violations)} invariant violation(s)")
+        return 1
+    print("invariants clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
